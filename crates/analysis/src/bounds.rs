@@ -1,0 +1,283 @@
+//! Bounds inference: the per-buffer access-range analysis the paper's
+//! Halide library implements in user space (§4).
+//!
+//! Given a scope (a statement, usually a loop) and a buffer, the inference
+//! computes, per dimension, a symbolic window `[lo, hi)` covering every
+//! access to the buffer inside the scope. Iterators bound *inside* the
+//! scope are eliminated by substituting their extreme values; iterators
+//! and sizes free in the scope remain symbolic — exactly the behaviour the
+//! paper describes for the `io`-loop example:
+//!
+//! ```text
+//! for io in seq(0, N / 32):
+//!     # arr is accessed within [32 * io : 32 * io + 34]
+//!     for ii in seq(0, 32):
+//!         x = arr[32*io + ii] + arr[32*io + ii + 1] + arr[32*io + ii + 2]
+//! ```
+
+use crate::context::Context;
+use crate::linear::LinExpr;
+use crate::simplify::simplify_expr;
+use exo_ir::{ib, substitute_expr, Expr, Stmt, Sym};
+
+/// The inferred access window of a buffer within a scope.
+#[derive(Clone, Debug, PartialEq)]
+pub struct BufferBounds {
+    /// The buffer the bounds describe.
+    pub buf: Sym,
+    /// Per dimension: inclusive lower bound and exclusive upper bound.
+    pub dims: Vec<(Expr, Expr)>,
+}
+
+impl BufferBounds {
+    /// The extent (`hi - lo`) of dimension `d`, simplified.
+    pub fn extent(&self, d: usize, ctx: &Context) -> Expr {
+        let (lo, hi) = &self.dims[d];
+        simplify_expr(&(hi.clone() - lo.clone()), ctx)
+    }
+}
+
+struct AccessSite {
+    idx: Vec<Expr>,
+    /// Iterators bound within the scope at this access, with their ranges.
+    iters: Vec<(Sym, Expr, Expr)>,
+}
+
+fn gather(stmt: &Stmt, buf: &Sym, iters: &mut Vec<(Sym, Expr, Expr)>, out: &mut Vec<AccessSite>) {
+    let record_expr = |e: &Expr, iters: &Vec<(Sym, Expr, Expr)>, out: &mut Vec<AccessSite>| {
+        collect_reads_of(e, buf, iters, out);
+    };
+    match stmt {
+        Stmt::Assign { buf: b, idx, rhs } | Stmt::Reduce { buf: b, idx, rhs } => {
+            if b == buf {
+                out.push(AccessSite { idx: idx.clone(), iters: iters.clone() });
+            }
+            for i in idx {
+                record_expr(i, iters, out);
+            }
+            record_expr(rhs, iters, out);
+        }
+        Stmt::For { iter, lo, hi, body, .. } => {
+            iters.push((iter.clone(), lo.clone(), hi.clone()));
+            for s in body.iter() {
+                gather(s, buf, iters, out);
+            }
+            iters.pop();
+        }
+        Stmt::If { cond, then_body, else_body } => {
+            record_expr(cond, iters, out);
+            for s in then_body.iter().chain(else_body.iter()) {
+                gather(s, buf, iters, out);
+            }
+        }
+        Stmt::Call { args, .. } => {
+            for a in args {
+                record_expr(a, iters, out);
+            }
+        }
+        Stmt::WriteConfig { value, .. } => record_expr(value, iters, out),
+        Stmt::WindowStmt { rhs, .. } => record_expr(rhs, iters, out),
+        Stmt::Alloc { .. } | Stmt::Pass => {}
+    }
+}
+
+fn collect_reads_of(e: &Expr, buf: &Sym, iters: &[(Sym, Expr, Expr)], out: &mut Vec<AccessSite>) {
+    match e {
+        Expr::Read { buf: b, idx } => {
+            if b == buf {
+                out.push(AccessSite { idx: idx.clone(), iters: iters.to_vec() });
+            }
+            for i in idx {
+                collect_reads_of(i, buf, iters, out);
+            }
+        }
+        Expr::Bin { lhs, rhs, .. } => {
+            collect_reads_of(lhs, buf, iters, out);
+            collect_reads_of(rhs, buf, iters, out);
+        }
+        Expr::Un { arg, .. } => collect_reads_of(arg, buf, iters, out),
+        _ => {}
+    }
+}
+
+/// Substitutes each in-scope bound iterator by the value that extremizes an
+/// affine index expression: its lower bound when minimizing with a positive
+/// coefficient, its upper bound (`hi - 1`) otherwise.
+fn extremize(idx: &Expr, iters: &[(Sym, Expr, Expr)], minimize: bool, ctx: &Context) -> Expr {
+    let lin = LinExpr::from_expr(idx);
+    let mut out = idx.clone();
+    for (iter, lo, hi) in iters {
+        let coeff = lin.coeff_of(iter);
+        if coeff == 0 && !lin.mentions(iter) {
+            continue;
+        }
+        let take_lo = (coeff >= 0) == minimize;
+        let value = if take_lo { lo.clone() } else { hi.clone() - ib(1) };
+        out = substitute_expr(out, iter, &value);
+    }
+    simplify_expr(&out, ctx)
+}
+
+/// Infers the access bounds of `buf` within the statement `scope`.
+///
+/// Returns `None` when the buffer is not accessed in the scope at all.
+/// The analysis is exact for affine indices; non-affine indices fall back
+/// to using the raw expression for both bounds (conservatively tight to
+/// that single access).
+pub fn infer_bounds(scope: &Stmt, buf: &Sym, ctx: &Context) -> Option<BufferBounds> {
+    let mut sites = Vec::new();
+    gather(scope, buf, &mut Vec::new(), &mut sites);
+    if sites.is_empty() {
+        return None;
+    }
+    let ndims = sites.iter().map(|s| s.idx.len()).max().unwrap_or(0);
+    let mut dims = Vec::with_capacity(ndims);
+    for d in 0..ndims {
+        let mut lo: Option<Expr> = None;
+        let mut hi: Option<Expr> = None;
+        for site in &sites {
+            let Some(idx) = site.idx.get(d) else { continue };
+            let site_lo = extremize(idx, &site.iters, true, ctx);
+            let site_hi = simplify_expr(
+                &(extremize(idx, &site.iters, false, ctx) + ib(1)),
+                ctx,
+            );
+            lo = Some(match lo {
+                None => site_lo,
+                Some(prev) => symbolic_min(prev, site_lo, ctx),
+            });
+            hi = Some(match hi {
+                None => site_hi,
+                Some(prev) => symbolic_max(prev, site_hi, ctx),
+            });
+        }
+        dims.push((lo?, hi?));
+    }
+    Some(BufferBounds { buf: buf.clone(), dims })
+}
+
+fn symbolic_min(a: Expr, b: Expr, ctx: &Context) -> Expr {
+    if ctx.proves_le(&a, &b) || provably_le_by_constant(&a, &b) {
+        a
+    } else if ctx.proves_le(&b, &a) || provably_le_by_constant(&b, &a) {
+        b
+    } else {
+        // Undecidable: keep the first (deterministic, documented as the
+        // conservative fallback).
+        a
+    }
+}
+
+fn symbolic_max(a: Expr, b: Expr, ctx: &Context) -> Expr {
+    if ctx.proves_le(&a, &b) || provably_le_by_constant(&a, &b) {
+        b
+    } else if ctx.proves_le(&b, &a) || provably_le_by_constant(&b, &a) {
+        a
+    } else {
+        a
+    }
+}
+
+fn provably_le_by_constant(a: &Expr, b: &Expr) -> bool {
+    LinExpr::from_expr(b)
+        .sub(&LinExpr::from_expr(a))
+        .as_constant()
+        .map(|c| c >= 0)
+        .unwrap_or(false)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use exo_ir::{read, var, Block};
+
+    /// The paper's §4 example:
+    /// for ii in seq(0, 32):
+    ///     x = arr[32*io + ii] + arr[32*io + ii + 1] + arr[32*io + ii + 2]
+    fn paper_example() -> Stmt {
+        let base = ib(32) * var("io") + var("ii");
+        Stmt::For {
+            iter: Sym::new("ii"),
+            lo: ib(0),
+            hi: ib(32),
+            body: Block(vec![Stmt::Assign {
+                buf: Sym::new("x"),
+                idx: vec![],
+                rhs: read("arr", vec![base.clone()])
+                    + read("arr", vec![base.clone() + ib(1)])
+                    + read("arr", vec![base + ib(2)]),
+            }]),
+            parallel: false,
+        }
+    }
+
+    #[test]
+    fn reproduces_the_paper_io_loop_bounds() {
+        let ctx = Context::new();
+        let bounds = infer_bounds(&paper_example(), &Sym::new("arr"), &ctx).unwrap();
+        assert_eq!(bounds.dims.len(), 1);
+        let (lo, hi) = &bounds.dims[0];
+        assert!(crate::linear::provably_equal(lo, &(ib(32) * var("io"))), "{lo}");
+        assert!(crate::linear::provably_equal(hi, &(ib(32) * var("io") + ib(34))), "{hi}");
+        assert_eq!(bounds.extent(0, &ctx), ib(34));
+    }
+
+    #[test]
+    fn write_accesses_are_included() {
+        let ctx = Context::new();
+        let scope = Stmt::For {
+            iter: Sym::new("i"),
+            lo: ib(0),
+            hi: var("n"),
+            body: Block(vec![Stmt::Assign {
+                buf: Sym::new("y"),
+                idx: vec![var("i") + ib(3)],
+                rhs: ib(0),
+            }]),
+            parallel: false,
+        };
+        let bounds = infer_bounds(&scope, &Sym::new("y"), &ctx).unwrap();
+        let (lo, hi) = &bounds.dims[0];
+        assert_eq!(lo.to_string(), "3");
+        assert_eq!(hi.to_string(), "n + 3");
+    }
+
+    #[test]
+    fn missing_buffer_returns_none() {
+        let ctx = Context::new();
+        assert!(infer_bounds(&paper_example(), &Sym::new("zzz"), &ctx).is_none());
+    }
+
+    #[test]
+    fn two_dimensional_blur_window() {
+        // for yi in seq(0, 34): for xi in seq(0, 256):
+        //     blur_y[yi, xi] = blur_x[yi, xi] + blur_x[yi+1, xi] + blur_x[yi+2, xi]
+        let ctx = Context::new();
+        let body = Stmt::Assign {
+            buf: Sym::new("blur_y"),
+            idx: vec![var("yi"), var("xi")],
+            rhs: read("blur_x", vec![var("yi"), var("xi")])
+                + read("blur_x", vec![var("yi") + ib(1), var("xi")])
+                + read("blur_x", vec![var("yi") + ib(2), var("xi")]),
+        };
+        let scope = Stmt::For {
+            iter: Sym::new("yi"),
+            lo: ib(0),
+            hi: ib(32),
+            body: Block(vec![Stmt::For {
+                iter: Sym::new("xi"),
+                lo: ib(0),
+                hi: ib(256),
+                body: Block(vec![body]),
+                parallel: false,
+            }]),
+            parallel: false,
+        };
+        let bounds = infer_bounds(&scope, &Sym::new("blur_x"), &ctx).unwrap();
+        assert_eq!(bounds.dims[0].0.to_string(), "0");
+        assert_eq!(bounds.dims[0].1.to_string(), "34");
+        assert_eq!(bounds.dims[1].1.to_string(), "256");
+        let by = infer_bounds(&scope, &Sym::new("blur_y"), &ctx).unwrap();
+        assert_eq!(by.dims[0].1.to_string(), "32");
+    }
+}

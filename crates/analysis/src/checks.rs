@@ -1,0 +1,343 @@
+//! Commutativity, dependence, idempotence and invariance checks.
+//!
+//! These are the checks the scheduling primitives of `exo-core` use to
+//! guarantee functional equivalence (the "Safety conditions" column of the
+//! paper's Appendix A). All checks are conservative: a `false` answer means
+//! "could not prove safe", not "definitely unsafe".
+
+use crate::context::Context;
+use crate::effects::{Access, Effects};
+use crate::linear::LinExpr;
+use exo_ir::{for_each_expr, Expr, Stmt, Sym};
+use std::collections::BTreeSet;
+
+/// Whether two accesses may refer to the same buffer element.
+///
+/// Returns `false` (provably disjoint) only when some dimension's index
+/// expressions differ by a nonzero constant.
+fn may_overlap(a: &Access, b: &Access) -> bool {
+    if a.buf != b.buf {
+        return false;
+    }
+    if a.whole_buffer || b.whole_buffer {
+        return true;
+    }
+    if a.idx.len() != b.idx.len() {
+        return true;
+    }
+    for (ia, ib) in a.idx.iter().zip(b.idx.iter()) {
+        let diff = LinExpr::from_expr(ia).sub(&LinExpr::from_expr(ib));
+        if let Some(c) = diff.as_constant() {
+            if c != 0 {
+                return false;
+            }
+        }
+    }
+    true
+}
+
+/// Whether two statements (or statement blocks, via their combined
+/// effects) commute: executing them in either order yields the same state.
+pub fn stmts_commute(a: &Effects, b: &Effects, _ctx: &Context) -> bool {
+    // Config state: any write/read or write/write collision on the same
+    // field forbids reordering.
+    for (c, f) in &a.config_writes {
+        if b.config_writes.iter().any(|(c2, f2)| c2 == c && f2 == f)
+            || b.config_reads.iter().any(|(c2, f2)| c2 == c && f2 == f)
+        {
+            return false;
+        }
+    }
+    for (c, f) in &b.config_writes {
+        if a.config_reads.iter().any(|(c2, f2)| c2 == c && f2 == f) {
+            return false;
+        }
+    }
+    // Write/write conflicts: assignments never commute with overlapping
+    // writes; reductions commute with each other (addition commutes).
+    for wa in &a.writes {
+        for wb in b.writes.iter().chain(b.reduces.iter()) {
+            if may_overlap(wa, wb) {
+                return false;
+            }
+        }
+    }
+    for wa in &a.reduces {
+        for wb in &b.writes {
+            if may_overlap(wa, wb) {
+                return false;
+            }
+        }
+    }
+    // Read/write conflicts in both directions (a reduce both reads and
+    // writes its destination, but reduce-vs-reduce on the same location is
+    // fine).
+    for ra in &a.reads {
+        for wb in b.writes.iter().chain(b.reduces.iter()) {
+            if may_overlap(ra, wb) {
+                return false;
+            }
+        }
+    }
+    for rb in &b.reads {
+        for wa in a.writes.iter().chain(a.reduces.iter()) {
+            if may_overlap(rb, wa) {
+                return false;
+            }
+        }
+    }
+    true
+}
+
+/// Whether the iterations of `for iter in ...: body` may execute in any
+/// order (no loop-carried read-after-write or write-after-write
+/// dependencies). Used by `parallelize_loop`, `reorder_loops` and `fuse`.
+pub fn loop_is_parallelizable(iter: &Sym, body_effects: &Effects, _ctx: &Context) -> bool {
+    if body_effects.has_calls {
+        return false;
+    }
+    if !body_effects.config_writes.is_empty() {
+        return false;
+    }
+    for buf in body_effects.buffers_written() {
+        // Skip buffers allocated inside the body: they are private per
+        // iteration.
+        if body_effects.allocs.contains(&buf) {
+            continue;
+        }
+        let writes = body_effects.writes_to(&buf);
+        let all = body_effects.accesses_to(&buf);
+        // Every write must be "indexed by" the iterator: some dimension has
+        // a nonzero coefficient on `iter`, and every access to the buffer
+        // uses the *same* expression in that dimension, so distinct
+        // iterations touch distinct elements.
+        for w in &writes {
+            if w.whole_buffer {
+                return false;
+            }
+            let dep_dim = w.idx.iter().position(|e| LinExpr::from_expr(e).coeff_of(iter) != 0);
+            let Some(d) = dep_dim else { return false };
+            let w_lin = LinExpr::from_expr(&w.idx[d]);
+            for other in &all {
+                if other.whole_buffer || other.idx.len() != w.idx.len() {
+                    return false;
+                }
+                let o_lin = LinExpr::from_expr(&other.idx[d]);
+                if !o_lin.sub(&w_lin).is_zero() {
+                    return false;
+                }
+            }
+        }
+    }
+    true
+}
+
+/// Whether executing the statements twice in a row is equivalent to
+/// executing them once. Used by `remove_loop`, `add_loop` and
+/// `divide_with_recompute`.
+pub fn is_idempotent<'a>(stmts: impl IntoIterator<Item = &'a Stmt> + Clone) -> bool {
+    let eff = Effects::of_stmts(stmts.clone());
+    if eff.has_calls || !eff.config_writes.is_empty() || !eff.reduces.is_empty() {
+        return false;
+    }
+    // Pure assignments are idempotent as long as no assignment reads a
+    // buffer that the block also writes (otherwise the second execution
+    // would see different inputs).
+    let written = eff.buffers_written();
+    for r in &eff.reads {
+        if written.contains(&r.buf) {
+            return false;
+        }
+    }
+    true
+}
+
+/// Whether any expression in the statements mentions `sym`.
+pub fn body_depends_on<'a>(stmts: impl IntoIterator<Item = &'a Stmt>, sym: &Sym) -> bool {
+    let mut found = false;
+    for s in stmts {
+        if let Stmt::For { iter, .. } = s {
+            if iter == sym {
+                // Shadowed; occurrences below refer to the inner binding.
+                continue;
+            }
+        }
+        for_each_expr(s, &mut |e: &Expr| {
+            if e.mentions(sym) {
+                found = true;
+            }
+        });
+        if found {
+            return true;
+        }
+    }
+    false
+}
+
+/// Whether every *write* in the body indexes the written buffer with an
+/// expression that depends on `iter`. (When true, distinct iterations
+/// write distinct locations.)
+pub fn writes_depend_on_iter(body_effects: &Effects, iter: &Sym) -> bool {
+    body_effects
+        .writes
+        .iter()
+        .chain(body_effects.reduces.iter())
+        .all(|w| !w.whole_buffer && w.idx.iter().any(|e| LinExpr::from_expr(e).coeff_of(iter) != 0))
+}
+
+/// Names of buffers allocated directly or transitively in the statements.
+pub fn alloc_names<'a>(stmts: impl IntoIterator<Item = &'a Stmt>) -> BTreeSet<Sym> {
+    Effects::of_stmts(stmts).allocs.into_iter().collect()
+}
+
+/// Buffers written (assigned or reduced) in the statements.
+pub fn buffers_written<'a>(stmts: impl IntoIterator<Item = &'a Stmt>) -> BTreeSet<Sym> {
+    Effects::of_stmts(stmts).buffers_written()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use exo_ir::{fb, ib, read, var, Block};
+
+    fn assign(buf: &str, idx: Vec<Expr>, rhs: Expr) -> Stmt {
+        Stmt::Assign { buf: Sym::new(buf), idx, rhs }
+    }
+
+    fn reduce(buf: &str, idx: Vec<Expr>, rhs: Expr) -> Stmt {
+        Stmt::Reduce { buf: Sym::new(buf), idx, rhs }
+    }
+
+    #[test]
+    fn disjoint_constant_offsets_commute() {
+        let ctx = Context::new();
+        let a = Effects::of_stmt(&assign("x", vec![ib(0)], fb(1.0)));
+        let b = Effects::of_stmt(&assign("x", vec![ib(1)], fb(2.0)));
+        assert!(stmts_commute(&a, &b, &ctx));
+        let c = Effects::of_stmt(&assign("x", vec![ib(0)], fb(3.0)));
+        assert!(!stmts_commute(&a, &c, &ctx));
+    }
+
+    #[test]
+    fn reductions_commute_with_each_other_but_not_with_assignments() {
+        let ctx = Context::new();
+        let r1 = Effects::of_stmt(&reduce("acc", vec![], var("a")));
+        let r2 = Effects::of_stmt(&reduce("acc", vec![], var("b")));
+        assert!(stmts_commute(&r1, &r2, &ctx));
+        let w = Effects::of_stmt(&assign("acc", vec![], fb(0.0)));
+        assert!(!stmts_commute(&r1, &w, &ctx));
+    }
+
+    #[test]
+    fn read_write_conflicts_block_commuting() {
+        let ctx = Context::new();
+        let producer = Effects::of_stmt(&assign("t", vec![var("i")], read("x", vec![var("i")])));
+        let consumer = Effects::of_stmt(&assign("y", vec![var("i")], read("t", vec![var("i")])));
+        assert!(!stmts_commute(&producer, &consumer, &ctx));
+        // Independent buffers commute.
+        let other = Effects::of_stmt(&assign("z", vec![var("i")], read("w", vec![var("i")])));
+        assert!(stmts_commute(&producer, &other, &ctx));
+    }
+
+    #[test]
+    fn config_state_blocks_commuting() {
+        let ctx = Context::new();
+        let wcfg = Effects::of_stmt(&Stmt::WriteConfig {
+            config: Sym::new("cfg"),
+            field: "stride".into(),
+            value: ib(1),
+        });
+        let rcfg = Effects::of_stmt(&assign(
+            "x",
+            vec![],
+            Expr::ReadConfig { config: Sym::new("cfg"), field: "stride".into() },
+        ));
+        assert!(!stmts_commute(&wcfg, &rcfg, &ctx));
+        assert!(!stmts_commute(&wcfg, &wcfg, &ctx));
+    }
+
+    #[test]
+    fn parallelizable_loops() {
+        let ctx = Context::new();
+        // y[i] = x[i] : parallelizable
+        let body = Effects::of_stmts(&[assign("y", vec![var("i")], read("x", vec![var("i")]))]);
+        assert!(loop_is_parallelizable(&Sym::new("i"), &body, &ctx));
+        // acc += x[i] : not parallelizable (loop-carried reduce)
+        let body = Effects::of_stmts(&[reduce("acc", vec![], read("x", vec![var("i")]))]);
+        assert!(!loop_is_parallelizable(&Sym::new("i"), &body, &ctx));
+        // y[i] = y[i+1] : not parallelizable (offset read of written buffer)
+        let body =
+            Effects::of_stmts(&[assign("y", vec![var("i")], read("y", vec![var("i") + ib(1)]))]);
+        assert!(!loop_is_parallelizable(&Sym::new("i"), &body, &ctx));
+        // y[i] += A[i, j] * x[j], parallel over i: ok (reduce indexed by i)
+        let body = Effects::of_stmts(&[reduce(
+            "y",
+            vec![var("i")],
+            read("A", vec![var("i"), var("j")]) * read("x", vec![var("j")]),
+        )]);
+        assert!(loop_is_parallelizable(&Sym::new("i"), &body, &ctx));
+        assert!(!loop_is_parallelizable(&Sym::new("j"), &body, &ctx));
+    }
+
+    #[test]
+    fn private_allocations_do_not_block_parallelism() {
+        let ctx = Context::new();
+        let stmts = vec![
+            Stmt::Alloc {
+                name: Sym::new("t"),
+                ty: exo_ir::DataType::F32,
+                dims: vec![],
+                mem: exo_ir::Mem::Dram,
+            },
+            assign("t", vec![], read("x", vec![var("i")])),
+            assign("y", vec![var("i")], var("t")),
+        ];
+        let eff = Effects::of_stmts(&stmts);
+        assert!(loop_is_parallelizable(&Sym::new("i"), &eff, &ctx));
+    }
+
+    #[test]
+    fn idempotence() {
+        // x[i] = a  : idempotent
+        assert!(is_idempotent(&[assign("x", vec![var("i")], var("a"))]));
+        // x[i] += a : not idempotent
+        assert!(!is_idempotent(&[reduce("x", vec![var("i")], var("a"))]));
+        // x[i] = x[i] * 2 : not idempotent (reads what it writes)
+        assert!(!is_idempotent(&[assign(
+            "x",
+            vec![var("i")],
+            read("x", vec![var("i")]) * fb(2.0)
+        )]));
+        // blur_x[y, x] = inp[...] : idempotent
+        assert!(is_idempotent(&[assign(
+            "blur_x",
+            vec![var("y"), var("x")],
+            read("inp", vec![var("y"), var("x")])
+        )]));
+    }
+
+    #[test]
+    fn dependence_on_symbols() {
+        let s = assign("y", vec![var("i")], read("x", vec![var("j")]));
+        assert!(body_depends_on(&[s.clone()], &Sym::new("j")));
+        assert!(body_depends_on(&[s.clone()], &Sym::new("i")));
+        assert!(!body_depends_on(&[s], &Sym::new("k")));
+        // Shadowing: a loop over `i` hides outer `i`.
+        let shadowed = Stmt::For {
+            iter: Sym::new("i"),
+            lo: ib(0),
+            hi: ib(4),
+            body: Block(vec![assign("y", vec![var("i")], fb(0.0))]),
+            parallel: false,
+        };
+        assert!(!body_depends_on(&[shadowed], &Sym::new("i")));
+    }
+
+    #[test]
+    fn writes_depend_on_iter_check() {
+        let eff = Effects::of_stmts(&[assign("y", vec![var("i")], fb(0.0))]);
+        assert!(writes_depend_on_iter(&eff, &Sym::new("i")));
+        let eff = Effects::of_stmts(&[assign("y", vec![var("j")], fb(0.0))]);
+        assert!(!writes_depend_on_iter(&eff, &Sym::new("i")));
+    }
+}

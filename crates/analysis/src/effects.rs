@@ -1,0 +1,277 @@
+//! Read/write/reduce effect sets of statements and blocks.
+
+use exo_ir::{Expr, Stmt, Sym, WAccess};
+use std::collections::BTreeSet;
+
+/// One buffer access: the buffer, its index expressions, and the loop
+/// iterators bound *within the analyzed region* that are in scope at the
+/// access site.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Access {
+    /// Accessed buffer.
+    pub buf: Sym,
+    /// Index expressions, one per dimension (empty for scalars and for
+    /// whole-buffer accesses such as call-argument windows).
+    pub idx: Vec<Expr>,
+    /// Iterators bound inside the analyzed region at this access.
+    pub iters: Vec<Sym>,
+    /// Whether the access covers an unknown region of the buffer (window
+    /// arguments to calls, reads with non-affine indices).
+    pub whole_buffer: bool,
+}
+
+impl Access {
+    fn point(buf: Sym, idx: Vec<Expr>, iters: &[Sym]) -> Self {
+        Access { buf, idx, iters: iters.to_vec(), whole_buffer: false }
+    }
+
+    fn whole(buf: Sym, iters: &[Sym]) -> Self {
+        Access { buf, idx: Vec::new(), iters: iters.to_vec(), whole_buffer: true }
+    }
+}
+
+/// The effects of a statement or block.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct Effects {
+    /// Buffer reads.
+    pub reads: Vec<Access>,
+    /// Buffer overwrites (assignments).
+    pub writes: Vec<Access>,
+    /// Buffer reductions (`+=`).
+    pub reduces: Vec<Access>,
+    /// Configuration fields written, as `(config, field)` pairs.
+    pub config_writes: Vec<(Sym, String)>,
+    /// Configuration fields read.
+    pub config_reads: Vec<(Sym, String)>,
+    /// Whether the region contains calls (treated conservatively).
+    pub has_calls: bool,
+    /// Buffers allocated within the region.
+    pub allocs: Vec<Sym>,
+}
+
+impl Effects {
+    /// Effects of a single statement.
+    pub fn of_stmt(stmt: &Stmt) -> Effects {
+        let mut eff = Effects::default();
+        collect(stmt, &mut Vec::new(), &mut eff);
+        eff
+    }
+
+    /// Combined effects of a sequence of statements.
+    pub fn of_stmts<'a>(stmts: impl IntoIterator<Item = &'a Stmt>) -> Effects {
+        let mut eff = Effects::default();
+        for s in stmts {
+            collect(s, &mut Vec::new(), &mut eff);
+        }
+        eff
+    }
+
+    /// Every buffer written (assigned or reduced).
+    pub fn buffers_written(&self) -> BTreeSet<Sym> {
+        self.writes.iter().chain(self.reduces.iter()).map(|a| a.buf.clone()).collect()
+    }
+
+    /// Every buffer read.
+    pub fn buffers_read(&self) -> BTreeSet<Sym> {
+        self.reads.iter().map(|a| a.buf.clone()).collect()
+    }
+
+    /// Every access (read, write or reduce) to the given buffer.
+    pub fn accesses_to(&self, buf: &Sym) -> Vec<&Access> {
+        self.reads
+            .iter()
+            .chain(self.writes.iter())
+            .chain(self.reduces.iter())
+            .filter(|a| &a.buf == buf)
+            .collect()
+    }
+
+    /// Write and reduce accesses to the given buffer.
+    pub fn writes_to(&self, buf: &Sym) -> Vec<&Access> {
+        self.writes.iter().chain(self.reduces.iter()).filter(|a| &a.buf == buf).collect()
+    }
+
+    /// Whether the region touches (reads or writes) the buffer at all.
+    pub fn touches(&self, buf: &Sym) -> bool {
+        !self.accesses_to(buf).is_empty()
+    }
+}
+
+fn collect_expr(e: &Expr, iters: &[Sym], eff: &mut Effects) {
+    match e {
+        Expr::Read { buf, idx } => {
+            eff.reads.push(Access::point(buf.clone(), idx.clone(), iters));
+            for i in idx {
+                collect_expr(i, iters, eff);
+            }
+        }
+        Expr::Window { buf, idx } => {
+            eff.reads.push(Access::whole(buf.clone(), iters));
+            for w in idx {
+                match w {
+                    WAccess::Point(e) => collect_expr(e, iters, eff),
+                    WAccess::Interval(lo, hi) => {
+                        collect_expr(lo, iters, eff);
+                        collect_expr(hi, iters, eff);
+                    }
+                }
+            }
+        }
+        Expr::Bin { lhs, rhs, .. } => {
+            collect_expr(lhs, iters, eff);
+            collect_expr(rhs, iters, eff);
+        }
+        Expr::Un { arg, .. } => collect_expr(arg, iters, eff),
+        Expr::ReadConfig { config, field } => {
+            eff.config_reads.push((config.clone(), field.clone()));
+        }
+        _ => {}
+    }
+}
+
+fn collect(stmt: &Stmt, iters: &mut Vec<Sym>, eff: &mut Effects) {
+    match stmt {
+        Stmt::Assign { buf, idx, rhs } => {
+            eff.writes.push(Access::point(buf.clone(), idx.clone(), iters));
+            for i in idx {
+                collect_expr(i, iters, eff);
+            }
+            collect_expr(rhs, iters, eff);
+        }
+        Stmt::Reduce { buf, idx, rhs } => {
+            eff.reduces.push(Access::point(buf.clone(), idx.clone(), iters));
+            for i in idx {
+                collect_expr(i, iters, eff);
+            }
+            collect_expr(rhs, iters, eff);
+        }
+        Stmt::Alloc { name, .. } => eff.allocs.push(name.clone()),
+        Stmt::For { iter, lo, hi, body, .. } => {
+            collect_expr(lo, iters, eff);
+            collect_expr(hi, iters, eff);
+            iters.push(iter.clone());
+            for s in body.iter() {
+                collect(s, iters, eff);
+            }
+            iters.pop();
+        }
+        Stmt::If { cond, then_body, else_body } => {
+            collect_expr(cond, iters, eff);
+            for s in then_body.iter().chain(else_body.iter()) {
+                collect(s, iters, eff);
+            }
+        }
+        Stmt::Call { args, .. } => {
+            eff.has_calls = true;
+            for a in args {
+                // Window arguments may be written by the callee: record both.
+                if let Expr::Window { buf, .. } = a {
+                    eff.writes.push(Access::whole(buf.clone(), iters));
+                }
+                if let Expr::Var(buf) = a {
+                    // Bare buffer arguments are conservatively writable too.
+                    eff.writes.push(Access::whole(buf.clone(), iters));
+                }
+                collect_expr(a, iters, eff);
+            }
+        }
+        Stmt::Pass => {}
+        Stmt::WriteConfig { config, field, value } => {
+            eff.config_writes.push((config.clone(), field.clone()));
+            collect_expr(value, iters, eff);
+        }
+        Stmt::WindowStmt { name, rhs } => {
+            eff.allocs.push(name.clone());
+            collect_expr(rhs, iters, eff);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use exo_ir::{ib, read, var, Block, DataType, Mem};
+
+    fn gemv_loop() -> Stmt {
+        Stmt::For {
+            iter: Sym::new("i"),
+            lo: ib(0),
+            hi: var("M"),
+            body: Block(vec![Stmt::For {
+                iter: Sym::new("j"),
+                lo: ib(0),
+                hi: var("N"),
+                body: Block(vec![Stmt::Reduce {
+                    buf: Sym::new("y"),
+                    idx: vec![var("i")],
+                    rhs: read("A", vec![var("i"), var("j")]) * read("x", vec![var("j")]),
+                }]),
+                parallel: false,
+            }]),
+            parallel: false,
+        }
+    }
+
+    #[test]
+    fn collects_reads_reduces_and_iterators() {
+        let eff = Effects::of_stmt(&gemv_loop());
+        assert_eq!(eff.reduces.len(), 1);
+        assert_eq!(eff.reduces[0].buf, Sym::new("y"));
+        assert_eq!(eff.reduces[0].iters, vec![Sym::new("i"), Sym::new("j")]);
+        assert_eq!(eff.buffers_read(), [Sym::new("A"), Sym::new("x")].into_iter().collect());
+        assert_eq!(eff.buffers_written(), [Sym::new("y")].into_iter().collect());
+        assert!(!eff.has_calls);
+    }
+
+    #[test]
+    fn call_windows_count_as_whole_buffer_writes() {
+        let call = Stmt::Call {
+            proc: "mm512_loadu_ps".into(),
+            args: vec![
+                Expr::Window {
+                    buf: Sym::new("dst"),
+                    idx: vec![WAccess::Interval(ib(0), ib(16))],
+                },
+                Expr::Window {
+                    buf: Sym::new("src"),
+                    idx: vec![WAccess::Interval(ib(0), ib(16))],
+                },
+            ],
+        };
+        let eff = Effects::of_stmt(&call);
+        assert!(eff.has_calls);
+        assert!(eff.buffers_written().contains(&Sym::new("dst")));
+        assert!(eff.buffers_written().contains(&Sym::new("src")));
+        assert!(eff.writes.iter().all(|a| a.whole_buffer));
+    }
+
+    #[test]
+    fn config_effects() {
+        let s = Stmt::WriteConfig { config: Sym::new("cfg"), field: "stride".into(), value: ib(4) };
+        let eff = Effects::of_stmt(&s);
+        assert_eq!(eff.config_writes, vec![(Sym::new("cfg"), "stride".to_string())]);
+        let r = Stmt::Assign {
+            buf: Sym::new("x"),
+            idx: vec![],
+            rhs: Expr::ReadConfig { config: Sym::new("cfg"), field: "stride".into() },
+        };
+        let eff = Effects::of_stmt(&r);
+        assert_eq!(eff.config_reads, vec![(Sym::new("cfg"), "stride".to_string())]);
+    }
+
+    #[test]
+    fn allocs_are_recorded() {
+        let s = Stmt::Alloc { name: Sym::new("tmp"), ty: DataType::F32, dims: vec![ib(8)], mem: Mem::VecAvx2 };
+        let eff = Effects::of_stmt(&s);
+        assert_eq!(eff.allocs, vec![Sym::new("tmp")]);
+    }
+
+    #[test]
+    fn accessors_filter_by_buffer() {
+        let eff = Effects::of_stmt(&gemv_loop());
+        assert_eq!(eff.accesses_to(&Sym::new("A")).len(), 1);
+        assert_eq!(eff.writes_to(&Sym::new("y")).len(), 1);
+        assert!(eff.touches(&Sym::new("x")));
+        assert!(!eff.touches(&Sym::new("z")));
+    }
+}

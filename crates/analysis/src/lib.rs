@@ -1,0 +1,44 @@
+//! # exo-analysis — the safety-analysis substrate
+//!
+//! Exo 2's scheduling primitives are *safe*: each one checks that the
+//! transformation preserves functional equivalence and raises a
+//! `SchedulingError` otherwise. The original implementation discharges
+//! these checks with an SMT solver; this reproduction uses a purpose-built,
+//! conservative symbolic engine instead (see `DESIGN.md` §1 for the
+//! substitution rationale):
+//!
+//! * [`LinExpr`] — affine normal forms over symbols, with non-affine
+//!   sub-expressions treated as opaque atoms,
+//! * [`Context`] — facts harvested from procedure assertions (divisibility,
+//!   bounds) and enclosing loop ranges,
+//! * [`Effects`] — read/write/reduce access sets of statements and blocks,
+//! * commutativity / dependence / idempotence / invariance checks used by
+//!   the primitives in `exo-core`,
+//! * [`infer_bounds`] — the per-buffer bounds inference that the paper's
+//!   Halide library builds in user space (§4),
+//! * [`simplify_expr`] — arithmetic simplification used by the `simplify`
+//!   primitive.
+//!
+//! The engine is conservative: it may fail to prove a safe transformation
+//! (raising a scheduling error), but within the modelled affine fragment it
+//! never accepts an unsafe one.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod bounds;
+mod checks;
+mod context;
+mod effects;
+mod linear;
+mod simplify;
+
+pub use bounds::{infer_bounds, BufferBounds};
+pub use checks::{
+    alloc_names, body_depends_on, buffers_written, is_idempotent, loop_is_parallelizable,
+    stmts_commute, writes_depend_on_iter,
+};
+pub use context::Context;
+pub use effects::{Access, Effects};
+pub use linear::{provably_equal, LinExpr};
+pub use simplify::{simplify_expr, simplify_predicate, simplify_with_binding};

@@ -1,0 +1,236 @@
+//! Affine (linear) normal forms for index expressions.
+
+use exo_ir::{BinOp, Expr, Sym, UnOp};
+use std::collections::BTreeMap;
+
+/// An atom of a linear expression: either a plain symbol or an opaque
+/// non-affine sub-expression (identified by its printed form, so
+/// structurally identical opaque terms combine).
+#[derive(Clone, PartialEq, Eq, PartialOrd, Ord, Debug, Hash)]
+pub enum Atom {
+    /// A symbol (size argument, loop iterator, scalar).
+    Var(Sym),
+    /// An opaque sub-expression (division, modulo, buffer read, ...),
+    /// keyed by its canonical textual form.
+    Opaque(String),
+}
+
+/// An affine expression: `constant + Σ coeff·atom`.
+///
+/// Non-affine sub-expressions (e.g. `i / 8`, `A[i]`) are folded into
+/// [`Atom::Opaque`] terms, so two syntactically identical opaque terms
+/// still cancel — enough to prove equalities such as
+/// `8*(i/8) + i%8 - (8*(i/8) + i%8) = 0`.
+#[derive(Clone, PartialEq, Eq, Debug, Default)]
+pub struct LinExpr {
+    /// Coefficients per atom (never zero).
+    pub terms: BTreeMap<Atom, i64>,
+    /// Constant offset.
+    pub constant: i64,
+}
+
+impl LinExpr {
+    /// The zero expression.
+    pub fn zero() -> Self {
+        LinExpr::default()
+    }
+
+    /// A constant expression.
+    pub fn constant(c: i64) -> Self {
+        LinExpr { terms: BTreeMap::new(), constant: c }
+    }
+
+    /// A single variable with coefficient 1.
+    pub fn var(sym: impl Into<Sym>) -> Self {
+        let mut terms = BTreeMap::new();
+        terms.insert(Atom::Var(sym.into()), 1);
+        LinExpr { terms, constant: 0 }
+    }
+
+    /// Builds the affine normal form of an expression. Always succeeds;
+    /// non-affine parts become opaque atoms.
+    pub fn from_expr(e: &Expr) -> Self {
+        match e {
+            Expr::Int(v) => LinExpr::constant(*v),
+            Expr::Bool(b) => LinExpr::constant(if *b { 1 } else { 0 }),
+            Expr::Var(s) => LinExpr::var(s.clone()),
+            Expr::Bin { op: BinOp::Add, lhs, rhs } => {
+                LinExpr::from_expr(lhs).add(&LinExpr::from_expr(rhs))
+            }
+            Expr::Bin { op: BinOp::Sub, lhs, rhs } => {
+                LinExpr::from_expr(lhs).add(&LinExpr::from_expr(rhs).scale(-1))
+            }
+            Expr::Bin { op: BinOp::Mul, lhs, rhs } => {
+                let l = LinExpr::from_expr(lhs);
+                let r = LinExpr::from_expr(rhs);
+                if let Some(c) = l.as_constant() {
+                    r.scale(c)
+                } else if let Some(c) = r.as_constant() {
+                    l.scale(c)
+                } else {
+                    LinExpr::opaque(e)
+                }
+            }
+            Expr::Un { op: UnOp::Neg, arg } => LinExpr::from_expr(arg).scale(-1),
+            other => LinExpr::opaque(other),
+        }
+    }
+
+    fn opaque(e: &Expr) -> Self {
+        let mut terms = BTreeMap::new();
+        terms.insert(Atom::Opaque(e.to_string()), 1);
+        LinExpr { terms, constant: 0 }
+    }
+
+    /// Sum of two linear expressions.
+    pub fn add(&self, other: &LinExpr) -> LinExpr {
+        let mut terms = self.terms.clone();
+        for (atom, coeff) in &other.terms {
+            let entry = terms.entry(atom.clone()).or_insert(0);
+            *entry += coeff;
+            if *entry == 0 {
+                terms.remove(atom);
+            }
+        }
+        LinExpr { terms, constant: self.constant + other.constant }
+    }
+
+    /// Difference `self - other`.
+    pub fn sub(&self, other: &LinExpr) -> LinExpr {
+        self.add(&other.scale(-1))
+    }
+
+    /// Scales every coefficient and the constant by `k`.
+    pub fn scale(&self, k: i64) -> LinExpr {
+        if k == 0 {
+            return LinExpr::zero();
+        }
+        LinExpr {
+            terms: self.terms.iter().map(|(a, c)| (a.clone(), c * k)).collect(),
+            constant: self.constant * k,
+        }
+    }
+
+    /// Returns the constant value if the expression has no terms.
+    pub fn as_constant(&self) -> Option<i64> {
+        if self.terms.is_empty() {
+            Some(self.constant)
+        } else {
+            None
+        }
+    }
+
+    /// The coefficient of a symbol (0 if absent).
+    pub fn coeff_of(&self, sym: &Sym) -> i64 {
+        self.terms.get(&Atom::Var(sym.clone())).copied().unwrap_or(0)
+    }
+
+    /// Whether the expression mentions the symbol (directly or inside an
+    /// opaque term).
+    pub fn mentions(&self, sym: &Sym) -> bool {
+        self.terms.keys().any(|a| match a {
+            Atom::Var(s) => s == sym,
+            Atom::Opaque(text) => {
+                // Word-boundary containment check over the printed form.
+                contains_ident(text, sym.name())
+            }
+        })
+    }
+
+    /// Whether the expression is syntactically zero.
+    pub fn is_zero(&self) -> bool {
+        self.terms.is_empty() && self.constant == 0
+    }
+
+    /// Whether every coefficient and the constant are divisible by `k`.
+    pub fn divisible_by(&self, k: i64) -> bool {
+        if k == 0 {
+            return false;
+        }
+        self.constant % k == 0 && self.terms.values().all(|c| c % k == 0)
+    }
+}
+
+/// Whether `text` contains `ident` as a whole identifier (not as a
+/// substring of a longer identifier).
+pub(crate) fn contains_ident(text: &str, ident: &str) -> bool {
+    let bytes = text.as_bytes();
+    let mut start = 0;
+    while let Some(pos) = text[start..].find(ident) {
+        let begin = start + pos;
+        let end = begin + ident.len();
+        let left_ok = begin == 0 || !(bytes[begin - 1].is_ascii_alphanumeric() || bytes[begin - 1] == b'_');
+        let right_ok = end == bytes.len() || !(bytes[end].is_ascii_alphanumeric() || bytes[end] == b'_');
+        if left_ok && right_ok {
+            return true;
+        }
+        start = begin + 1;
+    }
+    false
+}
+
+/// Whether two expressions are provably equal by affine normalization.
+pub fn provably_equal(a: &Expr, b: &Expr) -> bool {
+    LinExpr::from_expr(a).sub(&LinExpr::from_expr(b)).is_zero()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use exo_ir::{ib, read, var};
+
+    #[test]
+    fn normalizes_affine_arithmetic() {
+        // 8*io + ii + 1 - (ii + 8*io) == 1
+        let a = ib(8) * var("io") + var("ii") + ib(1);
+        let b = var("ii") + ib(8) * var("io");
+        let diff = LinExpr::from_expr(&a).sub(&LinExpr::from_expr(&b));
+        assert_eq!(diff.as_constant(), Some(1));
+    }
+
+    #[test]
+    fn constant_folding_through_scale() {
+        let e = (var("i") + ib(2)) * ib(3);
+        let lin = LinExpr::from_expr(&e);
+        assert_eq!(lin.coeff_of(&Sym::new("i")), 3);
+        assert_eq!(lin.constant, 6);
+    }
+
+    #[test]
+    fn opaque_terms_cancel_when_identical() {
+        let a = (var("i") / ib(8)) * ib(8) + var("i") % ib(8);
+        let b = (var("i") / ib(8)) * ib(8) + var("i") % ib(8);
+        assert!(provably_equal(&a, &b));
+        let c = (var("i") / ib(4)) * ib(8) + var("i") % ib(8);
+        assert!(!provably_equal(&a, &c));
+    }
+
+    #[test]
+    fn mentions_sees_into_opaque_atoms() {
+        let e = read("A", vec![var("i") / ib(8)]);
+        let lin = LinExpr::from_expr(&e);
+        assert!(lin.mentions(&Sym::new("i")));
+        assert!(!lin.mentions(&Sym::new("io")));
+        // `i` must not be found inside `io`.
+        let e2 = read("A", vec![var("io")]);
+        assert!(!LinExpr::from_expr(&e2).mentions(&Sym::new("i")));
+    }
+
+    #[test]
+    fn divisibility() {
+        let e = ib(8) * var("io") + ib(16);
+        assert!(LinExpr::from_expr(&e).divisible_by(8));
+        assert!(!LinExpr::from_expr(&e).divisible_by(3));
+        let e2 = ib(8) * var("io") + var("ii");
+        assert!(!LinExpr::from_expr(&e2).divisible_by(8));
+    }
+
+    #[test]
+    fn nonlinear_products_are_opaque() {
+        let e = var("i") * var("j");
+        let lin = LinExpr::from_expr(&e);
+        assert!(lin.as_constant().is_none());
+        assert!(lin.mentions(&Sym::new("i")));
+        assert!(lin.mentions(&Sym::new("j")));
+    }
+}

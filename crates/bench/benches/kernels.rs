@@ -1,0 +1,58 @@
+//! Criterion benches: wall-clock time of *scheduling* (the meta-program)
+//! and of *simulating* the scheduled kernels. One bench per evaluation
+//! family; the simulated-cycle figures themselves come from the `figures`
+//! binary.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use exo_cursors::ProcHandle;
+use exo_interp::{ArgValue, ProcRegistry};
+use exo_ir::DataType;
+use exo_kernels::{axpy, gemv, Precision};
+use exo_lib::{level1::optimize_level_1, level2::optimize_level_2_general};
+use exo_machine::{simulate, MachineModel};
+
+fn bench_scheduling(c: &mut Criterion) {
+    let machine = MachineModel::avx2();
+    c.bench_function("schedule_level1_axpy", |b| {
+        b.iter(|| {
+            let p = ProcHandle::new(axpy(Precision::Single));
+            let loop_ = p.find_loop("i").unwrap();
+            optimize_level_1(&p, &loop_, DataType::F32, &machine, 2).unwrap()
+        })
+    });
+    c.bench_function("schedule_level2_gemv", |b| {
+        b.iter(|| {
+            let p = ProcHandle::new(gemv(Precision::Single, false));
+            let outer = p.find_loop("i").unwrap();
+            optimize_level_2_general(&p, &outer, DataType::F32, &machine, 4, 2).unwrap()
+        })
+    });
+}
+
+fn bench_simulation(c: &mut Criterion) {
+    let machine = MachineModel::avx2();
+    let registry: ProcRegistry = machine.instructions(DataType::F32).into_iter().collect();
+    let p = ProcHandle::new(axpy(Precision::Single));
+    let loop_ = p.find_loop("i").unwrap();
+    let opt = optimize_level_1(&p, &loop_, DataType::F32, &machine, 2).unwrap();
+    c.bench_function("simulate_vectorized_axpy_1k", |b| {
+        b.iter(|| {
+            let n = 1024usize;
+            let (_, x) = ArgValue::from_vec(vec![1.0; n], vec![n], DataType::F32);
+            let (_, y) = ArgValue::from_vec(vec![2.0; n], vec![n], DataType::F32);
+            let (_, out) = ArgValue::zeros(vec![1], DataType::F32);
+            simulate(
+                opt.proc(),
+                &registry,
+                vec![ArgValue::Int(n as i64), ArgValue::Float(2.0), x, y, out],
+            )
+        })
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_scheduling, bench_simulation
+}
+criterion_main!(benches);

@@ -1,0 +1,22 @@
+//! Regenerates every table and figure of the paper's evaluation on the
+//! simulated machines. Run `cargo run -p exo-bench --bin figures` for all
+//! of them, or pass a figure id (`fig6a`, `fig6b`, `fig6c`, `fig8`,
+//! `fig9`, `fig13`, `fig14`..`fig19`) to print one.
+
+use exo_machine::MachineModel;
+
+fn main() {
+    let arg = std::env::args().nth(1).unwrap_or_else(|| "all".to_string());
+    let out = match arg.as_str() {
+        "fig6a" => exo_bench::fig6a(),
+        "fig6b" => exo_bench::fig6b(),
+        "fig6c" | "fig9" | "fig9a" | "fig9b" | "fig13c" => exo_bench::fig_loc_and_rewrites(),
+        "fig8" | "fig14" | "fig15" => exo_bench::fig_level1(&MachineModel::avx2()),
+        "fig16" => exo_bench::fig_level1(&MachineModel::avx512()),
+        "fig17" | "fig18" => exo_bench::fig_level2(&MachineModel::avx2()),
+        "fig19" => exo_bench::fig_level2(&MachineModel::avx512()),
+        "fig13" => exo_bench::fig13(),
+        _ => exo_bench::all_figures(),
+    };
+    println!("{out}");
+}

@@ -1,0 +1,266 @@
+//! Higher-order scheduling combinators (paper §3.4) and the ELEVATE-style
+//! reframing combinators (paper §6.3.1).
+//!
+//! An `Op` is a plain function `&ProcHandle -> Result<ProcHandle>` with any
+//! extra arguments captured by closure. A `cOp` ([`COp`]) additionally
+//! threads a cursor:
+//!
+//! ```text
+//! cOp = Proc × Cursor → Proc × Cursor
+//! ```
+//!
+//! [`lift`] turns an `Op` into a `cOp` (forwarding the cursor), and the
+//! combinators [`seq_ops`], [`repeat`], [`try_else`], [`reduce_op`],
+//! [`nav`], [`savec`] and [`reframe`] compose `cOp`s into new `cOp`s —
+//! exactly the definitions the paper gives in Python, translated to boxed
+//! closures.
+
+use crate::error::SchedError;
+use crate::Result;
+use exo_cursors::{Cursor, ProcHandle};
+use std::rc::Rc;
+
+/// A cursor-threading scheduling operation (the paper's `cOp`).
+pub type COp = Rc<dyn Fn(&ProcHandle, &Cursor) -> Result<(ProcHandle, Cursor)>>;
+
+/// Lifts an operation that only transforms the procedure into a [`COp`]
+/// by forwarding the cursor into the new procedure
+/// (`lift op = λ(p, c). (op(p), c)`).
+pub fn lift(op: impl Fn(&ProcHandle, &Cursor) -> Result<ProcHandle> + 'static) -> COp {
+    Rc::new(move |p, c| {
+        let p2 = op(p, c)?;
+        let c2 = p2.forward(c)?;
+        Ok((p2, c2))
+    })
+}
+
+/// Sequential composition: applies each operation in order, threading the
+/// procedure and cursor through (the paper's `seq`).
+pub fn seq_ops(ops: Vec<COp>) -> COp {
+    Rc::new(move |p, c| {
+        let mut p = p.clone();
+        let mut c = c.clone();
+        for op in &ops {
+            let (np, nc) = op(&p, &c)?;
+            p = np;
+            c = nc;
+        }
+        Ok((p, c))
+    })
+}
+
+/// Applies an operation repeatedly until it fails, returning the last
+/// successful state (the paper's `repeat`). Never fails itself.
+pub fn repeat(op: COp) -> COp {
+    Rc::new(move |p, c| {
+        let mut p = p.clone();
+        let mut c = c.clone();
+        loop {
+            match op(&p, &c) {
+                Ok((np, nc)) => {
+                    p = np;
+                    c = nc;
+                }
+                Err(_) => return Ok((p, c)),
+            }
+        }
+    })
+}
+
+/// Tries the first operation and falls back to the second on failure (the
+/// paper's `try_else`).
+pub fn try_else(op: COp, fallback: COp) -> COp {
+    Rc::new(move |p, c| op(p, c).or_else(|_| fallback(p, c)))
+}
+
+/// Applies an operation at every cursor produced by a traversal function
+/// (the paper's `reduce` combinator — renamed to avoid clashing with the
+/// object language's reduce statements).
+pub fn reduce_op(op: COp, traversal: impl Fn(&Cursor) -> Vec<Cursor> + 'static) -> COp {
+    Rc::new(move |p, c| {
+        let mut p = p.clone();
+        let mut last = c.clone();
+        for target in traversal(c) {
+            let fwd = p.forward(&target)?;
+            let (np, nc) = op(&p, &fwd)?;
+            p = np;
+            last = nc;
+        }
+        Ok((p, last))
+    })
+}
+
+/// Navigates the reference frame: applies `mv` to the (forwarded) cursor
+/// without changing the procedure (the paper's `nav`).
+pub fn nav(mv: impl Fn(&Cursor) -> Result<Cursor> + 'static) -> COp {
+    Rc::new(move |p, c| {
+        let fwd = p.forward(c)?;
+        let moved = mv(&fwd)?;
+        Ok((p.clone(), moved)
+        )
+    })
+}
+
+/// Runs an operation but restores the original cursor afterwards (the
+/// paper's `savec`), forwarding it into the resulting procedure.
+pub fn savec(op: COp) -> COp {
+    Rc::new(move |p, c| {
+        let (np, _) = op(p, c)?;
+        let restored = np.forward(c)?;
+        if restored.is_invalid() {
+            return Err(SchedError::Cursor(exo_cursors::CursorError::Invalid(
+                "saved cursor was invalidated by the inner operation".into(),
+            )));
+        }
+        Ok((np, restored))
+    })
+}
+
+/// `reframe(move, op) = savec(seq(nav(move), op))` — navigate somewhere,
+/// act there, then restore the frame of reference (the paper's linear-time
+/// reframing pattern, §6.3.1).
+pub fn reframe(mv: impl Fn(&Cursor) -> Result<Cursor> + 'static, op: COp) -> COp {
+    savec(seq_ops(vec![nav(mv), op]))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{lift_alloc, remove_loop, reorder_stmts, fission};
+    use exo_ir::{fb, ib, var, DataType, Mem, ProcBuilder};
+
+    fn nested_alloc() -> ProcHandle {
+        ProcHandle::new(
+            ProcBuilder::new("p")
+                .size_arg("n")
+                .tensor_arg("y", DataType::F32, vec![var("n")], Mem::Dram)
+                .for_("i", ib(0), var("n"), |b| {
+                    b.for_("j", ib(0), ib(4), |b| {
+                        b.for_("k", ib(0), ib(2), |b| {
+                            b.alloc("t", DataType::F32, vec![ib(8)], Mem::Dram);
+                            b.assign("t", vec![ib(0)], fb(1.0));
+                            b.assign("y", vec![var("i")], b.read("t", vec![ib(0)]));
+                        });
+                    });
+                })
+                .build(),
+        )
+    }
+
+    #[test]
+    fn repeat_lifts_an_allocation_as_far_as_possible() {
+        // The paper: seq(lift_alloc, lift_alloc) lifts twice,
+        // repeat(lift_alloc) lifts as much as possible.
+        let p = nested_alloc();
+        let alloc = p.find("t: _").unwrap();
+        let lift_once = lift(|p: &ProcHandle, c: &Cursor| lift_alloc(p, c, 1));
+        let (p2, _) = seq_ops(vec![lift_once.clone(), lift_once.clone()])(&p, &alloc).unwrap();
+        // After two lifts the alloc sits inside the i loop, before j.
+        let s = p2.to_string();
+        assert!(s.find("t: f32[8]").unwrap() < s.find("for j in").unwrap(), "{s}");
+        let (p3, _) = repeat(lift_once)(&p, &alloc).unwrap();
+        let s = p3.to_string();
+        assert!(s.find("t: f32[8]").unwrap() < s.find("for i in").unwrap(), "{s}");
+    }
+
+    #[test]
+    fn try_else_falls_back() {
+        let p = nested_alloc();
+        let alloc = p.find("t: _").unwrap();
+        let failing = lift(|_: &ProcHandle, _: &Cursor| {
+            Err(SchedError::scheduling("always fails"))
+        });
+        let succeeding = lift(|p: &ProcHandle, c: &Cursor| lift_alloc(p, c, 1));
+        let (p2, _) = try_else(failing, succeeding)(&p, &alloc).unwrap();
+        assert_ne!(p2.to_string(), p.to_string());
+    }
+
+    #[test]
+    fn statement_hoisting_schedule_from_the_paper() {
+        // Figure 5c: repeat(try_else(seq(fission_after, remove_parent_loop),
+        //                             reorder_before))
+        // hoists a statement to the top of the object program. We hoist a
+        // configuration write out of two loops.
+        let p = ProcHandle::new(
+            ProcBuilder::new("g")
+                .size_arg("n")
+                .tensor_arg("a", DataType::I8, vec![var("n")], Mem::Dram)
+                .for_("i", ib(0), var("n"), |b| {
+                    b.for_("j", ib(0), var("n"), |b| {
+                        b.write_config("cfg", "stride", ib(4));
+                        b.call("ld_data", vec![var("a")]);
+                    });
+                })
+                .build(),
+        );
+        let target = p.find("_ #2").unwrap(); // the write_config statement
+        assert_eq!(target.kind(), Some("write_config"));
+
+        let reorder_before = reframe(
+            |c: &Cursor| c.expand(1, 0).map_err(SchedError::from),
+            lift(|p: &ProcHandle, c: &Cursor| reorder_stmts(p, c)),
+        );
+        let fission_after = reframe(
+            |c: &Cursor| c.after().map_err(SchedError::from),
+            Rc::new(|p: &ProcHandle, c: &Cursor| {
+                let p2 = fission(p, c, 1)?;
+                let c2 = p2.forward(c)?;
+                Ok((p2, c2))
+            }),
+        );
+        let remove_parent_loop = reframe(
+            |c: &Cursor| c.parent().map_err(SchedError::from),
+            lift(|p: &ProcHandle, c: &Cursor| remove_loop(p, c)),
+        );
+        let hoist = repeat(try_else(
+            seq_ops(vec![fission_after, remove_parent_loop]),
+            reorder_before,
+        ));
+        let (p2, _) = hoist(&p, &target).unwrap();
+        let s = p2.to_string();
+        // The configuration write is now the first statement, outside both loops.
+        let cfg_pos = s.find("cfg.stride = 4").unwrap();
+        let loop_pos = s.find("for i in").unwrap();
+        assert!(cfg_pos < loop_pos, "{s}");
+        assert_eq!(s.matches("cfg.stride = 4").count(), 1, "{s}");
+    }
+
+    #[test]
+    fn savec_restores_the_reference_frame() {
+        let p = nested_alloc();
+        let alloc = p.find("t: _").unwrap();
+        let move_then_noop = reframe(
+            |c: &Cursor| c.next().map_err(SchedError::from),
+            lift(|p: &ProcHandle, _c: &Cursor| Ok(p.clone())),
+        );
+        let (_, c2) = move_then_noop(&p, &alloc).unwrap();
+        assert_eq!(c2.path(), alloc.path());
+    }
+
+    #[test]
+    fn reduce_op_applies_over_a_traversal() {
+        let p = nested_alloc();
+        let root = p.body()[0].clone();
+        // Count loops via a post-order traversal of cursors (the paper's lrn).
+        fn lrn(c: &Cursor) -> Vec<Cursor> {
+            let mut out = Vec::new();
+            for child in c.body() {
+                if child.is_loop() || child.is_if() {
+                    out.extend(lrn(&child));
+                }
+                out.push(child.clone());
+            }
+            out
+        }
+        let counted = std::rc::Rc::new(std::cell::RefCell::new(0usize));
+        let counted2 = counted.clone();
+        let count_loops = Rc::new(move |p: &ProcHandle, c: &Cursor| {
+            if c.is_loop() {
+                *counted2.borrow_mut() += 1;
+            }
+            Ok((p.clone(), c.clone()))
+        });
+        let (_, _) = reduce_op(count_loops, lrn)(&p, &root).unwrap();
+        assert_eq!(*counted.borrow(), 2); // j and k loops under the root i loop
+    }
+}

@@ -1,0 +1,78 @@
+//! Scheduling errors.
+
+use exo_cursors::CursorError;
+use std::fmt;
+
+/// Errors raised by scheduling primitives.
+///
+/// The paper (§3.3) distinguishes three user-facing error classes:
+/// `SchedulingError` (a transformation would not preserve functional
+/// equivalence), `InvalidCursorError` (bad navigation or reference), and
+/// internal compiler errors. The first two map to the variants below;
+/// internal errors are panics (they indicate bugs in this crate, not in
+/// user schedules).
+#[derive(Clone, PartialEq, Debug)]
+pub enum SchedError {
+    /// The transformation could not be proven to preserve functional
+    /// equivalence (or a structural precondition was violated).
+    Scheduling(String),
+    /// A cursor could not be resolved, navigated or forwarded.
+    Cursor(CursorError),
+}
+
+impl SchedError {
+    /// Constructs a scheduling error with the given message.
+    pub fn scheduling(msg: impl Into<String>) -> Self {
+        SchedError::Scheduling(msg.into())
+    }
+
+    /// Whether this is a `SchedulingError` (as opposed to a cursor error).
+    pub fn is_scheduling(&self) -> bool {
+        matches!(self, SchedError::Scheduling(_))
+    }
+
+    /// Whether this is an `InvalidCursorError`.
+    pub fn is_cursor(&self) -> bool {
+        matches!(self, SchedError::Cursor(_))
+    }
+}
+
+impl fmt::Display for SchedError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SchedError::Scheduling(msg) => write!(f, "scheduling error: {msg}"),
+            SchedError::Cursor(e) => write!(f, "cursor error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for SchedError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            SchedError::Cursor(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<CursorError> for SchedError {
+    fn from(e: CursorError) -> Self {
+        SchedError::Cursor(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn classification_and_display() {
+        let s = SchedError::scheduling("loop bound is not divisible by 8");
+        assert!(s.is_scheduling());
+        assert!(!s.is_cursor());
+        assert!(s.to_string().contains("divisible"));
+        let c: SchedError = CursorError::NotFound("for q in _: _".into()).into();
+        assert!(c.is_cursor());
+        assert!(c.to_string().contains("for q in _: _"));
+    }
+}

@@ -1,0 +1,628 @@
+//! Simplification primitives (paper Appendix A.6).
+
+use crate::error::SchedError;
+use crate::helpers::IntoCursor;
+use crate::{stats, Result};
+use exo_analysis::{provably_equal, simplify_expr, simplify_predicate, Context};
+use exo_cursors::{Cursor, CursorPath, ProcHandle, Rewrite};
+use exo_ir::{resolve_container, Expr, Step, Stmt, Sym, WAccess};
+
+fn simplify_stmt_exprs(stmt: &mut Stmt, ctx: &Context) {
+    let simp = |e: &mut Expr, ctx: &Context| *e = simplify_expr(e, ctx);
+    match stmt {
+        Stmt::Assign { idx, rhs, .. } | Stmt::Reduce { idx, rhs, .. } => {
+            for e in idx.iter_mut() {
+                simp(e, ctx);
+            }
+            simp(rhs, ctx);
+        }
+        Stmt::Alloc { dims, .. } => {
+            for e in dims.iter_mut() {
+                simp(e, ctx);
+            }
+        }
+        Stmt::For { iter, lo, hi, body, .. } => {
+            simp(lo, ctx);
+            simp(hi, ctx);
+            let mut inner = ctx.clone();
+            inner.push_iter(iter.clone(), lo.clone(), hi.clone());
+            for s in body.0.iter_mut() {
+                simplify_stmt_exprs(s, &inner);
+            }
+        }
+        Stmt::If { cond, then_body, else_body } => {
+            simp(cond, ctx);
+            for s in then_body.0.iter_mut().chain(else_body.0.iter_mut()) {
+                simplify_stmt_exprs(s, ctx);
+            }
+        }
+        Stmt::Call { args, .. } => {
+            for e in args.iter_mut() {
+                match e {
+                    Expr::Window { idx, .. } => {
+                        for w in idx.iter_mut() {
+                            match w {
+                                WAccess::Point(e) => simp(e, ctx),
+                                WAccess::Interval(lo, hi) => {
+                                    simp(lo, ctx);
+                                    simp(hi, ctx);
+                                }
+                            }
+                        }
+                    }
+                    other => simp(other, ctx),
+                }
+            }
+        }
+        Stmt::Pass => {}
+        Stmt::WriteConfig { value, .. } => simp(value, ctx),
+        Stmt::WindowStmt { rhs, .. } => simp(rhs, ctx),
+    }
+}
+
+/// Arithmetic simplification over the entire procedure (paper: `simplify`).
+///
+/// Simplification is expression-level and structure-preserving, so every
+/// existing cursor remains valid. Use [`eliminate_dead_code`] to remove
+/// provably dead branches and empty loops.
+pub fn simplify(p: &ProcHandle) -> Result<ProcHandle> {
+    let base_ctx = Context::from_proc(p.proc());
+    let mut rw = Rewrite::new(p);
+    let n = p.proc().body().len();
+    for i in 0..n {
+        let ctx = base_ctx.clone();
+        rw.modify_stmt(&[Step::Body(i)], |s| simplify_stmt_exprs(s, &ctx))?;
+    }
+    stats::record("simplify");
+    Ok(rw.commit())
+}
+
+/// Removes provably dead code at the cursor (paper: `eliminate_dead_code`):
+/// a loop whose range is provably empty becomes `pass`; an `if` whose
+/// condition is decidable is replaced by the taken branch.
+pub fn eliminate_dead_code(p: &ProcHandle, scope: impl IntoCursor) -> Result<ProcHandle> {
+    let c = scope.into_cursor(p)?;
+    let path = c
+        .path()
+        .stmt_path()
+        .ok_or_else(|| SchedError::scheduling("invalid cursor"))?
+        .to_vec();
+    let ctx = Context::at(p.proc(), &path);
+    let replacement = match c.stmt()? {
+        Stmt::For { lo, hi, .. } => {
+            let diff = Expr::bin(exo_ir::BinOp::Le, hi.clone(), lo.clone());
+            match simplify_predicate(&diff, &ctx) {
+                Some(true) => vec![Stmt::Pass],
+                _ => {
+                    return Err(SchedError::scheduling(format!(
+                        "cannot prove the loop over [{lo}, {hi}) is empty"
+                    )))
+                }
+            }
+        }
+        Stmt::If { cond, then_body, else_body } => match simplify_predicate(cond, &ctx) {
+            Some(true) => {
+                if then_body.is_empty() {
+                    vec![Stmt::Pass]
+                } else {
+                    then_body.0.clone()
+                }
+            }
+            Some(false) => {
+                if else_body.is_empty() {
+                    vec![Stmt::Pass]
+                } else {
+                    else_body.0.clone()
+                }
+            }
+            None => {
+                return Err(SchedError::scheduling(format!(
+                    "cannot decide the branch condition `{cond}`"
+                )))
+            }
+        },
+        other => {
+            return Err(SchedError::scheduling(format!(
+                "eliminate_dead_code requires a loop or if, found `{}`",
+                other.kind()
+            )))
+        }
+    };
+    let mut rw = Rewrite::new(p);
+    rw.replace(&path, 1, replacement)?;
+    stats::record("eliminate_dead_code");
+    Ok(rw.commit())
+}
+
+/// Replaces the expression at the cursor with an equivalent expression
+/// (paper: `rewrite_expr`). The equivalence must be provable by the affine
+/// engine.
+pub fn rewrite_expr(p: &ProcHandle, expr: &Cursor, new: Expr) -> Result<ProcHandle> {
+    let c = p.forward(expr)?;
+    let CursorPath::Node { stmt, expr: steps } = c.path().clone() else {
+        return Err(SchedError::scheduling("rewrite_expr requires an expression cursor"));
+    };
+    if steps.is_empty() {
+        return Err(SchedError::scheduling("rewrite_expr requires an expression cursor"));
+    }
+    let old = c.expr()?.clone();
+    let ctx = Context::at(p.proc(), &stmt);
+    let old_s = simplify_expr(&old, &ctx);
+    let new_s = simplify_expr(&new, &ctx);
+    if !(provably_equal(&old_s, &new_s) || old_s == new_s) {
+        return Err(SchedError::scheduling(format!(
+            "cannot prove `{old}` equal to `{new}`"
+        )));
+    }
+    let mut rw = Rewrite::new(p);
+    let mut replaced = false;
+    rw.modify_stmt(&stmt, |s| {
+        replaced = crate::rearrange::modify_expr_in_stmt(s, &steps, |e| *e = new.clone());
+    })?;
+    if !replaced {
+        return Err(SchedError::scheduling("expression path no longer resolves"));
+    }
+    stats::record("rewrite_expr");
+    Ok(rw.commit())
+}
+
+/// Merges two consecutive writes to the same destination into one
+/// (paper: `merge_writes`). The cursor addresses the first write.
+pub fn merge_writes(p: &ProcHandle, first: impl IntoCursor) -> Result<ProcHandle> {
+    let c = first.into_cursor(p)?;
+    let path = c
+        .path()
+        .stmt_path()
+        .ok_or_else(|| SchedError::scheduling("invalid cursor"))?
+        .to_vec();
+    let s1 = c.stmt()?.clone();
+    let s2 = c
+        .next()
+        .map_err(|_| SchedError::scheduling("merge_writes: no following statement"))?
+        .stmt()?
+        .clone();
+    let (buf1, idx1) = write_target(&s1)?;
+    let (buf2, idx2) = write_target(&s2)?;
+    if buf1 != buf2 || idx1.len() != idx2.len() || !idx1.iter().zip(idx2.iter()).all(|(a, b)| provably_equal(a, b)) {
+        return Err(SchedError::scheduling("merge_writes requires writes to the same destination"));
+    }
+    let rhs2_reads_dest = rhs_of(&s2).mentions(&buf1);
+    let merged = match (&s1, &s2) {
+        // x = e1; x = e2   =>  x = e2       (e2 must not read x)
+        (Stmt::Assign { .. }, Stmt::Assign { .. }) => {
+            if rhs2_reads_dest {
+                return Err(SchedError::scheduling("second write reads the destination"));
+            }
+            s2.clone()
+        }
+        // x += e1; x = e2  =>  x = e2       (e2 must not read x)
+        (Stmt::Reduce { .. }, Stmt::Assign { .. }) => {
+            if rhs2_reads_dest {
+                return Err(SchedError::scheduling("second write reads the destination"));
+            }
+            s2.clone()
+        }
+        // x = e1; x += e2  =>  x = e1 + e2  (e2 must not read x)
+        (Stmt::Assign { buf, idx, rhs: e1 }, Stmt::Reduce { rhs: e2, .. }) => {
+            if rhs2_reads_dest {
+                return Err(SchedError::scheduling("second write reads the destination"));
+            }
+            Stmt::Assign { buf: buf.clone(), idx: idx.clone(), rhs: e1.clone() + e2.clone() }
+        }
+        // x += e1; x += e2 => x += e1 + e2
+        (Stmt::Reduce { buf, idx, rhs: e1 }, Stmt::Reduce { rhs: e2, .. }) => {
+            if rhs2_reads_dest {
+                return Err(SchedError::scheduling("second write reads the destination"));
+            }
+            Stmt::Reduce { buf: buf.clone(), idx: idx.clone(), rhs: e1.clone() + e2.clone() }
+        }
+        _ => return Err(SchedError::scheduling("merge_writes requires two assign/reduce statements")),
+    };
+    let mut rw = Rewrite::new(p);
+    rw.replace(&path, 2, vec![merged])?;
+    stats::record("merge_writes");
+    Ok(rw.commit())
+}
+
+fn write_target(s: &Stmt) -> Result<(Sym, Vec<Expr>)> {
+    match s {
+        Stmt::Assign { buf, idx, .. } | Stmt::Reduce { buf, idx, .. } => Ok((buf.clone(), idx.clone())),
+        other => Err(SchedError::scheduling(format!(
+            "expected an assign or reduce, found `{}`",
+            other.kind()
+        ))),
+    }
+}
+
+fn rhs_of(s: &Stmt) -> &Expr {
+    match s {
+        Stmt::Assign { rhs, .. } | Stmt::Reduce { rhs, .. } => rhs,
+        _ => unreachable!("checked by write_target"),
+    }
+}
+
+/// Inlines a window alias declaration, substituting the underlying buffer
+/// (with the window offsets applied) into all later uses (paper:
+/// `inline_window`).
+pub fn inline_window(p: &ProcHandle, window: impl IntoCursor) -> Result<ProcHandle> {
+    let c = window.into_cursor(p)?;
+    let Stmt::WindowStmt { name, rhs } = c.stmt()?.clone() else {
+        return Err(SchedError::scheduling("inline_window requires a window statement"));
+    };
+    let Expr::Window { buf, idx } = rhs else {
+        return Err(SchedError::scheduling("window statement has a malformed right-hand side"));
+    };
+    let path = c.path().stmt_path().unwrap().to_vec();
+    let (_, alias_idx) = resolve_container(p.proc(), &path)
+        .ok_or_else(|| SchedError::scheduling("window scope no longer resolves"))?;
+    let container = path.clone();
+    let mut rw = Rewrite::new(p);
+    // Substitute in every following statement of the same block.
+    let len = {
+        let (block, _) = resolve_container(rw.proc(), &container).unwrap();
+        block.len()
+    };
+    for i in (alias_idx + 1)..len {
+        let mut spath = container.clone();
+        let last = *spath.last().unwrap();
+        *spath.last_mut().unwrap() = last.with_index(i);
+        let name2 = name.clone();
+        let buf2 = buf.clone();
+        let spec = idx.clone();
+        rw.modify_stmt(&spath, move |s| {
+            substitute_window_alias(s, &name2, &buf2, &spec);
+        })?;
+    }
+    rw.delete(&path, 1)?;
+    stats::record("inline_window");
+    Ok(rw.commit())
+}
+
+fn substitute_window_alias(stmt: &mut Stmt, alias: &Sym, buf: &Sym, spec: &[WAccess]) {
+    // Translate an alias index vector into the underlying buffer's indices.
+    let translate = |idx: Vec<Expr>| -> Vec<Expr> {
+        let mut out = Vec::new();
+        let mut k = 0usize;
+        for w in spec {
+            match w {
+                WAccess::Point(e) => out.push(e.clone()),
+                WAccess::Interval(lo, _) => {
+                    let local = idx.get(k).cloned().unwrap_or(exo_ir::ib(0));
+                    out.push(lo.clone() + local);
+                    k += 1;
+                }
+            }
+        }
+        out
+    };
+    fn walk(stmt: &mut Stmt, alias: &Sym, buf: &Sym, translate: &dyn Fn(Vec<Expr>) -> Vec<Expr>) {
+        fn walk_expr(e: &mut Expr, alias: &Sym, buf: &Sym, translate: &dyn Fn(Vec<Expr>) -> Vec<Expr>) {
+            match e {
+                Expr::Read { buf: b, idx } => {
+                    for i in idx.iter_mut() {
+                        walk_expr(i, alias, buf, translate);
+                    }
+                    if b == alias {
+                        *b = buf.clone();
+                        *idx = translate(std::mem::take(idx));
+                    }
+                }
+                Expr::Bin { lhs, rhs, .. } => {
+                    walk_expr(lhs, alias, buf, translate);
+                    walk_expr(rhs, alias, buf, translate);
+                }
+                Expr::Un { arg, .. } => walk_expr(arg, alias, buf, translate),
+                _ => {}
+            }
+        }
+        match stmt {
+            Stmt::Assign { buf: b, idx, rhs } | Stmt::Reduce { buf: b, idx, rhs } => {
+                walk_expr(rhs, alias, buf, translate);
+                for i in idx.iter_mut() {
+                    walk_expr(i, alias, buf, translate);
+                }
+                if b == alias {
+                    *b = buf.clone();
+                    *idx = translate(std::mem::take(idx));
+                }
+            }
+            Stmt::For { body, .. } => {
+                for s in body.0.iter_mut() {
+                    walk(s, alias, buf, translate);
+                }
+            }
+            Stmt::If { then_body, else_body, .. } => {
+                for s in then_body.0.iter_mut().chain(else_body.0.iter_mut()) {
+                    walk(s, alias, buf, translate);
+                }
+            }
+            Stmt::Call { args, .. } => {
+                for a in args.iter_mut() {
+                    walk_expr(a, alias, buf, translate);
+                }
+            }
+            _ => {}
+        }
+    }
+    walk(stmt, alias, buf, &translate);
+}
+
+/// Substitutes a scalar assignment into all later statements of its block
+/// and removes the assignment (paper: `inline_assign`).
+pub fn inline_assign(p: &ProcHandle, assign: impl IntoCursor) -> Result<ProcHandle> {
+    let c = assign.into_cursor(p)?;
+    let Stmt::Assign { buf, idx, rhs } = c.stmt()?.clone() else {
+        return Err(SchedError::scheduling("inline_assign requires an assignment"));
+    };
+    if !idx.is_empty() {
+        return Err(SchedError::scheduling("inline_assign requires a scalar destination"));
+    }
+    let path = c.path().stmt_path().unwrap().to_vec();
+    let start = path.last().unwrap().index();
+    let container = path.clone();
+    // The destination must not be written again afterwards in its scope.
+    let (block, _) = resolve_container(p.proc(), &container)
+        .ok_or_else(|| SchedError::scheduling("scope no longer resolves"))?;
+    for later in block.iter().skip(start + 1) {
+        let eff = exo_analysis::Effects::of_stmt(later);
+        if eff.buffers_written().contains(&buf) {
+            return Err(SchedError::scheduling(format!(
+                "`{buf}` is written again later; cannot inline the assignment"
+            )));
+        }
+    }
+    let len = block.len();
+    let mut rw = Rewrite::new(p);
+    for i in (start + 1)..len {
+        let mut spath = container.clone();
+        let last = *spath.last().unwrap();
+        *spath.last_mut().unwrap() = last.with_index(i);
+        let buf2 = buf.clone();
+        let rhs2 = rhs.clone();
+        rw.modify_stmt(&spath, move |s| {
+            *s = replace_scalar_reads(s.clone(), &buf2, &rhs2);
+        })?;
+    }
+    rw.delete(&path, 1)?;
+    stats::record("inline_assign");
+    Ok(rw.commit())
+}
+
+fn replace_scalar_reads(stmt: Stmt, buf: &Sym, value: &Expr) -> Stmt {
+    fn fix(e: Expr, buf: &Sym, value: &Expr) -> Expr {
+        match e {
+            Expr::Read { buf: b, idx } if &b == buf && idx.is_empty() => value.clone(),
+            Expr::Read { buf: b, idx } => {
+                Expr::Read { buf: b, idx: idx.into_iter().map(|i| fix(i, buf, value)).collect() }
+            }
+            Expr::Var(ref s) if s == buf => value.clone(),
+            Expr::Bin { op, lhs, rhs } => Expr::Bin {
+                op,
+                lhs: Box::new(fix(*lhs, buf, value)),
+                rhs: Box::new(fix(*rhs, buf, value)),
+            },
+            Expr::Un { op, arg } => Expr::Un { op, arg: Box::new(fix(*arg, buf, value)) },
+            other => other,
+        }
+    }
+    match stmt {
+        Stmt::Assign { buf: b, idx, rhs } => Stmt::Assign {
+            buf: b,
+            idx: idx.into_iter().map(|i| fix(i, buf, value)).collect(),
+            rhs: fix(rhs, buf, value),
+        },
+        Stmt::Reduce { buf: b, idx, rhs } => Stmt::Reduce {
+            buf: b,
+            idx: idx.into_iter().map(|i| fix(i, buf, value)).collect(),
+            rhs: fix(rhs, buf, value),
+        },
+        Stmt::For { iter, lo, hi, body, parallel } => Stmt::For {
+            iter,
+            lo: fix(lo, buf, value),
+            hi: fix(hi, buf, value),
+            body: exo_ir::Block(body.0.into_iter().map(|s| replace_scalar_reads(s, buf, value)).collect()),
+            parallel,
+        },
+        Stmt::If { cond, then_body, else_body } => Stmt::If {
+            cond: fix(cond, buf, value),
+            then_body: exo_ir::Block(
+                then_body.0.into_iter().map(|s| replace_scalar_reads(s, buf, value)).collect(),
+            ),
+            else_body: exo_ir::Block(
+                else_body.0.into_iter().map(|s| replace_scalar_reads(s, buf, value)).collect(),
+            ),
+        },
+        Stmt::Call { proc, args } => Stmt::Call {
+            proc,
+            args: args.into_iter().map(|a| fix(a, buf, value)).collect(),
+        },
+        other => other,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use exo_ir::{fb, ib, read, var, DataType, Mem, ProcBuilder};
+
+    #[test]
+    fn simplify_folds_index_arithmetic() {
+        let p = ProcHandle::new(
+            ProcBuilder::new("k")
+                .size_arg("n")
+                .tensor_arg("x", DataType::F32, vec![var("n")], Mem::Dram)
+                .assert_(Expr::eq_(Expr::modulo(var("n"), ib(8)), ib(0)))
+                .for_("io", ib(0), var("n") / ib(8), |b| {
+                    b.for_("ii", ib(0), ib(8), |b| {
+                        b.assign(
+                            "x",
+                            vec![(ib(8) * var("io") + var("ii")) / ib(8) * ib(8)
+                                + (ib(8) * var("io") + var("ii")) % ib(8)],
+                            fb(0.0) + fb(1.0) * fb(1.0),
+                        );
+                    });
+                })
+                .build(),
+        );
+        let p2 = simplify(&p).unwrap();
+        let s = p2.to_string();
+        assert!(s.contains("x[8 * io + ii]") || s.contains("x[ii + (8 * io)]") || s.contains("x[ii + 8 * io]"), "{s}");
+        assert!(s.contains("= 1.0"), "{s}");
+    }
+
+    #[test]
+    fn eliminate_dead_code_removes_decided_branches() {
+        let p = ProcHandle::new(
+            ProcBuilder::new("k")
+                .size_arg("n")
+                .tensor_arg("x", DataType::F32, vec![var("n")], Mem::Dram)
+                .assert_(Expr::le(var("n"), ib(16)))
+                .for_("i", ib(0), var("n"), |b| {
+                    b.if_else(
+                        Expr::lt(var("i"), ib(100)),
+                        |t| {
+                            t.assign("x", vec![var("i")], fb(1.0));
+                        },
+                        |e| {
+                            e.assign("x", vec![var("i")], fb(2.0));
+                        },
+                    );
+                })
+                .build(),
+        );
+        let c = p.find("if _: _").unwrap();
+        let p2 = eliminate_dead_code(&p, &c).unwrap();
+        let s = p2.to_string();
+        assert!(!s.contains("if"), "{s}");
+        assert!(s.contains("x[i] = 1.0"), "{s}");
+        assert!(!s.contains("x[i] = 2.0"), "{s}");
+        // An undecidable branch is rejected.
+        let p3 = ProcHandle::new(
+            ProcBuilder::new("k")
+                .size_arg("n")
+                .tensor_arg("x", DataType::F32, vec![var("n")], Mem::Dram)
+                .for_("i", ib(0), var("n"), |b| {
+                    b.if_(Expr::lt(var("i"), var("n") / ib(2)), |t| {
+                        t.assign("x", vec![var("i")], fb(1.0));
+                    });
+                })
+                .build(),
+        );
+        let c = p3.find("if _: _").unwrap();
+        assert!(eliminate_dead_code(&p3, &c).is_err());
+        // An empty loop is removed.
+        let p4 = ProcHandle::new(
+            ProcBuilder::new("k")
+                .tensor_arg("x", DataType::F32, vec![ib(4)], Mem::Dram)
+                .for_("i", ib(0), ib(0), |b| {
+                    b.assign("x", vec![var("i")], fb(1.0));
+                })
+                .build(),
+        );
+        let p5 = eliminate_dead_code(&p4, "i").unwrap();
+        assert_eq!(p5.proc().body()[0].kind(), "pass");
+    }
+
+    #[test]
+    fn rewrite_expr_requires_provable_equality() {
+        let p = ProcHandle::new(
+            ProcBuilder::new("k")
+                .size_arg("n")
+                .tensor_arg("x", DataType::F32, vec![var("n")], Mem::Dram)
+                .for_("i", ib(0), var("n"), |b| {
+                    b.assign("x", vec![var("i") + var("i")], fb(1.0));
+                })
+                .build(),
+        );
+        let assign = p.find("x = _").unwrap();
+        let idx_cursor = p.cursor_at(exo_cursors::CursorPath::Node {
+            stmt: assign.path().stmt_path().unwrap().to_vec(),
+            expr: vec![exo_ir::ExprStep::Idx(0)],
+        });
+        let p2 = rewrite_expr(&p, &idx_cursor, ib(2) * var("i")).unwrap();
+        assert!(p2.to_string().contains("x[2 * i]"));
+        assert!(rewrite_expr(&p, &idx_cursor, ib(3) * var("i")).is_err());
+    }
+
+    #[test]
+    fn merge_writes_all_four_cases() {
+        let build = |first: Stmt, second: Stmt| {
+            ProcHandle::new(
+                ProcBuilder::new("k")
+                    .tensor_arg("x", DataType::F32, vec![ib(4)], Mem::Dram)
+                    .scalar_arg("a", DataType::F32)
+                    .scalar_arg("b", DataType::F32)
+                    .stmt(first)
+                    .stmt(second)
+                    .build(),
+            )
+        };
+        let assign = |rhs: Expr| Stmt::Assign { buf: Sym::new("x"), idx: vec![ib(0)], rhs };
+        let reduce = |rhs: Expr| Stmt::Reduce { buf: Sym::new("x"), idx: vec![ib(0)], rhs };
+        // assign; reduce -> assign(a + b)
+        let p = build(assign(var("a")), reduce(var("b")));
+        let p2 = merge_writes(&p, &p.body()[0]).unwrap();
+        assert!(p2.to_string().contains("x[0] = a + b"));
+        // reduce; reduce -> reduce(a + b)
+        let p = build(reduce(var("a")), reduce(var("b")));
+        let p2 = merge_writes(&p, &p.body()[0]).unwrap();
+        assert!(p2.to_string().contains("x[0] += a + b"));
+        // assign; assign -> second assign
+        let p = build(assign(var("a")), assign(var("b")));
+        let p2 = merge_writes(&p, &p.body()[0]).unwrap();
+        assert!(p2.to_string().contains("x[0] = b"));
+        assert!(!p2.to_string().contains("x[0] = a\n"));
+        // reduce; assign -> assign
+        let p = build(reduce(var("a")), assign(var("b")));
+        let p2 = merge_writes(&p, &p.body()[0]).unwrap();
+        assert_eq!(p2.proc().body().len(), 1);
+        // Second write reading the destination is rejected.
+        let p = build(assign(var("a")), assign(read("x", vec![ib(0)]) + var("b")));
+        assert!(merge_writes(&p, &p.body()[0]).is_err());
+    }
+
+    #[test]
+    fn inline_assign_substitutes_scalar_temporaries() {
+        let p = ProcHandle::new(
+            ProcBuilder::new("k")
+                .tensor_arg("y", DataType::F32, vec![ib(4)], Mem::Dram)
+                .with_body(|b| {
+                    b.alloc("t", DataType::F32, vec![], Mem::Dram);
+                    b.assign("t", vec![], fb(3.0));
+                    b.assign("y", vec![ib(0)], read("t", vec![]) * fb(2.0));
+                })
+                .build(),
+        );
+        let p2 = inline_assign(&p, "t = _").unwrap();
+        let s = p2.to_string();
+        assert!(s.contains("y[0] = 3.0 * 2.0") || s.contains("y[0] = 6.0"), "{s}");
+        assert!(!s.contains("t ="), "{s}");
+    }
+
+    #[test]
+    fn inline_window_substitutes_alias_accesses() {
+        let p = ProcHandle::new(
+            ProcBuilder::new("k")
+                .tensor_arg("A", DataType::F32, vec![ib(8), ib(8)], Mem::Dram)
+                .tensor_arg("y", DataType::F32, vec![ib(4)], Mem::Dram)
+                .with_body(|b| {
+                    b.push(Stmt::WindowStmt {
+                        name: Sym::new("w"),
+                        rhs: Expr::Window {
+                            buf: Sym::new("A"),
+                            idx: vec![WAccess::Point(ib(2)), WAccess::Interval(ib(4), ib(8))],
+                        },
+                    });
+                    b.for_("i", ib(0), ib(4), |b| {
+                        b.assign("y", vec![var("i")], read("w", vec![var("i")]));
+                    });
+                })
+                .build(),
+        );
+        let c = p.body()[0].clone();
+        let p2 = inline_window(&p, &c).unwrap();
+        let s = p2.to_string();
+        assert!(s.contains("A[2, 4 + i]"), "{s}");
+        assert!(!s.contains("w ="), "{s}");
+    }
+}

@@ -1,0 +1,525 @@
+//! The [`Cursor`] type: navigation and inspection of object code.
+
+use crate::error::CursorError;
+use crate::version::{CursorPath, ProcHandle};
+use crate::Result;
+use exo_ir::{resolve_container, resolve_expr, resolve_stmt, Expr, ExprStep, Mem, Step, Stmt, Sym};
+
+/// A reference into a specific version of a procedure.
+///
+/// A cursor stores a *time coordinate* (the procedure version it was
+/// created against) and a *spatial coordinate* (a [`CursorPath`]). Cursors
+/// may point at a single statement, an expression within a statement, a
+/// contiguous block of statements, or a gap between statements — mirroring
+/// §5.2 of the paper.
+///
+/// Cursors are cheap to clone and never dangle: navigating somewhere that
+/// does not exist returns [`CursorError::Invalid`], and transformations
+/// that delete the referenced code forward the cursor to an invalid cursor
+/// rather than leaving it pointing at stale data.
+#[derive(Clone, Debug)]
+pub struct Cursor {
+    home: ProcHandle,
+    path: CursorPath,
+}
+
+impl Cursor {
+    pub(crate) fn new(home: ProcHandle, path: CursorPath) -> Self {
+        Cursor { home, path }
+    }
+
+    /// The version id this cursor is bound to.
+    pub fn version_id(&self) -> u64 {
+        self.home.version_id()
+    }
+
+    /// The procedure version this cursor points into (the paper's
+    /// `c.proc()`).
+    pub fn proc(&self) -> &ProcHandle {
+        &self.home
+    }
+
+    /// The cursor's spatial coordinate.
+    pub fn path(&self) -> &CursorPath {
+        &self.path
+    }
+
+    /// Whether the cursor has been invalidated.
+    pub fn is_invalid(&self) -> bool {
+        self.path.is_invalid()
+    }
+
+    /// An invalid cursor bound to the same version.
+    pub fn invalid(&self) -> Cursor {
+        Cursor::new(self.home.clone(), CursorPath::Invalid)
+    }
+
+    // ----------------------------------------------------------------
+    // Resolution
+    // ----------------------------------------------------------------
+
+    /// Resolves the cursor to the statement it points at.
+    ///
+    /// # Errors
+    /// Returns [`CursorError::Invalid`] for invalid cursors, gap cursors,
+    /// and paths that no longer resolve.
+    pub fn stmt(&self) -> Result<&Stmt> {
+        match &self.path {
+            CursorPath::Node { stmt, .. } | CursorPath::Block { stmt, .. } => {
+                resolve_stmt(self.home.proc(), stmt)
+                    .ok_or_else(|| CursorError::Invalid("path does not resolve".into()))
+            }
+            CursorPath::Gap { .. } => Err(CursorError::Invalid("gap cursor has no statement".into())),
+            CursorPath::Invalid => Err(CursorError::Invalid("cursor was invalidated".into())),
+        }
+    }
+
+    /// Resolves the cursor to the statements it spans (one statement for a
+    /// node cursor, `len` statements for a block cursor).
+    pub fn stmts(&self) -> Result<Vec<&Stmt>> {
+        match &self.path {
+            CursorPath::Node { stmt, .. } => Ok(vec![resolve_stmt(self.home.proc(), stmt)
+                .ok_or_else(|| CursorError::Invalid("path does not resolve".into()))?]),
+            CursorPath::Block { stmt, len } => {
+                let (block, idx) = resolve_container(self.home.proc(), stmt)
+                    .ok_or_else(|| CursorError::Invalid("path does not resolve".into()))?;
+                if idx + len > block.len() {
+                    return Err(CursorError::Invalid("block extends past its container".into()));
+                }
+                Ok((idx..idx + len).map(|i| &block[i]).collect())
+            }
+            _ => Err(CursorError::Invalid("cursor does not span statements".into())),
+        }
+    }
+
+    /// Resolves the cursor to the expression it points at (only for
+    /// expression cursors produced by [`Cursor::rhs`] and friends).
+    pub fn expr(&self) -> Result<&Expr> {
+        match &self.path {
+            CursorPath::Node { stmt, expr } if !expr.is_empty() => {
+                resolve_expr(self.home.proc(), stmt, expr)
+                    .ok_or_else(|| CursorError::Invalid("expression path does not resolve".into()))
+            }
+            _ => Err(CursorError::Invalid("not an expression cursor".into())),
+        }
+    }
+
+    // ----------------------------------------------------------------
+    // Navigation (spatial reference frame)
+    // ----------------------------------------------------------------
+
+    /// The parent statement (the enclosing loop or branch).
+    ///
+    /// # Errors
+    /// Invalid when the cursor already points at a top-level statement
+    /// (paper §5.2).
+    pub fn parent(&self) -> Result<Cursor> {
+        let stmt = self
+            .path
+            .stmt_path()
+            .ok_or_else(|| CursorError::Invalid("cursor was invalidated".into()))?;
+        if stmt.len() <= 1 {
+            return Err(CursorError::Invalid("top-level statement has no parent".into()));
+        }
+        let parent = stmt[..stmt.len() - 1].to_vec();
+        Ok(Cursor::new(self.home.clone(), CursorPath::stmt(parent)))
+    }
+
+    /// The next statement in the same block.
+    pub fn next(&self) -> Result<Cursor> {
+        self.sibling(1)
+    }
+
+    /// The previous statement in the same block.
+    pub fn prev(&self) -> Result<Cursor> {
+        self.sibling(-1)
+    }
+
+    fn sibling(&self, delta: isize) -> Result<Cursor> {
+        let stmt = self
+            .path
+            .stmt_path()
+            .ok_or_else(|| CursorError::Invalid("cursor was invalidated".into()))?;
+        let last = *stmt.last().ok_or_else(|| CursorError::Invalid("empty path".into()))?;
+        let idx = last.index() as isize + delta;
+        if idx < 0 {
+            return Err(CursorError::Invalid("no previous statement".into()));
+        }
+        let mut new_path = stmt.to_vec();
+        *new_path.last_mut().unwrap() = last.with_index(idx as usize);
+        let cursor = Cursor::new(self.home.clone(), CursorPath::stmt(new_path));
+        // Check the sibling actually exists.
+        cursor.stmt().map_err(|_| CursorError::Invalid("no such sibling statement".into()))?;
+        Ok(cursor)
+    }
+
+    /// A gap cursor immediately before this statement.
+    pub fn before(&self) -> Result<Cursor> {
+        let stmt = self
+            .path
+            .stmt_path()
+            .ok_or_else(|| CursorError::Invalid("cursor was invalidated".into()))?;
+        Ok(Cursor::new(self.home.clone(), CursorPath::Gap { stmt: stmt.to_vec() }))
+    }
+
+    /// A gap cursor immediately after this statement (after the full block
+    /// for block cursors).
+    pub fn after(&self) -> Result<Cursor> {
+        match &self.path {
+            CursorPath::Node { stmt, .. } => {
+                let mut p = stmt.clone();
+                let last = *p.last().ok_or_else(|| CursorError::Invalid("empty path".into()))?;
+                *p.last_mut().unwrap() = last.with_index(last.index() + 1);
+                Ok(Cursor::new(self.home.clone(), CursorPath::Gap { stmt: p }))
+            }
+            CursorPath::Block { stmt, len } => {
+                let mut p = stmt.clone();
+                let last = *p.last().ok_or_else(|| CursorError::Invalid("empty path".into()))?;
+                *p.last_mut().unwrap() = last.with_index(last.index() + len);
+                Ok(Cursor::new(self.home.clone(), CursorPath::Gap { stmt: p }))
+            }
+            _ => Err(CursorError::Invalid("cursor has no after-gap".into())),
+        }
+    }
+
+    /// Cursors to each statement in this statement's first child block
+    /// (a loop's body or an `if`'s then-branch).
+    ///
+    /// Returns an empty vector for statements without bodies.
+    pub fn body(&self) -> Vec<Cursor> {
+        let Some(stmt_path) = self.path.stmt_path() else { return Vec::new() };
+        let Some(stmt) = resolve_stmt(self.home.proc(), stmt_path) else { return Vec::new() };
+        let n = match stmt {
+            Stmt::For { body, .. } => body.len(),
+            Stmt::If { then_body, .. } => then_body.len(),
+            _ => 0,
+        };
+        (0..n)
+            .map(|i| {
+                let mut p = stmt_path.to_vec();
+                p.push(Step::Body(i));
+                Cursor::new(self.home.clone(), CursorPath::stmt(p))
+            })
+            .collect()
+    }
+
+    /// A block cursor covering this statement's entire first child block.
+    pub fn body_block(&self) -> Result<Cursor> {
+        let stmt_path = self
+            .path
+            .stmt_path()
+            .ok_or_else(|| CursorError::Invalid("cursor was invalidated".into()))?;
+        let stmt = self.stmt()?;
+        let n = match stmt {
+            Stmt::For { body, .. } => body.len(),
+            Stmt::If { then_body, .. } => then_body.len(),
+            _ => return Err(CursorError::Invalid("statement has no body".into())),
+        };
+        let mut p = stmt_path.to_vec();
+        p.push(Step::Body(0));
+        Ok(Cursor::new(self.home.clone(), CursorPath::Block { stmt: p, len: n.max(1) }))
+    }
+
+    /// Cursors to each statement in an `if` statement's else-branch.
+    pub fn orelse(&self) -> Vec<Cursor> {
+        let Some(stmt_path) = self.path.stmt_path() else { return Vec::new() };
+        let Some(Stmt::If { else_body, .. }) = resolve_stmt(self.home.proc(), stmt_path) else {
+            return Vec::new();
+        };
+        (0..else_body.len())
+            .map(|i| {
+                let mut p = stmt_path.to_vec();
+                p.push(Step::Else(i));
+                Cursor::new(self.home.clone(), CursorPath::stmt(p))
+            })
+            .collect()
+    }
+
+    /// Expands a node or block cursor into a block cursor that additionally
+    /// covers `before` statements before it and `after` statements after it
+    /// (the paper's `c.expand(1, 0)`).
+    pub fn expand(&self, before: usize, after: usize) -> Result<Cursor> {
+        let (stmt, len) = match &self.path {
+            CursorPath::Node { stmt, .. } => (stmt.clone(), 1),
+            CursorPath::Block { stmt, len } => (stmt.clone(), *len),
+            _ => return Err(CursorError::Invalid("cannot expand this cursor".into())),
+        };
+        let last = *stmt.last().ok_or_else(|| CursorError::Invalid("empty path".into()))?;
+        let idx = last.index();
+        if idx < before {
+            return Err(CursorError::Invalid("expansion reaches before the block start".into()));
+        }
+        let (block, _) = resolve_container(self.home.proc(), &stmt)
+            .ok_or_else(|| CursorError::Invalid("path does not resolve".into()))?;
+        if idx + len + after > block.len() {
+            return Err(CursorError::Invalid("expansion reaches past the block end".into()));
+        }
+        let mut p = stmt;
+        *p.last_mut().unwrap() = last.with_index(idx - before);
+        Ok(Cursor::new(
+            self.home.clone(),
+            CursorPath::Block { stmt: p, len: len + before + after },
+        ))
+    }
+
+    /// Restricts a `find` to the sub-AST rooted at this cursor
+    /// (`cursor.find(...)` in the paper). See [`ProcHandle::find`].
+    pub fn find(&self, pattern: &str) -> Result<Cursor> {
+        let matches = self.find_all(pattern)?;
+        matches
+            .into_iter()
+            .next()
+            .ok_or_else(|| CursorError::NotFound(pattern.to_string()))
+    }
+
+    /// All matches of `pattern` within the sub-AST rooted at this cursor.
+    pub fn find_all(&self, pattern: &str) -> Result<Vec<Cursor>> {
+        let root = self
+            .path
+            .stmt_path()
+            .ok_or_else(|| CursorError::Invalid("cursor was invalidated".into()))?
+            .to_vec();
+        crate::find::find_in(&self.home, Some(root), pattern)
+    }
+
+    // ----------------------------------------------------------------
+    // Inspection (type reflection, §4)
+    // ----------------------------------------------------------------
+
+    /// The statement kind (`"for"`, `"assign"`, ...), if resolvable.
+    pub fn kind(&self) -> Option<&'static str> {
+        self.stmt().ok().map(|s| s.kind())
+    }
+
+    /// Whether this cursor points at a `for` loop.
+    pub fn is_loop(&self) -> bool {
+        matches!(self.stmt(), Ok(Stmt::For { .. }))
+    }
+
+    /// Whether this cursor points at an `if`.
+    pub fn is_if(&self) -> bool {
+        matches!(self.stmt(), Ok(Stmt::If { .. }))
+    }
+
+    /// Whether this cursor points at an allocation.
+    pub fn is_alloc(&self) -> bool {
+        matches!(self.stmt(), Ok(Stmt::Alloc { .. }))
+    }
+
+    /// The loop iterator name, for loop cursors.
+    pub fn loop_iter_name(&self) -> Option<String> {
+        match self.stmt() {
+            Ok(Stmt::For { iter, .. }) => Some(iter.name().to_string()),
+            _ => None,
+        }
+    }
+
+    /// The "name" of the statement: loop iterator for loops, destination
+    /// buffer for assigns/reduces, buffer name for allocations, callee for
+    /// calls.
+    pub fn name(&self) -> Option<String> {
+        match self.stmt() {
+            Ok(Stmt::For { iter, .. }) => Some(iter.name().to_string()),
+            Ok(Stmt::Assign { buf, .. }) | Ok(Stmt::Reduce { buf, .. }) => {
+                Some(buf.name().to_string())
+            }
+            Ok(Stmt::Alloc { name, .. }) | Ok(Stmt::WindowStmt { name, .. }) => {
+                Some(name.name().to_string())
+            }
+            Ok(Stmt::Call { proc, .. }) => Some(proc.clone()),
+            _ => None,
+        }
+    }
+
+    /// The loop lower bound, for loop cursors.
+    pub fn lo(&self) -> Option<Expr> {
+        match self.stmt() {
+            Ok(Stmt::For { lo, .. }) => Some(lo.clone()),
+            _ => None,
+        }
+    }
+
+    /// The loop upper bound, for loop cursors.
+    pub fn hi(&self) -> Option<Expr> {
+        match self.stmt() {
+            Ok(Stmt::For { hi, .. }) => Some(hi.clone()),
+            _ => None,
+        }
+    }
+
+    /// The `if` condition, for `if` cursors.
+    pub fn cond(&self) -> Option<Expr> {
+        match self.stmt() {
+            Ok(Stmt::If { cond, .. }) => Some(cond.clone()),
+            _ => None,
+        }
+    }
+
+    /// An expression cursor to the right-hand side of an assign / reduce /
+    /// window / config-write statement.
+    pub fn rhs(&self) -> Result<Cursor> {
+        let stmt_path = self
+            .path
+            .stmt_path()
+            .ok_or_else(|| CursorError::Invalid("cursor was invalidated".into()))?
+            .to_vec();
+        // Validate that the statement has an rhs.
+        match self.stmt()? {
+            Stmt::Assign { .. } | Stmt::Reduce { .. } | Stmt::WindowStmt { .. }
+            | Stmt::WriteConfig { .. } => Ok(Cursor::new(
+                self.home.clone(),
+                CursorPath::Node { stmt: stmt_path, expr: vec![ExprStep::Rhs] },
+            )),
+            other => Err(CursorError::Invalid(format!(
+                "statement kind `{}` has no right-hand side",
+                other.kind()
+            ))),
+        }
+    }
+
+    /// The right-hand side expression value (shorthand for `rhs().expr()`).
+    pub fn rhs_expr(&self) -> Option<Expr> {
+        match self.stmt() {
+            Ok(Stmt::Assign { rhs, .. })
+            | Ok(Stmt::Reduce { rhs, .. })
+            | Ok(Stmt::WindowStmt { rhs, .. })
+            | Ok(Stmt::WriteConfig { value: rhs, .. }) => Some(rhs.clone()),
+            _ => None,
+        }
+    }
+
+    /// The destination buffer and indices of an assign / reduce.
+    pub fn write_target(&self) -> Option<(Sym, Vec<Expr>)> {
+        match self.stmt() {
+            Ok(Stmt::Assign { buf, idx, .. }) | Ok(Stmt::Reduce { buf, idx, .. }) => {
+                Some((buf.clone(), idx.clone()))
+            }
+            _ => None,
+        }
+    }
+
+    /// The memory space of an allocation cursor.
+    pub fn alloc_mem(&self) -> Option<Mem> {
+        match self.stmt() {
+            Ok(Stmt::Alloc { mem, .. }) => Some(mem.clone()),
+            _ => None,
+        }
+    }
+
+    /// The number of statements spanned by this cursor (1 for node cursors).
+    pub fn len(&self) -> usize {
+        match &self.path {
+            CursorPath::Block { len, .. } => *len,
+            CursorPath::Node { .. } => 1,
+            _ => 0,
+        }
+    }
+
+    /// Whether the cursor spans no statements (gap or invalid cursors).
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+impl PartialEq for Cursor {
+    fn eq(&self, other: &Self) -> bool {
+        self.version_id() == other.version_id() && self.path == other.path
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use exo_ir::{fb, ib, read, var, DataType, Mem, ProcBuilder};
+
+    fn proc_handle() -> ProcHandle {
+        let p = ProcBuilder::new("p")
+            .size_arg("n")
+            .tensor_arg("x", DataType::F32, vec![var("n")], Mem::Dram)
+            .tensor_arg("y", DataType::F32, vec![var("n")], Mem::Dram)
+            .with_body(|b| {
+                b.alloc("acc", DataType::F32, vec![], Mem::Dram);
+                b.assign("acc", vec![], fb(0.0));
+                b.for_("i", ib(0), var("n"), |b| {
+                    b.reduce("acc", vec![], read("x", vec![var("i")]) * read("y", vec![var("i")]));
+                });
+                b.assign("y", vec![ib(0)], var("acc"));
+            })
+            .build();
+        ProcHandle::new(p)
+    }
+
+    #[test]
+    fn navigation_between_siblings() {
+        let h = proc_handle();
+        let alloc = &h.body()[0];
+        assert!(alloc.is_alloc());
+        let assign = alloc.next().unwrap();
+        assert_eq!(assign.kind(), Some("assign"));
+        let back = assign.prev().unwrap();
+        assert_eq!(back.path(), alloc.path());
+        assert!(alloc.prev().is_err());
+        assert!(h.body()[3].next().is_err());
+    }
+
+    #[test]
+    fn parent_and_body_navigation() {
+        let h = proc_handle();
+        let loop_c = &h.body()[2];
+        assert!(loop_c.is_loop());
+        assert_eq!(loop_c.loop_iter_name(), Some("i".to_string()));
+        let body = loop_c.body();
+        assert_eq!(body.len(), 1);
+        assert_eq!(body[0].kind(), Some("reduce"));
+        assert_eq!(body[0].parent().unwrap().path(), loop_c.path());
+        assert!(loop_c.parent().is_err());
+    }
+
+    #[test]
+    fn gaps_before_and_after() {
+        let h = proc_handle();
+        let loop_c = &h.body()[2];
+        let before = loop_c.before().unwrap();
+        assert!(matches!(before.path(), CursorPath::Gap { .. }));
+        let after = loop_c.after().unwrap();
+        match after.path() {
+            CursorPath::Gap { stmt } => assert_eq!(stmt.last().unwrap().index(), 3),
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn expand_produces_block_cursors() {
+        let h = proc_handle();
+        let assign = &h.body()[1];
+        let block = assign.expand(1, 1).unwrap();
+        assert_eq!(block.len(), 3);
+        let stmts = block.stmts().unwrap();
+        assert_eq!(stmts[0].kind(), "alloc");
+        assert_eq!(stmts[2].kind(), "for");
+        assert!(h.body()[0].expand(1, 0).is_err());
+        assert!(h.body()[3].expand(0, 1).is_err());
+    }
+
+    #[test]
+    fn inspection_of_loop_bounds_and_rhs() {
+        let h = proc_handle();
+        let loop_c = &h.body()[2];
+        assert_eq!(loop_c.lo(), Some(ib(0)));
+        assert_eq!(loop_c.hi(), Some(var("n")));
+        let red = &loop_c.body()[0];
+        let rhs = red.rhs().unwrap();
+        assert!(matches!(rhs.expr().unwrap(), Expr::Bin { .. }));
+        assert_eq!(red.write_target().unwrap().0, Sym::new("acc"));
+        assert!(loop_c.rhs().is_err());
+    }
+
+    #[test]
+    fn invalid_cursor_propagates() {
+        let h = proc_handle();
+        let c = h.body()[0].invalid();
+        assert!(c.is_invalid());
+        assert!(c.stmt().is_err());
+        assert!(c.parent().is_err());
+    }
+}

@@ -1,0 +1,58 @@
+//! Errors raised by cursor operations.
+
+use std::fmt;
+
+/// Errors raised by cursor navigation, resolution and forwarding.
+///
+/// The paper distinguishes three user-facing error classes (§3.3); this is
+/// the `InvalidCursorError` class. (`SchedulingError` lives in `exo-core`.)
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub enum CursorError {
+    /// The cursor has been invalidated (e.g. it pointed into a deleted
+    /// subtree), or a navigation moved outside the procedure.
+    Invalid(String),
+    /// A pattern or name did not match anything in the procedure.
+    NotFound(String),
+    /// A cursor created against one procedure version was used with a
+    /// handle that does not descend from that version, so no forwarding
+    /// path exists.
+    UnrelatedVersion {
+        /// Version id the cursor was created against.
+        cursor_version: u64,
+        /// Version id of the handle it was used with.
+        handle_version: u64,
+    },
+    /// A malformed find pattern.
+    BadPattern(String),
+}
+
+impl fmt::Display for CursorError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CursorError::Invalid(msg) => write!(f, "invalid cursor: {msg}"),
+            CursorError::NotFound(pat) => write!(f, "no match for pattern `{pat}`"),
+            CursorError::UnrelatedVersion { cursor_version, handle_version } => write!(
+                f,
+                "cursor from version {cursor_version} cannot be forwarded to unrelated version {handle_version}"
+            ),
+            CursorError::BadPattern(pat) => write!(f, "malformed pattern `{pat}`"),
+        }
+    }
+}
+
+impl std::error::Error for CursorError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages_are_lowercase_and_informative() {
+        let e = CursorError::Invalid("navigated above the procedure root".into());
+        assert!(e.to_string().starts_with("invalid cursor"));
+        let e = CursorError::NotFound("for q in _: _".into());
+        assert!(e.to_string().contains("for q in _: _"));
+        let e = CursorError::UnrelatedVersion { cursor_version: 3, handle_version: 9 };
+        assert!(e.to_string().contains('3') && e.to_string().contains('9'));
+    }
+}

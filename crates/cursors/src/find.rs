@@ -1,0 +1,306 @@
+//! Structural pattern matching: `find`, `find_all`, and `find_loop`.
+//!
+//! Exo 2 lets schedules refer to object code either *by name* or *by
+//! pattern* (§2). This module implements the pattern subset used
+//! throughout the paper:
+//!
+//! | pattern              | matches                                   |
+//! |-----------------------|-------------------------------------------|
+//! | `for i in _: _`       | a loop with iterator `i`                  |
+//! | `for _ in _: _`       | any loop                                  |
+//! | `x = _`               | an assignment to buffer `x`               |
+//! | `x += _`              | a reduction into buffer `x`               |
+//! | `x: _`                | an allocation of buffer `x`               |
+//! | `foo(_)`              | a call to `foo`                           |
+//! | `if _: _`             | any `if` statement                        |
+//! | `_`                   | any statement                             |
+//!
+//! Any pattern may carry a trailing `#k` to select the `k`-th match
+//! (0-based), e.g. `"ki #1"` in `find_loop` or `"for j in _: _ #2"`.
+
+use crate::cursor::Cursor;
+use crate::error::CursorError;
+use crate::version::{CursorPath, ProcHandle};
+use crate::Result;
+use exo_ir::{for_each_stmt_paths, Step, Stmt};
+
+/// A parsed find pattern.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub enum Pattern {
+    /// A `for` loop, optionally restricted to a specific iterator name.
+    Loop(Option<String>),
+    /// An assignment, optionally restricted to a destination buffer.
+    Assign(Option<String>),
+    /// A reduction, optionally restricted to a destination buffer.
+    Reduce(Option<String>),
+    /// An allocation, optionally restricted to a buffer name.
+    Alloc(Option<String>),
+    /// A call, optionally restricted to a callee name.
+    Call(Option<String>),
+    /// Any `if` statement.
+    If,
+    /// Any statement.
+    Any,
+}
+
+impl Pattern {
+    /// Parses a pattern string, returning the pattern and an optional
+    /// match index (`#k` suffix).
+    pub fn parse(input: &str) -> Result<(Pattern, Option<usize>)> {
+        let mut text = input.trim().to_string();
+        let mut index = None;
+        if let Some(pos) = text.rfind('#') {
+            let (head, tail) = text.split_at(pos);
+            if let Ok(k) = tail[1..].trim().parse::<usize>() {
+                index = Some(k);
+                text = head.trim().to_string();
+            }
+        }
+        let pat = Self::parse_body(&text).ok_or_else(|| CursorError::BadPattern(input.to_string()))?;
+        Ok((pat, index))
+    }
+
+    fn parse_body(text: &str) -> Option<Pattern> {
+        let t = text.trim();
+        if t == "_" {
+            return Some(Pattern::Any);
+        }
+        if let Some(rest) = t.strip_prefix("for ") {
+            // "for i in _: _" / "for _ in _: _" (the range/body parts are wildcards)
+            let iter = rest.split_whitespace().next()?.to_string();
+            let name = if iter == "_" { None } else { Some(iter) };
+            return Some(Pattern::Loop(name));
+        }
+        if t.starts_with("if ") || t == "if _: _" {
+            return Some(Pattern::If);
+        }
+        if let Some((lhs, _)) = t.split_once("+=") {
+            return Some(Pattern::Reduce(name_or_wild(lhs)));
+        }
+        if let Some((lhs, _)) = t.split_once('=') {
+            return Some(Pattern::Assign(name_or_wild(lhs)));
+        }
+        if let Some((name, rest)) = t.split_once('(') {
+            if rest.ends_with(')') {
+                return Some(Pattern::Call(name_or_wild(name)));
+            }
+        }
+        if let Some((lhs, _)) = t.split_once(':') {
+            return Some(Pattern::Alloc(name_or_wild(lhs)));
+        }
+        // A bare identifier is treated as a loop name (convenience used by
+        // `divide_loop(p, "i", ...)`-style calls).
+        if !t.is_empty() && t.chars().all(|c| c.is_alphanumeric() || c == '_') {
+            return Some(Pattern::Loop(Some(t.to_string())));
+        }
+        None
+    }
+
+    /// Whether a statement matches this pattern.
+    pub fn matches(&self, stmt: &Stmt) -> bool {
+        match (self, stmt) {
+            (Pattern::Any, _) => true,
+            (Pattern::Loop(None), Stmt::For { .. }) => true,
+            (Pattern::Loop(Some(name)), Stmt::For { iter, .. }) => iter.name() == name,
+            (Pattern::Assign(None), Stmt::Assign { .. }) => true,
+            (Pattern::Assign(Some(name)), Stmt::Assign { buf, .. }) => {
+                buf.name() == name || strip_index(name) == buf.name()
+            }
+            (Pattern::Reduce(None), Stmt::Reduce { .. }) => true,
+            (Pattern::Reduce(Some(name)), Stmt::Reduce { buf, .. }) => {
+                buf.name() == name || strip_index(name) == buf.name()
+            }
+            (Pattern::Alloc(None), Stmt::Alloc { .. }) => true,
+            (Pattern::Alloc(Some(name)), Stmt::Alloc { name: n, .. }) => n.name() == name,
+            (Pattern::Call(None), Stmt::Call { .. }) => true,
+            (Pattern::Call(Some(name)), Stmt::Call { proc, .. }) => proc == name,
+            (Pattern::If, Stmt::If { .. }) => true,
+            _ => false,
+        }
+    }
+}
+
+/// Strips a trailing `[...]` index from a buffer reference in a pattern,
+/// so `"a2 = A[_]"` matches the assignment to `a2` and `"res = 0.0"`
+/// matches on the destination name only.
+fn strip_index(name: &str) -> &str {
+    match name.find('[') {
+        Some(i) => name[..i].trim(),
+        None => name.trim(),
+    }
+}
+
+fn name_or_wild(raw: &str) -> Option<String> {
+    let t = strip_index(raw.trim()).trim().to_string();
+    if t == "_" || t.is_empty() {
+        None
+    } else {
+        Some(t)
+    }
+}
+
+/// Finds all matches of `pattern` in `handle`, optionally restricted to the
+/// sub-AST rooted at `root`.
+pub(crate) fn find_in(
+    handle: &ProcHandle,
+    root: Option<Vec<Step>>,
+    pattern: &str,
+) -> Result<Vec<Cursor>> {
+    let (pat, index) = Pattern::parse(pattern)?;
+    let mut matches = Vec::new();
+    for_each_stmt_paths(handle.proc(), &mut |path, stmt| {
+        if let Some(prefix) = &root {
+            if path.len() < prefix.len() || &path[..prefix.len()] != prefix.as_slice() {
+                return;
+            }
+        }
+        if pat.matches(stmt) {
+            matches.push(handle.cursor_at(CursorPath::stmt(path.to_vec())));
+        }
+    });
+    if let Some(k) = index {
+        return match matches.into_iter().nth(k) {
+            Some(c) => Ok(vec![c]),
+            None => Ok(vec![]),
+        };
+    }
+    Ok(matches)
+}
+
+impl ProcHandle {
+    /// Finds the first statement matching `pattern` (paper: `p.find(...)`).
+    ///
+    /// # Errors
+    /// [`CursorError::NotFound`] if nothing matches,
+    /// [`CursorError::BadPattern`] if the pattern cannot be parsed.
+    pub fn find(&self, pattern: &str) -> Result<Cursor> {
+        let all = find_in(self, None, pattern)?;
+        all.into_iter().next().ok_or_else(|| CursorError::NotFound(pattern.to_string()))
+    }
+
+    /// Finds every statement matching `pattern`.
+    pub fn find_all(&self, pattern: &str) -> Result<Vec<Cursor>> {
+        let all = find_in(self, None, pattern)?;
+        if all.is_empty() {
+            return Err(CursorError::NotFound(pattern.to_string()));
+        }
+        Ok(all)
+    }
+
+    /// Finds the loop whose iterator is `name` (paper: `p.find_loop('i')`).
+    /// The name may carry a `#k` suffix to select the `k`-th such loop.
+    pub fn find_loop(&self, name: &str) -> Result<Cursor> {
+        let (base, index) = match name.rfind('#') {
+            Some(pos) if name[pos + 1..].trim().parse::<usize>().is_ok() => {
+                (name[..pos].trim().to_string(), Some(name[pos + 1..].trim().parse::<usize>().unwrap()))
+            }
+            _ => (name.trim().to_string(), None),
+        };
+        let pattern = format!("for {base} in _: _");
+        let all = find_in(self, None, &pattern)?;
+        let picked = match index {
+            Some(k) => all.into_iter().nth(k),
+            None => all.into_iter().next(),
+        };
+        picked.ok_or_else(|| CursorError::NotFound(format!("loop `{name}`")))
+    }
+
+    /// Finds every loop whose iterator is `name`
+    /// (paper: `p.find_loop(name, many=True)`).
+    pub fn find_loop_many(&self, name: &str) -> Result<Vec<Cursor>> {
+        let pattern = format!("for {name} in _: _");
+        let all = find_in(self, None, &pattern)?;
+        if all.is_empty() {
+            return Err(CursorError::NotFound(format!("loop `{name}`")));
+        }
+        Ok(all)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use exo_ir::{fb, ib, read, var, DataType, Mem, ProcBuilder};
+
+    fn handle() -> ProcHandle {
+        let p = ProcBuilder::new("p")
+            .size_arg("n")
+            .tensor_arg("x", DataType::F32, vec![var("n")], Mem::Dram)
+            .tensor_arg("y", DataType::F32, vec![var("n")], Mem::Dram)
+            .with_body(|b| {
+                b.alloc("acc", DataType::F32, vec![], Mem::Dram);
+                b.assign("acc", vec![], fb(0.0));
+                b.for_("i", ib(0), var("n"), |b| {
+                    b.for_("j", ib(0), ib(8), |b| {
+                        b.reduce("acc", vec![], read("x", vec![var("i")]));
+                    });
+                });
+                b.for_("i", ib(0), var("n"), |b| {
+                    b.assign("y", vec![var("i")], var("acc"));
+                });
+                b.call("helper", vec![var("n")]);
+            })
+            .build();
+        ProcHandle::new(p)
+    }
+
+    #[test]
+    fn pattern_parsing() {
+        assert_eq!(Pattern::parse("for i in _: _").unwrap(), (Pattern::Loop(Some("i".into())), None));
+        assert_eq!(Pattern::parse("for _ in _: _").unwrap(), (Pattern::Loop(None), None));
+        assert_eq!(Pattern::parse("acc = _").unwrap(), (Pattern::Assign(Some("acc".into())), None));
+        assert_eq!(Pattern::parse("y[_] += _").unwrap(), (Pattern::Reduce(Some("y".into())), None));
+        assert_eq!(Pattern::parse("tmp: _").unwrap(), (Pattern::Alloc(Some("tmp".into())), None));
+        assert_eq!(Pattern::parse("foo(_)").unwrap(), (Pattern::Call(Some("foo".into())), None));
+        assert_eq!(Pattern::parse("for j in _: _ #2").unwrap(), (Pattern::Loop(Some("j".into())), Some(2)));
+        assert_eq!(Pattern::parse("_").unwrap(), (Pattern::Any, None));
+        assert!(Pattern::parse("???!").is_err());
+    }
+
+    #[test]
+    fn find_by_loop_name_and_pattern_agree() {
+        let h = handle();
+        let a = h.find_loop("i").unwrap();
+        let b = h.find("for i in _: _").unwrap();
+        assert_eq!(a.path(), b.path());
+    }
+
+    #[test]
+    fn find_loop_with_index_suffix() {
+        let h = handle();
+        let second = h.find_loop("i #1").unwrap();
+        assert_ne!(second.path(), h.find_loop("i").unwrap().path());
+        assert_eq!(second.body()[0].kind(), Some("assign"));
+        assert!(h.find_loop("i #5").is_err());
+    }
+
+    #[test]
+    fn find_all_and_loop_many() {
+        let h = handle();
+        assert_eq!(h.find_all("for _ in _: _").unwrap().len(), 3);
+        assert_eq!(h.find_loop_many("i").unwrap().len(), 2);
+        assert!(h.find_all("for z in _: _").is_err());
+    }
+
+    #[test]
+    fn find_restricted_to_cursor_subtree() {
+        let h = handle();
+        let outer = h.find_loop("i").unwrap();
+        let inner = outer.find("for j in _: _").unwrap();
+        assert_eq!(inner.loop_iter_name(), Some("j".to_string()));
+        // The second `i` loop does not contain a reduce, so a restricted
+        // find fails there.
+        let second = h.find_loop("i #1").unwrap();
+        assert!(second.find("acc += _").is_err());
+    }
+
+    #[test]
+    fn find_assign_reduce_alloc_call() {
+        let h = handle();
+        assert!(h.find("acc = _").unwrap().kind() == Some("assign"));
+        assert!(h.find("acc += _").unwrap().kind() == Some("reduce"));
+        assert!(h.find("acc: _").unwrap().is_alloc());
+        assert_eq!(h.find("helper(_)").unwrap().kind(), Some("call"));
+        assert!(h.find("nothere = _").is_err());
+    }
+}

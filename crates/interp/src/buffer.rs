@@ -1,0 +1,272 @@
+//! Concrete buffers, views, and argument values.
+
+use exo_ir::{DataType, Mem};
+use std::cell::RefCell;
+use std::rc::Rc;
+
+/// A concrete, dense, row-major buffer.
+///
+/// All element types are stored as `f64`; integer types hold exact values
+/// (well within `f64`'s 53-bit integer range for the workloads in the
+/// paper), which keeps the interpreter simple while preserving
+/// equivalence-checking fidelity.
+#[derive(Clone, Debug, PartialEq)]
+pub struct BufferData {
+    /// Element storage, row-major.
+    pub data: Vec<f64>,
+    /// Dimension sizes.
+    pub dims: Vec<usize>,
+    /// Declared element type.
+    pub elem: DataType,
+    /// Memory space the buffer lives in.
+    pub mem: Mem,
+    /// Base byte address assigned by the interpreter's bump allocator
+    /// (used by the cache model in `exo-machine`).
+    pub base_addr: u64,
+}
+
+impl BufferData {
+    /// Creates a zero-initialized buffer.
+    pub fn zeros(dims: Vec<usize>, elem: DataType, mem: Mem) -> Self {
+        let n: usize = dims.iter().product::<usize>().max(1);
+        BufferData { data: vec![0.0; n], dims, elem, mem, base_addr: 0 }
+    }
+
+    /// Creates a buffer from existing data (dims must multiply to
+    /// `data.len()`, or be empty for a scalar buffer of length 1).
+    pub fn from_vec(data: Vec<f64>, dims: Vec<usize>, elem: DataType, mem: Mem) -> Self {
+        let expect: usize = dims.iter().product::<usize>().max(1);
+        assert_eq!(data.len(), expect, "data length must match dims");
+        BufferData { data, dims, elem, mem, base_addr: 0 }
+    }
+
+    /// Total number of elements.
+    pub fn len(&self) -> usize {
+        self.data.len()
+    }
+
+    /// Whether the buffer holds no elements.
+    pub fn is_empty(&self) -> bool {
+        self.data.is_empty()
+    }
+
+    /// Row-major linear index of a multi-dimensional index.
+    pub fn linear_index(&self, idx: &[i64]) -> Option<usize> {
+        if self.dims.is_empty() {
+            return if idx.is_empty() || idx.iter().all(|&i| i == 0) { Some(0) } else { None };
+        }
+        if idx.len() != self.dims.len() {
+            return None;
+        }
+        let mut lin = 0usize;
+        for (i, (&ix, &d)) in idx.iter().zip(self.dims.iter()).enumerate() {
+            if ix < 0 || ix as usize >= d {
+                return None;
+            }
+            lin = lin * d + ix as usize;
+            let _ = i;
+        }
+        Some(lin)
+    }
+
+    /// Size of one element in bytes.
+    pub fn elem_bytes(&self) -> u64 {
+        self.elem.size_bytes()
+    }
+}
+
+/// Shared, mutable reference to a buffer.
+pub type BufRef = Rc<RefCell<BufferData>>;
+
+/// A (possibly windowed) view of a buffer.
+///
+/// A view exposes `kept.len()` dimensions of the underlying buffer; each
+/// exposed dimension `k` maps view index `j` to underlying index
+/// `offsets[kept[k]] + j`, and dropped (point) dimensions are pinned at
+/// `offsets[d]`.
+#[derive(Clone, Debug)]
+pub struct View {
+    /// The underlying buffer.
+    pub buf: BufRef,
+    /// Per-underlying-dimension base offsets.
+    pub offsets: Vec<i64>,
+    /// Which underlying dimensions the view exposes, in order.
+    pub kept: Vec<usize>,
+}
+
+impl View {
+    /// A full view of a buffer (no offsets, all dimensions kept).
+    pub fn full(buf: BufRef) -> Self {
+        let ndims = buf.borrow().dims.len();
+        View { buf, offsets: vec![0; ndims], kept: (0..ndims).collect() }
+    }
+
+    /// Translates a view index into an underlying buffer index.
+    pub fn translate(&self, idx: &[i64]) -> Vec<i64> {
+        let mut out = self.offsets.clone();
+        for (k, &dim) in self.kept.iter().enumerate() {
+            if let Some(&i) = idx.get(k) {
+                out[dim] += i;
+            }
+        }
+        out
+    }
+
+    /// Narrows this view by a further window: `spec` gives, per exposed
+    /// dimension, either a point (drop the dimension) or an interval start
+    /// (keep the dimension with an extra offset).
+    pub fn narrow(&self, spec: &[WindowDim]) -> View {
+        let mut offsets = self.offsets.clone();
+        let mut kept = Vec::new();
+        for (k, w) in spec.iter().enumerate() {
+            let dim = self.kept[k];
+            match w {
+                WindowDim::Point(p) => offsets[dim] += p,
+                WindowDim::Interval(lo) => {
+                    offsets[dim] += lo;
+                    kept.push(dim);
+                }
+            }
+        }
+        // Dimensions beyond the spec stay kept unchanged.
+        for &dim in self.kept.iter().skip(spec.len()) {
+            kept.push(dim);
+        }
+        View { buf: self.buf.clone(), offsets, kept }
+    }
+
+    /// Reads one element through the view.
+    pub fn read(&self, idx: &[i64]) -> Option<f64> {
+        let under = self.translate(idx);
+        let buf = self.buf.borrow();
+        let lin = buf.linear_index(&under)?;
+        buf.data.get(lin).copied()
+    }
+
+    /// Writes one element through the view.
+    pub fn write(&self, idx: &[i64], value: f64) -> Option<()> {
+        let under = self.translate(idx);
+        let mut buf = self.buf.borrow_mut();
+        let lin = buf.linear_index(&under)?;
+        *buf.data.get_mut(lin)? = value;
+        Some(())
+    }
+
+    /// The byte address of an element (for the cache model).
+    pub fn byte_addr(&self, idx: &[i64]) -> Option<u64> {
+        let under = self.translate(idx);
+        let buf = self.buf.borrow();
+        let lin = buf.linear_index(&under)?;
+        Some(buf.base_addr + lin as u64 * buf.elem_bytes())
+    }
+
+    /// The memory space of the underlying buffer.
+    pub fn mem(&self) -> Mem {
+        self.buf.borrow().mem.clone()
+    }
+
+    /// The element type of the underlying buffer.
+    pub fn elem(&self) -> DataType {
+        self.buf.borrow().elem
+    }
+}
+
+/// One narrowing specification per exposed dimension (see [`View::narrow`]).
+#[derive(Clone, Debug, PartialEq)]
+pub enum WindowDim {
+    /// Pin the dimension at an offset (the dimension is dropped).
+    Point(i64),
+    /// Keep the dimension, shifted by an offset.
+    Interval(i64),
+}
+
+/// A concrete argument passed to [`crate::Interpreter::run`].
+#[derive(Clone, Debug)]
+pub enum ArgValue {
+    /// A `size` or integer scalar argument.
+    Int(i64),
+    /// A floating-point scalar argument.
+    Float(f64),
+    /// A boolean scalar argument.
+    Bool(bool),
+    /// A tensor argument.
+    Buffer(BufRef),
+    /// A windowed tensor argument.
+    View(View),
+}
+
+impl ArgValue {
+    /// Convenience: wraps fresh zero-filled buffer data.
+    pub fn zeros(dims: Vec<usize>, elem: DataType) -> (BufRef, ArgValue) {
+        let buf = Rc::new(RefCell::new(BufferData::zeros(dims, elem, Mem::Dram)));
+        (buf.clone(), ArgValue::Buffer(buf))
+    }
+
+    /// Convenience: wraps existing data in a DRAM buffer.
+    pub fn from_vec(data: Vec<f64>, dims: Vec<usize>, elem: DataType) -> (BufRef, ArgValue) {
+        let buf = Rc::new(RefCell::new(BufferData::from_vec(data, dims, elem, Mem::Dram)));
+        (buf.clone(), ArgValue::Buffer(buf))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn linear_indexing_is_row_major() {
+        let b = BufferData::zeros(vec![3, 4], DataType::F32, Mem::Dram);
+        assert_eq!(b.linear_index(&[0, 0]), Some(0));
+        assert_eq!(b.linear_index(&[1, 0]), Some(4));
+        assert_eq!(b.linear_index(&[2, 3]), Some(11));
+        assert_eq!(b.linear_index(&[3, 0]), None);
+        assert_eq!(b.linear_index(&[0, -1]), None);
+        assert_eq!(b.linear_index(&[0]), None);
+    }
+
+    #[test]
+    fn scalar_buffers_have_one_element() {
+        let b = BufferData::zeros(vec![], DataType::F32, Mem::Dram);
+        assert_eq!(b.len(), 1);
+        assert_eq!(b.linear_index(&[]), Some(0));
+    }
+
+    #[test]
+    fn views_translate_and_narrow() {
+        let buf = Rc::new(RefCell::new(BufferData::from_vec(
+            (0..12).map(|v| v as f64).collect(),
+            vec![3, 4],
+            DataType::F32,
+            Mem::Dram,
+        )));
+        let full = View::full(buf.clone());
+        assert_eq!(full.read(&[1, 2]), Some(6.0));
+        // Narrow to row 1, columns 1..4 -> a 1-D view of length 3.
+        let row = full.narrow(&[WindowDim::Point(1), WindowDim::Interval(1)]);
+        assert_eq!(row.kept.len(), 1);
+        assert_eq!(row.read(&[0]), Some(5.0));
+        assert_eq!(row.read(&[2]), Some(7.0));
+        row.write(&[0], 99.0).unwrap();
+        assert_eq!(buf.borrow().data[5], 99.0);
+    }
+
+    #[test]
+    fn nested_narrowing_accumulates_offsets() {
+        let buf = Rc::new(RefCell::new(BufferData::zeros(vec![8, 8], DataType::F32, Mem::Dram)));
+        let v1 = View::full(buf.clone()).narrow(&[WindowDim::Interval(2), WindowDim::Interval(2)]);
+        let v2 = v1.narrow(&[WindowDim::Interval(1), WindowDim::Point(3)]);
+        // v2 index [0] maps to underlying [3, 5].
+        v2.write(&[0], 7.0).unwrap();
+        assert_eq!(buf.borrow().data[3 * 8 + 5], 7.0);
+    }
+
+    #[test]
+    fn byte_addresses_respect_element_size() {
+        let mut data = BufferData::zeros(vec![4], DataType::F64, Mem::Dram);
+        data.base_addr = 1000;
+        let buf = Rc::new(RefCell::new(data));
+        let v = View::full(buf);
+        assert_eq!(v.byte_addr(&[0]), Some(1000));
+        assert_eq!(v.byte_addr(&[3]), Some(1024));
+    }
+}

@@ -1,0 +1,60 @@
+//! Interpreter errors.
+
+use std::fmt;
+
+/// Errors raised while interpreting object code.
+#[derive(Clone, PartialEq, Debug)]
+pub enum InterpError {
+    /// A symbol was referenced but not bound in the environment.
+    Unbound(String),
+    /// A buffer access fell outside the buffer's extent.
+    OutOfBounds {
+        /// Buffer name.
+        buf: String,
+        /// Offending index vector.
+        idx: Vec<i64>,
+        /// Buffer dimensions.
+        dims: Vec<usize>,
+    },
+    /// A call referenced a procedure not present in the registry.
+    UnknownProc(String),
+    /// Argument count or kind mismatch at a call site.
+    BadCall(String),
+    /// A procedure precondition (assert) failed at run time.
+    AssertFailed(String),
+    /// Division or modulo by zero in an index expression.
+    DivideByZero,
+    /// Any other malformed-program condition.
+    Malformed(String),
+}
+
+impl fmt::Display for InterpError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            InterpError::Unbound(s) => write!(f, "unbound symbol `{s}`"),
+            InterpError::OutOfBounds { buf, idx, dims } => {
+                write!(f, "index {idx:?} out of bounds for buffer `{buf}` with dims {dims:?}")
+            }
+            InterpError::UnknownProc(p) => write!(f, "call to unknown procedure `{p}`"),
+            InterpError::BadCall(msg) => write!(f, "bad call: {msg}"),
+            InterpError::AssertFailed(p) => write!(f, "assertion failed: {p}"),
+            InterpError::DivideByZero => write!(f, "division by zero in index expression"),
+            InterpError::Malformed(msg) => write!(f, "malformed program: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for InterpError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn messages_name_the_offender() {
+        let e = InterpError::Unbound("acc".into());
+        assert!(e.to_string().contains("acc"));
+        let e = InterpError::OutOfBounds { buf: "x".into(), idx: vec![9], dims: vec![4] };
+        assert!(e.to_string().contains('9') && e.to_string().contains('4'));
+    }
+}

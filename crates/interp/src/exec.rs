@@ -1,0 +1,798 @@
+//! The interpreter proper.
+
+use crate::buffer::{ArgValue, BufferData, View, WindowDim};
+use crate::error::InterpError;
+use crate::monitor::Monitor;
+use crate::registry::ProcRegistry;
+use crate::Result;
+use exo_ir::{ArgKind, BinOp, DataType, Expr, Proc, Stmt, Sym, UnOp, WAccess};
+use std::cell::RefCell;
+use std::collections::HashMap;
+use std::rc::Rc;
+
+/// A runtime value.
+#[derive(Clone, Copy, Debug, PartialEq)]
+enum Value {
+    Int(i64),
+    Float(f64),
+    Bool(bool),
+}
+
+impl Value {
+    fn as_float(self) -> f64 {
+        match self {
+            Value::Int(v) => v as f64,
+            Value::Float(v) => v,
+            Value::Bool(b) => {
+                if b {
+                    1.0
+                } else {
+                    0.0
+                }
+            }
+        }
+    }
+
+    fn as_int(self) -> Result<i64> {
+        match self {
+            Value::Int(v) => Ok(v),
+            Value::Float(v) if v.fract() == 0.0 => Ok(v as i64),
+            other => Err(InterpError::Malformed(format!("expected integer, got {other:?}"))),
+        }
+    }
+
+    fn as_bool(self) -> Result<bool> {
+        match self {
+            Value::Bool(b) => Ok(b),
+            Value::Int(v) => Ok(v != 0),
+            Value::Float(_) => Err(InterpError::Malformed("expected boolean".into())),
+        }
+    }
+}
+
+#[derive(Clone, Debug)]
+enum Binding {
+    Scalar(Value),
+    Tensor(View),
+}
+
+/// Lexically-scoped environment.
+struct Env {
+    scopes: Vec<HashMap<Sym, Binding>>,
+}
+
+impl Env {
+    fn new() -> Self {
+        Env { scopes: vec![HashMap::new()] }
+    }
+
+    fn push(&mut self) {
+        self.scopes.push(HashMap::new());
+    }
+
+    fn pop(&mut self) {
+        self.scopes.pop();
+    }
+
+    fn bind(&mut self, sym: Sym, b: Binding) {
+        self.scopes.last_mut().expect("scope stack never empty").insert(sym, b);
+    }
+
+    fn lookup(&self, sym: &Sym) -> Option<&Binding> {
+        self.scopes.iter().rev().find_map(|s| s.get(sym))
+    }
+}
+
+/// Executes object-language procedures against concrete buffers, reporting
+/// events to a [`Monitor`].
+pub struct Interpreter<'a> {
+    registry: &'a ProcRegistry,
+    configs: HashMap<(String, String), f64>,
+    next_addr: u64,
+    suppress: usize,
+}
+
+impl<'a> Interpreter<'a> {
+    /// Creates an interpreter resolving calls against `registry`.
+    pub fn new(registry: &'a ProcRegistry) -> Self {
+        Interpreter { registry, configs: HashMap::new(), next_addr: 0x1000, suppress: 0 }
+    }
+
+    /// Runs `proc` with the given arguments, reporting events to `monitor`.
+    ///
+    /// # Errors
+    /// Returns an [`InterpError`] for unbound symbols, out-of-bounds
+    /// accesses, failed assertions, bad calls and unknown procedures.
+    pub fn run(&mut self, proc: &Proc, args: Vec<ArgValue>, monitor: &mut dyn Monitor) -> Result<()> {
+        if args.len() != proc.args().len() {
+            return Err(InterpError::BadCall(format!(
+                "procedure `{}` expects {} arguments, got {}",
+                proc.name(),
+                proc.args().len(),
+                args.len()
+            )));
+        }
+        let mut env = Env::new();
+        for (arg, value) in proc.args().iter().zip(args) {
+            let binding = self.bind_arg(&arg.kind, value, arg.name.name())?;
+            env.bind(arg.name.clone(), binding);
+        }
+        // Check assertion preconditions.
+        for pred in proc.preds() {
+            let v = self.eval(pred, &env, monitor)?;
+            if !v.as_bool()? {
+                return Err(InterpError::AssertFailed(pred.to_string()));
+            }
+        }
+        self.exec_block(&proc.body().0, &mut env, monitor)
+    }
+
+    /// Read access to the accumulated configuration-register state
+    /// (useful for Gemmini tests).
+    pub fn config(&self, config: &str, field: &str) -> Option<f64> {
+        self.configs.get(&(config.to_string(), field.to_string())).copied()
+    }
+
+    fn bind_arg(&mut self, kind: &ArgKind, value: ArgValue, name: &str) -> Result<Binding> {
+        match (kind, value) {
+            (ArgKind::Size, ArgValue::Int(v)) => Ok(Binding::Scalar(Value::Int(v))),
+            (ArgKind::Scalar { ty }, ArgValue::Float(v)) => {
+                let _ = ty;
+                Ok(Binding::Scalar(Value::Float(v)))
+            }
+            (ArgKind::Scalar { .. }, ArgValue::Int(v)) => Ok(Binding::Scalar(Value::Int(v))),
+            (ArgKind::Scalar { .. }, ArgValue::Bool(b)) => Ok(Binding::Scalar(Value::Bool(b))),
+            (ArgKind::Tensor { .. }, ArgValue::Buffer(buf)) => {
+                self.ensure_addr(&buf);
+                Ok(Binding::Tensor(View::full(buf)))
+            }
+            (ArgKind::Tensor { .. }, ArgValue::View(view)) => {
+                self.ensure_addr(&view.buf);
+                Ok(Binding::Tensor(view))
+            }
+            (kind, value) => Err(InterpError::BadCall(format!(
+                "argument `{name}` of kind {kind:?} cannot be bound to {value:?}"
+            ))),
+        }
+    }
+
+    fn ensure_addr(&mut self, buf: &Rc<RefCell<BufferData>>) {
+        let mut b = buf.borrow_mut();
+        if b.base_addr == 0 {
+            b.base_addr = self.next_addr;
+            let bytes = (b.len() as u64 * b.elem_bytes()).max(64);
+            self.next_addr += (bytes + 63) / 64 * 64;
+        }
+    }
+
+    fn exec_block(&mut self, stmts: &[Stmt], env: &mut Env, monitor: &mut dyn Monitor) -> Result<()> {
+        env.push();
+        let result = (|| {
+            for s in stmts {
+                self.exec_stmt(s, env, monitor)?;
+            }
+            Ok(())
+        })();
+        env.pop();
+        result
+    }
+
+    fn exec_stmt(&mut self, stmt: &Stmt, env: &mut Env, monitor: &mut dyn Monitor) -> Result<()> {
+        if self.suppress == 0 {
+            monitor.on_stmt();
+        }
+        match stmt {
+            Stmt::Assign { buf, idx, rhs } => {
+                let value = self.eval(rhs, env, monitor)?.as_float();
+                self.store(buf, idx, value, env, monitor)
+            }
+            Stmt::Reduce { buf, idx, rhs } => {
+                let add = self.eval(rhs, env, monitor)?.as_float();
+                let old = self.load(buf, idx, env, monitor)?;
+                if self.suppress == 0 {
+                    monitor.on_scalar_op(BinOp::Add, DataType::F64);
+                }
+                self.store(buf, idx, old + add, env, monitor)
+            }
+            Stmt::Alloc { name, ty, dims, mem } => {
+                let mut sizes = Vec::with_capacity(dims.len());
+                for d in dims {
+                    let v = self.eval(d, env, monitor)?.as_int()?;
+                    if v < 0 {
+                        return Err(InterpError::Malformed(format!(
+                            "negative allocation size for `{name}`"
+                        )));
+                    }
+                    sizes.push(v as usize);
+                }
+                let mut data = BufferData::zeros(sizes, *ty, mem.clone());
+                data.base_addr = self.next_addr;
+                let bytes = (data.len() as u64 * data.elem_bytes()).max(64);
+                self.next_addr += (bytes + 63) / 64 * 64;
+                env.bind(name.clone(), Binding::Tensor(View::full(Rc::new(RefCell::new(data)))));
+                Ok(())
+            }
+            Stmt::For { iter, lo, hi, body, parallel } => {
+                let lo = self.eval(lo, env, monitor)?.as_int()?;
+                let hi = self.eval(hi, env, monitor)?.as_int()?;
+                for i in lo..hi {
+                    if self.suppress == 0 {
+                        monitor.on_loop_iter(*parallel);
+                    }
+                    env.push();
+                    env.bind(iter.clone(), Binding::Scalar(Value::Int(i)));
+                    let r = self.exec_block(&body.0, env, monitor);
+                    env.pop();
+                    r?;
+                }
+                Ok(())
+            }
+            Stmt::If { cond, then_body, else_body } => {
+                if self.suppress == 0 {
+                    monitor.on_branch();
+                }
+                let c = self.eval(cond, env, monitor)?.as_bool()?;
+                if c {
+                    self.exec_block(&then_body.0, env, monitor)
+                } else {
+                    self.exec_block(&else_body.0, env, monitor)
+                }
+            }
+            Stmt::Call { proc, args } => self.exec_call(proc, args, env, monitor),
+            Stmt::Pass => Ok(()),
+            Stmt::WriteConfig { config, field, value } => {
+                let v = self.eval(value, env, monitor)?.as_float();
+                if self.suppress == 0 {
+                    monitor.on_config_write(config.name(), field);
+                }
+                self.configs.insert((config.name().to_string(), field.clone()), v);
+                Ok(())
+            }
+            Stmt::WindowStmt { name, rhs } => {
+                let view = self.eval_window(rhs, env, monitor)?;
+                env.bind(name.clone(), Binding::Tensor(view));
+                Ok(())
+            }
+        }
+    }
+
+    fn exec_call(
+        &mut self,
+        name: &str,
+        args: &[Expr],
+        env: &mut Env,
+        monitor: &mut dyn Monitor,
+    ) -> Result<()> {
+        let callee = self
+            .registry
+            .get(name)
+            .ok_or_else(|| InterpError::UnknownProc(name.to_string()))?
+            .clone();
+        if args.len() != callee.args().len() {
+            return Err(InterpError::BadCall(format!(
+                "call to `{name}` passes {} arguments, expected {}",
+                args.len(),
+                callee.args().len()
+            )));
+        }
+        let suppress_inner = if self.suppress == 0 { monitor.enter_call(&callee) } else { false };
+        if suppress_inner {
+            self.suppress += 1;
+        }
+        let mut callee_env = Env::new();
+        let result = (|| {
+            for (arg, expr) in callee.args().iter().zip(args) {
+                let binding = match &arg.kind {
+                    ArgKind::Size | ArgKind::Scalar { .. } => {
+                        // Scalar arguments may also be passed 0-dim buffers
+                        // by reference (Gemmini's acc_scale / clamp idiom).
+                        match self.expr_as_view(expr, env) {
+                            Some(view) if matches!(arg.kind, ArgKind::Scalar { .. }) => {
+                                Binding::Tensor(view)
+                            }
+                            _ => Binding::Scalar(self.eval(expr, env, monitor)?),
+                        }
+                    }
+                    ArgKind::Tensor { .. } => {
+                        let view = self.eval_window(expr, env, monitor)?;
+                        Binding::Tensor(view)
+                    }
+                };
+                callee_env.bind(arg.name.clone(), binding);
+            }
+            for pred in callee.preds() {
+                let v = self.eval(pred, &callee_env, monitor)?;
+                if !v.as_bool()? {
+                    return Err(InterpError::AssertFailed(format!(
+                        "in call to `{name}`: {pred}"
+                    )));
+                }
+            }
+            self.exec_block(&callee.body().0, &mut callee_env, monitor)
+        })();
+        if suppress_inner {
+            self.suppress -= 1;
+        }
+        if self.suppress == 0 {
+            monitor.exit_call(&callee);
+        }
+        result
+    }
+
+    /// Resolves an argument expression that names a whole tensor, if it
+    /// does (used for by-reference scalar buffers).
+    fn expr_as_view(&self, expr: &Expr, env: &Env) -> Option<View> {
+        match expr {
+            Expr::Var(s) | Expr::Read { buf: s, idx: _ } if matches!(expr, Expr::Var(_)) => {
+                match env.lookup(s) {
+                    Some(Binding::Tensor(v)) => Some(v.clone()),
+                    _ => None,
+                }
+            }
+            _ => None,
+        }
+    }
+
+    /// Evaluates an expression used as a tensor argument: a bare buffer
+    /// name, or a window expression.
+    fn eval_window(&mut self, expr: &Expr, env: &Env, monitor: &mut dyn Monitor) -> Result<View> {
+        match expr {
+            Expr::Var(s) => match env.lookup(s) {
+                Some(Binding::Tensor(v)) => Ok(v.clone()),
+                _ => Err(InterpError::Unbound(s.name().to_string())),
+            },
+            Expr::Read { buf, idx } if !idx.is_empty() => {
+                // A point access used where a window is expected: a 0-dim view.
+                let view = match env.lookup(buf) {
+                    Some(Binding::Tensor(v)) => v.clone(),
+                    _ => return Err(InterpError::Unbound(buf.name().to_string())),
+                };
+                let mut spec = Vec::new();
+                for e in idx {
+                    spec.push(WindowDim::Point(self.eval(e, env, monitor)?.as_int()?));
+                }
+                Ok(view.narrow(&spec))
+            }
+            Expr::Window { buf, idx } => {
+                let view = match env.lookup(buf) {
+                    Some(Binding::Tensor(v)) => v.clone(),
+                    _ => return Err(InterpError::Unbound(buf.name().to_string())),
+                };
+                let mut spec = Vec::new();
+                for w in idx {
+                    match w {
+                        WAccess::Point(e) => {
+                            spec.push(WindowDim::Point(self.eval(e, env, monitor)?.as_int()?))
+                        }
+                        WAccess::Interval(lo, _hi) => {
+                            spec.push(WindowDim::Interval(self.eval(lo, env, monitor)?.as_int()?))
+                        }
+                    }
+                }
+                Ok(view.narrow(&spec))
+            }
+            other => Err(InterpError::BadCall(format!(
+                "expression `{other}` cannot be passed as a tensor argument"
+            ))),
+        }
+    }
+
+    fn load(&mut self, buf: &Sym, idx: &[Expr], env: &Env, monitor: &mut dyn Monitor) -> Result<f64> {
+        let mut indices = Vec::with_capacity(idx.len());
+        for e in idx {
+            indices.push(self.eval(e, env, monitor)?.as_int()?);
+        }
+        let view = match env.lookup(buf) {
+            Some(Binding::Tensor(v)) => v.clone(),
+            Some(Binding::Scalar(v)) if idx.is_empty() => return Ok(v.as_float()),
+            _ => return Err(InterpError::Unbound(buf.name().to_string())),
+        };
+        let value = view.read(&indices).ok_or_else(|| InterpError::OutOfBounds {
+            buf: buf.name().to_string(),
+            idx: indices.clone(),
+            dims: view.buf.borrow().dims.clone(),
+        })?;
+        if self.suppress == 0 {
+            if let Some(addr) = view.byte_addr(&indices) {
+                monitor.on_read(&view.mem(), addr, view.elem().size_bytes());
+            }
+        }
+        Ok(value)
+    }
+
+    fn store(
+        &mut self,
+        buf: &Sym,
+        idx: &[Expr],
+        value: f64,
+        env: &Env,
+        monitor: &mut dyn Monitor,
+    ) -> Result<()> {
+        let mut indices = Vec::with_capacity(idx.len());
+        for e in idx {
+            indices.push(self.eval(e, env, monitor)?.as_int()?);
+        }
+        let view = match env.lookup(buf) {
+            Some(Binding::Tensor(v)) => v.clone(),
+            _ => return Err(InterpError::Unbound(buf.name().to_string())),
+        };
+        if self.suppress == 0 {
+            if let Some(addr) = view.byte_addr(&indices) {
+                monitor.on_write(&view.mem(), addr, view.elem().size_bytes());
+            }
+        }
+        view.write(&indices, value).ok_or_else(|| InterpError::OutOfBounds {
+            buf: buf.name().to_string(),
+            idx: indices,
+            dims: view.buf.borrow().dims.clone(),
+        })
+    }
+
+    fn eval(&mut self, expr: &Expr, env: &Env, monitor: &mut dyn Monitor) -> Result<Value> {
+        match expr {
+            Expr::Int(v) => Ok(Value::Int(*v)),
+            Expr::Float(v) => Ok(Value::Float(*v)),
+            Expr::Bool(b) => Ok(Value::Bool(*b)),
+            Expr::Var(s) => match env.lookup(s) {
+                Some(Binding::Scalar(v)) => Ok(*v),
+                Some(Binding::Tensor(view)) if view.kept.is_empty() || view.buf.borrow().dims.is_empty() => {
+                    let view = view.clone();
+                    let value = view
+                        .read(&[])
+                        .ok_or_else(|| InterpError::Unbound(s.name().to_string()))?;
+                    if self.suppress == 0 {
+                        if let Some(addr) = view.byte_addr(&[]) {
+                            monitor.on_read(&view.mem(), addr, view.elem().size_bytes());
+                        }
+                    }
+                    Ok(Value::Float(value))
+                }
+                Some(Binding::Tensor(_)) => Err(InterpError::Malformed(format!(
+                    "tensor `{s}` used in a scalar context"
+                ))),
+                None => Err(InterpError::Unbound(s.name().to_string())),
+            },
+            Expr::Read { buf, idx } => {
+                let v = self.load(buf, idx, env, monitor)?;
+                Ok(Value::Float(v))
+            }
+            Expr::Window { .. } => Err(InterpError::Malformed(
+                "window expression used in a scalar context".into(),
+            )),
+            Expr::Bin { op, lhs, rhs } => {
+                let l = self.eval(lhs, env, monitor)?;
+                let r = self.eval(rhs, env, monitor)?;
+                self.eval_bin(*op, l, r, monitor)
+            }
+            Expr::Un { op, arg } => {
+                let v = self.eval(arg, env, monitor)?;
+                match op {
+                    UnOp::Neg => Ok(match v {
+                        Value::Int(i) => Value::Int(-i),
+                        Value::Float(f) => Value::Float(-f),
+                        Value::Bool(_) => {
+                            return Err(InterpError::Malformed("negating a boolean".into()))
+                        }
+                    }),
+                    UnOp::Not => Ok(Value::Bool(!v.as_bool()?)),
+                }
+            }
+            Expr::Stride { buf, dim } => {
+                let view = match env.lookup(buf) {
+                    Some(Binding::Tensor(v)) => v.clone(),
+                    _ => return Err(InterpError::Unbound(buf.name().to_string())),
+                };
+                let dims = view.buf.borrow().dims.clone();
+                let stride: usize = dims.iter().skip(dim + 1).product();
+                Ok(Value::Int(stride.max(1) as i64))
+            }
+            Expr::ReadConfig { config, field } => {
+                let v = self
+                    .configs
+                    .get(&(config.name().to_string(), field.clone()))
+                    .copied()
+                    .unwrap_or(0.0);
+                Ok(Value::Float(v))
+            }
+        }
+    }
+
+    fn eval_bin(&mut self, op: BinOp, l: Value, r: Value, monitor: &mut dyn Monitor) -> Result<Value> {
+        use BinOp::*;
+        // Integer arithmetic when both sides are integers (index math).
+        if let (Value::Int(a), Value::Int(b)) = (l, r) {
+            return Ok(match op {
+                Add => Value::Int(a + b),
+                Sub => Value::Int(a - b),
+                Mul => Value::Int(a * b),
+                Div => {
+                    if b == 0 {
+                        return Err(InterpError::DivideByZero);
+                    }
+                    Value::Int(a.div_euclid(b))
+                }
+                Mod => {
+                    if b == 0 {
+                        return Err(InterpError::DivideByZero);
+                    }
+                    Value::Int(a.rem_euclid(b))
+                }
+                Lt => Value::Bool(a < b),
+                Le => Value::Bool(a <= b),
+                Gt => Value::Bool(a > b),
+                Ge => Value::Bool(a >= b),
+                Eq => Value::Bool(a == b),
+                Ne => Value::Bool(a != b),
+                And => Value::Bool(a != 0 && b != 0),
+                Or => Value::Bool(a != 0 || b != 0),
+            });
+        }
+        if let (Value::Bool(a), Value::Bool(b)) = (l, r) {
+            return Ok(match op {
+                And => Value::Bool(a && b),
+                Or => Value::Bool(a || b),
+                Eq => Value::Bool(a == b),
+                Ne => Value::Bool(a != b),
+                _ => return Err(InterpError::Malformed("arithmetic on booleans".into())),
+            });
+        }
+        // Floating-point arithmetic: count it as compute.
+        let a = l.as_float();
+        let b = r.as_float();
+        if matches!(op, Add | Sub | Mul | Div) && self.suppress == 0 {
+            monitor.on_scalar_op(op, DataType::F64);
+        }
+        Ok(match op {
+            Add => Value::Float(a + b),
+            Sub => Value::Float(a - b),
+            Mul => Value::Float(a * b),
+            Div => Value::Float(a / b),
+            Mod => Value::Float(a.rem_euclid(b)),
+            Lt => Value::Bool(a < b),
+            Le => Value::Bool(a <= b),
+            Gt => Value::Bool(a > b),
+            Ge => Value::Bool(a >= b),
+            Eq => Value::Bool(a == b),
+            Ne => Value::Bool(a != b),
+            And | Or => return Err(InterpError::Malformed("logical op on floats".into())),
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::monitor::{CountingMonitor, NullMonitor};
+    use exo_ir::{fb, ib, read, var, Mem, ProcBuilder};
+
+    fn gemv_proc() -> Proc {
+        ProcBuilder::new("gemv")
+            .size_arg("M")
+            .size_arg("N")
+            .tensor_arg("A", DataType::F32, vec![var("M"), var("N")], Mem::Dram)
+            .tensor_arg("x", DataType::F32, vec![var("N")], Mem::Dram)
+            .tensor_arg("y", DataType::F32, vec![var("M")], Mem::Dram)
+            .for_("i", ib(0), var("M"), |b| {
+                b.for_("j", ib(0), var("N"), |b| {
+                    let rhs = read("A", vec![var("i"), var("j")]) * read("x", vec![var("j")]);
+                    b.reduce("y", vec![var("i")], rhs);
+                });
+            })
+            .build()
+    }
+
+    #[test]
+    fn gemv_computes_matrix_vector_product() {
+        let registry = ProcRegistry::new();
+        let mut interp = Interpreter::new(&registry);
+        let (m, n) = (3usize, 4usize);
+        let a: Vec<f64> = (0..m * n).map(|v| v as f64).collect();
+        let x: Vec<f64> = (0..n).map(|v| (v + 1) as f64).collect();
+        let (_, a_arg) = ArgValue::from_vec(a.clone(), vec![m, n], DataType::F32);
+        let (_, x_arg) = ArgValue::from_vec(x.clone(), vec![n], DataType::F32);
+        let (y_buf, y_arg) = ArgValue::zeros(vec![m], DataType::F32);
+        interp
+            .run(
+                &gemv_proc(),
+                vec![ArgValue::Int(m as i64), ArgValue::Int(n as i64), a_arg, x_arg, y_arg],
+                &mut NullMonitor,
+            )
+            .unwrap();
+        let y = y_buf.borrow().data.clone();
+        for i in 0..m {
+            let expect: f64 = (0..n).map(|j| a[i * n + j] * x[j]).sum();
+            assert!((y[i] - expect).abs() < 1e-9, "row {i}: {} vs {expect}", y[i]);
+        }
+    }
+
+    #[test]
+    fn monitor_counts_flops_and_memory_traffic() {
+        let registry = ProcRegistry::new();
+        let mut interp = Interpreter::new(&registry);
+        let (m, n) = (2usize, 8usize);
+        let (_, a_arg) = ArgValue::from_vec(vec![1.0; m * n], vec![m, n], DataType::F32);
+        let (_, x_arg) = ArgValue::from_vec(vec![1.0; n], vec![n], DataType::F32);
+        let (_, y_arg) = ArgValue::zeros(vec![m], DataType::F32);
+        let mut mon = CountingMonitor::default();
+        interp
+            .run(
+                &gemv_proc(),
+                vec![ArgValue::Int(m as i64), ArgValue::Int(n as i64), a_arg, x_arg, y_arg],
+                &mut mon,
+            )
+            .unwrap();
+        // One multiply and one add per inner iteration.
+        assert_eq!(mon.scalar_ops, (m * n * 2) as u64);
+        assert_eq!(mon.loop_iters, (m + m * n) as u64);
+        assert_eq!(mon.writes, (m * n) as u64);
+        assert!(mon.reads >= (3 * m * n) as u64);
+    }
+
+    #[test]
+    fn assertion_failures_are_reported() {
+        let p = ProcBuilder::new("p")
+            .size_arg("n")
+            .assert_(Expr::eq_(Expr::modulo(var("n"), ib(8)), ib(0)))
+            .build();
+        let registry = ProcRegistry::new();
+        let mut interp = Interpreter::new(&registry);
+        assert!(matches!(
+            interp.run(&p, vec![ArgValue::Int(12)], &mut NullMonitor),
+            Err(InterpError::AssertFailed(_))
+        ));
+        assert!(interp.run(&p, vec![ArgValue::Int(16)], &mut NullMonitor).is_ok());
+    }
+
+    #[test]
+    fn out_of_bounds_accesses_error() {
+        let p = ProcBuilder::new("p")
+            .size_arg("n")
+            .tensor_arg("x", DataType::F32, vec![var("n")], Mem::Dram)
+            .for_("i", ib(0), var("n") + ib(1), |b| {
+                b.assign("x", vec![var("i")], fb(1.0));
+            })
+            .build();
+        let registry = ProcRegistry::new();
+        let mut interp = Interpreter::new(&registry);
+        let (_, x_arg) = ArgValue::zeros(vec![4], DataType::F32);
+        assert!(matches!(
+            interp.run(&p, vec![ArgValue::Int(4), x_arg], &mut NullMonitor),
+            Err(InterpError::OutOfBounds { .. })
+        ));
+    }
+
+    #[test]
+    fn calls_execute_instruction_bodies_through_windows() {
+        // An 8-lane vector load instruction: dst[0:8] = src[0:8].
+        let loadu = ProcBuilder::new("vec_load8")
+            .window_arg("dst", DataType::F32, vec![ib(8)], Mem::VecAvx2)
+            .window_arg("src", DataType::F32, vec![ib(8)], Mem::Dram)
+            .instr("avx2_load", "load")
+            .with_body(|b| {
+                b.for_("l", ib(0), ib(8), |b| {
+                    b.assign("dst", vec![var("l")], b.read("src", vec![var("l")]));
+                });
+            })
+            .build();
+        let caller = ProcBuilder::new("caller")
+            .tensor_arg("x", DataType::F32, vec![ib(16)], Mem::Dram)
+            .tensor_arg("out", DataType::F32, vec![ib(16)], Mem::Dram)
+            .with_body(|b| {
+                b.call(
+                    "vec_load8",
+                    vec![
+                        Expr::Window {
+                            buf: Sym::new("out"),
+                            idx: vec![WAccess::Interval(ib(8), ib(16))],
+                        },
+                        Expr::Window {
+                            buf: Sym::new("x"),
+                            idx: vec![WAccess::Interval(ib(0), ib(8))],
+                        },
+                    ],
+                );
+            })
+            .build();
+        let mut registry = ProcRegistry::new();
+        registry.register(loadu);
+        let mut interp = Interpreter::new(&registry);
+        let (_, x_arg) = ArgValue::from_vec((0..16).map(|v| v as f64).collect(), vec![16], DataType::F32);
+        let (out_buf, out_arg) = ArgValue::zeros(vec![16], DataType::F32);
+        interp.run(&caller, vec![x_arg, out_arg], &mut NullMonitor).unwrap();
+        let out = out_buf.borrow().data.clone();
+        assert_eq!(&out[8..16], &[0.0, 1.0, 2.0, 3.0, 4.0, 5.0, 6.0, 7.0]);
+        assert!(out[..8].iter().all(|&v| v == 0.0));
+    }
+
+    #[test]
+    fn unknown_procedures_error() {
+        let caller = ProcBuilder::new("caller")
+            .with_body(|b| {
+                b.call("missing", vec![]);
+            })
+            .build();
+        let registry = ProcRegistry::new();
+        let mut interp = Interpreter::new(&registry);
+        assert!(matches!(
+            interp.run(&caller, vec![], &mut NullMonitor),
+            Err(InterpError::UnknownProc(_))
+        ));
+    }
+
+    #[test]
+    fn config_writes_are_visible_and_counted() {
+        let p = ProcBuilder::new("p")
+            .with_body(|b| {
+                b.write_config("cfg", "stride", ib(4));
+            })
+            .build();
+        let registry = ProcRegistry::new();
+        let mut interp = Interpreter::new(&registry);
+        let mut mon = CountingMonitor::default();
+        interp.run(&p, vec![], &mut mon).unwrap();
+        assert_eq!(interp.config("cfg", "stride"), Some(4.0));
+        assert_eq!(mon.config_writes, 1);
+    }
+
+    #[test]
+    fn scalar_zero_dim_buffers_passed_by_reference() {
+        // callee: out = in * 2 where out/in are 0-dim tensors.
+        let callee = ProcBuilder::new("double")
+            .tensor_arg("src", DataType::F32, vec![], Mem::Dram)
+            .tensor_arg("dst", DataType::F32, vec![], Mem::Dram)
+            .with_body(|b| {
+                b.assign("dst", vec![], b.read("src", vec![]) * fb(2.0));
+            })
+            .build();
+        let caller = ProcBuilder::new("caller")
+            .tensor_arg("out", DataType::F32, vec![ib(1)], Mem::Dram)
+            .with_body(|b| {
+                b.alloc("tmp", DataType::F32, vec![], Mem::Dram);
+                b.assign("tmp", vec![], fb(21.0));
+                b.call("double", vec![var("tmp"), var("tmp")]);
+                b.assign("out", vec![ib(0)], b.read("tmp", vec![]));
+            })
+            .build();
+        let mut registry = ProcRegistry::new();
+        registry.register(callee);
+        let mut interp = Interpreter::new(&registry);
+        let (out_buf, out_arg) = ArgValue::zeros(vec![1], DataType::F32);
+        interp.run(&caller, vec![out_arg], &mut NullMonitor).unwrap();
+        assert_eq!(out_buf.borrow().data[0], 42.0);
+    }
+
+    #[test]
+    fn loop_scoping_shadows_outer_bindings() {
+        // Allocation inside a loop body is fresh each iteration.
+        let p = ProcBuilder::new("p")
+            .tensor_arg("out", DataType::F32, vec![ib(4)], Mem::Dram)
+            .for_("i", ib(0), ib(4), |b| {
+                b.alloc("t", DataType::F32, vec![], Mem::Dram);
+                b.reduce("t", vec![], fb(1.0));
+                b.assign("out", vec![var("i")], b.read("t", vec![]));
+            })
+            .build();
+        let registry = ProcRegistry::new();
+        let mut interp = Interpreter::new(&registry);
+        let (out_buf, out_arg) = ArgValue::zeros(vec![4], DataType::F32);
+        interp.run(&p, vec![out_arg], &mut NullMonitor).unwrap();
+        assert_eq!(out_buf.borrow().data, vec![1.0; 4]);
+    }
+
+    #[test]
+    fn stride_expression_reflects_row_major_layout() {
+        let p = ProcBuilder::new("p")
+            .tensor_arg("A", DataType::F32, vec![ib(3), ib(5)], Mem::Dram)
+            .tensor_arg("out", DataType::F32, vec![ib(1)], Mem::Dram)
+            .with_body(|b| {
+                b.assign("out", vec![ib(0)], Expr::Stride { buf: Sym::new("A"), dim: 0 });
+            })
+            .build();
+        let registry = ProcRegistry::new();
+        let mut interp = Interpreter::new(&registry);
+        let (_, a_arg) = ArgValue::zeros(vec![3, 5], DataType::F32);
+        let (out_buf, out_arg) = ArgValue::zeros(vec![1], DataType::F32);
+        interp.run(&p, vec![a_arg, out_arg], &mut NullMonitor).unwrap();
+        assert_eq!(out_buf.borrow().data[0], 5.0);
+    }
+}

@@ -1,0 +1,122 @@
+//! Execution monitors: hooks the interpreter reports events to.
+
+use exo_ir::{BinOp, DataType, Mem, Proc};
+
+/// Observes interpreter events. `exo-machine` implements a monitor that
+/// turns these events into simulated cycles and cache traffic.
+///
+/// All methods have empty default implementations so simple monitors only
+/// override what they need.
+pub trait Monitor {
+    /// A call is about to be executed. Returning `true` asks the
+    /// interpreter to *still execute the callee's body* but to suppress
+    /// per-operation events inside it (used to charge instruction
+    /// procedures as single hardware instructions).
+    fn enter_call(&mut self, _proc: &Proc) -> bool {
+        false
+    }
+
+    /// A call finished executing.
+    fn exit_call(&mut self, _proc: &Proc) {}
+
+    /// A scalar binary operation was evaluated on value (non-index) data.
+    fn on_scalar_op(&mut self, _op: BinOp, _dt: DataType) {}
+
+    /// An element was read from a buffer.
+    fn on_read(&mut self, _mem: &Mem, _addr: u64, _bytes: u64) {}
+
+    /// An element was written to a buffer.
+    fn on_write(&mut self, _mem: &Mem, _addr: u64, _bytes: u64) {}
+
+    /// A loop began one iteration.
+    fn on_loop_iter(&mut self, _parallel: bool) {}
+
+    /// An `if` condition was evaluated.
+    fn on_branch(&mut self) {}
+
+    /// A configuration register was written.
+    fn on_config_write(&mut self, _config: &str, _field: &str) {}
+
+    /// A statement was executed (any kind).
+    fn on_stmt(&mut self) {}
+}
+
+/// A monitor that ignores every event.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct NullMonitor;
+
+impl Monitor for NullMonitor {}
+
+/// A monitor that counts events; useful in tests and as a simple
+/// instruction-mix profiler.
+#[derive(Debug, Default, Clone)]
+pub struct CountingMonitor {
+    /// Number of scalar arithmetic operations.
+    pub scalar_ops: u64,
+    /// Number of element reads.
+    pub reads: u64,
+    /// Number of element writes.
+    pub writes: u64,
+    /// Number of loop iterations.
+    pub loop_iters: u64,
+    /// Number of branches evaluated.
+    pub branches: u64,
+    /// Number of calls (instruction or procedure).
+    pub calls: u64,
+    /// Number of configuration-register writes.
+    pub config_writes: u64,
+    /// Number of statements executed.
+    pub stmts: u64,
+}
+
+impl Monitor for CountingMonitor {
+    fn enter_call(&mut self, _proc: &Proc) -> bool {
+        self.calls += 1;
+        false
+    }
+
+    fn on_scalar_op(&mut self, _op: BinOp, _dt: DataType) {
+        self.scalar_ops += 1;
+    }
+
+    fn on_read(&mut self, _mem: &Mem, _addr: u64, _bytes: u64) {
+        self.reads += 1;
+    }
+
+    fn on_write(&mut self, _mem: &Mem, _addr: u64, _bytes: u64) {
+        self.writes += 1;
+    }
+
+    fn on_loop_iter(&mut self, _parallel: bool) {
+        self.loop_iters += 1;
+    }
+
+    fn on_branch(&mut self) {
+        self.branches += 1;
+    }
+
+    fn on_config_write(&mut self, _config: &str, _field: &str) {
+        self.config_writes += 1;
+    }
+
+    fn on_stmt(&mut self) {
+        self.stmts += 1;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counting_monitor_accumulates() {
+        let mut m = CountingMonitor::default();
+        m.on_scalar_op(BinOp::Add, DataType::F32);
+        m.on_scalar_op(BinOp::Mul, DataType::F32);
+        m.on_read(&Mem::Dram, 0, 4);
+        m.on_loop_iter(false);
+        assert_eq!(m.scalar_ops, 2);
+        assert_eq!(m.reads, 1);
+        assert_eq!(m.loop_iters, 1);
+    }
+}

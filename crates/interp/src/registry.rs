@@ -1,0 +1,105 @@
+//! A registry of procedures resolvable by call statements.
+
+use exo_ir::Proc;
+use std::collections::HashMap;
+
+/// Maps procedure names to their definitions.
+///
+/// Object code may call sub-procedures and instruction procedures; the
+/// interpreter resolves those calls against a registry. Instruction
+/// procedures (those with [`exo_ir::Proc::instr`] metadata) carry their
+/// semantics in their bodies, so calling them is no different from calling
+/// ordinary procedures — except that monitors may charge them differently.
+#[derive(Clone, Debug, Default)]
+pub struct ProcRegistry {
+    procs: HashMap<String, Proc>,
+}
+
+impl ProcRegistry {
+    /// An empty registry.
+    pub fn new() -> Self {
+        ProcRegistry::default()
+    }
+
+    /// Registers a procedure under its own name, replacing any previous
+    /// definition with the same name.
+    pub fn register(&mut self, proc: Proc) -> &mut Self {
+        self.procs.insert(proc.name().to_string(), proc);
+        self
+    }
+
+    /// Registers every procedure in the iterator.
+    pub fn register_all(&mut self, procs: impl IntoIterator<Item = Proc>) -> &mut Self {
+        for p in procs {
+            self.register(p);
+        }
+        self
+    }
+
+    /// Looks up a procedure by name.
+    pub fn get(&self, name: &str) -> Option<&Proc> {
+        self.procs.get(name)
+    }
+
+    /// Whether a procedure with this name is registered.
+    pub fn contains(&self, name: &str) -> bool {
+        self.procs.contains_key(name)
+    }
+
+    /// Number of registered procedures.
+    pub fn len(&self) -> usize {
+        self.procs.len()
+    }
+
+    /// Whether the registry is empty.
+    pub fn is_empty(&self) -> bool {
+        self.procs.is_empty()
+    }
+
+    /// Iterates over all registered procedures.
+    pub fn iter(&self) -> impl Iterator<Item = &Proc> {
+        self.procs.values()
+    }
+}
+
+impl FromIterator<Proc> for ProcRegistry {
+    fn from_iter<T: IntoIterator<Item = Proc>>(iter: T) -> Self {
+        let mut r = ProcRegistry::new();
+        r.register_all(iter);
+        r
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use exo_ir::ProcBuilder;
+
+    #[test]
+    fn register_and_lookup() {
+        let mut r = ProcRegistry::new();
+        r.register(ProcBuilder::new("foo").build());
+        r.register(ProcBuilder::new("bar").build());
+        assert!(r.contains("foo"));
+        assert!(!r.contains("baz"));
+        assert_eq!(r.len(), 2);
+        assert_eq!(r.get("bar").unwrap().name(), "bar");
+    }
+
+    #[test]
+    fn later_registration_replaces_earlier() {
+        let mut r = ProcRegistry::new();
+        r.register(ProcBuilder::new("foo").size_arg("n").build());
+        r.register(ProcBuilder::new("foo").build());
+        assert_eq!(r.get("foo").unwrap().args().len(), 0);
+        assert_eq!(r.len(), 1);
+    }
+
+    #[test]
+    fn collects_from_iterator() {
+        let r: ProcRegistry =
+            vec![ProcBuilder::new("a").build(), ProcBuilder::new("b").build()].into_iter().collect();
+        assert_eq!(r.len(), 2);
+        assert_eq!(r.iter().count(), 2);
+    }
+}

@@ -1,0 +1,475 @@
+//! Expressions of the object language.
+
+use crate::sym::Sym;
+use std::fmt;
+use std::ops;
+
+/// Binary operators available in index and value expressions.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub enum BinOp {
+    /// Addition.
+    Add,
+    /// Subtraction.
+    Sub,
+    /// Multiplication.
+    Mul,
+    /// Integer (floor) division for index expressions, ordinary division
+    /// for floating-point values.
+    Div,
+    /// Modulo.
+    Mod,
+    /// Less-than comparison.
+    Lt,
+    /// Less-or-equal comparison.
+    Le,
+    /// Greater-than comparison.
+    Gt,
+    /// Greater-or-equal comparison.
+    Ge,
+    /// Equality comparison.
+    Eq,
+    /// Inequality comparison.
+    Ne,
+    /// Logical and.
+    And,
+    /// Logical or.
+    Or,
+}
+
+impl BinOp {
+    /// Returns `true` for comparison / boolean operators.
+    pub fn is_predicate(self) -> bool {
+        matches!(
+            self,
+            BinOp::Lt | BinOp::Le | BinOp::Gt | BinOp::Ge | BinOp::Eq | BinOp::Ne | BinOp::And | BinOp::Or
+        )
+    }
+
+    /// Returns `true` if the operator commutes (`x op y == y op x`).
+    pub fn commutes(self) -> bool {
+        matches!(self, BinOp::Add | BinOp::Mul | BinOp::Eq | BinOp::Ne | BinOp::And | BinOp::Or)
+    }
+
+    /// Symbol used by the pretty printer.
+    pub fn symbol(self) -> &'static str {
+        match self {
+            BinOp::Add => "+",
+            BinOp::Sub => "-",
+            BinOp::Mul => "*",
+            BinOp::Div => "/",
+            BinOp::Mod => "%",
+            BinOp::Lt => "<",
+            BinOp::Le => "<=",
+            BinOp::Gt => ">",
+            BinOp::Ge => ">=",
+            BinOp::Eq => "==",
+            BinOp::Ne => "!=",
+            BinOp::And => "and",
+            BinOp::Or => "or",
+        }
+    }
+}
+
+/// Unary operators.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub enum UnOp {
+    /// Arithmetic negation.
+    Neg,
+    /// Logical not.
+    Not,
+}
+
+/// One dimension of a *window expression*: either a single point or a
+/// half-open interval `[lo, hi)` of a buffer dimension.
+///
+/// Windows appear as arguments to instruction calls, e.g.
+/// `mm512_loadu_ps(dst[0:16], src[i, 0:16])`.
+#[derive(Clone, PartialEq, Debug)]
+pub enum WAccess {
+    /// A point access along this dimension (the dimension is dropped from
+    /// the window's shape).
+    Point(Expr),
+    /// An interval access `lo .. hi` along this dimension.
+    Interval(Expr, Expr),
+}
+
+/// An expression of the object language.
+#[derive(Clone, PartialEq, Debug)]
+pub enum Expr {
+    /// Integer literal (also used for index arithmetic).
+    Int(i64),
+    /// Floating-point literal.
+    Float(f64),
+    /// Boolean literal.
+    Bool(bool),
+    /// A scalar variable, loop iterator, or size argument.
+    Var(Sym),
+    /// A read of a buffer element: `buf[idx...]`.
+    Read {
+        /// Buffer being read.
+        buf: Sym,
+        /// Index expression per dimension (empty for scalar buffers).
+        idx: Vec<Expr>,
+    },
+    /// A window of a buffer, used as an argument to calls: `buf[lo:hi, p]`.
+    Window {
+        /// Buffer being windowed.
+        buf: Sym,
+        /// Per-dimension accesses.
+        idx: Vec<WAccess>,
+    },
+    /// Binary operation.
+    Bin {
+        /// Operator.
+        op: BinOp,
+        /// Left operand.
+        lhs: Box<Expr>,
+        /// Right operand.
+        rhs: Box<Expr>,
+    },
+    /// Unary operation.
+    Un {
+        /// Operator.
+        op: UnOp,
+        /// Operand.
+        arg: Box<Expr>,
+    },
+    /// `stride(buf, dim)` — the row stride of a buffer, used by accelerator
+    /// configuration instructions.
+    Stride {
+        /// Buffer whose stride is queried.
+        buf: Sym,
+        /// Dimension index.
+        dim: usize,
+    },
+    /// A read of an accelerator configuration-register field,
+    /// e.g. `cfg.stride`.
+    ReadConfig {
+        /// Configuration struct name.
+        config: Sym,
+        /// Field name.
+        field: String,
+    },
+}
+
+impl Expr {
+    /// Builds `lhs op rhs`.
+    pub fn bin(op: BinOp, lhs: Expr, rhs: Expr) -> Expr {
+        Expr::Bin { op, lhs: Box::new(lhs), rhs: Box::new(rhs) }
+    }
+
+    /// Builds a comparison `lhs < rhs`.
+    pub fn lt(lhs: Expr, rhs: Expr) -> Expr {
+        Expr::bin(BinOp::Lt, lhs, rhs)
+    }
+
+    /// Builds a comparison `lhs <= rhs`.
+    pub fn le(lhs: Expr, rhs: Expr) -> Expr {
+        Expr::bin(BinOp::Le, lhs, rhs)
+    }
+
+    /// Builds an equality comparison `lhs == rhs`.
+    pub fn eq_(lhs: Expr, rhs: Expr) -> Expr {
+        Expr::bin(BinOp::Eq, lhs, rhs)
+    }
+
+    /// Builds `lhs % rhs`.
+    pub fn modulo(lhs: Expr, rhs: Expr) -> Expr {
+        Expr::bin(BinOp::Mod, lhs, rhs)
+    }
+
+    /// Builds logical `lhs and rhs`.
+    pub fn and(lhs: Expr, rhs: Expr) -> Expr {
+        Expr::bin(BinOp::And, lhs, rhs)
+    }
+
+    /// Returns the integer value if this is an integer literal.
+    pub fn as_int(&self) -> Option<i64> {
+        match self {
+            Expr::Int(v) => Some(*v),
+            _ => None,
+        }
+    }
+
+    /// Returns the variable symbol if this is a bare variable reference.
+    pub fn as_var(&self) -> Option<&Sym> {
+        match self {
+            Expr::Var(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// Returns `true` if the expression syntactically mentions `sym`
+    /// (as a variable, buffer, stride or config reference).
+    pub fn mentions(&self, sym: &Sym) -> bool {
+        match self {
+            Expr::Int(_) | Expr::Float(_) | Expr::Bool(_) => false,
+            Expr::Var(s) => s == sym,
+            Expr::Read { buf, idx } => buf == sym || idx.iter().any(|e| e.mentions(sym)),
+            Expr::Window { buf, idx } => {
+                buf == sym
+                    || idx.iter().any(|w| match w {
+                        WAccess::Point(e) => e.mentions(sym),
+                        WAccess::Interval(lo, hi) => lo.mentions(sym) || hi.mentions(sym),
+                    })
+            }
+            Expr::Bin { lhs, rhs, .. } => lhs.mentions(sym) || rhs.mentions(sym),
+            Expr::Un { arg, .. } => arg.mentions(sym),
+            Expr::Stride { buf, .. } => buf == sym,
+            Expr::ReadConfig { config, .. } => config == sym,
+        }
+    }
+
+    /// Collects every buffer symbol read anywhere in this expression.
+    pub fn buffers_read(&self) -> Vec<Sym> {
+        let mut out = Vec::new();
+        self.collect_buffers(&mut out);
+        out
+    }
+
+    fn collect_buffers(&self, out: &mut Vec<Sym>) {
+        match self {
+            Expr::Read { buf, idx } => {
+                out.push(buf.clone());
+                for e in idx {
+                    e.collect_buffers(out);
+                }
+            }
+            Expr::Window { buf, idx } => {
+                out.push(buf.clone());
+                for w in idx {
+                    match w {
+                        WAccess::Point(e) => e.collect_buffers(out),
+                        WAccess::Interval(lo, hi) => {
+                            lo.collect_buffers(out);
+                            hi.collect_buffers(out);
+                        }
+                    }
+                }
+            }
+            Expr::Bin { lhs, rhs, .. } => {
+                lhs.collect_buffers(out);
+                rhs.collect_buffers(out);
+            }
+            Expr::Un { arg, .. } => arg.collect_buffers(out),
+            _ => {}
+        }
+    }
+}
+
+/// Shorthand for an integer literal expression.
+///
+/// ```
+/// use exo_ir::ib;
+/// assert_eq!(ib(3).as_int(), Some(3));
+/// ```
+pub fn ib(v: i64) -> Expr {
+    Expr::Int(v)
+}
+
+/// Shorthand for a floating-point literal expression.
+pub fn fb(v: f64) -> Expr {
+    Expr::Float(v)
+}
+
+/// Shorthand for a variable reference expression.
+///
+/// ```
+/// use exo_ir::{var, Sym};
+/// assert_eq!(var("i").as_var(), Some(&Sym::new("i")));
+/// ```
+pub fn var(name: impl Into<Sym>) -> Expr {
+    Expr::Var(name.into())
+}
+
+/// Shorthand for a buffer read expression `buf[idx...]`.
+pub fn read(buf: impl Into<Sym>, idx: Vec<Expr>) -> Expr {
+    Expr::Read { buf: buf.into(), idx }
+}
+
+impl ops::Add for Expr {
+    type Output = Expr;
+    fn add(self, rhs: Expr) -> Expr {
+        Expr::bin(BinOp::Add, self, rhs)
+    }
+}
+
+impl ops::Sub for Expr {
+    type Output = Expr;
+    fn sub(self, rhs: Expr) -> Expr {
+        Expr::bin(BinOp::Sub, self, rhs)
+    }
+}
+
+impl ops::Mul for Expr {
+    type Output = Expr;
+    fn mul(self, rhs: Expr) -> Expr {
+        Expr::bin(BinOp::Mul, self, rhs)
+    }
+}
+
+impl ops::Div for Expr {
+    type Output = Expr;
+    fn div(self, rhs: Expr) -> Expr {
+        Expr::bin(BinOp::Div, self, rhs)
+    }
+}
+
+impl ops::Rem for Expr {
+    type Output = Expr;
+    fn rem(self, rhs: Expr) -> Expr {
+        Expr::bin(BinOp::Mod, self, rhs)
+    }
+}
+
+impl ops::Neg for Expr {
+    type Output = Expr;
+    fn neg(self) -> Expr {
+        Expr::Un { op: UnOp::Neg, arg: Box::new(self) }
+    }
+}
+
+impl fmt::Display for Expr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Expr::Int(v) => write!(f, "{v}"),
+            Expr::Float(v) => {
+                if v.fract() == 0.0 {
+                    write!(f, "{v:.1}")
+                } else {
+                    write!(f, "{v}")
+                }
+            }
+            Expr::Bool(v) => write!(f, "{}", if *v { "True" } else { "False" }),
+            Expr::Var(s) => write!(f, "{s}"),
+            Expr::Read { buf, idx } => {
+                if idx.is_empty() {
+                    write!(f, "{buf}")
+                } else {
+                    let parts: Vec<String> = idx.iter().map(|e| e.to_string()).collect();
+                    write!(f, "{buf}[{}]", parts.join(", "))
+                }
+            }
+            Expr::Window { buf, idx } => {
+                let parts: Vec<String> = idx
+                    .iter()
+                    .map(|w| match w {
+                        WAccess::Point(e) => e.to_string(),
+                        WAccess::Interval(lo, hi) => format!("{lo}:{hi}"),
+                    })
+                    .collect();
+                write!(f, "{buf}[{}]", parts.join(", "))
+            }
+            Expr::Bin { op, lhs, rhs } => {
+                let p = prec(*op);
+                let lhs_s = if child_prec(lhs).map(|cp| cp < p).unwrap_or(false) {
+                    format!("({lhs})")
+                } else {
+                    lhs.to_string()
+                };
+                let rhs_s = if child_prec(rhs)
+                    .map(|cp| cp < p || (cp == p && !op.commutes()))
+                    .unwrap_or(false)
+                {
+                    format!("({rhs})")
+                } else {
+                    rhs.to_string()
+                };
+                write!(f, "{lhs_s} {} {rhs_s}", op.symbol())
+            }
+            Expr::Un { op, arg } => match op {
+                UnOp::Neg => write!(f, "-{}", paren(arg)),
+                UnOp::Not => write!(f, "not {}", paren(arg)),
+            },
+            Expr::Stride { buf, dim } => write!(f, "stride({buf}, {dim})"),
+            Expr::ReadConfig { config, field } => write!(f, "{config}.{field}"),
+        }
+    }
+}
+
+fn paren(e: &Expr) -> String {
+    match e {
+        Expr::Bin { .. } => format!("({e})"),
+        _ => e.to_string(),
+    }
+}
+
+/// Operator precedence for the pretty printer (higher binds tighter).
+fn prec(op: BinOp) -> u8 {
+    match op {
+        BinOp::Or => 1,
+        BinOp::And => 2,
+        BinOp::Lt | BinOp::Le | BinOp::Gt | BinOp::Ge | BinOp::Eq | BinOp::Ne => 3,
+        BinOp::Add | BinOp::Sub => 4,
+        BinOp::Mul | BinOp::Div | BinOp::Mod => 5,
+    }
+}
+
+fn child_prec(e: &Expr) -> Option<u8> {
+    match e {
+        Expr::Bin { op, .. } => Some(prec(*op)),
+        _ => None,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn operator_overloads_build_binops() {
+        let e = var("i") * ib(8) + var("j");
+        match &e {
+            Expr::Bin { op: BinOp::Add, lhs, .. } => match lhs.as_ref() {
+                Expr::Bin { op: BinOp::Mul, .. } => {}
+                other => panic!("unexpected lhs {other:?}"),
+            },
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn display_matches_exo_syntax() {
+        let e = read("y", vec![var("i")]);
+        assert_eq!(e.to_string(), "y[i]");
+        let e2 = var("a") * read("x", vec![ib(8) * var("io") + var("ii")]);
+        assert_eq!(e2.to_string(), "a * x[8 * io + ii]");
+        let w = Expr::Window {
+            buf: Sym::new("A"),
+            idx: vec![WAccess::Point(var("i")), WAccess::Interval(ib(0), ib(16))],
+        };
+        assert_eq!(w.to_string(), "A[i, 0:16]");
+    }
+
+    #[test]
+    fn mentions_descends_into_subtrees() {
+        let e = read("A", vec![var("i"), var("j") + ib(1)]);
+        assert!(e.mentions(&Sym::new("j")));
+        assert!(e.mentions(&Sym::new("A")));
+        assert!(!e.mentions(&Sym::new("k")));
+    }
+
+    #[test]
+    fn buffers_read_collects_nested() {
+        let e = read("A", vec![var("i")]) * read("x", vec![var("j")]) + var("c");
+        let bufs = e.buffers_read();
+        assert!(bufs.contains(&Sym::new("A")));
+        assert!(bufs.contains(&Sym::new("x")));
+        assert_eq!(bufs.len(), 2);
+    }
+
+    #[test]
+    fn commutes_and_predicates() {
+        assert!(BinOp::Add.commutes());
+        assert!(BinOp::Mul.commutes());
+        assert!(!BinOp::Sub.commutes());
+        assert!(BinOp::Lt.is_predicate());
+        assert!(!BinOp::Add.is_predicate());
+    }
+
+    #[test]
+    fn neg_display() {
+        let e = -var("x");
+        assert_eq!(e.to_string(), "-x");
+    }
+}

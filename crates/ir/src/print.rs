@@ -1,0 +1,160 @@
+//! Python-like pretty printer for procedures, matching the Exo syntax the
+//! paper uses in its object-code listings.
+
+use crate::proc::{ArgKind, Proc};
+use crate::stmt::{Block, Stmt};
+use std::fmt;
+
+impl fmt::Display for Proc {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let args: Vec<String> = self
+            .args()
+            .iter()
+            .map(|a| match &a.kind {
+                ArgKind::Size => format!("{}: size", a.name),
+                ArgKind::Scalar { ty } => format!("{}: {}", a.name, ty),
+                ArgKind::Tensor { ty, dims, mem, window } => {
+                    let dim_s: Vec<String> = dims.iter().map(|d| d.to_string()).collect();
+                    let brackets = if dim_s.is_empty() {
+                        String::new()
+                    } else {
+                        format!("[{}]", dim_s.join(", "))
+                    };
+                    if *window {
+                        format!("{}: [{}]{} @ {}", a.name, ty, brackets, mem)
+                    } else {
+                        format!("{}: {}{} @ {}", a.name, ty, brackets, mem)
+                    }
+                }
+            })
+            .collect();
+        writeln!(f, "def {}({}):", self.name(), args.join(", "))?;
+        for pred in self.preds() {
+            writeln!(f, "    assert {pred}")?;
+        }
+        if self.body().is_empty() {
+            writeln!(f, "    pass")?;
+        } else {
+            write_block(f, self.body(), 1)?;
+        }
+        Ok(())
+    }
+}
+
+fn write_block(f: &mut fmt::Formatter<'_>, block: &Block, indent: usize) -> fmt::Result {
+    for stmt in block.iter() {
+        write_stmt(f, stmt, indent)?;
+    }
+    Ok(())
+}
+
+fn write_stmt(f: &mut fmt::Formatter<'_>, stmt: &Stmt, indent: usize) -> fmt::Result {
+    let pad = "    ".repeat(indent);
+    match stmt {
+        Stmt::Assign { buf, idx, rhs } => {
+            writeln!(f, "{pad}{} = {rhs}", dest(buf.name(), idx))
+        }
+        Stmt::Reduce { buf, idx, rhs } => {
+            writeln!(f, "{pad}{} += {rhs}", dest(buf.name(), idx))
+        }
+        Stmt::Alloc { name, ty, dims, mem } => {
+            if dims.is_empty() {
+                writeln!(f, "{pad}{name}: {ty} @ {mem}")
+            } else {
+                let ds: Vec<String> = dims.iter().map(|d| d.to_string()).collect();
+                writeln!(f, "{pad}{name}: {ty}[{}] @ {mem}", ds.join(", "))
+            }
+        }
+        Stmt::For { iter, lo, hi, body, parallel } => {
+            let kw = if *parallel { "par" } else { "seq" };
+            writeln!(f, "{pad}for {iter} in {kw}({lo}, {hi}):")?;
+            if body.is_empty() {
+                writeln!(f, "{pad}    pass")
+            } else {
+                write_block(f, body, indent + 1)
+            }
+        }
+        Stmt::If { cond, then_body, else_body } => {
+            writeln!(f, "{pad}if {cond}:")?;
+            if then_body.is_empty() {
+                writeln!(f, "{pad}    pass")?;
+            } else {
+                write_block(f, then_body, indent + 1)?;
+            }
+            if !else_body.is_empty() {
+                writeln!(f, "{pad}else:")?;
+                write_block(f, else_body, indent + 1)?;
+            }
+            Ok(())
+        }
+        Stmt::Call { proc, args } => {
+            let a: Vec<String> = args.iter().map(|e| e.to_string()).collect();
+            writeln!(f, "{pad}{proc}({})", a.join(", "))
+        }
+        Stmt::Pass => writeln!(f, "{pad}pass"),
+        Stmt::WriteConfig { config, field, value } => {
+            writeln!(f, "{pad}{config}.{field} = {value}")
+        }
+        Stmt::WindowStmt { name, rhs } => writeln!(f, "{pad}{name} = {rhs}"),
+    }
+}
+
+fn dest(buf: &str, idx: &[crate::expr::Expr]) -> String {
+    if idx.is_empty() {
+        buf.to_string()
+    } else {
+        let parts: Vec<String> = idx.iter().map(|e| e.to_string()).collect();
+        format!("{buf}[{}]", parts.join(", "))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::builder::ProcBuilder;
+    use crate::expr::{ib, read, var, Expr};
+    use crate::types::{DataType, Mem};
+
+    #[test]
+    fn gemv_prints_like_the_paper() {
+        let p = ProcBuilder::new("gemv")
+            .size_arg("M")
+            .size_arg("N")
+            .tensor_arg("A", DataType::F32, vec![var("M"), var("N")], Mem::Dram)
+            .tensor_arg("x", DataType::F32, vec![var("N")], Mem::Dram)
+            .tensor_arg("y", DataType::F32, vec![var("M")], Mem::Dram)
+            .assert_(Expr::eq_(Expr::modulo(var("M"), ib(8)), ib(0)))
+            .for_("i", ib(0), var("M"), |b| {
+                b.for_("j", ib(0), var("N"), |b| {
+                    let rhs = read("A", vec![var("i"), var("j")]) * read("x", vec![var("j")]);
+                    b.reduce("y", vec![var("i")], rhs);
+                });
+            })
+            .build();
+        let s = format!("{p}");
+        assert!(s.contains("def gemv(M: size, N: size, A: f32[M, N] @ DRAM"), "{s}");
+        assert!(s.contains("assert M % 8 == 0"), "{s}");
+        assert!(s.contains("for i in seq(0, M):"), "{s}");
+        assert!(s.contains("y[i] += A[i, j] * x[j]"), "{s}");
+    }
+
+    #[test]
+    fn empty_bodies_print_pass() {
+        let p = ProcBuilder::new("empty").build();
+        assert!(format!("{p}").contains("pass"));
+    }
+
+    #[test]
+    fn alloc_and_call_printing() {
+        let p = ProcBuilder::new("k")
+            .with_body(|b| {
+                b.alloc("tmp", DataType::F32, vec![ib(16)], Mem::VecAvx512);
+                b.call("mm512_loadu_ps", vec![var("tmp"), var("x")]);
+                b.write_config("cfg", "stride", ib(1));
+            })
+            .build();
+        let s = format!("{p}");
+        assert!(s.contains("tmp: f32[16] @ VEC_AVX512"), "{s}");
+        assert!(s.contains("mm512_loadu_ps(tmp, x)"), "{s}");
+        assert!(s.contains("cfg.stride = 1"), "{s}");
+    }
+}

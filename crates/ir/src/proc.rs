@@ -1,0 +1,291 @@
+//! Procedures: the top-level unit of the object language.
+
+use crate::expr::Expr;
+use crate::stmt::Block;
+use crate::sym::Sym;
+use crate::types::{DataType, Mem};
+
+/// The kind of a procedure argument.
+#[derive(Clone, PartialEq, Debug)]
+pub enum ArgKind {
+    /// A `size` argument: a positive integer known at call time, usable in
+    /// dimension expressions and assertions.
+    Size,
+    /// A scalar value argument.
+    Scalar {
+        /// Element type.
+        ty: DataType,
+    },
+    /// A tensor (buffer) argument.
+    Tensor {
+        /// Element type.
+        ty: DataType,
+        /// Dimension sizes; may refer to size arguments.
+        dims: Vec<Expr>,
+        /// Memory space the buffer lives in.
+        mem: Mem,
+        /// Whether the argument is a *window* (`[f32][M, N]` in Exo syntax):
+        /// a strided view rather than a dense buffer.
+        window: bool,
+    },
+}
+
+/// A single procedure argument.
+#[derive(Clone, PartialEq, Debug)]
+pub struct ProcArg {
+    /// Argument name.
+    pub name: Sym,
+    /// Argument kind.
+    pub kind: ArgKind,
+}
+
+/// Metadata attached to *instruction procedures*: procedures whose body
+/// gives the semantics of a hardware instruction and whose calls are
+/// emitted verbatim by the backend.
+///
+/// The cost model in `exo-machine` uses `cost_class` to charge cycles, and
+/// `replace` (in `exo-core`) unifies statements against the instruction's
+/// body to substitute calls for loop nests.
+#[derive(Clone, PartialEq, Debug)]
+pub struct InstrInfo {
+    /// Cost-model class, e.g. `"avx512_fma"`, `"gemmini_ld_block"`.
+    pub cost_class: String,
+    /// C-like template emitted by the (textual) code generator; purely
+    /// informational in this reproduction.
+    pub c_template: String,
+}
+
+/// A procedure of the object language.
+///
+/// A procedure has a name, typed arguments, a list of assertion
+/// preconditions (available to the scheduling-time analysis), and a body.
+/// Instruction procedures additionally carry [`InstrInfo`].
+#[derive(Clone, PartialEq, Debug)]
+pub struct Proc {
+    name: String,
+    args: Vec<ProcArg>,
+    preds: Vec<Expr>,
+    body: Block,
+    instr: Option<InstrInfo>,
+}
+
+impl Proc {
+    /// Creates a procedure from parts. Most users construct procedures via
+    /// [`crate::ProcBuilder`] instead.
+    pub fn new(
+        name: impl Into<String>,
+        args: Vec<ProcArg>,
+        preds: Vec<Expr>,
+        body: Block,
+    ) -> Self {
+        Proc { name: name.into(), args, preds, body, instr: None }
+    }
+
+    /// Name of the procedure.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Renames the procedure (the `rename` scheduling operator).
+    pub fn with_name(mut self, name: impl Into<String>) -> Self {
+        self.name = name.into();
+        self
+    }
+
+    /// The procedure's arguments.
+    pub fn args(&self) -> &[ProcArg] {
+        &self.args
+    }
+
+    /// Mutable access to the arguments (used by `set_memory` /
+    /// `set_precision` when they target arguments).
+    pub fn args_mut(&mut self) -> &mut Vec<ProcArg> {
+        &mut self.args
+    }
+
+    /// Looks up an argument by name.
+    pub fn arg(&self, name: &str) -> Option<&ProcArg> {
+        self.args.iter().find(|a| a.name == *name)
+    }
+
+    /// The assertion preconditions (`assert M % 8 == 0`, ...).
+    pub fn preds(&self) -> &[Expr] {
+        &self.preds
+    }
+
+    /// Adds an assertion precondition, returning the new procedure
+    /// (the `add_assertion` operator from the paper's Appendix C).
+    pub fn add_assertion(&self, pred: Expr) -> Proc {
+        let mut p = self.clone();
+        p.preds.push(pred);
+        p
+    }
+
+    /// The procedure body.
+    pub fn body(&self) -> &Block {
+        &self.body
+    }
+
+    /// Mutable access to the body (used by the editing layer).
+    pub fn body_mut(&mut self) -> &mut Block {
+        &mut self.body
+    }
+
+    /// Replaces the body wholesale.
+    pub fn with_body(mut self, body: Block) -> Self {
+        self.body = body;
+        self
+    }
+
+    /// Instruction metadata, if this is an instruction procedure.
+    pub fn instr(&self) -> Option<&InstrInfo> {
+        self.instr.as_ref()
+    }
+
+    /// Marks this procedure as an instruction procedure.
+    pub fn with_instr(mut self, info: InstrInfo) -> Self {
+        self.instr = Some(info);
+        self
+    }
+
+    /// Returns `true` if this is an instruction procedure.
+    pub fn is_instr(&self) -> bool {
+        self.instr.is_some()
+    }
+
+    /// The element type of a tensor or scalar argument, if present.
+    pub fn arg_type(&self, name: &str) -> Option<DataType> {
+        self.arg(name).and_then(|a| match &a.kind {
+            ArgKind::Scalar { ty } => Some(*ty),
+            ArgKind::Tensor { ty, .. } => Some(*ty),
+            ArgKind::Size => Some(DataType::Index),
+        })
+    }
+
+    /// The memory space of a tensor argument, if present.
+    pub fn arg_mem(&self, name: &str) -> Option<&Mem> {
+        self.arg(name).and_then(|a| match &a.kind {
+            ArgKind::Tensor { mem, .. } => Some(mem),
+            _ => None,
+        })
+    }
+
+    /// Names of all size arguments.
+    pub fn size_args(&self) -> Vec<Sym> {
+        self.args
+            .iter()
+            .filter(|a| matches!(a.kind, ArgKind::Size))
+            .map(|a| a.name.clone())
+            .collect()
+    }
+
+    /// Total number of statements in the body, counted recursively. Used by
+    /// the evaluation's complexity metrics.
+    pub fn stmt_count(&self) -> usize {
+        self.body.count_recursive()
+    }
+
+    /// Partially evaluates size arguments to constants, returning a new
+    /// procedure with those arguments removed and every use replaced by the
+    /// constant (the paper's `p.partial_eval(M, N)`).
+    ///
+    /// `bindings` maps argument names to constant values, in any order.
+    /// Unknown names are ignored.
+    pub fn partial_eval(&self, bindings: &[(&str, i64)]) -> Proc {
+        use crate::visit::substitute_var;
+        let mut p = self.clone();
+        for (name, value) in bindings {
+            let sym = Sym::new(*name);
+            p.args.retain(|a| a.name != sym || !matches!(a.kind, ArgKind::Size));
+            let val = Expr::Int(*value);
+            // Substitute in argument dimensions.
+            for arg in &mut p.args {
+                if let ArgKind::Tensor { dims, .. } = &mut arg.kind {
+                    for d in dims {
+                        *d = substitute_expr_helper(d, &sym, &val);
+                    }
+                }
+            }
+            for pred in &mut p.preds {
+                *pred = substitute_expr_helper(pred, &sym, &val);
+            }
+            let body = std::mem::take(&mut p.body.0);
+            p.body.0 = body
+                .into_iter()
+                .map(|s| substitute_var(s, &sym, &val))
+                .collect();
+        }
+        p
+    }
+}
+
+fn substitute_expr_helper(e: &Expr, sym: &Sym, val: &Expr) -> Expr {
+    crate::visit::substitute_expr(e.clone(), sym, val)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::ProcBuilder;
+    use crate::expr::{ib, var, BinOp};
+
+    fn gemv() -> Proc {
+        ProcBuilder::new("gemv")
+            .size_arg("M")
+            .size_arg("N")
+            .tensor_arg("A", DataType::F32, vec![var("M"), var("N")], Mem::Dram)
+            .tensor_arg("x", DataType::F32, vec![var("N")], Mem::Dram)
+            .tensor_arg("y", DataType::F32, vec![var("M")], Mem::Dram)
+            .assert_(Expr::eq_(Expr::modulo(var("M"), ib(8)), ib(0)))
+            .for_("i", ib(0), var("M"), |b| {
+                b.for_("j", ib(0), var("N"), |b| {
+                    let rhs = crate::expr::read("A", vec![var("i"), var("j")])
+                        * crate::expr::read("x", vec![var("j")]);
+                    b.reduce("y", vec![var("i")], rhs);
+                });
+            })
+            .build()
+    }
+
+    #[test]
+    fn accessors() {
+        let p = gemv();
+        assert_eq!(p.name(), "gemv");
+        assert_eq!(p.args().len(), 5);
+        assert_eq!(p.size_args(), vec![Sym::new("M"), Sym::new("N")]);
+        assert_eq!(p.arg_type("A"), Some(DataType::F32));
+        assert_eq!(p.arg_mem("A"), Some(&Mem::Dram));
+        assert_eq!(p.preds().len(), 1);
+        assert_eq!(p.stmt_count(), 3);
+        assert!(!p.is_instr());
+    }
+
+    #[test]
+    fn rename_and_assertion() {
+        let p = gemv().with_name("gemv2");
+        assert_eq!(p.name(), "gemv2");
+        let p2 = p.add_assertion(Expr::bin(BinOp::Ge, var("N"), ib(8)));
+        assert_eq!(p2.preds().len(), 2);
+    }
+
+    #[test]
+    fn partial_eval_removes_size_args() {
+        let p = gemv().partial_eval(&[("M", 64), ("N", 32)]);
+        assert_eq!(p.size_args().len(), 0);
+        assert_eq!(p.args().len(), 3);
+        // The loop bound should now be a literal.
+        let s = format!("{p}");
+        assert!(s.contains("seq(0, 64)"), "{s}");
+        assert!(s.contains("seq(0, 32)"), "{s}");
+    }
+
+    #[test]
+    fn instr_marker() {
+        let p = Proc::new("mm512_loadu_ps", vec![], vec![], Block::new()).with_instr(InstrInfo {
+            cost_class: "avx512_load".into(),
+            c_template: "_mm512_loadu_ps(...)".into(),
+        });
+        assert!(p.is_instr());
+        assert_eq!(p.instr().unwrap().cost_class, "avx512_load");
+    }
+}

@@ -1,0 +1,263 @@
+//! Statements and statement blocks of the object language.
+
+use crate::expr::Expr;
+use crate::sym::Sym;
+use crate::types::{DataType, Mem};
+
+/// A sequence of statements (the body of a procedure, loop or branch).
+#[derive(Clone, PartialEq, Debug, Default)]
+pub struct Block(pub Vec<Stmt>);
+
+impl Block {
+    /// Creates an empty block.
+    pub fn new() -> Self {
+        Block(Vec::new())
+    }
+
+    /// Creates a block from statements.
+    pub fn from_stmts(stmts: Vec<Stmt>) -> Self {
+        Block(stmts)
+    }
+
+    /// Number of statements directly in this block.
+    pub fn len(&self) -> usize {
+        self.0.len()
+    }
+
+    /// Whether this block has no statements.
+    pub fn is_empty(&self) -> bool {
+        self.0.is_empty()
+    }
+
+    /// Iterates over direct statements.
+    pub fn iter(&self) -> std::slice::Iter<'_, Stmt> {
+        self.0.iter()
+    }
+
+    /// Total number of statements in this block, counted recursively.
+    pub fn count_recursive(&self) -> usize {
+        self.0.iter().map(|s| s.count_recursive()).sum()
+    }
+}
+
+impl std::ops::Index<usize> for Block {
+    type Output = Stmt;
+    fn index(&self, i: usize) -> &Stmt {
+        &self.0[i]
+    }
+}
+
+impl FromIterator<Stmt> for Block {
+    fn from_iter<T: IntoIterator<Item = Stmt>>(iter: T) -> Self {
+        Block(iter.into_iter().collect())
+    }
+}
+
+/// A statement of the object language.
+#[derive(Clone, PartialEq, Debug)]
+pub enum Stmt {
+    /// `buf[idx...] = rhs` — overwrite a buffer element (or scalar when
+    /// `idx` is empty).
+    Assign {
+        /// Destination buffer.
+        buf: Sym,
+        /// Destination index per dimension.
+        idx: Vec<Expr>,
+        /// Value written.
+        rhs: Expr,
+    },
+    /// `buf[idx...] += rhs` — reduce (accumulate) into a buffer element.
+    Reduce {
+        /// Destination buffer.
+        buf: Sym,
+        /// Destination index per dimension.
+        idx: Vec<Expr>,
+        /// Value accumulated.
+        rhs: Expr,
+    },
+    /// `name: ty[dims...] @ mem` — allocate a buffer for the remainder of
+    /// the enclosing scope.
+    Alloc {
+        /// Buffer name.
+        name: Sym,
+        /// Element type.
+        ty: DataType,
+        /// Dimension sizes (empty for a scalar temporary).
+        dims: Vec<Expr>,
+        /// Memory space.
+        mem: Mem,
+    },
+    /// `for iter in seq(lo, hi): body` — a sequential (or, after
+    /// `parallelize_loop`, parallel) counted loop.
+    For {
+        /// Iterator symbol, scoped to `body`.
+        iter: Sym,
+        /// Inclusive lower bound.
+        lo: Expr,
+        /// Exclusive upper bound.
+        hi: Expr,
+        /// Loop body.
+        body: Block,
+        /// Whether iterations may execute in parallel.
+        parallel: bool,
+    },
+    /// `if cond: then_body else: else_body`.
+    If {
+        /// Branch condition.
+        cond: Expr,
+        /// Taken when `cond` is true.
+        then_body: Block,
+        /// Taken when `cond` is false (may be empty).
+        else_body: Block,
+    },
+    /// A call to another procedure or to an instruction procedure.
+    Call {
+        /// Callee name.
+        proc: String,
+        /// Arguments (scalars, sizes, buffer windows).
+        args: Vec<Expr>,
+    },
+    /// `pass` — the empty statement.
+    Pass,
+    /// `config.field = value` — write an accelerator configuration register.
+    WriteConfig {
+        /// Configuration struct.
+        config: Sym,
+        /// Field name.
+        field: String,
+        /// New value.
+        value: Expr,
+    },
+    /// A window alias declaration: `name = buf[w...]` where the right-hand
+    /// side is a window expression. Introduced by `stage_mem`-style
+    /// operations and removed by `inline_window`.
+    WindowStmt {
+        /// Alias name.
+        name: Sym,
+        /// Window expression (must be [`Expr::Window`]).
+        rhs: Expr,
+    },
+}
+
+impl Stmt {
+    /// A human-readable label for the statement kind, used by error
+    /// messages and pattern matching.
+    pub fn kind(&self) -> &'static str {
+        match self {
+            Stmt::Assign { .. } => "assign",
+            Stmt::Reduce { .. } => "reduce",
+            Stmt::Alloc { .. } => "alloc",
+            Stmt::For { .. } => "for",
+            Stmt::If { .. } => "if",
+            Stmt::Call { .. } => "call",
+            Stmt::Pass => "pass",
+            Stmt::WriteConfig { .. } => "write_config",
+            Stmt::WindowStmt { .. } => "window",
+        }
+    }
+
+    /// Direct child blocks of this statement (loop body, branch arms).
+    pub fn child_blocks(&self) -> Vec<&Block> {
+        match self {
+            Stmt::For { body, .. } => vec![body],
+            Stmt::If { then_body, else_body, .. } => vec![then_body, else_body],
+            _ => vec![],
+        }
+    }
+
+    /// Mutable access to direct child blocks of this statement.
+    pub fn child_blocks_mut(&mut self) -> Vec<&mut Block> {
+        match self {
+            Stmt::For { body, .. } => vec![body],
+            Stmt::If { then_body, else_body, .. } => vec![then_body, else_body],
+            _ => vec![],
+        }
+    }
+
+    /// Total number of statements rooted at this one (itself included).
+    pub fn count_recursive(&self) -> usize {
+        1 + self.child_blocks().iter().map(|b| b.count_recursive()).sum::<usize>()
+    }
+
+    /// Returns `true` if the statement is a `for` loop.
+    pub fn is_for(&self) -> bool {
+        matches!(self, Stmt::For { .. })
+    }
+
+    /// Returns `true` if the statement is an `if`.
+    pub fn is_if(&self) -> bool {
+        matches!(self, Stmt::If { .. })
+    }
+
+    /// The loop iterator symbol, if this is a `for` loop.
+    pub fn loop_iter(&self) -> Option<&Sym> {
+        match self {
+            Stmt::For { iter, .. } => Some(iter),
+            _ => None,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::expr::{ib, read, var};
+
+    fn sample_loop() -> Stmt {
+        Stmt::For {
+            iter: Sym::new("i"),
+            lo: ib(0),
+            hi: var("n"),
+            body: Block(vec![Stmt::Reduce {
+                buf: Sym::new("y"),
+                idx: vec![var("i")],
+                rhs: read("x", vec![var("i")]),
+            }]),
+            parallel: false,
+        }
+    }
+
+    #[test]
+    fn kinds_and_predicates() {
+        let s = sample_loop();
+        assert_eq!(s.kind(), "for");
+        assert!(s.is_for());
+        assert!(!s.is_if());
+        assert_eq!(s.loop_iter(), Some(&Sym::new("i")));
+        assert_eq!(Stmt::Pass.kind(), "pass");
+    }
+
+    #[test]
+    fn recursive_count() {
+        let s = sample_loop();
+        assert_eq!(s.count_recursive(), 2);
+        let nested = Stmt::For {
+            iter: Sym::new("j"),
+            lo: ib(0),
+            hi: ib(4),
+            body: Block(vec![s]),
+            parallel: false,
+        };
+        assert_eq!(nested.count_recursive(), 3);
+    }
+
+    #[test]
+    fn child_blocks_of_if() {
+        let s = Stmt::If {
+            cond: Expr::Bool(true),
+            then_body: Block(vec![Stmt::Pass]),
+            else_body: Block::new(),
+        };
+        let blocks = s.child_blocks();
+        assert_eq!(blocks.len(), 2);
+        assert_eq!(blocks[0].len(), 1);
+        assert!(blocks[1].is_empty());
+    }
+
+    #[test]
+    fn block_collects_from_iterator() {
+        let b: Block = vec![Stmt::Pass, Stmt::Pass].into_iter().collect();
+        assert_eq!(b.len(), 2);
+        assert_eq!(b.count_recursive(), 2);
+    }
+}

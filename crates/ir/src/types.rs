@@ -1,0 +1,176 @@
+//! Scalar data types and memory spaces.
+
+use std::fmt;
+
+/// Numeric precision / scalar type of a buffer element or scalar variable.
+///
+/// These mirror the precisions used in the paper's evaluation: `f32`/`f64`
+/// for BLAS kernels, `i8`/`i32` for the Gemmini quantized matmul, and `bool`
+/// / `index` for control values.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug, PartialOrd, Ord)]
+pub enum DataType {
+    /// 32-bit IEEE-754 floating point.
+    F32,
+    /// 64-bit IEEE-754 floating point.
+    F64,
+    /// 8-bit signed integer (Gemmini quantized inputs).
+    I8,
+    /// 32-bit signed integer (Gemmini accumulator values).
+    I32,
+    /// Boolean.
+    Bool,
+    /// Loop-index / size values (non-negative integers).
+    Index,
+}
+
+impl DataType {
+    /// Size of one element in bytes, as used by the cache model.
+    pub fn size_bytes(self) -> u64 {
+        match self {
+            DataType::F32 | DataType::I32 => 4,
+            DataType::F64 => 8,
+            DataType::I8 | DataType::Bool => 1,
+            DataType::Index => 8,
+        }
+    }
+
+    /// Whether this is a floating-point type.
+    pub fn is_float(self) -> bool {
+        matches!(self, DataType::F32 | DataType::F64)
+    }
+
+    /// Whether this is an integer type (including `index`).
+    pub fn is_int(self) -> bool {
+        matches!(self, DataType::I8 | DataType::I32 | DataType::Index)
+    }
+}
+
+impl fmt::Display for DataType {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            DataType::F32 => "f32",
+            DataType::F64 => "f64",
+            DataType::I8 => "i8",
+            DataType::I32 => "i32",
+            DataType::Bool => "bool",
+            DataType::Index => "index",
+        };
+        f.write_str(s)
+    }
+}
+
+/// A memory space annotation (`@DRAM`, `@VEC_AVX2`, `@GEMM_SCRATCH`, ...).
+///
+/// Memory spaces are user-extensible in Exo; the enum carries the spaces
+/// used throughout the paper plus a [`Mem::Custom`] escape hatch. The
+/// backend check `set_memory` verifies that buffer accesses obey the target
+/// memory's constraints (see `exo-core`), and the cost simulator in
+/// `exo-machine` assigns different access costs per space.
+#[derive(Clone, PartialEq, Eq, Hash, Debug)]
+pub enum Mem {
+    /// Main memory (the default space).
+    Dram,
+    /// Statically-allocated main memory (`DRAM_STATIC` in the paper's GEMM).
+    DramStatic,
+    /// Stack-allocated main memory (`DRAM_STACK` in the blur schedule).
+    DramStack,
+    /// Generic vector-register space (used mid-vectorization before a
+    /// concrete ISA is chosen).
+    Vec,
+    /// AVX2 vector registers (8 × f32 / 4 × f64 lanes).
+    VecAvx2,
+    /// AVX512 vector registers (16 × f32 / 8 × f64 lanes).
+    VecAvx512,
+    /// Gemmini software-managed scratchpad (256 KiB in the paper).
+    GemmScratch,
+    /// Gemmini accumulator memory (16 KiB in the paper).
+    GemmAccum,
+    /// A user-defined memory space.
+    Custom(String),
+}
+
+impl Mem {
+    /// Returns `true` for vector-register spaces.
+    pub fn is_vector(&self) -> bool {
+        matches!(self, Mem::Vec | Mem::VecAvx2 | Mem::VecAvx512)
+    }
+
+    /// Returns `true` for Gemmini on-accelerator memories.
+    pub fn is_accelerator(&self) -> bool {
+        matches!(self, Mem::GemmScratch | Mem::GemmAccum)
+    }
+
+    /// Returns `true` for plain host memory spaces.
+    pub fn is_dram(&self) -> bool {
+        matches!(self, Mem::Dram | Mem::DramStatic | Mem::DramStack)
+    }
+
+    /// Number of scalar lanes a register of this space holds for `dt`,
+    /// or `None` for non-vector spaces.
+    pub fn lanes(&self, dt: DataType) -> Option<u64> {
+        let bytes = match self {
+            Mem::VecAvx2 => 32,
+            Mem::VecAvx512 => 64,
+            Mem::Vec => 32,
+            _ => return None,
+        };
+        Some(bytes / dt.size_bytes())
+    }
+}
+
+impl fmt::Display for Mem {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            Mem::Dram => "DRAM",
+            Mem::DramStatic => "DRAM_STATIC",
+            Mem::DramStack => "DRAM_STACK",
+            Mem::Vec => "VEC",
+            Mem::VecAvx2 => "VEC_AVX2",
+            Mem::VecAvx512 => "VEC_AVX512",
+            Mem::GemmScratch => "GEMM_SCRATCH",
+            Mem::GemmAccum => "GEMM_ACCUM",
+            Mem::Custom(name) => name,
+        };
+        f.write_str(s)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn datatype_sizes() {
+        assert_eq!(DataType::F32.size_bytes(), 4);
+        assert_eq!(DataType::F64.size_bytes(), 8);
+        assert_eq!(DataType::I8.size_bytes(), 1);
+        assert_eq!(DataType::I32.size_bytes(), 4);
+    }
+
+    #[test]
+    fn datatype_kind_predicates() {
+        assert!(DataType::F32.is_float());
+        assert!(!DataType::F32.is_int());
+        assert!(DataType::I8.is_int());
+        assert!(DataType::Index.is_int());
+    }
+
+    #[test]
+    fn mem_lanes() {
+        assert_eq!(Mem::VecAvx2.lanes(DataType::F32), Some(8));
+        assert_eq!(Mem::VecAvx2.lanes(DataType::F64), Some(4));
+        assert_eq!(Mem::VecAvx512.lanes(DataType::F32), Some(16));
+        assert_eq!(Mem::VecAvx512.lanes(DataType::F64), Some(8));
+        assert_eq!(Mem::Dram.lanes(DataType::F32), None);
+    }
+
+    #[test]
+    fn mem_predicates_and_display() {
+        assert!(Mem::VecAvx512.is_vector());
+        assert!(Mem::GemmScratch.is_accelerator());
+        assert!(Mem::DramStack.is_dram());
+        assert_eq!(Mem::GemmAccum.to_string(), "GEMM_ACCUM");
+        assert_eq!(Mem::Custom("MYMEM".into()).to_string(), "MYMEM");
+        assert_eq!(DataType::F64.to_string(), "f64");
+    }
+}

@@ -1,0 +1,363 @@
+//! Structural traversal, substitution, and renaming utilities.
+
+use crate::expr::{Expr, WAccess};
+use crate::stmt::{Block, Stmt};
+use crate::sym::Sym;
+
+/// Replaces every *variable* occurrence of `sym` in the expression with
+/// `val`. Buffer names, stride references and config references are left
+/// unchanged (those are renamed with [`rename_sym`]).
+pub fn substitute_expr(e: Expr, sym: &Sym, val: &Expr) -> Expr {
+    match e {
+        Expr::Var(ref s) if s == sym => val.clone(),
+        Expr::Int(_) | Expr::Float(_) | Expr::Bool(_) | Expr::Var(_) | Expr::Stride { .. }
+        | Expr::ReadConfig { .. } => e,
+        Expr::Read { buf, idx } => Expr::Read {
+            buf,
+            idx: idx.into_iter().map(|i| substitute_expr(i, sym, val)).collect(),
+        },
+        Expr::Window { buf, idx } => Expr::Window {
+            buf,
+            idx: idx
+                .into_iter()
+                .map(|w| match w {
+                    WAccess::Point(e) => WAccess::Point(substitute_expr(e, sym, val)),
+                    WAccess::Interval(lo, hi) => WAccess::Interval(
+                        substitute_expr(lo, sym, val),
+                        substitute_expr(hi, sym, val),
+                    ),
+                })
+                .collect(),
+        },
+        Expr::Bin { op, lhs, rhs } => Expr::Bin {
+            op,
+            lhs: Box::new(substitute_expr(*lhs, sym, val)),
+            rhs: Box::new(substitute_expr(*rhs, sym, val)),
+        },
+        Expr::Un { op, arg } => Expr::Un { op, arg: Box::new(substitute_expr(*arg, sym, val)) },
+    }
+}
+
+/// Replaces every variable occurrence of `sym` with `val` throughout a
+/// statement (recursively). Loop iterators that *shadow* `sym` stop the
+/// substitution in their body.
+pub fn substitute_var(stmt: Stmt, sym: &Sym, val: &Expr) -> Stmt {
+    let sub = |e: Expr| substitute_expr(e, sym, val);
+    match stmt {
+        Stmt::Assign { buf, idx, rhs } => Stmt::Assign {
+            buf,
+            idx: idx.into_iter().map(sub).collect(),
+            rhs: substitute_expr(rhs, sym, val),
+        },
+        Stmt::Reduce { buf, idx, rhs } => Stmt::Reduce {
+            buf,
+            idx: idx.into_iter().map(sub).collect(),
+            rhs: substitute_expr(rhs, sym, val),
+        },
+        Stmt::Alloc { name, ty, dims, mem } => Stmt::Alloc {
+            name,
+            ty,
+            dims: dims.into_iter().map(sub).collect(),
+            mem,
+        },
+        Stmt::For { iter, lo, hi, body, parallel } => {
+            let lo = substitute_expr(lo, sym, val);
+            let hi = substitute_expr(hi, sym, val);
+            if &iter == sym {
+                // The iterator shadows `sym`: do not substitute inside the body.
+                Stmt::For { iter, lo, hi, body, parallel }
+            } else {
+                Stmt::For {
+                    iter,
+                    lo,
+                    hi,
+                    body: substitute_block(body, sym, val),
+                    parallel,
+                }
+            }
+        }
+        Stmt::If { cond, then_body, else_body } => Stmt::If {
+            cond: substitute_expr(cond, sym, val),
+            then_body: substitute_block(then_body, sym, val),
+            else_body: substitute_block(else_body, sym, val),
+        },
+        Stmt::Call { proc, args } => Stmt::Call {
+            proc,
+            args: args.into_iter().map(sub).collect(),
+        },
+        Stmt::Pass => Stmt::Pass,
+        Stmt::WriteConfig { config, field, value } => Stmt::WriteConfig {
+            config,
+            field,
+            value: substitute_expr(value, sym, val),
+        },
+        Stmt::WindowStmt { name, rhs } => {
+            Stmt::WindowStmt { name, rhs: substitute_expr(rhs, sym, val) }
+        }
+    }
+}
+
+/// Substitutes within every statement of a block.
+pub fn substitute_block(block: Block, sym: &Sym, val: &Expr) -> Block {
+    Block(block.0.into_iter().map(|s| substitute_var(s, sym, val)).collect())
+}
+
+/// Renames a symbol everywhere it appears — as a variable, buffer name,
+/// iterator, stride target or config struct.
+pub fn rename_sym(stmt: Stmt, old: &Sym, new: &Sym) -> Stmt {
+    let rn = |s: Sym| if &s == old { new.clone() } else { s };
+    let re = |e: Expr| rename_expr(e, old, new);
+    match stmt {
+        Stmt::Assign { buf, idx, rhs } => Stmt::Assign {
+            buf: rn(buf),
+            idx: idx.into_iter().map(re).collect(),
+            rhs: rename_expr(rhs, old, new),
+        },
+        Stmt::Reduce { buf, idx, rhs } => Stmt::Reduce {
+            buf: rn(buf),
+            idx: idx.into_iter().map(re).collect(),
+            rhs: rename_expr(rhs, old, new),
+        },
+        Stmt::Alloc { name, ty, dims, mem } => Stmt::Alloc {
+            name: rn(name),
+            ty,
+            dims: dims.into_iter().map(re).collect(),
+            mem,
+        },
+        Stmt::For { iter, lo, hi, body, parallel } => Stmt::For {
+            iter: rn(iter),
+            lo: rename_expr(lo, old, new),
+            hi: rename_expr(hi, old, new),
+            body: Block(body.0.into_iter().map(|s| rename_sym(s, old, new)).collect()),
+            parallel,
+        },
+        Stmt::If { cond, then_body, else_body } => Stmt::If {
+            cond: rename_expr(cond, old, new),
+            then_body: Block(then_body.0.into_iter().map(|s| rename_sym(s, old, new)).collect()),
+            else_body: Block(else_body.0.into_iter().map(|s| rename_sym(s, old, new)).collect()),
+        },
+        Stmt::Call { proc, args } => Stmt::Call {
+            proc,
+            args: args.into_iter().map(re).collect(),
+        },
+        Stmt::Pass => Stmt::Pass,
+        Stmt::WriteConfig { config, field, value } => Stmt::WriteConfig {
+            config: rn(config),
+            field,
+            value: rename_expr(value, old, new),
+        },
+        Stmt::WindowStmt { name, rhs } => {
+            Stmt::WindowStmt { name: rn(name), rhs: rename_expr(rhs, old, new) }
+        }
+    }
+}
+
+/// Renames a symbol within an expression, including buffer names.
+pub fn rename_expr(e: Expr, old: &Sym, new: &Sym) -> Expr {
+    let rn = |s: Sym| if &s == old { new.clone() } else { s };
+    match e {
+        Expr::Var(s) => Expr::Var(rn(s)),
+        Expr::Read { buf, idx } => Expr::Read {
+            buf: rn(buf),
+            idx: idx.into_iter().map(|i| rename_expr(i, old, new)).collect(),
+        },
+        Expr::Window { buf, idx } => Expr::Window {
+            buf: rn(buf),
+            idx: idx
+                .into_iter()
+                .map(|w| match w {
+                    WAccess::Point(e) => WAccess::Point(rename_expr(e, old, new)),
+                    WAccess::Interval(lo, hi) => {
+                        WAccess::Interval(rename_expr(lo, old, new), rename_expr(hi, old, new))
+                    }
+                })
+                .collect(),
+        },
+        Expr::Bin { op, lhs, rhs } => Expr::Bin {
+            op,
+            lhs: Box::new(rename_expr(*lhs, old, new)),
+            rhs: Box::new(rename_expr(*rhs, old, new)),
+        },
+        Expr::Un { op, arg } => Expr::Un { op, arg: Box::new(rename_expr(*arg, old, new)) },
+        Expr::Stride { buf, dim } => Expr::Stride { buf: rn(buf), dim },
+        Expr::ReadConfig { config, field } => Expr::ReadConfig { config: rn(config), field },
+        other => other,
+    }
+}
+
+/// Calls `f` on every expression occurring in the statement, recursively
+/// (including expressions in nested statements).
+pub fn for_each_expr(stmt: &Stmt, f: &mut impl FnMut(&Expr)) {
+    let mut visit = |e: &Expr| visit_expr(e, f);
+    match stmt {
+        Stmt::Assign { idx, rhs, .. } | Stmt::Reduce { idx, rhs, .. } => {
+            idx.iter().for_each(&mut visit);
+            visit(rhs);
+        }
+        Stmt::Alloc { dims, .. } => dims.iter().for_each(&mut visit),
+        Stmt::For { lo, hi, body, .. } => {
+            visit(lo);
+            visit(hi);
+            body.iter().for_each(|s| for_each_expr(s, f));
+        }
+        Stmt::If { cond, then_body, else_body } => {
+            visit(cond);
+            then_body.iter().for_each(|s| for_each_expr(s, f));
+            else_body.iter().for_each(|s| for_each_expr(s, f));
+        }
+        Stmt::Call { args, .. } => args.iter().for_each(&mut visit),
+        Stmt::Pass => {}
+        Stmt::WriteConfig { value, .. } => visit(value),
+        Stmt::WindowStmt { rhs, .. } => visit(rhs),
+    }
+}
+
+fn visit_expr(e: &Expr, f: &mut impl FnMut(&Expr)) {
+    f(e);
+    match e {
+        Expr::Read { idx, .. } => idx.iter().for_each(|i| visit_expr(i, f)),
+        Expr::Window { idx, .. } => idx.iter().for_each(|w| match w {
+            WAccess::Point(e) => visit_expr(e, f),
+            WAccess::Interval(lo, hi) => {
+                visit_expr(lo, f);
+                visit_expr(hi, f);
+            }
+        }),
+        Expr::Bin { lhs, rhs, .. } => {
+            visit_expr(lhs, f);
+            visit_expr(rhs, f);
+        }
+        Expr::Un { arg, .. } => visit_expr(arg, f),
+        _ => {}
+    }
+}
+
+/// Calls `f` on every statement rooted at `stmt` (pre-order, including
+/// `stmt` itself).
+pub fn for_each_stmt(stmt: &Stmt, f: &mut impl FnMut(&Stmt)) {
+    f(stmt);
+    for block in stmt.child_blocks() {
+        for s in block.iter() {
+            for_each_stmt(s, f);
+        }
+    }
+}
+
+/// Collects every `(buffer, index)` pair read anywhere under `stmt`.
+/// Window arguments to calls are treated as both reads and writes by the
+/// effect analysis; here they are reported as reads.
+pub fn collect_reads(stmt: &Stmt) -> Vec<(Sym, Vec<Expr>)> {
+    let mut out = Vec::new();
+    for_each_stmt(stmt, &mut |s| {
+        for_each_expr_local(s, &mut |e| {
+            if let Expr::Read { buf, idx } = e {
+                out.push((buf.clone(), idx.clone()));
+            }
+        });
+    });
+    out
+}
+
+/// Collects every `(buffer, index)` pair written (assigned or reduced)
+/// anywhere under `stmt`.
+pub fn collect_writes(stmt: &Stmt) -> Vec<(Sym, Vec<Expr>)> {
+    let mut out = Vec::new();
+    for_each_stmt(stmt, &mut |s| match s {
+        Stmt::Assign { buf, idx, .. } | Stmt::Reduce { buf, idx, .. } => {
+            out.push((buf.clone(), idx.clone()))
+        }
+        _ => {}
+    });
+    out
+}
+
+/// Like [`for_each_expr`] but does not recurse into nested statements
+/// (used when the caller already walks statements separately).
+fn for_each_expr_local(stmt: &Stmt, f: &mut impl FnMut(&Expr)) {
+    let mut visit = |e: &Expr| visit_expr(e, f);
+    match stmt {
+        Stmt::Assign { idx, rhs, .. } | Stmt::Reduce { idx, rhs, .. } => {
+            idx.iter().for_each(&mut visit);
+            visit(rhs);
+        }
+        Stmt::Alloc { dims, .. } => dims.iter().for_each(&mut visit),
+        Stmt::For { lo, hi, .. } => {
+            visit(lo);
+            visit(hi);
+        }
+        Stmt::If { cond, .. } => visit(cond),
+        Stmt::Call { args, .. } => args.iter().for_each(&mut visit),
+        Stmt::Pass => {}
+        Stmt::WriteConfig { value, .. } => visit(value),
+        Stmt::WindowStmt { rhs, .. } => visit(rhs),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::expr::{ib, read, var};
+
+    fn loop_stmt() -> Stmt {
+        Stmt::For {
+            iter: Sym::new("i"),
+            lo: ib(0),
+            hi: var("n"),
+            body: Block(vec![Stmt::Reduce {
+                buf: Sym::new("y"),
+                idx: vec![var("i")],
+                rhs: read("A", vec![var("i"), var("j")]) * read("x", vec![var("j")]),
+            }]),
+            parallel: false,
+        }
+    }
+
+    #[test]
+    fn substitute_respects_shadowing() {
+        let s = loop_stmt();
+        // Substituting the iterator `i` must not touch the body (it is shadowed).
+        let s2 = substitute_var(s.clone(), &Sym::new("i"), &ib(7));
+        assert_eq!(s, s2);
+        // Substituting `j` rewrites the body.
+        let s3 = substitute_var(s, &Sym::new("j"), &ib(3));
+        let reads = collect_reads(&s3);
+        assert!(reads.iter().any(|(b, idx)| b == &Sym::new("x") && idx == &vec![ib(3)]));
+    }
+
+    #[test]
+    fn substitute_loop_bound() {
+        let s = loop_stmt();
+        let s2 = substitute_var(s, &Sym::new("n"), &ib(16));
+        match s2 {
+            Stmt::For { hi, .. } => assert_eq!(hi, ib(16)),
+            _ => unreachable!(),
+        }
+    }
+
+    #[test]
+    fn rename_buffer_everywhere() {
+        let s = loop_stmt();
+        let s2 = rename_sym(s, &Sym::new("x"), &Sym::new("x_vec"));
+        let reads = collect_reads(&s2);
+        assert!(reads.iter().any(|(b, _)| b == &Sym::new("x_vec")));
+        assert!(!reads.iter().any(|(b, _)| b == &Sym::new("x")));
+    }
+
+    #[test]
+    fn collect_reads_and_writes() {
+        let s = loop_stmt();
+        let reads = collect_reads(&s);
+        assert_eq!(reads.len(), 2);
+        let writes = collect_writes(&s);
+        assert_eq!(writes.len(), 1);
+        assert_eq!(writes[0].0, Sym::new("y"));
+    }
+
+    #[test]
+    fn for_each_stmt_visits_nested() {
+        let s = loop_stmt();
+        let mut n = 0;
+        for_each_stmt(&s, &mut |_| n += 1);
+        assert_eq!(n, 2);
+    }
+}

@@ -1,0 +1,227 @@
+//! BLAS level-1 kernels (single loop, O(n) work), unscheduled.
+
+use crate::Precision;
+use exo_ir::{fb, ib, read, var, Expr, Mem, Proc, ProcBuilder};
+
+fn base(name: String, prec: Precision) -> ProcBuilder {
+    ProcBuilder::new(name)
+        .size_arg("n")
+        .assert_(Expr::eq_(Expr::modulo(var("n"), ib(8)), ib(0)))
+        .assert_(Expr::bin(exo_ir::BinOp::Ge, var("n"), ib(8)))
+        .scalar_arg("alpha", prec.dtype())
+        .tensor_arg("x", prec.dtype(), vec![var("n")], Mem::Dram)
+        .tensor_arg("y", prec.dtype(), vec![var("n")], Mem::Dram)
+        .tensor_arg("out", prec.dtype(), vec![ib(1)], Mem::Dram)
+}
+
+/// `y[i] += alpha * x[i]`
+pub fn axpy(prec: Precision) -> Proc {
+    base(format!("{}axpy", prec.prefix()), prec)
+        .for_("i", ib(0), var("n"), |b| {
+            b.reduce("y", vec![var("i")], var("alpha") * read("x", vec![var("i")]));
+        })
+        .build()
+}
+
+/// `x[i] = alpha * x[i]`
+pub fn scal(prec: Precision) -> Proc {
+    base(format!("{}scal", prec.prefix()), prec)
+        .for_("i", ib(0), var("n"), |b| {
+            b.assign("x", vec![var("i")], var("alpha") * read("x", vec![var("i")]));
+        })
+        .build()
+}
+
+/// `y[i] = x[i]`
+pub fn copy(prec: Precision) -> Proc {
+    base(format!("{}copy", prec.prefix()), prec)
+        .for_("i", ib(0), var("n"), |b| {
+            b.assign("y", vec![var("i")], read("x", vec![var("i")]));
+        })
+        .build()
+}
+
+/// Swap of `x` and `y` through a temporary.
+pub fn swap(prec: Precision) -> Proc {
+    base(format!("{}swap", prec.prefix()), prec)
+        .for_("i", ib(0), var("n"), |b| {
+            b.alloc("t", prec.dtype(), vec![], Mem::Dram);
+            b.assign("t", vec![], b.read("x", vec![var("i")]));
+            b.assign("x", vec![var("i")], b.read("y", vec![var("i")]));
+            b.assign("y", vec![var("i")], b.read("t", vec![]));
+        })
+        .build()
+}
+
+/// `out[0] += x[i] * y[i]` (also covers dsdot/sdsdot in this model).
+pub fn dot(prec: Precision) -> Proc {
+    base(format!("{}dot", prec.prefix()), prec)
+        .for_("i", ib(0), var("n"), |b| {
+            b.reduce("out", vec![ib(0)], read("x", vec![var("i")]) * read("y", vec![var("i")]));
+        })
+        .build()
+}
+
+/// Sum of magnitudes. The object language has no `abs`, so — as in the
+/// paper, which also restricts level-1 to value-independent control — the
+/// kernel models the non-negative-input case `out[0] += x[i]`.
+pub fn asum(prec: Precision) -> Proc {
+    base(format!("{}asum", prec.prefix()), prec)
+        .for_("i", ib(0), var("n"), |b| {
+            b.reduce("out", vec![ib(0)], read("x", vec![var("i")]));
+        })
+        .build()
+}
+
+/// Givens rotation: `x[i], y[i] = c*x[i] + s*y[i], c*y[i] - s*x[i]`.
+pub fn rot(prec: Precision) -> Proc {
+    ProcBuilder::new(format!("{}rot", prec.prefix()))
+        .size_arg("n")
+        .assert_(Expr::eq_(Expr::modulo(var("n"), ib(8)), ib(0)))
+        .assert_(Expr::bin(exo_ir::BinOp::Ge, var("n"), ib(8)))
+        .scalar_arg("c", prec.dtype())
+        .scalar_arg("s", prec.dtype())
+        .tensor_arg("x", prec.dtype(), vec![var("n")], Mem::Dram)
+        .tensor_arg("y", prec.dtype(), vec![var("n")], Mem::Dram)
+        .for_("i", ib(0), var("n"), |b| {
+            b.alloc("tx", prec.dtype(), vec![], Mem::Dram);
+            b.assign("tx", vec![], b.read("x", vec![var("i")]));
+            b.assign(
+                "x",
+                vec![var("i")],
+                var("c") * b.read("tx", vec![]) + var("s") * b.read("y", vec![var("i")]),
+            );
+            b.assign(
+                "y",
+                vec![var("i")],
+                var("c") * b.read("y", vec![var("i")]) - var("s") * b.read("tx", vec![]),
+            );
+        })
+        .build()
+}
+
+/// Modified Givens rotation (the full-matrix `flag = -1` case).
+pub fn rotm(prec: Precision) -> Proc {
+    ProcBuilder::new(format!("{}rotm", prec.prefix()))
+        .size_arg("n")
+        .assert_(Expr::eq_(Expr::modulo(var("n"), ib(8)), ib(0)))
+        .assert_(Expr::bin(exo_ir::BinOp::Ge, var("n"), ib(8)))
+        .scalar_arg("h11", prec.dtype())
+        .scalar_arg("h12", prec.dtype())
+        .scalar_arg("h21", prec.dtype())
+        .scalar_arg("h22", prec.dtype())
+        .tensor_arg("x", prec.dtype(), vec![var("n")], Mem::Dram)
+        .tensor_arg("y", prec.dtype(), vec![var("n")], Mem::Dram)
+        .for_("i", ib(0), var("n"), |b| {
+            b.alloc("tx", prec.dtype(), vec![], Mem::Dram);
+            b.assign("tx", vec![], b.read("x", vec![var("i")]));
+            b.assign(
+                "x",
+                vec![var("i")],
+                var("h11") * b.read("tx", vec![]) + var("h12") * b.read("y", vec![var("i")]),
+            );
+            b.assign(
+                "y",
+                vec![var("i")],
+                var("h21") * b.read("tx", vec![]) + var("h22") * b.read("y", vec![var("i")]),
+            );
+        })
+        .build()
+}
+
+/// A named level-1 kernel constructor, used to enumerate the evaluation's
+/// kernel set.
+#[derive(Clone, Copy)]
+pub struct Level1Kernel {
+    /// Base name (without precision prefix).
+    pub name: &'static str,
+    /// Constructor.
+    pub build: fn(Precision) -> Proc,
+    /// Whether the kernel is a reduction (affects which schedule the
+    /// library applies).
+    pub is_reduction: bool,
+}
+
+/// The level-1 kernels covered by the evaluation (each in two precisions).
+pub const LEVEL1_KERNELS: &[Level1Kernel] = &[
+    Level1Kernel { name: "axpy", build: axpy, is_reduction: false },
+    Level1Kernel { name: "scal", build: scal, is_reduction: false },
+    Level1Kernel { name: "copy", build: copy, is_reduction: false },
+    Level1Kernel { name: "swap", build: swap, is_reduction: false },
+    Level1Kernel { name: "dot", build: dot, is_reduction: true },
+    Level1Kernel { name: "asum", build: asum, is_reduction: true },
+    Level1Kernel { name: "rot", build: rot, is_reduction: false },
+    Level1Kernel { name: "rotm", build: rotm, is_reduction: false },
+];
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use exo_interp::{ArgValue, Interpreter, NullMonitor, ProcRegistry};
+    use exo_ir::DataType;
+
+    fn run_axpy(n: usize) -> Vec<f64> {
+        let p = axpy(Precision::Single);
+        let registry = ProcRegistry::new();
+        let mut interp = Interpreter::new(&registry);
+        let (_, x) = ArgValue::from_vec((0..n).map(|v| v as f64).collect(), vec![n], DataType::F32);
+        let (ybuf, y) = ArgValue::from_vec(vec![1.0; n], vec![n], DataType::F32);
+        let (_, out) = ArgValue::zeros(vec![1], DataType::F32);
+        interp
+            .run(&p, vec![ArgValue::Int(n as i64), ArgValue::Float(2.0), x, y, out], &mut NullMonitor)
+            .unwrap();
+        let data = ybuf.borrow().data.clone();
+        data
+    }
+
+    #[test]
+    fn axpy_computes_y_plus_ax() {
+        let y = run_axpy(16);
+        for (i, v) in y.iter().enumerate() {
+            assert!((v - (1.0 + 2.0 * i as f64)).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn all_level1_kernels_build_and_name_themselves() {
+        for k in LEVEL1_KERNELS {
+            for prec in [Precision::Single, Precision::Double] {
+                let p = (k.build)(prec);
+                assert!(p.name().starts_with(prec.prefix()));
+                assert!(p.name().contains(k.name));
+                assert!(p.stmt_count() >= 2);
+            }
+        }
+    }
+
+    #[test]
+    fn dot_and_rot_are_functionally_sensible() {
+        let registry = ProcRegistry::new();
+        let mut interp = Interpreter::new(&registry);
+        let n = 8usize;
+        let (_, x) = ArgValue::from_vec(vec![2.0; n], vec![n], DataType::F32);
+        let (_, y) = ArgValue::from_vec(vec![3.0; n], vec![n], DataType::F32);
+        let (outb, out) = ArgValue::zeros(vec![1], DataType::F32);
+        interp
+            .run(
+                &dot(Precision::Single),
+                vec![ArgValue::Int(n as i64), ArgValue::Float(0.0), x, y, out],
+                &mut NullMonitor,
+            )
+            .unwrap();
+        assert_eq!(outb.borrow().data[0], 48.0);
+
+        let (xb, x) = ArgValue::from_vec(vec![1.0; n], vec![n], DataType::F32);
+        let (yb, y) = ArgValue::from_vec(vec![2.0; n], vec![n], DataType::F32);
+        interp
+            .run(
+                &rot(Precision::Single),
+                vec![ArgValue::Int(n as i64), ArgValue::Float(0.0), ArgValue::Float(1.0), x, y],
+                &mut NullMonitor,
+            )
+            .unwrap();
+        // c=0, s=1: x' = y, y' = -x.
+        assert_eq!(xb.borrow().data[0], 2.0);
+        assert_eq!(yb.borrow().data[0], -1.0);
+    }
+}

@@ -1,0 +1,140 @@
+//! Matrix-matrix multiplication kernels: the SGEMM of §6.2.3 / Appendix C
+//! and the Gemmini quantized matmul of §6.1.2 / Appendix B.
+
+use exo_ir::{ib, read, var, DataType, Expr, Mem, Proc, ProcBuilder};
+
+/// The unscheduled SGEMM of Appendix C: an outer-product triple loop
+/// `C[i, j] += A[i, k] * B[k, j]` with the `k` loop outermost.
+pub fn sgemm() -> Proc {
+    ProcBuilder::new("sgemm")
+        .size_arg("M")
+        .size_arg("N")
+        .size_arg("K")
+        .assert_(Expr::eq_(Expr::modulo(var("M"), ib(16)), ib(0)))
+        .assert_(Expr::eq_(Expr::modulo(var("N"), ib(16)), ib(0)))
+        .assert_(Expr::eq_(Expr::modulo(var("K"), ib(16)), ib(0)))
+        .assert_(Expr::bin(exo_ir::BinOp::Ge, var("M"), ib(16)))
+        .assert_(Expr::bin(exo_ir::BinOp::Ge, var("N"), ib(16)))
+        .assert_(Expr::bin(exo_ir::BinOp::Ge, var("K"), ib(16)))
+        .tensor_arg("A", DataType::F32, vec![var("M"), var("K")], Mem::Dram)
+        .tensor_arg("B", DataType::F32, vec![var("K"), var("N")], Mem::Dram)
+        .tensor_arg("C", DataType::F32, vec![var("M"), var("N")], Mem::Dram)
+        .for_("k", ib(0), var("K"), |b| {
+            b.for_("i", ib(0), var("M"), |b| {
+                b.for_("j", ib(0), var("N"), |b| {
+                    b.reduce(
+                        "C",
+                        vec![var("i"), var("j")],
+                        read("A", vec![var("i"), var("k")]) * read("B", vec![var("k"), var("j")]),
+                    );
+                });
+            });
+        })
+        .build()
+}
+
+/// The unscheduled Gemmini matmul of Appendix B, in the simplified
+/// quantization-free form used by the benchmark (scale = 1.0, act = false):
+/// `C[i, j] += A[i, k] * B[k, j]` over i8 inputs and an i32 accumulator
+/// held in DRAM until the schedule stages it into the accelerator.
+pub fn gemmini_matmul() -> Proc {
+    ProcBuilder::new("matmul_on_gemmini")
+        .size_arg("N")
+        .size_arg("M")
+        .size_arg("K")
+        .assert_(Expr::eq_(Expr::modulo(var("N"), ib(16)), ib(0)))
+        .assert_(Expr::eq_(Expr::modulo(var("M"), ib(16)), ib(0)))
+        .assert_(Expr::eq_(Expr::modulo(var("K"), ib(16)), ib(0)))
+        .assert_(Expr::bin(exo_ir::BinOp::Ge, var("N"), ib(16)))
+        .assert_(Expr::bin(exo_ir::BinOp::Ge, var("M"), ib(16)))
+        .assert_(Expr::bin(exo_ir::BinOp::Ge, var("K"), ib(16)))
+        .tensor_arg("A", DataType::I8, vec![var("N"), var("K")], Mem::Dram)
+        .tensor_arg("B", DataType::I8, vec![var("K"), var("M")], Mem::Dram)
+        .tensor_arg("C", DataType::I32, vec![var("N"), var("M")], Mem::Dram)
+        .for_("i", ib(0), var("N"), |b| {
+            b.for_("j", ib(0), var("M"), |b| {
+                b.for_("k", ib(0), var("K"), |b| {
+                    b.reduce(
+                        "C",
+                        vec![var("i"), var("j")],
+                        read("A", vec![var("i"), var("k")]) * read("B", vec![var("k"), var("j")]),
+                    );
+                });
+            });
+        })
+        .build()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use exo_interp::{ArgValue, Interpreter, NullMonitor, ProcRegistry};
+
+    fn reference_matmul(a: &[f64], b: &[f64], m: usize, n: usize, k: usize) -> Vec<f64> {
+        let mut c = vec![0.0; m * n];
+        for i in 0..m {
+            for j in 0..n {
+                for kk in 0..k {
+                    c[i * n + j] += a[i * k + kk] * b[kk * n + j];
+                }
+            }
+        }
+        c
+    }
+
+    #[test]
+    fn sgemm_matches_reference() {
+        let p = sgemm();
+        let registry = ProcRegistry::new();
+        let mut interp = Interpreter::new(&registry);
+        let (m, n, k) = (16usize, 16usize, 16usize);
+        let a: Vec<f64> = (0..m * k).map(|v| (v % 7) as f64).collect();
+        let b: Vec<f64> = (0..k * n).map(|v| (v % 3) as f64).collect();
+        let (_, aa) = ArgValue::from_vec(a.clone(), vec![m, k], DataType::F32);
+        let (_, bb) = ArgValue::from_vec(b.clone(), vec![k, n], DataType::F32);
+        let (cb, cc) = ArgValue::zeros(vec![m, n], DataType::F32);
+        interp
+            .run(
+                &p,
+                vec![
+                    ArgValue::Int(m as i64),
+                    ArgValue::Int(n as i64),
+                    ArgValue::Int(k as i64),
+                    aa,
+                    bb,
+                    cc,
+                ],
+                &mut NullMonitor,
+            )
+            .unwrap();
+        assert_eq!(cb.borrow().data, reference_matmul(&a, &b, m, n, k));
+    }
+
+    #[test]
+    fn gemmini_matmul_matches_reference() {
+        let p = gemmini_matmul();
+        let registry = ProcRegistry::new();
+        let mut interp = Interpreter::new(&registry);
+        let (m, n, k) = (16usize, 16usize, 16usize);
+        let a: Vec<f64> = (0..m * k).map(|v| (v % 4) as f64).collect();
+        let b: Vec<f64> = (0..k * n).map(|v| (v % 5) as f64).collect();
+        let (_, aa) = ArgValue::from_vec(a.clone(), vec![m, k], DataType::I8);
+        let (_, bb) = ArgValue::from_vec(b.clone(), vec![k, n], DataType::I8);
+        let (cb, cc) = ArgValue::zeros(vec![m, n], DataType::I32);
+        interp
+            .run(
+                &p,
+                vec![
+                    ArgValue::Int(m as i64),
+                    ArgValue::Int(n as i64),
+                    ArgValue::Int(k as i64),
+                    aa,
+                    bb,
+                    cc,
+                ],
+                &mut NullMonitor,
+            )
+            .unwrap();
+        assert_eq!(cb.borrow().data, reference_matmul(&a, &b, m, n, k));
+    }
+}

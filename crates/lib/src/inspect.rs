@@ -1,0 +1,93 @@
+//! The inspection library (§4): user-level queries over object code built
+//! from cursor navigation and type reflection.
+
+use exo_core::{Result, SchedError};
+use exo_cursors::{Cursor, ProcHandle};
+
+/// Returns the innermost loop of the perfect loop nest rooted at `loop_`
+/// (the paper's `get_inner_loop`).
+pub fn get_inner_loop(p: &ProcHandle, loop_: &Cursor) -> Result<Cursor> {
+    let mut current = p.forward(loop_)?;
+    if !current.is_loop() {
+        return Err(SchedError::scheduling("get_inner_loop requires a loop cursor"));
+    }
+    loop {
+        let body = current.body();
+        match body.as_slice() {
+            [only] if only.is_loop() => current = only.clone(),
+            _ => return Ok(current),
+        }
+    }
+}
+
+/// Depth of the perfect loop nest rooted at `loop_` (1 for a single loop).
+pub fn loop_nest_depth(p: &ProcHandle, loop_: &Cursor) -> Result<usize> {
+    let mut depth = 1;
+    let mut current = p.forward(loop_)?;
+    loop {
+        let body = current.body();
+        match body.as_slice() {
+            [only] if only.is_loop() => {
+                depth += 1;
+                current = only.clone();
+            }
+            _ => return Ok(depth),
+        }
+    }
+}
+
+/// Post-order traversal over the loops and branches under a cursor (the
+/// paper's `lrn` traversal used to reproduce ELEVATE).
+pub fn lrn(c: &Cursor) -> Vec<Cursor> {
+    let mut out = Vec::new();
+    for child in c.body() {
+        if child.is_loop() || child.is_if() {
+            out.extend(lrn(&child));
+        }
+        out.push(child.clone());
+    }
+    out
+}
+
+/// All loop cursors in the procedure whose body is a single assign or
+/// reduce statement — the loops the vectorizer can lower directly.
+pub fn vectorizable_loops(p: &ProcHandle) -> Vec<Cursor> {
+    p.find_all("for _ in _: _")
+        .unwrap_or_default()
+        .into_iter()
+        .filter(|c| {
+            let body = c.body();
+            body.len() == 1 && matches!(body[0].kind(), Some("assign") | Some("reduce"))
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use exo_kernels::{gemv, Precision};
+
+    #[test]
+    fn inner_loop_and_depth() {
+        let p = ProcHandle::new(gemv(Precision::Single, false));
+        let outer = p.find_loop("i").unwrap();
+        let inner = get_inner_loop(&p, &outer).unwrap();
+        assert_eq!(inner.loop_iter_name(), Some("j".to_string()));
+        assert_eq!(loop_nest_depth(&p, &outer).unwrap(), 2);
+    }
+
+    #[test]
+    fn lrn_visits_children_before_parents() {
+        let p = ProcHandle::new(gemv(Precision::Single, false));
+        let names: Vec<_> = lrn(&p.body()[0]).iter().filter_map(|c| c.loop_iter_name()).collect();
+        assert_eq!(names, vec!["j".to_string()]);
+    }
+
+    #[test]
+    fn vectorizable_loops_are_single_statement_loops() {
+        let p = ProcHandle::new(gemv(Precision::Single, false));
+        let loops = vectorizable_loops(&p);
+        assert_eq!(loops.len(), 1);
+        assert_eq!(loops[0].loop_iter_name(), Some("j".to_string()));
+    }
+}

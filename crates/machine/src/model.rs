@@ -1,0 +1,138 @@
+//! Target machine descriptions.
+
+use crate::gemmini::gemmini_instructions;
+use crate::isa::{avx2_instructions, avx512_instructions};
+use exo_ir::{DataType, Mem, Proc};
+
+/// The platforms the paper evaluates on.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Hash)]
+pub enum MachineKind {
+    /// A scalar CPU with no vector extension (used as a naive baseline).
+    Scalar,
+    /// An x86 CPU with AVX2 (256-bit vectors).
+    Avx2,
+    /// An x86 CPU with AVX512 (512-bit vectors).
+    Avx512,
+    /// The Gemmini ML accelerator attached to a host CPU.
+    Gemmini,
+}
+
+/// A target machine: vector parameters and the instruction procedures the
+/// scheduling libraries lower to.
+#[derive(Clone, Debug)]
+pub struct MachineModel {
+    /// Which platform this is.
+    pub kind: MachineKind,
+    /// Human-readable name used in reports.
+    pub name: &'static str,
+    /// Whether fused multiply-add instructions are available.
+    pub has_fma: bool,
+    /// Whether predicated (masked) vector loads/stores are supported — the
+    /// paper's skinny-matrix schedules require this.
+    pub supports_predication: bool,
+}
+
+impl MachineModel {
+    /// The AVX2 machine model.
+    pub fn avx2() -> Self {
+        MachineModel { kind: MachineKind::Avx2, name: "AVX2", has_fma: true, supports_predication: true }
+    }
+
+    /// The AVX512 machine model.
+    pub fn avx512() -> Self {
+        MachineModel {
+            kind: MachineKind::Avx512,
+            name: "AVX512",
+            has_fma: true,
+            supports_predication: true,
+        }
+    }
+
+    /// The Gemmini accelerator model.
+    pub fn gemmini() -> Self {
+        MachineModel {
+            kind: MachineKind::Gemmini,
+            name: "Gemmini",
+            has_fma: false,
+            supports_predication: false,
+        }
+    }
+
+    /// A scalar CPU with no vector unit.
+    pub fn scalar() -> Self {
+        MachineModel {
+            kind: MachineKind::Scalar,
+            name: "scalar",
+            has_fma: false,
+            supports_predication: false,
+        }
+    }
+
+    /// Number of vector lanes for the given precision (1 on scalar /
+    /// Gemmini hosts).
+    pub fn vec_width(&self, ty: DataType) -> i64 {
+        let mem = self.mem_type();
+        mem.lanes(ty).map(|l| l as i64).unwrap_or(1)
+    }
+
+    /// The vector-register memory space of this machine.
+    pub fn mem_type(&self) -> Mem {
+        match self.kind {
+            MachineKind::Avx2 => Mem::VecAvx2,
+            MachineKind::Avx512 => Mem::VecAvx512,
+            MachineKind::Gemmini => Mem::GemmScratch,
+            MachineKind::Scalar => Mem::Dram,
+        }
+    }
+
+    /// The instruction procedures available for the given precision.
+    pub fn instructions(&self, ty: DataType) -> Vec<Proc> {
+        match self.kind {
+            MachineKind::Avx2 => avx2_instructions(ty),
+            MachineKind::Avx512 => avx512_instructions(ty),
+            MachineKind::Gemmini => gemmini_instructions(),
+            MachineKind::Scalar => Vec::new(),
+        }
+    }
+
+    /// The instruction-name prefix for this machine (`mm256` / `mm512`),
+    /// used by scheduling libraries to pick specific instructions.
+    pub fn prefix(&self) -> &'static str {
+        match self.kind {
+            MachineKind::Avx2 => "mm256",
+            MachineKind::Avx512 => "mm512",
+            MachineKind::Gemmini => "gemmini",
+            MachineKind::Scalar => "scalar",
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn vector_widths_match_the_isas() {
+        assert_eq!(MachineModel::avx2().vec_width(DataType::F32), 8);
+        assert_eq!(MachineModel::avx2().vec_width(DataType::F64), 4);
+        assert_eq!(MachineModel::avx512().vec_width(DataType::F32), 16);
+        assert_eq!(MachineModel::avx512().vec_width(DataType::F64), 8);
+        assert_eq!(MachineModel::scalar().vec_width(DataType::F32), 1);
+    }
+
+    #[test]
+    fn instruction_sets_are_nonempty_for_vector_targets() {
+        assert!(!MachineModel::avx2().instructions(DataType::F32).is_empty());
+        assert!(!MachineModel::avx512().instructions(DataType::F64).is_empty());
+        assert!(!MachineModel::gemmini().instructions(DataType::I8).is_empty());
+        assert!(MachineModel::scalar().instructions(DataType::F32).is_empty());
+    }
+
+    #[test]
+    fn prefixes_and_predication() {
+        assert_eq!(MachineModel::avx2().prefix(), "mm256");
+        assert_eq!(MachineModel::avx512().prefix(), "mm512");
+        assert!(MachineModel::avx512().supports_predication);
+        assert!(!MachineModel::gemmini().supports_predication);
+    }
+}

@@ -1,0 +1,39 @@
+//! Build a BLAS kernel with the level-1 scheduling library and compare the
+//! simulated cycles of the scalar and vectorized versions on AVX2 and
+//! AVX512 — the workflow of the paper's §6.2.
+//!
+//! Run with: `cargo run --example blas_library`
+
+use exo2::cursors::ProcHandle;
+use exo2::interp::{ArgValue, ProcRegistry};
+use exo2::ir::DataType;
+use exo2::kernels::{axpy, dot, Precision};
+use exo2::lib::level1::optimize_level_1;
+use exo2::machine::{simulate, MachineModel};
+
+fn bench(kernel: &exo2::ir::Proc, registry: &ProcRegistry, n: usize) -> u64 {
+    let (_, x) = ArgValue::from_vec(vec![1.0; n], vec![n], DataType::F32);
+    let (_, y) = ArgValue::from_vec(vec![2.0; n], vec![n], DataType::F32);
+    let (_, out) = ArgValue::zeros(vec![1], DataType::F32);
+    simulate(kernel, registry, vec![ArgValue::Int(n as i64), ArgValue::Float(3.0), x, y, out]).cycles
+}
+
+fn main() {
+    let n = 4096usize;
+    for machine in [MachineModel::avx2(), MachineModel::avx512()] {
+        let registry: ProcRegistry = machine.instructions(DataType::F32).into_iter().collect();
+        println!("== {} ==", machine.name);
+        for kernel in [axpy(Precision::Single), dot(Precision::Single)] {
+            let p = ProcHandle::new(kernel);
+            let loop_ = p.find_loop("i").unwrap();
+            let opt = optimize_level_1(&p, &loop_, DataType::F32, &machine, 2).unwrap();
+            let scalar = bench(p.proc(), &registry, n);
+            let vector = bench(opt.proc(), &registry, n);
+            println!(
+                "{:<8} scalar {scalar:>9} cycles   scheduled {vector:>9} cycles   speedup {:.2}x",
+                p.name(),
+                scalar as f64 / vector as f64
+            );
+        }
+    }
+}

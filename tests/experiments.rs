@@ -1,0 +1,73 @@
+//! Smoke tests for the experiment harness: the headline comparisons of the
+//! paper hold in shape on the simulated machines.
+
+use exo2::cursors::ProcHandle;
+use exo2::interp::{ArgValue, ProcRegistry};
+use exo2::ir::DataType;
+use exo2::kernels::{axpy, blur2d, gemmini_matmul, Precision};
+use exo2::lib::{gemmini_schedule, halide_blur_schedule, level1::optimize_level_1};
+use exo2::machine::{gemmini_instructions, simulate, MachineModel};
+
+#[test]
+fn exo2_schedules_beat_naive_references_across_platforms() {
+    // AVX2 level-1.
+    let machine = MachineModel::avx2();
+    let registry: ProcRegistry = machine.instructions(DataType::F32).into_iter().collect();
+    let p = ProcHandle::new(axpy(Precision::Single));
+    let loop_ = p.find_loop("i").unwrap();
+    let opt = optimize_level_1(&p, &loop_, DataType::F32, &machine, 2).unwrap();
+    let n = 2048usize;
+    let mk = || {
+        let (_, x) = ArgValue::from_vec(vec![1.0; n], vec![n], DataType::F32);
+        let (_, y) = ArgValue::from_vec(vec![2.0; n], vec![n], DataType::F32);
+        let (_, out) = ArgValue::zeros(vec![1], DataType::F32);
+        vec![ArgValue::Int(n as i64), ArgValue::Float(2.0), x, y, out]
+    };
+    let naive = simulate(p.proc(), &registry, mk()).cycles;
+    let scheduled = simulate(opt.proc(), &registry, mk()).cycles;
+    assert!(scheduled * 2 < naive, "AVX2 axpy: {scheduled} vs {naive}");
+
+    // Gemmini matmul.
+    let registry: ProcRegistry = gemmini_instructions().into_iter().collect();
+    let p = ProcHandle::new(gemmini_matmul());
+    let opt = gemmini_schedule(&p).unwrap();
+    let (m, nn, k) = (32usize, 32usize, 32usize);
+    let mk = || {
+        let (_, a) = ArgValue::from_vec(vec![1.0; m * k], vec![m, k], DataType::I8);
+        let (_, b) = ArgValue::from_vec(vec![1.0; k * nn], vec![k, nn], DataType::I8);
+        let (_, c) = ArgValue::zeros(vec![m, nn], DataType::I32);
+        vec![ArgValue::Int(m as i64), ArgValue::Int(nn as i64), ArgValue::Int(k as i64), a, b, c]
+    };
+    let host = simulate(p.proc(), &registry, mk()).cycles;
+    let accel = simulate(opt.proc(), &registry, mk()).cycles;
+    assert!(accel * 4 < host, "Gemmini matmul: {accel} vs {host}");
+
+    // Halide blur.
+    let machine = MachineModel::avx2();
+    let registry: ProcRegistry = machine.instructions(DataType::F32).into_iter().collect();
+    let p = ProcHandle::new(blur2d());
+    let opt = halide_blur_schedule(&p, &machine).unwrap();
+    let (h, w) = (64usize, 64usize);
+    let mk = || {
+        let (_, i) = ArgValue::from_vec(vec![1.0; (h + 2) * (w + 2)], vec![h + 2, w + 2], DataType::F32);
+        let (_, o) = ArgValue::zeros(vec![h, w], DataType::F32);
+        let (_, bx) = ArgValue::zeros(vec![h + 2, w], DataType::F32);
+        vec![ArgValue::Int(h as i64), ArgValue::Int(w as i64), i, o, bx]
+    };
+    let naive = simulate(p.proc(), &registry, mk()).cycles;
+    let scheduled = simulate(opt.proc(), &registry, mk()).cycles;
+    assert!(scheduled < naive, "blur: {scheduled} vs {naive}");
+}
+
+#[test]
+fn scheduling_effort_is_amortized_by_the_library() {
+    // One library call performs tens of primitive rewrites (Fig. 9b):
+    // the order-of-magnitude reduction in user-written scheduling code.
+    let machine = MachineModel::avx2();
+    let p = ProcHandle::new(axpy(Precision::Single));
+    let loop_ = p.find_loop("i").unwrap();
+    let (_, rewrites) = exo2::core::stats::measure(|| {
+        optimize_level_1(&p, &loop_, DataType::F32, &machine, 2).unwrap()
+    });
+    assert!(rewrites >= 10, "one library call should expand into many rewrites, got {rewrites}");
+}
