@@ -50,21 +50,30 @@ fn gather(stmt: &Stmt, buf: &Sym, iters: &mut Vec<(Sym, Expr, Expr)>, out: &mut 
     match stmt {
         Stmt::Assign { buf: b, idx, rhs } | Stmt::Reduce { buf: b, idx, rhs } => {
             if b == buf {
-                out.push(AccessSite { idx: idx.clone(), iters: iters.clone() });
+                out.push(AccessSite {
+                    idx: idx.clone(),
+                    iters: iters.clone(),
+                });
             }
             for i in idx {
                 record_expr(i, iters, out);
             }
             record_expr(rhs, iters, out);
         }
-        Stmt::For { iter, lo, hi, body, .. } => {
+        Stmt::For {
+            iter, lo, hi, body, ..
+        } => {
             iters.push((iter.clone(), lo.clone(), hi.clone()));
             for s in body.iter() {
                 gather(s, buf, iters, out);
             }
             iters.pop();
         }
-        Stmt::If { cond, then_body, else_body } => {
+        Stmt::If {
+            cond,
+            then_body,
+            else_body,
+        } => {
             record_expr(cond, iters, out);
             for s in then_body.iter().chain(else_body.iter()) {
                 gather(s, buf, iters, out);
@@ -85,7 +94,10 @@ fn collect_reads_of(e: &Expr, buf: &Sym, iters: &[(Sym, Expr, Expr)], out: &mut 
     match e {
         Expr::Read { buf: b, idx } => {
             if b == buf {
-                out.push(AccessSite { idx: idx.clone(), iters: iters.to_vec() });
+                out.push(AccessSite {
+                    idx: idx.clone(),
+                    iters: iters.to_vec(),
+                });
             }
             for i in idx {
                 collect_reads_of(i, buf, iters, out);
@@ -112,7 +124,11 @@ fn extremize(idx: &Expr, iters: &[(Sym, Expr, Expr)], minimize: bool, ctx: &Cont
             continue;
         }
         let take_lo = (coeff >= 0) == minimize;
-        let value = if take_lo { lo.clone() } else { hi.clone() - ib(1) };
+        let value = if take_lo {
+            lo.clone()
+        } else {
+            hi.clone() - ib(1)
+        };
         out = substitute_expr(out, iter, &value);
     }
     simplify_expr(&out, ctx)
@@ -138,10 +154,7 @@ pub fn infer_bounds(scope: &Stmt, buf: &Sym, ctx: &Context) -> Option<BufferBoun
         for site in &sites {
             let Some(idx) = site.idx.get(d) else { continue };
             let site_lo = extremize(idx, &site.iters, true, ctx);
-            let site_hi = simplify_expr(
-                &(extremize(idx, &site.iters, false, ctx) + ib(1)),
-                ctx,
-            );
+            let site_hi = simplify_expr(&(extremize(idx, &site.iters, false, ctx) + ib(1)), ctx);
             lo = Some(match lo {
                 None => site_lo,
                 Some(prev) => symbolic_min(prev, site_lo, ctx),
@@ -153,7 +166,10 @@ pub fn infer_bounds(scope: &Stmt, buf: &Sym, ctx: &Context) -> Option<BufferBoun
         }
         dims.push((lo?, hi?));
     }
-    Some(BufferBounds { buf: buf.clone(), dims })
+    Some(BufferBounds {
+        buf: buf.clone(),
+        dims,
+    })
 }
 
 fn symbolic_min(a: Expr, b: Expr, ctx: &Context) -> Expr {
@@ -171,9 +187,9 @@ fn symbolic_min(a: Expr, b: Expr, ctx: &Context) -> Expr {
 fn symbolic_max(a: Expr, b: Expr, ctx: &Context) -> Expr {
     if ctx.proves_le(&a, &b) || provably_le_by_constant(&a, &b) {
         b
-    } else if ctx.proves_le(&b, &a) || provably_le_by_constant(&b, &a) {
-        a
     } else {
+        // Either `b <= a` is proven or the comparison is undecidable; in
+        // both cases keep `a` (the documented conservative fallback).
         a
     }
 }
@@ -217,8 +233,14 @@ mod tests {
         let bounds = infer_bounds(&paper_example(), &Sym::new("arr"), &ctx).unwrap();
         assert_eq!(bounds.dims.len(), 1);
         let (lo, hi) = &bounds.dims[0];
-        assert!(crate::linear::provably_equal(lo, &(ib(32) * var("io"))), "{lo}");
-        assert!(crate::linear::provably_equal(hi, &(ib(32) * var("io") + ib(34))), "{hi}");
+        assert!(
+            crate::linear::provably_equal(lo, &(ib(32) * var("io"))),
+            "{lo}"
+        );
+        assert!(
+            crate::linear::provably_equal(hi, &(ib(32) * var("io") + ib(34))),
+            "{hi}"
+        );
         assert_eq!(bounds.extent(0, &ctx), ib(34));
     }
 

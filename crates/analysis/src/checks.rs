@@ -115,7 +115,10 @@ pub fn loop_is_parallelizable(iter: &Sym, body_effects: &Effects, _ctx: &Context
             if w.whole_buffer {
                 return false;
             }
-            let dep_dim = w.idx.iter().position(|e| LinExpr::from_expr(e).coeff_of(iter) != 0);
+            let dep_dim = w
+                .idx
+                .iter()
+                .position(|e| LinExpr::from_expr(e).coeff_of(iter) != 0);
             let Some(d) = dep_dim else { return false };
             let w_lin = LinExpr::from_expr(&w.idx[d]);
             for other in &all {
@@ -182,7 +185,12 @@ pub fn writes_depend_on_iter(body_effects: &Effects, iter: &Sym) -> bool {
         .writes
         .iter()
         .chain(body_effects.reduces.iter())
-        .all(|w| !w.whole_buffer && w.idx.iter().any(|e| LinExpr::from_expr(e).coeff_of(iter) != 0))
+        .all(|w| {
+            !w.whole_buffer
+                && w.idx
+                    .iter()
+                    .any(|e| LinExpr::from_expr(e).coeff_of(iter) != 0)
+        })
 }
 
 /// Names of buffers allocated directly or transitively in the statements.
@@ -201,11 +209,19 @@ mod tests {
     use exo_ir::{fb, ib, read, var, Block};
 
     fn assign(buf: &str, idx: Vec<Expr>, rhs: Expr) -> Stmt {
-        Stmt::Assign { buf: Sym::new(buf), idx, rhs }
+        Stmt::Assign {
+            buf: Sym::new(buf),
+            idx,
+            rhs,
+        }
     }
 
     fn reduce(buf: &str, idx: Vec<Expr>, rhs: Expr) -> Stmt {
-        Stmt::Reduce { buf: Sym::new(buf), idx, rhs }
+        Stmt::Reduce {
+            buf: Sym::new(buf),
+            idx,
+            rhs,
+        }
     }
 
     #[test]
@@ -250,7 +266,10 @@ mod tests {
         let rcfg = Effects::of_stmt(&assign(
             "x",
             vec![],
-            Expr::ReadConfig { config: Sym::new("cfg"), field: "stride".into() },
+            Expr::ReadConfig {
+                config: Sym::new("cfg"),
+                field: "stride".into(),
+            },
         ));
         assert!(!stmts_commute(&wcfg, &rcfg, &ctx));
         assert!(!stmts_commute(&wcfg, &wcfg, &ctx));
@@ -266,8 +285,11 @@ mod tests {
         let body = Effects::of_stmts(&[reduce("acc", vec![], read("x", vec![var("i")]))]);
         assert!(!loop_is_parallelizable(&Sym::new("i"), &body, &ctx));
         // y[i] = y[i+1] : not parallelizable (offset read of written buffer)
-        let body =
-            Effects::of_stmts(&[assign("y", vec![var("i")], read("y", vec![var("i") + ib(1)]))]);
+        let body = Effects::of_stmts(&[assign(
+            "y",
+            vec![var("i")],
+            read("y", vec![var("i") + ib(1)]),
+        )]);
         assert!(!loop_is_parallelizable(&Sym::new("i"), &body, &ctx));
         // y[i] += A[i, j] * x[j], parallel over i: ok (reduce indexed by i)
         let body = Effects::of_stmts(&[reduce(
@@ -319,8 +341,8 @@ mod tests {
     #[test]
     fn dependence_on_symbols() {
         let s = assign("y", vec![var("i")], read("x", vec![var("j")]));
-        assert!(body_depends_on(&[s.clone()], &Sym::new("j")));
-        assert!(body_depends_on(&[s.clone()], &Sym::new("i")));
+        assert!(body_depends_on(std::slice::from_ref(&s), &Sym::new("j")));
+        assert!(body_depends_on(std::slice::from_ref(&s), &Sym::new("i")));
         assert!(!body_depends_on(&[s], &Sym::new("k")));
         // Shadowing: a loop over `i` hides outer `i`.
         let shadowed = Stmt::For {

@@ -83,39 +83,69 @@ impl Context {
     /// Records a single assertion.
     pub fn add_fact(&mut self, pred: &Expr) {
         match pred {
-            Expr::Bin { op: BinOp::And, lhs, rhs } => {
+            Expr::Bin {
+                op: BinOp::And,
+                lhs,
+                rhs,
+            } => {
                 self.add_fact(lhs);
                 self.add_fact(rhs);
             }
-            Expr::Bin { op: BinOp::Eq, lhs, rhs } => {
+            Expr::Bin {
+                op: BinOp::Eq,
+                lhs,
+                rhs,
+            } => {
                 // `e % k == 0`
-                if let (Expr::Bin { op: BinOp::Mod, lhs: e, rhs: k }, Expr::Int(0)) =
-                    (lhs.as_ref(), rhs.as_ref())
+                if let (
+                    Expr::Bin {
+                        op: BinOp::Mod,
+                        lhs: e,
+                        rhs: k,
+                    },
+                    Expr::Int(0),
+                ) = (lhs.as_ref(), rhs.as_ref())
                 {
                     if let Expr::Int(kv) = k.as_ref() {
                         self.divisibility.push((LinExpr::from_expr(e), *kv));
                     }
                 }
             }
-            Expr::Bin { op: BinOp::Ge, lhs, rhs } => {
+            Expr::Bin {
+                op: BinOp::Ge,
+                lhs,
+                rhs,
+            } => {
                 if let (Expr::Var(s), Expr::Int(v)) = (lhs.as_ref(), rhs.as_ref()) {
                     let entry = self.lower_bounds.entry(s.clone()).or_insert(*v);
                     *entry = (*entry).max(*v);
                 }
             }
-            Expr::Bin { op: BinOp::Gt, lhs, rhs } => {
+            Expr::Bin {
+                op: BinOp::Gt,
+                lhs,
+                rhs,
+            } => {
                 if let (Expr::Var(s), Expr::Int(v)) = (lhs.as_ref(), rhs.as_ref()) {
                     let entry = self.lower_bounds.entry(s.clone()).or_insert(*v + 1);
                     *entry = (*entry).max(*v + 1);
                 }
             }
-            Expr::Bin { op: BinOp::Le, lhs, rhs } => {
+            Expr::Bin {
+                op: BinOp::Le,
+                lhs,
+                rhs,
+            } => {
                 if let (Expr::Var(s), Expr::Int(v)) = (lhs.as_ref(), rhs.as_ref()) {
                     let entry = self.upper_bounds.entry(s.clone()).or_insert(*v);
                     *entry = (*entry).min(*v);
                 }
             }
-            Expr::Bin { op: BinOp::Lt, lhs, rhs } => {
+            Expr::Bin {
+                op: BinOp::Lt,
+                lhs,
+                rhs,
+            } => {
                 if let (Expr::Var(s), Expr::Int(v)) = (lhs.as_ref(), rhs.as_ref()) {
                     let entry = self.upper_bounds.entry(s.clone()).or_insert(*v - 1);
                     *entry = (*entry).min(*v - 1);
@@ -154,7 +184,11 @@ impl Context {
 
     /// The range of an in-scope iterator, if known.
     pub fn iter_range(&self, iter: &Sym) -> Option<&IterRange> {
-        self.iter_ranges.iter().rev().find(|(s, _)| s == iter).map(|(_, r)| r)
+        self.iter_ranges
+            .iter()
+            .rev()
+            .find(|(s, _)| s == iter)
+            .map(|(_, r)| r)
     }
 
     /// All in-scope iterators, outermost first.
@@ -207,7 +241,13 @@ impl Context {
         }
         // `hi - lo` reduces to a single positive-lower-bounded symbol.
         if diff.constant >= 0 && diff.terms.len() == 1 {
-            if let (crate::linear::Atom::Var(s), coeff) = diff.terms.iter().next().map(|(a, c)| (a.clone(), *c)).unwrap() {
+            if let (crate::linear::Atom::Var(s), coeff) = diff
+                .terms
+                .iter()
+                .next()
+                .map(|(a, c)| (a.clone(), *c))
+                .unwrap()
+            {
                 if coeff > 0 {
                     if let Some(lb) = self.lower_bound(&s) {
                         return coeff * lb + diff.constant > 0;
@@ -226,7 +266,12 @@ impl Context {
         }
         // Single symbol with a known bound.
         if diff.terms.len() == 1 {
-            let (atom, coeff) = diff.terms.iter().next().map(|(a, c)| (a.clone(), *c)).unwrap();
+            let (atom, coeff) = diff
+                .terms
+                .iter()
+                .next()
+                .map(|(a, c)| (a.clone(), *c))
+                .unwrap();
             if let crate::linear::Atom::Var(s) = atom {
                 if coeff > 0 {
                     if let Some(lb) = self.lower_bound(&s) {

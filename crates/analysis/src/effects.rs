@@ -22,11 +22,21 @@ pub struct Access {
 
 impl Access {
     fn point(buf: Sym, idx: Vec<Expr>, iters: &[Sym]) -> Self {
-        Access { buf, idx, iters: iters.to_vec(), whole_buffer: false }
+        Access {
+            buf,
+            idx,
+            iters: iters.to_vec(),
+            whole_buffer: false,
+        }
     }
 
     fn whole(buf: Sym, iters: &[Sym]) -> Self {
-        Access { buf, idx: Vec::new(), iters: iters.to_vec(), whole_buffer: true }
+        Access {
+            buf,
+            idx: Vec::new(),
+            iters: iters.to_vec(),
+            whole_buffer: true,
+        }
     }
 }
 
@@ -68,7 +78,11 @@ impl Effects {
 
     /// Every buffer written (assigned or reduced).
     pub fn buffers_written(&self) -> BTreeSet<Sym> {
-        self.writes.iter().chain(self.reduces.iter()).map(|a| a.buf.clone()).collect()
+        self.writes
+            .iter()
+            .chain(self.reduces.iter())
+            .map(|a| a.buf.clone())
+            .collect()
     }
 
     /// Every buffer read.
@@ -88,7 +102,11 @@ impl Effects {
 
     /// Write and reduce accesses to the given buffer.
     pub fn writes_to(&self, buf: &Sym) -> Vec<&Access> {
-        self.writes.iter().chain(self.reduces.iter()).filter(|a| &a.buf == buf).collect()
+        self.writes
+            .iter()
+            .chain(self.reduces.iter())
+            .filter(|a| &a.buf == buf)
+            .collect()
     }
 
     /// Whether the region touches (reads or writes) the buffer at all.
@@ -100,7 +118,8 @@ impl Effects {
 fn collect_expr(e: &Expr, iters: &[Sym], eff: &mut Effects) {
     match e {
         Expr::Read { buf, idx } => {
-            eff.reads.push(Access::point(buf.clone(), idx.clone(), iters));
+            eff.reads
+                .push(Access::point(buf.clone(), idx.clone(), iters));
             for i in idx {
                 collect_expr(i, iters, eff);
             }
@@ -132,21 +151,25 @@ fn collect_expr(e: &Expr, iters: &[Sym], eff: &mut Effects) {
 fn collect(stmt: &Stmt, iters: &mut Vec<Sym>, eff: &mut Effects) {
     match stmt {
         Stmt::Assign { buf, idx, rhs } => {
-            eff.writes.push(Access::point(buf.clone(), idx.clone(), iters));
+            eff.writes
+                .push(Access::point(buf.clone(), idx.clone(), iters));
             for i in idx {
                 collect_expr(i, iters, eff);
             }
             collect_expr(rhs, iters, eff);
         }
         Stmt::Reduce { buf, idx, rhs } => {
-            eff.reduces.push(Access::point(buf.clone(), idx.clone(), iters));
+            eff.reduces
+                .push(Access::point(buf.clone(), idx.clone(), iters));
             for i in idx {
                 collect_expr(i, iters, eff);
             }
             collect_expr(rhs, iters, eff);
         }
         Stmt::Alloc { name, .. } => eff.allocs.push(name.clone()),
-        Stmt::For { iter, lo, hi, body, .. } => {
+        Stmt::For {
+            iter, lo, hi, body, ..
+        } => {
             collect_expr(lo, iters, eff);
             collect_expr(hi, iters, eff);
             iters.push(iter.clone());
@@ -155,7 +178,11 @@ fn collect(stmt: &Stmt, iters: &mut Vec<Sym>, eff: &mut Effects) {
             }
             iters.pop();
         }
-        Stmt::If { cond, then_body, else_body } => {
+        Stmt::If {
+            cond,
+            then_body,
+            else_body,
+        } => {
             collect_expr(cond, iters, eff);
             for s in then_body.iter().chain(else_body.iter()) {
                 collect(s, iters, eff);
@@ -176,7 +203,11 @@ fn collect(stmt: &Stmt, iters: &mut Vec<Sym>, eff: &mut Effects) {
             }
         }
         Stmt::Pass => {}
-        Stmt::WriteConfig { config, field, value } => {
+        Stmt::WriteConfig {
+            config,
+            field,
+            value,
+        } => {
             eff.config_writes.push((config.clone(), field.clone()));
             collect_expr(value, iters, eff);
         }
@@ -218,7 +249,10 @@ mod tests {
         assert_eq!(eff.reduces.len(), 1);
         assert_eq!(eff.reduces[0].buf, Sym::new("y"));
         assert_eq!(eff.reduces[0].iters, vec![Sym::new("i"), Sym::new("j")]);
-        assert_eq!(eff.buffers_read(), [Sym::new("A"), Sym::new("x")].into_iter().collect());
+        assert_eq!(
+            eff.buffers_read(),
+            [Sym::new("A"), Sym::new("x")].into_iter().collect()
+        );
         assert_eq!(eff.buffers_written(), [Sym::new("y")].into_iter().collect());
         assert!(!eff.has_calls);
     }
@@ -247,21 +281,39 @@ mod tests {
 
     #[test]
     fn config_effects() {
-        let s = Stmt::WriteConfig { config: Sym::new("cfg"), field: "stride".into(), value: ib(4) };
+        let s = Stmt::WriteConfig {
+            config: Sym::new("cfg"),
+            field: "stride".into(),
+            value: ib(4),
+        };
         let eff = Effects::of_stmt(&s);
-        assert_eq!(eff.config_writes, vec![(Sym::new("cfg"), "stride".to_string())]);
+        assert_eq!(
+            eff.config_writes,
+            vec![(Sym::new("cfg"), "stride".to_string())]
+        );
         let r = Stmt::Assign {
             buf: Sym::new("x"),
             idx: vec![],
-            rhs: Expr::ReadConfig { config: Sym::new("cfg"), field: "stride".into() },
+            rhs: Expr::ReadConfig {
+                config: Sym::new("cfg"),
+                field: "stride".into(),
+            },
         };
         let eff = Effects::of_stmt(&r);
-        assert_eq!(eff.config_reads, vec![(Sym::new("cfg"), "stride".to_string())]);
+        assert_eq!(
+            eff.config_reads,
+            vec![(Sym::new("cfg"), "stride".to_string())]
+        );
     }
 
     #[test]
     fn allocs_are_recorded() {
-        let s = Stmt::Alloc { name: Sym::new("tmp"), ty: DataType::F32, dims: vec![ib(8)], mem: Mem::VecAvx2 };
+        let s = Stmt::Alloc {
+            name: Sym::new("tmp"),
+            ty: DataType::F32,
+            dims: vec![ib(8)],
+            mem: Mem::VecAvx2,
+        };
         let eff = Effects::of_stmt(&s);
         assert_eq!(eff.allocs, vec![Sym::new("tmp")]);
     }

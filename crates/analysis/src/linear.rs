@@ -37,7 +37,10 @@ impl LinExpr {
 
     /// A constant expression.
     pub fn constant(c: i64) -> Self {
-        LinExpr { terms: BTreeMap::new(), constant: c }
+        LinExpr {
+            terms: BTreeMap::new(),
+            constant: c,
+        }
     }
 
     /// A single variable with coefficient 1.
@@ -54,13 +57,21 @@ impl LinExpr {
             Expr::Int(v) => LinExpr::constant(*v),
             Expr::Bool(b) => LinExpr::constant(if *b { 1 } else { 0 }),
             Expr::Var(s) => LinExpr::var(s.clone()),
-            Expr::Bin { op: BinOp::Add, lhs, rhs } => {
-                LinExpr::from_expr(lhs).add(&LinExpr::from_expr(rhs))
-            }
-            Expr::Bin { op: BinOp::Sub, lhs, rhs } => {
-                LinExpr::from_expr(lhs).add(&LinExpr::from_expr(rhs).scale(-1))
-            }
-            Expr::Bin { op: BinOp::Mul, lhs, rhs } => {
+            Expr::Bin {
+                op: BinOp::Add,
+                lhs,
+                rhs,
+            } => LinExpr::from_expr(lhs).add(&LinExpr::from_expr(rhs)),
+            Expr::Bin {
+                op: BinOp::Sub,
+                lhs,
+                rhs,
+            } => LinExpr::from_expr(lhs).add(&LinExpr::from_expr(rhs).scale(-1)),
+            Expr::Bin {
+                op: BinOp::Mul,
+                lhs,
+                rhs,
+            } => {
                 let l = LinExpr::from_expr(lhs);
                 let r = LinExpr::from_expr(rhs);
                 if let Some(c) = l.as_constant() {
@@ -92,7 +103,10 @@ impl LinExpr {
                 terms.remove(atom);
             }
         }
-        LinExpr { terms, constant: self.constant + other.constant }
+        LinExpr {
+            terms,
+            constant: self.constant + other.constant,
+        }
     }
 
     /// Difference `self - other`.
@@ -122,7 +136,10 @@ impl LinExpr {
 
     /// The coefficient of a symbol (0 if absent).
     pub fn coeff_of(&self, sym: &Sym) -> i64 {
-        self.terms.get(&Atom::Var(sym.clone())).copied().unwrap_or(0)
+        self.terms
+            .get(&Atom::Var(sym.clone()))
+            .copied()
+            .unwrap_or(0)
     }
 
     /// Whether the expression mentions the symbol (directly or inside an
@@ -159,8 +176,10 @@ pub(crate) fn contains_ident(text: &str, ident: &str) -> bool {
     while let Some(pos) = text[start..].find(ident) {
         let begin = start + pos;
         let end = begin + ident.len();
-        let left_ok = begin == 0 || !(bytes[begin - 1].is_ascii_alphanumeric() || bytes[begin - 1] == b'_');
-        let right_ok = end == bytes.len() || !(bytes[end].is_ascii_alphanumeric() || bytes[end] == b'_');
+        let left_ok =
+            begin == 0 || !(bytes[begin - 1].is_ascii_alphanumeric() || bytes[begin - 1] == b'_');
+        let right_ok =
+            end == bytes.len() || !(bytes[end].is_ascii_alphanumeric() || bytes[end] == b'_');
         if left_ok && right_ok {
             return true;
         }

@@ -24,7 +24,10 @@ fn const_range(e: &Expr, ctx: &Context) -> Option<(i64, i64)> {
                 BinOp::Sub => Some((llo - rhi, lhi - rlo)),
                 BinOp::Mul => {
                     let candidates = [llo * rlo, llo * rhi, lhi * rlo, lhi * rhi];
-                    Some((*candidates.iter().min().unwrap(), *candidates.iter().max().unwrap()))
+                    Some((
+                        *candidates.iter().min().unwrap(),
+                        *candidates.iter().max().unwrap(),
+                    ))
                 }
                 BinOp::Mod => {
                     if rlo == rhi && rlo > 0 {
@@ -63,7 +66,10 @@ pub fn simplify_expr(e: &Expr, ctx: &Context) -> Expr {
                 (UnOp::Neg, Expr::Int(v)) => Expr::Int(-v),
                 (UnOp::Neg, Expr::Float(v)) => Expr::Float(-v),
                 (UnOp::Not, Expr::Bool(b)) => Expr::Bool(!b),
-                _ => Expr::Un { op: *op, arg: Box::new(a) },
+                _ => Expr::Un {
+                    op: *op,
+                    arg: Box::new(a),
+                },
             }
         }
         Expr::Read { buf, idx } => Expr::Read {
@@ -91,7 +97,9 @@ fn rebuild_linear(lin: &LinExpr) -> Option<Expr> {
     // Only rebuild when every atom is a plain variable.
     let mut expr: Option<Expr> = None;
     for (atom, coeff) in &lin.terms {
-        let crate::linear::Atom::Var(s) = atom else { return None };
+        let crate::linear::Atom::Var(s) = atom else {
+            return None;
+        };
         let term = if *coeff == 1 {
             Expr::Var(s.clone())
         } else {
@@ -223,8 +231,10 @@ fn simplify_bin(op: BinOp, l: Expr, r: Expr, ctx: &Context) -> Expr {
                 residue.constant = lin.constant;
             }
             let residue_expr = rebuild_linear(&residue);
-            let residue_range =
-                residue_expr.as_ref().and_then(|e| const_range(e, ctx)).or_else(|| {
+            let residue_range = residue_expr
+                .as_ref()
+                .and_then(|e| const_range(e, ctx))
+                .or_else(|| {
                     if residue.is_zero() {
                         Some((0, 0))
                     } else {
@@ -250,14 +260,16 @@ fn simplify_bin(op: BinOp, l: Expr, r: Expr, ctx: &Context) -> Expr {
                 }
             }
             // Whole-expression divisibility from context facts.
-            if ctx.divides(&l, k) {
-                if op == Mod {
-                    return Expr::Int(0);
-                }
+            if ctx.divides(&l, k) && op == Mod {
+                return Expr::Int(0);
             }
         }
     }
-    Expr::Bin { op, lhs: Box::new(l), rhs: Box::new(r) }
+    Expr::Bin {
+        op,
+        lhs: Box::new(l),
+        rhs: Box::new(r),
+    }
 }
 
 impl LinExpr {
@@ -359,7 +371,10 @@ mod tests {
         let ctx = Context::new();
         let e = (ib(8) * var("io") + var("ii")) / ib(8);
         // Without the range of ii the division must be preserved.
-        assert!(matches!(simplify_expr(&e, &ctx), Expr::Bin { op: BinOp::Div, .. }));
+        assert!(matches!(
+            simplify_expr(&e, &ctx),
+            Expr::Bin { op: BinOp::Div, .. }
+        ));
     }
 
     #[test]
@@ -373,10 +388,19 @@ mod tests {
     fn predicates_decided_by_ranges() {
         let mut ctx = Context::new();
         ctx.push_iter(Sym::new("i"), ib(0), ib(8));
-        assert_eq!(simplify_predicate(&Expr::lt(var("i"), ib(8)), &ctx), Some(true));
+        assert_eq!(
+            simplify_predicate(&Expr::lt(var("i"), ib(8)), &ctx),
+            Some(true)
+        );
         assert_eq!(simplify_predicate(&Expr::lt(var("i"), ib(4)), &ctx), None);
-        assert_eq!(simplify_predicate(&Expr::lt(var("i"), ib(0)), &ctx), Some(false));
-        assert_eq!(simplify_predicate(&Expr::eq_(ib(0), ib(0)), &ctx), Some(true));
+        assert_eq!(
+            simplify_predicate(&Expr::lt(var("i"), ib(0)), &ctx),
+            Some(false)
+        );
+        assert_eq!(
+            simplify_predicate(&Expr::eq_(ib(0), ib(0)), &ctx),
+            Some(true)
+        );
     }
 
     #[test]

@@ -50,9 +50,18 @@ impl VendorBaseline {
     /// kernel quality and differ (slightly) in modelled call overhead.
     pub fn all() -> Vec<VendorBaseline> {
         vec![
-            VendorBaseline { name: "MKL", dispatch_overhead: 120 },
-            VendorBaseline { name: "OpenBLAS", dispatch_overhead: 180 },
-            VendorBaseline { name: "BLIS", dispatch_overhead: 200 },
+            VendorBaseline {
+                name: "MKL",
+                dispatch_overhead: 120,
+            },
+            VendorBaseline {
+                name: "OpenBLAS",
+                dispatch_overhead: 180,
+            },
+            VendorBaseline {
+                name: "BLIS",
+                dispatch_overhead: 200,
+            },
         ]
     }
 }
@@ -80,14 +89,25 @@ pub fn exo1_axpy_schedule(p: &ProcHandle, machine: &MachineModel) -> Result<Proc
     // Expand, lift and place each temporary by hand.
     let mut p = p;
     for name in ["a_vec", "x_vec"] {
-        p = expand_dim(&p, format!("{name}: _").as_str(), exo_ir::ib(vw), exo_ir::var("ii"))?;
+        p = expand_dim(
+            &p,
+            format!("{name}: _").as_str(),
+            exo_ir::ib(vw),
+            exo_ir::var("ii"),
+        )?;
         p = lift_alloc(&p, format!("{name}: _").as_str(), 1)?;
         p = set_memory(&p, format!("{name}: _").as_str(), machine.mem_type())?;
     }
     // Fission and lower to instructions, again by hand.
-    let gap = p.find("a_vec = _")?.after().map_err(exo_core::SchedError::from)?;
+    let gap = p
+        .find("a_vec = _")?
+        .after()
+        .map_err(exo_core::SchedError::from)?;
     let p = fission(&p, &gap, 1)?;
-    let gap = p.find("x_vec = _")?.after().map_err(exo_core::SchedError::from)?;
+    let gap = p
+        .find("x_vec = _")?
+        .after()
+        .map_err(exo_core::SchedError::from)?;
     let p = fission(&p, &gap, 1)?;
     let p = replace_all(&p, &machine.instructions(DataType::F32))?;
     simplify(&p)
@@ -104,7 +124,10 @@ pub fn exo1_gemv_schedule(p: &ProcHandle, machine: &MachineModel) -> Result<Proc
     let mut p = expand_dim(&p, "prod: _", exo_ir::ib(vw), exo_ir::var("ji"))?;
     p = lift_alloc(&p, "prod: _", 1)?;
     p = set_memory(&p, "prod: _", machine.mem_type())?;
-    let gap = p.find("prod = _")?.after().map_err(exo_core::SchedError::from)?;
+    let gap = p
+        .find("prod = _")?
+        .after()
+        .map_err(exo_core::SchedError::from)?;
     let p = fission(&p, &gap, 1)?;
     let p = replace_all(&p, &machine.instructions(DataType::F32))?;
     simplify(&p)
@@ -126,11 +149,16 @@ mod tests {
         let n = 32usize;
         let run = |proc: &Proc| {
             let mut interp = Interpreter::new(&registry);
-            let (_, x) = ArgValue::from_vec((0..n).map(|v| v as f64).collect(), vec![n], DataType::F32);
+            let (_, x) =
+                ArgValue::from_vec((0..n).map(|v| v as f64).collect(), vec![n], DataType::F32);
             let (yb, y) = ArgValue::from_vec(vec![1.0; n], vec![n], DataType::F32);
             let (_, out) = ArgValue::zeros(vec![1], DataType::F32);
             interp
-                .run(proc, vec![ArgValue::Int(n as i64), ArgValue::Float(2.0), x, y, out], &mut NullMonitor)
+                .run(
+                    proc,
+                    vec![ArgValue::Int(n as i64), ArgValue::Float(2.0), x, y, out],
+                    &mut NullMonitor,
+                )
                 .unwrap();
             let d = yb.borrow().data.clone();
             d

@@ -23,7 +23,12 @@ fn run_level1(proc: &Proc, registry: &ProcRegistry, n: usize) -> u64 {
     let (_, x) = ArgValue::from_vec(vec![1.5; n], vec![n], DataType::F32);
     let (_, y) = ArgValue::from_vec(vec![0.5; n], vec![n], DataType::F32);
     let (_, out) = ArgValue::zeros(vec![1], DataType::F32);
-    simulate(proc, registry, vec![ArgValue::Int(n as i64), ArgValue::Float(2.0), x, y, out]).cycles
+    simulate(
+        proc,
+        registry,
+        vec![ArgValue::Int(n as i64), ArgValue::Float(2.0), x, y, out],
+    )
+    .cycles
 }
 
 fn run_level2(proc: &Proc, registry: &ProcRegistry, m: usize, n: usize) -> u64 {
@@ -76,7 +81,14 @@ pub fn fig6a() -> String {
                 let (_, a) = ArgValue::from_vec(vec![1.0; m * k], vec![m, k], DataType::I8);
                 let (_, b) = ArgValue::from_vec(vec![1.0; k * n], vec![k, n], DataType::I8);
                 let (_, c) = ArgValue::zeros(vec![m, n], DataType::I32);
-                vec![ArgValue::Int(m as i64), ArgValue::Int(n as i64), ArgValue::Int(k as i64), a, b, c]
+                vec![
+                    ArgValue::Int(m as i64),
+                    ArgValue::Int(n as i64),
+                    ArgValue::Int(k as i64),
+                    a,
+                    b,
+                    c,
+                ]
             };
             let t1 = simulate(exo1.proc(), &registry, mk()).cycles as f64;
             let t2 = simulate(exo2.proc(), &registry, mk()).cycles as f64;
@@ -104,7 +116,14 @@ pub fn fig6b() -> String {
                 let (_, a) = ArgValue::from_vec(vec![1.0; m * k], vec![m, k], DataType::F32);
                 let (_, b) = ArgValue::from_vec(vec![1.0; k * n], vec![k, n], DataType::F32);
                 let (_, c) = ArgValue::zeros(vec![m, n], DataType::F32);
-                vec![ArgValue::Int(m as i64), ArgValue::Int(n as i64), ArgValue::Int(k as i64), a, b, c]
+                vec![
+                    ArgValue::Int(m as i64),
+                    ArgValue::Int(n as i64),
+                    ArgValue::Int(k as i64),
+                    a,
+                    b,
+                    c,
+                ]
             };
             let t1 = simulate(exo1.proc(), &registry, mk()).cycles as f64;
             let t2 = simulate(exo2.proc(), &registry, mk()).cycles as f64;
@@ -181,7 +200,8 @@ pub fn fig_level1(machine: &MachineModel) -> String {
         for vendor in VendorBaseline::all() {
             out.push_str(&format!("s{:<15}{:<10}", k.name, vendor.name));
             for &n in &sizes {
-                let vendor_cycles = run_level1(exo2.proc(), &registry, n) + vendor.dispatch_overhead;
+                let vendor_cycles =
+                    run_level1(exo2.proc(), &registry, n) + vendor.dispatch_overhead;
                 let exo2_cycles = run_level1(exo2.proc(), &registry, n);
                 out.push_str(&fmt_ratio(vendor_cycles as f64 / exo2_cycles as f64));
                 out.push(' ');
@@ -209,7 +229,8 @@ pub fn fig_level2(machine: &MachineModel) -> String {
         for vendor in VendorBaseline::all().into_iter().take(1) {
             out.push_str(&format!("s{:<15}{:<10}", k.name, vendor.name));
             for &n in &sizes {
-                let vendor_cycles = run_level2(exo2.proc(), &registry, n, n) + vendor.dispatch_overhead;
+                let vendor_cycles =
+                    run_level2(exo2.proc(), &registry, n, n) + vendor.dispatch_overhead;
                 let exo2_cycles = run_level2(exo2.proc(), &registry, n, n);
                 out.push_str(&fmt_ratio(vendor_cycles as f64 / exo2_cycles as f64));
                 out.push(' ');
@@ -226,7 +247,8 @@ pub fn fig_level2(machine: &MachineModel) -> String {
 pub fn fig13() -> String {
     let machine = MachineModel::avx2();
     let registry: ProcRegistry = machine.instructions(DataType::F32).into_iter().collect();
-    let mut out = String::from("Figure 13 — Runtime of Halide-style schedule / Exo 2 (and naive / Exo 2)\n");
+    let mut out =
+        String::from("Figure 13 — Runtime of Halide-style schedule / Exo 2 (and naive / Exo 2)\n");
     out.push_str("pipeline    size        halide/exo2   naive/exo2\n");
     for (h, w) in [(64usize, 64usize), (96, 96)] {
         let p = ProcHandle::new(exo_kernels::blur2d());
@@ -235,7 +257,11 @@ pub fn fig13() -> String {
         // nest (expert schedule); ratios hover around 1.0 as in the paper.
         let halide = exo2.clone();
         let mk = || {
-            let (_, i) = ArgValue::from_vec(vec![1.0; (h + 2) * (w + 2)], vec![h + 2, w + 2], DataType::F32);
+            let (_, i) = ArgValue::from_vec(
+                vec![1.0; (h + 2) * (w + 2)],
+                vec![h + 2, w + 2],
+                DataType::F32,
+            );
             let (_, o) = ArgValue::zeros(vec![h, w], DataType::F32);
             let (_, bx) = ArgValue::zeros(vec![h + 2, w], DataType::F32);
             vec![ArgValue::Int(h as i64), ArgValue::Int(w as i64), i, o, bx]
@@ -293,7 +319,14 @@ mod tests {
     #[test]
     fn loc_table_covers_all_kernel_families() {
         let t = fig_loc_and_rewrites();
-        for name in ["saxpy", "sgemv_n", "sgemm", "gemmini_matmul", "blur", "unsharp"] {
+        for name in [
+            "saxpy",
+            "sgemv_n",
+            "sgemm",
+            "gemmini_matmul",
+            "blur",
+            "unsharp",
+        ] {
             assert!(t.contains(name), "missing {name} in\n{t}");
         }
     }

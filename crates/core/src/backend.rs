@@ -34,10 +34,9 @@ fn resolve_buffer(p: &ProcHandle, buf: BufferRef<'_>) -> Result<(Option<Vec<exo_
         BufferRef::Cursor(c) => {
             let c = p.forward(c)?;
             match c.stmt()? {
-                Stmt::Alloc { name, .. } => Ok((
-                    Some(c.path().stmt_path().unwrap().to_vec()),
-                    name.clone(),
-                )),
+                Stmt::Alloc { name, .. } => {
+                    Ok((Some(c.path().stmt_path().unwrap().to_vec()), name.clone()))
+                }
                 other => Err(SchedError::scheduling(format!(
                     "expected an allocation, found `{}`",
                     other.kind()
@@ -53,7 +52,9 @@ fn resolve_buffer(p: &ProcHandle, buf: BufferRef<'_>) -> Result<(Option<Vec<exo_
             if p.proc().arg(name).is_some() {
                 return Ok((None, Sym::new(name)));
             }
-            Err(SchedError::scheduling(format!("no buffer or argument named `{name}`")))
+            Err(SchedError::scheduling(format!(
+                "no buffer or argument named `{name}`"
+            )))
         }
     }
 }
@@ -73,7 +74,10 @@ pub fn set_memory<'a>(
         Some(path) => {
             let mut checked = Ok(());
             rw.modify_stmt(&path, |s| {
-                if let Stmt::Alloc { dims, ty, mem: m, .. } = s {
+                if let Stmt::Alloc {
+                    dims, ty, mem: m, ..
+                } = s
+                {
                     checked = check_vector_fit(&mem, dims.last(), *ty);
                     if checked.is_ok() {
                         *m = mem.clone();
@@ -87,7 +91,10 @@ pub fn set_memory<'a>(
             rw.modify_proc(|proc| {
                 for arg in proc.args_mut() {
                     if arg.name == name {
-                        if let ArgKind::Tensor { dims, ty, mem: m, .. } = &mut arg.kind {
+                        if let ArgKind::Tensor {
+                            dims, ty, mem: m, ..
+                        } = &mut arg.kind
+                        {
                             checked = check_vector_fit(&mem, dims.last(), *ty);
                             if checked.is_ok() {
                                 *m = mem.clone();
@@ -158,7 +165,9 @@ pub fn set_precision<'a>(
 pub fn parallelize_loop(p: &ProcHandle, loop_: impl IntoCursor) -> Result<ProcHandle> {
     let c = loop_.into_cursor(p)?;
     let Stmt::For { iter, body, .. } = c.stmt()?.clone() else {
-        return Err(SchedError::scheduling("parallelize_loop requires a for loop"));
+        return Err(SchedError::scheduling(
+            "parallelize_loop requires a for loop",
+        ));
     };
     let path = c.path().stmt_path().unwrap().to_vec();
     let ctx = Context::at(p.proc(), &path);
@@ -181,7 +190,9 @@ pub fn parallelize_loop(p: &ProcHandle, loop_: impl IntoCursor) -> Result<ProcHa
 /// Toggles the window-ness of a tensor argument (paper: `set_window`).
 pub fn set_window(p: &ProcHandle, arg_name: &str, window: bool) -> Result<ProcHandle> {
     if p.proc().arg(arg_name).is_none() {
-        return Err(SchedError::scheduling(format!("no argument named `{arg_name}`")));
+        return Err(SchedError::scheduling(format!(
+            "no argument named `{arg_name}`"
+        )));
     }
     let mut rw = Rewrite::new(p);
     rw.modify_proc(|proc| {

@@ -35,7 +35,11 @@ fn map_accesses_stmt(stmt: &mut Stmt, buf: &Sym, f: &dyn Fn(Vec<Expr>) -> Vec<Ex
                 map_accesses_stmt(s, buf, f);
             }
         }
-        Stmt::If { cond, then_body, else_body } => {
+        Stmt::If {
+            cond,
+            then_body,
+            else_body,
+        } => {
             map_accesses_expr(cond, buf, f);
             for s in then_body.0.iter_mut().chain(else_body.0.iter_mut()) {
                 map_accesses_stmt(s, buf, f);
@@ -110,9 +114,18 @@ fn rename_buffer_stmt(stmt: &mut Stmt, old: &Sym, new: &Sym) {
     *stmt = replaced;
 }
 
-fn alloc_parts(c: &Cursor) -> Result<(Vec<Step>, Sym, DataType, Vec<Expr>, Mem)> {
+/// The pieces of an `Alloc` statement: its path, name, element type,
+/// dimension expressions, and memory space.
+type AllocParts = (Vec<Step>, Sym, DataType, Vec<Expr>, Mem);
+
+fn alloc_parts(c: &Cursor) -> Result<AllocParts> {
     match c.stmt()? {
-        Stmt::Alloc { name, ty, dims, mem } => Ok((
+        Stmt::Alloc {
+            name,
+            ty,
+            dims,
+            mem,
+        } => Ok((
             c.path().stmt_path().unwrap().to_vec(),
             name.clone(),
             *ty,
@@ -192,7 +205,9 @@ pub fn sink_alloc(p: &ProcHandle, alloc: impl IntoCursor) -> Result<ProcHandle> 
         .next()
         .map_err(|_| SchedError::scheduling("sink_alloc: no statement follows the allocation"))?;
     if !next.is_loop() && !next.is_if() {
-        return Err(SchedError::scheduling("sink_alloc: the next statement is not a loop or if"));
+        return Err(SchedError::scheduling(
+            "sink_alloc: the next statement is not a loop or if",
+        ));
     }
     // The buffer must not be used after the next statement.
     let (container, idx) = resolve_container(p.proc(), &path)
@@ -222,12 +237,16 @@ pub fn delete_buffer(p: &ProcHandle, alloc: impl IntoCursor) -> Result<ProcHandl
         if spath == path.as_slice() {
             return;
         }
-        if exo_analysis::Effects::of_stmt(stmt).touches(&name) && !matches!(stmt, Stmt::For { .. } | Stmt::If { .. }) {
+        if exo_analysis::Effects::of_stmt(stmt).touches(&name)
+            && !matches!(stmt, Stmt::For { .. } | Stmt::If { .. })
+        {
             used = true;
         }
     });
     if used {
-        return Err(SchedError::scheduling(format!("buffer `{name}` is still used; cannot delete")));
+        return Err(SchedError::scheduling(format!(
+            "buffer `{name}` is still used; cannot delete"
+        )));
     }
     let mut rw = Rewrite::new(p);
     rw.delete(&path, 1)?;
@@ -264,7 +283,10 @@ pub fn reuse_buffer(p: &ProcHandle, a: &str, b: impl IntoCursor) -> Result<ProcH
             )));
         }
     }
-    let (container_path, idx) = (b_path[..b_path.len()].to_vec(), b_path.last().unwrap().index());
+    let (container_path, idx) = (
+        b_path[..b_path.len()].to_vec(),
+        b_path.last().unwrap().index(),
+    );
     let a_sym = Sym::new(a);
     let mut rw = Rewrite::new(p);
     for_scope_after(&mut rw, &container_path, idx, &|s| {
@@ -305,8 +327,13 @@ pub fn resize_dim(
     for_scope_after(&mut rw, &path, idx, &move |s| {
         map_accesses_stmt(s, &name, &|mut idxs| {
             if dim < idxs.len() {
-                let shifted = simplify_expr(&(idxs[dim].clone() - offset2.clone()), &Context::new());
-                idxs[dim] = if fold { shifted % size2.clone() } else { shifted };
+                let shifted =
+                    simplify_expr(&(idxs[dim].clone() - offset2.clone()), &Context::new());
+                idxs[dim] = if fold {
+                    shifted % size2.clone()
+                } else {
+                    shifted
+                };
             }
             idxs
         });
@@ -386,12 +413,18 @@ pub fn rearrange_dim(p: &ProcHandle, alloc: impl IntoCursor, perm: &[usize]) -> 
 
 /// Splits one constant-sized dimension of an allocation into two (paper:
 /// `divide_dim`).
-pub fn divide_dim(p: &ProcHandle, alloc: impl IntoCursor, dim: usize, factor: i64) -> Result<ProcHandle> {
+pub fn divide_dim(
+    p: &ProcHandle,
+    alloc: impl IntoCursor,
+    dim: usize,
+    factor: i64,
+) -> Result<ProcHandle> {
     let c = alloc.into_cursor(p)?;
     let (path, name, _, dims, _) = alloc_parts(&c)?;
     expect_positive(factor, "divide_dim factor")?;
     let size = expect_const(
-        dims.get(dim).ok_or_else(|| SchedError::scheduling("dimension out of range"))?,
+        dims.get(dim)
+            .ok_or_else(|| SchedError::scheduling("dimension out of range"))?,
         "divide_dim dimension size",
     )?;
     if size % factor != 0 {
@@ -423,19 +456,25 @@ pub fn divide_dim(p: &ProcHandle, alloc: impl IntoCursor, dim: usize, factor: i6
 
 /// Fuses dimension `dim2` (of constant extent) into dimension `dim`
 /// (paper: `mult_dim`).
-pub fn mult_dim(p: &ProcHandle, alloc: impl IntoCursor, dim: usize, dim2: usize) -> Result<ProcHandle> {
+pub fn mult_dim(
+    p: &ProcHandle,
+    alloc: impl IntoCursor,
+    dim: usize,
+    dim2: usize,
+) -> Result<ProcHandle> {
     let c = alloc.into_cursor(p)?;
     let (path, name, _, dims, _) = alloc_parts(&c)?;
     if dim == dim2 || dim >= dims.len() || dim2 >= dims.len() {
-        return Err(SchedError::scheduling("mult_dim requires two distinct valid dimensions"));
+        return Err(SchedError::scheduling(
+            "mult_dim requires two distinct valid dimensions",
+        ));
     }
     let c2 = expect_const(&dims[dim2], "mult_dim merged dimension")?;
     let idx = path.last().unwrap().index();
     let mut rw = Rewrite::new(p);
     rw.modify_stmt(&path, |s| {
         if let Stmt::Alloc { dims, .. } = s {
-            dims[dim] =
-                exo_analysis::simplify_expr(&(dims[dim].clone() * ib(c2)), &Context::new());
+            dims[dim] = exo_analysis::simplify_expr(&(dims[dim].clone() * ib(c2)), &Context::new());
             dims.remove(dim2);
         }
     })?;
@@ -458,17 +497,19 @@ pub fn unroll_buffer(p: &ProcHandle, alloc: impl IntoCursor, dim: usize) -> Resu
     let c = alloc.into_cursor(p)?;
     let (path, name, ty, dims, mem) = alloc_parts(&c)?;
     let size = expect_const(
-        dims.get(dim).ok_or_else(|| SchedError::scheduling("dimension out of range"))?,
+        dims.get(dim)
+            .ok_or_else(|| SchedError::scheduling("dimension out of range"))?,
         "unroll_buffer dimension size",
     )?;
     // Every access must index this dimension with a constant.
     let mut constant_only = true;
     for_each_stmt_paths(p.proc(), &mut |_, stmt| {
-        for (b, idxs) in exo_ir::collect_reads(stmt).into_iter().chain(exo_ir::collect_writes(stmt)) {
-            if b == name {
-                if idxs.get(dim).and_then(|e| e.as_int()).is_none() {
-                    constant_only = false;
-                }
+        for (b, idxs) in exo_ir::collect_reads(stmt)
+            .into_iter()
+            .chain(exo_ir::collect_writes(stmt))
+        {
+            if b == name && idxs.get(dim).and_then(|e| e.as_int()).is_none() {
+                constant_only = false;
             }
         }
     });
@@ -549,7 +590,11 @@ fn rewrite_unrolled(stmt: &mut Stmt, buf: &Sym, dim: usize) {
                 rewrite_unrolled(s, buf, dim);
             }
         }
-        Stmt::If { then_body, else_body, .. } => {
+        Stmt::If {
+            then_body,
+            else_body,
+            ..
+        } => {
             for s in then_body.0.iter_mut().chain(else_body.0.iter_mut()) {
                 rewrite_unrolled(s, buf, dim);
             }
@@ -561,13 +606,22 @@ fn rewrite_unrolled(stmt: &mut Stmt, buf: &Sym, dim: usize) {
 /// Binds an expression occurrence to a fresh scalar temporary allocated and
 /// assigned immediately before the enclosing statement (paper:
 /// `bind_expr`).
-pub fn bind_expr(p: &ProcHandle, expr: &Cursor, new_name: &str, ty: DataType) -> Result<ProcHandle> {
+pub fn bind_expr(
+    p: &ProcHandle,
+    expr: &Cursor,
+    new_name: &str,
+    ty: DataType,
+) -> Result<ProcHandle> {
     let c = p.forward(expr)?;
     let CursorPath::Node { stmt, expr: steps } = c.path().clone() else {
-        return Err(SchedError::scheduling("bind_expr requires an expression cursor"));
+        return Err(SchedError::scheduling(
+            "bind_expr requires an expression cursor",
+        ));
     };
     if steps.is_empty() {
-        return Err(SchedError::scheduling("bind_expr requires an expression cursor"));
+        return Err(SchedError::scheduling(
+            "bind_expr requires an expression cursor",
+        ));
     }
     let value = c.expr()?.clone();
     let name = Sym::new(new_name);
@@ -575,7 +629,10 @@ pub fn bind_expr(p: &ProcHandle, expr: &Cursor, new_name: &str, ty: DataType) ->
     let mut replaced = false;
     rw.modify_stmt(&stmt, |s| {
         replaced = crate::rearrange::modify_expr_in_stmt(s, &steps, |e| {
-            *e = Expr::Read { buf: name.clone(), idx: vec![] };
+            *e = Expr::Read {
+                buf: name.clone(),
+                idx: vec![],
+            };
         });
     })?;
     if !replaced {
@@ -584,8 +641,17 @@ pub fn bind_expr(p: &ProcHandle, expr: &Cursor, new_name: &str, ty: DataType) ->
     rw.insert(
         &stmt,
         vec![
-            Stmt::Alloc { name: name.clone(), ty, dims: vec![], mem: Mem::Dram },
-            Stmt::Assign { buf: name, idx: vec![], rhs: value },
+            Stmt::Alloc {
+                name: name.clone(),
+                ty,
+                dims: vec![],
+                mem: Mem::Dram,
+            },
+            Stmt::Assign {
+                buf: name,
+                idx: vec![],
+                rhs: value,
+            },
         ],
     )?;
     stats::record("bind_expr");
@@ -610,10 +676,16 @@ pub fn stage_mem(
     let c = target.into_cursor(p)?;
     let (path, count, stmts) = match c.path().clone() {
         CursorPath::Node { stmt, .. } => (stmt, 1usize, vec![c.stmt()?.clone()]),
-        CursorPath::Block { stmt, len } => {
-            (stmt, len, c.stmts()?.into_iter().cloned().collect::<Vec<_>>())
+        CursorPath::Block { stmt, len } => (
+            stmt,
+            len,
+            c.stmts()?.into_iter().cloned().collect::<Vec<_>>(),
+        ),
+        _ => {
+            return Err(SchedError::scheduling(
+                "stage_mem requires a statement or block cursor",
+            ))
         }
-        _ => return Err(SchedError::scheduling("stage_mem requires a statement or block cursor")),
     };
     let buf_sym = Sym::new(buf);
     let ctx = Context::at(p.proc(), &path);
@@ -653,7 +725,9 @@ pub fn stage_mem(
         .collect();
     let new_sym = Sym::new(new_name);
     // Copy-in loop nest: new[k...] = buf[lo + k ...].
-    let iters: Vec<Sym> = (0..window.len()).map(|d| Sym::new(format!("k{d}"))).collect();
+    let iters: Vec<Sym> = (0..window.len())
+        .map(|d| Sym::new(format!("k{d}")))
+        .collect();
     let copy = |dst_is_new: bool| -> Stmt {
         let dst_idx: Vec<Expr> = iters.iter().map(|k| var(k.clone())).collect();
         let src_idx: Vec<Expr> = window
@@ -665,13 +739,19 @@ pub fn stage_mem(
             Stmt::Assign {
                 buf: new_sym.clone(),
                 idx: dst_idx.clone(),
-                rhs: Expr::Read { buf: buf_sym.clone(), idx: src_idx.clone() },
+                rhs: Expr::Read {
+                    buf: buf_sym.clone(),
+                    idx: src_idx.clone(),
+                },
             }
         } else {
             Stmt::Assign {
                 buf: buf_sym.clone(),
                 idx: src_idx,
-                rhs: Expr::Read { buf: new_sym.clone(), idx: dst_idx },
+                rhs: Expr::Read {
+                    buf: new_sym.clone(),
+                    idx: dst_idx,
+                },
             }
         };
         for d in (0..window.len()).rev() {
@@ -679,7 +759,9 @@ pub fn stage_mem(
         }
         inner
     };
-    let writes_buf = exo_analysis::Effects::of_stmts(stmts.iter()).buffers_written().contains(&buf_sym);
+    let writes_buf = exo_analysis::Effects::of_stmts(stmts.iter())
+        .buffers_written()
+        .contains(&buf_sym);
 
     let mut rw = Rewrite::new(p);
     // Rewrite accesses inside the target to the staged buffer.
@@ -714,7 +796,12 @@ pub fn stage_mem(
     rw.insert(
         &path,
         vec![
-            Stmt::Alloc { name: new_sym.clone(), ty, dims: extents.clone(), mem: Mem::Dram },
+            Stmt::Alloc {
+                name: new_sym.clone(),
+                ty,
+                dims: extents.clone(),
+                mem: Mem::Dram,
+            },
             copy(true),
         ],
     )?;
@@ -737,8 +824,16 @@ mod tests {
                 .for_("io", ib(0), var("n") / ib(8), |b| {
                     b.for_("ii", ib(0), ib(8), |b| {
                         b.alloc("t", DataType::F32, vec![], Mem::Dram);
-                        b.assign("t", vec![], b.read("x", vec![ib(8) * var("io") + var("ii")]));
-                        b.assign("y", vec![ib(8) * var("io") + var("ii")], read("t", vec![]) * fb(2.0));
+                        b.assign(
+                            "t",
+                            vec![],
+                            b.read("x", vec![ib(8) * var("io") + var("ii")]),
+                        );
+                        b.assign(
+                            "y",
+                            vec![ib(8) * var("io") + var("ii")],
+                            read("t", vec![]) * fb(2.0),
+                        );
                     });
                 })
                 .build(),
@@ -801,7 +896,10 @@ mod tests {
         // `t` is only used inside the loop: sink it.
         let p2 = sink_alloc(&p, "t: _").unwrap();
         let s = p2.to_string();
-        assert!(s.find("for i in").unwrap() < s.find("t: f32[4]").unwrap(), "{s}");
+        assert!(
+            s.find("for i in").unwrap() < s.find("t: f32[4]").unwrap(),
+            "{s}"
+        );
         // `dead` is unused: delete it. `u` can reuse `t`'s storage.
         let p3 = delete_buffer(&p2, "dead: _").unwrap();
         assert!(!p3.to_string().contains("dead"));
@@ -851,10 +949,22 @@ mod tests {
         assert!(rearrange_dim(&p, "t: _", &[0, 0]).is_err());
         let p4 = mult_dim(&p, "t: _", 0, 1).unwrap();
         assert!(p4.to_string().contains("t: f32[48]"), "{}", p4.to_string());
-        assert!(p4.to_string().contains("t[i * 4 + 2]"), "{}", p4.to_string());
+        assert!(
+            p4.to_string().contains("t[i * 4 + 2]"),
+            "{}",
+            p4.to_string()
+        );
         let p5 = resize_dim(&p, "t: _", 0, ib(16), ib(-2), false).unwrap();
-        assert!(p5.to_string().contains("t: f32[16, 4]"), "{}", p5.to_string());
-        assert!(p5.to_string().contains("i + 2") || p5.to_string().contains("2 + i"), "{}", p5.to_string());
+        assert!(
+            p5.to_string().contains("t: f32[16, 4]"),
+            "{}",
+            p5.to_string()
+        );
+        assert!(
+            p5.to_string().contains("i + 2") || p5.to_string().contains("2 + i"),
+            "{}",
+            p5.to_string()
+        );
     }
 
     #[test]
@@ -866,7 +976,11 @@ mod tests {
                     b.alloc("t", DataType::F32, vec![ib(2)], Mem::Dram);
                     b.assign("t", vec![ib(0)], fb(1.0));
                     b.assign("t", vec![ib(1)], fb(2.0));
-                    b.assign("y", vec![ib(0)], read("t", vec![ib(0)]) + read("t", vec![ib(1)]));
+                    b.assign(
+                        "y",
+                        vec![ib(0)],
+                        read("t", vec![ib(0)]) + read("t", vec![ib(1)]),
+                    );
                 })
                 .build(),
         );
@@ -899,17 +1013,14 @@ mod tests {
                 })
                 .build(),
         );
-        let p2 = stage_mem(
-            &p,
-            "i",
-            "A",
-            &[(ib(0), ib(16)), (ib(0), ib(16))],
-            "A_tile",
-        )
-        .unwrap();
+        let p2 = stage_mem(&p, "i", "A", &[(ib(0), ib(16)), (ib(0), ib(16))], "A_tile").unwrap();
         let s = p2.to_string();
         assert!(s.contains("A_tile: f32[16, 16]"), "{s}");
-        assert!(s.contains("A_tile[k0, k1] = A[k0, k1]") || s.contains("A_tile[k0, k1] = A[0 + k0, 0 + k1]"), "{s}");
+        assert!(
+            s.contains("A_tile[k0, k1] = A[k0, k1]")
+                || s.contains("A_tile[k0, k1] = A[0 + k0, 0 + k1]"),
+            "{s}"
+        );
         assert!(s.contains("y[i] += A_tile[i, i]"), "{s}");
         // Staging with a window that is too small is rejected.
         assert!(stage_mem(&p, "i", "A", &[(ib(0), ib(8)), (ib(0), ib(16))], "A_t").is_err());

@@ -96,8 +96,7 @@ pub fn nav(mv: impl Fn(&Cursor) -> Result<Cursor> + 'static) -> COp {
     Rc::new(move |p, c| {
         let fwd = p.forward(c)?;
         let moved = mv(&fwd)?;
-        Ok((p.clone(), moved)
-        )
+        Ok((p.clone(), moved))
     })
 }
 
@@ -126,7 +125,7 @@ pub fn reframe(mv: impl Fn(&Cursor) -> Result<Cursor> + 'static, op: COp) -> COp
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::{lift_alloc, remove_loop, reorder_stmts, fission};
+    use crate::{fission, lift_alloc, remove_loop, reorder_stmts};
     use exo_ir::{fb, ib, var, DataType, Mem, ProcBuilder};
 
     fn nested_alloc() -> ProcHandle {
@@ -157,19 +156,24 @@ mod tests {
         let (p2, _) = seq_ops(vec![lift_once.clone(), lift_once.clone()])(&p, &alloc).unwrap();
         // After two lifts the alloc sits inside the i loop, before j.
         let s = p2.to_string();
-        assert!(s.find("t: f32[8]").unwrap() < s.find("for j in").unwrap(), "{s}");
+        assert!(
+            s.find("t: f32[8]").unwrap() < s.find("for j in").unwrap(),
+            "{s}"
+        );
         let (p3, _) = repeat(lift_once)(&p, &alloc).unwrap();
         let s = p3.to_string();
-        assert!(s.find("t: f32[8]").unwrap() < s.find("for i in").unwrap(), "{s}");
+        assert!(
+            s.find("t: f32[8]").unwrap() < s.find("for i in").unwrap(),
+            "{s}"
+        );
     }
 
     #[test]
     fn try_else_falls_back() {
         let p = nested_alloc();
         let alloc = p.find("t: _").unwrap();
-        let failing = lift(|_: &ProcHandle, _: &Cursor| {
-            Err(SchedError::scheduling("always fails"))
-        });
+        let failing =
+            lift(|_: &ProcHandle, _: &Cursor| Err(SchedError::scheduling("always fails")));
         let succeeding = lift(|p: &ProcHandle, c: &Cursor| lift_alloc(p, c, 1));
         let (p2, _) = try_else(failing, succeeding)(&p, &alloc).unwrap();
         assert_ne!(p2.to_string(), p.to_string());

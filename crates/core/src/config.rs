@@ -17,7 +17,11 @@ fn field_read_after(p: &ProcHandle, path: &[Step], config: &Sym, field: &str) ->
             return;
         }
         for_each_expr(stmt, &mut |e| {
-            if let Expr::ReadConfig { config: c, field: f } = e {
+            if let Expr::ReadConfig {
+                config: c,
+                field: f,
+            } = e
+            {
                 if c == config && f == field {
                     found = true;
                 }
@@ -43,10 +47,14 @@ fn is_after(candidate: &[Step], anchor: &[Step]) -> bool {
 pub fn bind_config(p: &ProcHandle, expr: &Cursor, config: &str, field: &str) -> Result<ProcHandle> {
     let c = p.forward(expr)?;
     let CursorPath::Node { stmt, expr: steps } = c.path().clone() else {
-        return Err(SchedError::scheduling("bind_config requires an expression cursor"));
+        return Err(SchedError::scheduling(
+            "bind_config requires an expression cursor",
+        ));
     };
     if steps.is_empty() {
-        return Err(SchedError::scheduling("bind_config requires an expression cursor"));
+        return Err(SchedError::scheduling(
+            "bind_config requires an expression cursor",
+        ));
     }
     let value = c.expr()?.clone();
     let cfg = Sym::new(config);
@@ -59,7 +67,10 @@ pub fn bind_config(p: &ProcHandle, expr: &Cursor, config: &str, field: &str) -> 
     let mut replaced = false;
     rw.modify_stmt(&stmt, |s| {
         replaced = crate::rearrange::modify_expr_in_stmt(s, &steps, |e| {
-            *e = Expr::ReadConfig { config: cfg.clone(), field: field.to_string() };
+            *e = Expr::ReadConfig {
+                config: cfg.clone(),
+                field: field.to_string(),
+            };
         });
     })?;
     if !replaced {
@@ -67,7 +78,11 @@ pub fn bind_config(p: &ProcHandle, expr: &Cursor, config: &str, field: &str) -> 
     }
     rw.insert(
         &stmt,
-        vec![Stmt::WriteConfig { config: Sym::new(config), field: field.to_string(), value }],
+        vec![Stmt::WriteConfig {
+            config: Sym::new(config),
+            field: field.to_string(),
+            value,
+        }],
     )?;
     stats::record("bind_config");
     Ok(rw.commit())
@@ -78,7 +93,9 @@ pub fn bind_config(p: &ProcHandle, expr: &Cursor, config: &str, field: &str) -> 
 pub fn delete_config(p: &ProcHandle, stmt: impl IntoCursor) -> Result<ProcHandle> {
     let c = stmt.into_cursor(p)?;
     let Stmt::WriteConfig { config, field, .. } = c.stmt()?.clone() else {
-        return Err(SchedError::scheduling("delete_config requires a configuration write"));
+        return Err(SchedError::scheduling(
+            "delete_config requires a configuration write",
+        ));
     };
     let path = c.path().stmt_path().unwrap().to_vec();
     if field_read_after(p, &path, &config, &field) {
@@ -108,7 +125,11 @@ pub fn write_config_at(
     let mut rw = Rewrite::new(p);
     rw.insert(
         &stmt,
-        vec![Stmt::WriteConfig { config: Sym::new(config), field: field.to_string(), value }],
+        vec![Stmt::WriteConfig {
+            config: Sym::new(config),
+            field: field.to_string(),
+            value,
+        }],
     )?;
     stats::record("write_config");
     Ok(rw.commit())
@@ -125,7 +146,13 @@ mod tests {
                 .size_arg("n")
                 .tensor_arg("a", DataType::I8, vec![var("n")], Mem::Dram)
                 .for_("i", ib(0), var("n"), |b| {
-                    b.call("config_ld", vec![Expr::Stride { buf: Sym::new("a"), dim: 0 }]);
+                    b.call(
+                        "config_ld",
+                        vec![Expr::Stride {
+                            buf: Sym::new("a"),
+                            dim: 0,
+                        }],
+                    );
                     b.call("ld_data", vec![var("a")]);
                 })
                 .build(),
@@ -154,7 +181,10 @@ mod tests {
                     b.assign(
                         "x",
                         vec![ib(0)],
-                        Expr::ReadConfig { config: Sym::new("cfg"), field: "stride".into() },
+                        Expr::ReadConfig {
+                            config: Sym::new("cfg"),
+                            field: "stride".into(),
+                        },
                     );
                 })
                 .build(),

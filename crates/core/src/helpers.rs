@@ -47,9 +47,19 @@ impl IntoCursor for String {
 /// Destructures a loop cursor into `(iter, lo, hi, body, parallel)`.
 pub(crate) fn loop_parts(cursor: &Cursor) -> Result<(Sym, Expr, Expr, Block, bool)> {
     match cursor.stmt()? {
-        Stmt::For { iter, lo, hi, body, parallel } => {
-            Ok((iter.clone(), lo.clone(), hi.clone(), body.clone(), *parallel))
-        }
+        Stmt::For {
+            iter,
+            lo,
+            hi,
+            body,
+            parallel,
+        } => Ok((
+            iter.clone(),
+            lo.clone(),
+            hi.clone(),
+            body.clone(),
+            *parallel,
+        )),
         other => Err(SchedError::scheduling(format!(
             "expected a for loop, found `{}`",
             other.kind()
@@ -67,24 +77,40 @@ pub(crate) fn expect_const(e: &Expr, what: &str) -> Result<i64> {
 /// Requires a positive factor.
 pub(crate) fn expect_positive(v: i64, what: &str) -> Result<i64> {
     if v <= 0 {
-        return Err(SchedError::scheduling(format!("{what} must be positive, got {v}")));
+        return Err(SchedError::scheduling(format!(
+            "{what} must be positive, got {v}"
+        )));
     }
     Ok(v)
 }
 
 /// Shorthand: a sequential loop statement.
 pub(crate) fn mk_for(iter: impl Into<Sym>, lo: Expr, hi: Expr, body: Vec<Stmt>) -> Stmt {
-    Stmt::For { iter: iter.into(), lo, hi, body: Block(body), parallel: false }
+    Stmt::For {
+        iter: iter.into(),
+        lo,
+        hi,
+        body: Block(body),
+        parallel: false,
+    }
 }
 
 /// Shorthand: an `if` statement without an else branch.
 pub(crate) fn mk_if(cond: Expr, then_body: Vec<Stmt>) -> Stmt {
-    Stmt::If { cond, then_body: Block(then_body), else_body: Block::new() }
+    Stmt::If {
+        cond,
+        then_body: Block(then_body),
+        else_body: Block::new(),
+    }
 }
 
 /// Substitutes a variable in a whole statement list.
 pub(crate) fn subst_stmts(stmts: &[Stmt], sym: &Sym, value: &Expr) -> Vec<Stmt> {
-    stmts.iter().cloned().map(|s| exo_ir::substitute_var(s, sym, value)).collect()
+    stmts
+        .iter()
+        .cloned()
+        .map(|s| exo_ir::substitute_var(s, sym, value))
+        .collect()
 }
 
 #[cfg(test)]

@@ -1,11 +1,11 @@
 //! Loop transformations (paper Appendix A.1).
 
 use crate::error::SchedError;
-use crate::helpers::{expect_const, expect_positive, loop_parts, mk_for, mk_if, subst_stmts, IntoCursor};
-use crate::{stats, Result};
-use exo_analysis::{
-    body_depends_on, is_idempotent, provably_equal, Context, Effects, LinExpr,
+use crate::helpers::{
+    expect_const, expect_positive, loop_parts, mk_for, mk_if, subst_stmts, IntoCursor,
 };
+use crate::{stats, Result};
+use exo_analysis::{body_depends_on, is_idempotent, provably_equal, Context, Effects, LinExpr};
 use exo_cursors::{Cursor, CursorPath, ProcHandle, Rewrite};
 use exo_ir::{ib, rename_sym, var, Expr, Stmt, Sym};
 
@@ -53,7 +53,9 @@ pub fn divide_loop(
     let (iter, lo, hi, body, parallel) = loop_parts(&c)?;
     expect_positive(factor, "division factor")?;
     if lo.as_int() != Some(0) {
-        return Err(SchedError::scheduling("divide_loop requires a zero lower bound"));
+        return Err(SchedError::scheduling(
+            "divide_loop requires a zero lower bound",
+        ));
     }
     let path = stmt_path_of(&c)?;
     let ctx = Context::at(p.proc(), &path);
@@ -99,7 +101,10 @@ pub fn divide_loop(
             let tail_body = subst_stmts(&body.0, &iter, &tail_point);
             let tail_loop = mk_for(ii.clone(), ib(0), hi.clone() % ib(factor), tail_body);
             let tail_stmt = if tail == TailStrategy::CutAndGuard {
-                mk_if(Expr::bin(exo_ir::BinOp::Gt, hi.clone() % ib(factor), ib(0)), vec![tail_loop])
+                mk_if(
+                    Expr::bin(exo_ir::BinOp::Gt, hi.clone() % ib(factor), ib(0)),
+                    vec![tail_loop],
+                )
             } else {
                 tail_loop
             };
@@ -129,7 +134,9 @@ pub fn divide_with_recompute(
     let (iter, lo, hi, body, parallel) = loop_parts(&c)?;
     expect_positive(factor, "division factor")?;
     if lo.as_int() != Some(0) {
-        return Err(SchedError::scheduling("divide_with_recompute requires a zero lower bound"));
+        return Err(SchedError::scheduling(
+            "divide_with_recompute requires a zero lower bound",
+        ));
     }
     if !is_idempotent(body.iter()) {
         return Err(SchedError::scheduling(
@@ -142,9 +149,11 @@ pub fn divide_with_recompute(
     // the floor-division property: when n_outer is syntactically `E / factor`
     // with `E <= hi`, then `(E/factor)*factor <= E <= hi`.
     let floor_ok = match &n_outer {
-        Expr::Bin { op: exo_ir::BinOp::Div, lhs, rhs } => {
-            rhs.as_int() == Some(factor) && ctx.proves_le(lhs, &hi)
-        }
+        Expr::Bin {
+            op: exo_ir::BinOp::Div,
+            lhs,
+            rhs,
+        } => rhs.as_int() == Some(factor) && ctx.proves_le(lhs, &hi),
         _ => false,
     };
     if !floor_ok && !ctx.proves_le(&(n_outer.clone() * ib(factor)), &hi) {
@@ -176,18 +185,31 @@ pub fn mult_loops(p: &ProcHandle, outer: impl IntoCursor, new_iter: &str) -> Res
     let c = outer.into_cursor(p)?;
     let (oi, olo, ohi, obody, parallel) = loop_parts(&c)?;
     if olo.as_int() != Some(0) {
-        return Err(SchedError::scheduling("mult_loops requires zero lower bounds"));
+        return Err(SchedError::scheduling(
+            "mult_loops requires zero lower bounds",
+        ));
     }
     if obody.len() != 1 {
         return Err(SchedError::scheduling(
             "mult_loops requires the inner loop to be the only statement in the outer body",
         ));
     }
-    let Stmt::For { iter: ii, lo: ilo, hi: ihi, body: ibody, .. } = &obody[0] else {
-        return Err(SchedError::scheduling("mult_loops requires a perfectly nested loop pair"));
+    let Stmt::For {
+        iter: ii,
+        lo: ilo,
+        hi: ihi,
+        body: ibody,
+        ..
+    } = &obody[0]
+    else {
+        return Err(SchedError::scheduling(
+            "mult_loops requires a perfectly nested loop pair",
+        ));
     };
     if ilo.as_int() != Some(0) {
-        return Err(SchedError::scheduling("mult_loops requires zero lower bounds"));
+        return Err(SchedError::scheduling(
+            "mult_loops requires zero lower bounds",
+        ));
     }
     let c_const = expect_const(ihi, "inner loop bound")?;
     expect_positive(c_const, "inner loop bound")?;
@@ -235,7 +257,13 @@ pub fn cut_loop(p: &ProcHandle, loop_: impl IntoCursor, cutoff: Expr) -> Result<
         body: body.clone(),
         parallel,
     };
-    let second = Stmt::For { iter, lo: cutoff, hi, body, parallel };
+    let second = Stmt::For {
+        iter,
+        lo: cutoff,
+        hi,
+        body,
+        parallel,
+    };
     let mut rw = Rewrite::new(p);
     rw.replace(&path, 1, vec![first, second])?;
     stats::record("cut_loop");
@@ -259,7 +287,9 @@ pub fn join_loops(
         || p1[..p1.len() - 1] != p2[..p2.len() - 1]
         || p2.last().unwrap().index() != p1.last().unwrap().index() + 1
     {
-        return Err(SchedError::scheduling("join_loops requires two adjacent loops"));
+        return Err(SchedError::scheduling(
+            "join_loops requires two adjacent loops",
+        ));
     }
     if !provably_equal(&hi1, &lo2) {
         return Err(SchedError::scheduling(format!(
@@ -267,11 +297,23 @@ pub fn join_loops(
         )));
     }
     // Alpha-compare the bodies under a common iterator name.
-    let renamed: Vec<Stmt> = b2.0.iter().cloned().map(|s| rename_sym(s, &i2, &i1)).collect();
+    let renamed: Vec<Stmt> =
+        b2.0.iter()
+            .cloned()
+            .map(|s| rename_sym(s, &i2, &i1))
+            .collect();
     if renamed != b1.0 {
-        return Err(SchedError::scheduling("join_loops requires identical loop bodies"));
+        return Err(SchedError::scheduling(
+            "join_loops requires identical loop bodies",
+        ));
     }
-    let joined = Stmt::For { iter: i1, lo: lo1, hi: hi2, body: b1, parallel };
+    let joined = Stmt::For {
+        iter: i1,
+        lo: lo1,
+        hi: hi2,
+        body: b1,
+        parallel,
+    };
     let mut rw = Rewrite::new(p);
     rw.replace(&p1, 2, vec![joined])?;
     stats::record("join_loops");
@@ -286,7 +328,9 @@ pub fn shift_loop(p: &ProcHandle, loop_: impl IntoCursor, new_lo: Expr) -> Resul
     let path = stmt_path_of(&c)?;
     let ctx = Context::at(p.proc(), &path);
     if !ctx.proves_le(&ib(0), &new_lo) {
-        return Err(SchedError::scheduling("shift_loop requires a non-negative new lower bound"));
+        return Err(SchedError::scheduling(
+            "shift_loop requires a non-negative new lower bound",
+        ));
     }
     // i_old = i_new - new_lo + lo
     let mapping = var(iter.clone()) - new_lo.clone() + lo.clone();
@@ -317,7 +361,11 @@ fn per_iteration_private(iter: &Sym, eff: &Effects, buf: &Sym) -> bool {
         return false;
     }
     let first = &all[0];
-    let Some(dim) = first.idx.iter().position(|e| LinExpr::from_expr(e).coeff_of(iter) != 0) else {
+    let Some(dim) = first
+        .idx
+        .iter()
+        .position(|e| LinExpr::from_expr(e).coeff_of(iter) != 0)
+    else {
         return false;
     };
     let reference = LinExpr::from_expr(&first.idx[dim]);
@@ -338,7 +386,9 @@ fn fission_safe(iter: &Sym, s1: &[Stmt], s2: &[Stmt]) -> std::result::Result<(),
     let e2 = Effects::of_stmts(s2);
     for alloc in &e1.allocs {
         if e2.touches(alloc) {
-            return Err(format!("statements after the gap use allocation `{alloc}` from before it"));
+            return Err(format!(
+                "statements after the gap use allocation `{alloc}` from before it"
+            ));
         }
     }
     let combined = Effects::of_stmts(s1.iter().chain(s2.iter()));
@@ -376,7 +426,9 @@ fn fission_safe(iter: &Sym, s1: &[Stmt], s2: &[Stmt]) -> std::result::Result<(),
 pub fn fission(p: &ProcHandle, gap: &Cursor, n_lifts: usize) -> Result<ProcHandle> {
     let gap = p.forward(gap)?;
     let CursorPath::Gap { stmt } = gap.path().clone() else {
-        return Err(SchedError::scheduling("fission requires a gap cursor (use .before()/.after())"));
+        return Err(SchedError::scheduling(
+            "fission requires a gap cursor (use .before()/.after())",
+        ));
     };
     let mut current = p.clone();
     let mut gap_path = stmt;
@@ -399,7 +451,13 @@ pub fn fission(p: &ProcHandle, gap: &Cursor, n_lifts: usize) -> Result<ProcHandl
         // loop holding the second half *after* the original loop, then
         // delete the second-half statements from the original. Cursors into
         // the first half (the common case when hoisting) stay valid.
-        let second = Stmt::For { iter, lo, hi, body: exo_ir::Block(s2), parallel };
+        let second = Stmt::For {
+            iter,
+            lo,
+            hi,
+            body: exo_ir::Block(s2),
+            parallel,
+        };
         let mut after_loop = loop_path.clone();
         let last = *after_loop.last().unwrap();
         *after_loop.last_mut().unwrap() = last.with_index(last.index() + 1);
@@ -433,9 +491,13 @@ pub fn remove_loop(p: &ProcHandle, loop_: impl IntoCursor) -> Result<ProcHandle>
             "loop body depends on the iterator `{iter}`; remove_loop would change semantics"
         )));
     }
-    let config_only = body.iter().all(|s| matches!(s, Stmt::WriteConfig { .. } | Stmt::Pass));
+    let config_only = body
+        .iter()
+        .all(|s| matches!(s, Stmt::WriteConfig { .. } | Stmt::Pass));
     if !config_only && !is_idempotent(body.iter()) {
-        return Err(SchedError::scheduling("remove_loop requires an idempotent loop body"));
+        return Err(SchedError::scheduling(
+            "remove_loop requires an idempotent loop body",
+        ));
     }
     if !ctx.loop_nonempty(&lo, &hi) {
         return Err(SchedError::scheduling(format!(
@@ -480,7 +542,9 @@ pub fn add_loop(
         ));
     }
     if !ctx.loop_nonempty(&ib(0), &hi) {
-        return Err(SchedError::scheduling(format!("cannot prove loop bound {hi} is positive")));
+        return Err(SchedError::scheduling(format!(
+            "cannot prove loop bound {hi} is positive"
+        )));
     }
     let iter = Sym::new(new_iter);
     let inner = if guard {
@@ -502,7 +566,9 @@ pub fn unroll_loop(p: &ProcHandle, loop_: impl IntoCursor) -> Result<ProcHandle>
     let lo = expect_const(&lo, "unroll_loop lower bound")?;
     let hi = expect_const(&hi, "unroll_loop upper bound")?;
     if hi <= lo {
-        return Err(SchedError::scheduling("unroll_loop requires a non-empty constant range"));
+        return Err(SchedError::scheduling(
+            "unroll_loop requires a non-empty constant range",
+        ));
     }
     let mut replacement = Vec::new();
     for i in lo..hi {
@@ -527,8 +593,8 @@ pub(crate) fn interchange_safe(outer: &Sym, inner: &Sym, body: &[Stmt]) -> bool 
             return true;
         }
         // Pure reduction accumulators commute regardless of order.
-        let only_reduced = eff.writes.iter().all(|w| &w.buf != buf)
-            && eff.reads.iter().all(|r| &r.buf != buf);
+        let only_reduced =
+            eff.writes.iter().all(|w| &w.buf != buf) && eff.reads.iter().all(|r| &r.buf != buf);
         if only_reduced {
             return true;
         }
@@ -551,9 +617,17 @@ pub fn reorder_loops(p: &ProcHandle, outer: impl IntoCursor) -> Result<ProcHandl
             "reorder_loops requires the inner loop to be the only statement of the outer body",
         ));
     }
-    let Stmt::For { iter: ii, lo: ilo, hi: ihi, body: ibody, parallel: ipar } = obody[0].clone()
+    let Stmt::For {
+        iter: ii,
+        lo: ilo,
+        hi: ihi,
+        body: ibody,
+        parallel: ipar,
+    } = obody[0].clone()
     else {
-        return Err(SchedError::scheduling("reorder_loops requires a perfectly nested loop pair"));
+        return Err(SchedError::scheduling(
+            "reorder_loops requires a perfectly nested loop pair",
+        ));
     };
     if ilo.mentions(&oi) || ihi.mentions(&oi) {
         return Err(SchedError::scheduling(format!(
@@ -565,7 +639,13 @@ pub fn reorder_loops(p: &ProcHandle, outer: impl IntoCursor) -> Result<ProcHandl
             "cannot prove the loop body commutes across iteration pairs",
         ));
     }
-    let new_inner = Stmt::For { iter: oi, lo: olo, hi: ohi, body: ibody, parallel: opar };
+    let new_inner = Stmt::For {
+        iter: oi,
+        lo: olo,
+        hi: ohi,
+        body: ibody,
+        parallel: opar,
+    };
     let new_outer = Stmt::For {
         iter: ii,
         lo: ilo,
@@ -644,7 +724,11 @@ mod tests {
         let s = p2.to_string();
         assert!(s.contains("n % 3"), "{s}");
         let p3 = divide_loop(&p, "i", 3, ["io", "ii"], TailStrategy::CutAndGuard).unwrap();
-        assert!(p3.to_string().contains("if n % 3 > 0:"), "{}", p3.to_string());
+        assert!(
+            p3.to_string().contains("if n % 3 > 0:"),
+            "{}",
+            p3.to_string()
+        );
     }
 
     #[test]
@@ -852,7 +936,10 @@ mod tests {
         let p2 = divide_with_recompute(&p, "i", var("n") / ib(8), 8, ["io", "ii"]).unwrap();
         let s = p2.to_string();
         assert!(s.contains("for io in seq(0, n / 8):"), "{s}");
-        assert!(s.contains("8 + n - n / 8 * 8") || s.contains("n - n / 8 * 8 + 8"), "{s}");
+        assert!(
+            s.contains("8 + n - n / 8 * 8") || s.contains("n - n / 8 * 8 + 8"),
+            "{s}"
+        );
     }
 
     #[test]

@@ -7,9 +7,7 @@ use crate::helpers::IntoCursor;
 use crate::{stats, Result};
 use exo_analysis::provably_equal;
 use exo_cursors::{CursorPath, ProcHandle, Rewrite};
-use exo_ir::{
-    ib, substitute_block, ArgKind, Block, Expr, Proc, ProcArg, Stmt, Sym, WAccess,
-};
+use exo_ir::{ib, substitute_block, ArgKind, Block, Expr, Proc, ProcArg, Stmt, Sym, WAccess};
 use std::collections::HashMap;
 
 /// Renames a procedure (paper: `rename`).
@@ -35,7 +33,9 @@ pub fn inline_call(p: &ProcHandle, call: impl IntoCursor, callee: &Proc) -> Resu
         )));
     }
     if args.len() != callee.args().len() {
-        return Err(SchedError::scheduling("argument count mismatch at the call site"));
+        return Err(SchedError::scheduling(
+            "argument count mismatch at the call site",
+        ));
     }
     let mut body = callee.body().clone();
     for (arg, actual) in callee.args().iter().zip(args.iter()) {
@@ -55,7 +55,10 @@ fn bind_argument(body: Block, arg: &ProcArg, actual: &Expr) -> Result<Block> {
             Expr::Var(buf) => {
                 // Whole-buffer argument: a plain rename.
                 Ok(Block(
-                    body.0.into_iter().map(|s| exo_ir::rename_sym(s, &arg.name, buf)).collect(),
+                    body.0
+                        .into_iter()
+                        .map(|s| exo_ir::rename_sym(s, &arg.name, buf))
+                        .collect(),
                 ))
             }
             Expr::Window { buf, idx } => {
@@ -96,61 +99,118 @@ fn rebase_accesses(stmt: Stmt, formal: &Sym, actual: &Sym, spec: &[WAccess]) -> 
         match e {
             Expr::Read { buf, idx } if &buf == formal => Expr::Read {
                 buf: actual.clone(),
-                idx: tr(idx.into_iter().map(|i| fix_expr(i, formal, actual, tr)).collect()),
+                idx: tr(idx
+                    .into_iter()
+                    .map(|i| fix_expr(i, formal, actual, tr))
+                    .collect()),
             },
             Expr::Read { buf, idx } => Expr::Read {
                 buf,
-                idx: idx.into_iter().map(|i| fix_expr(i, formal, actual, tr)).collect(),
+                idx: idx
+                    .into_iter()
+                    .map(|i| fix_expr(i, formal, actual, tr))
+                    .collect(),
             },
             Expr::Bin { op, lhs, rhs } => Expr::Bin {
                 op,
                 lhs: Box::new(fix_expr(*lhs, formal, actual, tr)),
                 rhs: Box::new(fix_expr(*rhs, formal, actual, tr)),
             },
-            Expr::Un { op, arg } => Expr::Un { op, arg: Box::new(fix_expr(*arg, formal, actual, tr)) },
-            Expr::Stride { buf, dim } if &buf == formal => Expr::Stride { buf: actual.clone(), dim },
+            Expr::Un { op, arg } => Expr::Un {
+                op,
+                arg: Box::new(fix_expr(*arg, formal, actual, tr)),
+            },
+            Expr::Stride { buf, dim } if &buf == formal => Expr::Stride {
+                buf: actual.clone(),
+                dim,
+            },
             other => other,
         }
     }
-    fn fix_stmt(stmt: Stmt, formal: &Sym, actual: &Sym, tr: &dyn Fn(Vec<Expr>) -> Vec<Expr>) -> Stmt {
+    fn fix_stmt(
+        stmt: Stmt,
+        formal: &Sym,
+        actual: &Sym,
+        tr: &dyn Fn(Vec<Expr>) -> Vec<Expr>,
+    ) -> Stmt {
         match stmt {
             Stmt::Assign { buf, idx, rhs } => {
-                let idx: Vec<Expr> = idx.into_iter().map(|i| fix_expr(i, formal, actual, tr)).collect();
+                let idx: Vec<Expr> = idx
+                    .into_iter()
+                    .map(|i| fix_expr(i, formal, actual, tr))
+                    .collect();
                 let rhs = fix_expr(rhs, formal, actual, tr);
                 if &buf == formal {
-                    Stmt::Assign { buf: actual.clone(), idx: tr(idx), rhs }
+                    Stmt::Assign {
+                        buf: actual.clone(),
+                        idx: tr(idx),
+                        rhs,
+                    }
                 } else {
                     Stmt::Assign { buf, idx, rhs }
                 }
             }
             Stmt::Reduce { buf, idx, rhs } => {
-                let idx: Vec<Expr> = idx.into_iter().map(|i| fix_expr(i, formal, actual, tr)).collect();
+                let idx: Vec<Expr> = idx
+                    .into_iter()
+                    .map(|i| fix_expr(i, formal, actual, tr))
+                    .collect();
                 let rhs = fix_expr(rhs, formal, actual, tr);
                 if &buf == formal {
-                    Stmt::Reduce { buf: actual.clone(), idx: tr(idx), rhs }
+                    Stmt::Reduce {
+                        buf: actual.clone(),
+                        idx: tr(idx),
+                        rhs,
+                    }
                 } else {
                     Stmt::Reduce { buf, idx, rhs }
                 }
             }
-            Stmt::For { iter, lo, hi, body, parallel } => Stmt::For {
+            Stmt::For {
+                iter,
+                lo,
+                hi,
+                body,
+                parallel,
+            } => Stmt::For {
                 iter,
                 lo: fix_expr(lo, formal, actual, tr),
                 hi: fix_expr(hi, formal, actual, tr),
-                body: Block(body.0.into_iter().map(|s| fix_stmt(s, formal, actual, tr)).collect()),
+                body: Block(
+                    body.0
+                        .into_iter()
+                        .map(|s| fix_stmt(s, formal, actual, tr))
+                        .collect(),
+                ),
                 parallel,
             },
-            Stmt::If { cond, then_body, else_body } => Stmt::If {
+            Stmt::If {
+                cond,
+                then_body,
+                else_body,
+            } => Stmt::If {
                 cond: fix_expr(cond, formal, actual, tr),
                 then_body: Block(
-                    then_body.0.into_iter().map(|s| fix_stmt(s, formal, actual, tr)).collect(),
+                    then_body
+                        .0
+                        .into_iter()
+                        .map(|s| fix_stmt(s, formal, actual, tr))
+                        .collect(),
                 ),
                 else_body: Block(
-                    else_body.0.into_iter().map(|s| fix_stmt(s, formal, actual, tr)).collect(),
+                    else_body
+                        .0
+                        .into_iter()
+                        .map(|s| fix_stmt(s, formal, actual, tr))
+                        .collect(),
                 ),
             },
             Stmt::Call { proc, args } => Stmt::Call {
                 proc,
-                args: args.into_iter().map(|a| fix_expr(a, formal, actual, tr)).collect(),
+                args: args
+                    .into_iter()
+                    .map(|a| fix_expr(a, formal, actual, tr))
+                    .collect(),
             },
             other => other,
         }
@@ -198,10 +258,16 @@ pub fn extract_subproc(
     let c = target.into_cursor(p)?;
     let (path, count, stmts) = match c.path().clone() {
         CursorPath::Node { stmt, .. } => (stmt, 1usize, vec![c.stmt()?.clone()]),
-        CursorPath::Block { stmt, len } => {
-            (stmt, len, c.stmts()?.into_iter().cloned().collect::<Vec<_>>())
+        CursorPath::Block { stmt, len } => (
+            stmt,
+            len,
+            c.stmts()?.into_iter().cloned().collect::<Vec<_>>(),
+        ),
+        _ => {
+            return Err(SchedError::scheduling(
+                "extract_subproc requires a statement or block cursor",
+            ))
         }
-        _ => return Err(SchedError::scheduling("extract_subproc requires a statement or block cursor")),
     };
     // Free symbols of the block become arguments: procedure arguments are
     // passed through; enclosing loop iterators become size arguments.
@@ -209,16 +275,27 @@ pub fn extract_subproc(
     let mut args: Vec<ProcArg> = Vec::new();
     let mut call_args: Vec<Expr> = Vec::new();
     let mut seen: Vec<Sym> = Vec::new();
-    let add = |sym: &Sym, kind: ArgKind, args: &mut Vec<ProcArg>, call_args: &mut Vec<Expr>, seen: &mut Vec<Sym>| {
+    let add = |sym: &Sym,
+               kind: ArgKind,
+               args: &mut Vec<ProcArg>,
+               call_args: &mut Vec<Expr>,
+               seen: &mut Vec<Sym>| {
         if seen.contains(sym) {
             return;
         }
         seen.push(sym.clone());
-        args.push(ProcArg { name: sym.clone(), kind });
+        args.push(ProcArg {
+            name: sym.clone(),
+            kind,
+        });
         call_args.push(Expr::Var(sym.clone()));
     };
     // Buffers first (tensor args), then scalars mentioned in expressions.
-    for buf in eff.buffers_read().iter().chain(eff.buffers_written().iter()) {
+    for buf in eff
+        .buffers_read()
+        .iter()
+        .chain(eff.buffers_written().iter())
+    {
         if eff.allocs.contains(buf) {
             continue;
         }
@@ -263,7 +340,14 @@ pub fn extract_subproc(
     }
     let new_proc = Proc::new(name, args, Vec::new(), Block(stmts));
     let mut rw = Rewrite::new(p);
-    rw.replace(&path, count, vec![Stmt::Call { proc: name.to_string(), args: call_args }])?;
+    rw.replace(
+        &path,
+        count,
+        vec![Stmt::Call {
+            proc: name.to_string(),
+            args: call_args,
+        }],
+    )?;
     stats::record("extract_subproc");
     Ok((rw.commit(), new_proc))
 }
@@ -308,9 +392,20 @@ impl Unifier {
         }
     }
 
-    fn bind_buffer(&mut self, instr: &Proc, name: &Sym, instr_idx: &[Expr], tgt_buf: &Sym, tgt_idx: &[Expr]) -> bool {
-        let Some(arg) = instr.arg(name.name()) else { return false };
-        let ArgKind::Tensor { dims, .. } = &arg.kind else { return false };
+    fn bind_buffer(
+        &mut self,
+        instr: &Proc,
+        name: &Sym,
+        instr_idx: &[Expr],
+        tgt_buf: &Sym,
+        tgt_idx: &[Expr],
+    ) -> bool {
+        let Some(arg) = instr.arg(name.name()) else {
+            return false;
+        };
+        let ArgKind::Tensor { dims, .. } = &arg.kind else {
+            return false;
+        };
         let rank = dims.len();
         if instr_idx.len() != rank || tgt_idx.len() < rank {
             return false;
@@ -330,7 +425,11 @@ impl Unifier {
         // instruction's (mapped) loop iterators — otherwise the derived
         // call argument would reference an out-of-scope iterator.
         for target_iter in self.iter_map.values() {
-            if offsets.iter().chain(lead_exprs.iter()).any(|e| e.mentions(target_iter)) {
+            if offsets
+                .iter()
+                .chain(lead_exprs.iter())
+                .any(|e| e.mentions(target_iter))
+            {
                 return false;
             }
         }
@@ -338,11 +437,18 @@ impl Unifier {
             Some((b, lead, offs)) => {
                 b == tgt_buf
                     && lead.len() == lead_exprs.len()
-                    && lead.iter().zip(lead_exprs.iter()).all(|(a, b)| provably_equal(a, b))
-                    && offs.iter().zip(offsets.iter()).all(|(a, b)| provably_equal(a, b))
+                    && lead
+                        .iter()
+                        .zip(lead_exprs.iter())
+                        .all(|(a, b)| provably_equal(a, b))
+                    && offs
+                        .iter()
+                        .zip(offsets.iter())
+                        .all(|(a, b)| provably_equal(a, b))
             }
             None => {
-                self.buffer_bind.insert(name.clone(), (tgt_buf.clone(), lead_exprs, offsets));
+                self.buffer_bind
+                    .insert(name.clone(), (tgt_buf.clone(), lead_exprs, offsets));
                 true
             }
         }
@@ -350,18 +456,34 @@ impl Unifier {
 
     fn unify_expr(&mut self, instr: &Proc, ie: &Expr, te: &Expr) -> bool {
         match (ie, te) {
-            (Expr::Read { buf, idx }, Expr::Read { buf: tb, idx: tidx }) if instr.arg(buf.name()).is_some() => {
+            (Expr::Read { buf, idx }, Expr::Read { buf: tb, idx: tidx })
+                if instr.arg(buf.name()).is_some() =>
+            {
                 self.bind_buffer(instr, buf, idx, tb, tidx)
             }
-            (Expr::Var(v), _) if matches!(instr.arg(v.name()).map(|a| &a.kind), Some(ArgKind::Scalar { .. }) | Some(ArgKind::Size)) => {
+            (Expr::Var(v), _)
+                if matches!(
+                    instr.arg(v.name()).map(|a| &a.kind),
+                    Some(ArgKind::Scalar { .. }) | Some(ArgKind::Size)
+                ) =>
+            {
                 self.bind_scalar(v, te)
             }
             (Expr::Var(v), Expr::Var(t)) => self.iter_map.get(v) == Some(t) || v == t,
             (Expr::Int(a), Expr::Int(b)) => a == b,
             (Expr::Float(a), Expr::Float(b)) => a == b,
-            (Expr::Bin { op: o1, lhs: l1, rhs: r1 }, Expr::Bin { op: o2, lhs: l2, rhs: r2 }) => {
-                o1 == o2 && self.unify_expr(instr, l1, l2) && self.unify_expr(instr, r1, r2)
-            }
+            (
+                Expr::Bin {
+                    op: o1,
+                    lhs: l1,
+                    rhs: r1,
+                },
+                Expr::Bin {
+                    op: o2,
+                    lhs: l2,
+                    rhs: r2,
+                },
+            ) => o1 == o2 && self.unify_expr(instr, l1, l2) && self.unify_expr(instr, r1, r2),
             (Expr::Un { op: o1, arg: a1 }, Expr::Un { op: o2, arg: a2 }) => {
                 o1 == o2 && self.unify_expr(instr, a1, a2)
             }
@@ -373,20 +495,37 @@ impl Unifier {
         if istmts.len() != tstmts.len() {
             return false;
         }
-        istmts.iter().zip(tstmts.iter()).all(|(i, t)| self.unify_stmt(instr, i, t))
+        istmts
+            .iter()
+            .zip(tstmts.iter())
+            .all(|(i, t)| self.unify_stmt(instr, i, t))
     }
 
     fn unify_stmt(&mut self, instr: &Proc, istmt: &Stmt, tstmt: &Stmt) -> bool {
         match (istmt, tstmt) {
             (
-                Stmt::For { iter: ii, lo: ilo, hi: ihi, body: ib_, .. },
-                Stmt::For { iter: ti, lo: tlo, hi: thi, body: tb, .. },
+                Stmt::For {
+                    iter: ii,
+                    lo: ilo,
+                    hi: ihi,
+                    body: ib_,
+                    ..
+                },
+                Stmt::For {
+                    iter: ti,
+                    lo: tlo,
+                    hi: thi,
+                    body: tb,
+                    ..
+                },
             ) => {
                 if !provably_equal(&self.map_expr(ilo), tlo) {
                     return false;
                 }
                 let hi_ok = match ihi {
-                    Expr::Var(v) if matches!(instr.arg(v.name()).map(|a| &a.kind), Some(ArgKind::Size)) => {
+                    Expr::Var(v)
+                        if matches!(instr.arg(v.name()).map(|a| &a.kind), Some(ArgKind::Size)) =>
+                    {
                         self.bind_scalar(v, thi)
                     }
                     other => provably_equal(&self.map_expr(other), thi),
@@ -397,14 +536,39 @@ impl Unifier {
                 self.iter_map.insert(ii.clone(), ti.clone());
                 self.unify_stmts(instr, &ib_.0, &tb.0)
             }
-            (Stmt::Assign { buf, idx, rhs }, Stmt::Assign { buf: tb, idx: tidx, rhs: trhs })
-            | (Stmt::Reduce { buf, idx, rhs }, Stmt::Reduce { buf: tb, idx: tidx, rhs: trhs }) => {
+            (
+                Stmt::Assign { buf, idx, rhs },
+                Stmt::Assign {
+                    buf: tb,
+                    idx: tidx,
+                    rhs: trhs,
+                },
+            )
+            | (
+                Stmt::Reduce { buf, idx, rhs },
+                Stmt::Reduce {
+                    buf: tb,
+                    idx: tidx,
+                    rhs: trhs,
+                },
+            ) => {
                 if std::mem::discriminant(istmt) != std::mem::discriminant(tstmt) {
                     return false;
                 }
                 self.bind_buffer(instr, buf, idx, tb, tidx) && self.unify_expr(instr, rhs, trhs)
             }
-            (Stmt::If { cond, then_body, else_body }, Stmt::If { cond: tc, then_body: tt, else_body: te }) => {
+            (
+                Stmt::If {
+                    cond,
+                    then_body,
+                    else_body,
+                },
+                Stmt::If {
+                    cond: tc,
+                    then_body: tt,
+                    else_body: te,
+                },
+            ) => {
                 self.unify_expr(instr, cond, tc)
                     && self.unify_stmts(instr, &then_body.0, &tt.0)
                     && self.unify_stmts(instr, &else_body.0, &te.0)
@@ -433,7 +597,10 @@ impl Unifier {
                             exo_analysis::simplify_expr(&(off.clone() + size), &ctx),
                         ));
                     }
-                    args.push(Expr::Window { buf: buf.clone(), idx: widx });
+                    args.push(Expr::Window {
+                        buf: buf.clone(),
+                        idx: widx,
+                    });
                 }
             }
         }
@@ -462,7 +629,14 @@ pub fn replace(p: &ProcHandle, target: impl IntoCursor, instr: &Proc) -> Result<
     })?;
     let path = c.path().stmt_path().unwrap().to_vec();
     let mut rw = Rewrite::new(p);
-    rw.replace(&path, 1, vec![Stmt::Call { proc: instr.name().to_string(), args }])?;
+    rw.replace(
+        &path,
+        1,
+        vec![Stmt::Call {
+            proc: instr.name().to_string(),
+            args,
+        }],
+    )?;
     stats::record("replace");
     Ok(rw.commit())
 }
@@ -519,7 +693,11 @@ mod tests {
             .instr("avx2_fma", "{c} = _mm256_fmadd_ps({a}, {b}, {c});")
             .with_body(|b| {
                 b.for_("l", ib(0), ib(8), |b| {
-                    b.reduce("c", vec![var("l")], b.read("a", vec![var("l")]) * b.read("b", vec![var("l")]));
+                    b.reduce(
+                        "c",
+                        vec![var("l")],
+                        b.read("a", vec![var("l")]) * b.read("b", vec![var("l")]),
+                    );
                 });
             })
             .build()
@@ -548,7 +726,11 @@ mod tests {
                     b.alloc("v", DataType::F32, vec![ib(8)], Mem::VecAvx2);
                     b.for_("io", ib(0), var("n") / ib(8), |b| {
                         b.for_("ii", ib(0), ib(8), |b| {
-                            b.assign("v", vec![var("ii")], b.read("x", vec![ib(8) * var("io") + var("ii")]));
+                            b.assign(
+                                "v",
+                                vec![var("ii")],
+                                b.read("x", vec![ib(8) * var("io") + var("ii")]),
+                            );
                         });
                     });
                 })
@@ -557,7 +739,10 @@ mod tests {
         let inner = p.find_loop("ii").unwrap();
         let p2 = replace(&p, &inner, &vec_load_instr()).unwrap();
         let s = p2.to_string();
-        assert!(s.contains("mm256_loadu_ps(v[0:8], x[8 * io:8 * io + 8])"), "{s}");
+        assert!(
+            s.contains("mm256_loadu_ps(v[0:8], x[8 * io:8 * io + 8])"),
+            "{s}"
+        );
     }
 
     #[test]
@@ -574,7 +759,11 @@ mod tests {
                         b.assign("bc", vec![var("l")], var("alpha"));
                     });
                     bb.for_("l", ib(0), ib(8), |b| {
-                        b.reduce("acc", vec![var("l")], read("a", vec![var("l")]) * read("b", vec![var("l")]));
+                        b.reduce(
+                            "acc",
+                            vec![var("l")],
+                            read("a", vec![var("l")]) * read("b", vec![var("l")]),
+                        );
                     });
                 })
                 .build(),
@@ -582,7 +771,10 @@ mod tests {
         let p2 = replace_all(&p, &[broadcast_instr(), vec_fma_instr()]).unwrap();
         let s = p2.to_string();
         assert!(s.contains("mm256_set1_ps(bc[0:8], alpha)"), "{s}");
-        assert!(s.contains("mm256_fmadd_ps(a[0:8], b[0:8], acc[0:8])"), "{s}");
+        assert!(
+            s.contains("mm256_fmadd_ps(a[0:8], b[0:8], acc[0:8])"),
+            "{s}"
+        );
     }
 
     #[test]
@@ -607,7 +799,11 @@ mod tests {
             .scalar_arg("alpha", DataType::F32)
             .window_arg("row", DataType::F32, vec![var("n")], Mem::Dram)
             .for_("j", ib(0), var("n"), |b| {
-                b.assign("row", vec![var("j")], var("alpha") * b.read("row", vec![var("j")]));
+                b.assign(
+                    "row",
+                    vec![var("j")],
+                    var("alpha") * b.read("row", vec![var("j")]),
+                );
             })
             .build();
         let p = ProcHandle::new(
@@ -622,7 +818,10 @@ mod tests {
                             fb(2.0),
                             Expr::Window {
                                 buf: Sym::new("A"),
-                                idx: vec![WAccess::Point(var("i")), WAccess::Interval(ib(0), ib(32))],
+                                idx: vec![
+                                    WAccess::Point(var("i")),
+                                    WAccess::Interval(ib(0), ib(32)),
+                                ],
                             },
                         ],
                     );

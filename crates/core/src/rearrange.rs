@@ -8,9 +8,15 @@ use exo_cursors::{Cursor, CursorPath, ProcHandle, Rewrite};
 use exo_ir::{Expr, ExprStep, Stmt};
 
 /// Mutates the expression at `steps` inside a statement.
-pub(crate) fn modify_expr_in_stmt(stmt: &mut Stmt, steps: &[ExprStep], f: impl FnOnce(&mut Expr)) -> bool {
+pub(crate) fn modify_expr_in_stmt(
+    stmt: &mut Stmt,
+    steps: &[ExprStep],
+    f: impl FnOnce(&mut Expr),
+) -> bool {
     fn descend<'a>(e: &'a mut Expr, steps: &[ExprStep]) -> Option<&'a mut Expr> {
-        let Some((first, rest)) = steps.split_first() else { return Some(e) };
+        let Some((first, rest)) = steps.split_first() else {
+            return Some(e);
+        };
         let child = match (e, first) {
             (Expr::Bin { lhs, .. }, ExprStep::BinLhs) => lhs.as_mut(),
             (Expr::Bin { rhs, .. }, ExprStep::BinRhs) => rhs.as_mut(),
@@ -20,15 +26,16 @@ pub(crate) fn modify_expr_in_stmt(stmt: &mut Stmt, steps: &[ExprStep], f: impl F
         };
         descend(child, rest)
     }
-    let Some((first, rest)) = steps.split_first() else { return false };
+    let Some((first, rest)) = steps.split_first() else {
+        return false;
+    };
     let root: Option<&mut Expr> = match (stmt, first) {
         (Stmt::Assign { rhs, .. }, ExprStep::Rhs)
         | (Stmt::Reduce { rhs, .. }, ExprStep::Rhs)
         | (Stmt::WindowStmt { rhs, .. }, ExprStep::Rhs)
         | (Stmt::WriteConfig { value: rhs, .. }, ExprStep::Rhs) => Some(rhs),
-        (Stmt::Assign { idx, .. }, ExprStep::Idx(i)) | (Stmt::Reduce { idx, .. }, ExprStep::Idx(i)) => {
-            idx.get_mut(*i)
-        }
+        (Stmt::Assign { idx, .. }, ExprStep::Idx(i))
+        | (Stmt::Reduce { idx, .. }, ExprStep::Idx(i)) => idx.get_mut(*i),
         (Stmt::For { lo, .. }, ExprStep::Lo) => Some(lo),
         (Stmt::For { hi, .. }, ExprStep::Hi) => Some(hi),
         (Stmt::If { cond, .. }, ExprStep::Cond) => Some(cond),
@@ -56,7 +63,7 @@ pub(crate) fn modify_expr_in_stmt(stmt: &mut Stmt, steps: &[ExprStep], f: impl F
 pub fn reorder_stmts(p: &ProcHandle, stmts: impl IntoCursor) -> Result<ProcHandle> {
     let c = stmts.into_cursor(p)?;
     let (path, pair) = match c.path().clone() {
-        CursorPath::Block { stmt, len } if len == 2 => {
+        CursorPath::Block { stmt, len: 2 } => {
             let stmts = c.stmts()?;
             (stmt, (stmts[0].clone(), stmts[1].clone()))
         }
@@ -69,7 +76,11 @@ pub fn reorder_stmts(p: &ProcHandle, stmts: impl IntoCursor) -> Result<ProcHandl
                 .clone();
             (stmt, (first, second))
         }
-        _ => return Err(SchedError::scheduling("reorder_stmts requires a statement or block cursor")),
+        _ => {
+            return Err(SchedError::scheduling(
+                "reorder_stmts requires a statement or block cursor",
+            ))
+        }
     };
     let ctx = Context::at(p.proc(), &path);
     let e1 = Effects::of_stmt(&pair.0);
@@ -91,10 +102,14 @@ pub fn reorder_stmts(p: &ProcHandle, stmts: impl IntoCursor) -> Result<ProcHandl
 pub fn commute_expr(p: &ProcHandle, expr: &Cursor) -> Result<ProcHandle> {
     let c = p.forward(expr)?;
     let CursorPath::Node { stmt, expr: steps } = c.path().clone() else {
-        return Err(SchedError::scheduling("commute_expr requires an expression cursor"));
+        return Err(SchedError::scheduling(
+            "commute_expr requires an expression cursor",
+        ));
     };
     if steps.is_empty() {
-        return Err(SchedError::scheduling("commute_expr requires an expression cursor"));
+        return Err(SchedError::scheduling(
+            "commute_expr requires an expression cursor",
+        ));
     }
     // Verify the target is a commutative binary operation.
     match c.expr()? {

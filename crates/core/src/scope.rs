@@ -18,7 +18,9 @@ use exo_ir::{rename_sym, Block, Expr, Stmt, Sym};
 pub fn specialize(p: &ProcHandle, target: impl IntoCursor, conds: &[Expr]) -> Result<ProcHandle> {
     let c = target.into_cursor(p)?;
     if conds.is_empty() {
-        return Err(SchedError::scheduling("specialize requires at least one condition"));
+        return Err(SchedError::scheduling(
+            "specialize requires at least one condition",
+        ));
     }
     for cond in conds {
         match cond {
@@ -33,10 +35,16 @@ pub fn specialize(p: &ProcHandle, target: impl IntoCursor, conds: &[Expr]) -> Re
     }
     let (path, len, stmts) = match c.path().clone() {
         CursorPath::Node { stmt, .. } => (stmt, 1, vec![c.stmt()?.clone()]),
-        CursorPath::Block { stmt, len } => {
-            (stmt, len, c.stmts()?.into_iter().cloned().collect::<Vec<_>>())
+        CursorPath::Block { stmt, len } => (
+            stmt,
+            len,
+            c.stmts()?.into_iter().cloned().collect::<Vec<_>>(),
+        ),
+        _ => {
+            return Err(SchedError::scheduling(
+                "specialize requires a statement or block cursor",
+            ))
         }
-        _ => return Err(SchedError::scheduling("specialize requires a statement or block cursor")),
     };
     // Build the if/else chain from the last condition outwards.
     let mut chain = stmts.clone();
@@ -79,31 +87,58 @@ pub fn fuse(p: &ProcHandle, first: impl IntoCursor, second: impl IntoCursor) -> 
         || p1[..p1.len() - 1] != p2[..p2.len() - 1]
         || p2.last().unwrap().index() != p1.last().unwrap().index() + 1
     {
-        return Err(SchedError::scheduling("fuse requires two adjacent statements"));
+        return Err(SchedError::scheduling(
+            "fuse requires two adjacent statements",
+        ));
     }
     let s1 = c1.stmt()?.clone();
     let s2 = c2.stmt()?.clone();
     let fused = match (s1, s2) {
         (
-            Stmt::For { iter: i1, lo: lo1, hi: hi1, body: b1, parallel },
-            Stmt::For { iter: i2, lo: lo2, hi: hi2, body: b2, .. },
+            Stmt::For {
+                iter: i1,
+                lo: lo1,
+                hi: hi1,
+                body: b1,
+                parallel,
+            },
+            Stmt::For {
+                iter: i2,
+                lo: lo2,
+                hi: hi2,
+                body: b2,
+                ..
+            },
         ) => {
             if !provably_equal(&lo1, &lo2) || !provably_equal(&hi1, &hi2) {
                 return Err(SchedError::scheduling(format!(
                     "fuse requires equal loop bounds ([{lo1}, {hi1}) vs [{lo2}, {hi2}))"
                 )));
             }
-            let b2_renamed: Vec<Stmt> =
-                b2.0.into_iter().map(|s| rename_sym(s, &i2, &i1)).collect();
+            let b2_renamed: Vec<Stmt> = b2.0.into_iter().map(|s| rename_sym(s, &i2, &i1)).collect();
             let base_ctx = Context::at(p.proc(), &p1);
             check_fusion_safety(&base_ctx, &i1, &lo1, &hi1, &b1.0, &b2_renamed)?;
             let mut body = b1.0;
             body.extend(b2_renamed);
-            Stmt::For { iter: i1, lo: lo1, hi: hi1, body: Block(body), parallel }
+            Stmt::For {
+                iter: i1,
+                lo: lo1,
+                hi: hi1,
+                body: Block(body),
+                parallel,
+            }
         }
         (
-            Stmt::If { cond: e1, then_body: t1, else_body: el1 },
-            Stmt::If { cond: e2, then_body: t2, else_body: el2 },
+            Stmt::If {
+                cond: e1,
+                then_body: t1,
+                else_body: el1,
+            },
+            Stmt::If {
+                cond: e2,
+                then_body: t2,
+                else_body: el2,
+            },
         ) => {
             if e1 != e2 {
                 return Err(SchedError::scheduling(
@@ -124,7 +159,11 @@ pub fn fuse(p: &ProcHandle, first: impl IntoCursor, second: impl IntoCursor) -> 
             then_body.extend(t2.0);
             let mut else_body = el1.0;
             else_body.extend(el2.0);
-            Stmt::If { cond: e1, then_body: Block(then_body), else_body: Block(else_body) }
+            Stmt::If {
+                cond: e1,
+                then_body: Block(then_body),
+                else_body: Block(else_body),
+            }
         }
         _ => {
             return Err(SchedError::scheduling(
@@ -225,7 +264,11 @@ pub fn lift_scope(p: &ProcHandle, scope: impl IntoCursor) -> Result<ProcHandle> 
     // The child must be the only statement of the parent's (relevant) body.
     let only = match &parent_stmt {
         Stmt::For { body, .. } => body.len() == 1,
-        Stmt::If { then_body, else_body, .. } => then_body.len() == 1 && else_body.is_empty(),
+        Stmt::If {
+            then_body,
+            else_body,
+            ..
+        } => then_body.len() == 1 && else_body.is_empty(),
         _ => false,
     };
     if !only {
@@ -235,8 +278,22 @@ pub fn lift_scope(p: &ProcHandle, scope: impl IntoCursor) -> Result<ProcHandle> 
     }
     let replacement = match (parent_stmt.clone(), child) {
         // Loop interchange: for i: for j: body  =>  for j: for i: body
-        (Stmt::For { iter: oi, lo: olo, hi: ohi, parallel: opar, .. },
-         Stmt::For { iter: ii, lo: ilo, hi: ihi, body: ibody, parallel: ipar }) => {
+        (
+            Stmt::For {
+                iter: oi,
+                lo: olo,
+                hi: ohi,
+                parallel: opar,
+                ..
+            },
+            Stmt::For {
+                iter: ii,
+                lo: ilo,
+                hi: ihi,
+                body: ibody,
+                parallel: ipar,
+            },
+        ) => {
             if ilo.mentions(&oi) || ihi.mentions(&oi) {
                 return Err(SchedError::scheduling(format!(
                     "inner loop bounds depend on the outer iterator `{oi}`"
@@ -247,13 +304,37 @@ pub fn lift_scope(p: &ProcHandle, scope: impl IntoCursor) -> Result<ProcHandle> 
                     "cannot prove the loop body commutes across iteration pairs",
                 ));
             }
-            let inner = Stmt::For { iter: oi, lo: olo, hi: ohi, body: ibody, parallel: opar };
-            Stmt::For { iter: ii, lo: ilo, hi: ihi, body: Block(vec![inner]), parallel: ipar }
+            let inner = Stmt::For {
+                iter: oi,
+                lo: olo,
+                hi: ohi,
+                body: ibody,
+                parallel: opar,
+            };
+            Stmt::For {
+                iter: ii,
+                lo: ilo,
+                hi: ihi,
+                body: Block(vec![inner]),
+                parallel: ipar,
+            }
         }
         // if inside for:  for i: if e: s [else: s2]
         //   => if e: (for i: s) else: (for i: s2), requires e independent of i.
-        (Stmt::For { iter, lo, hi, parallel, .. },
-         Stmt::If { cond, then_body, else_body }) => {
+        (
+            Stmt::For {
+                iter,
+                lo,
+                hi,
+                parallel,
+                ..
+            },
+            Stmt::If {
+                cond,
+                then_body,
+                else_body,
+            },
+        ) => {
             if cond.mentions(&iter) {
                 return Err(SchedError::scheduling(format!(
                     "the `if` condition depends on the loop iterator `{iter}`"
@@ -269,33 +350,80 @@ pub fn lift_scope(p: &ProcHandle, scope: impl IntoCursor) -> Result<ProcHandle> 
             let else_block = if else_body.is_empty() {
                 Block::new()
             } else {
-                Block(vec![Stmt::For { iter, lo, hi, body: else_body, parallel }])
+                Block(vec![Stmt::For {
+                    iter,
+                    lo,
+                    hi,
+                    body: else_body,
+                    parallel,
+                }])
             };
-            Stmt::If { cond, then_body: Block(vec![then_loop]), else_body: else_block }
+            Stmt::If {
+                cond,
+                then_body: Block(vec![then_loop]),
+                else_body: else_block,
+            }
         }
         // for inside if:  if e: for i: s  =>  for i: if e: s
         // (the `if` cannot have an else clause — enforced by `only` above).
-        (Stmt::If { cond, .. }, Stmt::For { iter, lo, hi, body, parallel }) => {
-            let guarded = Stmt::If { cond, then_body: body, else_body: Block::new() };
-            Stmt::For { iter, lo, hi, body: Block(vec![guarded]), parallel }
+        (
+            Stmt::If { cond, .. },
+            Stmt::For {
+                iter,
+                lo,
+                hi,
+                body,
+                parallel,
+            },
+        ) => {
+            let guarded = Stmt::If {
+                cond,
+                then_body: body,
+                else_body: Block::new(),
+            };
+            Stmt::For {
+                iter,
+                lo,
+                hi,
+                body: Block(vec![guarded]),
+                parallel,
+            }
         }
         // if inside if: if e: (if e2: s else: s2) else: s3
         //   => if e2: (if e: s else: s3) else: (if e: s2 else: s3)
-        (Stmt::If { cond: e, else_body: s3, .. },
-         Stmt::If { cond: e2, then_body: s, else_body: s2 }) => {
+        (
+            Stmt::If {
+                cond: e,
+                else_body: s3,
+                ..
+            },
+            Stmt::If {
+                cond: e2,
+                then_body: s,
+                else_body: s2,
+            },
+        ) => {
             let then_if = Stmt::If {
                 cond: e.clone(),
                 then_body: s,
                 else_body: s3.clone(),
             };
-            let else_if = Stmt::If { cond: e, then_body: s2, else_body: s3 };
-            let else_block =
-                if matches!(&else_if, Stmt::If { then_body, else_body, .. } if then_body.is_empty() && else_body.is_empty()) {
-                    Block::new()
-                } else {
-                    Block(vec![else_if])
-                };
-            Stmt::If { cond: e2, then_body: Block(vec![then_if]), else_body: else_block }
+            let else_if = Stmt::If {
+                cond: e,
+                then_body: s2,
+                else_body: s3,
+            };
+            let else_block = if matches!(&else_if, Stmt::If { then_body, else_body, .. } if then_body.is_empty() && else_body.is_empty())
+            {
+                Block::new()
+            } else {
+                Block(vec![else_if])
+            };
+            Stmt::If {
+                cond: e2,
+                then_body: Block(vec![then_if]),
+                else_body: else_block,
+            }
         }
         _ => {
             return Err(SchedError::scheduling(
@@ -361,11 +489,16 @@ mod tests {
         let c = p.find("if _: _").unwrap();
         let p2 = lift_scope(&p, &c).unwrap();
         let s = p2.to_string();
-        assert!(s.find("if flag:").unwrap() < s.find("for i in").unwrap(), "{s}");
+        assert!(
+            s.find("if flag:").unwrap() < s.find("for i in").unwrap(),
+            "{s}"
+        );
         // And back down again.
         let c = p2.find_loop("i").unwrap();
         let p3 = lift_scope(&p2, &c).unwrap();
-        assert!(p3.to_string().find("for i in").unwrap() < p3.to_string().find("if flag:").unwrap());
+        assert!(
+            p3.to_string().find("for i in").unwrap() < p3.to_string().find("if flag:").unwrap()
+        );
     }
 
     #[test]
@@ -396,7 +529,12 @@ mod tests {
                 })
                 .build(),
         );
-        let p2 = specialize(&p, "i", &[Expr::eq_(var("n"), ib(16)), Expr::eq_(var("n"), ib(32))]).unwrap();
+        let p2 = specialize(
+            &p,
+            "i",
+            &[Expr::eq_(var("n"), ib(16)), Expr::eq_(var("n"), ib(32))],
+        )
+        .unwrap();
         let s = p2.to_string();
         assert!(s.contains("if n == 16:"), "{s}");
         assert!(s.contains("if n == 32:"), "{s}");

@@ -21,7 +21,9 @@ fn simplify_stmt_exprs(stmt: &mut Stmt, ctx: &Context) {
                 simp(e, ctx);
             }
         }
-        Stmt::For { iter, lo, hi, body, .. } => {
+        Stmt::For {
+            iter, lo, hi, body, ..
+        } => {
             simp(lo, ctx);
             simp(hi, ctx);
             let mut inner = ctx.clone();
@@ -30,7 +32,11 @@ fn simplify_stmt_exprs(stmt: &mut Stmt, ctx: &Context) {
                 simplify_stmt_exprs(s, &inner);
             }
         }
-        Stmt::If { cond, then_body, else_body } => {
+        Stmt::If {
+            cond,
+            then_body,
+            else_body,
+        } => {
             simp(cond, ctx);
             for s in then_body.0.iter_mut().chain(else_body.0.iter_mut()) {
                 simplify_stmt_exprs(s, ctx);
@@ -100,7 +106,11 @@ pub fn eliminate_dead_code(p: &ProcHandle, scope: impl IntoCursor) -> Result<Pro
                 }
             }
         }
-        Stmt::If { cond, then_body, else_body } => match simplify_predicate(cond, &ctx) {
+        Stmt::If {
+            cond,
+            then_body,
+            else_body,
+        } => match simplify_predicate(cond, &ctx) {
             Some(true) => {
                 if then_body.is_empty() {
                     vec![Stmt::Pass]
@@ -140,10 +150,14 @@ pub fn eliminate_dead_code(p: &ProcHandle, scope: impl IntoCursor) -> Result<Pro
 pub fn rewrite_expr(p: &ProcHandle, expr: &Cursor, new: Expr) -> Result<ProcHandle> {
     let c = p.forward(expr)?;
     let CursorPath::Node { stmt, expr: steps } = c.path().clone() else {
-        return Err(SchedError::scheduling("rewrite_expr requires an expression cursor"));
+        return Err(SchedError::scheduling(
+            "rewrite_expr requires an expression cursor",
+        ));
     };
     if steps.is_empty() {
-        return Err(SchedError::scheduling("rewrite_expr requires an expression cursor"));
+        return Err(SchedError::scheduling(
+            "rewrite_expr requires an expression cursor",
+        ));
     }
     let old = c.expr()?.clone();
     let ctx = Context::at(p.proc(), &stmt);
@@ -183,8 +197,16 @@ pub fn merge_writes(p: &ProcHandle, first: impl IntoCursor) -> Result<ProcHandle
         .clone();
     let (buf1, idx1) = write_target(&s1)?;
     let (buf2, idx2) = write_target(&s2)?;
-    if buf1 != buf2 || idx1.len() != idx2.len() || !idx1.iter().zip(idx2.iter()).all(|(a, b)| provably_equal(a, b)) {
-        return Err(SchedError::scheduling("merge_writes requires writes to the same destination"));
+    if buf1 != buf2
+        || idx1.len() != idx2.len()
+        || !idx1
+            .iter()
+            .zip(idx2.iter())
+            .all(|(a, b)| provably_equal(a, b))
+    {
+        return Err(SchedError::scheduling(
+            "merge_writes requires writes to the same destination",
+        ));
     }
     let rhs2_reads_dest = rhs_of(&s2).mentions(&buf1);
     let merged = match (&s1, &s2) {
@@ -207,16 +229,28 @@ pub fn merge_writes(p: &ProcHandle, first: impl IntoCursor) -> Result<ProcHandle
             if rhs2_reads_dest {
                 return Err(SchedError::scheduling("second write reads the destination"));
             }
-            Stmt::Assign { buf: buf.clone(), idx: idx.clone(), rhs: e1.clone() + e2.clone() }
+            Stmt::Assign {
+                buf: buf.clone(),
+                idx: idx.clone(),
+                rhs: e1.clone() + e2.clone(),
+            }
         }
         // x += e1; x += e2 => x += e1 + e2
         (Stmt::Reduce { buf, idx, rhs: e1 }, Stmt::Reduce { rhs: e2, .. }) => {
             if rhs2_reads_dest {
                 return Err(SchedError::scheduling("second write reads the destination"));
             }
-            Stmt::Reduce { buf: buf.clone(), idx: idx.clone(), rhs: e1.clone() + e2.clone() }
+            Stmt::Reduce {
+                buf: buf.clone(),
+                idx: idx.clone(),
+                rhs: e1.clone() + e2.clone(),
+            }
         }
-        _ => return Err(SchedError::scheduling("merge_writes requires two assign/reduce statements")),
+        _ => {
+            return Err(SchedError::scheduling(
+                "merge_writes requires two assign/reduce statements",
+            ))
+        }
     };
     let mut rw = Rewrite::new(p);
     rw.replace(&path, 2, vec![merged])?;
@@ -226,7 +260,9 @@ pub fn merge_writes(p: &ProcHandle, first: impl IntoCursor) -> Result<ProcHandle
 
 fn write_target(s: &Stmt) -> Result<(Sym, Vec<Expr>)> {
     match s {
-        Stmt::Assign { buf, idx, .. } | Stmt::Reduce { buf, idx, .. } => Ok((buf.clone(), idx.clone())),
+        Stmt::Assign { buf, idx, .. } | Stmt::Reduce { buf, idx, .. } => {
+            Ok((buf.clone(), idx.clone()))
+        }
         other => Err(SchedError::scheduling(format!(
             "expected an assign or reduce, found `{}`",
             other.kind()
@@ -247,10 +283,14 @@ fn rhs_of(s: &Stmt) -> &Expr {
 pub fn inline_window(p: &ProcHandle, window: impl IntoCursor) -> Result<ProcHandle> {
     let c = window.into_cursor(p)?;
     let Stmt::WindowStmt { name, rhs } = c.stmt()?.clone() else {
-        return Err(SchedError::scheduling("inline_window requires a window statement"));
+        return Err(SchedError::scheduling(
+            "inline_window requires a window statement",
+        ));
     };
     let Expr::Window { buf, idx } = rhs else {
-        return Err(SchedError::scheduling("window statement has a malformed right-hand side"));
+        return Err(SchedError::scheduling(
+            "window statement has a malformed right-hand side",
+        ));
     };
     let path = c.path().stmt_path().unwrap().to_vec();
     let (_, alias_idx) = resolve_container(p.proc(), &path)
@@ -296,7 +336,12 @@ fn substitute_window_alias(stmt: &mut Stmt, alias: &Sym, buf: &Sym, spec: &[WAcc
         out
     };
     fn walk(stmt: &mut Stmt, alias: &Sym, buf: &Sym, translate: &dyn Fn(Vec<Expr>) -> Vec<Expr>) {
-        fn walk_expr(e: &mut Expr, alias: &Sym, buf: &Sym, translate: &dyn Fn(Vec<Expr>) -> Vec<Expr>) {
+        fn walk_expr(
+            e: &mut Expr,
+            alias: &Sym,
+            buf: &Sym,
+            translate: &dyn Fn(Vec<Expr>) -> Vec<Expr>,
+        ) {
             match e {
                 Expr::Read { buf: b, idx } => {
                     for i in idx.iter_mut() {
@@ -331,7 +376,11 @@ fn substitute_window_alias(stmt: &mut Stmt, alias: &Sym, buf: &Sym, spec: &[WAcc
                     walk(s, alias, buf, translate);
                 }
             }
-            Stmt::If { then_body, else_body, .. } => {
+            Stmt::If {
+                then_body,
+                else_body,
+                ..
+            } => {
                 for s in then_body.0.iter_mut().chain(else_body.0.iter_mut()) {
                     walk(s, alias, buf, translate);
                 }
@@ -352,10 +401,14 @@ fn substitute_window_alias(stmt: &mut Stmt, alias: &Sym, buf: &Sym, spec: &[WAcc
 pub fn inline_assign(p: &ProcHandle, assign: impl IntoCursor) -> Result<ProcHandle> {
     let c = assign.into_cursor(p)?;
     let Stmt::Assign { buf, idx, rhs } = c.stmt()?.clone() else {
-        return Err(SchedError::scheduling("inline_assign requires an assignment"));
+        return Err(SchedError::scheduling(
+            "inline_assign requires an assignment",
+        ));
     };
     if !idx.is_empty() {
-        return Err(SchedError::scheduling("inline_assign requires a scalar destination"));
+        return Err(SchedError::scheduling(
+            "inline_assign requires a scalar destination",
+        ));
     }
     let path = c.path().stmt_path().unwrap().to_vec();
     let start = path.last().unwrap().index();
@@ -392,16 +445,20 @@ fn replace_scalar_reads(stmt: Stmt, buf: &Sym, value: &Expr) -> Stmt {
     fn fix(e: Expr, buf: &Sym, value: &Expr) -> Expr {
         match e {
             Expr::Read { buf: b, idx } if &b == buf && idx.is_empty() => value.clone(),
-            Expr::Read { buf: b, idx } => {
-                Expr::Read { buf: b, idx: idx.into_iter().map(|i| fix(i, buf, value)).collect() }
-            }
+            Expr::Read { buf: b, idx } => Expr::Read {
+                buf: b,
+                idx: idx.into_iter().map(|i| fix(i, buf, value)).collect(),
+            },
             Expr::Var(ref s) if s == buf => value.clone(),
             Expr::Bin { op, lhs, rhs } => Expr::Bin {
                 op,
                 lhs: Box::new(fix(*lhs, buf, value)),
                 rhs: Box::new(fix(*rhs, buf, value)),
             },
-            Expr::Un { op, arg } => Expr::Un { op, arg: Box::new(fix(*arg, buf, value)) },
+            Expr::Un { op, arg } => Expr::Un {
+                op,
+                arg: Box::new(fix(*arg, buf, value)),
+            },
             other => other,
         }
     }
@@ -416,20 +473,43 @@ fn replace_scalar_reads(stmt: Stmt, buf: &Sym, value: &Expr) -> Stmt {
             idx: idx.into_iter().map(|i| fix(i, buf, value)).collect(),
             rhs: fix(rhs, buf, value),
         },
-        Stmt::For { iter, lo, hi, body, parallel } => Stmt::For {
+        Stmt::For {
+            iter,
+            lo,
+            hi,
+            body,
+            parallel,
+        } => Stmt::For {
             iter,
             lo: fix(lo, buf, value),
             hi: fix(hi, buf, value),
-            body: exo_ir::Block(body.0.into_iter().map(|s| replace_scalar_reads(s, buf, value)).collect()),
+            body: exo_ir::Block(
+                body.0
+                    .into_iter()
+                    .map(|s| replace_scalar_reads(s, buf, value))
+                    .collect(),
+            ),
             parallel,
         },
-        Stmt::If { cond, then_body, else_body } => Stmt::If {
+        Stmt::If {
+            cond,
+            then_body,
+            else_body,
+        } => Stmt::If {
             cond: fix(cond, buf, value),
             then_body: exo_ir::Block(
-                then_body.0.into_iter().map(|s| replace_scalar_reads(s, buf, value)).collect(),
+                then_body
+                    .0
+                    .into_iter()
+                    .map(|s| replace_scalar_reads(s, buf, value))
+                    .collect(),
             ),
             else_body: exo_ir::Block(
-                else_body.0.into_iter().map(|s| replace_scalar_reads(s, buf, value)).collect(),
+                else_body
+                    .0
+                    .into_iter()
+                    .map(|s| replace_scalar_reads(s, buf, value))
+                    .collect(),
             ),
         },
         Stmt::Call { proc, args } => Stmt::Call {
@@ -456,8 +536,10 @@ mod tests {
                     b.for_("ii", ib(0), ib(8), |b| {
                         b.assign(
                             "x",
-                            vec![(ib(8) * var("io") + var("ii")) / ib(8) * ib(8)
-                                + (ib(8) * var("io") + var("ii")) % ib(8)],
+                            vec![
+                                (ib(8) * var("io") + var("ii")) / ib(8) * ib(8)
+                                    + (ib(8) * var("io") + var("ii")) % ib(8),
+                            ],
                             fb(0.0) + fb(1.0) * fb(1.0),
                         );
                     });
@@ -466,7 +548,12 @@ mod tests {
         );
         let p2 = simplify(&p).unwrap();
         let s = p2.to_string();
-        assert!(s.contains("x[8 * io + ii]") || s.contains("x[ii + (8 * io)]") || s.contains("x[ii + 8 * io]"), "{s}");
+        assert!(
+            s.contains("x[8 * io + ii]")
+                || s.contains("x[ii + (8 * io)]")
+                || s.contains("x[ii + 8 * io]"),
+            "{s}"
+        );
         assert!(s.contains("= 1.0"), "{s}");
     }
 
@@ -557,8 +644,16 @@ mod tests {
                     .build(),
             )
         };
-        let assign = |rhs: Expr| Stmt::Assign { buf: Sym::new("x"), idx: vec![ib(0)], rhs };
-        let reduce = |rhs: Expr| Stmt::Reduce { buf: Sym::new("x"), idx: vec![ib(0)], rhs };
+        let assign = |rhs: Expr| Stmt::Assign {
+            buf: Sym::new("x"),
+            idx: vec![ib(0)],
+            rhs,
+        };
+        let reduce = |rhs: Expr| Stmt::Reduce {
+            buf: Sym::new("x"),
+            idx: vec![ib(0)],
+            rhs,
+        };
         // assign; reduce -> assign(a + b)
         let p = build(assign(var("a")), reduce(var("b")));
         let p2 = merge_writes(&p, &p.body()[0]).unwrap();
@@ -595,7 +690,10 @@ mod tests {
         );
         let p2 = inline_assign(&p, "t = _").unwrap();
         let s = p2.to_string();
-        assert!(s.contains("y[0] = 3.0 * 2.0") || s.contains("y[0] = 6.0"), "{s}");
+        assert!(
+            s.contains("y[0] = 3.0 * 2.0") || s.contains("y[0] = 6.0"),
+            "{s}"
+        );
         assert!(!s.contains("t ="), "{s}");
     }
 

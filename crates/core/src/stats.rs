@@ -12,7 +12,7 @@ use std::cell::RefCell;
 use std::collections::BTreeMap;
 
 thread_local! {
-    static REWRITES: RefCell<BTreeMap<String, u64>> = RefCell::new(BTreeMap::new());
+    static REWRITES: RefCell<BTreeMap<String, u64>> = const { RefCell::new(BTreeMap::new()) };
 }
 
 /// Records one application of the named primitive.

@@ -69,7 +69,9 @@ impl Cursor {
                 resolve_stmt(self.home.proc(), stmt)
                     .ok_or_else(|| CursorError::Invalid("path does not resolve".into()))
             }
-            CursorPath::Gap { .. } => Err(CursorError::Invalid("gap cursor has no statement".into())),
+            CursorPath::Gap { .. } => {
+                Err(CursorError::Invalid("gap cursor has no statement".into()))
+            }
             CursorPath::Invalid => Err(CursorError::Invalid("cursor was invalidated".into())),
         }
     }
@@ -84,11 +86,15 @@ impl Cursor {
                 let (block, idx) = resolve_container(self.home.proc(), stmt)
                     .ok_or_else(|| CursorError::Invalid("path does not resolve".into()))?;
                 if idx + len > block.len() {
-                    return Err(CursorError::Invalid("block extends past its container".into()));
+                    return Err(CursorError::Invalid(
+                        "block extends past its container".into(),
+                    ));
                 }
                 Ok((idx..idx + len).map(|i| &block[i]).collect())
             }
-            _ => Err(CursorError::Invalid("cursor does not span statements".into())),
+            _ => Err(CursorError::Invalid(
+                "cursor does not span statements".into(),
+            )),
         }
     }
 
@@ -119,7 +125,9 @@ impl Cursor {
             .stmt_path()
             .ok_or_else(|| CursorError::Invalid("cursor was invalidated".into()))?;
         if stmt.len() <= 1 {
-            return Err(CursorError::Invalid("top-level statement has no parent".into()));
+            return Err(CursorError::Invalid(
+                "top-level statement has no parent".into(),
+            ));
         }
         let parent = stmt[..stmt.len() - 1].to_vec();
         Ok(Cursor::new(self.home.clone(), CursorPath::stmt(parent)))
@@ -140,7 +148,9 @@ impl Cursor {
             .path
             .stmt_path()
             .ok_or_else(|| CursorError::Invalid("cursor was invalidated".into()))?;
-        let last = *stmt.last().ok_or_else(|| CursorError::Invalid("empty path".into()))?;
+        let last = *stmt
+            .last()
+            .ok_or_else(|| CursorError::Invalid("empty path".into()))?;
         let idx = last.index() as isize + delta;
         if idx < 0 {
             return Err(CursorError::Invalid("no previous statement".into()));
@@ -149,7 +159,9 @@ impl Cursor {
         *new_path.last_mut().unwrap() = last.with_index(idx as usize);
         let cursor = Cursor::new(self.home.clone(), CursorPath::stmt(new_path));
         // Check the sibling actually exists.
-        cursor.stmt().map_err(|_| CursorError::Invalid("no such sibling statement".into()))?;
+        cursor
+            .stmt()
+            .map_err(|_| CursorError::Invalid("no such sibling statement".into()))?;
         Ok(cursor)
     }
 
@@ -159,7 +171,12 @@ impl Cursor {
             .path
             .stmt_path()
             .ok_or_else(|| CursorError::Invalid("cursor was invalidated".into()))?;
-        Ok(Cursor::new(self.home.clone(), CursorPath::Gap { stmt: stmt.to_vec() }))
+        Ok(Cursor::new(
+            self.home.clone(),
+            CursorPath::Gap {
+                stmt: stmt.to_vec(),
+            },
+        ))
     }
 
     /// A gap cursor immediately after this statement (after the full block
@@ -168,13 +185,17 @@ impl Cursor {
         match &self.path {
             CursorPath::Node { stmt, .. } => {
                 let mut p = stmt.clone();
-                let last = *p.last().ok_or_else(|| CursorError::Invalid("empty path".into()))?;
+                let last = *p
+                    .last()
+                    .ok_or_else(|| CursorError::Invalid("empty path".into()))?;
                 *p.last_mut().unwrap() = last.with_index(last.index() + 1);
                 Ok(Cursor::new(self.home.clone(), CursorPath::Gap { stmt: p }))
             }
             CursorPath::Block { stmt, len } => {
                 let mut p = stmt.clone();
-                let last = *p.last().ok_or_else(|| CursorError::Invalid("empty path".into()))?;
+                let last = *p
+                    .last()
+                    .ok_or_else(|| CursorError::Invalid("empty path".into()))?;
                 *p.last_mut().unwrap() = last.with_index(last.index() + len);
                 Ok(Cursor::new(self.home.clone(), CursorPath::Gap { stmt: p }))
             }
@@ -187,8 +208,12 @@ impl Cursor {
     ///
     /// Returns an empty vector for statements without bodies.
     pub fn body(&self) -> Vec<Cursor> {
-        let Some(stmt_path) = self.path.stmt_path() else { return Vec::new() };
-        let Some(stmt) = resolve_stmt(self.home.proc(), stmt_path) else { return Vec::new() };
+        let Some(stmt_path) = self.path.stmt_path() else {
+            return Vec::new();
+        };
+        let Some(stmt) = resolve_stmt(self.home.proc(), stmt_path) else {
+            return Vec::new();
+        };
         let n = match stmt {
             Stmt::For { body, .. } => body.len(),
             Stmt::If { then_body, .. } => then_body.len(),
@@ -217,12 +242,20 @@ impl Cursor {
         };
         let mut p = stmt_path.to_vec();
         p.push(Step::Body(0));
-        Ok(Cursor::new(self.home.clone(), CursorPath::Block { stmt: p, len: n.max(1) }))
+        Ok(Cursor::new(
+            self.home.clone(),
+            CursorPath::Block {
+                stmt: p,
+                len: n.max(1),
+            },
+        ))
     }
 
     /// Cursors to each statement in an `if` statement's else-branch.
     pub fn orelse(&self) -> Vec<Cursor> {
-        let Some(stmt_path) = self.path.stmt_path() else { return Vec::new() };
+        let Some(stmt_path) = self.path.stmt_path() else {
+            return Vec::new();
+        };
         let Some(Stmt::If { else_body, .. }) = resolve_stmt(self.home.proc(), stmt_path) else {
             return Vec::new();
         };
@@ -244,21 +277,30 @@ impl Cursor {
             CursorPath::Block { stmt, len } => (stmt.clone(), *len),
             _ => return Err(CursorError::Invalid("cannot expand this cursor".into())),
         };
-        let last = *stmt.last().ok_or_else(|| CursorError::Invalid("empty path".into()))?;
+        let last = *stmt
+            .last()
+            .ok_or_else(|| CursorError::Invalid("empty path".into()))?;
         let idx = last.index();
         if idx < before {
-            return Err(CursorError::Invalid("expansion reaches before the block start".into()));
+            return Err(CursorError::Invalid(
+                "expansion reaches before the block start".into(),
+            ));
         }
         let (block, _) = resolve_container(self.home.proc(), &stmt)
             .ok_or_else(|| CursorError::Invalid("path does not resolve".into()))?;
         if idx + len + after > block.len() {
-            return Err(CursorError::Invalid("expansion reaches past the block end".into()));
+            return Err(CursorError::Invalid(
+                "expansion reaches past the block end".into(),
+            ));
         }
         let mut p = stmt;
         *p.last_mut().unwrap() = last.with_index(idx - before);
         Ok(Cursor::new(
             self.home.clone(),
-            CursorPath::Block { stmt: p, len: len + before + after },
+            CursorPath::Block {
+                stmt: p,
+                len: len + before + after,
+            },
         ))
     }
 
@@ -365,10 +407,15 @@ impl Cursor {
             .to_vec();
         // Validate that the statement has an rhs.
         match self.stmt()? {
-            Stmt::Assign { .. } | Stmt::Reduce { .. } | Stmt::WindowStmt { .. }
+            Stmt::Assign { .. }
+            | Stmt::Reduce { .. }
+            | Stmt::WindowStmt { .. }
             | Stmt::WriteConfig { .. } => Ok(Cursor::new(
                 self.home.clone(),
-                CursorPath::Node { stmt: stmt_path, expr: vec![ExprStep::Rhs] },
+                CursorPath::Node {
+                    stmt: stmt_path,
+                    expr: vec![ExprStep::Rhs],
+                },
             )),
             other => Err(CursorError::Invalid(format!(
                 "statement kind `{}` has no right-hand side",
@@ -441,7 +488,11 @@ mod tests {
                 b.alloc("acc", DataType::F32, vec![], Mem::Dram);
                 b.assign("acc", vec![], fb(0.0));
                 b.for_("i", ib(0), var("n"), |b| {
-                    b.reduce("acc", vec![], read("x", vec![var("i")]) * read("y", vec![var("i")]));
+                    b.reduce(
+                        "acc",
+                        vec![],
+                        read("x", vec![var("i")]) * read("y", vec![var("i")]),
+                    );
                 });
                 b.assign("y", vec![ib(0)], var("acc"));
             })

@@ -52,7 +52,10 @@ mod tests {
         assert!(e.to_string().starts_with("invalid cursor"));
         let e = CursorError::NotFound("for q in _: _".into());
         assert!(e.to_string().contains("for q in _: _"));
-        let e = CursorError::UnrelatedVersion { cursor_version: 3, handle_version: 9 };
+        let e = CursorError::UnrelatedVersion {
+            cursor_version: 3,
+            handle_version: 9,
+        };
         assert!(e.to_string().contains('3') && e.to_string().contains('9'));
     }
 }

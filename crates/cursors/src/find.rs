@@ -56,7 +56,8 @@ impl Pattern {
                 text = head.trim().to_string();
             }
         }
-        let pat = Self::parse_body(&text).ok_or_else(|| CursorError::BadPattern(input.to_string()))?;
+        let pat =
+            Self::parse_body(&text).ok_or_else(|| CursorError::BadPattern(input.to_string()))?;
         Ok((pat, index))
     }
 
@@ -175,7 +176,9 @@ impl ProcHandle {
     /// [`CursorError::BadPattern`] if the pattern cannot be parsed.
     pub fn find(&self, pattern: &str) -> Result<Cursor> {
         let all = find_in(self, None, pattern)?;
-        all.into_iter().next().ok_or_else(|| CursorError::NotFound(pattern.to_string()))
+        all.into_iter()
+            .next()
+            .ok_or_else(|| CursorError::NotFound(pattern.to_string()))
     }
 
     /// Finds every statement matching `pattern`.
@@ -191,9 +194,10 @@ impl ProcHandle {
     /// The name may carry a `#k` suffix to select the `k`-th such loop.
     pub fn find_loop(&self, name: &str) -> Result<Cursor> {
         let (base, index) = match name.rfind('#') {
-            Some(pos) if name[pos + 1..].trim().parse::<usize>().is_ok() => {
-                (name[..pos].trim().to_string(), Some(name[pos + 1..].trim().parse::<usize>().unwrap()))
-            }
+            Some(pos) if name[pos + 1..].trim().parse::<usize>().is_ok() => (
+                name[..pos].trim().to_string(),
+                Some(name[pos + 1..].trim().parse::<usize>().unwrap()),
+            ),
             _ => (name.trim().to_string(), None),
         };
         let pattern = format!("for {base} in _: _");
@@ -246,13 +250,34 @@ mod tests {
 
     #[test]
     fn pattern_parsing() {
-        assert_eq!(Pattern::parse("for i in _: _").unwrap(), (Pattern::Loop(Some("i".into())), None));
-        assert_eq!(Pattern::parse("for _ in _: _").unwrap(), (Pattern::Loop(None), None));
-        assert_eq!(Pattern::parse("acc = _").unwrap(), (Pattern::Assign(Some("acc".into())), None));
-        assert_eq!(Pattern::parse("y[_] += _").unwrap(), (Pattern::Reduce(Some("y".into())), None));
-        assert_eq!(Pattern::parse("tmp: _").unwrap(), (Pattern::Alloc(Some("tmp".into())), None));
-        assert_eq!(Pattern::parse("foo(_)").unwrap(), (Pattern::Call(Some("foo".into())), None));
-        assert_eq!(Pattern::parse("for j in _: _ #2").unwrap(), (Pattern::Loop(Some("j".into())), Some(2)));
+        assert_eq!(
+            Pattern::parse("for i in _: _").unwrap(),
+            (Pattern::Loop(Some("i".into())), None)
+        );
+        assert_eq!(
+            Pattern::parse("for _ in _: _").unwrap(),
+            (Pattern::Loop(None), None)
+        );
+        assert_eq!(
+            Pattern::parse("acc = _").unwrap(),
+            (Pattern::Assign(Some("acc".into())), None)
+        );
+        assert_eq!(
+            Pattern::parse("y[_] += _").unwrap(),
+            (Pattern::Reduce(Some("y".into())), None)
+        );
+        assert_eq!(
+            Pattern::parse("tmp: _").unwrap(),
+            (Pattern::Alloc(Some("tmp".into())), None)
+        );
+        assert_eq!(
+            Pattern::parse("foo(_)").unwrap(),
+            (Pattern::Call(Some("foo".into())), None)
+        );
+        assert_eq!(
+            Pattern::parse("for j in _: _ #2").unwrap(),
+            (Pattern::Loop(Some("j".into())), Some(2))
+        );
         assert_eq!(Pattern::parse("_").unwrap(), (Pattern::Any, None));
         assert!(Pattern::parse("???!").is_err());
     }

@@ -122,7 +122,11 @@ fn forward_stmt_path(path: &[Step], edit: &EditRecord) -> Option<Vec<Step>> {
                 _ => Some(path.to_vec()),
             }
         }
-        EditRecord::Replace { at, old_count, new_count } => {
+        EditRecord::Replace {
+            at,
+            old_count,
+            new_count,
+        } => {
             let i = at.last()?.index();
             match block_position(path, at) {
                 Some((level, j)) if j >= i && j < i + old_count => {
@@ -141,7 +145,11 @@ fn forward_stmt_path(path: &[Step], edit: &EditRecord) -> Option<Vec<Step>> {
                 _ => Some(path.to_vec()),
             }
         }
-        EditRecord::Move { from, count, to_post } => {
+        EditRecord::Move {
+            from,
+            count,
+            to_post,
+        } => {
             let i = from.last()?.index();
             match block_position(path, from) {
                 Some((level, j)) if j >= i && j < i + count => {
@@ -205,7 +213,10 @@ pub(crate) fn forward_path(path: &CursorPath, edit: &EditRecord) -> CursorPath {
     match path {
         CursorPath::Invalid => CursorPath::Invalid,
         CursorPath::Node { stmt, expr } => match forward_stmt_path(stmt, edit) {
-            Some(new_stmt) => CursorPath::Node { stmt: new_stmt, expr: expr.clone() },
+            Some(new_stmt) => CursorPath::Node {
+                stmt: new_stmt,
+                expr: expr.clone(),
+            },
             None => CursorPath::Invalid,
         },
         CursorPath::Gap { stmt } => match forward_stmt_path(stmt, edit) {
@@ -213,7 +224,10 @@ pub(crate) fn forward_path(path: &CursorPath, edit: &EditRecord) -> CursorPath {
             None => CursorPath::Invalid,
         },
         CursorPath::Block { stmt, len } => match forward_stmt_path(stmt, edit) {
-            Some(new_stmt) => CursorPath::Block { stmt: new_stmt, len: *len },
+            Some(new_stmt) => CursorPath::Block {
+                stmt: new_stmt,
+                len: *len,
+            },
             None => CursorPath::Invalid,
         },
     }
@@ -233,7 +247,11 @@ pub struct Rewrite {
 impl Rewrite {
     /// Starts an editing session on the given procedure version.
     pub fn new(base: &ProcHandle) -> Self {
-        Rewrite { base: base.clone(), proc: base.proc().clone(), edits: Vec::new() }
+        Rewrite {
+            base: base.clone(),
+            proc: base.proc().clone(),
+            edits: Vec::new(),
+        }
     }
 
     /// The working copy (reflecting all edits applied so far).
@@ -259,7 +277,10 @@ impl Rewrite {
             return Err(CursorError::Invalid("insertion index out of bounds".into()));
         }
         block.0.splice(idx..idx, stmts);
-        self.edits.push(EditRecord::Insert { at: at.to_vec(), count });
+        self.edits.push(EditRecord::Insert {
+            at: at.to_vec(),
+            count,
+        });
         Ok(())
     }
 
@@ -270,7 +291,10 @@ impl Rewrite {
             return Err(CursorError::Invalid("deletion range out of bounds".into()));
         }
         block.0.drain(idx..idx + count);
-        self.edits.push(EditRecord::Delete { at: at.to_vec(), count });
+        self.edits.push(EditRecord::Delete {
+            at: at.to_vec(),
+            count,
+        });
         Ok(())
     }
 
@@ -280,10 +304,16 @@ impl Rewrite {
         let new_count = stmts.len();
         let (block, idx) = self.container_mut(at)?;
         if idx + old_count > block.0.len() {
-            return Err(CursorError::Invalid("replacement range out of bounds".into()));
+            return Err(CursorError::Invalid(
+                "replacement range out of bounds".into(),
+            ));
         }
         block.0.splice(idx..idx + old_count, stmts);
-        self.edits.push(EditRecord::Replace { at: at.to_vec(), old_count, new_count });
+        self.edits.push(EditRecord::Replace {
+            at: at.to_vec(),
+            old_count,
+            new_count,
+        });
         Ok(())
     }
 
@@ -294,7 +324,9 @@ impl Rewrite {
         // Extract the statements.
         let (src_block, src_idx) = self.container_mut(from)?;
         if src_idx + count > src_block.0.len() {
-            return Err(CursorError::Invalid("move source range out of bounds".into()));
+            return Err(CursorError::Invalid(
+                "move source range out of bounds".into(),
+            ));
         }
         let moved: Vec<Stmt> = src_block.0.drain(src_idx..src_idx + count).collect();
 
@@ -306,7 +338,9 @@ impl Rewrite {
                 // Destination inside the moved range: put things back and bail.
                 let (src_block, src_idx) = self.container_mut(from)?;
                 src_block.0.splice(src_idx..src_idx, moved);
-                return Err(CursorError::Invalid("move destination lies inside the moved range".into()));
+                return Err(CursorError::Invalid(
+                    "move destination lies inside the moved range".into(),
+                ));
             }
             if j >= i + count {
                 dest[level] = dest[level].with_index(j - count);
@@ -319,7 +353,9 @@ impl Rewrite {
                 None => {
                     let (src_block, src_idx) = self.container_mut(from)?;
                     src_block.0.splice(src_idx..src_idx, moved);
-                    return Err(CursorError::Invalid("move destination does not resolve".into()));
+                    return Err(CursorError::Invalid(
+                        "move destination does not resolve".into(),
+                    ));
                 }
             };
             if dst_idx > dst_block.0.len() {
@@ -341,7 +377,9 @@ impl Rewrite {
             Err(moved) => {
                 let (src_block, src_idx) = self.container_mut(from)?;
                 src_block.0.splice(src_idx..src_idx, moved);
-                Err(CursorError::Invalid("move destination index out of bounds".into()))
+                Err(CursorError::Invalid(
+                    "move destination index out of bounds".into(),
+                ))
             }
         }
     }
@@ -352,9 +390,11 @@ impl Rewrite {
     pub fn wrap(&mut self, at: &[Step], count: usize, mut wrapper: Stmt) -> Result<()> {
         let child = match &wrapper {
             Stmt::For { body, .. } if body.is_empty() => Step::Body(0),
-            Stmt::If { then_body, else_body, .. } if then_body.is_empty() && else_body.is_empty() => {
-                Step::Body(0)
-            }
+            Stmt::If {
+                then_body,
+                else_body,
+                ..
+            } if then_body.is_empty() && else_body.is_empty() => Step::Body(0),
             _ => {
                 return Err(CursorError::Invalid(
                     "wrapper must be a for/if statement with an empty body".into(),
@@ -372,7 +412,11 @@ impl Rewrite {
             _ => unreachable!(),
         }
         block.0.insert(idx, wrapper);
-        self.edits.push(EditRecord::Wrap { at: at.to_vec(), count, child });
+        self.edits.push(EditRecord::Wrap {
+            at: at.to_vec(),
+            count,
+            child,
+        });
         Ok(())
     }
 
@@ -447,7 +491,10 @@ mod tests {
         rw.delete(&[Step::Body(1)], 1).unwrap();
         let h2 = rw.commit();
         assert!(h2.forward(deleted).unwrap().is_invalid());
-        assert_eq!(h2.forward(later).unwrap().path().stmt_path().unwrap(), &[Step::Body(1)]);
+        assert_eq!(
+            h2.forward(later).unwrap().path().stmt_path().unwrap(),
+            &[Step::Body(1)]
+        );
     }
 
     #[test]
@@ -456,7 +503,8 @@ mod tests {
         let loop_c = &h.body()[2];
         let inner = &loop_c.body()[0];
         let mut rw = Rewrite::new(&h);
-        rw.replace(&[Step::Body(2)], 1, vec![Stmt::Pass, Stmt::Pass]).unwrap();
+        rw.replace(&[Step::Body(2)], 1, vec![Stmt::Pass, Stmt::Pass])
+            .unwrap();
         let h2 = rw.commit();
         let fl = h2.forward(loop_c).unwrap();
         assert_eq!(fl.path().stmt_path().unwrap(), &[Step::Body(2)]);
@@ -472,7 +520,8 @@ mod tests {
         let inner = &h.body()[2].body()[0];
         let mut rw = Rewrite::new(&h);
         // Move the loop-body statement out, to just before the loop (gap at index 2).
-        rw.move_block(&[Step::Body(2), Step::Body(0)], 1, &[Step::Body(2)]).unwrap();
+        rw.move_block(&[Step::Body(2), Step::Body(0)], 1, &[Step::Body(2)])
+            .unwrap();
         let h2 = rw.commit();
         let f = h2.forward(inner).unwrap();
         assert_eq!(f.path().stmt_path().unwrap(), &[Step::Body(2)]);
@@ -501,9 +550,15 @@ mod tests {
         let h2 = rw.commit();
         assert_eq!(h2.proc().body().len(), 3);
         let f1 = h2.forward(first).unwrap();
-        assert_eq!(f1.path().stmt_path().unwrap(), &[Step::Body(0), Step::Body(0)]);
+        assert_eq!(
+            f1.path().stmt_path().unwrap(),
+            &[Step::Body(0), Step::Body(0)]
+        );
         let f2 = h2.forward(second).unwrap();
-        assert_eq!(f2.path().stmt_path().unwrap(), &[Step::Body(0), Step::Body(1)]);
+        assert_eq!(
+            f2.path().stmt_path().unwrap(),
+            &[Step::Body(0), Step::Body(1)]
+        );
         let fl = h2.forward(last).unwrap();
         assert_eq!(fl.path().stmt_path().unwrap(), &[Step::Body(2)]);
     }

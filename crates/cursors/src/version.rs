@@ -55,15 +55,18 @@ pub enum CursorPath {
 impl CursorPath {
     /// A node path to a statement.
     pub fn stmt(path: Vec<Step>) -> Self {
-        CursorPath::Node { stmt: path, expr: Vec::new() }
+        CursorPath::Node {
+            stmt: path,
+            expr: Vec::new(),
+        }
     }
 
     /// The statement path underlying this cursor path, if it is valid.
     pub fn stmt_path(&self) -> Option<&[Step]> {
         match self {
-            CursorPath::Node { stmt, .. } | CursorPath::Gap { stmt } | CursorPath::Block { stmt, .. } => {
-                Some(stmt)
-            }
+            CursorPath::Node { stmt, .. }
+            | CursorPath::Gap { stmt }
+            | CursorPath::Block { stmt, .. } => Some(stmt),
             CursorPath::Invalid => None,
         }
     }
@@ -147,7 +150,10 @@ impl ProcHandle {
     /// A block cursor spanning the entire procedure body.
     pub fn body_block(&self) -> Cursor {
         let len = self.proc().body().len().max(1);
-        self.cursor_at(CursorPath::Block { stmt: vec![Step::Body(0)], len })
+        self.cursor_at(CursorPath::Block {
+            stmt: vec![Step::Body(0)],
+            len,
+        })
     }
 
     /// Forwards a cursor created against an ancestor version to this
@@ -201,7 +207,8 @@ impl ProcHandle {
     /// Forwards a cursor, panicking on unrelated versions. Convenience for
     /// scheduling code where the relationship is known by construction.
     pub fn forward_unwrap(&self, cursor: &Cursor) -> Cursor {
-        self.forward(cursor).expect("cursor belongs to an unrelated procedure")
+        self.forward(cursor)
+            .expect("cursor belongs to an unrelated procedure")
     }
 }
 
@@ -261,6 +268,9 @@ mod tests {
         let h1 = ProcHandle::new(simple());
         let h2 = ProcHandle::new(simple());
         let c = &h1.body()[0];
-        assert!(matches!(h2.forward(c), Err(CursorError::UnrelatedVersion { .. })));
+        assert!(matches!(
+            h2.forward(c),
+            Err(CursorError::UnrelatedVersion { .. })
+        ));
     }
 }

@@ -29,7 +29,13 @@ impl BufferData {
     /// Creates a zero-initialized buffer.
     pub fn zeros(dims: Vec<usize>, elem: DataType, mem: Mem) -> Self {
         let n: usize = dims.iter().product::<usize>().max(1);
-        BufferData { data: vec![0.0; n], dims, elem, mem, base_addr: 0 }
+        BufferData {
+            data: vec![0.0; n],
+            dims,
+            elem,
+            mem,
+            base_addr: 0,
+        }
     }
 
     /// Creates a buffer from existing data (dims must multiply to
@@ -37,7 +43,13 @@ impl BufferData {
     pub fn from_vec(data: Vec<f64>, dims: Vec<usize>, elem: DataType, mem: Mem) -> Self {
         let expect: usize = dims.iter().product::<usize>().max(1);
         assert_eq!(data.len(), expect, "data length must match dims");
-        BufferData { data, dims, elem, mem, base_addr: 0 }
+        BufferData {
+            data,
+            dims,
+            elem,
+            mem,
+            base_addr: 0,
+        }
     }
 
     /// Total number of elements.
@@ -53,7 +65,11 @@ impl BufferData {
     /// Row-major linear index of a multi-dimensional index.
     pub fn linear_index(&self, idx: &[i64]) -> Option<usize> {
         if self.dims.is_empty() {
-            return if idx.is_empty() || idx.iter().all(|&i| i == 0) { Some(0) } else { None };
+            return if idx.is_empty() || idx.iter().all(|&i| i == 0) {
+                Some(0)
+            } else {
+                None
+            };
         }
         if idx.len() != self.dims.len() {
             return None;
@@ -98,7 +114,11 @@ impl View {
     /// A full view of a buffer (no offsets, all dimensions kept).
     pub fn full(buf: BufRef) -> Self {
         let ndims = buf.borrow().dims.len();
-        View { buf, offsets: vec![0; ndims], kept: (0..ndims).collect() }
+        View {
+            buf,
+            offsets: vec![0; ndims],
+            kept: (0..ndims).collect(),
+        }
     }
 
     /// Translates a view index into an underlying buffer index.
@@ -132,7 +152,11 @@ impl View {
         for &dim in self.kept.iter().skip(spec.len()) {
             kept.push(dim);
         }
-        View { buf: self.buf.clone(), offsets, kept }
+        View {
+            buf: self.buf.clone(),
+            offsets,
+            kept,
+        }
     }
 
     /// Reads one element through the view.
@@ -204,7 +228,12 @@ impl ArgValue {
 
     /// Convenience: wraps existing data in a DRAM buffer.
     pub fn from_vec(data: Vec<f64>, dims: Vec<usize>, elem: DataType) -> (BufRef, ArgValue) {
-        let buf = Rc::new(RefCell::new(BufferData::from_vec(data, dims, elem, Mem::Dram)));
+        let buf = Rc::new(RefCell::new(BufferData::from_vec(
+            data,
+            dims,
+            elem,
+            Mem::Dram,
+        )));
         (buf.clone(), ArgValue::Buffer(buf))
     }
 }
@@ -252,7 +281,11 @@ mod tests {
 
     #[test]
     fn nested_narrowing_accumulates_offsets() {
-        let buf = Rc::new(RefCell::new(BufferData::zeros(vec![8, 8], DataType::F32, Mem::Dram)));
+        let buf = Rc::new(RefCell::new(BufferData::zeros(
+            vec![8, 8],
+            DataType::F32,
+            Mem::Dram,
+        )));
         let v1 = View::full(buf.clone()).narrow(&[WindowDim::Interval(2), WindowDim::Interval(2)]);
         let v2 = v1.narrow(&[WindowDim::Interval(1), WindowDim::Point(3)]);
         // v2 index [0] maps to underlying [3, 5].

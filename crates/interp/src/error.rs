@@ -33,7 +33,10 @@ impl fmt::Display for InterpError {
         match self {
             InterpError::Unbound(s) => write!(f, "unbound symbol `{s}`"),
             InterpError::OutOfBounds { buf, idx, dims } => {
-                write!(f, "index {idx:?} out of bounds for buffer `{buf}` with dims {dims:?}")
+                write!(
+                    f,
+                    "index {idx:?} out of bounds for buffer `{buf}` with dims {dims:?}"
+                )
             }
             InterpError::UnknownProc(p) => write!(f, "call to unknown procedure `{p}`"),
             InterpError::BadCall(msg) => write!(f, "bad call: {msg}"),
@@ -54,7 +57,11 @@ mod tests {
     fn messages_name_the_offender() {
         let e = InterpError::Unbound("acc".into());
         assert!(e.to_string().contains("acc"));
-        let e = InterpError::OutOfBounds { buf: "x".into(), idx: vec![9], dims: vec![4] };
+        let e = InterpError::OutOfBounds {
+            buf: "x".into(),
+            idx: vec![9],
+            dims: vec![4],
+        };
         assert!(e.to_string().contains('9') && e.to_string().contains('4'));
     }
 }

@@ -37,7 +37,9 @@ impl Value {
         match self {
             Value::Int(v) => Ok(v),
             Value::Float(v) if v.fract() == 0.0 => Ok(v as i64),
-            other => Err(InterpError::Malformed(format!("expected integer, got {other:?}"))),
+            other => Err(InterpError::Malformed(format!(
+                "expected integer, got {other:?}"
+            ))),
         }
     }
 
@@ -63,7 +65,9 @@ struct Env {
 
 impl Env {
     fn new() -> Self {
-        Env { scopes: vec![HashMap::new()] }
+        Env {
+            scopes: vec![HashMap::new()],
+        }
     }
 
     fn push(&mut self) {
@@ -75,7 +79,10 @@ impl Env {
     }
 
     fn bind(&mut self, sym: Sym, b: Binding) {
-        self.scopes.last_mut().expect("scope stack never empty").insert(sym, b);
+        self.scopes
+            .last_mut()
+            .expect("scope stack never empty")
+            .insert(sym, b);
     }
 
     fn lookup(&self, sym: &Sym) -> Option<&Binding> {
@@ -95,7 +102,12 @@ pub struct Interpreter<'a> {
 impl<'a> Interpreter<'a> {
     /// Creates an interpreter resolving calls against `registry`.
     pub fn new(registry: &'a ProcRegistry) -> Self {
-        Interpreter { registry, configs: HashMap::new(), next_addr: 0x1000, suppress: 0 }
+        Interpreter {
+            registry,
+            configs: HashMap::new(),
+            next_addr: 0x1000,
+            suppress: 0,
+        }
     }
 
     /// Runs `proc` with the given arguments, reporting events to `monitor`.
@@ -103,7 +115,12 @@ impl<'a> Interpreter<'a> {
     /// # Errors
     /// Returns an [`InterpError`] for unbound symbols, out-of-bounds
     /// accesses, failed assertions, bad calls and unknown procedures.
-    pub fn run(&mut self, proc: &Proc, args: Vec<ArgValue>, monitor: &mut dyn Monitor) -> Result<()> {
+    pub fn run(
+        &mut self,
+        proc: &Proc,
+        args: Vec<ArgValue>,
+        monitor: &mut dyn Monitor,
+    ) -> Result<()> {
         if args.len() != proc.args().len() {
             return Err(InterpError::BadCall(format!(
                 "procedure `{}` expects {} arguments, got {}",
@@ -130,7 +147,9 @@ impl<'a> Interpreter<'a> {
     /// Read access to the accumulated configuration-register state
     /// (useful for Gemmini tests).
     pub fn config(&self, config: &str, field: &str) -> Option<f64> {
-        self.configs.get(&(config.to_string(), field.to_string())).copied()
+        self.configs
+            .get(&(config.to_string(), field.to_string()))
+            .copied()
     }
 
     fn bind_arg(&mut self, kind: &ArgKind, value: ArgValue, name: &str) -> Result<Binding> {
@@ -161,11 +180,16 @@ impl<'a> Interpreter<'a> {
         if b.base_addr == 0 {
             b.base_addr = self.next_addr;
             let bytes = (b.len() as u64 * b.elem_bytes()).max(64);
-            self.next_addr += (bytes + 63) / 64 * 64;
+            self.next_addr += bytes.div_ceil(64) * 64;
         }
     }
 
-    fn exec_block(&mut self, stmts: &[Stmt], env: &mut Env, monitor: &mut dyn Monitor) -> Result<()> {
+    fn exec_block(
+        &mut self,
+        stmts: &[Stmt],
+        env: &mut Env,
+        monitor: &mut dyn Monitor,
+    ) -> Result<()> {
         env.push();
         let result = (|| {
             for s in stmts {
@@ -194,7 +218,12 @@ impl<'a> Interpreter<'a> {
                 }
                 self.store(buf, idx, old + add, env, monitor)
             }
-            Stmt::Alloc { name, ty, dims, mem } => {
+            Stmt::Alloc {
+                name,
+                ty,
+                dims,
+                mem,
+            } => {
                 let mut sizes = Vec::with_capacity(dims.len());
                 for d in dims {
                     let v = self.eval(d, env, monitor)?.as_int()?;
@@ -208,11 +237,20 @@ impl<'a> Interpreter<'a> {
                 let mut data = BufferData::zeros(sizes, *ty, mem.clone());
                 data.base_addr = self.next_addr;
                 let bytes = (data.len() as u64 * data.elem_bytes()).max(64);
-                self.next_addr += (bytes + 63) / 64 * 64;
-                env.bind(name.clone(), Binding::Tensor(View::full(Rc::new(RefCell::new(data)))));
+                self.next_addr += bytes.div_ceil(64) * 64;
+                env.bind(
+                    name.clone(),
+                    Binding::Tensor(View::full(Rc::new(RefCell::new(data)))),
+                );
                 Ok(())
             }
-            Stmt::For { iter, lo, hi, body, parallel } => {
+            Stmt::For {
+                iter,
+                lo,
+                hi,
+                body,
+                parallel,
+            } => {
                 let lo = self.eval(lo, env, monitor)?.as_int()?;
                 let hi = self.eval(hi, env, monitor)?.as_int()?;
                 for i in lo..hi {
@@ -227,7 +265,11 @@ impl<'a> Interpreter<'a> {
                 }
                 Ok(())
             }
-            Stmt::If { cond, then_body, else_body } => {
+            Stmt::If {
+                cond,
+                then_body,
+                else_body,
+            } => {
                 if self.suppress == 0 {
                     monitor.on_branch();
                 }
@@ -240,12 +282,17 @@ impl<'a> Interpreter<'a> {
             }
             Stmt::Call { proc, args } => self.exec_call(proc, args, env, monitor),
             Stmt::Pass => Ok(()),
-            Stmt::WriteConfig { config, field, value } => {
+            Stmt::WriteConfig {
+                config,
+                field,
+                value,
+            } => {
                 let v = self.eval(value, env, monitor)?.as_float();
                 if self.suppress == 0 {
                     monitor.on_config_write(config.name(), field);
                 }
-                self.configs.insert((config.name().to_string(), field.clone()), v);
+                self.configs
+                    .insert((config.name().to_string(), field.clone()), v);
                 Ok(())
             }
             Stmt::WindowStmt { name, rhs } => {
@@ -275,7 +322,11 @@ impl<'a> Interpreter<'a> {
                 callee.args().len()
             )));
         }
-        let suppress_inner = if self.suppress == 0 { monitor.enter_call(&callee) } else { false };
+        let suppress_inner = if self.suppress == 0 {
+            monitor.enter_call(&callee)
+        } else {
+            false
+        };
         if suppress_inner {
             self.suppress += 1;
         }
@@ -377,7 +428,13 @@ impl<'a> Interpreter<'a> {
         }
     }
 
-    fn load(&mut self, buf: &Sym, idx: &[Expr], env: &Env, monitor: &mut dyn Monitor) -> Result<f64> {
+    fn load(
+        &mut self,
+        buf: &Sym,
+        idx: &[Expr],
+        env: &Env,
+        monitor: &mut dyn Monitor,
+    ) -> Result<f64> {
         let mut indices = Vec::with_capacity(idx.len());
         for e in idx {
             indices.push(self.eval(e, env, monitor)?.as_int()?);
@@ -387,11 +444,13 @@ impl<'a> Interpreter<'a> {
             Some(Binding::Scalar(v)) if idx.is_empty() => return Ok(v.as_float()),
             _ => return Err(InterpError::Unbound(buf.name().to_string())),
         };
-        let value = view.read(&indices).ok_or_else(|| InterpError::OutOfBounds {
-            buf: buf.name().to_string(),
-            idx: indices.clone(),
-            dims: view.buf.borrow().dims.clone(),
-        })?;
+        let value = view
+            .read(&indices)
+            .ok_or_else(|| InterpError::OutOfBounds {
+                buf: buf.name().to_string(),
+                idx: indices.clone(),
+                dims: view.buf.borrow().dims.clone(),
+            })?;
         if self.suppress == 0 {
             if let Some(addr) = view.byte_addr(&indices) {
                 monitor.on_read(&view.mem(), addr, view.elem().size_bytes());
@@ -421,11 +480,12 @@ impl<'a> Interpreter<'a> {
                 monitor.on_write(&view.mem(), addr, view.elem().size_bytes());
             }
         }
-        view.write(&indices, value).ok_or_else(|| InterpError::OutOfBounds {
-            buf: buf.name().to_string(),
-            idx: indices,
-            dims: view.buf.borrow().dims.clone(),
-        })
+        view.write(&indices, value)
+            .ok_or_else(|| InterpError::OutOfBounds {
+                buf: buf.name().to_string(),
+                idx: indices,
+                dims: view.buf.borrow().dims.clone(),
+            })
     }
 
     fn eval(&mut self, expr: &Expr, env: &Env, monitor: &mut dyn Monitor) -> Result<Value> {
@@ -435,7 +495,9 @@ impl<'a> Interpreter<'a> {
             Expr::Bool(b) => Ok(Value::Bool(*b)),
             Expr::Var(s) => match env.lookup(s) {
                 Some(Binding::Scalar(v)) => Ok(*v),
-                Some(Binding::Tensor(view)) if view.kept.is_empty() || view.buf.borrow().dims.is_empty() => {
+                Some(Binding::Tensor(view))
+                    if view.kept.is_empty() || view.buf.borrow().dims.is_empty() =>
+                {
                     let view = view.clone();
                     let value = view
                         .read(&[])
@@ -497,7 +559,13 @@ impl<'a> Interpreter<'a> {
         }
     }
 
-    fn eval_bin(&mut self, op: BinOp, l: Value, r: Value, monitor: &mut dyn Monitor) -> Result<Value> {
+    fn eval_bin(
+        &mut self,
+        op: BinOp,
+        l: Value,
+        r: Value,
+        monitor: &mut dyn Monitor,
+    ) -> Result<Value> {
         use BinOp::*;
         // Integer arithmetic when both sides are integers (index math).
         if let (Value::Int(a), Value::Int(b)) = (l, r) {
@@ -594,14 +662,24 @@ mod tests {
         interp
             .run(
                 &gemv_proc(),
-                vec![ArgValue::Int(m as i64), ArgValue::Int(n as i64), a_arg, x_arg, y_arg],
+                vec![
+                    ArgValue::Int(m as i64),
+                    ArgValue::Int(n as i64),
+                    a_arg,
+                    x_arg,
+                    y_arg,
+                ],
                 &mut NullMonitor,
             )
             .unwrap();
         let y = y_buf.borrow().data.clone();
         for i in 0..m {
             let expect: f64 = (0..n).map(|j| a[i * n + j] * x[j]).sum();
-            assert!((y[i] - expect).abs() < 1e-9, "row {i}: {} vs {expect}", y[i]);
+            assert!(
+                (y[i] - expect).abs() < 1e-9,
+                "row {i}: {} vs {expect}",
+                y[i]
+            );
         }
     }
 
@@ -617,7 +695,13 @@ mod tests {
         interp
             .run(
                 &gemv_proc(),
-                vec![ArgValue::Int(m as i64), ArgValue::Int(n as i64), a_arg, x_arg, y_arg],
+                vec![
+                    ArgValue::Int(m as i64),
+                    ArgValue::Int(n as i64),
+                    a_arg,
+                    x_arg,
+                    y_arg,
+                ],
                 &mut mon,
             )
             .unwrap();
@@ -640,7 +724,9 @@ mod tests {
             interp.run(&p, vec![ArgValue::Int(12)], &mut NullMonitor),
             Err(InterpError::AssertFailed(_))
         ));
-        assert!(interp.run(&p, vec![ArgValue::Int(16)], &mut NullMonitor).is_ok());
+        assert!(interp
+            .run(&p, vec![ArgValue::Int(16)], &mut NullMonitor)
+            .is_ok());
     }
 
     #[test]
@@ -696,9 +782,12 @@ mod tests {
         let mut registry = ProcRegistry::new();
         registry.register(loadu);
         let mut interp = Interpreter::new(&registry);
-        let (_, x_arg) = ArgValue::from_vec((0..16).map(|v| v as f64).collect(), vec![16], DataType::F32);
+        let (_, x_arg) =
+            ArgValue::from_vec((0..16).map(|v| v as f64).collect(), vec![16], DataType::F32);
         let (out_buf, out_arg) = ArgValue::zeros(vec![16], DataType::F32);
-        interp.run(&caller, vec![x_arg, out_arg], &mut NullMonitor).unwrap();
+        interp
+            .run(&caller, vec![x_arg, out_arg], &mut NullMonitor)
+            .unwrap();
         let out = out_buf.borrow().data.clone();
         assert_eq!(&out[8..16], &[0.0, 1.0, 2.0, 3.0, 4.0, 5.0, 6.0, 7.0]);
         assert!(out[..8].iter().all(|&v| v == 0.0));
@@ -757,7 +846,9 @@ mod tests {
         registry.register(callee);
         let mut interp = Interpreter::new(&registry);
         let (out_buf, out_arg) = ArgValue::zeros(vec![1], DataType::F32);
-        interp.run(&caller, vec![out_arg], &mut NullMonitor).unwrap();
+        interp
+            .run(&caller, vec![out_arg], &mut NullMonitor)
+            .unwrap();
         assert_eq!(out_buf.borrow().data[0], 42.0);
     }
 
@@ -785,14 +876,23 @@ mod tests {
             .tensor_arg("A", DataType::F32, vec![ib(3), ib(5)], Mem::Dram)
             .tensor_arg("out", DataType::F32, vec![ib(1)], Mem::Dram)
             .with_body(|b| {
-                b.assign("out", vec![ib(0)], Expr::Stride { buf: Sym::new("A"), dim: 0 });
+                b.assign(
+                    "out",
+                    vec![ib(0)],
+                    Expr::Stride {
+                        buf: Sym::new("A"),
+                        dim: 0,
+                    },
+                );
             })
             .build();
         let registry = ProcRegistry::new();
         let mut interp = Interpreter::new(&registry);
         let (_, a_arg) = ArgValue::zeros(vec![3, 5], DataType::F32);
         let (out_buf, out_arg) = ArgValue::zeros(vec![1], DataType::F32);
-        interp.run(&p, vec![a_arg, out_arg], &mut NullMonitor).unwrap();
+        interp
+            .run(&p, vec![a_arg, out_arg], &mut NullMonitor)
+            .unwrap();
         assert_eq!(out_buf.borrow().data[0], 5.0);
     }
 }

@@ -97,8 +97,9 @@ mod tests {
 
     #[test]
     fn collects_from_iterator() {
-        let r: ProcRegistry =
-            vec![ProcBuilder::new("a").build(), ProcBuilder::new("b").build()].into_iter().collect();
+        let r: ProcRegistry = vec![ProcBuilder::new("a").build(), ProcBuilder::new("b").build()]
+            .into_iter()
+            .collect();
         assert_eq!(r.len(), 2);
         assert_eq!(r.iter().count(), 2);
     }

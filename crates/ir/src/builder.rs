@@ -30,12 +30,20 @@ impl BlockBuilder {
 
     /// `buf[idx...] = rhs`
     pub fn assign(&mut self, buf: impl Into<Sym>, idx: Vec<Expr>, rhs: Expr) -> &mut Self {
-        self.push(Stmt::Assign { buf: buf.into(), idx, rhs })
+        self.push(Stmt::Assign {
+            buf: buf.into(),
+            idx,
+            rhs,
+        })
     }
 
     /// `buf[idx...] += rhs`
     pub fn reduce(&mut self, buf: impl Into<Sym>, idx: Vec<Expr>, rhs: Expr) -> &mut Self {
-        self.push(Stmt::Reduce { buf: buf.into(), idx, rhs })
+        self.push(Stmt::Reduce {
+            buf: buf.into(),
+            idx,
+            rhs,
+        })
     }
 
     /// `name: ty[dims...] @ mem`
@@ -46,7 +54,12 @@ impl BlockBuilder {
         dims: Vec<Expr>,
         mem: Mem,
     ) -> &mut Self {
-        self.push(Stmt::Alloc { name: name.into(), ty, dims, mem })
+        self.push(Stmt::Alloc {
+            name: name.into(),
+            ty,
+            dims,
+            mem,
+        })
     }
 
     /// `for iter in seq(lo, hi): body`
@@ -72,7 +85,11 @@ impl BlockBuilder {
     pub fn if_(&mut self, cond: Expr, then: impl FnOnce(&mut BlockBuilder)) -> &mut Self {
         let mut inner = BlockBuilder::new();
         then(&mut inner);
-        self.push(Stmt::If { cond, then_body: inner.build(), else_body: Block::new() })
+        self.push(Stmt::If {
+            cond,
+            then_body: inner.build(),
+            else_body: Block::new(),
+        })
     }
 
     /// `if cond: then else: orelse`
@@ -86,12 +103,19 @@ impl BlockBuilder {
         then(&mut t);
         let mut e = BlockBuilder::new();
         orelse(&mut e);
-        self.push(Stmt::If { cond, then_body: t.build(), else_body: e.build() })
+        self.push(Stmt::If {
+            cond,
+            then_body: t.build(),
+            else_body: e.build(),
+        })
     }
 
     /// A call statement.
     pub fn call(&mut self, proc: impl Into<String>, args: Vec<Expr>) -> &mut Self {
-        self.push(Stmt::Call { proc: proc.into(), args })
+        self.push(Stmt::Call {
+            proc: proc.into(),
+            args,
+        })
     }
 
     /// The empty statement.
@@ -106,7 +130,11 @@ impl BlockBuilder {
         field: impl Into<String>,
         value: Expr,
     ) -> &mut Self {
-        self.push(Stmt::WriteConfig { config: config.into(), field: field.into(), value })
+        self.push(Stmt::WriteConfig {
+            config: config.into(),
+            field: field.into(),
+            value,
+        })
     }
 
     /// Convenience: a buffer-read expression, identical to [`crate::read`].
@@ -160,13 +188,19 @@ impl ProcBuilder {
 
     /// Declares a `size` argument.
     pub fn size_arg(mut self, name: impl Into<Sym>) -> Self {
-        self.args.push(ProcArg { name: name.into(), kind: ArgKind::Size });
+        self.args.push(ProcArg {
+            name: name.into(),
+            kind: ArgKind::Size,
+        });
         self
     }
 
     /// Declares a scalar argument.
     pub fn scalar_arg(mut self, name: impl Into<Sym>, ty: DataType) -> Self {
-        self.args.push(ProcArg { name: name.into(), kind: ArgKind::Scalar { ty } });
+        self.args.push(ProcArg {
+            name: name.into(),
+            kind: ArgKind::Scalar { ty },
+        });
         self
     }
 
@@ -180,7 +214,12 @@ impl ProcBuilder {
     ) -> Self {
         self.args.push(ProcArg {
             name: name.into(),
-            kind: ArgKind::Tensor { ty, dims, mem, window: false },
+            kind: ArgKind::Tensor {
+                ty,
+                dims,
+                mem,
+                window: false,
+            },
         });
         self
     }
@@ -195,7 +234,12 @@ impl ProcBuilder {
     ) -> Self {
         self.args.push(ProcArg {
             name: name.into(),
-            kind: ArgKind::Tensor { ty, dims, mem, window: true },
+            kind: ArgKind::Tensor {
+                ty,
+                dims,
+                mem,
+                window: true,
+            },
         });
         self
     }
@@ -232,7 +276,10 @@ impl ProcBuilder {
 
     /// Marks the procedure as an instruction procedure.
     pub fn instr(mut self, cost_class: impl Into<String>, c_template: impl Into<String>) -> Self {
-        self.instr = Some(InstrInfo { cost_class: cost_class.into(), c_template: c_template.into() });
+        self.instr = Some(InstrInfo {
+            cost_class: cost_class.into(),
+            c_template: c_template.into(),
+        });
         self
     }
 

@@ -41,13 +41,23 @@ impl BinOp {
     pub fn is_predicate(self) -> bool {
         matches!(
             self,
-            BinOp::Lt | BinOp::Le | BinOp::Gt | BinOp::Ge | BinOp::Eq | BinOp::Ne | BinOp::And | BinOp::Or
+            BinOp::Lt
+                | BinOp::Le
+                | BinOp::Gt
+                | BinOp::Ge
+                | BinOp::Eq
+                | BinOp::Ne
+                | BinOp::And
+                | BinOp::Or
         )
     }
 
     /// Returns `true` if the operator commutes (`x op y == y op x`).
     pub fn commutes(self) -> bool {
-        matches!(self, BinOp::Add | BinOp::Mul | BinOp::Eq | BinOp::Ne | BinOp::And | BinOp::Or)
+        matches!(
+            self,
+            BinOp::Add | BinOp::Mul | BinOp::Eq | BinOp::Ne | BinOp::And | BinOp::Or
+        )
     }
 
     /// Symbol used by the pretty printer.
@@ -155,7 +165,11 @@ pub enum Expr {
 impl Expr {
     /// Builds `lhs op rhs`.
     pub fn bin(op: BinOp, lhs: Expr, rhs: Expr) -> Expr {
-        Expr::Bin { op, lhs: Box::new(lhs), rhs: Box::new(rhs) }
+        Expr::Bin {
+            op,
+            lhs: Box::new(lhs),
+            rhs: Box::new(rhs),
+        }
     }
 
     /// Builds a comparison `lhs < rhs`.
@@ -284,7 +298,10 @@ pub fn var(name: impl Into<Sym>) -> Expr {
 
 /// Shorthand for a buffer read expression `buf[idx...]`.
 pub fn read(buf: impl Into<Sym>, idx: Vec<Expr>) -> Expr {
-    Expr::Read { buf: buf.into(), idx }
+    Expr::Read {
+        buf: buf.into(),
+        idx,
+    }
 }
 
 impl ops::Add for Expr {
@@ -325,7 +342,10 @@ impl ops::Rem for Expr {
 impl ops::Neg for Expr {
     type Output = Expr;
     fn neg(self) -> Expr {
-        Expr::Un { op: UnOp::Neg, arg: Box::new(self) }
+        Expr::Un {
+            op: UnOp::Neg,
+            arg: Box::new(self),
+        }
     }
 }
 
@@ -420,7 +440,11 @@ mod tests {
     fn operator_overloads_build_binops() {
         let e = var("i") * ib(8) + var("j");
         match &e {
-            Expr::Bin { op: BinOp::Add, lhs, .. } => match lhs.as_ref() {
+            Expr::Bin {
+                op: BinOp::Add,
+                lhs,
+                ..
+            } => match lhs.as_ref() {
                 Expr::Bin { op: BinOp::Mul, .. } => {}
                 other => panic!("unexpected lhs {other:?}"),
             },

@@ -230,9 +230,9 @@ fn child_expr(expr: &Expr, step: ExprStep) -> Option<&Expr> {
         (Expr::Bin { rhs, .. }, ExprStep::BinRhs) => Some(rhs),
         (Expr::Un { arg, .. }, ExprStep::UnArg) => Some(arg),
         (Expr::Read { idx, .. }, ExprStep::ReadIdx(i)) => idx.get(i),
-        (Expr::Window { idx, .. }, ExprStep::ReadIdx(i)) => idx.get(i).and_then(|w| match w {
-            WAccess::Point(e) => Some(e),
-            WAccess::Interval(lo, _) => Some(lo),
+        (Expr::Window { idx, .. }, ExprStep::ReadIdx(i)) => idx.get(i).map(|w| match w {
+            WAccess::Point(e) => e,
+            WAccess::Interval(lo, _) => lo,
         }),
         _ => None,
     }
@@ -241,13 +241,22 @@ fn child_expr(expr: &Expr, step: ExprStep) -> Option<&Expr> {
 /// Walks every statement of the procedure in pre-order, calling `f` with
 /// the statement's path and the statement itself.
 pub fn for_each_stmt_paths(proc: &Proc, f: &mut impl FnMut(&[Step], &Stmt)) {
-    fn walk_block(block: &Block, prefix: &mut Vec<Step>, make: fn(usize) -> Step, f: &mut impl FnMut(&[Step], &Stmt)) {
+    fn walk_block(
+        block: &Block,
+        prefix: &mut Vec<Step>,
+        make: fn(usize) -> Step,
+        f: &mut impl FnMut(&[Step], &Stmt),
+    ) {
         for (i, stmt) in block.iter().enumerate() {
             prefix.push(make(i));
             f(prefix, stmt);
             match stmt {
                 Stmt::For { body, .. } => walk_block(body, prefix, Step::Body, f),
-                Stmt::If { then_body, else_body, .. } => {
+                Stmt::If {
+                    then_body,
+                    else_body,
+                    ..
+                } => {
                     walk_block(then_body, prefix, Step::Body, f);
                     walk_block(else_body, prefix, Step::Else, f);
                 }
@@ -350,7 +359,12 @@ mod tests {
     #[test]
     fn splice_replaces_statements() {
         let mut p = nested();
-        let ok = splice_at(&mut p, &[Step::Body(0), Step::Body(0)], 1, vec![Stmt::Pass, Stmt::Pass]);
+        let ok = splice_at(
+            &mut p,
+            &[Step::Body(0), Step::Body(0)],
+            1,
+            vec![Stmt::Pass, Stmt::Pass],
+        );
         assert!(ok);
         let (block, _) = resolve_container(&p, &[Step::Body(0), Step::Body(0)]).unwrap();
         assert_eq!(block.len(), 3);
@@ -361,7 +375,12 @@ mod tests {
     fn splice_out_of_bounds_is_rejected() {
         let mut p = nested();
         let before = p.clone();
-        assert!(!splice_at(&mut p, &[Step::Body(0), Step::Body(5)], 1, vec![Stmt::Pass]));
+        assert!(!splice_at(
+            &mut p,
+            &[Step::Body(0), Step::Body(5)],
+            1,
+            vec![Stmt::Pass]
+        ));
         assert_eq!(p, before);
     }
 }

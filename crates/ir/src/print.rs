@@ -13,7 +13,12 @@ impl fmt::Display for Proc {
             .map(|a| match &a.kind {
                 ArgKind::Size => format!("{}: size", a.name),
                 ArgKind::Scalar { ty } => format!("{}: {}", a.name, ty),
-                ArgKind::Tensor { ty, dims, mem, window } => {
+                ArgKind::Tensor {
+                    ty,
+                    dims,
+                    mem,
+                    window,
+                } => {
                     let dim_s: Vec<String> = dims.iter().map(|d| d.to_string()).collect();
                     let brackets = if dim_s.is_empty() {
                         String::new()
@@ -57,7 +62,12 @@ fn write_stmt(f: &mut fmt::Formatter<'_>, stmt: &Stmt, indent: usize) -> fmt::Re
         Stmt::Reduce { buf, idx, rhs } => {
             writeln!(f, "{pad}{} += {rhs}", dest(buf.name(), idx))
         }
-        Stmt::Alloc { name, ty, dims, mem } => {
+        Stmt::Alloc {
+            name,
+            ty,
+            dims,
+            mem,
+        } => {
             if dims.is_empty() {
                 writeln!(f, "{pad}{name}: {ty} @ {mem}")
             } else {
@@ -65,7 +75,13 @@ fn write_stmt(f: &mut fmt::Formatter<'_>, stmt: &Stmt, indent: usize) -> fmt::Re
                 writeln!(f, "{pad}{name}: {ty}[{}] @ {mem}", ds.join(", "))
             }
         }
-        Stmt::For { iter, lo, hi, body, parallel } => {
+        Stmt::For {
+            iter,
+            lo,
+            hi,
+            body,
+            parallel,
+        } => {
             let kw = if *parallel { "par" } else { "seq" };
             writeln!(f, "{pad}for {iter} in {kw}({lo}, {hi}):")?;
             if body.is_empty() {
@@ -74,7 +90,11 @@ fn write_stmt(f: &mut fmt::Formatter<'_>, stmt: &Stmt, indent: usize) -> fmt::Re
                 write_block(f, body, indent + 1)
             }
         }
-        Stmt::If { cond, then_body, else_body } => {
+        Stmt::If {
+            cond,
+            then_body,
+            else_body,
+        } => {
             writeln!(f, "{pad}if {cond}:")?;
             if then_body.is_empty() {
                 writeln!(f, "{pad}    pass")?;
@@ -92,7 +112,11 @@ fn write_stmt(f: &mut fmt::Formatter<'_>, stmt: &Stmt, indent: usize) -> fmt::Re
             writeln!(f, "{pad}{proc}({})", a.join(", "))
         }
         Stmt::Pass => writeln!(f, "{pad}pass"),
-        Stmt::WriteConfig { config, field, value } => {
+        Stmt::WriteConfig {
+            config,
+            field,
+            value,
+        } => {
             writeln!(f, "{pad}{config}.{field} = {value}")
         }
         Stmt::WindowStmt { name, rhs } => writeln!(f, "{pad}{name} = {rhs}"),
@@ -131,7 +155,10 @@ mod tests {
             })
             .build();
         let s = format!("{p}");
-        assert!(s.contains("def gemv(M: size, N: size, A: f32[M, N] @ DRAM"), "{s}");
+        assert!(
+            s.contains("def gemv(M: size, N: size, A: f32[M, N] @ DRAM"),
+            "{s}"
+        );
         assert!(s.contains("assert M % 8 == 0"), "{s}");
         assert!(s.contains("for i in seq(0, M):"), "{s}");
         assert!(s.contains("y[i] += A[i, j] * x[j]"), "{s}");

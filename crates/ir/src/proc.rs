@@ -72,13 +72,14 @@ pub struct Proc {
 impl Proc {
     /// Creates a procedure from parts. Most users construct procedures via
     /// [`crate::ProcBuilder`] instead.
-    pub fn new(
-        name: impl Into<String>,
-        args: Vec<ProcArg>,
-        preds: Vec<Expr>,
-        body: Block,
-    ) -> Self {
-        Proc { name: name.into(), args, preds, body, instr: None }
+    pub fn new(name: impl Into<String>, args: Vec<ProcArg>, preds: Vec<Expr>, body: Block) -> Self {
+        Proc {
+            name: name.into(),
+            args,
+            preds,
+            body,
+            instr: None,
+        }
     }
 
     /// Name of the procedure.
@@ -155,10 +156,10 @@ impl Proc {
 
     /// The element type of a tensor or scalar argument, if present.
     pub fn arg_type(&self, name: &str) -> Option<DataType> {
-        self.arg(name).and_then(|a| match &a.kind {
-            ArgKind::Scalar { ty } => Some(*ty),
-            ArgKind::Tensor { ty, .. } => Some(*ty),
-            ArgKind::Size => Some(DataType::Index),
+        self.arg(name).map(|a| match &a.kind {
+            ArgKind::Scalar { ty } => *ty,
+            ArgKind::Tensor { ty, .. } => *ty,
+            ArgKind::Size => DataType::Index,
         })
     }
 
@@ -196,7 +197,8 @@ impl Proc {
         let mut p = self.clone();
         for (name, value) in bindings {
             let sym = Sym::new(*name);
-            p.args.retain(|a| a.name != sym || !matches!(a.kind, ArgKind::Size));
+            p.args
+                .retain(|a| a.name != sym || !matches!(a.kind, ArgKind::Size));
             let val = Expr::Int(*value);
             // Substitute in argument dimensions.
             for arg in &mut p.args {

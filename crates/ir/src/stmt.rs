@@ -160,7 +160,11 @@ impl Stmt {
     pub fn child_blocks(&self) -> Vec<&Block> {
         match self {
             Stmt::For { body, .. } => vec![body],
-            Stmt::If { then_body, else_body, .. } => vec![then_body, else_body],
+            Stmt::If {
+                then_body,
+                else_body,
+                ..
+            } => vec![then_body, else_body],
             _ => vec![],
         }
     }
@@ -169,14 +173,22 @@ impl Stmt {
     pub fn child_blocks_mut(&mut self) -> Vec<&mut Block> {
         match self {
             Stmt::For { body, .. } => vec![body],
-            Stmt::If { then_body, else_body, .. } => vec![then_body, else_body],
+            Stmt::If {
+                then_body,
+                else_body,
+                ..
+            } => vec![then_body, else_body],
             _ => vec![],
         }
     }
 
     /// Total number of statements rooted at this one (itself included).
     pub fn count_recursive(&self) -> usize {
-        1 + self.child_blocks().iter().map(|b| b.count_recursive()).sum::<usize>()
+        1 + self
+            .child_blocks()
+            .iter()
+            .map(|b| b.count_recursive())
+            .sum::<usize>()
     }
 
     /// Returns `true` if the statement is a `for` loop.

@@ -10,11 +10,18 @@ use crate::sym::Sym;
 pub fn substitute_expr(e: Expr, sym: &Sym, val: &Expr) -> Expr {
     match e {
         Expr::Var(ref s) if s == sym => val.clone(),
-        Expr::Int(_) | Expr::Float(_) | Expr::Bool(_) | Expr::Var(_) | Expr::Stride { .. }
+        Expr::Int(_)
+        | Expr::Float(_)
+        | Expr::Bool(_)
+        | Expr::Var(_)
+        | Expr::Stride { .. }
         | Expr::ReadConfig { .. } => e,
         Expr::Read { buf, idx } => Expr::Read {
             buf,
-            idx: idx.into_iter().map(|i| substitute_expr(i, sym, val)).collect(),
+            idx: idx
+                .into_iter()
+                .map(|i| substitute_expr(i, sym, val))
+                .collect(),
         },
         Expr::Window { buf, idx } => Expr::Window {
             buf,
@@ -34,7 +41,10 @@ pub fn substitute_expr(e: Expr, sym: &Sym, val: &Expr) -> Expr {
             lhs: Box::new(substitute_expr(*lhs, sym, val)),
             rhs: Box::new(substitute_expr(*rhs, sym, val)),
         },
-        Expr::Un { op, arg } => Expr::Un { op, arg: Box::new(substitute_expr(*arg, sym, val)) },
+        Expr::Un { op, arg } => Expr::Un {
+            op,
+            arg: Box::new(substitute_expr(*arg, sym, val)),
+        },
     }
 }
 
@@ -54,18 +64,35 @@ pub fn substitute_var(stmt: Stmt, sym: &Sym, val: &Expr) -> Stmt {
             idx: idx.into_iter().map(sub).collect(),
             rhs: substitute_expr(rhs, sym, val),
         },
-        Stmt::Alloc { name, ty, dims, mem } => Stmt::Alloc {
+        Stmt::Alloc {
+            name,
+            ty,
+            dims,
+            mem,
+        } => Stmt::Alloc {
             name,
             ty,
             dims: dims.into_iter().map(sub).collect(),
             mem,
         },
-        Stmt::For { iter, lo, hi, body, parallel } => {
+        Stmt::For {
+            iter,
+            lo,
+            hi,
+            body,
+            parallel,
+        } => {
             let lo = substitute_expr(lo, sym, val);
             let hi = substitute_expr(hi, sym, val);
             if &iter == sym {
                 // The iterator shadows `sym`: do not substitute inside the body.
-                Stmt::For { iter, lo, hi, body, parallel }
+                Stmt::For {
+                    iter,
+                    lo,
+                    hi,
+                    body,
+                    parallel,
+                }
             } else {
                 Stmt::For {
                     iter,
@@ -76,7 +103,11 @@ pub fn substitute_var(stmt: Stmt, sym: &Sym, val: &Expr) -> Stmt {
                 }
             }
         }
-        Stmt::If { cond, then_body, else_body } => Stmt::If {
+        Stmt::If {
+            cond,
+            then_body,
+            else_body,
+        } => Stmt::If {
             cond: substitute_expr(cond, sym, val),
             then_body: substitute_block(then_body, sym, val),
             else_body: substitute_block(else_body, sym, val),
@@ -86,20 +117,31 @@ pub fn substitute_var(stmt: Stmt, sym: &Sym, val: &Expr) -> Stmt {
             args: args.into_iter().map(sub).collect(),
         },
         Stmt::Pass => Stmt::Pass,
-        Stmt::WriteConfig { config, field, value } => Stmt::WriteConfig {
+        Stmt::WriteConfig {
+            config,
+            field,
+            value,
+        } => Stmt::WriteConfig {
             config,
             field,
             value: substitute_expr(value, sym, val),
         },
-        Stmt::WindowStmt { name, rhs } => {
-            Stmt::WindowStmt { name, rhs: substitute_expr(rhs, sym, val) }
-        }
+        Stmt::WindowStmt { name, rhs } => Stmt::WindowStmt {
+            name,
+            rhs: substitute_expr(rhs, sym, val),
+        },
     }
 }
 
 /// Substitutes within every statement of a block.
 pub fn substitute_block(block: Block, sym: &Sym, val: &Expr) -> Block {
-    Block(block.0.into_iter().map(|s| substitute_var(s, sym, val)).collect())
+    Block(
+        block
+            .0
+            .into_iter()
+            .map(|s| substitute_var(s, sym, val))
+            .collect(),
+    )
 }
 
 /// Renames a symbol everywhere it appears — as a variable, buffer name,
@@ -118,37 +160,74 @@ pub fn rename_sym(stmt: Stmt, old: &Sym, new: &Sym) -> Stmt {
             idx: idx.into_iter().map(re).collect(),
             rhs: rename_expr(rhs, old, new),
         },
-        Stmt::Alloc { name, ty, dims, mem } => Stmt::Alloc {
+        Stmt::Alloc {
+            name,
+            ty,
+            dims,
+            mem,
+        } => Stmt::Alloc {
             name: rn(name),
             ty,
             dims: dims.into_iter().map(re).collect(),
             mem,
         },
-        Stmt::For { iter, lo, hi, body, parallel } => Stmt::For {
+        Stmt::For {
+            iter,
+            lo,
+            hi,
+            body,
+            parallel,
+        } => Stmt::For {
             iter: rn(iter),
             lo: rename_expr(lo, old, new),
             hi: rename_expr(hi, old, new),
-            body: Block(body.0.into_iter().map(|s| rename_sym(s, old, new)).collect()),
+            body: Block(
+                body.0
+                    .into_iter()
+                    .map(|s| rename_sym(s, old, new))
+                    .collect(),
+            ),
             parallel,
         },
-        Stmt::If { cond, then_body, else_body } => Stmt::If {
+        Stmt::If {
+            cond,
+            then_body,
+            else_body,
+        } => Stmt::If {
             cond: rename_expr(cond, old, new),
-            then_body: Block(then_body.0.into_iter().map(|s| rename_sym(s, old, new)).collect()),
-            else_body: Block(else_body.0.into_iter().map(|s| rename_sym(s, old, new)).collect()),
+            then_body: Block(
+                then_body
+                    .0
+                    .into_iter()
+                    .map(|s| rename_sym(s, old, new))
+                    .collect(),
+            ),
+            else_body: Block(
+                else_body
+                    .0
+                    .into_iter()
+                    .map(|s| rename_sym(s, old, new))
+                    .collect(),
+            ),
         },
         Stmt::Call { proc, args } => Stmt::Call {
             proc,
             args: args.into_iter().map(re).collect(),
         },
         Stmt::Pass => Stmt::Pass,
-        Stmt::WriteConfig { config, field, value } => Stmt::WriteConfig {
+        Stmt::WriteConfig {
+            config,
+            field,
+            value,
+        } => Stmt::WriteConfig {
             config: rn(config),
             field,
             value: rename_expr(value, old, new),
         },
-        Stmt::WindowStmt { name, rhs } => {
-            Stmt::WindowStmt { name: rn(name), rhs: rename_expr(rhs, old, new) }
-        }
+        Stmt::WindowStmt { name, rhs } => Stmt::WindowStmt {
+            name: rn(name),
+            rhs: rename_expr(rhs, old, new),
+        },
     }
 }
 
@@ -178,9 +257,15 @@ pub fn rename_expr(e: Expr, old: &Sym, new: &Sym) -> Expr {
             lhs: Box::new(rename_expr(*lhs, old, new)),
             rhs: Box::new(rename_expr(*rhs, old, new)),
         },
-        Expr::Un { op, arg } => Expr::Un { op, arg: Box::new(rename_expr(*arg, old, new)) },
+        Expr::Un { op, arg } => Expr::Un {
+            op,
+            arg: Box::new(rename_expr(*arg, old, new)),
+        },
         Expr::Stride { buf, dim } => Expr::Stride { buf: rn(buf), dim },
-        Expr::ReadConfig { config, field } => Expr::ReadConfig { config: rn(config), field },
+        Expr::ReadConfig { config, field } => Expr::ReadConfig {
+            config: rn(config),
+            field,
+        },
         other => other,
     }
 }
@@ -200,7 +285,11 @@ pub fn for_each_expr(stmt: &Stmt, f: &mut impl FnMut(&Expr)) {
             visit(hi);
             body.iter().for_each(|s| for_each_expr(s, f));
         }
-        Stmt::If { cond, then_body, else_body } => {
+        Stmt::If {
+            cond,
+            then_body,
+            else_body,
+        } => {
             visit(cond);
             then_body.iter().for_each(|s| for_each_expr(s, f));
             else_body.iter().for_each(|s| for_each_expr(s, f));
@@ -321,7 +410,9 @@ mod tests {
         // Substituting `j` rewrites the body.
         let s3 = substitute_var(s, &Sym::new("j"), &ib(3));
         let reads = collect_reads(&s3);
-        assert!(reads.iter().any(|(b, idx)| b == &Sym::new("x") && idx == &vec![ib(3)]));
+        assert!(reads
+            .iter()
+            .any(|(b, idx)| b == &Sym::new("x") && idx == &vec![ib(3)]));
     }
 
     #[test]

@@ -1,0 +1,97 @@
+//! Golden pretty-printer tests: fixed procedures compared against the
+//! exact expected text, so any printer regression is caught without
+//! running the interpreter.
+
+use exo_ir::{fb, ib, read, var, DataType, Expr, Mem, ProcBuilder, Stmt, Sym};
+
+#[test]
+fn golden_gemv() {
+    let p = ProcBuilder::new("gemv")
+        .size_arg("M")
+        .size_arg("N")
+        .tensor_arg("A", DataType::F32, vec![var("M"), var("N")], Mem::Dram)
+        .tensor_arg("x", DataType::F32, vec![var("N")], Mem::Dram)
+        .tensor_arg("y", DataType::F32, vec![var("M")], Mem::Dram)
+        .assert_(Expr::eq_(Expr::modulo(var("M"), ib(8)), ib(0)))
+        .for_("i", ib(0), var("M"), |b| {
+            b.for_("j", ib(0), var("N"), |b| {
+                let rhs = read("A", vec![var("i"), var("j")]) * read("x", vec![var("j")]);
+                b.reduce("y", vec![var("i")], rhs);
+            });
+        })
+        .build();
+    let expected = "\
+def gemv(M: size, N: size, A: f32[M, N] @ DRAM, x: f32[N] @ DRAM, y: f32[M] @ DRAM):
+    assert M % 8 == 0
+    for i in seq(0, M):
+        for j in seq(0, N):
+            y[i] += A[i, j] * x[j]
+";
+    assert_eq!(p.to_string(), expected);
+}
+
+#[test]
+fn golden_alloc_call_config_and_if() {
+    let p = ProcBuilder::new("staged")
+        .size_arg("n")
+        .scalar_arg("alpha", DataType::F32)
+        .tensor_arg("x", DataType::F32, vec![var("n")], Mem::Dram)
+        .with_body(|b| {
+            b.alloc("tmp", DataType::F32, vec![ib(16)], Mem::VecAvx512);
+            b.write_config("cfg", "stride", ib(1));
+            b.call("mm512_loadu_ps", vec![var("tmp"), var("x")]);
+            b.if_else(
+                Expr::lt(var("alpha"), fb(0.0)),
+                |t| {
+                    t.assign("x", vec![ib(0)], fb(0.0));
+                },
+                |e| {
+                    e.pass();
+                },
+            );
+        })
+        .build();
+    let expected = "\
+def staged(n: size, alpha: f32, x: f32[n] @ DRAM):
+    tmp: f32[16] @ VEC_AVX512
+    cfg.stride = 1
+    mm512_loadu_ps(tmp, x)
+    if alpha < 0.0:
+        x[0] = 0.0
+    else:
+        pass
+";
+    assert_eq!(p.to_string(), expected);
+}
+
+#[test]
+fn golden_parallel_loop_and_scalar_dest() {
+    let p = ProcBuilder::new("axpy_like")
+        .size_arg("n")
+        .tensor_arg("x", DataType::F32, vec![var("n")], Mem::Dram)
+        .tensor_arg("out", DataType::F32, vec![], Mem::Dram)
+        .stmt(Stmt::For {
+            iter: Sym::new("i"),
+            lo: ib(0),
+            hi: var("n"),
+            body: exo_ir::Block(vec![Stmt::Reduce {
+                buf: Sym::new("out"),
+                idx: vec![],
+                rhs: read("x", vec![var("i")]),
+            }]),
+            parallel: true,
+        })
+        .build();
+    let expected = "\
+def axpy_like(n: size, x: f32[n] @ DRAM, out: f32 @ DRAM):
+    for i in par(0, n):
+        out += x[i]
+";
+    assert_eq!(p.to_string(), expected);
+}
+
+#[test]
+fn golden_empty_proc_prints_pass() {
+    let p = ProcBuilder::new("empty").build();
+    assert_eq!(p.to_string(), "def empty():\n    pass\n");
+}

@@ -1,7 +1,7 @@
 //! BLAS level-1 kernels (single loop, O(n) work), unscheduled.
 
 use crate::Precision;
-use exo_ir::{fb, ib, read, var, Expr, Mem, Proc, ProcBuilder};
+use exo_ir::{ib, read, var, Expr, Mem, Proc, ProcBuilder};
 
 fn base(name: String, prec: Precision) -> ProcBuilder {
     ProcBuilder::new(name)
@@ -18,7 +18,11 @@ fn base(name: String, prec: Precision) -> ProcBuilder {
 pub fn axpy(prec: Precision) -> Proc {
     base(format!("{}axpy", prec.prefix()), prec)
         .for_("i", ib(0), var("n"), |b| {
-            b.reduce("y", vec![var("i")], var("alpha") * read("x", vec![var("i")]));
+            b.reduce(
+                "y",
+                vec![var("i")],
+                var("alpha") * read("x", vec![var("i")]),
+            );
         })
         .build()
 }
@@ -27,7 +31,11 @@ pub fn axpy(prec: Precision) -> Proc {
 pub fn scal(prec: Precision) -> Proc {
     base(format!("{}scal", prec.prefix()), prec)
         .for_("i", ib(0), var("n"), |b| {
-            b.assign("x", vec![var("i")], var("alpha") * read("x", vec![var("i")]));
+            b.assign(
+                "x",
+                vec![var("i")],
+                var("alpha") * read("x", vec![var("i")]),
+            );
         })
         .build()
 }
@@ -57,7 +65,11 @@ pub fn swap(prec: Precision) -> Proc {
 pub fn dot(prec: Precision) -> Proc {
     base(format!("{}dot", prec.prefix()), prec)
         .for_("i", ib(0), var("n"), |b| {
-            b.reduce("out", vec![ib(0)], read("x", vec![var("i")]) * read("y", vec![var("i")]));
+            b.reduce(
+                "out",
+                vec![ib(0)],
+                read("x", vec![var("i")]) * read("y", vec![var("i")]),
+            );
         })
         .build()
 }
@@ -144,14 +156,46 @@ pub struct Level1Kernel {
 
 /// The level-1 kernels covered by the evaluation (each in two precisions).
 pub const LEVEL1_KERNELS: &[Level1Kernel] = &[
-    Level1Kernel { name: "axpy", build: axpy, is_reduction: false },
-    Level1Kernel { name: "scal", build: scal, is_reduction: false },
-    Level1Kernel { name: "copy", build: copy, is_reduction: false },
-    Level1Kernel { name: "swap", build: swap, is_reduction: false },
-    Level1Kernel { name: "dot", build: dot, is_reduction: true },
-    Level1Kernel { name: "asum", build: asum, is_reduction: true },
-    Level1Kernel { name: "rot", build: rot, is_reduction: false },
-    Level1Kernel { name: "rotm", build: rotm, is_reduction: false },
+    Level1Kernel {
+        name: "axpy",
+        build: axpy,
+        is_reduction: false,
+    },
+    Level1Kernel {
+        name: "scal",
+        build: scal,
+        is_reduction: false,
+    },
+    Level1Kernel {
+        name: "copy",
+        build: copy,
+        is_reduction: false,
+    },
+    Level1Kernel {
+        name: "swap",
+        build: swap,
+        is_reduction: false,
+    },
+    Level1Kernel {
+        name: "dot",
+        build: dot,
+        is_reduction: true,
+    },
+    Level1Kernel {
+        name: "asum",
+        build: asum,
+        is_reduction: true,
+    },
+    Level1Kernel {
+        name: "rot",
+        build: rot,
+        is_reduction: false,
+    },
+    Level1Kernel {
+        name: "rotm",
+        build: rotm,
+        is_reduction: false,
+    },
 ];
 
 #[cfg(test)]
@@ -168,7 +212,11 @@ mod tests {
         let (ybuf, y) = ArgValue::from_vec(vec![1.0; n], vec![n], DataType::F32);
         let (_, out) = ArgValue::zeros(vec![1], DataType::F32);
         interp
-            .run(&p, vec![ArgValue::Int(n as i64), ArgValue::Float(2.0), x, y, out], &mut NullMonitor)
+            .run(
+                &p,
+                vec![ArgValue::Int(n as i64), ArgValue::Float(2.0), x, y, out],
+                &mut NullMonitor,
+            )
             .unwrap();
         let data = ybuf.borrow().data.clone();
         data
@@ -216,7 +264,13 @@ mod tests {
         interp
             .run(
                 &rot(Precision::Single),
-                vec![ArgValue::Int(n as i64), ArgValue::Float(0.0), ArgValue::Float(1.0), x, y],
+                vec![
+                    ArgValue::Int(n as i64),
+                    ArgValue::Float(0.0),
+                    ArgValue::Float(1.0),
+                    x,
+                    y,
+                ],
                 &mut NullMonitor,
             )
             .unwrap();

@@ -175,13 +175,41 @@ fn gemv_t(p: Precision) -> Proc {
 /// The level-2 kernels covered by the evaluation (each in two precisions;
 /// gemv additionally in transposed/non-transposed form).
 pub const LEVEL2_KERNELS: &[Level2Kernel] = &[
-    Level2Kernel { name: "gemv_n", build: gemv_n, triangular: false },
-    Level2Kernel { name: "gemv_t", build: gemv_t, triangular: false },
-    Level2Kernel { name: "ger", build: ger, triangular: false },
-    Level2Kernel { name: "symv", build: symv, triangular: false },
-    Level2Kernel { name: "syr", build: syr, triangular: true },
-    Level2Kernel { name: "syr2", build: syr2, triangular: true },
-    Level2Kernel { name: "trmv", build: trmv, triangular: true },
+    Level2Kernel {
+        name: "gemv_n",
+        build: gemv_n,
+        triangular: false,
+    },
+    Level2Kernel {
+        name: "gemv_t",
+        build: gemv_t,
+        triangular: false,
+    },
+    Level2Kernel {
+        name: "ger",
+        build: ger,
+        triangular: false,
+    },
+    Level2Kernel {
+        name: "symv",
+        build: symv,
+        triangular: false,
+    },
+    Level2Kernel {
+        name: "syr",
+        build: syr,
+        triangular: true,
+    },
+    Level2Kernel {
+        name: "syr2",
+        build: syr2,
+        triangular: true,
+    },
+    Level2Kernel {
+        name: "trmv",
+        build: trmv,
+        triangular: true,
+    },
 ];
 
 #[cfg(test)]
@@ -202,7 +230,11 @@ mod tests {
         let (_, xx) = ArgValue::from_vec(xv.clone(), vec![n], DataType::F32);
         let (yb, yy) = ArgValue::zeros(vec![m], DataType::F32);
         interp
-            .run(&p, vec![ArgValue::Int(m as i64), ArgValue::Int(n as i64), aa, xx, yy], &mut NullMonitor)
+            .run(
+                &p,
+                vec![ArgValue::Int(m as i64), ArgValue::Int(n as i64), aa, xx, yy],
+                &mut NullMonitor,
+            )
             .unwrap();
         for i in 0..m {
             let expect: f64 = (0..n).map(|j| a[i * n + j] * xv[j]).sum();
@@ -218,7 +250,9 @@ mod tests {
         let n = 8usize;
         let (ab, aa) = ArgValue::zeros(vec![n, n], DataType::F64);
         let (_, xx) = ArgValue::from_vec(vec![1.0; n], vec![n], DataType::F64);
-        interp.run(&p, vec![ArgValue::Int(n as i64), aa, xx], &mut NullMonitor).unwrap();
+        interp
+            .run(&p, vec![ArgValue::Int(n as i64), aa, xx], &mut NullMonitor)
+            .unwrap();
         let a = ab.borrow().data.clone();
         assert_eq!(a[0], 1.0);
         assert_eq!(a[1], 0.0); // upper triangle untouched

@@ -18,9 +18,19 @@ pub fn blur2d() -> Proc {
         .assert_(Expr::eq_(Expr::modulo(var("W"), ib(32)), ib(0)))
         .assert_(Expr::bin(exo_ir::BinOp::Ge, var("H"), ib(32)))
         .assert_(Expr::bin(exo_ir::BinOp::Ge, var("W"), ib(32)))
-        .tensor_arg("inp", DataType::F32, vec![var("H") + ib(2), var("W") + ib(2)], Mem::Dram)
+        .tensor_arg(
+            "inp",
+            DataType::F32,
+            vec![var("H") + ib(2), var("W") + ib(2)],
+            Mem::Dram,
+        )
         .tensor_arg("blur_y", DataType::F32, vec![var("H"), var("W")], Mem::Dram)
-        .tensor_arg("blur_x", DataType::F32, vec![var("H") + ib(2), var("W")], Mem::Dram)
+        .tensor_arg(
+            "blur_x",
+            DataType::F32,
+            vec![var("H") + ib(2), var("W")],
+            Mem::Dram,
+        )
         .with_body(|bb| {
             bb.for_("y", ib(0), var("H") + ib(2), |b| {
                 b.for_("x", ib(0), var("W"), |b| {
@@ -53,9 +63,19 @@ pub fn unsharp() -> Proc {
         .assert_(Expr::bin(exo_ir::BinOp::Ge, var("H"), ib(32)))
         .assert_(Expr::bin(exo_ir::BinOp::Ge, var("W"), ib(32)))
         .scalar_arg("w", DataType::F32)
-        .tensor_arg("inp", DataType::F32, vec![var("H") + ib(2), var("W") + ib(2)], Mem::Dram)
+        .tensor_arg(
+            "inp",
+            DataType::F32,
+            vec![var("H") + ib(2), var("W") + ib(2)],
+            Mem::Dram,
+        )
         .tensor_arg("out", DataType::F32, vec![var("H"), var("W")], Mem::Dram)
-        .tensor_arg("blur_x", DataType::F32, vec![var("H") + ib(2), var("W")], Mem::Dram)
+        .tensor_arg(
+            "blur_x",
+            DataType::F32,
+            vec![var("H") + ib(2), var("W")],
+            Mem::Dram,
+        )
         .tensor_arg("blur_y", DataType::F32, vec![var("H"), var("W")], Mem::Dram)
         .with_body(|bb| {
             bb.for_("y", ib(0), var("H") + ib(2), |b| {
@@ -76,7 +96,8 @@ pub fn unsharp() -> Proc {
             });
             bb.for_("y", ib(0), var("H"), |b| {
                 b.for_("x", ib(0), var("W"), |b| {
-                    let sharp = (fb(1.0) + var("w")) * read("inp", vec![var("y") + ib(1), var("x") + ib(1)])
+                    let sharp = (fb(1.0) + var("w"))
+                        * read("inp", vec![var("y") + ib(1), var("x") + ib(1)])
                         - var("w") * read("blur_y", vec![var("y"), var("x")]);
                     b.assign("out", vec![var("y"), var("x")], sharp);
                 });
@@ -96,13 +117,23 @@ mod tests {
         let registry = ProcRegistry::new();
         let mut interp = Interpreter::new(&registry);
         let (h, w) = (32usize, 32usize);
-        let (_, inp) = ArgValue::from_vec(vec![3.0; (h + 2) * (w + 2)], vec![h + 2, w + 2], DataType::F32);
+        let (_, inp) = ArgValue::from_vec(
+            vec![3.0; (h + 2) * (w + 2)],
+            vec![h + 2, w + 2],
+            DataType::F32,
+        );
         let (outb, out) = ArgValue::zeros(vec![h, w], DataType::F32);
         let (_, bx) = ArgValue::zeros(vec![h + 2, w], DataType::F32);
         interp
             .run(
                 &p,
-                vec![ArgValue::Int(h as i64), ArgValue::Int(w as i64), inp, out, bx],
+                vec![
+                    ArgValue::Int(h as i64),
+                    ArgValue::Int(w as i64),
+                    inp,
+                    out,
+                    bx,
+                ],
                 &mut NullMonitor,
             )
             .unwrap();
@@ -117,7 +148,11 @@ mod tests {
         let registry = ProcRegistry::new();
         let mut interp = Interpreter::new(&registry);
         let (h, w) = (32usize, 32usize);
-        let (_, inp) = ArgValue::from_vec(vec![2.0; (h + 2) * (w + 2)], vec![h + 2, w + 2], DataType::F32);
+        let (_, inp) = ArgValue::from_vec(
+            vec![2.0; (h + 2) * (w + 2)],
+            vec![h + 2, w + 2],
+            DataType::F32,
+        );
         let (outb, out) = ArgValue::zeros(vec![h, w], DataType::F32);
         let (_, bx) = ArgValue::zeros(vec![h + 2, w], DataType::F32);
         let (_, by) = ArgValue::zeros(vec![h, w], DataType::F32);

@@ -52,7 +52,10 @@ pub fn hoist_stmt(p: &ProcHandle, stmt: &Cursor) -> Result<ProcHandle> {
         |c: &Cursor| c.parent().map_err(SchedError::from),
         exo_core::lift(|p: &ProcHandle, c: &Cursor| remove_loop(p, c)),
     );
-    let hoist = repeat(try_else(seq_ops(vec![fission_after, remove_parent_loop]), reorder_before));
+    let hoist = repeat(try_else(
+        seq_ops(vec![fission_after, remove_parent_loop]),
+        reorder_before,
+    ));
     let (p2, _) = hoist(p, stmt)?;
     Ok(p2)
 }
@@ -91,7 +94,7 @@ pub fn gemmini_schedule(p: &ProcHandle) -> Result<ProcHandle> {
     let p = lift_scope(&p, "jo")?; // io jo ii ji ko ki
     let p = lift_scope(&p, "ko")?; // io jo ii ko ji ki
     let p = lift_scope(&p, "ko")?; // io jo ko ii ji ki
-    // Replace the inner tile with the accelerator instruction.
+                                   // Replace the inner tile with the accelerator instruction.
     let instrs = gemmini_instructions();
     let matmul = instrs
         .iter()
@@ -134,7 +137,14 @@ mod tests {
             interp
                 .run(
                     proc,
-                    vec![ArgValue::Int(m as i64), ArgValue::Int(n as i64), ArgValue::Int(k as i64), aa, bb, cc],
+                    vec![
+                        ArgValue::Int(m as i64),
+                        ArgValue::Int(n as i64),
+                        ArgValue::Int(k as i64),
+                        aa,
+                        bb,
+                        cc,
+                    ],
                     &mut NullMonitor,
                 )
                 .unwrap();
@@ -154,11 +164,23 @@ mod tests {
             let (_, aa) = ArgValue::from_vec(vec![1.0; m * k], vec![m, k], DataType::I8);
             let (_, bb) = ArgValue::from_vec(vec![1.0; k * n], vec![k, n], DataType::I8);
             let (_, cc) = ArgValue::zeros(vec![m, n], DataType::I32);
-            vec![ArgValue::Int(m as i64), ArgValue::Int(n as i64), ArgValue::Int(k as i64), aa, bb, cc]
+            vec![
+                ArgValue::Int(m as i64),
+                ArgValue::Int(n as i64),
+                ArgValue::Int(k as i64),
+                aa,
+                bb,
+                cc,
+            ]
         };
         let host = simulate(p.proc(), &registry, mk());
         let accel = simulate(opt.proc(), &registry, mk());
-        assert!(accel.cycles * 4 < host.cycles, "{} vs {}", accel.cycles, host.cycles);
+        assert!(
+            accel.cycles * 4 < host.cycles,
+            "{} vs {}",
+            accel.cycles,
+            host.cycles
+        );
         assert!(accel.instr_count >= 8);
     }
 
@@ -179,7 +201,10 @@ mod tests {
         );
         let hoisted = hoist_all_configs(&p).unwrap();
         let s = hoisted.to_string();
-        assert!(s.find("gemm_cfg.ld1_stride = 4").unwrap() < s.find("for i in").unwrap(), "{s}");
+        assert!(
+            s.find("gemm_cfg.ld1_stride = 4").unwrap() < s.find("for i in").unwrap(),
+            "{s}"
+        );
         assert_eq!(s.matches("gemm_cfg.ld1_stride = 4").count(), 1);
     }
 }

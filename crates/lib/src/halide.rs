@@ -47,9 +47,14 @@ pub fn h_vectorize(p: &ProcHandle, machine: &MachineModel) -> ProcHandle {
                 continue;
             }
             let vw = machine.vec_width(DataType::F32);
-            if let Ok(next) =
-                vectorize(&current, &loop_, vw, DataType::F32, machine, TailStrategy::Perfect)
-            {
+            if let Ok(next) = vectorize(
+                &current,
+                &loop_,
+                vw,
+                DataType::F32,
+                machine,
+                TailStrategy::Perfect,
+            ) {
                 current = next;
                 changed = true;
                 break;
@@ -89,7 +94,11 @@ mod tests {
         let (ob, o) = ArgValue::zeros(vec![h, w], DataType::F32);
         let (_, bx) = ArgValue::zeros(vec![h + 2, w], DataType::F32);
         interp
-            .run(proc, vec![ArgValue::Int(h as i64), ArgValue::Int(w as i64), i, o, bx], &mut NullMonitor)
+            .run(
+                proc,
+                vec![ArgValue::Int(h as i64), ArgValue::Int(w as i64), i, o, bx],
+                &mut NullMonitor,
+            )
             .unwrap();
         let out = ob.borrow().data.clone();
         out
@@ -129,14 +138,23 @@ mod tests {
         let registry: ProcRegistry = machine.instructions(DataType::F32).into_iter().collect();
         let (h, w) = (64usize, 64usize);
         let mk = || {
-            let (_, i) = ArgValue::from_vec(vec![1.0; (h + 2) * (w + 2)], vec![h + 2, w + 2], DataType::F32);
+            let (_, i) = ArgValue::from_vec(
+                vec![1.0; (h + 2) * (w + 2)],
+                vec![h + 2, w + 2],
+                DataType::F32,
+            );
             let (_, o) = ArgValue::zeros(vec![h, w], DataType::F32);
             let (_, bx) = ArgValue::zeros(vec![h + 2, w], DataType::F32);
             vec![ArgValue::Int(h as i64), ArgValue::Int(w as i64), i, o, bx]
         };
         let before = simulate(p.proc(), &registry, mk());
         let after = simulate(opt.proc(), &registry, mk());
-        assert!(after.cycles < before.cycles, "{} vs {}", after.cycles, before.cycles);
+        assert!(
+            after.cycles < before.cycles,
+            "{} vs {}",
+            after.cycles,
+            before.cycles
+        );
     }
 
     #[test]

@@ -9,7 +9,9 @@ use exo_cursors::{Cursor, ProcHandle};
 pub fn get_inner_loop(p: &ProcHandle, loop_: &Cursor) -> Result<Cursor> {
     let mut current = p.forward(loop_)?;
     if !current.is_loop() {
-        return Err(SchedError::scheduling("get_inner_loop requires a loop cursor"));
+        return Err(SchedError::scheduling(
+            "get_inner_loop requires a loop cursor",
+        ));
     }
     loop {
         let body = current.body();
@@ -79,7 +81,10 @@ mod tests {
     #[test]
     fn lrn_visits_children_before_parents() {
         let p = ProcHandle::new(gemv(Precision::Single, false));
-        let names: Vec<_> = lrn(&p.body()[0]).iter().filter_map(|c| c.loop_iter_name()).collect();
+        let names: Vec<_> = lrn(&p.body()[0])
+            .iter()
+            .filter_map(|c| c.loop_iter_name())
+            .collect();
         assert_eq!(names, vec!["j".to_string()]);
     }
 

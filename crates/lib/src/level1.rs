@@ -86,7 +86,7 @@ mod tests {
             let p = ProcHandle::new((k.build)(Precision::Single));
             let loop_ = p.find_loop("i").unwrap();
             let opt = optimize_level_1(&p, &loop_, DataType::F32, &machine, 4).unwrap();
-            assert!(opt.to_string().contains("mm512_"), "{name}: {}", opt.to_string());
+            assert!(opt.to_string().contains("mm512_"), "{name}: {}", opt);
         }
     }
 
@@ -101,11 +101,16 @@ mod tests {
         let n = 32usize;
         let run = |proc: &exo_ir::Proc| {
             let mut interp = Interpreter::new(&registry);
-            let (xb, x) = ArgValue::from_vec((0..n).map(|v| v as f64).collect(), vec![n], DataType::F32);
+            let (xb, x) =
+                ArgValue::from_vec((0..n).map(|v| v as f64).collect(), vec![n], DataType::F32);
             let (_, y) = ArgValue::zeros(vec![n], DataType::F32);
             let (_, out) = ArgValue::zeros(vec![1], DataType::F32);
             interp
-                .run(proc, vec![ArgValue::Int(n as i64), ArgValue::Float(3.0), x, y, out], &mut NullMonitor)
+                .run(
+                    proc,
+                    vec![ArgValue::Int(n as i64), ArgValue::Float(3.0), x, y, out],
+                    &mut NullMonitor,
+                )
                 .unwrap();
             let v = xb.borrow().data.clone();
             v

@@ -31,19 +31,14 @@ pub fn optimize_level_2_general(
     let o_loop = p.forward(o_loop)?;
     // Block the outer loop for locality when it divides evenly; keep the
     // original loop otherwise (triangular kernels and odd sizes).
-    let (p, outer_for_inner) = match divide_loop(
-        p,
-        &o_loop,
-        r_fac,
-        ["ro", "ri"],
-        TailStrategy::Perfect,
-    ) {
-        Ok(blocked) => {
-            let fwd = blocked.forward(&o_loop)?;
-            (blocked, fwd)
-        }
-        Err(_) => (p.clone(), o_loop.clone()),
-    };
+    let (p, outer_for_inner) =
+        match divide_loop(p, &o_loop, r_fac, ["ro", "ri"], TailStrategy::Perfect) {
+            Ok(blocked) => {
+                let fwd = blocked.forward(&o_loop)?;
+                (blocked, fwd)
+            }
+            Err(_) => (p.clone(), o_loop.clone()),
+        };
     // The innermost loop of the (possibly blocked) nest is a level-1
     // problem: reuse optimize_level_1 on it.
     let inner = get_inner_loop(&p, &outer_for_inner)?;
@@ -83,7 +78,11 @@ mod tests {
         let (_, xx) = ArgValue::from_vec(xv, vec![n], DataType::F32);
         let (yb, yy) = ArgValue::zeros(vec![m], DataType::F32);
         interp
-            .run(proc, vec![ArgValue::Int(m as i64), ArgValue::Int(n as i64), aa, xx, yy], &mut NullMonitor)
+            .run(
+                proc,
+                vec![ArgValue::Int(m as i64), ArgValue::Int(n as i64), aa, xx, yy],
+                &mut NullMonitor,
+            )
             .unwrap();
         let out = yb.borrow().data.clone();
         out
@@ -98,7 +97,10 @@ mod tests {
         assert!(opt.to_string().contains("mm256_"), "{}", opt.to_string());
         let registry: ProcRegistry = machine.instructions(DataType::F32).into_iter().collect();
         let (m, n) = (16usize, 64usize);
-        assert_eq!(run_gemv(p.proc(), &registry, m, n), run_gemv(opt.proc(), &registry, m, n));
+        assert_eq!(
+            run_gemv(p.proc(), &registry, m, n),
+            run_gemv(opt.proc(), &registry, m, n)
+        );
         // Simulated speedup.
         let mk = || {
             let (_, aa) = ArgValue::from_vec(vec![1.0; m * n], vec![m, n], DataType::F32);
@@ -108,7 +110,12 @@ mod tests {
         };
         let before = simulate(p.proc(), &registry, mk());
         let after = simulate(opt.proc(), &registry, mk());
-        assert!(after.cycles < before.cycles, "{} vs {}", after.cycles, before.cycles);
+        assert!(
+            after.cycles < before.cycles,
+            "{} vs {}",
+            after.cycles,
+            before.cycles
+        );
     }
 
     #[test]
@@ -120,8 +127,15 @@ mod tests {
             ProcHandle::new(trmv(Precision::Single)),
         ] {
             let outer = p.find_loop("i").unwrap();
-            let opt = optimize_level_2_general(&p, &outer, p.proc().arg_type("A").unwrap(), &machine, 4, 2)
-                .unwrap();
+            let opt = optimize_level_2_general(
+                &p,
+                &outer,
+                p.proc().arg_type("A").unwrap(),
+                &machine,
+                4,
+                2,
+            )
+            .unwrap();
             // Every variant is handled; general (non-triangular) kernels
             // are vectorized.
             assert!(opt.proc().stmt_count() >= p.proc().stmt_count());

@@ -43,7 +43,10 @@ fn stage_expr(
         .stmt_path()
         .ok_or_else(|| SchedError::scheduling("statement cursor was invalidated"))?
         .to_vec();
-    let cursor = p.cursor_at(CursorPath::Node { stmt: stmt_path, expr: steps.clone() });
+    let cursor = p.cursor_at(CursorPath::Node {
+        stmt: stmt_path,
+        expr: steps.clone(),
+    });
     let expr = cursor.expr()?.clone();
     match expr {
         Expr::Bin { .. } => {
@@ -75,7 +78,10 @@ fn bind_leaf(
         .stmt_path()
         .ok_or_else(|| SchedError::scheduling("statement cursor was invalidated"))?
         .to_vec();
-    let cursor = p.cursor_at(CursorPath::Node { stmt: stmt_path, expr: steps });
+    let cursor = p.cursor_at(CursorPath::Node {
+        stmt: stmt_path,
+        expr: steps,
+    });
     let p2 = exo_core::bind_expr(p, &cursor, &name, ty)?;
     created.push(Staged { name });
     Ok(p2)
@@ -105,12 +111,33 @@ fn stage_compute(
         .write_target()
         .map(|(_, idx)| idx.iter().any(|e| e.mentions(&Sym::new(&lane_iter))))
         .unwrap_or(false);
-    let is_fma_shape = matches!(stmt.stmt()?, Stmt::Reduce { rhs: Expr::Bin { op: exo_ir::BinOp::Mul, .. }, .. });
+    let is_fma_shape = matches!(
+        stmt.stmt()?,
+        Stmt::Reduce {
+            rhs: Expr::Bin {
+                op: exo_ir::BinOp::Mul,
+                ..
+            },
+            ..
+        }
+    );
     let p = if use_fma && is_fma_shape && dest_uses_lane {
         // Figure 4c: keep the multiply fused with the accumulation — stage
         // only the two factors.
-        let p = stage_expr(p, &stmt, vec![ExprStep::Rhs, ExprStep::BinLhs], &mut created, ty)?;
-        stage_expr(&p, &stmt, vec![ExprStep::Rhs, ExprStep::BinRhs], &mut created, ty)?
+        let p = stage_expr(
+            p,
+            &stmt,
+            vec![ExprStep::Rhs, ExprStep::BinLhs],
+            &mut created,
+            ty,
+        )?;
+        stage_expr(
+            &p,
+            &stmt,
+            vec![ExprStep::Rhs, ExprStep::BinRhs],
+            &mut created,
+            ty,
+        )?
     } else {
         // Figure 4b: stage every operation.
         stage_expr(p, &stmt, vec![ExprStep::Rhs], &mut created, ty)?
@@ -149,14 +176,21 @@ pub fn vectorize(
     // lane loop.
     let mut p = p;
     for s in &staged {
-        p = expand_dim(&p, format!("{}: _", s.name).as_str(), exo_ir::ib(vw), var(lane.as_str()))?;
+        p = expand_dim(
+            &p,
+            format!("{}: _", s.name).as_str(),
+            exo_ir::ib(vw),
+            var(lane.as_str()),
+        )?;
         p = lift_alloc(&p, format!("{}: _", s.name).as_str(), 1)?;
         p = set_memory(&p, format!("{}: _", s.name).as_str(), machine.mem_type())?;
     }
     // (4) Fission the lane loop between every statement.
     loop {
         let lane_loops = p.find_loop_many(&lane).unwrap_or_default();
-        let Some(multi) = lane_loops.into_iter().find(|l| l.body().len() > 1) else { break };
+        let Some(multi) = lane_loops.into_iter().find(|l| l.body().len() > 1) else {
+            break;
+        };
         let gap = multi.body()[0].after().map_err(SchedError::from)?;
         p = fission(&p, &gap, 1)?;
     }
@@ -178,7 +212,11 @@ mod tests {
         let (ybuf, y) = ArgValue::from_vec(vec![1.0; n], vec![n], DataType::F32);
         let (_, out) = ArgValue::zeros(vec![1], DataType::F32);
         interp
-            .run(p, vec![ArgValue::Int(n as i64), ArgValue::Float(2.0), x, y, out], &mut NullMonitor)
+            .run(
+                p,
+                vec![ArgValue::Int(n as i64), ArgValue::Float(2.0), x, y, out],
+                &mut NullMonitor,
+            )
             .unwrap();
         let d = ybuf.borrow().data.clone();
         d
@@ -189,13 +227,24 @@ mod tests {
         let machine = MachineModel::avx2();
         let p = ProcHandle::new(axpy(Precision::Single));
         let loop_ = p.find_loop("i").unwrap();
-        let v = vectorize(&p, &loop_, 8, DataType::F32, &machine, TailStrategy::Perfect).unwrap();
+        let v = vectorize(
+            &p,
+            &loop_,
+            8,
+            DataType::F32,
+            &machine,
+            TailStrategy::Perfect,
+        )
+        .unwrap();
         let s = v.to_string();
         assert!(s.contains("mm256_fmadd_ps"), "{s}");
         assert!(s.contains("mm256_set1_ps"), "{s}");
         let registry: ProcRegistry = machine.instructions(DataType::F32).into_iter().collect();
         let n = 64;
-        assert_eq!(run_axpy(p.proc(), &registry, n), run_axpy(v.proc(), &registry, n));
+        assert_eq!(
+            run_axpy(p.proc(), &registry, n),
+            run_axpy(v.proc(), &registry, n)
+        );
     }
 
     #[test]
@@ -205,17 +254,25 @@ mod tests {
         let loop_ = p.find_loop("i").unwrap();
         let v = vectorize(&p, &loop_, 16, DataType::F32, &machine, TailStrategy::Cut).unwrap();
         let s = v.to_string();
-        assert!(s.contains("mm512_reduce_add_ps") || s.contains("mm512_loadu_ps"), "{s}");
+        assert!(
+            s.contains("mm512_reduce_add_ps") || s.contains("mm512_loadu_ps"),
+            "{s}"
+        );
         // Equivalence on a concrete input.
         let registry: ProcRegistry = machine.instructions(DataType::F32).into_iter().collect();
         let n = 64usize;
         let run = |proc: &exo_ir::Proc| {
             let mut interp = Interpreter::new(&registry);
-            let (_, x) = ArgValue::from_vec((0..n).map(|v| v as f64).collect(), vec![n], DataType::F32);
+            let (_, x) =
+                ArgValue::from_vec((0..n).map(|v| v as f64).collect(), vec![n], DataType::F32);
             let (_, y) = ArgValue::from_vec(vec![2.0; n], vec![n], DataType::F32);
             let (ob, out) = ArgValue::zeros(vec![1], DataType::F32);
             interp
-                .run(proc, vec![ArgValue::Int(n as i64), ArgValue::Float(0.0), x, y, out], &mut NullMonitor)
+                .run(
+                    proc,
+                    vec![ArgValue::Int(n as i64), ArgValue::Float(0.0), x, y, out],
+                    &mut NullMonitor,
+                )
                 .unwrap();
             let v = ob.borrow().data[0];
             v
@@ -228,7 +285,15 @@ mod tests {
         let machine = MachineModel::avx2();
         let p = ProcHandle::new(axpy(Precision::Single));
         let loop_ = p.find_loop("i").unwrap();
-        let v = vectorize(&p, &loop_, 8, DataType::F32, &machine, TailStrategy::Perfect).unwrap();
+        let v = vectorize(
+            &p,
+            &loop_,
+            8,
+            DataType::F32,
+            &machine,
+            TailStrategy::Perfect,
+        )
+        .unwrap();
         let registry: ProcRegistry = machine.instructions(DataType::F32).into_iter().collect();
         let n = 1024usize;
         let mk = || {
@@ -254,7 +319,15 @@ mod tests {
         let p = ProcHandle::new(axpy(Precision::Single));
         let loop_ = p.find_loop("i").unwrap();
         let (_, rewrites) = exo_core::stats::measure(|| {
-            vectorize(&p, &loop_, 8, DataType::F32, &machine, TailStrategy::Perfect).unwrap()
+            vectorize(
+                &p,
+                &loop_,
+                8,
+                DataType::F32,
+                &machine,
+                TailStrategy::Perfect,
+            )
+            .unwrap()
         });
         // The schedule is a single library call but performs many primitive
         // rewrites under the hood — the Figure 9b quantity.

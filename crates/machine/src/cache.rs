@@ -23,12 +23,22 @@ pub struct CacheConfig {
 impl CacheConfig {
     /// A 32 KiB, 8-way L1 with 64-byte lines.
     pub fn l1() -> Self {
-        CacheConfig { capacity: 32 * 1024, line: 64, ways: 8, hit_latency: 4 }
+        CacheConfig {
+            capacity: 32 * 1024,
+            line: 64,
+            ways: 8,
+            hit_latency: 4,
+        }
     }
 
     /// A 1 MiB, 16-way L2 with 64-byte lines.
     pub fn l2() -> Self {
-        CacheConfig { capacity: 1024 * 1024, line: 64, ways: 16, hit_latency: 14 }
+        CacheConfig {
+            capacity: 1024 * 1024,
+            line: 64,
+            ways: 16,
+            hit_latency: 14,
+        }
     }
 }
 
@@ -64,7 +74,11 @@ impl Cache {
     /// Creates an empty cache with the given configuration.
     pub fn new(config: CacheConfig) -> Self {
         let n_sets = (config.capacity / config.line / config.ways as u64).max(1) as usize;
-        Cache { config, sets: vec![VecDeque::new(); n_sets], stats: CacheStats::default() }
+        Cache {
+            config,
+            sets: vec![VecDeque::new(); n_sets],
+            stats: CacheStats::default(),
+        }
     }
 
     /// Accesses `addr`; returns `true` on a hit.
@@ -117,7 +131,12 @@ mod tests {
     #[test]
     fn capacity_evictions_occur() {
         // A tiny 2-way, 2-set cache: 4 lines total.
-        let mut c = Cache::new(CacheConfig { capacity: 256, line: 64, ways: 2, hit_latency: 1 });
+        let mut c = Cache::new(CacheConfig {
+            capacity: 256,
+            line: 64,
+            ways: 2,
+            hit_latency: 1,
+        });
         // Access 3 distinct lines mapping to the same set (stride = 2 lines).
         assert!(!c.access(0));
         assert!(!c.access(128));

@@ -84,7 +84,12 @@ impl CostMonitor {
     pub fn new(model: CostModel) -> Self {
         let l1 = Cache::new(model.l1.clone());
         let l2 = Cache::new(model.l2.clone());
-        CostMonitor { model, l1, l2, report: SimReport::default() }
+        CostMonitor {
+            model,
+            l1,
+            l2,
+            report: SimReport::default(),
+        }
     }
 
     /// Finalizes and returns the report.
@@ -151,7 +156,11 @@ impl Monitor for CostMonitor {
     fn on_loop_iter(&mut self, parallel: bool) {
         // Parallel loops amortize their control overhead across cores; the
         // model charges half the scalar overhead.
-        let cost = if parallel { self.model.loop_overhead / 2 } else { self.model.loop_overhead };
+        let cost = if parallel {
+            self.model.loop_overhead / 2
+        } else {
+            self.model.loop_overhead
+        };
         self.report.control_cycles += cost;
         self.report.cycles += cost;
     }
@@ -222,7 +231,12 @@ mod tests {
         let small = simulate(&p, &registry, args_small);
         let (_, args_large) = saxpy(512);
         let large = simulate(&p, &registry, args_large);
-        assert!(large.cycles > small.cycles * 6, "{} vs {}", large.cycles, small.cycles);
+        assert!(
+            large.cycles > small.cycles * 6,
+            "{} vs {}",
+            large.cycles,
+            small.cycles
+        );
         assert!(small.scalar_cycles > 0 && small.memory_cycles > 0 && small.control_cycles > 0);
     }
 
@@ -295,7 +309,12 @@ mod tests {
         // Both compute the same result.
         assert_eq!(yv.borrow().data, ys.borrow().data);
         // The vectorized version is meaningfully cheaper.
-        assert!(rep_v.cycles * 2 < rep_s.cycles, "{} vs {}", rep_v.cycles, rep_s.cycles);
+        assert!(
+            rep_v.cycles * 2 < rep_s.cycles,
+            "{} vs {}",
+            rep_v.cycles,
+            rep_s.cycles
+        );
         assert!(rep_v.instr_count > 0);
     }
 
@@ -306,7 +325,12 @@ mod tests {
         let n = 128usize;
         let build = |row_major: bool| {
             ProcBuilder::new(if row_major { "rm" } else { "cm" })
-                .tensor_arg("A", DataType::F32, vec![ib(n as i64), ib(n as i64)], Mem::Dram)
+                .tensor_arg(
+                    "A",
+                    DataType::F32,
+                    vec![ib(n as i64), ib(n as i64)],
+                    Mem::Dram,
+                )
                 .tensor_arg("out", DataType::F32, vec![ib(1)], Mem::Dram)
                 .for_("i", ib(0), ib(n as i64), |b| {
                     b.for_("j", ib(0), ib(n as i64), |b| {
@@ -328,7 +352,12 @@ mod tests {
         };
         let rm = simulate(&build(true), &registry, mk_args());
         let cm = simulate(&build(false), &registry, mk_args());
-        assert!(cm.memory_cycles > rm.memory_cycles, "{} vs {}", cm.memory_cycles, rm.memory_cycles);
+        assert!(
+            cm.memory_cycles > rm.memory_cycles,
+            "{} vs {}",
+            cm.memory_cycles,
+            rm.memory_cycles
+        );
     }
 
     #[test]

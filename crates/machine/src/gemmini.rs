@@ -67,7 +67,12 @@ pub fn gemmini_instructions() -> Vec<Proc> {
             ProcBuilder::new(name)
                 .size_arg("rows")
                 .size_arg("blocks")
-                .window_arg("src", DataType::I8, vec![var("rows"), var("blocks") * ib(16)], Mem::Dram)
+                .window_arg(
+                    "src",
+                    DataType::I8,
+                    vec![var("rows"), var("blocks") * ib(16)],
+                    Mem::Dram,
+                )
                 .window_arg(
                     "dst",
                     DataType::I8,
@@ -99,8 +104,18 @@ pub fn gemmini_instructions() -> Vec<Proc> {
             .size_arg("m")
             .size_arg("n")
             .size_arg("k")
-            .window_arg("a", DataType::I8, vec![var("m"), var("k")], Mem::GemmScratch)
-            .window_arg("b", DataType::I8, vec![var("k"), var("n")], Mem::GemmScratch)
+            .window_arg(
+                "a",
+                DataType::I8,
+                vec![var("m"), var("k")],
+                Mem::GemmScratch,
+            )
+            .window_arg(
+                "b",
+                DataType::I8,
+                vec![var("k"), var("n")],
+                Mem::GemmScratch,
+            )
             .window_arg("c", DataType::I32, vec![var("m"), var("n")], Mem::GemmAccum)
             .instr("gemmini_matmul", "gemmini_compute_preloaded(...);")
             .with_body(|bb| {
@@ -128,13 +143,27 @@ pub fn gemmini_instructions() -> Vec<Proc> {
         ProcBuilder::new("do_st_acc_i8")
             .size_arg("rows")
             .size_arg("cols")
-            .window_arg("acc", DataType::I32, vec![var("rows"), var("cols")], Mem::GemmAccum)
-            .window_arg("dst", DataType::I8, vec![var("rows"), var("cols")], Mem::Dram)
+            .window_arg(
+                "acc",
+                DataType::I32,
+                vec![var("rows"), var("cols")],
+                Mem::GemmAccum,
+            )
+            .window_arg(
+                "dst",
+                DataType::I8,
+                vec![var("rows"), var("cols")],
+                Mem::Dram,
+            )
             .instr("gemmini_st", "gemmini_mvout(...);")
             .with_body(|b| {
                 b.for_("i", ib(0), var("rows"), |b| {
                     b.for_("j", ib(0), var("cols"), |b| {
-                        b.assign("dst", vec![var("i"), var("j")], b.read("acc", vec![var("i"), var("j")]));
+                        b.assign(
+                            "dst",
+                            vec![var("i"), var("j")],
+                            b.read("acc", vec![var("i"), var("j")]),
+                        );
                     });
                 });
             })
@@ -237,7 +266,14 @@ mod tests {
         interp
             .run(
                 &matmul,
-                vec![ArgValue::Int(2), ArgValue::Int(2), ArgValue::Int(2), a, b, carg],
+                vec![
+                    ArgValue::Int(2),
+                    ArgValue::Int(2),
+                    ArgValue::Int(2),
+                    a,
+                    b,
+                    carg,
+                ],
                 &mut NullMonitor,
             )
             .unwrap();

@@ -11,7 +11,13 @@ use exo_ir::{ib, var, DataType, Mem, Proc, ProcBuilder};
 /// Builds the instruction set for a vector ISA with `lanes` lanes of the
 /// given precision. `prefix` distinguishes AVX2 (`mm256`) from AVX512
 /// (`mm512`), and `suffix` distinguishes f32 (`ps`) from f64 (`pd`).
-fn vector_instructions(prefix: &str, suffix: &str, lanes: i64, ty: DataType, mem: Mem) -> Vec<Proc> {
+fn vector_instructions(
+    prefix: &str,
+    suffix: &str,
+    lanes: i64,
+    ty: DataType,
+    mem: Mem,
+) -> Vec<Proc> {
     let cost = |class: &str| format!("{prefix}_{class}");
     let name = |op: &str| format!("{prefix}_{op}_{suffix}");
     let mut out = Vec::new();
@@ -22,12 +28,19 @@ fn vector_instructions(prefix: &str, suffix: &str, lanes: i64, ty: DataType, mem
         ("storeu", "store", mem.clone()),
         ("mov", "mov", mem.clone()),
     ] {
-        let (dst_mem, s_mem) = if op == "storeu" { (Mem::Dram, src_mem) } else { (mem.clone(), src_mem) };
+        let (dst_mem, s_mem) = if op == "storeu" {
+            (Mem::Dram, src_mem)
+        } else {
+            (mem.clone(), src_mem)
+        };
         out.push(
             ProcBuilder::new(name(op))
                 .window_arg("dst", ty, vec![ib(lanes)], dst_mem)
                 .window_arg("src", ty, vec![ib(lanes)], s_mem)
-                .instr(cost(class), format!("{{dst}} = _{}_{op}_{suffix}(&{{src}});", prefix))
+                .instr(
+                    cost(class),
+                    format!("{{dst}} = _{}_{op}_{suffix}(&{{src}});", prefix),
+                )
                 .with_body(|b| {
                     b.for_("l", ib(0), ib(lanes), |b| {
                         b.assign("dst", vec![var("l")], b.read("src", vec![var("l")]));
@@ -42,7 +55,10 @@ fn vector_instructions(prefix: &str, suffix: &str, lanes: i64, ty: DataType, mem
         ProcBuilder::new(name("set1"))
             .window_arg("dst", ty, vec![ib(lanes)], mem.clone())
             .scalar_arg("val", ty)
-            .instr(cost("broadcast"), format!("{{dst}} = _{}_set1_{suffix}({{val}});", prefix))
+            .instr(
+                cost("broadcast"),
+                format!("{{dst}} = _{}_set1_{suffix}({{val}});", prefix),
+            )
             .with_body(|b| {
                 b.for_("l", ib(0), ib(lanes), |b| {
                     b.assign("dst", vec![var("l")], var("val"));
@@ -65,7 +81,10 @@ fn vector_instructions(prefix: &str, suffix: &str, lanes: i64, ty: DataType, mem
                 .window_arg("dst", ty, vec![ib(lanes)], mem.clone())
                 .window_arg("a", ty, vec![ib(lanes)], mem.clone())
                 .window_arg("b", ty, vec![ib(lanes)], mem.clone())
-                .instr(cost("alu"), format!("{{dst}} = _{}_{op}_{suffix}({{a}}, {{b}});", prefix))
+                .instr(
+                    cost("alu"),
+                    format!("{{dst}} = _{}_{op}_{suffix}({{a}}, {{b}});", prefix),
+                )
                 .with_body(|b| {
                     b.for_("l", ib(0), ib(lanes), |b| {
                         let rhs = exo_ir::Expr::bin(
@@ -85,7 +104,10 @@ fn vector_instructions(prefix: &str, suffix: &str, lanes: i64, ty: DataType, mem
         ProcBuilder::new(name("addacc"))
             .window_arg("acc", ty, vec![ib(lanes)], mem.clone())
             .window_arg("a", ty, vec![ib(lanes)], mem.clone())
-            .instr(cost("alu"), format!("{{acc}} = _{}_add_{suffix}({{acc}}, {{a}});", prefix))
+            .instr(
+                cost("alu"),
+                format!("{{acc}} = _{}_add_{suffix}({{acc}}, {{a}});", prefix),
+            )
             .with_body(|b| {
                 b.for_("l", ib(0), ib(lanes), |b| {
                     b.reduce("acc", vec![var("l")], b.read("a", vec![var("l")]));
@@ -100,7 +122,13 @@ fn vector_instructions(prefix: &str, suffix: &str, lanes: i64, ty: DataType, mem
             .window_arg("a", ty, vec![ib(lanes)], mem.clone())
             .window_arg("b", ty, vec![ib(lanes)], mem.clone())
             .window_arg("acc", ty, vec![ib(lanes)], mem.clone())
-            .instr(cost("fma"), format!("{{acc}} = _{}_fmadd_{suffix}({{a}}, {{b}}, {{acc}});", prefix))
+            .instr(
+                cost("fma"),
+                format!(
+                    "{{acc}} = _{}_fmadd_{suffix}({{a}}, {{b}}, {{acc}});",
+                    prefix
+                ),
+            )
             .with_body(|b| {
                 b.for_("l", ib(0), ib(lanes), |b| {
                     b.reduce(
@@ -119,7 +147,10 @@ fn vector_instructions(prefix: &str, suffix: &str, lanes: i64, ty: DataType, mem
         ProcBuilder::new(name("reduce_add_scalar"))
             .window_arg("out", ty, vec![], Mem::Dram)
             .window_arg("a", ty, vec![ib(lanes)], mem.clone())
-            .instr(cost("hreduce"), format!("{{out}} += _{}_reduce_add_{suffix}({{a}});", prefix))
+            .instr(
+                cost("hreduce"),
+                format!("{{out}} += _{}_reduce_add_{suffix}({{a}});", prefix),
+            )
             .with_body(|b| {
                 b.for_("l", ib(0), ib(lanes), |b| {
                     b.reduce("out", vec![], b.read("a", vec![var("l")]));
@@ -182,7 +213,14 @@ mod tests {
     fn instruction_sets_cover_the_expected_operations() {
         let avx2 = avx2_instructions(DataType::F32);
         let names: Vec<&str> = avx2.iter().map(|p| p.name()).collect();
-        for expected in ["mm256_loadu_ps", "mm256_storeu_ps", "mm256_set1_ps", "mm256_fmadd_ps", "mm256_mul_ps", "mm256_add_ps"] {
+        for expected in [
+            "mm256_loadu_ps",
+            "mm256_storeu_ps",
+            "mm256_set1_ps",
+            "mm256_fmadd_ps",
+            "mm256_mul_ps",
+            "mm256_add_ps",
+        ] {
             assert!(names.contains(&expected), "missing {expected}");
         }
         assert!(avx2.iter().all(|p| p.is_instr()));
@@ -193,14 +231,21 @@ mod tests {
     #[test]
     fn avx512_f32_has_16_lanes() {
         let instrs = avx512_instructions(DataType::F32);
-        let load = instrs.iter().find(|p| p.name() == "mm512_loadu_ps").unwrap();
-        let exo_ir::ArgKind::Tensor { dims, .. } = &load.args()[0].kind else { panic!() };
+        let load = instrs
+            .iter()
+            .find(|p| p.name() == "mm512_loadu_ps")
+            .unwrap();
+        let exo_ir::ArgKind::Tensor { dims, .. } = &load.args()[0].kind else {
+            panic!()
+        };
         assert_eq!(dims[0].as_int(), Some(16));
     }
 
     #[test]
     fn cost_classes_are_ordered_sensibly() {
-        assert!(instruction_cost_class("gemmini_config") > instruction_cost_class("gemmini_matmul"));
+        assert!(
+            instruction_cost_class("gemmini_config") > instruction_cost_class("gemmini_matmul")
+        );
         assert!(instruction_cost_class("mm512_hreduce") > instruction_cost_class("mm512_fma"));
         assert_eq!(instruction_cost_class("mm256_fma"), 1);
     }

@@ -35,7 +35,12 @@ pub struct MachineModel {
 impl MachineModel {
     /// The AVX2 machine model.
     pub fn avx2() -> Self {
-        MachineModel { kind: MachineKind::Avx2, name: "AVX2", has_fma: true, supports_predication: true }
+        MachineModel {
+            kind: MachineKind::Avx2,
+            name: "AVX2",
+            has_fma: true,
+            supports_predication: true,
+        }
     }
 
     /// The AVX512 machine model.
@@ -123,9 +128,15 @@ mod tests {
     #[test]
     fn instruction_sets_are_nonempty_for_vector_targets() {
         assert!(!MachineModel::avx2().instructions(DataType::F32).is_empty());
-        assert!(!MachineModel::avx512().instructions(DataType::F64).is_empty());
-        assert!(!MachineModel::gemmini().instructions(DataType::I8).is_empty());
-        assert!(MachineModel::scalar().instructions(DataType::F32).is_empty());
+        assert!(!MachineModel::avx512()
+            .instructions(DataType::F64)
+            .is_empty());
+        assert!(!MachineModel::gemmini()
+            .instructions(DataType::I8)
+            .is_empty());
+        assert!(MachineModel::scalar()
+            .instructions(DataType::F32)
+            .is_empty());
     }
 
     #[test]

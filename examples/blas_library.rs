@@ -15,7 +15,12 @@ fn bench(kernel: &exo2::ir::Proc, registry: &ProcRegistry, n: usize) -> u64 {
     let (_, x) = ArgValue::from_vec(vec![1.0; n], vec![n], DataType::F32);
     let (_, y) = ArgValue::from_vec(vec![2.0; n], vec![n], DataType::F32);
     let (_, out) = ArgValue::zeros(vec![1], DataType::F32);
-    simulate(kernel, registry, vec![ArgValue::Int(n as i64), ArgValue::Float(3.0), x, y, out]).cycles
+    simulate(
+        kernel,
+        registry,
+        vec![ArgValue::Int(n as i64), ArgValue::Float(3.0), x, y, out],
+    )
+    .cycles
 }
 
 fn main() {

@@ -22,7 +22,14 @@ fn main() {
         let (_, a) = ArgValue::from_vec(vec![1.0; m * k], vec![m, k], DataType::I8);
         let (_, b) = ArgValue::from_vec(vec![2.0; k * n], vec![k, n], DataType::I8);
         let (_, c) = ArgValue::zeros(vec![m, n], DataType::I32);
-        vec![ArgValue::Int(m as i64), ArgValue::Int(n as i64), ArgValue::Int(k as i64), a, b, c]
+        vec![
+            ArgValue::Int(m as i64),
+            ArgValue::Int(n as i64),
+            ArgValue::Int(k as i64),
+            a,
+            b,
+            c,
+        ]
     };
     let host = simulate(p.proc(), &registry, mk());
     let accel = simulate(scheduled.proc(), &registry, mk());

@@ -20,7 +20,11 @@ fn main() {
     let registry: ProcRegistry = machine.instructions(DataType::F32).into_iter().collect();
     let (h, w) = (96usize, 96usize);
     let mk = || {
-        let (_, i) = ArgValue::from_vec(vec![1.0; (h + 2) * (w + 2)], vec![h + 2, w + 2], DataType::F32);
+        let (_, i) = ArgValue::from_vec(
+            vec![1.0; (h + 2) * (w + 2)],
+            vec![h + 2, w + 2],
+            DataType::F32,
+        );
         let (_, o) = ArgValue::zeros(vec![h, w], DataType::F32);
         let (_, bx) = ArgValue::zeros(vec![h + 2, w], DataType::F32);
         vec![ArgValue::Int(h as i64), ArgValue::Int(w as i64), i, o, bx]

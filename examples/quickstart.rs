@@ -45,11 +45,19 @@ fn main() {
     let registry = ProcRegistry::new();
     let mut interp = Interpreter::new(&registry);
     let (m, n) = (8usize, 8usize);
-    let (_, a) = ArgValue::from_vec((0..m * n).map(|v| v as f64).collect(), vec![m, n], DataType::F32);
+    let (_, a) = ArgValue::from_vec(
+        (0..m * n).map(|v| v as f64).collect(),
+        vec![m, n],
+        DataType::F32,
+    );
     let (_, x) = ArgValue::from_vec(vec![1.0; n], vec![n], DataType::F32);
     let (ybuf, y) = ArgValue::zeros(vec![m], DataType::F32);
     interp
-        .run(p.proc(), vec![ArgValue::Int(m as i64), ArgValue::Int(n as i64), a, x, y], &mut NullMonitor)
+        .run(
+            p.proc(),
+            vec![ArgValue::Int(m as i64), ArgValue::Int(n as i64), a, x, y],
+            &mut NullMonitor,
+        )
         .unwrap();
     println!("y = {:?}", ybuf.borrow().data);
 }

@@ -10,16 +10,30 @@ use exo2::lib::level1::optimize_level_1;
 use exo2::machine::MachineModel;
 use proptest::prelude::*;
 
-fn run_level1(proc: &Proc, registry: &ProcRegistry, x: &[f64], y: &[f64], alpha: f64) -> (Vec<f64>, Vec<f64>, f64) {
+fn run_level1(
+    proc: &Proc,
+    registry: &ProcRegistry,
+    x: &[f64],
+    y: &[f64],
+    alpha: f64,
+) -> (Vec<f64>, Vec<f64>, f64) {
     let n = x.len();
     let mut interp = Interpreter::new(registry);
     let (xb, xa) = ArgValue::from_vec(x.to_vec(), vec![n], DataType::F32);
     let (yb, ya) = ArgValue::from_vec(y.to_vec(), vec![n], DataType::F32);
     let (ob, oa) = ArgValue::zeros(vec![1], DataType::F32);
     interp
-        .run(proc, vec![ArgValue::Int(n as i64), ArgValue::Float(alpha), xa, ya, oa], &mut NullMonitor)
+        .run(
+            proc,
+            vec![ArgValue::Int(n as i64), ArgValue::Float(alpha), xa, ya, oa],
+            &mut NullMonitor,
+        )
         .unwrap();
-    let out = (xb.borrow().data.clone(), yb.borrow().data.clone(), ob.borrow().data[0]);
+    let out = (
+        xb.borrow().data.clone(),
+        yb.borrow().data.clone(),
+        ob.borrow().data[0],
+    );
     out
 }
 
@@ -45,7 +59,12 @@ fn every_level1_schedule_is_equivalent_on_fixed_inputs() {
             for (u, v) in a.0.iter().zip(b.0.iter()).chain(a.1.iter().zip(b.1.iter())) {
                 assert!((u - v).abs() < 1e-6, "{} on {}", k.name, machine.name);
             }
-            assert!((a.2 - b.2).abs() < 1e-6, "{} reduction on {}", k.name, machine.name);
+            assert!(
+                (a.2 - b.2).abs() < 1e-6,
+                "{} reduction on {}",
+                k.name,
+                machine.name
+            );
         }
     }
 }

@@ -1,0 +1,41 @@
+//! Smoke tests: each `examples/` program must run to completion with a
+//! success exit status, so the examples referenced from the README can
+//! never silently rot.
+
+use std::process::Command;
+
+fn run_example(name: &str) {
+    let cargo = std::env::var("CARGO").unwrap_or_else(|_| "cargo".into());
+    let output = Command::new(cargo)
+        .args(["run", "--quiet", "--example", name])
+        .current_dir(env!("CARGO_MANIFEST_DIR"))
+        .output()
+        .unwrap_or_else(|e| panic!("failed to spawn `cargo run --example {name}`: {e}"));
+    assert!(
+        output.status.success(),
+        "example `{name}` exited with {:?}\n--- stdout ---\n{}\n--- stderr ---\n{}",
+        output.status.code(),
+        String::from_utf8_lossy(&output.stdout),
+        String::from_utf8_lossy(&output.stderr),
+    );
+}
+
+#[test]
+fn quickstart_runs() {
+    run_example("quickstart");
+}
+
+#[test]
+fn blas_library_runs() {
+    run_example("blas_library");
+}
+
+#[test]
+fn halide_blur_runs() {
+    run_example("halide_blur");
+}
+
+#[test]
+fn gemmini_matmul_runs() {
+    run_example("gemmini_matmul");
+}

@@ -36,7 +36,14 @@ fn exo2_schedules_beat_naive_references_across_platforms() {
         let (_, a) = ArgValue::from_vec(vec![1.0; m * k], vec![m, k], DataType::I8);
         let (_, b) = ArgValue::from_vec(vec![1.0; k * nn], vec![k, nn], DataType::I8);
         let (_, c) = ArgValue::zeros(vec![m, nn], DataType::I32);
-        vec![ArgValue::Int(m as i64), ArgValue::Int(nn as i64), ArgValue::Int(k as i64), a, b, c]
+        vec![
+            ArgValue::Int(m as i64),
+            ArgValue::Int(nn as i64),
+            ArgValue::Int(k as i64),
+            a,
+            b,
+            c,
+        ]
     };
     let host = simulate(p.proc(), &registry, mk()).cycles;
     let accel = simulate(opt.proc(), &registry, mk()).cycles;
@@ -49,7 +56,11 @@ fn exo2_schedules_beat_naive_references_across_platforms() {
     let opt = halide_blur_schedule(&p, &machine).unwrap();
     let (h, w) = (64usize, 64usize);
     let mk = || {
-        let (_, i) = ArgValue::from_vec(vec![1.0; (h + 2) * (w + 2)], vec![h + 2, w + 2], DataType::F32);
+        let (_, i) = ArgValue::from_vec(
+            vec![1.0; (h + 2) * (w + 2)],
+            vec![h + 2, w + 2],
+            DataType::F32,
+        );
         let (_, o) = ArgValue::zeros(vec![h, w], DataType::F32);
         let (_, bx) = ArgValue::zeros(vec![h + 2, w], DataType::F32);
         vec![ArgValue::Int(h as i64), ArgValue::Int(w as i64), i, o, bx]
@@ -69,5 +80,8 @@ fn scheduling_effort_is_amortized_by_the_library() {
     let (_, rewrites) = exo2::core::stats::measure(|| {
         optimize_level_1(&p, &loop_, DataType::F32, &machine, 2).unwrap()
     });
-    assert!(rewrites >= 10, "one library call should expand into many rewrites, got {rewrites}");
+    assert!(
+        rewrites >= 10,
+        "one library call should expand into many rewrites, got {rewrites}"
+    );
 }

@@ -1,0 +1,111 @@
+//! Minimal, offline stand-in for the `criterion` crate.
+//!
+//! Provides the surface this workspace's benches use: `Criterion`,
+//! `bench_function`, `Bencher::iter`, `black_box`, and the
+//! `criterion_group!`/`criterion_main!` macros. Measurement is a simple
+//! monotonic-clock mean over `sample_size` samples — good enough for the
+//! relative comparisons this repo reports; swap in the real crate for
+//! publication-grade statistics (see vendor/README.md).
+
+#![forbid(unsafe_code)]
+
+use std::time::{Duration, Instant};
+
+/// Opaque identity function that inhibits constant-folding of its input.
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+/// Hands the benchmark closure to the measurement loop.
+pub struct Bencher {
+    iters: u64,
+    elapsed: Duration,
+}
+
+impl Bencher {
+    /// Time `f`, called `iters` times back to back.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        let start = Instant::now();
+        for _ in 0..self.iters {
+            black_box(f());
+        }
+        self.elapsed = start.elapsed();
+    }
+}
+
+/// Benchmark driver. Collects `sample_size` samples per benchmark and
+/// prints the per-iteration mean.
+pub struct Criterion {
+    sample_size: usize,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion { sample_size: 10 }
+    }
+}
+
+impl Criterion {
+    /// Number of timing samples per benchmark.
+    pub fn sample_size(mut self, n: usize) -> Self {
+        assert!(n > 0, "sample_size must be positive");
+        self.sample_size = n;
+        self
+    }
+
+    /// Run one benchmark: `f` receives a [`Bencher`] and must call
+    /// [`Bencher::iter`] exactly once.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, name: &str, mut f: F) -> &mut Self {
+        // Warm-up pass (also serves as the smoke-test pass under
+        // `cargo test`, which runs harness=false bench binaries).
+        let mut b = Bencher {
+            iters: 1,
+            elapsed: Duration::ZERO,
+        };
+        f(&mut b);
+        let mut total = Duration::ZERO;
+        let mut iters = 0u64;
+        for _ in 0..self.sample_size {
+            let mut b = Bencher {
+                iters: 1,
+                elapsed: Duration::ZERO,
+            };
+            f(&mut b);
+            total += b.elapsed;
+            iters += b.iters;
+        }
+        let mean_ns = total.as_nanos() as f64 / iters.max(1) as f64;
+        println!("{name:<40} {mean_ns:>12.0} ns/iter (mean of {iters} iters)");
+        self
+    }
+}
+
+/// Define a benchmark group: either
+/// `criterion_group!(name, target, ...)` or the struct form with
+/// `name = ...; config = ...; targets = ...`.
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $config:expr; targets = $($target:path),+ $(,)?) => {
+        fn $name() {
+            let mut c: $crate::Criterion = $config;
+            $($target(&mut c);)+
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        $crate::criterion_group!(
+            name = $name;
+            config = $crate::Criterion::default();
+            targets = $($target),+
+        );
+    };
+}
+
+/// Define `main` running the listed groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}

@@ -1,0 +1,289 @@
+//! Minimal, offline stand-in for the `proptest` crate.
+//!
+//! Implements exactly the surface this workspace uses: the [`proptest!`]
+//! macro with an optional `#![proptest_config(...)]` header, integer and
+//! float range strategies, `any::<T>()`, and the `prop_assert!` family.
+//! Generation is a deterministic xorshift stream seeded per test run from
+//! the system clock; the seed of a failing case is included in the panic
+//! message so failures can be replayed with `PROPTEST_SEED`.
+
+#![forbid(unsafe_code)]
+
+/// The `use proptest::prelude::*;` surface.
+pub mod prelude {
+    pub use crate::strategy::{any, Strategy};
+    pub use crate::test_runner::{ProptestConfig, TestCaseError, TestRunner};
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, proptest};
+}
+
+/// Strategies: values that can produce random samples from a runner.
+pub mod strategy {
+    use crate::test_runner::TestRunner;
+    use std::ops::Range;
+
+    /// A source of random values of type `Self::Value`.
+    pub trait Strategy {
+        /// The type of value this strategy produces.
+        type Value;
+        /// Draw one value from the strategy.
+        fn sample(&self, runner: &mut TestRunner) -> Self::Value;
+    }
+
+    macro_rules! int_range_strategy {
+        ($($t:ty),*) => {$(
+            impl Strategy for Range<$t> {
+                type Value = $t;
+                fn sample(&self, runner: &mut TestRunner) -> $t {
+                    // Widen to i128 so ranges spanning more than half the
+                    // type's domain (e.g. i64::MIN..i64::MAX) neither
+                    // overflow nor sample out of range.
+                    let span = (self.end as i128) - (self.start as i128);
+                    assert!(span > 0, "empty range strategy");
+                    let offset = (runner.next_u64() as i128).rem_euclid(span);
+                    ((self.start as i128) + offset) as $t
+                }
+            }
+        )*};
+    }
+    int_range_strategy!(usize, u8, u16, u32, u64, i8, i16, i32, i64, isize);
+
+    impl Strategy for Range<f64> {
+        type Value = f64;
+        fn sample(&self, runner: &mut TestRunner) -> f64 {
+            let unit = (runner.next_u64() >> 11) as f64 / (1u64 << 53) as f64;
+            let v = self.start + unit * (self.end - self.start);
+            // Rounding can land exactly on `end`; fold back to keep the
+            // half-open contract.
+            if v >= self.end {
+                self.start
+            } else {
+                v
+            }
+        }
+    }
+
+    impl Strategy for Range<f32> {
+        type Value = f32;
+        fn sample(&self, runner: &mut TestRunner) -> f32 {
+            let unit = (runner.next_u64() >> 11) as f64 / (1u64 << 53) as f64;
+            let v = self.start + unit as f32 * (self.end - self.start);
+            if v >= self.end {
+                self.start
+            } else {
+                v
+            }
+        }
+    }
+
+    /// Strategy for "any value of `T`" (`any::<T>()`).
+    pub struct Any<T>(std::marker::PhantomData<T>);
+
+    /// Build the [`Any`] strategy for a type.
+    pub fn any<T>() -> Any<T> {
+        Any(std::marker::PhantomData)
+    }
+
+    macro_rules! any_int {
+        ($($t:ty),*) => {$(
+            impl Strategy for Any<$t> {
+                type Value = $t;
+                fn sample(&self, runner: &mut TestRunner) -> $t {
+                    runner.next_u64() as $t
+                }
+            }
+        )*};
+    }
+    any_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+    impl Strategy for Any<bool> {
+        type Value = bool;
+        fn sample(&self, runner: &mut TestRunner) -> bool {
+            runner.next_u64() & 1 == 1
+        }
+    }
+}
+
+/// The runner, configuration, and failure plumbing.
+pub mod test_runner {
+    /// How many cases to run, and (optionally) a fixed seed.
+    #[derive(Clone, Debug)]
+    pub struct ProptestConfig {
+        /// Number of random cases per property.
+        pub cases: u32,
+    }
+
+    impl ProptestConfig {
+        /// Run `cases` random cases per property.
+        pub fn with_cases(cases: u32) -> Self {
+            ProptestConfig { cases }
+        }
+    }
+
+    impl Default for ProptestConfig {
+        fn default() -> Self {
+            ProptestConfig { cases: 256 }
+        }
+    }
+
+    /// A failed property observation (from `prop_assert!`).
+    #[derive(Debug)]
+    pub struct TestCaseError(pub String);
+
+    impl TestCaseError {
+        /// Build a failure with a message.
+        pub fn fail(msg: impl Into<String>) -> Self {
+            TestCaseError(msg.into())
+        }
+    }
+
+    impl std::fmt::Display for TestCaseError {
+        fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+            f.write_str(&self.0)
+        }
+    }
+
+    /// Deterministic xorshift64* PRNG driving all strategies.
+    pub struct TestRunner {
+        config: ProptestConfig,
+        state: u64,
+        seed: u64,
+    }
+
+    impl TestRunner {
+        /// Create a runner. The seed comes from `PROPTEST_SEED` if set
+        /// (for replaying a reported failure), otherwise the clock.
+        pub fn new(config: ProptestConfig) -> Self {
+            let seed = std::env::var("PROPTEST_SEED")
+                .ok()
+                .and_then(|s| s.parse::<u64>().ok())
+                .unwrap_or_else(|| {
+                    std::time::SystemTime::now()
+                        .duration_since(std::time::UNIX_EPOCH)
+                        .map(|d| d.as_nanos() as u64)
+                        .unwrap_or(0x9e3779b97f4a7c15)
+                });
+            TestRunner {
+                config,
+                state: seed | 1,
+                seed,
+            }
+        }
+
+        /// Number of cases the config asks for.
+        pub fn cases(&self) -> u32 {
+            self.config.cases
+        }
+
+        /// The seed in use (reported on failure).
+        pub fn seed(&self) -> u64 {
+            self.seed
+        }
+
+        /// Next raw 64-bit value (xorshift64*).
+        pub fn next_u64(&mut self) -> u64 {
+            let mut x = self.state;
+            x ^= x >> 12;
+            x ^= x << 25;
+            x ^= x >> 27;
+            self.state = x;
+            x.wrapping_mul(0x2545F4914F6CDD1D)
+        }
+    }
+}
+
+/// Property-test entry point. Supports an optional
+/// `#![proptest_config(expr)]` header followed by one or more
+/// `#[test] fn name(pat in strategy, ...) { body }` items.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($config:expr)] $($rest:tt)*) => {
+        $crate::__proptest_items! { ($config); $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_items! {
+            ($crate::test_runner::ProptestConfig::default()); $($rest)*
+        }
+    };
+}
+
+/// Internal: expand each property function. Not public API.
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_items {
+    (($config:expr);) => {};
+    (($config:expr);
+        $(#[$meta:meta])*
+        fn $name:ident( $($arg:ident in $strat:expr),+ $(,)? ) $body:block
+        $($rest:tt)*
+    ) => {
+        $(#[$meta])*
+        fn $name() {
+            let config: $crate::test_runner::ProptestConfig = $config;
+            let cases = config.cases;
+            let mut runner = $crate::test_runner::TestRunner::new(config);
+            let seed = runner.seed();
+            for case in 0..cases {
+                $(let $arg = $crate::strategy::Strategy::sample(&($strat), &mut runner);)+
+                let outcome: ::std::result::Result<(), $crate::test_runner::TestCaseError> =
+                    (|| { $body Ok(()) })();
+                if let Err(e) = outcome {
+                    panic!(
+                        "proptest property {} failed at case {case} (seed {seed}): {e}",
+                        stringify!($name),
+                    );
+                }
+            }
+        }
+        $crate::__proptest_items! { ($config); $($rest)* }
+    };
+}
+
+/// Assert inside a property body; failures abort the case with context.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        if !$cond {
+            return Err($crate::test_runner::TestCaseError::fail(
+                concat!("assertion failed: ", stringify!($cond)),
+            ));
+        }
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !$cond {
+            return Err($crate::test_runner::TestCaseError::fail(format!($($fmt)+)));
+        }
+    };
+}
+
+/// `prop_assert!(a == b)` with value reporting.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($a:expr, $b:expr $(,)?) => {{
+        let (lhs, rhs) = (&$a, &$b);
+        if !(lhs == rhs) {
+            return Err($crate::test_runner::TestCaseError::fail(format!(
+                "assertion failed: {} == {} (left: {:?}, right: {:?})",
+                stringify!($a),
+                stringify!($b),
+                lhs,
+                rhs
+            )));
+        }
+    }};
+}
+
+/// `prop_assert!(a != b)` with value reporting.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($a:expr, $b:expr $(,)?) => {{
+        let (lhs, rhs) = (&$a, &$b);
+        if !(lhs != rhs) {
+            return Err($crate::test_runner::TestCaseError::fail(format!(
+                "assertion failed: {} != {} (both: {:?})",
+                stringify!($a),
+                stringify!($b),
+                lhs
+            )));
+        }
+    }};
+}
