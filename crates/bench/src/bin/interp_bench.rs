@@ -1,0 +1,355 @@
+//! Micro-benchmark: old (tree-walking, `HashMap`-environment) versus new
+//! (pre-lowered, slot-indexed) interpreter on the matmul / blur / BLAS
+//! level-1 kernels.
+//!
+//! * Default mode times both executors, **verifies their outputs are
+//!   byte-for-byte identical**, and writes `BENCH_interp.json` (ops/sec
+//!   per workload plus speedups) in the current directory.
+//! * `--smoke` runs one iteration per workload, still verifying
+//!   equivalence, and writes nothing — a cheap CI guard that catches
+//!   lowering regressions that break execution.
+//!
+//! "ops" are monitored scalar floating-point operations (the
+//! `CountingMonitor::scalar_ops` both executors must agree on), so
+//! ops/sec is comparable across workloads. Regenerate the checked-in
+//! `BENCH_interp.json` with:
+//!
+//! ```text
+//! cargo run --release -p exo-bench --bin interp_bench
+//! ```
+
+use exo_cursors::ProcHandle;
+use exo_interp::{ArgValue, BufRef, CountingMonitor, Interpreter, NullMonitor, ProcRegistry};
+use exo_ir::{DataType, Proc};
+use exo_kernels::Precision;
+use exo_lib::level1::optimize_level_1;
+use exo_machine::MachineModel;
+use std::time::Instant;
+
+/// One workload: a kernel, the registry it calls into, and an argument
+/// factory that also returns every buffer handed to the kernel (for the
+/// old-vs-new equivalence check).
+struct Workload {
+    name: &'static str,
+    proc: Proc,
+    registry: ProcRegistry,
+    #[allow(clippy::type_complexity)]
+    mk_args: Box<dyn Fn() -> (Vec<BufRef>, Vec<ArgValue>)>,
+}
+
+fn level1_workload(n: usize) -> Workload {
+    let machine = MachineModel::avx2();
+    let mut registry: ProcRegistry = machine.instructions(DataType::F32).into_iter().collect();
+    let p = ProcHandle::new(exo_kernels::axpy(Precision::Single));
+    let loop_ = p.find_loop("i").expect("axpy has an i loop");
+    let opt = optimize_level_1(&p, &loop_, DataType::F32, &machine, 2)
+        .expect("level-1 schedule applies to axpy");
+    let proc = opt.proc().clone();
+    // Register the kernel itself so repeated runs reuse its cached lowering.
+    registry.register(proc.clone());
+    Workload {
+        name: "level1_axpy",
+        proc,
+        registry,
+        mk_args: Box::new(move || {
+            let (xb, x) = ArgValue::from_vec(
+                (0..n).map(|v| (v % 13) as f64 * 0.25).collect(),
+                vec![n],
+                DataType::F32,
+            );
+            let (yb, y) = ArgValue::from_vec(
+                (0..n).map(|v| (v % 7) as f64 - 3.0).collect(),
+                vec![n],
+                DataType::F32,
+            );
+            let (ob, out) = ArgValue::zeros(vec![1], DataType::F32);
+            (
+                vec![xb, yb, ob],
+                vec![ArgValue::Int(n as i64), ArgValue::Float(2.0), x, y, out],
+            )
+        }),
+    }
+}
+
+fn matmul_workload(m: usize, n: usize, k: usize) -> Workload {
+    let mut registry = ProcRegistry::new();
+    let proc = exo_kernels::sgemm();
+    registry.register(proc.clone());
+    Workload {
+        name: "matmul",
+        proc,
+        registry,
+        mk_args: Box::new(move || {
+            let (ab, a) = ArgValue::from_vec(
+                (0..m * k).map(|v| (v % 9) as f64 * 0.5).collect(),
+                vec![m, k],
+                DataType::F32,
+            );
+            let (bb, b) = ArgValue::from_vec(
+                (0..k * n).map(|v| (v % 11) as f64 - 5.0).collect(),
+                vec![k, n],
+                DataType::F32,
+            );
+            let (cb, c) = ArgValue::zeros(vec![m, n], DataType::F32);
+            (
+                vec![ab, bb, cb],
+                vec![
+                    ArgValue::Int(m as i64),
+                    ArgValue::Int(n as i64),
+                    ArgValue::Int(k as i64),
+                    a,
+                    b,
+                    c,
+                ],
+            )
+        }),
+    }
+}
+
+fn blur_workload(h: usize, w: usize) -> Workload {
+    let mut registry = ProcRegistry::new();
+    let proc = exo_kernels::blur2d();
+    registry.register(proc.clone());
+    Workload {
+        name: "blur",
+        proc,
+        registry,
+        mk_args: Box::new(move || {
+            let (ib_, i) = ArgValue::from_vec(
+                (0..(h + 2) * (w + 2)).map(|v| (v % 17) as f64).collect(),
+                vec![h + 2, w + 2],
+                DataType::F32,
+            );
+            let (ob, o) = ArgValue::zeros(vec![h, w], DataType::F32);
+            let (xb, bx) = ArgValue::zeros(vec![h + 2, w], DataType::F32);
+            (
+                vec![ib_, ob, xb],
+                vec![ArgValue::Int(h as i64), ArgValue::Int(w as i64), i, o, bx],
+            )
+        }),
+    }
+}
+
+/// Runs one executor once on fresh arguments; returns the final contents
+/// of every buffer.
+fn run_once(w: &Workload, reference: bool) -> Vec<Vec<f64>> {
+    let (bufs, args) = (w.mk_args)();
+    let mut interp = Interpreter::new(&w.registry);
+    let r = if reference {
+        interp.run_reference(&w.proc, args, &mut NullMonitor)
+    } else {
+        interp.run(&w.proc, args, &mut NullMonitor)
+    };
+    if let Err(e) = r {
+        eprintln!(
+            "FATAL: `{}` failed under {} executor: {e}",
+            w.name,
+            path_name(reference)
+        );
+        std::process::exit(1);
+    }
+    bufs.iter().map(|b| b.borrow().data.clone()).collect()
+}
+
+fn path_name(reference: bool) -> &'static str {
+    if reference {
+        "reference (HashMap-env)"
+    } else {
+        "lowered (slot-indexed)"
+    }
+}
+
+/// Scalar flops of one run, counted by monitor — identical for both
+/// executors (asserted).
+fn count_ops(w: &Workload) -> u64 {
+    let count = |reference: bool| {
+        let (_, args) = (w.mk_args)();
+        let mut interp = Interpreter::new(&w.registry);
+        let mut mon = CountingMonitor::default();
+        let r = if reference {
+            interp.run_reference(&w.proc, args, &mut mon)
+        } else {
+            interp.run(&w.proc, args, &mut mon)
+        };
+        r.unwrap_or_else(|e| {
+            eprintln!("FATAL: `{}` failed while counting ops: {e}", w.name);
+            std::process::exit(1);
+        });
+        (
+            mon.scalar_ops,
+            mon.reads,
+            mon.writes,
+            mon.loop_iters,
+            mon.stmts,
+        )
+    };
+    let new = count(false);
+    let old = count(true);
+    if new != old {
+        eprintln!(
+            "FATAL: `{}` monitor event mismatch: lowered {:?} vs reference {:?}",
+            w.name, new, old
+        );
+        std::process::exit(1);
+    }
+    new.0
+}
+
+/// Verifies both executors produce byte-identical buffers.
+fn verify(w: &Workload) {
+    let new = run_once(w, false);
+    let old = run_once(w, true);
+    if new != old {
+        eprintln!(
+            "FATAL: `{}` lowered executor diverged from the reference",
+            w.name
+        );
+        std::process::exit(1);
+    }
+    println!(
+        "  verify {:<14} ok ({} buffers byte-identical)",
+        w.name,
+        new.len()
+    );
+}
+
+/// Times `iters` runs; returns seconds. Argument construction and
+/// interpreter setup happen *outside* the timed region so ops/sec
+/// measures the executor, not input-vector allocation.
+fn time_runs(w: &Workload, reference: bool, iters: u32) -> f64 {
+    let mut total = 0.0f64;
+    for _ in 0..iters {
+        let (_, args) = (w.mk_args)();
+        let mut interp = Interpreter::new(&w.registry);
+        let start = Instant::now();
+        let r = if reference {
+            interp.run_reference(&w.proc, args, &mut NullMonitor)
+        } else {
+            interp.run(&w.proc, args, &mut NullMonitor)
+        };
+        total += start.elapsed().as_secs_f64();
+        if r.is_err() {
+            eprintln!("FATAL: `{}` failed while timing", w.name);
+            std::process::exit(1);
+        }
+    }
+    total
+}
+
+struct Row {
+    name: String,
+    ops: u64,
+    iters: u32,
+    old_ops_per_sec: f64,
+    new_ops_per_sec: f64,
+    speedup: f64,
+}
+
+fn bench(w: &Workload, smoke: bool) -> Row {
+    verify(w);
+    let ops = count_ops(w);
+    let iters = if smoke {
+        1
+    } else {
+        // Calibrate to ~0.7 s of reference-path time per workload.
+        let probe = time_runs(w, true, 1).max(1e-6);
+        ((0.7 / probe) as u32).clamp(3, 20_000)
+    };
+    let t_old = time_runs(w, true, iters);
+    let t_new = time_runs(w, false, iters);
+    let total_ops = ops as f64 * iters as f64;
+    let row = Row {
+        name: w.name.to_string(),
+        ops,
+        iters,
+        old_ops_per_sec: total_ops / t_old,
+        new_ops_per_sec: total_ops / t_new,
+        speedup: t_old / t_new,
+    };
+    println!(
+        "  bench  {:<14} {:>6} iters  old {:>12.0} ops/s  new {:>12.0} ops/s  speedup {:>5.2}x",
+        row.name, row.iters, row.old_ops_per_sec, row.new_ops_per_sec, row.speedup
+    );
+    row
+}
+
+fn json(rows: &[Row]) -> String {
+    let mut out = String::from("{\n");
+    out.push_str("  \"generated_by\": \"cargo run --release -p exo-bench --bin interp_bench\",\n");
+    out.push_str("  \"unit\": \"ops_per_sec (ops = monitored scalar flops per run)\",\n");
+    out.push_str("  \"benchmarks\": [\n");
+    for (i, r) in rows.iter().enumerate() {
+        out.push_str(&format!(
+            "    {{\"name\": \"{}\", \"ops_per_run\": {}, \"iters\": {}, \
+             \"old_ops_per_sec\": {:.0}, \"new_ops_per_sec\": {:.0}, \"speedup\": {:.2}}}{}\n",
+            r.name,
+            r.ops,
+            r.iters,
+            r.old_ops_per_sec,
+            r.new_ops_per_sec,
+            r.speedup,
+            if i + 1 < rows.len() { "," } else { "" }
+        ));
+    }
+    out.push_str("  ]\n}\n");
+    out
+}
+
+fn main() {
+    let smoke = std::env::args().any(|a| a == "--smoke");
+    println!(
+        "interp_bench: old (HashMap-env) vs new (lowered, slot-indexed) executor{}",
+        if smoke { " [smoke mode]" } else { "" }
+    );
+
+    // The level-1/matmul sweep the acceptance gate tracks, plus blur.
+    let sweep: Vec<Workload> = vec![
+        level1_workload(1024),
+        level1_workload(4096),
+        matmul_workload(16, 16, 16),
+        matmul_workload(48, 48, 48),
+    ];
+    let blur = blur_workload(64, 64);
+
+    let mut rows = Vec::new();
+    let mut sweep_old_time = 0.0f64;
+    let mut sweep_new_time = 0.0f64;
+    let mut sweep_ops = 0.0f64;
+    for (i, w) in sweep.iter().enumerate() {
+        let mut row = bench(w, smoke);
+        row.name = format!("{}_{}", row.name, i);
+        sweep_old_time += row.ops as f64 * row.iters as f64 / row.old_ops_per_sec;
+        sweep_new_time += row.ops as f64 * row.iters as f64 / row.new_ops_per_sec;
+        sweep_ops += row.ops as f64 * row.iters as f64;
+        rows.push(row);
+    }
+    // Aggregate row, kept self-consistent: `ops_per_run` is the total
+    // ops actually measured across the sweep (member ops × iters, reused
+    // from the member rows — no re-execution) with `iters: 1`, so
+    // `ops_per_run / ops_per_sec` reproduces the measured wall time.
+    rows.push(Row {
+        name: "level1_matmul_sweep".into(),
+        ops: sweep_ops as u64,
+        iters: 1,
+        old_ops_per_sec: sweep_ops / sweep_old_time,
+        new_ops_per_sec: sweep_ops / sweep_new_time,
+        speedup: sweep_old_time / sweep_new_time,
+    });
+    println!(
+        "  total  {:<14} aggregate speedup {:.2}x",
+        "level1_matmul_sweep",
+        sweep_old_time / sweep_new_time
+    );
+    rows.push(bench(&blur, smoke));
+
+    if smoke {
+        println!("smoke mode: equivalence verified, no JSON written");
+        return;
+    }
+    let path = "BENCH_interp.json";
+    std::fs::write(path, json(&rows)).unwrap_or_else(|e| {
+        eprintln!("FATAL: cannot write {path}: {e}");
+        std::process::exit(1);
+    });
+    println!("wrote {path}");
+}

@@ -195,8 +195,8 @@ pub fn merge_writes(p: &ProcHandle, first: impl IntoCursor) -> Result<ProcHandle
         .map_err(|_| SchedError::scheduling("merge_writes: no following statement"))?
         .stmt()?
         .clone();
-    let (buf1, idx1) = write_target(&s1)?;
-    let (buf2, idx2) = write_target(&s2)?;
+    let (buf1, idx1, _) = write_parts(&s1)?;
+    let (buf2, idx2, rhs2) = write_parts(&s2)?;
     if buf1 != buf2
         || idx1.len() != idx2.len()
         || !idx1
@@ -208,7 +208,7 @@ pub fn merge_writes(p: &ProcHandle, first: impl IntoCursor) -> Result<ProcHandle
             "merge_writes requires writes to the same destination",
         ));
     }
-    let rhs2_reads_dest = rhs_of(&s2).mentions(&buf1);
+    let rhs2_reads_dest = rhs2.mentions(&buf1);
     let merged = match (&s1, &s2) {
         // x = e1; x = e2   =>  x = e2       (e2 must not read x)
         (Stmt::Assign { .. }, Stmt::Assign { .. }) => {
@@ -258,22 +258,19 @@ pub fn merge_writes(p: &ProcHandle, first: impl IntoCursor) -> Result<ProcHandle
     Ok(rw.commit())
 }
 
-fn write_target(s: &Stmt) -> Result<(Sym, Vec<Expr>)> {
+/// Destination buffer, destination indices and right-hand side of an
+/// assign/reduce, in one exhaustive match — every other statement kind is
+/// a typed scheduling error, so no downstream accessor can assume a shape
+/// it did not itself check.
+fn write_parts(s: &Stmt) -> Result<(Sym, Vec<Expr>, &Expr)> {
     match s {
-        Stmt::Assign { buf, idx, .. } | Stmt::Reduce { buf, idx, .. } => {
-            Ok((buf.clone(), idx.clone()))
+        Stmt::Assign { buf, idx, rhs } | Stmt::Reduce { buf, idx, rhs } => {
+            Ok((buf.clone(), idx.clone(), rhs))
         }
         other => Err(SchedError::scheduling(format!(
             "expected an assign or reduce, found `{}`",
             other.kind()
         ))),
-    }
-}
-
-fn rhs_of(s: &Stmt) -> &Expr {
-    match s {
-        Stmt::Assign { rhs, .. } | Stmt::Reduce { rhs, .. } => rhs,
-        _ => unreachable!("checked by write_target"),
     }
 }
 
@@ -674,6 +671,27 @@ mod tests {
         // Second write reading the destination is rejected.
         let p = build(assign(var("a")), assign(read("x", vec![ib(0)]) + var("b")));
         assert!(merge_writes(&p, &p.body()[0]).is_err());
+    }
+
+    #[test]
+    fn merge_writes_rejects_non_write_statements_with_a_typed_error() {
+        // Regression: the rhs accessor used to `unreachable!()` on
+        // statement shapes other than assign/reduce; the whole operation
+        // now reports a scheduling error naming the offending kind.
+        let p = ProcHandle::new(
+            ProcBuilder::new("k")
+                .tensor_arg("x", DataType::F32, vec![ib(4)], Mem::Dram)
+                .with_body(|b| {
+                    b.pass();
+                    b.assign("x", vec![ib(0)], fb(1.0));
+                })
+                .build(),
+        );
+        let err = merge_writes(&p, &p.body()[0]).expect_err("pass is not a write");
+        assert!(
+            err.to_string().contains("pass"),
+            "error should name the statement kind: {err}"
+        );
     }
 
     #[test]

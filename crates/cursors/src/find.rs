@@ -192,13 +192,17 @@ impl ProcHandle {
 
     /// Finds the loop whose iterator is `name` (paper: `p.find_loop('i')`).
     /// The name may carry a `#k` suffix to select the `k`-th such loop.
+    ///
+    /// # Errors
+    /// [`CursorError::BadPattern`] when a `#` suffix is present but not a
+    /// number, [`CursorError::NotFound`] when no such loop exists.
     pub fn find_loop(&self, name: &str) -> Result<Cursor> {
         let (base, index) = match name.rfind('#') {
-            Some(pos) if name[pos + 1..].trim().parse::<usize>().is_ok() => (
-                name[..pos].trim().to_string(),
-                Some(name[pos + 1..].trim().parse::<usize>().unwrap()),
-            ),
-            _ => (name.trim().to_string(), None),
+            Some(pos) => match name[pos + 1..].trim().parse::<usize>() {
+                Ok(k) => (name[..pos].trim().to_string(), Some(k)),
+                Err(_) => return Err(CursorError::BadPattern(name.to_string())),
+            },
+            None => (name.trim().to_string(), None),
         };
         let pattern = format!("for {base} in _: _");
         let all = find_in(self, None, &pattern)?;
@@ -297,6 +301,22 @@ mod tests {
         assert_ne!(second.path(), h.find_loop("i").unwrap().path());
         assert_eq!(second.body()[0].kind(), Some("assign"));
         assert!(h.find_loop("i #5").is_err());
+    }
+
+    #[test]
+    fn find_loop_rejects_malformed_index_suffix() {
+        // Regression: a non-numeric `#` suffix used to be parsed with a
+        // bare `unwrap` guard and then silently dropped; it now reports a
+        // malformed pattern instead.
+        let h = handle();
+        assert!(matches!(
+            h.find_loop("i #x"),
+            Err(CursorError::BadPattern(p)) if p == "i #x"
+        ));
+        assert!(matches!(
+            h.find_loop("i #"),
+            Err(CursorError::BadPattern(_))
+        ));
     }
 
     #[test]

@@ -166,8 +166,10 @@ fn forward_stmt_path(path: &[Step], edit: &EditRecord) -> Option<Vec<Step>> {
                     // then apply the insertion shift if the destination is
                     // the same block at an earlier position.
                     let mut adjusted = j - count;
-                    if let Some((dlev, _)) = block_position(path, to_post) {
-                        if dlev == level && to_post.last().unwrap().index() <= adjusted {
+                    if let (Some((dlev, _)), Some(dest)) =
+                        (block_position(path, to_post), to_post.last())
+                    {
+                        if dlev == level && dest.index() <= adjusted {
                             adjusted += count;
                         }
                     }
@@ -177,8 +179,8 @@ fn forward_stmt_path(path: &[Step], edit: &EditRecord) -> Option<Vec<Step>> {
                     // Not in the source block: apply the insertion shift if
                     // the path passes through the destination block at or
                     // after the insertion point.
-                    match block_position(path, to_post) {
-                        Some((dlev, j)) if j >= to_post.last().unwrap().index() => {
+                    match (block_position(path, to_post), to_post.last()) {
+                        (Some((dlev, j)), Some(dest)) if j >= dest.index() => {
                             Some(with_index_at(path, dlev, j + count))
                         }
                         _ => Some(path.to_vec()),
@@ -332,8 +334,8 @@ impl Rewrite {
 
         // Compute the destination gap in post-removal coordinates.
         let mut dest = to_gap.to_vec();
-        if let Some((level, j)) = block_position(&dest, from) {
-            let i = from.last().unwrap().index();
+        if let (Some((level, j)), Some(from_last)) = (block_position(&dest, from), from.last()) {
+            let i = from_last.index();
             if j > i && j < i + count {
                 // Destination inside the moved range: put things back and bail.
                 let (src_block, src_idx) = self.container_mut(from)?;
@@ -387,7 +389,7 @@ impl Rewrite {
     /// Wraps `count` statements starting at `at` into `wrapper`, which must
     /// be a `for` or `if` statement with an *empty* first child block; the
     /// wrapped statements become that block (paper: *Wrapping*).
-    pub fn wrap(&mut self, at: &[Step], count: usize, mut wrapper: Stmt) -> Result<()> {
+    pub fn wrap(&mut self, at: &[Step], count: usize, wrapper: Stmt) -> Result<()> {
         let child = match &wrapper {
             Stmt::For { body, .. } if body.is_empty() => Step::Body(0),
             Stmt::If {
@@ -406,11 +408,38 @@ impl Rewrite {
             return Err(CursorError::Invalid("wrap range out of bounds".into()));
         }
         let inner: Vec<Stmt> = block.0.drain(idx..idx + count).collect();
-        match &mut wrapper {
-            Stmt::For { body, .. } => body.0 = inner,
-            Stmt::If { then_body, .. } => then_body.0 = inner,
-            _ => unreachable!(),
-        }
+        // Rebuild the wrapper with the drained statements as its child
+        // block. The validation above restricted it to for/if; on any
+        // other shape restore the block and report instead of panicking.
+        let wrapper = match wrapper {
+            Stmt::For {
+                iter,
+                lo,
+                hi,
+                parallel,
+                ..
+            } => Stmt::For {
+                iter,
+                lo,
+                hi,
+                body: Block(inner),
+                parallel,
+            },
+            Stmt::If {
+                cond, else_body, ..
+            } => Stmt::If {
+                cond,
+                then_body: Block(inner),
+                else_body,
+            },
+            other => {
+                let kind = other.kind();
+                block.0.splice(idx..idx, inner);
+                return Err(CursorError::Invalid(format!(
+                    "wrapper must be a for/if statement, found `{kind}`"
+                )));
+            }
+        };
         block.0.insert(idx, wrapper);
         self.edits.push(EditRecord::Wrap {
             at: at.to_vec(),

@@ -203,13 +203,6 @@ impl ProcHandle {
         }
         Ok(Cursor::new(self.clone(), path))
     }
-
-    /// Forwards a cursor, panicking on unrelated versions. Convenience for
-    /// scheduling code where the relationship is known by construction.
-    pub fn forward_unwrap(&self, cursor: &Cursor) -> Cursor {
-        self.forward(cursor)
-            .expect("cursor belongs to an unrelated procedure")
-    }
 }
 
 impl PartialEq for ProcHandle {
@@ -272,5 +265,25 @@ mod tests {
             h2.forward(c),
             Err(CursorError::UnrelatedVersion { .. })
         ));
+    }
+
+    #[test]
+    fn forwarding_unrelated_cursors_reports_both_versions() {
+        // Regression: this navigation pattern used to go through the
+        // panicking `forward_unwrap` convenience; it must now surface a
+        // typed error that names both version ids instead of aborting.
+        let h1 = ProcHandle::new(simple());
+        let h2 = ProcHandle::new(simple());
+        let c = &h1.body()[0];
+        match h2.forward(c) {
+            Err(CursorError::UnrelatedVersion {
+                cursor_version,
+                handle_version,
+            }) => {
+                assert_eq!(cursor_version, h1.version_id());
+                assert_eq!(handle_version, h2.version_id());
+            }
+            other => panic!("expected UnrelatedVersion, got {other:?}"),
+        }
     }
 }

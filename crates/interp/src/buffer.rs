@@ -63,6 +63,11 @@ impl BufferData {
     }
 
     /// Row-major linear index of a multi-dimensional index.
+    ///
+    /// All arithmetic is checked: adversarial dimension vectors whose
+    /// products overflow `usize` yield `None` (reported as out-of-bounds
+    /// by the interpreter) instead of silently wrapping into a valid but
+    /// wrong element.
     pub fn linear_index(&self, idx: &[i64]) -> Option<usize> {
         if self.dims.is_empty() {
             return if idx.is_empty() || idx.iter().all(|&i| i == 0) {
@@ -75,12 +80,11 @@ impl BufferData {
             return None;
         }
         let mut lin = 0usize;
-        for (i, (&ix, &d)) in idx.iter().zip(self.dims.iter()).enumerate() {
-            if ix < 0 || ix as usize >= d {
+        for (&ix, &d) in idx.iter().zip(self.dims.iter()) {
+            if ix < 0 || ix as u64 >= d as u64 {
                 return None;
             }
-            lin = lin * d + ix as usize;
-            let _ = i;
+            lin = lin.checked_mul(d)?.checked_add(ix as usize)?;
         }
         Some(lin)
     }
@@ -122,14 +126,63 @@ impl View {
     }
 
     /// Translates a view index into an underlying buffer index.
+    ///
+    /// Additions saturate: an index extreme enough to overflow `i64`
+    /// cannot wrap around into bounds, so it is reported out-of-bounds by
+    /// [`BufferData::linear_index`] like any other bad index.
     pub fn translate(&self, idx: &[i64]) -> Vec<i64> {
         let mut out = self.offsets.clone();
         for (k, &dim) in self.kept.iter().enumerate() {
             if let Some(&i) = idx.get(k) {
-                out[dim] += i;
+                out[dim] = out[dim].saturating_add(i);
             }
         }
         out
+    }
+
+    /// Precomputes a dense access plan for this view: the linear base
+    /// offset plus one `(offset, extent, stride)` triple per exposed
+    /// dimension. Returns `None` when the plan cannot be proven safe up
+    /// front (stride products overflowing `usize`, or a dropped dimension
+    /// pinned out of bounds) — callers then fall back to the checked
+    /// [`View::read`]/[`View::write`] path, which reports the identical
+    /// error the tree interpreter would have.
+    pub(crate) fn plan(&self) -> Option<AccessPlan> {
+        let buf = self.buf.borrow();
+        let nd = buf.dims.len();
+        // Row-major suffix-product strides, checked. The final
+        // accumulator is the total element count: requiring it to fit in
+        // `usize` proves every in-bounds linear offset is overflow-free.
+        let mut strides = vec![1usize; nd];
+        let mut acc = 1usize;
+        for (d, s) in strides.iter_mut().enumerate().rev() {
+            *s = acc;
+            acc = acc.checked_mul(buf.dims[d])?;
+        }
+        let mut base = 0usize;
+        let mut kept_iter = self.kept.iter().peekable();
+        let mut dims = Vec::with_capacity(self.kept.len());
+        for (d, &stride) in strides.iter().enumerate() {
+            if kept_iter.peek() == Some(&&d) {
+                kept_iter.next();
+                dims.push(PlanDim {
+                    off: self.offsets[d],
+                    extent: buf.dims[d],
+                    stride,
+                });
+            } else {
+                // Dropped dimension: pinned at its offset for every access.
+                let off = self.offsets[d];
+                if off < 0 || off as u64 >= buf.dims[d] as u64 {
+                    return None;
+                }
+                base = base.checked_add((off as usize).checked_mul(stride)?)?;
+            }
+        }
+        Some(AccessPlan {
+            base,
+            dims: dims.into_boxed_slice(),
+        })
     }
 
     /// Narrows this view by a further window: `spec` gives, per exposed
@@ -140,10 +193,13 @@ impl View {
         let mut kept = Vec::new();
         for (k, w) in spec.iter().enumerate() {
             let dim = self.kept[k];
+            // Saturating, like `translate`: an offset extreme enough to
+            // overflow cannot wrap back into bounds, so it surfaces as an
+            // ordinary out-of-bounds access instead of a wrong element.
             match w {
-                WindowDim::Point(p) => offsets[dim] += p,
+                WindowDim::Point(p) => offsets[dim] = offsets[dim].saturating_add(*p),
                 WindowDim::Interval(lo) => {
-                    offsets[dim] += lo;
+                    offsets[dim] = offsets[dim].saturating_add(*lo);
                     kept.push(dim);
                 }
             }
@@ -192,6 +248,48 @@ impl View {
     /// The element type of the underlying buffer.
     pub fn elem(&self) -> DataType {
         self.buf.borrow().elem
+    }
+}
+
+/// A precomputed dense access plan for a [`View`]: resolves a view index
+/// to a linear element offset with one multiply-add per dimension and no
+/// allocation (see [`View::plan`]).
+#[derive(Clone, Debug)]
+pub(crate) struct AccessPlan {
+    /// Linear offset contributed by dropped (point) dimensions.
+    base: usize,
+    /// Per exposed dimension: window offset, underlying extent, stride.
+    dims: Box<[PlanDim]>,
+}
+
+#[derive(Clone, Debug)]
+pub(crate) struct PlanDim {
+    off: i64,
+    extent: usize,
+    stride: usize,
+}
+
+impl AccessPlan {
+    /// Linear element offset of `idx`, or `None` when the access is out of
+    /// bounds or has the wrong arity (callers fall back to the slow,
+    /// fully-checked path to produce the canonical error or to reproduce
+    /// the tree interpreter's lenient arity handling).
+    #[inline]
+    pub(crate) fn lin(&self, idx: &[i64]) -> Option<usize> {
+        if idx.len() != self.dims.len() {
+            return None;
+        }
+        let mut lin = self.base;
+        for (d, &i) in self.dims.iter().zip(idx) {
+            let v = i.checked_add(d.off)?;
+            if v < 0 || v as u64 >= d.extent as u64 {
+                return None;
+            }
+            // In range: `base + Σ (extent-1)·stride < len`, proven at plan
+            // construction, so unchecked addition cannot overflow.
+            lin += v as usize * d.stride;
+        }
+        Some(lin)
     }
 }
 

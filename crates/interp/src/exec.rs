@@ -1,7 +1,24 @@
 //! The interpreter proper.
+//!
+//! Two execution paths share one set of value/binding types:
+//!
+//! * [`Interpreter::run`] — the default, **lowered** path: the procedure
+//!   is first flattened by [`crate::lower::lower`] into a slot-indexed
+//!   instruction vector, then executed against dense `Vec`-backed frames
+//!   (no hashing, no `Sym` cloning, no reverse scope scans, no callee AST
+//!   clones). Lowered callees are cached inside the [`ProcRegistry`].
+//! * [`Interpreter::run_reference`] — the original tree-walking path with
+//!   a `HashMap`-scoped environment, kept as the semantic baseline for
+//!   differential tests and the `interp_bench` old-vs-new comparison.
+//!
+//! Both paths are observationally identical: same buffer contents, same
+//! [`Monitor`] event sequence, same errors.
 
-use crate::buffer::{ArgValue, BufferData, View, WindowDim};
+use crate::buffer::{AccessPlan, ArgValue, BufferData, View, WindowDim};
 use crate::error::InterpError;
+use crate::lower::{
+    lower, LBufRef, LCallArg, LExpr, LInst, LParamKind, LWSpec, LWindow, LoweredProc,
+};
 use crate::monitor::Monitor;
 use crate::registry::ProcRegistry;
 use crate::Result;
@@ -36,7 +53,13 @@ impl Value {
     fn as_int(self) -> Result<i64> {
         match self {
             Value::Int(v) => Ok(v),
-            Value::Float(v) if v.fract() == 0.0 => Ok(v as i64),
+            // Accept only floats that are exactly representable as i64:
+            // integral, and strictly inside [-2^63, 2^63). Huge values
+            // would otherwise saturate in `as i64` and silently corrupt
+            // index arithmetic.
+            Value::Float(v) if v.fract() == 0.0 && v >= i64::MIN as f64 && v < i64::MAX as f64 => {
+                Ok(v as i64)
+            }
             other => Err(InterpError::Malformed(format!(
                 "expected integer, got {other:?}"
             ))),
@@ -46,19 +69,55 @@ impl Value {
     fn as_bool(self) -> Result<bool> {
         match self {
             Value::Bool(b) => Ok(b),
-            Value::Int(v) => Ok(v != 0),
-            Value::Float(_) => Err(InterpError::Malformed("expected boolean".into())),
+            // The IR never produces an integer in boolean position: all
+            // predicates are comparisons or logical operators, which the
+            // evaluator already folds to `Bool`. Coercing `Int != 0` here
+            // would only mask malformed programs, so reject it.
+            other => Err(InterpError::Malformed(format!(
+                "expected boolean, got {other:?}"
+            ))),
         }
+    }
+}
+
+/// A tensor binding: the view plus its precomputed dense access plan
+/// (`None` when the plan cannot be proven safe; accesses then take the
+/// fully-checked slow path).
+#[derive(Clone, Debug)]
+struct TensorBind {
+    view: View,
+    plan: Option<AccessPlan>,
+}
+
+impl TensorBind {
+    /// Binds a view with a precomputed stride plan (lowered path).
+    fn planned(view: View) -> Self {
+        let plan = view.plan();
+        TensorBind { view, plan }
+    }
+
+    /// Binds a view without a plan (reference path: every access goes
+    /// through the original checked translation).
+    fn unplanned(view: View) -> Self {
+        TensorBind { view, plan: None }
     }
 }
 
 #[derive(Clone, Debug)]
 enum Binding {
     Scalar(Value),
-    Tensor(View),
+    Tensor(TensorBind),
 }
 
-/// Lexically-scoped environment.
+/// One dense activation record of the lowered executor.
+type Frame = Vec<Option<Binding>>;
+
+/// Tensor ranks up to this size evaluate their index vectors in stack
+/// storage on the hot access path; higher ranks (unseen in practice)
+/// fall back to a heap vector.
+const MAX_INLINE_RANK: usize = 8;
+
+/// Lexically-scoped environment (reference path only).
 struct Env {
     scopes: Vec<HashMap<Sym, Binding>>,
 }
@@ -97,6 +156,7 @@ pub struct Interpreter<'a> {
     configs: HashMap<(String, String), f64>,
     next_addr: u64,
     suppress: usize,
+    frame_pool: Vec<Frame>,
 }
 
 impl<'a> Interpreter<'a> {
@@ -107,15 +167,648 @@ impl<'a> Interpreter<'a> {
             configs: HashMap::new(),
             next_addr: 0x1000,
             suppress: 0,
+            frame_pool: Vec::new(),
         }
     }
 
     /// Runs `proc` with the given arguments, reporting events to `monitor`.
     ///
+    /// The procedure is lowered to a slot-indexed instruction vector first
+    /// (reusing the registry's cached lowering when `proc` is registered
+    /// under its own name), then executed by the dense-frame executor.
+    ///
     /// # Errors
     /// Returns an [`InterpError`] for unbound symbols, out-of-bounds
     /// accesses, failed assertions, bad calls and unknown procedures.
     pub fn run(
+        &mut self,
+        proc: &Proc,
+        args: Vec<ArgValue>,
+        monitor: &mut dyn Monitor,
+    ) -> Result<()> {
+        if args.len() != proc.args().len() {
+            return Err(InterpError::BadCall(format!(
+                "procedure `{}` expects {} arguments, got {}",
+                proc.name(),
+                proc.args().len(),
+                args.len()
+            )));
+        }
+        let lowered = match self.registry.lowered_if_registered(proc) {
+            Some(lp) => lp,
+            None => Rc::new(lower(proc)),
+        };
+        let mut frame: Frame = vec![None; lowered.frame_size];
+        for ((arg, value), larg) in proc.args().iter().zip(args).zip(&lowered.args) {
+            let binding = self.bind_arg(&arg.kind, value, arg.name.name())?;
+            frame[larg.slot as usize] = Some(binding);
+        }
+        // Check assertion preconditions.
+        for (pred, pred_str) in &lowered.preds {
+            let v = self.eval_l(&lowered, pred, &frame, monitor)?;
+            if !v.as_bool()? {
+                return Err(InterpError::AssertFailed(pred_str.clone()));
+            }
+        }
+        self.exec_lowered(&lowered, &mut frame, monitor)
+    }
+
+    /// Read access to the accumulated configuration-register state
+    /// (useful for Gemmini tests).
+    pub fn config(&self, config: &str, field: &str) -> Option<f64> {
+        self.configs
+            .get(&(config.to_string(), field.to_string()))
+            .copied()
+    }
+
+    fn bind_arg(&mut self, kind: &ArgKind, value: ArgValue, name: &str) -> Result<Binding> {
+        match (kind, value) {
+            (ArgKind::Size, ArgValue::Int(v)) => Ok(Binding::Scalar(Value::Int(v))),
+            (ArgKind::Scalar { ty }, ArgValue::Float(v)) => {
+                let _ = ty;
+                Ok(Binding::Scalar(Value::Float(v)))
+            }
+            (ArgKind::Scalar { .. }, ArgValue::Int(v)) => Ok(Binding::Scalar(Value::Int(v))),
+            (ArgKind::Scalar { .. }, ArgValue::Bool(b)) => Ok(Binding::Scalar(Value::Bool(b))),
+            (ArgKind::Tensor { .. }, ArgValue::Buffer(buf)) => {
+                self.ensure_addr(&buf);
+                Ok(Binding::Tensor(TensorBind::planned(View::full(buf))))
+            }
+            (ArgKind::Tensor { .. }, ArgValue::View(view)) => {
+                self.ensure_addr(&view.buf);
+                Ok(Binding::Tensor(TensorBind::planned(view)))
+            }
+            (kind, value) => Err(InterpError::BadCall(format!(
+                "argument `{name}` of kind {kind:?} cannot be bound to {value:?}"
+            ))),
+        }
+    }
+
+    fn ensure_addr(&mut self, buf: &Rc<RefCell<BufferData>>) {
+        let mut b = buf.borrow_mut();
+        if b.base_addr == 0 {
+            b.base_addr = self.next_addr;
+            let bytes = (b.len() as u64 * b.elem_bytes()).max(64);
+            self.next_addr += bytes.div_ceil(64) * 64;
+        }
+    }
+
+    fn alloc_buffer(&mut self, sizes: Vec<usize>, ty: DataType, mem: exo_ir::Mem) -> View {
+        let mut data = BufferData::zeros(sizes, ty, mem);
+        data.base_addr = self.next_addr;
+        let bytes = (data.len() as u64 * data.elem_bytes()).max(64);
+        self.next_addr += bytes.div_ceil(64) * 64;
+        View::full(Rc::new(RefCell::new(data)))
+    }
+
+    // ================================================================
+    // Lowered (slot-indexed) execution path
+    // ================================================================
+
+    fn take_frame(&mut self, size: usize) -> Frame {
+        let mut f = self.frame_pool.pop().unwrap_or_default();
+        f.clear();
+        f.resize(size, None);
+        f
+    }
+
+    fn release_frame(&mut self, mut f: Frame) {
+        f.clear();
+        if self.frame_pool.len() < 64 {
+            self.frame_pool.push(f);
+        }
+    }
+
+    /// Executes a lowered body against its frame with a program counter.
+    fn exec_lowered(
+        &mut self,
+        lp: &LoweredProc,
+        frame: &mut Frame,
+        mon: &mut dyn Monitor,
+    ) -> Result<()> {
+        struct LoopState {
+            cur: i64,
+            hi: i64,
+            iter: u32,
+            parallel: bool,
+        }
+        let code = &lp.code;
+        let mut loops: Vec<LoopState> = Vec::with_capacity(lp.max_loop_depth);
+        let mut pc = 0usize;
+        while let Some(inst) = code.get(pc) {
+            match inst {
+                LInst::Assign { buf, idx, rhs } => {
+                    if self.suppress == 0 {
+                        mon.on_stmt();
+                    }
+                    let value = self.eval_l(lp, rhs, frame, mon)?.as_float();
+                    self.store_l(lp, buf, idx, value, frame, mon)?;
+                    pc += 1;
+                }
+                LInst::Reduce { buf, idx, rhs } => {
+                    if self.suppress == 0 {
+                        mon.on_stmt();
+                    }
+                    let add = self.eval_l(lp, rhs, frame, mon)?.as_float();
+                    let old = self.load_l(lp, buf, idx, frame, mon)?;
+                    if self.suppress == 0 {
+                        mon.on_scalar_op(BinOp::Add, DataType::F64);
+                    }
+                    self.store_l(lp, buf, idx, old + add, frame, mon)?;
+                    pc += 1;
+                }
+                LInst::Alloc {
+                    slot,
+                    ty,
+                    dims,
+                    mem,
+                } => {
+                    if self.suppress == 0 {
+                        mon.on_stmt();
+                    }
+                    let mut sizes = Vec::with_capacity(dims.len());
+                    for d in dims.iter() {
+                        let v = self.eval_l(lp, d, frame, mon)?.as_int()?;
+                        if v < 0 {
+                            return Err(InterpError::Malformed(format!(
+                                "negative allocation size for `{}`",
+                                lp.slot_names[*slot as usize]
+                            )));
+                        }
+                        sizes.push(v as usize);
+                    }
+                    let view = self.alloc_buffer(sizes, *ty, mem.clone());
+                    frame[*slot as usize] = Some(Binding::Tensor(TensorBind::planned(view)));
+                    pc += 1;
+                }
+                LInst::Loop {
+                    iter,
+                    lo,
+                    hi,
+                    end,
+                    parallel,
+                } => {
+                    if self.suppress == 0 {
+                        mon.on_stmt();
+                    }
+                    let lo = self.eval_l(lp, lo, frame, mon)?.as_int()?;
+                    let hi = self.eval_l(lp, hi, frame, mon)?.as_int()?;
+                    if lo < hi {
+                        if self.suppress == 0 {
+                            mon.on_loop_iter(*parallel);
+                        }
+                        frame[*iter as usize] = Some(Binding::Scalar(Value::Int(lo)));
+                        loops.push(LoopState {
+                            cur: lo,
+                            hi,
+                            iter: *iter,
+                            parallel: *parallel,
+                        });
+                        pc += 1;
+                    } else {
+                        pc = *end as usize + 1;
+                    }
+                }
+                LInst::EndLoop { start } => {
+                    let Some(st) = loops.last_mut() else {
+                        return Err(InterpError::Malformed(
+                            "unbalanced loop in lowered code".into(),
+                        ));
+                    };
+                    st.cur += 1;
+                    if st.cur < st.hi {
+                        if self.suppress == 0 {
+                            mon.on_loop_iter(st.parallel);
+                        }
+                        frame[st.iter as usize] = Some(Binding::Scalar(Value::Int(st.cur)));
+                        pc = *start as usize + 1;
+                    } else {
+                        loops.pop();
+                        pc += 1;
+                    }
+                }
+                LInst::Branch { cond, else_start } => {
+                    if self.suppress == 0 {
+                        mon.on_stmt();
+                        mon.on_branch();
+                    }
+                    let c = self.eval_l(lp, cond, frame, mon)?.as_bool()?;
+                    pc = if c { pc + 1 } else { *else_start as usize };
+                }
+                LInst::Jump { to } => pc = *to as usize,
+                LInst::Call { callee, args } => {
+                    if self.suppress == 0 {
+                        mon.on_stmt();
+                    }
+                    self.exec_call_l(callee, args, lp, frame, mon)?;
+                    pc += 1;
+                }
+                LInst::Pass => {
+                    if self.suppress == 0 {
+                        mon.on_stmt();
+                    }
+                    pc += 1;
+                }
+                LInst::WriteConfig {
+                    config,
+                    field,
+                    value,
+                } => {
+                    if self.suppress == 0 {
+                        mon.on_stmt();
+                    }
+                    let v = self.eval_l(lp, value, frame, mon)?.as_float();
+                    if self.suppress == 0 {
+                        mon.on_config_write(config, field);
+                    }
+                    self.configs
+                        .insert((config.to_string(), field.to_string()), v);
+                    pc += 1;
+                }
+                LInst::WindowBind { slot, rhs } => {
+                    if self.suppress == 0 {
+                        mon.on_stmt();
+                    }
+                    let view = self.eval_lwindow(lp, rhs, frame, mon)?;
+                    frame[*slot as usize] = Some(Binding::Tensor(TensorBind::planned(view)));
+                    pc += 1;
+                }
+            }
+        }
+        Ok(())
+    }
+
+    fn exec_call_l(
+        &mut self,
+        name: &str,
+        args: &[LCallArg],
+        caller: &LoweredProc,
+        caller_frame: &Frame,
+        mon: &mut dyn Monitor,
+    ) -> Result<()> {
+        let registry: &'a ProcRegistry = self.registry;
+        let callee = registry
+            .get(name)
+            .ok_or_else(|| InterpError::UnknownProc(name.to_string()))?;
+        let Some(lowered) = registry.lowered_for(name) else {
+            return Err(InterpError::UnknownProc(name.to_string()));
+        };
+        if args.len() != lowered.args.len() {
+            return Err(InterpError::BadCall(format!(
+                "call to `{name}` passes {} arguments, expected {}",
+                args.len(),
+                lowered.args.len()
+            )));
+        }
+        let suppress_inner = if self.suppress == 0 {
+            mon.enter_call(callee)
+        } else {
+            false
+        };
+        if suppress_inner {
+            self.suppress += 1;
+        }
+        let mut frame = self.take_frame(lowered.frame_size);
+        let result = self.call_body_l(name, &lowered, args, caller, caller_frame, &mut frame, mon);
+        self.release_frame(frame);
+        if suppress_inner {
+            self.suppress -= 1;
+        }
+        if self.suppress == 0 {
+            mon.exit_call(callee);
+        }
+        result
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn call_body_l(
+        &mut self,
+        name: &str,
+        lowered: &LoweredProc,
+        args: &[LCallArg],
+        caller: &LoweredProc,
+        caller_frame: &Frame,
+        frame: &mut Frame,
+        mon: &mut dyn Monitor,
+    ) -> Result<()> {
+        for (param, arg) in lowered.args.iter().zip(args) {
+            let binding = match param.kind {
+                LParamKind::Size => {
+                    Binding::Scalar(self.eval_l(caller, &arg.scalar, caller_frame, mon)?)
+                }
+                LParamKind::Scalar => {
+                    // Scalar arguments may also be passed 0-dim buffers
+                    // by reference (Gemmini's acc_scale / clamp idiom).
+                    let by_ref = match &arg.window {
+                        LWindow::Var {
+                            buf: LBufRef::Slot(s),
+                        } => match &caller_frame[*s as usize] {
+                            Some(Binding::Tensor(t)) => Some(t.clone()),
+                            _ => None,
+                        },
+                        _ => None,
+                    };
+                    match by_ref {
+                        Some(t) => Binding::Tensor(t),
+                        None => {
+                            Binding::Scalar(self.eval_l(caller, &arg.scalar, caller_frame, mon)?)
+                        }
+                    }
+                }
+                LParamKind::Tensor => {
+                    let view = self.eval_lwindow(caller, &arg.window, caller_frame, mon)?;
+                    Binding::Tensor(TensorBind::planned(view))
+                }
+            };
+            frame[param.slot as usize] = Some(binding);
+        }
+        for (pred, pred_str) in &lowered.preds {
+            let v = self.eval_l(lowered, pred, frame, mon)?;
+            if !v.as_bool()? {
+                return Err(InterpError::AssertFailed(format!(
+                    "in call to `{name}`: {pred_str}"
+                )));
+            }
+        }
+        self.exec_lowered(lowered, frame, mon)
+    }
+
+    /// Resolves a buffer reference to its tensor binding, with the same
+    /// error behaviour as the reference path's environment lookup.
+    fn tensor_at<'f>(
+        &self,
+        lp: &LoweredProc,
+        buf: &LBufRef,
+        frame: &'f Frame,
+    ) -> Result<&'f TensorBind> {
+        match buf {
+            LBufRef::Unbound(n) => Err(InterpError::Unbound(n.to_string())),
+            LBufRef::Slot(s) => match &frame[*s as usize] {
+                Some(Binding::Tensor(t)) => Ok(t),
+                _ => Err(InterpError::Unbound(lp.slot_names[*s as usize].clone())),
+            },
+        }
+    }
+
+    /// Evaluates a lowered expression used as a tensor argument.
+    fn eval_lwindow(
+        &self,
+        lp: &LoweredProc,
+        w: &LWindow,
+        frame: &Frame,
+        mon: &mut dyn Monitor,
+    ) -> Result<View> {
+        match w {
+            LWindow::Var { buf } => Ok(self.tensor_at(lp, buf, frame)?.view.clone()),
+            LWindow::PointRead { buf, idx } => {
+                // A point access used where a window is expected: a 0-dim view.
+                let t = self.tensor_at(lp, buf, frame)?;
+                let mut spec = Vec::with_capacity(idx.len());
+                for e in idx.iter() {
+                    spec.push(WindowDim::Point(self.eval_l(lp, e, frame, mon)?.as_int()?));
+                }
+                Ok(t.view.narrow(&spec))
+            }
+            LWindow::Window { buf, spec } => {
+                let t = self.tensor_at(lp, buf, frame)?;
+                let mut out = Vec::with_capacity(spec.len());
+                for s in spec.iter() {
+                    match s {
+                        LWSpec::Point(e) => {
+                            out.push(WindowDim::Point(self.eval_l(lp, e, frame, mon)?.as_int()?))
+                        }
+                        LWSpec::Interval(lo) => out.push(WindowDim::Interval(
+                            self.eval_l(lp, lo, frame, mon)?.as_int()?,
+                        )),
+                    }
+                }
+                Ok(t.view.narrow(&out))
+            }
+            LWindow::NotATensor { display } => Err(InterpError::BadCall(format!(
+                "expression `{display}` cannot be passed as a tensor argument"
+            ))),
+        }
+    }
+
+    fn load_l(
+        &self,
+        lp: &LoweredProc,
+        buf: &LBufRef,
+        idx: &[LExpr],
+        frame: &Frame,
+        mon: &mut dyn Monitor,
+    ) -> Result<f64> {
+        // Evaluate indices into stack storage: element accesses are the
+        // hottest operation in the executor and must not heap-allocate.
+        let mut inline = [0i64; MAX_INLINE_RANK];
+        let mut heap: Vec<i64>;
+        let indices: &[i64] = if idx.len() <= MAX_INLINE_RANK {
+            for (k, e) in idx.iter().enumerate() {
+                inline[k] = self.eval_l(lp, e, frame, mon)?.as_int()?;
+            }
+            &inline[..idx.len()]
+        } else {
+            heap = Vec::with_capacity(idx.len());
+            for e in idx {
+                heap.push(self.eval_l(lp, e, frame, mon)?.as_int()?);
+            }
+            &heap
+        };
+        let (slot, t) = match buf {
+            LBufRef::Unbound(n) => return Err(InterpError::Unbound(n.to_string())),
+            LBufRef::Slot(s) => match &frame[*s as usize] {
+                Some(Binding::Tensor(t)) => (*s, t),
+                Some(Binding::Scalar(v)) if indices.is_empty() => return Ok(v.as_float()),
+                _ => return Err(InterpError::Unbound(lp.slot_names[*s as usize].clone())),
+            },
+        };
+        // Fast path: plan-resolved linear offset, one borrow for value and
+        // byte address alike.
+        if let Some(plan) = &t.plan {
+            if let Some(lin) = plan.lin(indices) {
+                let b = t.view.buf.borrow();
+                if let Some(&value) = b.data.get(lin) {
+                    if self.suppress == 0 {
+                        mon.on_read(
+                            &b.mem,
+                            b.base_addr + lin as u64 * b.elem_bytes(),
+                            b.elem.size_bytes(),
+                        );
+                    }
+                    return Ok(value);
+                }
+            }
+        }
+        // Slow path: checked translation, canonical errors.
+        let value = t
+            .view
+            .read(indices)
+            .ok_or_else(|| InterpError::OutOfBounds {
+                buf: lp.slot_names[slot as usize].clone(),
+                idx: indices.to_vec(),
+                dims: t.view.buf.borrow().dims.clone(),
+            })?;
+        if self.suppress == 0 {
+            if let Some(addr) = t.view.byte_addr(indices) {
+                mon.on_read(&t.view.mem(), addr, t.view.elem().size_bytes());
+            }
+        }
+        Ok(value)
+    }
+
+    fn store_l(
+        &self,
+        lp: &LoweredProc,
+        buf: &LBufRef,
+        idx: &[LExpr],
+        value: f64,
+        frame: &Frame,
+        mon: &mut dyn Monitor,
+    ) -> Result<()> {
+        let mut inline = [0i64; MAX_INLINE_RANK];
+        let mut heap: Vec<i64>;
+        let indices: &[i64] = if idx.len() <= MAX_INLINE_RANK {
+            for (k, e) in idx.iter().enumerate() {
+                inline[k] = self.eval_l(lp, e, frame, mon)?.as_int()?;
+            }
+            &inline[..idx.len()]
+        } else {
+            heap = Vec::with_capacity(idx.len());
+            for e in idx {
+                heap.push(self.eval_l(lp, e, frame, mon)?.as_int()?);
+            }
+            &heap
+        };
+        let (slot, t) = match buf {
+            LBufRef::Unbound(n) => return Err(InterpError::Unbound(n.to_string())),
+            LBufRef::Slot(s) => match &frame[*s as usize] {
+                Some(Binding::Tensor(t)) => (*s, t),
+                _ => return Err(InterpError::Unbound(lp.slot_names[*s as usize].clone())),
+            },
+        };
+        if let Some(plan) = &t.plan {
+            if let Some(lin) = plan.lin(indices) {
+                let mut b = t.view.buf.borrow_mut();
+                // Commit to the fast path only once the offset is known to
+                // land, so a fallthrough to the slow path cannot emit the
+                // write event twice.
+                if lin < b.data.len() {
+                    if self.suppress == 0 {
+                        mon.on_write(
+                            &b.mem,
+                            b.base_addr + lin as u64 * b.elem_bytes(),
+                            b.elem.size_bytes(),
+                        );
+                    }
+                    b.data[lin] = value;
+                    return Ok(());
+                }
+            }
+        }
+        if self.suppress == 0 {
+            if let Some(addr) = t.view.byte_addr(indices) {
+                mon.on_write(&t.view.mem(), addr, t.view.elem().size_bytes());
+            }
+        }
+        t.view
+            .write(indices, value)
+            .ok_or_else(|| InterpError::OutOfBounds {
+                buf: lp.slot_names[slot as usize].clone(),
+                idx: indices.to_vec(),
+                dims: t.view.buf.borrow().dims.clone(),
+            })
+    }
+
+    fn eval_l(
+        &self,
+        lp: &LoweredProc,
+        expr: &LExpr,
+        frame: &Frame,
+        mon: &mut dyn Monitor,
+    ) -> Result<Value> {
+        match expr {
+            LExpr::Int(v) => Ok(Value::Int(*v)),
+            LExpr::Float(v) => Ok(Value::Float(*v)),
+            LExpr::Bool(b) => Ok(Value::Bool(*b)),
+            LExpr::Var(buf) => match buf {
+                LBufRef::Unbound(n) => Err(InterpError::Unbound(n.to_string())),
+                LBufRef::Slot(s) => match &frame[*s as usize] {
+                    Some(Binding::Scalar(v)) => Ok(*v),
+                    Some(Binding::Tensor(t))
+                        if t.view.kept.is_empty() || t.view.buf.borrow().dims.is_empty() =>
+                    {
+                        let value = t.view.read(&[]).ok_or_else(|| {
+                            InterpError::Unbound(lp.slot_names[*s as usize].clone())
+                        })?;
+                        if self.suppress == 0 {
+                            if let Some(addr) = t.view.byte_addr(&[]) {
+                                mon.on_read(&t.view.mem(), addr, t.view.elem().size_bytes());
+                            }
+                        }
+                        Ok(Value::Float(value))
+                    }
+                    Some(Binding::Tensor(_)) => Err(InterpError::Malformed(format!(
+                        "tensor `{}` used in a scalar context",
+                        lp.slot_names[*s as usize]
+                    ))),
+                    None => Err(InterpError::Unbound(lp.slot_names[*s as usize].clone())),
+                },
+            },
+            LExpr::Read { buf, idx } => {
+                let v = self.load_l(lp, buf, idx, frame, mon)?;
+                Ok(Value::Float(v))
+            }
+            LExpr::WindowInScalar => Err(InterpError::Malformed(
+                "window expression used in a scalar context".into(),
+            )),
+            LExpr::Bin { op, lhs, rhs } => {
+                let l = self.eval_l(lp, lhs, frame, mon)?;
+                let r = self.eval_l(lp, rhs, frame, mon)?;
+                self.eval_bin(*op, l, r, mon)
+            }
+            LExpr::Un { op, arg } => {
+                let v = self.eval_l(lp, arg, frame, mon)?;
+                match op {
+                    UnOp::Neg => Ok(match v {
+                        Value::Int(i) => Value::Int(-i),
+                        Value::Float(f) => Value::Float(-f),
+                        Value::Bool(_) => {
+                            return Err(InterpError::Malformed("negating a boolean".into()))
+                        }
+                    }),
+                    UnOp::Not => Ok(Value::Bool(!v.as_bool()?)),
+                }
+            }
+            LExpr::Stride { buf, dim } => {
+                let t = self.tensor_at(lp, buf, frame)?;
+                let b = t.view.buf.borrow();
+                let stride: usize = b.dims.iter().skip(dim + 1).product();
+                Ok(Value::Int(stride.max(1) as i64))
+            }
+            LExpr::ReadConfig { config, field } => {
+                let v = self
+                    .configs
+                    .get(&(config.to_string(), field.to_string()))
+                    .copied()
+                    .unwrap_or(0.0);
+                Ok(Value::Float(v))
+            }
+        }
+    }
+
+    // ================================================================
+    // Reference (tree-walking, HashMap-environment) execution path
+    // ================================================================
+
+    /// Runs `proc` through the original tree-walking interpreter with a
+    /// scoped `HashMap` environment. Kept as the semantic baseline: the
+    /// differential tests assert it agrees with [`Interpreter::run`]
+    /// event-for-event, and `interp_bench` measures the speedup of the
+    /// lowered path against it.
+    ///
+    /// # Errors
+    /// Same contract as [`Interpreter::run`].
+    pub fn run_reference(
         &mut self,
         proc: &Proc,
         args: Vec<ArgValue>,
@@ -142,46 +835,6 @@ impl<'a> Interpreter<'a> {
             }
         }
         self.exec_block(&proc.body().0, &mut env, monitor)
-    }
-
-    /// Read access to the accumulated configuration-register state
-    /// (useful for Gemmini tests).
-    pub fn config(&self, config: &str, field: &str) -> Option<f64> {
-        self.configs
-            .get(&(config.to_string(), field.to_string()))
-            .copied()
-    }
-
-    fn bind_arg(&mut self, kind: &ArgKind, value: ArgValue, name: &str) -> Result<Binding> {
-        match (kind, value) {
-            (ArgKind::Size, ArgValue::Int(v)) => Ok(Binding::Scalar(Value::Int(v))),
-            (ArgKind::Scalar { ty }, ArgValue::Float(v)) => {
-                let _ = ty;
-                Ok(Binding::Scalar(Value::Float(v)))
-            }
-            (ArgKind::Scalar { .. }, ArgValue::Int(v)) => Ok(Binding::Scalar(Value::Int(v))),
-            (ArgKind::Scalar { .. }, ArgValue::Bool(b)) => Ok(Binding::Scalar(Value::Bool(b))),
-            (ArgKind::Tensor { .. }, ArgValue::Buffer(buf)) => {
-                self.ensure_addr(&buf);
-                Ok(Binding::Tensor(View::full(buf)))
-            }
-            (ArgKind::Tensor { .. }, ArgValue::View(view)) => {
-                self.ensure_addr(&view.buf);
-                Ok(Binding::Tensor(view))
-            }
-            (kind, value) => Err(InterpError::BadCall(format!(
-                "argument `{name}` of kind {kind:?} cannot be bound to {value:?}"
-            ))),
-        }
-    }
-
-    fn ensure_addr(&mut self, buf: &Rc<RefCell<BufferData>>) {
-        let mut b = buf.borrow_mut();
-        if b.base_addr == 0 {
-            b.base_addr = self.next_addr;
-            let bytes = (b.len() as u64 * b.elem_bytes()).max(64);
-            self.next_addr += bytes.div_ceil(64) * 64;
-        }
     }
 
     fn exec_block(
@@ -234,14 +887,8 @@ impl<'a> Interpreter<'a> {
                     }
                     sizes.push(v as usize);
                 }
-                let mut data = BufferData::zeros(sizes, *ty, mem.clone());
-                data.base_addr = self.next_addr;
-                let bytes = (data.len() as u64 * data.elem_bytes()).max(64);
-                self.next_addr += bytes.div_ceil(64) * 64;
-                env.bind(
-                    name.clone(),
-                    Binding::Tensor(View::full(Rc::new(RefCell::new(data)))),
-                );
+                let view = self.alloc_buffer(sizes, *ty, mem.clone());
+                env.bind(name.clone(), Binding::Tensor(TensorBind::unplanned(view)));
                 Ok(())
             }
             Stmt::For {
@@ -297,7 +944,7 @@ impl<'a> Interpreter<'a> {
             }
             Stmt::WindowStmt { name, rhs } => {
                 let view = self.eval_window(rhs, env, monitor)?;
-                env.bind(name.clone(), Binding::Tensor(view));
+                env.bind(name.clone(), Binding::Tensor(TensorBind::unplanned(view)));
                 Ok(())
             }
         }
@@ -339,14 +986,14 @@ impl<'a> Interpreter<'a> {
                         // by reference (Gemmini's acc_scale / clamp idiom).
                         match self.expr_as_view(expr, env) {
                             Some(view) if matches!(arg.kind, ArgKind::Scalar { .. }) => {
-                                Binding::Tensor(view)
+                                Binding::Tensor(TensorBind::unplanned(view))
                             }
                             _ => Binding::Scalar(self.eval(expr, env, monitor)?),
                         }
                     }
                     ArgKind::Tensor { .. } => {
                         let view = self.eval_window(expr, env, monitor)?;
-                        Binding::Tensor(view)
+                        Binding::Tensor(TensorBind::unplanned(view))
                     }
                 };
                 callee_env.bind(arg.name.clone(), binding);
@@ -374,12 +1021,10 @@ impl<'a> Interpreter<'a> {
     /// does (used for by-reference scalar buffers).
     fn expr_as_view(&self, expr: &Expr, env: &Env) -> Option<View> {
         match expr {
-            Expr::Var(s) | Expr::Read { buf: s, idx: _ } if matches!(expr, Expr::Var(_)) => {
-                match env.lookup(s) {
-                    Some(Binding::Tensor(v)) => Some(v.clone()),
-                    _ => None,
-                }
-            }
+            Expr::Var(s) => match env.lookup(s) {
+                Some(Binding::Tensor(t)) => Some(t.view.clone()),
+                _ => None,
+            },
             _ => None,
         }
     }
@@ -389,13 +1034,13 @@ impl<'a> Interpreter<'a> {
     fn eval_window(&mut self, expr: &Expr, env: &Env, monitor: &mut dyn Monitor) -> Result<View> {
         match expr {
             Expr::Var(s) => match env.lookup(s) {
-                Some(Binding::Tensor(v)) => Ok(v.clone()),
+                Some(Binding::Tensor(t)) => Ok(t.view.clone()),
                 _ => Err(InterpError::Unbound(s.name().to_string())),
             },
             Expr::Read { buf, idx } if !idx.is_empty() => {
                 // A point access used where a window is expected: a 0-dim view.
                 let view = match env.lookup(buf) {
-                    Some(Binding::Tensor(v)) => v.clone(),
+                    Some(Binding::Tensor(t)) => t.view.clone(),
                     _ => return Err(InterpError::Unbound(buf.name().to_string())),
                 };
                 let mut spec = Vec::new();
@@ -406,7 +1051,7 @@ impl<'a> Interpreter<'a> {
             }
             Expr::Window { buf, idx } => {
                 let view = match env.lookup(buf) {
-                    Some(Binding::Tensor(v)) => v.clone(),
+                    Some(Binding::Tensor(t)) => t.view.clone(),
                     _ => return Err(InterpError::Unbound(buf.name().to_string())),
                 };
                 let mut spec = Vec::new();
@@ -440,7 +1085,7 @@ impl<'a> Interpreter<'a> {
             indices.push(self.eval(e, env, monitor)?.as_int()?);
         }
         let view = match env.lookup(buf) {
-            Some(Binding::Tensor(v)) => v.clone(),
+            Some(Binding::Tensor(t)) => t.view.clone(),
             Some(Binding::Scalar(v)) if idx.is_empty() => return Ok(v.as_float()),
             _ => return Err(InterpError::Unbound(buf.name().to_string())),
         };
@@ -472,7 +1117,7 @@ impl<'a> Interpreter<'a> {
             indices.push(self.eval(e, env, monitor)?.as_int()?);
         }
         let view = match env.lookup(buf) {
-            Some(Binding::Tensor(v)) => v.clone(),
+            Some(Binding::Tensor(t)) => t.view.clone(),
             _ => return Err(InterpError::Unbound(buf.name().to_string())),
         };
         if self.suppress == 0 {
@@ -495,10 +1140,10 @@ impl<'a> Interpreter<'a> {
             Expr::Bool(b) => Ok(Value::Bool(*b)),
             Expr::Var(s) => match env.lookup(s) {
                 Some(Binding::Scalar(v)) => Ok(*v),
-                Some(Binding::Tensor(view))
-                    if view.kept.is_empty() || view.buf.borrow().dims.is_empty() =>
+                Some(Binding::Tensor(t))
+                    if t.view.kept.is_empty() || t.view.buf.borrow().dims.is_empty() =>
                 {
-                    let view = view.clone();
+                    let view = t.view.clone();
                     let value = view
                         .read(&[])
                         .ok_or_else(|| InterpError::Unbound(s.name().to_string()))?;
@@ -541,11 +1186,11 @@ impl<'a> Interpreter<'a> {
             }
             Expr::Stride { buf, dim } => {
                 let view = match env.lookup(buf) {
-                    Some(Binding::Tensor(v)) => v.clone(),
+                    Some(Binding::Tensor(t)) => t.view.clone(),
                     _ => return Err(InterpError::Unbound(buf.name().to_string())),
                 };
-                let dims = view.buf.borrow().dims.clone();
-                let stride: usize = dims.iter().skip(dim + 1).product();
+                let b = view.buf.borrow();
+                let stride: usize = b.dims.iter().skip(dim + 1).product();
                 Ok(Value::Int(stride.max(1) as i64))
             }
             Expr::ReadConfig { config, field } => {
@@ -559,13 +1204,7 @@ impl<'a> Interpreter<'a> {
         }
     }
 
-    fn eval_bin(
-        &mut self,
-        op: BinOp,
-        l: Value,
-        r: Value,
-        monitor: &mut dyn Monitor,
-    ) -> Result<Value> {
+    fn eval_bin(&self, op: BinOp, l: Value, r: Value, monitor: &mut dyn Monitor) -> Result<Value> {
         use BinOp::*;
         // Integer arithmetic when both sides are integers (index math).
         if let (Value::Int(a), Value::Int(b)) = (l, r) {
@@ -710,6 +1349,91 @@ mod tests {
         assert_eq!(mon.loop_iters, (m + m * n) as u64);
         assert_eq!(mon.writes, (m * n) as u64);
         assert!(mon.reads >= (3 * m * n) as u64);
+    }
+
+    #[test]
+    fn lowered_and_reference_paths_agree_event_for_event() {
+        let (m, n) = (3usize, 5usize);
+        let mk_args = || {
+            let (_, a_arg) = ArgValue::from_vec(
+                (0..m * n).map(|v| v as f64 * 0.5).collect(),
+                vec![m, n],
+                DataType::F32,
+            );
+            let (_, x_arg) = ArgValue::from_vec(
+                (0..n).map(|v| v as f64 - 2.0).collect(),
+                vec![n],
+                DataType::F32,
+            );
+            let (yb, y_arg) = ArgValue::zeros(vec![m], DataType::F32);
+            (
+                yb,
+                vec![
+                    ArgValue::Int(m as i64),
+                    ArgValue::Int(n as i64),
+                    a_arg,
+                    x_arg,
+                    y_arg,
+                ],
+            )
+        };
+        let registry = ProcRegistry::new();
+        let p = gemv_proc();
+        let mut mon_new = CountingMonitor::default();
+        let mut mon_old = CountingMonitor::default();
+        let (y_new, args_new) = mk_args();
+        Interpreter::new(&registry)
+            .run(&p, args_new, &mut mon_new)
+            .unwrap();
+        let (y_old, args_old) = mk_args();
+        Interpreter::new(&registry)
+            .run_reference(&p, args_old, &mut mon_old)
+            .unwrap();
+        assert_eq!(y_new.borrow().data, y_old.borrow().data);
+        assert_eq!(mon_new.scalar_ops, mon_old.scalar_ops);
+        assert_eq!(mon_new.loop_iters, mon_old.loop_iters);
+        assert_eq!(mon_new.reads, mon_old.reads);
+        assert_eq!(mon_new.writes, mon_old.writes);
+        assert_eq!(mon_new.stmts, mon_old.stmts);
+    }
+
+    #[test]
+    fn registered_procs_reuse_the_cached_lowering() {
+        let mut registry = ProcRegistry::new();
+        registry.register(gemv_proc());
+        assert!(registry.lowered_for("gemv").is_some());
+        let p = gemv_proc();
+        assert!(registry.lowered_if_registered(&p).is_some());
+        // A different body under the same name must not reuse the cache.
+        let other = ProcBuilder::new("gemv").size_arg("M").build();
+        assert!(registry.lowered_if_registered(&other).is_none());
+    }
+
+    #[test]
+    fn as_int_rejects_floats_outside_the_exact_integer_range() {
+        assert_eq!(Value::Float(12.0).as_int().unwrap(), 12);
+        assert_eq!(Value::Float(-3.0).as_int().unwrap(), -3);
+        assert!(Value::Float(2.5).as_int().is_err());
+        // 2^63 is integral but saturates in `as i64`; it must be rejected
+        // instead of silently becoming i64::MAX.
+        assert!(Value::Float(9.223372036854776e18).as_int().is_err());
+        assert!(Value::Float(1e300).as_int().is_err());
+        assert!(Value::Float(f64::NAN).as_int().is_err());
+        assert!(Value::Float(f64::INFINITY).as_int().is_err());
+        assert_eq!(Value::Float(i64::MIN as f64).as_int().unwrap(), i64::MIN);
+    }
+
+    #[test]
+    fn as_bool_no_longer_coerces_integers() {
+        assert!(Value::Bool(true).as_bool().unwrap());
+        assert!(matches!(
+            Value::Int(1).as_bool(),
+            Err(InterpError::Malformed(_))
+        ));
+        assert!(matches!(
+            Value::Float(1.0).as_bool(),
+            Err(InterpError::Malformed(_))
+        ));
     }
 
     #[test]

@@ -26,12 +26,14 @@
 mod buffer;
 mod error;
 mod exec;
+mod lower;
 mod monitor;
 mod registry;
 
 pub use buffer::{ArgValue, BufRef, BufferData, View};
 pub use error::InterpError;
 pub use exec::Interpreter;
+pub use lower::{lower, LoweredProc};
 pub use monitor::{CountingMonitor, Monitor, NullMonitor};
 pub use registry::ProcRegistry;
 

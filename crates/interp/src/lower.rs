@@ -1,0 +1,620 @@
+//! Lowering: from the `exo_ir` statement tree to a flat, slot-indexed
+//! instruction vector.
+//!
+//! The tree-walking interpreter resolved every [`exo_ir::Sym`] occurrence
+//! at run time by scanning a stack of `HashMap<Sym, Binding>` scopes —
+//! hashing a string per variable access and allocating two fresh maps per
+//! loop iteration. Lowering performs that resolution **once**: a single
+//! pre-order walk over a [`Proc`] assigns every *binding site* (argument,
+//! allocation, loop iterator, window alias) a dense frame slot, rewrites
+//! every symbol occurrence to its slot index, and flattens control flow
+//! into a linear [`LInst`] vector executed by a program counter (loops
+//! become `Loop`/`EndLoop` pairs, branches become `Branch`/`Jump`).
+//!
+//! Because resolution is purely lexical and each binding site re-executes
+//! before any use on every loop iteration, a slot-indexed environment is
+//! observationally identical to the scoped-map environment: a symbol that
+//! would have been unbound at run time lowers to an explicit
+//! [`LBufRef::Unbound`] marker that raises [`crate::InterpError::Unbound`]
+//! only if it is actually evaluated, preserving error timing.
+//!
+//! Lowered procedures are cached per callee name inside
+//! [`crate::ProcRegistry`] (see [`crate::ProcRegistry::register`] for the
+//! invalidation contract), so the hot instruction procedures of a kernel
+//! are lowered once per registration rather than re-traversed per call.
+
+use exo_ir::{ArgKind, BinOp, DataType, Expr, Mem, Proc, Stmt, Sym, UnOp, WAccess};
+
+/// A reference to a buffer-like operand: either a resolved frame slot or a
+/// symbol that was not in scope at the point of use (which errors only
+/// when evaluated, like the scoped-map interpreter did).
+#[derive(Clone, Debug)]
+pub(crate) enum LBufRef {
+    /// Resolved to a frame slot.
+    Slot(u32),
+    /// Out of scope at the point of use; the name is kept for the error.
+    Unbound(Box<str>),
+}
+
+/// A lowered scalar expression. Mirrors [`Expr`] with symbols resolved to
+/// slots and window expressions replaced by an explicit error marker.
+#[derive(Clone, Debug)]
+pub(crate) enum LExpr {
+    Int(i64),
+    Float(f64),
+    Bool(bool),
+    Var(LBufRef),
+    Read {
+        buf: LBufRef,
+        idx: Box<[LExpr]>,
+    },
+    /// A window expression evaluated in a scalar context (always an error,
+    /// raised lazily to preserve the original error timing).
+    WindowInScalar,
+    Bin {
+        op: BinOp,
+        lhs: Box<LExpr>,
+        rhs: Box<LExpr>,
+    },
+    Un {
+        op: UnOp,
+        arg: Box<LExpr>,
+    },
+    Stride {
+        buf: LBufRef,
+        dim: usize,
+    },
+    ReadConfig {
+        config: Box<str>,
+        field: Box<str>,
+    },
+}
+
+/// One narrowing dimension of a lowered window form.
+#[derive(Clone, Debug)]
+pub(crate) enum LWSpec {
+    Point(LExpr),
+    /// Only the interval start participates in view narrowing (the extent
+    /// is a scheduling-time property), matching the tree interpreter.
+    Interval(LExpr),
+}
+
+/// An expression used where a tensor is expected: a bare name, a point
+/// access, a window — or anything else, which fails with the original
+/// expression's rendering when (and only when) it is evaluated.
+#[derive(Clone, Debug)]
+pub(crate) enum LWindow {
+    Var {
+        buf: LBufRef,
+    },
+    /// `buf[i, j]` used as a 0-dim window argument.
+    PointRead {
+        buf: LBufRef,
+        idx: Box<[LExpr]>,
+    },
+    Window {
+        buf: LBufRef,
+        spec: Box<[LWSpec]>,
+    },
+    NotATensor {
+        display: Box<str>,
+    },
+}
+
+/// A lowered call argument. The binding mode is chosen at run time from
+/// the callee's parameter kind, so both the scalar and the window form are
+/// pre-lowered.
+#[derive(Clone, Debug)]
+pub(crate) struct LCallArg {
+    pub(crate) scalar: LExpr,
+    pub(crate) window: LWindow,
+}
+
+/// Parameter kinds, reduced to what argument binding needs.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub(crate) enum LParamKind {
+    Size,
+    Scalar,
+    Tensor,
+}
+
+/// A lowered procedure parameter.
+#[derive(Clone, Debug)]
+pub(crate) struct LArg {
+    pub(crate) slot: u32,
+    pub(crate) kind: LParamKind,
+}
+
+/// One flat instruction. `Loop`/`EndLoop` and `Branch`/`Jump` encode the
+/// structured control flow with absolute instruction indices.
+#[derive(Clone, Debug)]
+pub(crate) enum LInst {
+    Assign {
+        buf: LBufRef,
+        idx: Box<[LExpr]>,
+        rhs: LExpr,
+    },
+    Reduce {
+        buf: LBufRef,
+        idx: Box<[LExpr]>,
+        rhs: LExpr,
+    },
+    Alloc {
+        slot: u32,
+        ty: DataType,
+        dims: Box<[LExpr]>,
+        mem: Mem,
+    },
+    /// Evaluates the bounds and either enters the body (next instruction)
+    /// or jumps past the matching `EndLoop` at index `end`.
+    Loop {
+        iter: u32,
+        lo: LExpr,
+        hi: LExpr,
+        end: u32,
+        parallel: bool,
+    },
+    /// Advances the innermost loop; jumps back to `start + 1` while
+    /// iterations remain.
+    EndLoop {
+        start: u32,
+    },
+    /// Falls through into the then-branch on true, jumps to `else_start`
+    /// on false.
+    Branch {
+        cond: LExpr,
+        else_start: u32,
+    },
+    Jump {
+        to: u32,
+    },
+    Call {
+        callee: Box<str>,
+        args: Box<[LCallArg]>,
+    },
+    Pass,
+    WriteConfig {
+        config: Box<str>,
+        field: Box<str>,
+        value: LExpr,
+    },
+    WindowBind {
+        slot: u32,
+        rhs: LWindow,
+    },
+}
+
+/// A procedure lowered to a flat instruction vector with slot-resolved
+/// operands. Obtained from [`lower`]; executed by
+/// [`crate::Interpreter::run`].
+#[derive(Clone, Debug)]
+pub struct LoweredProc {
+    pub(crate) name: String,
+    pub(crate) frame_size: usize,
+    pub(crate) args: Vec<LArg>,
+    /// Precondition expressions paired with their source rendering (used
+    /// verbatim in `AssertFailed` messages).
+    pub(crate) preds: Vec<(LExpr, String)>,
+    pub(crate) code: Vec<LInst>,
+    /// Source name of each slot, for error messages.
+    pub(crate) slot_names: Vec<String>,
+    pub(crate) max_loop_depth: usize,
+}
+
+impl LoweredProc {
+    /// Name of the source procedure.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Number of dense environment slots a call frame needs. Always equal
+    /// to [`Proc::binding_site_count`] of the source procedure.
+    pub fn frame_size(&self) -> usize {
+        self.frame_size
+    }
+
+    /// Number of flat instructions (including loop/branch bookkeeping).
+    pub fn code_len(&self) -> usize {
+        self.code.len()
+    }
+}
+
+/// Lowers a procedure. Lowering never fails: symbols that are not in
+/// scope become lazy [`crate::InterpError::Unbound`] sites, exactly like
+/// the scoped-map interpreter which only errored when the use executed.
+pub fn lower(proc: &Proc) -> LoweredProc {
+    let mut lw = Lowerer {
+        slot_names: Vec::with_capacity(proc.binding_site_count()),
+        scope: Vec::new(),
+        marks: Vec::new(),
+        code: Vec::new(),
+        depth: 0,
+        max_depth: 0,
+    };
+    let mut args = Vec::with_capacity(proc.args().len());
+    for arg in proc.args() {
+        let kind = match &arg.kind {
+            ArgKind::Size => LParamKind::Size,
+            ArgKind::Scalar { .. } => LParamKind::Scalar,
+            ArgKind::Tensor { .. } => LParamKind::Tensor,
+        };
+        let slot = lw.bind(&arg.name);
+        args.push(LArg { slot, kind });
+    }
+    let preds = proc
+        .preds()
+        .iter()
+        .map(|p| (lw.lower_expr(p), p.to_string()))
+        .collect();
+    lw.lower_block(&proc.body().0);
+    debug_assert_eq!(
+        lw.slot_names.len(),
+        proc.binding_site_count(),
+        "slot assignment must agree with Proc::binding_site_count"
+    );
+    LoweredProc {
+        name: proc.name().to_string(),
+        frame_size: lw.slot_names.len(),
+        args,
+        preds,
+        code: lw.code,
+        slot_names: lw.slot_names,
+        max_loop_depth: lw.max_depth,
+    }
+}
+
+struct Lowerer {
+    slot_names: Vec<String>,
+    /// Lexical scope stack: innermost bindings at the back.
+    scope: Vec<(Sym, u32)>,
+    /// Scope boundaries (indices into `scope`).
+    marks: Vec<usize>,
+    code: Vec<LInst>,
+    depth: usize,
+    max_depth: usize,
+}
+
+impl Lowerer {
+    fn push_scope(&mut self) {
+        self.marks.push(self.scope.len());
+    }
+
+    fn pop_scope(&mut self) {
+        if let Some(mark) = self.marks.pop() {
+            self.scope.truncate(mark);
+        }
+    }
+
+    fn bind(&mut self, sym: &Sym) -> u32 {
+        let slot = self.slot_names.len() as u32;
+        self.slot_names.push(sym.name().to_string());
+        self.scope.push((sym.clone(), slot));
+        slot
+    }
+
+    fn resolve(&self, sym: &Sym) -> LBufRef {
+        match self.scope.iter().rev().find(|(s, _)| s == sym) {
+            Some((_, slot)) => LBufRef::Slot(*slot),
+            None => LBufRef::Unbound(sym.name().into()),
+        }
+    }
+
+    fn lower_expr(&self, e: &Expr) -> LExpr {
+        match e {
+            Expr::Int(v) => LExpr::Int(*v),
+            Expr::Float(v) => LExpr::Float(*v),
+            Expr::Bool(b) => LExpr::Bool(*b),
+            Expr::Var(s) => LExpr::Var(self.resolve(s)),
+            Expr::Read { buf, idx } => LExpr::Read {
+                buf: self.resolve(buf),
+                idx: idx.iter().map(|i| self.lower_expr(i)).collect(),
+            },
+            Expr::Window { .. } => LExpr::WindowInScalar,
+            Expr::Bin { op, lhs, rhs } => LExpr::Bin {
+                op: *op,
+                lhs: Box::new(self.lower_expr(lhs)),
+                rhs: Box::new(self.lower_expr(rhs)),
+            },
+            Expr::Un { op, arg } => LExpr::Un {
+                op: *op,
+                arg: Box::new(self.lower_expr(arg)),
+            },
+            Expr::Stride { buf, dim } => LExpr::Stride {
+                buf: self.resolve(buf),
+                dim: *dim,
+            },
+            Expr::ReadConfig { config, field } => LExpr::ReadConfig {
+                config: config.name().into(),
+                field: field.as_str().into(),
+            },
+        }
+    }
+
+    /// Lowers an expression used where a tensor is expected, mirroring the
+    /// case analysis of the tree interpreter's `eval_window`.
+    fn lower_window(&self, e: &Expr) -> LWindow {
+        match e {
+            Expr::Var(s) => LWindow::Var {
+                buf: self.resolve(s),
+            },
+            Expr::Read { buf, idx } if !idx.is_empty() => LWindow::PointRead {
+                buf: self.resolve(buf),
+                idx: idx.iter().map(|i| self.lower_expr(i)).collect(),
+            },
+            Expr::Window { buf, idx } => LWindow::Window {
+                buf: self.resolve(buf),
+                spec: idx
+                    .iter()
+                    .map(|w| match w {
+                        WAccess::Point(p) => LWSpec::Point(self.lower_expr(p)),
+                        WAccess::Interval(lo, _hi) => LWSpec::Interval(self.lower_expr(lo)),
+                    })
+                    .collect(),
+            },
+            other => LWindow::NotATensor {
+                display: other.to_string().into(),
+            },
+        }
+    }
+
+    fn lower_block(&mut self, stmts: &[Stmt]) {
+        self.push_scope();
+        for s in stmts {
+            self.lower_stmt(s);
+        }
+        self.pop_scope();
+    }
+
+    fn lower_stmt(&mut self, stmt: &Stmt) {
+        match stmt {
+            Stmt::Assign { buf, idx, rhs } => {
+                let inst = LInst::Assign {
+                    buf: self.resolve(buf),
+                    idx: idx.iter().map(|i| self.lower_expr(i)).collect(),
+                    rhs: self.lower_expr(rhs),
+                };
+                self.code.push(inst);
+            }
+            Stmt::Reduce { buf, idx, rhs } => {
+                let inst = LInst::Reduce {
+                    buf: self.resolve(buf),
+                    idx: idx.iter().map(|i| self.lower_expr(i)).collect(),
+                    rhs: self.lower_expr(rhs),
+                };
+                self.code.push(inst);
+            }
+            Stmt::Alloc {
+                name,
+                ty,
+                dims,
+                mem,
+            } => {
+                // Dimensions resolve before the name is bound, so a
+                // self-referential allocation sees the outer binding.
+                let dims: Box<[LExpr]> = dims.iter().map(|d| self.lower_expr(d)).collect();
+                let slot = self.bind(name);
+                self.code.push(LInst::Alloc {
+                    slot,
+                    ty: *ty,
+                    dims,
+                    mem: mem.clone(),
+                });
+            }
+            Stmt::For {
+                iter,
+                lo,
+                hi,
+                body,
+                parallel,
+            } => {
+                // Bounds resolve outside the iterator's scope.
+                let lo = self.lower_expr(lo);
+                let hi = self.lower_expr(hi);
+                self.push_scope();
+                let islot = self.bind(iter);
+                let loop_pc = self.code.len();
+                self.code.push(LInst::Loop {
+                    iter: islot,
+                    lo,
+                    hi,
+                    end: 0, // patched below
+                    parallel: *parallel,
+                });
+                self.depth += 1;
+                self.max_depth = self.max_depth.max(self.depth);
+                self.lower_block(&body.0);
+                self.depth -= 1;
+                let end_pc = self.code.len();
+                self.code.push(LInst::EndLoop {
+                    start: loop_pc as u32,
+                });
+                if let LInst::Loop { end, .. } = &mut self.code[loop_pc] {
+                    *end = end_pc as u32;
+                }
+                self.pop_scope();
+            }
+            Stmt::If {
+                cond,
+                then_body,
+                else_body,
+            } => {
+                let cond = self.lower_expr(cond);
+                let branch_pc = self.code.len();
+                self.code.push(LInst::Branch {
+                    cond,
+                    else_start: 0, // patched below
+                });
+                self.lower_block(&then_body.0);
+                let jump_pc = self.code.len();
+                self.code.push(LInst::Jump { to: 0 }); // patched below
+                let else_start = self.code.len() as u32;
+                if let LInst::Branch { else_start: e, .. } = &mut self.code[branch_pc] {
+                    *e = else_start;
+                }
+                self.lower_block(&else_body.0);
+                let end = self.code.len() as u32;
+                if let LInst::Jump { to } = &mut self.code[jump_pc] {
+                    *to = end;
+                }
+            }
+            Stmt::Call { proc, args } => {
+                let args: Box<[LCallArg]> = args
+                    .iter()
+                    .map(|a| LCallArg {
+                        scalar: self.lower_expr(a),
+                        window: self.lower_window(a),
+                    })
+                    .collect();
+                self.code.push(LInst::Call {
+                    callee: proc.as_str().into(),
+                    args,
+                });
+            }
+            Stmt::Pass => self.code.push(LInst::Pass),
+            Stmt::WriteConfig {
+                config,
+                field,
+                value,
+            } => {
+                let inst = LInst::WriteConfig {
+                    config: config.name().into(),
+                    field: field.as_str().into(),
+                    value: self.lower_expr(value),
+                };
+                self.code.push(inst);
+            }
+            Stmt::WindowStmt { name, rhs } => {
+                let rhs = self.lower_window(rhs);
+                let slot = self.bind(name);
+                self.code.push(LInst::WindowBind { slot, rhs });
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use exo_ir::{fb, ib, read, var, ProcBuilder};
+
+    fn sample() -> Proc {
+        ProcBuilder::new("p")
+            .size_arg("n")
+            .tensor_arg("x", DataType::F32, vec![var("n")], Mem::Dram)
+            .for_("i", ib(0), var("n"), |b| {
+                b.alloc("t", DataType::F32, vec![], Mem::Dram);
+                b.assign("t", vec![], fb(0.0));
+                b.assign("x", vec![var("i")], read("t", vec![]));
+            })
+            .build()
+    }
+
+    #[test]
+    fn frame_size_matches_binding_site_count() {
+        let p = sample();
+        let lp = lower(&p);
+        assert_eq!(lp.frame_size(), p.binding_site_count());
+        // n, x, i, t
+        assert_eq!(lp.frame_size(), 4);
+        assert_eq!(lp.name(), "p");
+    }
+
+    #[test]
+    fn loops_lower_to_balanced_loop_endloop_pairs() {
+        let lp = lower(&sample());
+        let loops = lp
+            .code
+            .iter()
+            .filter(|i| matches!(i, LInst::Loop { .. }))
+            .count();
+        let ends = lp
+            .code
+            .iter()
+            .filter(|i| matches!(i, LInst::EndLoop { .. }))
+            .count();
+        assert_eq!(loops, 1);
+        assert_eq!(ends, 1);
+        assert_eq!(lp.max_loop_depth, 1);
+        // The Loop's `end` field points at the EndLoop.
+        let end = lp
+            .code
+            .iter()
+            .position(|i| matches!(i, LInst::EndLoop { .. }))
+            .expect("has an EndLoop");
+        let start = lp
+            .code
+            .iter()
+            .position(|i| matches!(i, LInst::Loop { .. }))
+            .expect("has a Loop");
+        match (&lp.code[start], &lp.code[end]) {
+            (LInst::Loop { end: e, .. }, LInst::EndLoop { start: s }) => {
+                assert_eq!(*e as usize, end);
+                assert_eq!(*s as usize, start);
+            }
+            other => panic!("expected matching Loop/EndLoop, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn out_of_scope_symbols_lower_to_unbound_markers() {
+        let p = ProcBuilder::new("p")
+            .tensor_arg("x", DataType::F32, vec![ib(1)], Mem::Dram)
+            .with_body(|b| {
+                b.assign("x", vec![ib(0)], read("ghost", vec![]));
+            })
+            .build();
+        let lp = lower(&p);
+        let LInst::Assign { rhs, .. } = &lp.code[0] else {
+            panic!("expected an assign instruction");
+        };
+        // `ghost` was never bound; `read("ghost", vec![])` has an empty
+        // index list so it lowers as a (lazily unbound) variable-style read.
+        match rhs {
+            LExpr::Read {
+                buf: LBufRef::Unbound(name),
+                ..
+            } => assert_eq!(&**name, "ghost"),
+            other => panic!("expected unbound read, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn shadowing_resolves_to_the_innermost_binding() {
+        // Two loops over `i`: each body's `i` must resolve to its own slot.
+        let p = ProcBuilder::new("p")
+            .tensor_arg("x", DataType::F32, vec![ib(8)], Mem::Dram)
+            .for_("i", ib(0), ib(4), |b| {
+                b.assign("x", vec![var("i")], fb(1.0));
+            })
+            .build();
+        let p = {
+            let mut p2 = p.clone();
+            p2.body_mut().0.extend(p.body().0.iter().cloned());
+            p2
+        };
+        let lp = lower(&p);
+        let iters: Vec<u32> = lp
+            .code
+            .iter()
+            .filter_map(|i| match i {
+                LInst::Loop { iter, .. } => Some(*iter),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(iters.len(), 2);
+        assert_ne!(iters[0], iters[1], "each loop gets its own slot");
+        // Each body's store index uses the matching iterator slot.
+        let idx_slots: Vec<u32> = lp
+            .code
+            .iter()
+            .filter_map(|i| match i {
+                LInst::Assign { idx, .. } => match &idx[0] {
+                    LExpr::Var(LBufRef::Slot(s)) => Some(*s),
+                    _ => None,
+                },
+                _ => None,
+            })
+            .collect();
+        assert_eq!(idx_slots, iters);
+    }
+}

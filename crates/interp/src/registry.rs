@@ -1,7 +1,10 @@
 //! A registry of procedures resolvable by call statements.
 
+use crate::lower::{lower, LoweredProc};
 use exo_ir::Proc;
+use std::cell::RefCell;
 use std::collections::HashMap;
+use std::rc::Rc;
 
 /// Maps procedure names to their definitions.
 ///
@@ -10,9 +13,16 @@ use std::collections::HashMap;
 /// procedures (those with [`exo_ir::Proc::instr`] metadata) carry their
 /// semantics in their bodies, so calling them is no different from calling
 /// ordinary procedures — except that monitors may charge them differently.
+///
+/// The registry also memoizes the [`LoweredProc`] of each registered
+/// procedure (computed lazily on first call), so the hot instruction
+/// procedures of a kernel are lowered once per registration rather than
+/// re-traversed on every call. Re-registering a name invalidates its
+/// cached lowering.
 #[derive(Clone, Debug, Default)]
 pub struct ProcRegistry {
     procs: HashMap<String, Proc>,
+    lowered: RefCell<HashMap<String, Rc<LoweredProc>>>,
 }
 
 impl ProcRegistry {
@@ -22,8 +32,10 @@ impl ProcRegistry {
     }
 
     /// Registers a procedure under its own name, replacing any previous
-    /// definition with the same name.
+    /// definition with the same name (and dropping that name's cached
+    /// lowering, so calls always execute the latest definition).
     pub fn register(&mut self, proc: Proc) -> &mut Self {
+        self.lowered.borrow_mut().remove(proc.name());
         self.procs.insert(proc.name().to_string(), proc);
         self
     }
@@ -59,6 +71,33 @@ impl ProcRegistry {
     /// Iterates over all registered procedures.
     pub fn iter(&self) -> impl Iterator<Item = &Proc> {
         self.procs.values()
+    }
+
+    /// The cached lowering of the procedure registered under `name`,
+    /// lowering it now if this is the first request since registration.
+    /// Returns `None` for unregistered names.
+    pub(crate) fn lowered_for(&self, name: &str) -> Option<Rc<LoweredProc>> {
+        if let Some(lp) = self.lowered.borrow().get(name) {
+            return Some(lp.clone());
+        }
+        let proc = self.procs.get(name)?;
+        let lp = Rc::new(lower(proc));
+        self.lowered
+            .borrow_mut()
+            .insert(name.to_string(), lp.clone());
+        Some(lp)
+    }
+
+    /// The cached lowering for a top-level procedure, provided the
+    /// identical procedure is registered under its own name (the identity
+    /// key: same name *and* structurally equal definition). Lets repeated
+    /// `run` calls on a registered kernel skip re-lowering.
+    pub(crate) fn lowered_if_registered(&self, proc: &Proc) -> Option<Rc<LoweredProc>> {
+        let registered = self.procs.get(proc.name())?;
+        if registered != proc {
+            return None;
+        }
+        self.lowered_for(proc.name())
     }
 }
 

@@ -439,16 +439,62 @@ mod tests {
     #[test]
     fn operator_overloads_build_binops() {
         let e = var("i") * ib(8) + var("j");
-        match &e {
-            Expr::Bin {
-                op: BinOp::Add,
-                lhs,
-                ..
-            } => match lhs.as_ref() {
-                Expr::Bin { op: BinOp::Mul, .. } => {}
-                other => panic!("unexpected lhs {other:?}"),
+        // The lhs of the addition must itself be the multiplication;
+        // asserted without panicking on the unexpected shapes so the
+        // failure message always names the whole expression.
+        assert!(
+            matches!(
+                &e,
+                Expr::Bin {
+                    op: BinOp::Add,
+                    lhs,
+                    ..
+                } if matches!(lhs.as_ref(), Expr::Bin { op: BinOp::Mul, .. })
+            ),
+            "operator overloads built an unexpected shape: {e:?}"
+        );
+    }
+
+    #[test]
+    fn rewriting_tolerates_every_lhs_shape() {
+        // Expression rewriting (substitution/renaming) must be total over
+        // the `Expr` grammar: no lhs shape may panic, including windows,
+        // strides and config reads appearing under binary operators.
+        use crate::visit::{rename_expr, substitute_expr};
+        let shapes: Vec<Expr> = vec![
+            ib(1),
+            fb(0.5),
+            Expr::Bool(true),
+            var("i"),
+            read("A", vec![var("i")]),
+            Expr::Window {
+                buf: Sym::new("A"),
+                idx: vec![WAccess::Interval(var("i"), var("i") + ib(8))],
             },
-            other => panic!("unexpected {other:?}"),
+            Expr::Stride {
+                buf: Sym::new("A"),
+                dim: 0,
+            },
+            Expr::ReadConfig {
+                config: Sym::new("cfg"),
+                field: "stride".into(),
+            },
+            -var("i"),
+        ];
+        for lhs in shapes {
+            let e = Expr::bin(BinOp::Add, lhs.clone(), var("i"));
+            let s = substitute_expr(e.clone(), &Sym::new("i"), &ib(3));
+            // Every occurrence of `i` must be substituted, in the rhs and
+            // inside whatever shape the lhs has.
+            assert!(!s.mentions(&Sym::new("i")), "`i` left behind in {s:?}");
+            if let Expr::Bin { rhs, .. } = &s {
+                assert_eq!(rhs.as_ref(), &ib(3), "rhs not substituted for {lhs:?}");
+            }
+            let r = rename_expr(e, &Sym::new("A"), &Sym::new("B"));
+            assert!(
+                !r.mentions(&Sym::new("A")),
+                "rename left `A` behind in {r:?}"
+            );
         }
     }
 

@@ -186,6 +186,30 @@ impl Proc {
         self.body.count_recursive()
     }
 
+    /// Number of *binding sites* in the procedure: arguments, allocations,
+    /// loop iterators and window aliases, in stable pre-order.
+    ///
+    /// This is the exact number of environment slots a single activation
+    /// of the procedure needs, and is the contract the interpreter's
+    /// lowering pass relies on: `exo_interp::lower` assigns one dense
+    /// frame slot per binding site in this same pre-order.
+    pub fn binding_site_count(&self) -> usize {
+        let mut n = self.args.len();
+        for stmt in self.body.iter() {
+            crate::visit::for_each_stmt(stmt, &mut |s| {
+                if matches!(
+                    s,
+                    crate::stmt::Stmt::Alloc { .. }
+                        | crate::stmt::Stmt::For { .. }
+                        | crate::stmt::Stmt::WindowStmt { .. }
+                ) {
+                    n += 1;
+                }
+            });
+        }
+        n
+    }
+
     /// Partially evaluates size arguments to constants, returning a new
     /// procedure with those arguments removed and every use replaced by the
     /// constant (the paper's `p.partial_eval(M, N)`).
@@ -260,6 +284,22 @@ mod tests {
         assert_eq!(p.preds().len(), 1);
         assert_eq!(p.stmt_count(), 3);
         assert!(!p.is_instr());
+    }
+
+    #[test]
+    fn binding_sites_count_args_loops_allocs() {
+        let p = gemv();
+        // 5 arguments + 2 loop iterators.
+        assert_eq!(p.binding_site_count(), 7);
+        let p = ProcBuilder::new("p")
+            .tensor_arg("x", DataType::F32, vec![ib(4)], Mem::Dram)
+            .for_("i", ib(0), ib(4), |b| {
+                b.alloc("t", DataType::F32, vec![], Mem::Dram);
+                b.assign("t", vec![], crate::expr::fb(0.0));
+            })
+            .build();
+        // x + i + t.
+        assert_eq!(p.binding_site_count(), 3);
     }
 
     #[test]

@@ -178,12 +178,36 @@ pub fn avx512_instructions(ty: DataType) -> Vec<Proc> {
     }
 }
 
-/// Cycle cost of an instruction cost class. Values are loosely based on
-/// published latencies/throughputs for Skylake-class cores and Gemmini's
-/// documentation; the benchmark harness only relies on their *relative*
-/// magnitudes.
-pub fn instruction_cost_class(class: &str) -> u64 {
-    match class {
+/// Cycle cost assumed for instruction cost classes the model does not
+/// know (a conservative middle-of-the-road latency).
+pub const DEFAULT_INSTRUCTION_COST: u64 = 8;
+
+/// An instruction cost class the machine model has no entry for.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct UnknownCostClass(pub String);
+
+impl std::fmt::Display for UnknownCostClass {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "unsupported instruction cost class `{}` (no latency entry in the machine model)",
+            self.0
+        )
+    }
+}
+
+impl std::error::Error for UnknownCostClass {}
+
+/// Cycle cost of an instruction cost class, strict variant. Values are
+/// loosely based on published latencies/throughputs for Skylake-class
+/// cores and Gemmini's documentation; the benchmark harness only relies
+/// on their *relative* magnitudes.
+///
+/// # Errors
+/// Returns [`UnknownCostClass`] — naming the offending class — for any
+/// class without a latency entry.
+pub fn try_instruction_cost_class(class: &str) -> Result<u64, UnknownCostClass> {
+    Ok(match class {
         // x86 vector classes.
         "mm256_load" | "mm512_load" => 3,
         "mm256_store" | "mm512_store" => 3,
@@ -201,8 +225,15 @@ pub fn instruction_cost_class(class: &str) -> u64 {
         "gemmini_zero" => 8,
         // Scalar helper calls (quantization, activation).
         "scalar_helper" => 4,
-        _ => 8,
-    }
+        other => return Err(UnknownCostClass(other.to_string())),
+    })
+}
+
+/// Cycle cost of an instruction cost class, lenient variant: unknown
+/// classes fall back to [`DEFAULT_INSTRUCTION_COST`] so user-defined
+/// instruction procedures still simulate.
+pub fn instruction_cost_class(class: &str) -> u64 {
+    try_instruction_cost_class(class).unwrap_or(DEFAULT_INSTRUCTION_COST)
 }
 
 #[cfg(test)]
@@ -234,9 +265,12 @@ mod tests {
         let load = instrs
             .iter()
             .find(|p| p.name() == "mm512_loadu_ps")
-            .unwrap();
+            .expect("avx512 f32 set defines mm512_loadu_ps");
         let exo_ir::ArgKind::Tensor { dims, .. } = &load.args()[0].kind else {
-            panic!()
+            panic!(
+                "mm512_loadu_ps dst should be a tensor argument, was {:?}",
+                load.args()[0].kind
+            )
         };
         assert_eq!(dims[0].as_int(), Some(16));
     }
@@ -248,5 +282,23 @@ mod tests {
         );
         assert!(instruction_cost_class("mm512_hreduce") > instruction_cost_class("mm512_fma"));
         assert_eq!(instruction_cost_class("mm256_fma"), 1);
+    }
+
+    #[test]
+    fn unknown_cost_classes_error_with_the_class_name() {
+        let err = try_instruction_cost_class("warp_drive").expect_err("unknown class");
+        assert_eq!(err, UnknownCostClass("warp_drive".to_string()));
+        let msg = err.to_string();
+        assert!(
+            msg.contains("warp_drive"),
+            "message must name the class: {msg}"
+        );
+        assert!(msg.contains("unsupported"), "{msg}");
+        // The lenient entry point keeps simulating with the default cost.
+        assert_eq!(
+            instruction_cost_class("warp_drive"),
+            DEFAULT_INSTRUCTION_COST
+        );
+        assert_eq!(try_instruction_cost_class("mm256_fma"), Ok(1));
     }
 }

@@ -33,5 +33,8 @@ mod model;
 pub use cache::{Cache, CacheConfig, CacheStats};
 pub use cost::{simulate, try_simulate, CostModel, CostMonitor, SimReport};
 pub use gemmini::{gemmini_instructions, GEMM_ACCUM_BYTES, GEMM_SCRATCH_BYTES};
-pub use isa::{avx2_instructions, avx512_instructions, instruction_cost_class};
+pub use isa::{
+    avx2_instructions, avx512_instructions, instruction_cost_class, try_instruction_cost_class,
+    UnknownCostClass, DEFAULT_INSTRUCTION_COST,
+};
 pub use model::{MachineKind, MachineModel};

@@ -37,6 +37,59 @@ fn run_level1(
     out
 }
 
+/// The lowered, slot-indexed executor must be observationally identical
+/// to the reference tree-walking interpreter: same buffers *and* the same
+/// monitor event counts, across every level-1 kernel and its vectorized
+/// schedule (which exercises the instruction-call path and the registry's
+/// lowering cache).
+#[test]
+fn lowered_executor_matches_reference_interpreter() {
+    use exo2::interp::CountingMonitor;
+    let machine = MachineModel::avx2();
+    let registry: ProcRegistry = machine.instructions(DataType::F32).into_iter().collect();
+    let n = 64usize;
+    for k in LEVEL1_KERNELS {
+        if matches!(k.name, "rot" | "rotm") {
+            continue;
+        }
+        let p = ProcHandle::new((k.build)(Precision::Single));
+        let loop_ = p.find_loop("i").unwrap();
+        let opt = optimize_level_1(&p, &loop_, DataType::F32, &machine, 2).unwrap();
+        for proc in [p.proc(), opt.proc()] {
+            let run = |reference: bool| {
+                let mut interp = Interpreter::new(&registry);
+                let x: Vec<f64> = (0..n).map(|v| (v % 13) as f64 * 0.5).collect();
+                let y: Vec<f64> = (0..n).map(|v| (v % 7) as f64 - 3.0).collect();
+                let (xb, xa) = ArgValue::from_vec(x, vec![n], DataType::F32);
+                let (yb, ya) = ArgValue::from_vec(y, vec![n], DataType::F32);
+                let (ob, oa) = ArgValue::zeros(vec![1], DataType::F32);
+                let args = vec![ArgValue::Int(n as i64), ArgValue::Float(1.5), xa, ya, oa];
+                let mut mon = CountingMonitor::default();
+                if reference {
+                    interp.run_reference(proc, args, &mut mon).unwrap();
+                } else {
+                    interp.run(proc, args, &mut mon).unwrap();
+                }
+                let (x_out, y_out, o_out) = (
+                    xb.borrow().data.clone(),
+                    yb.borrow().data.clone(),
+                    ob.borrow().data.clone(),
+                );
+                (
+                    x_out,
+                    y_out,
+                    o_out,
+                    (mon.scalar_ops, mon.reads, mon.writes, mon.loop_iters),
+                    (mon.branches, mon.calls, mon.stmts),
+                )
+            };
+            let new = run(false);
+            let old = run(true);
+            assert_eq!(new, old, "divergence on {} ({})", k.name, proc.name());
+        }
+    }
+}
+
 #[test]
 fn every_level1_schedule_is_equivalent_on_fixed_inputs() {
     for machine in [MachineModel::avx2(), MachineModel::avx512()] {
