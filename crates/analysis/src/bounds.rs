@@ -216,7 +216,7 @@ mod tests {
             iter: Sym::new("ii"),
             lo: ib(0),
             hi: ib(32),
-            body: Block(vec![Stmt::Assign {
+            body: Block::from_stmts(vec![Stmt::Assign {
                 buf: Sym::new("x"),
                 idx: vec![],
                 rhs: read("arr", vec![base.clone()])
@@ -251,7 +251,7 @@ mod tests {
             iter: Sym::new("i"),
             lo: ib(0),
             hi: var("n"),
-            body: Block(vec![Stmt::Assign {
+            body: Block::from_stmts(vec![Stmt::Assign {
                 buf: Sym::new("y"),
                 idx: vec![var("i") + ib(3)],
                 rhs: ib(0),
@@ -286,11 +286,11 @@ mod tests {
             iter: Sym::new("yi"),
             lo: ib(0),
             hi: ib(32),
-            body: Block(vec![Stmt::For {
+            body: Block::from_stmts(vec![Stmt::For {
                 iter: Sym::new("xi"),
                 lo: ib(0),
                 hi: ib(256),
-                body: Block(vec![body]),
+                body: Block::from_stmts(vec![body]),
                 parallel: false,
             }]),
             parallel: false,

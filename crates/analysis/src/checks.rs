@@ -349,7 +349,7 @@ mod tests {
             iter: Sym::new("i"),
             lo: ib(0),
             hi: ib(4),
-            body: Block(vec![assign("y", vec![var("i")], fb(0.0))]),
+            body: Block::from_stmts(vec![assign("y", vec![var("i")], fb(0.0))]),
             parallel: false,
         };
         assert!(!body_depends_on(&[shadowed], &Sym::new("i")));

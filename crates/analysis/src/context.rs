@@ -48,7 +48,7 @@ impl Context {
     pub fn at(proc: &Proc, path: &[Step]) -> Self {
         let mut ctx = Context::from_proc(proc);
         // Walk down the path, recording loop iterator ranges.
-        let mut stmts: &[Stmt] = &proc.body().0;
+        let mut stmts: &[Stmt] = proc.body().stmts();
         for step in path {
             let idx = step.index();
             let Some(stmt) = stmts.get(idx) else { break };
@@ -56,9 +56,9 @@ impl Context {
                 ctx.push_iter(iter.clone(), lo.clone(), hi.clone());
             }
             stmts = match (stmt, step) {
-                (Stmt::For { body, .. }, Step::Body(_)) => &body.0,
-                (Stmt::If { then_body, .. }, Step::Body(_)) => &then_body.0,
-                (Stmt::If { else_body, .. }, Step::Else(_)) => &else_body.0,
+                (Stmt::For { body, .. }, Step::Body(_)) => body.stmts(),
+                (Stmt::If { then_body, .. }, Step::Body(_)) => then_body.stmts(),
+                (Stmt::If { else_body, .. }, Step::Else(_)) => else_body.stmts(),
                 _ => &[],
             };
         }

@@ -228,11 +228,11 @@ mod tests {
             iter: Sym::new("i"),
             lo: ib(0),
             hi: var("M"),
-            body: Block(vec![Stmt::For {
+            body: Block::from_stmts(vec![Stmt::For {
                 iter: Sym::new("j"),
                 lo: ib(0),
                 hi: var("N"),
-                body: Block(vec![Stmt::Reduce {
+                body: Block::from_stmts(vec![Stmt::Reduce {
                     buf: Sym::new("y"),
                     idx: vec![var("i")],
                     rhs: read("A", vec![var("i"), var("j")]) * read("x", vec![var("j")]),

@@ -190,7 +190,18 @@ pub(crate) fn contains_ident(text: &str, ident: &str) -> bool {
 
 /// Whether two expressions are provably equal by affine normalization.
 pub fn provably_equal(a: &Expr, b: &Expr) -> bool {
-    LinExpr::from_expr(a).sub(&LinExpr::from_expr(b)).is_zero()
+    // Leaf-vs-leaf comparisons are decided without building linear forms
+    // (which allocate): two literals compare directly, a literal never
+    // equals a lone symbolic variable, and two variables are equal exactly
+    // when they are the same symbol — all cases where the normalization
+    // below provably reaches the same verdict.
+    match (a, b) {
+        (Expr::Int(x), Expr::Int(y)) => return x == y,
+        (Expr::Int(_), Expr::Var(_)) | (Expr::Var(_), Expr::Int(_)) => return false,
+        (Expr::Var(x), Expr::Var(y)) => return x == y,
+        _ => {}
+    }
+    a == b || LinExpr::from_expr(a).sub(&LinExpr::from_expr(b)).is_zero()
 }
 
 #[cfg(test)]

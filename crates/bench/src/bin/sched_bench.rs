@@ -1,0 +1,311 @@
+//! Micro-benchmark: scheduling-construction throughput, old (deep-clone)
+//! versus new (structurally-shared) editing engine.
+//!
+//! Every scheduling primitive commits a [`exo_cursors::Rewrite`]. The old
+//! engine deep-copied the whole procedure per primitive and retained one
+//! full AST per provenance-chain version; the new engine snapshots are
+//! `Arc` bumps, edits un-share only the O(depth) spine, forwarding uses
+//! precomposed per-version steps, and `find` stops at the requested match.
+//! `exo_cursors::with_reference_semantics` re-enables the historical
+//! behaviour at runtime, which is what the `old_*` columns measure.
+//!
+//! * Default mode builds each schedule in both modes, **verifies the
+//!   scheduled procedures pretty-print byte-for-byte identically** (and
+//!   match the checked-in goldens in `crates/bench/goldens/`), then times
+//!   both engines and writes `BENCH_sched.json` (sched-ops/sec per
+//!   pipeline plus retained provenance-chain bytes).
+//! * `--smoke` does the verification once per pipeline and writes
+//!   nothing — a cheap CI guard against scheduling-equivalence
+//!   regressions.
+//!
+//! "sched-ops" are primitive rewrites (`exo_core::stats`), identical in
+//! both modes, so sched-ops/sec is comparable across pipelines.
+//! Regenerate the checked-in `BENCH_sched.json` with:
+//!
+//! ```text
+//! cargo run --release -p exo-bench --bin sched_bench
+//! ```
+
+use exo_cursors::{with_reference_semantics, ProcHandle};
+use exo_ir::{Block, DataType, Proc, Stmt, Sym};
+use exo_kernels::Precision;
+use exo_lib::{
+    halide_blur_schedule, level1::optimize_level_1, level2::optimize_level_2_general,
+    optimize_sgemm,
+};
+use exo_machine::MachineModel;
+use std::time::Instant;
+
+/// One benchmarked pipeline: an unscheduled kernel plus the user-level
+/// schedule applied to it. `golden` names the checked-in pretty-print the
+/// scheduled result must reproduce byte-for-byte.
+struct Workload {
+    name: &'static str,
+    golden: Option<&'static str>,
+    base: Proc,
+    #[allow(clippy::type_complexity)]
+    schedule: Box<dyn Fn(&ProcHandle) -> ProcHandle>,
+}
+
+/// `copies` side-by-side copies of the sgemm loop nest in one procedure.
+/// The schedule only rewrites the first nest — which is exactly the point:
+/// the deep-clone engine still pays O(|proc|) per primitive for the
+/// untouched copies, the shared engine does not.
+fn sgemm_wide(copies: usize) -> Proc {
+    let base = exo_kernels::sgemm();
+    let stmts: Vec<Stmt> = (0..copies)
+        .flat_map(|_| base.body().iter().cloned())
+        .collect();
+    base.clone()
+        .with_name("sgemm_wide")
+        .with_body(Block::from_stmts(stmts))
+}
+
+fn workloads() -> Vec<Workload> {
+    let mut v = Vec::new();
+    v.push(Workload {
+        name: "sgemm",
+        golden: Some("sgemm.txt"),
+        base: exo_kernels::sgemm(),
+        schedule: Box::new(|p| optimize_sgemm(p, &MachineModel::avx512()).expect("sgemm schedule")),
+    });
+    v.push(Workload {
+        name: "sgemm_x8",
+        golden: Some("sgemm_x8.txt"),
+        base: sgemm_wide(8),
+        schedule: Box::new(|p| {
+            optimize_sgemm(p, &MachineModel::avx512()).expect("sgemm_x8 schedule")
+        }),
+    });
+    v.push(Workload {
+        name: "sgemm_x32",
+        golden: Some("sgemm_x32.txt"),
+        base: sgemm_wide(32),
+        schedule: Box::new(|p| {
+            optimize_sgemm(p, &MachineModel::avx512()).expect("sgemm_x32 schedule")
+        }),
+    });
+    v.push(Workload {
+        name: "sgemm_x64",
+        golden: Some("sgemm_x64.txt"),
+        base: sgemm_wide(64),
+        schedule: Box::new(|p| {
+            optimize_sgemm(p, &MachineModel::avx512()).expect("sgemm_x64 schedule")
+        }),
+    });
+    v.push(Workload {
+        name: "halide_blur",
+        golden: Some("halide_blur.txt"),
+        base: exo_kernels::blur2d(),
+        schedule: Box::new(|p| {
+            halide_blur_schedule(p, &MachineModel::avx2()).expect("blur schedule")
+        }),
+    });
+    v.push(Workload {
+        name: "level1_axpy",
+        golden: Some("level1_axpy.txt"),
+        base: exo_kernels::axpy(Precision::Single),
+        schedule: Box::new(|p| {
+            let machine = MachineModel::avx2();
+            let loop_ = p.find_loop("i").expect("axpy has an i loop");
+            optimize_level_1(p, &loop_, DataType::F32, &machine, 2).expect("level-1 schedule")
+        }),
+    });
+    v.push(Workload {
+        name: "level2_gemv",
+        golden: Some("level2_gemv.txt"),
+        base: exo_kernels::gemv(Precision::Single, false),
+        schedule: Box::new(|p| {
+            let machine = MachineModel::avx2();
+            let outer = p.find_loop("i").expect("gemv has an i loop");
+            optimize_level_2_general(p, &outer, DataType::F32, &machine, 4, 2)
+                .expect("level-2 schedule")
+        }),
+    });
+    v
+}
+
+fn golden_path(file: &str) -> std::path::PathBuf {
+    std::path::Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("goldens")
+        .join(file)
+}
+
+/// Builds the schedule in both modes and checks the results pretty-print
+/// identically to each other and to the checked-in golden. With
+/// `write_goldens`, the golden file is (re)written instead of compared —
+/// for onboarding new pipelines, not for papering over regressions.
+fn verify(w: &Workload, write_goldens: bool) -> (ProcHandle, ProcHandle) {
+    let base = ProcHandle::new(w.base.clone());
+    // Reset the fresh-name counter before each construction so generated
+    // temporaries (`vtmp_2`, ...) are deterministic: both engines and the
+    // checked-in goldens must agree byte-for-byte.
+    Sym::reset_fresh_counter();
+    let new = (w.schedule)(&base);
+    Sym::reset_fresh_counter();
+    let old = with_reference_semantics(|| (w.schedule)(&base));
+    let new_text = new.to_string();
+    if new_text != old.to_string() {
+        eprintln!(
+            "FATAL: `{}` shared-engine schedule diverged from the deep-clone reference",
+            w.name
+        );
+        std::process::exit(1);
+    }
+    if let (Some(file), true) = (w.golden, write_goldens) {
+        let path = golden_path(file);
+        std::fs::write(&path, &new_text).unwrap_or_else(|e| {
+            eprintln!("FATAL: cannot write golden {}: {e}", path.display());
+            std::process::exit(1);
+        });
+        println!("  golden {:<12} written to {}", w.name, path.display());
+        return (old, new);
+    }
+    if let Some(file) = w.golden {
+        let path = golden_path(file);
+        match std::fs::read_to_string(&path) {
+            Ok(golden) if golden == new_text => {}
+            Ok(_) => {
+                eprintln!(
+                    "FATAL: `{}` scheduled proc no longer matches golden {}",
+                    w.name,
+                    path.display()
+                );
+                std::process::exit(1);
+            }
+            Err(e) => {
+                eprintln!("FATAL: cannot read golden {}: {e}", path.display());
+                std::process::exit(1);
+            }
+        }
+    }
+    println!(
+        "  verify {:<12} ok (old == new == golden, {} stmts)",
+        w.name,
+        new.proc().stmt_count()
+    );
+    (old, new)
+}
+
+/// Times `iters` schedule constructions; returns seconds. Base-handle
+/// construction happens outside the timed region so sched-ops/sec
+/// measures the editing engine, not kernel construction.
+fn time_runs(w: &Workload, reference: bool, iters: u32) -> f64 {
+    let base = ProcHandle::new(w.base.clone());
+    let start = Instant::now();
+    for _ in 0..iters {
+        Sym::reset_fresh_counter();
+        let scheduled = if reference {
+            with_reference_semantics(|| (w.schedule)(&base))
+        } else {
+            (w.schedule)(&base)
+        };
+        std::hint::black_box(&scheduled);
+    }
+    start.elapsed().as_secs_f64()
+}
+
+struct Row {
+    name: String,
+    ops: u64,
+    iters: u32,
+    old_ops_per_sec: f64,
+    new_ops_per_sec: f64,
+    speedup: f64,
+    old_retained_bytes: usize,
+    new_retained_bytes: usize,
+    chain_len: usize,
+}
+
+fn bench(w: &Workload, smoke: bool, write_goldens: bool) -> Option<Row> {
+    let (old, new) = verify(w, write_goldens);
+    if smoke {
+        return None;
+    }
+    let base = ProcHandle::new(w.base.clone());
+    let (_, ops) = exo_core::stats::measure(|| (w.schedule)(&base));
+    // Calibrate to ~0.5 s of reference-path time per workload.
+    let probe = time_runs(w, true, 1).max(1e-6);
+    let iters = ((0.5 / probe) as u32).clamp(3, 20_000);
+    let t_old = time_runs(w, true, iters);
+    let t_new = time_runs(w, false, iters);
+    let total_ops = ops as f64 * iters as f64;
+    let row = Row {
+        name: w.name.to_string(),
+        ops,
+        iters,
+        old_ops_per_sec: total_ops / t_old,
+        new_ops_per_sec: total_ops / t_new,
+        speedup: t_old / t_new,
+        old_retained_bytes: old.chain_retained_bytes(),
+        new_retained_bytes: new.chain_retained_bytes(),
+        chain_len: new.chain_len(),
+    };
+    println!(
+        "  bench  {:<12} {:>6} iters  old {:>10.0} ops/s  new {:>10.0} ops/s  speedup {:>5.2}x  \
+         retained {:>8} -> {:>7} B over {} versions",
+        row.name,
+        row.iters,
+        row.old_ops_per_sec,
+        row.new_ops_per_sec,
+        row.speedup,
+        row.old_retained_bytes,
+        row.new_retained_bytes,
+        row.chain_len
+    );
+    Some(row)
+}
+
+fn json(rows: &[Row]) -> String {
+    let mut out = String::from("{\n");
+    out.push_str("  \"generated_by\": \"cargo run --release -p exo-bench --bin sched_bench\",\n");
+    out.push_str(
+        "  \"unit\": \"sched_ops_per_sec (ops = primitive rewrites per schedule construction); \
+         retained_bytes = estimated heap bytes retained by the full provenance chain\",\n",
+    );
+    out.push_str("  \"benchmarks\": [\n");
+    for (i, r) in rows.iter().enumerate() {
+        out.push_str(&format!(
+            "    {{\"name\": \"{}\", \"sched_ops_per_run\": {}, \"iters\": {}, \
+             \"old_ops_per_sec\": {:.0}, \"new_ops_per_sec\": {:.0}, \"speedup\": {:.2}, \
+             \"chain_versions\": {}, \"old_retained_bytes\": {}, \"new_retained_bytes\": {}}}{}\n",
+            r.name,
+            r.ops,
+            r.iters,
+            r.old_ops_per_sec,
+            r.new_ops_per_sec,
+            r.speedup,
+            r.chain_len,
+            r.old_retained_bytes,
+            r.new_retained_bytes,
+            if i + 1 < rows.len() { "," } else { "" }
+        ));
+    }
+    out.push_str("  ]\n}\n");
+    out
+}
+
+fn main() {
+    let smoke = std::env::args().any(|a| a == "--smoke");
+    let write_goldens = std::env::args().any(|a| a == "--write-goldens");
+    println!(
+        "sched_bench: old (deep-clone) vs new (structurally-shared) scheduling engine{}",
+        if smoke { " [smoke mode]" } else { "" }
+    );
+    let mut rows = Vec::new();
+    for w in workloads() {
+        if let Some(row) = bench(&w, smoke || write_goldens, write_goldens) {
+            rows.push(row);
+        }
+    }
+    if smoke || write_goldens {
+        println!("smoke mode: scheduling equivalence verified, no JSON written");
+        return;
+    }
+    let path = "BENCH_sched.json";
+    std::fs::write(path, json(&rows)).unwrap_or_else(|e| {
+        eprintln!("FATAL: cannot write {path}: {e}");
+        std::process::exit(1);
+    });
+    println!("wrote {path}");
+}

@@ -31,7 +31,7 @@ fn map_accesses_stmt(stmt: &mut Stmt, buf: &Sym, f: &dyn Fn(Vec<Expr>) -> Vec<Ex
         Stmt::For { lo, hi, body, .. } => {
             map_accesses_expr(lo, buf, f);
             map_accesses_expr(hi, buf, f);
-            for s in body.0.iter_mut() {
+            for s in body.stmts_mut().iter_mut() {
                 map_accesses_stmt(s, buf, f);
             }
         }
@@ -41,7 +41,11 @@ fn map_accesses_stmt(stmt: &mut Stmt, buf: &Sym, f: &dyn Fn(Vec<Expr>) -> Vec<Ex
             else_body,
         } => {
             map_accesses_expr(cond, buf, f);
-            for s in then_body.0.iter_mut().chain(else_body.0.iter_mut()) {
+            for s in then_body
+                .stmts_mut()
+                .iter_mut()
+                .chain(else_body.stmts_mut().iter_mut())
+            {
                 map_accesses_stmt(s, buf, f);
             }
         }
@@ -586,7 +590,7 @@ fn rewrite_unrolled(stmt: &mut Stmt, buf: &Sym, dim: usize) {
             }
         }
         Stmt::For { body, .. } => {
-            for s in body.0.iter_mut() {
+            for s in body.stmts_mut().iter_mut() {
                 rewrite_unrolled(s, buf, dim);
             }
         }
@@ -595,7 +599,11 @@ fn rewrite_unrolled(stmt: &mut Stmt, buf: &Sym, dim: usize) {
             else_body,
             ..
         } => {
-            for s in then_body.0.iter_mut().chain(else_body.0.iter_mut()) {
+            for s in then_body
+                .stmts_mut()
+                .iter_mut()
+                .chain(else_body.stmts_mut().iter_mut())
+            {
                 rewrite_unrolled(s, buf, dim);
             }
         }
@@ -692,7 +700,7 @@ pub fn stage_mem(
     // Containment check through bounds inference over a wrapper statement.
     let wrapper = Stmt::If {
         cond: Expr::Bool(true),
-        then_body: Block(stmts.clone()),
+        then_body: Block::from_stmts(stmts.clone()),
         else_body: Block::new(),
     };
     let bounds = infer_bounds(&wrapper, &buf_sym, &ctx).ok_or_else(|| {

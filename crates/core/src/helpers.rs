@@ -90,7 +90,7 @@ pub(crate) fn mk_for(iter: impl Into<Sym>, lo: Expr, hi: Expr, body: Vec<Stmt>) 
         iter: iter.into(),
         lo,
         hi,
-        body: Block(body),
+        body: Block::from_stmts(body),
         parallel: false,
     }
 }
@@ -99,7 +99,7 @@ pub(crate) fn mk_for(iter: impl Into<Sym>, lo: Expr, hi: Expr, body: Vec<Stmt>) 
 pub(crate) fn mk_if(cond: Expr, then_body: Vec<Stmt>) -> Stmt {
     Stmt::If {
         cond,
-        then_body: Block(then_body),
+        then_body: Block::from_stmts(then_body),
         else_body: Block::new(),
     }
 }

@@ -80,6 +80,7 @@ pub use rearrange::{commute_expr, reorder_stmts};
 pub use scope::{fuse, lift_scope, specialize};
 pub use simplify_ops::{
     eliminate_dead_code, inline_assign, inline_window, merge_writes, rewrite_expr, simplify,
+    simplify_at,
 };
 
 /// Result alias for scheduling operations.

@@ -62,7 +62,7 @@ pub fn divide_loop(
     let io = Sym::new(new_iters[0]);
     let ii = Sym::new(new_iters[1]);
     let point = ib(factor) * var(io.clone()) + var(ii.clone());
-    let main_body = subst_stmts(&body.0, &iter, &point);
+    let main_body = subst_stmts(body.stmts(), &iter, &point);
 
     let replacement: Vec<Stmt> = match tail {
         TailStrategy::Perfect => {
@@ -75,7 +75,12 @@ pub fn divide_loop(
                 iter: io.clone(),
                 lo: ib(0),
                 hi: hi.clone() / ib(factor),
-                body: exo_ir::Block(vec![mk_for(ii.clone(), ib(0), ib(factor), main_body)]),
+                body: exo_ir::Block::from_stmts(vec![mk_for(
+                    ii.clone(),
+                    ib(0),
+                    ib(factor),
+                    main_body,
+                )]),
                 parallel,
             }]
         }
@@ -85,7 +90,12 @@ pub fn divide_loop(
                 iter: io.clone(),
                 lo: ib(0),
                 hi: (hi.clone() + ib(factor - 1)) / ib(factor),
-                body: exo_ir::Block(vec![mk_for(ii.clone(), ib(0), ib(factor), guarded)]),
+                body: exo_ir::Block::from_stmts(vec![mk_for(
+                    ii.clone(),
+                    ib(0),
+                    ib(factor),
+                    guarded,
+                )]),
                 parallel,
             }]
         }
@@ -94,11 +104,16 @@ pub fn divide_loop(
                 iter: io.clone(),
                 lo: ib(0),
                 hi: hi.clone() / ib(factor),
-                body: exo_ir::Block(vec![mk_for(ii.clone(), ib(0), ib(factor), main_body)]),
+                body: exo_ir::Block::from_stmts(vec![mk_for(
+                    ii.clone(),
+                    ib(0),
+                    ib(factor),
+                    main_body,
+                )]),
                 parallel,
             };
             let tail_point = ib(factor) * (hi.clone() / ib(factor)) + var(ii.clone());
-            let tail_body = subst_stmts(&body.0, &iter, &tail_point);
+            let tail_body = subst_stmts(body.stmts(), &iter, &tail_point);
             let tail_loop = mk_for(ii.clone(), ib(0), hi.clone() % ib(factor), tail_body);
             let tail_stmt = if tail == TailStrategy::CutAndGuard {
                 mk_if(
@@ -165,12 +180,12 @@ pub fn divide_with_recompute(
     let ii = Sym::new(new_iters[1]);
     let point = ib(factor) * var(io.clone()) + var(ii.clone());
     let inner_hi = ib(factor) + hi.clone() - n_outer.clone() * ib(factor);
-    let new_body = subst_stmts(&body.0, &iter, &point);
+    let new_body = subst_stmts(body.stmts(), &iter, &point);
     let replacement = Stmt::For {
         iter: io,
         lo: ib(0),
         hi: n_outer,
-        body: exo_ir::Block(vec![mk_for(ii, ib(0), inner_hi, new_body)]),
+        body: exo_ir::Block::from_stmts(vec![mk_for(ii, ib(0), inner_hi, new_body)]),
         parallel,
     };
     let mut rw = Rewrite::new(p);
@@ -215,7 +230,6 @@ pub fn mult_loops(p: &ProcHandle, outer: impl IntoCursor, new_iter: &str) -> Res
     expect_positive(c_const, "inner loop bound")?;
     let k = Sym::new(new_iter);
     let body = ibody
-        .0
         .iter()
         .cloned()
         .map(|s| exo_ir::substitute_var(s, &oi, &(var(k.clone()) / ib(c_const))))
@@ -225,7 +239,7 @@ pub fn mult_loops(p: &ProcHandle, outer: impl IntoCursor, new_iter: &str) -> Res
         iter: k,
         lo: ib(0),
         hi: ohi * ib(c_const),
-        body: exo_ir::Block(body),
+        body: exo_ir::Block::from_stmts(body),
         parallel,
     };
     let path = stmt_path_of(&c)?;
@@ -297,12 +311,12 @@ pub fn join_loops(
         )));
     }
     // Alpha-compare the bodies under a common iterator name.
-    let renamed: Vec<Stmt> =
-        b2.0.iter()
-            .cloned()
-            .map(|s| rename_sym(s, &i2, &i1))
-            .collect();
-    if renamed != b1.0 {
+    let renamed: Vec<Stmt> = b2
+        .iter()
+        .cloned()
+        .map(|s| rename_sym(s, &i2, &i1))
+        .collect();
+    if renamed != b1.stmts() {
         return Err(SchedError::scheduling(
             "join_loops requires identical loop bodies",
         ));
@@ -334,13 +348,13 @@ pub fn shift_loop(p: &ProcHandle, loop_: impl IntoCursor, new_lo: Expr) -> Resul
     }
     // i_old = i_new - new_lo + lo
     let mapping = var(iter.clone()) - new_lo.clone() + lo.clone();
-    let new_body = subst_stmts(&body.0, &iter, &mapping);
+    let new_body = subst_stmts(body.stmts(), &iter, &mapping);
     let empty_ctx = Context::new();
     let replacement = Stmt::For {
         iter,
         lo: new_lo.clone(),
         hi: exo_analysis::simplify_expr(&(hi + new_lo - lo), &empty_ctx),
-        body: exo_ir::Block(new_body),
+        body: exo_ir::Block::from_stmts(new_body),
         parallel,
     };
     let mut rw = Rewrite::new(p);
@@ -444,8 +458,8 @@ pub fn fission(p: &ProcHandle, gap: &Cursor, n_lifts: usize) -> Result<ProcHandl
         if split_idx == 0 || split_idx >= body.len() {
             return Err(SchedError::scheduling("fission gap is at a block boundary"));
         }
-        let s1: Vec<Stmt> = body.0[..split_idx].to_vec();
-        let s2: Vec<Stmt> = body.0[split_idx..].to_vec();
+        let s1: Vec<Stmt> = body.stmts()[..split_idx].to_vec();
+        let s2: Vec<Stmt> = body.stmts()[split_idx..].to_vec();
         fission_safe(&iter, &s1, &s2).map_err(SchedError::scheduling)?;
         // Edit plan chosen for forwarding fidelity: insert a copy of the
         // loop holding the second half *after* the original loop, then
@@ -455,7 +469,7 @@ pub fn fission(p: &ProcHandle, gap: &Cursor, n_lifts: usize) -> Result<ProcHandl
             iter,
             lo,
             hi,
-            body: exo_ir::Block(s2),
+            body: exo_ir::Block::from_stmts(s2),
             parallel,
         };
         let mut after_loop = loop_path.clone();
@@ -572,7 +586,7 @@ pub fn unroll_loop(p: &ProcHandle, loop_: impl IntoCursor) -> Result<ProcHandle>
     }
     let mut replacement = Vec::new();
     for i in lo..hi {
-        replacement.extend(subst_stmts(&body.0, &iter, &ib(i)));
+        replacement.extend(subst_stmts(body.stmts(), &iter, &ib(i)));
     }
     let path = stmt_path_of(&c)?;
     let mut rw = Rewrite::new(p);
@@ -634,7 +648,7 @@ pub fn reorder_loops(p: &ProcHandle, outer: impl IntoCursor) -> Result<ProcHandl
             "inner loop bounds depend on the outer iterator `{oi}`"
         )));
     }
-    if !interchange_safe(&oi, &ii, &ibody.0) {
+    if !interchange_safe(&oi, &ii, ibody.stmts()) {
         return Err(SchedError::scheduling(
             "cannot prove the loop body commutes across iteration pairs",
         ));
@@ -650,7 +664,7 @@ pub fn reorder_loops(p: &ProcHandle, outer: impl IntoCursor) -> Result<ProcHandl
         iter: ii,
         lo: ilo,
         hi: ihi,
-        body: exo_ir::Block(vec![new_inner]),
+        body: exo_ir::Block::from_stmts(vec![new_inner]),
         parallel: ipar,
     };
     let path = stmt_path_of(&c)?;

@@ -43,7 +43,7 @@ pub fn inline_call(p: &ProcHandle, call: impl IntoCursor, callee: &Proc) -> Resu
     }
     let path = c.path().stmt_path().unwrap().to_vec();
     let mut rw = Rewrite::new(p);
-    rw.replace(&path, 1, body.0)?;
+    rw.replace(&path, 1, body.into_stmts())?;
     stats::record("inline");
     Ok(rw.commit())
 }
@@ -54,8 +54,8 @@ fn bind_argument(body: Block, arg: &ProcArg, actual: &Expr) -> Result<Block> {
         ArgKind::Tensor { .. } => match actual {
             Expr::Var(buf) => {
                 // Whole-buffer argument: a plain rename.
-                Ok(Block(
-                    body.0
+                Ok(Block::from_stmts(
+                    body.into_stmts()
                         .into_iter()
                         .map(|s| exo_ir::rename_sym(s, &arg.name, buf))
                         .collect(),
@@ -63,8 +63,8 @@ fn bind_argument(body: Block, arg: &ProcArg, actual: &Expr) -> Result<Block> {
             }
             Expr::Window { buf, idx } => {
                 let spec = idx.clone();
-                Ok(Block(
-                    body.0
+                Ok(Block::from_stmts(
+                    body.into_stmts()
                         .into_iter()
                         .map(|s| rebase_accesses(s, &arg.name, buf, &spec))
                         .collect(),
@@ -176,8 +176,8 @@ fn rebase_accesses(stmt: Stmt, formal: &Sym, actual: &Sym, spec: &[WAccess]) -> 
                 iter,
                 lo: fix_expr(lo, formal, actual, tr),
                 hi: fix_expr(hi, formal, actual, tr),
-                body: Block(
-                    body.0
+                body: Block::from_stmts(
+                    body.into_stmts()
                         .into_iter()
                         .map(|s| fix_stmt(s, formal, actual, tr))
                         .collect(),
@@ -190,16 +190,16 @@ fn rebase_accesses(stmt: Stmt, formal: &Sym, actual: &Sym, spec: &[WAccess]) -> 
                 else_body,
             } => Stmt::If {
                 cond: fix_expr(cond, formal, actual, tr),
-                then_body: Block(
+                then_body: Block::from_stmts(
                     then_body
-                        .0
+                        .into_stmts()
                         .into_iter()
                         .map(|s| fix_stmt(s, formal, actual, tr))
                         .collect(),
                 ),
-                else_body: Block(
+                else_body: Block::from_stmts(
                     else_body
-                        .0
+                        .into_stmts()
                         .into_iter()
                         .map(|s| fix_stmt(s, formal, actual, tr))
                         .collect(),
@@ -338,7 +338,7 @@ pub fn extract_subproc(
         };
         add(&v, kind, &mut args, &mut call_args, &mut seen);
     }
-    let new_proc = Proc::new(name, args, Vec::new(), Block(stmts));
+    let new_proc = Proc::new(name, args, Vec::new(), Block::from_stmts(stmts));
     let mut rw = Rewrite::new(p);
     rw.replace(
         &path,
@@ -534,7 +534,7 @@ impl Unifier {
                     return false;
                 }
                 self.iter_map.insert(ii.clone(), ti.clone());
-                self.unify_stmts(instr, &ib_.0, &tb.0)
+                self.unify_stmts(instr, ib_.stmts(), tb.stmts())
             }
             (
                 Stmt::Assign { buf, idx, rhs },
@@ -570,8 +570,8 @@ impl Unifier {
                 },
             ) => {
                 self.unify_expr(instr, cond, tc)
-                    && self.unify_stmts(instr, &then_body.0, &tt.0)
-                    && self.unify_stmts(instr, &else_body.0, &te.0)
+                    && self.unify_stmts(instr, then_body.stmts(), tt.stmts())
+                    && self.unify_stmts(instr, else_body.stmts(), te.stmts())
             }
             (Stmt::Pass, Stmt::Pass) => true,
             _ => false,
@@ -608,25 +608,66 @@ impl Unifier {
     }
 }
 
+/// Whether two statements agree on the *skeleton* the unifier requires:
+/// the same statement kinds with the same child-block lengths, recursively.
+/// Every `Unifier::unify_stmt` arm demands this, so a skeleton mismatch
+/// proves unification would fail — without building any bindings.
+fn skeleton_matches(a: &Stmt, b: &Stmt) -> bool {
+    fn blocks_match(a: &Block, b: &Block) -> bool {
+        a.len() == b.len() && a.iter().zip(b.iter()).all(|(x, y)| skeleton_matches(x, y))
+    }
+    match (a, b) {
+        (Stmt::For { body: ab, .. }, Stmt::For { body: bb, .. }) => blocks_match(ab, bb),
+        (
+            Stmt::If {
+                then_body: at,
+                else_body: ae,
+                ..
+            },
+            Stmt::If {
+                then_body: bt,
+                else_body: be,
+                ..
+            },
+        ) => blocks_match(at, bt) && blocks_match(ae, be),
+        (Stmt::Assign { .. }, Stmt::Assign { .. })
+        | (Stmt::Reduce { .. }, Stmt::Reduce { .. })
+        | (Stmt::Pass, Stmt::Pass) => true,
+        _ => false,
+    }
+}
+
 /// Unifies the statement at the cursor against an instruction procedure's
 /// body and, on success, replaces it with a call to that instruction
 /// (paper: `replace`).
 pub fn replace(p: &ProcHandle, target: impl IntoCursor, instr: &Proc) -> Result<ProcHandle> {
     let c = target.into_cursor(p)?;
-    let tstmt = c.stmt()?.clone();
-    let mut u = Unifier::default();
-    if !u.unify_stmts(instr, &instr.body().0, std::slice::from_ref(&tstmt)) {
-        return Err(SchedError::scheduling(format!(
-            "statement does not unify with instruction `{}`",
-            instr.name()
-        )));
-    }
-    let args = u.call_args(instr).ok_or_else(|| {
-        SchedError::scheduling(format!(
-            "could not derive all arguments for instruction `{}`",
-            instr.name()
-        ))
-    })?;
+    // Unify against the borrowed statement — `replace_all` calls this for
+    // every (candidate, instruction) pair, so cloning the candidate's
+    // whole subtree per attempt would dominate the scan.
+    let args = {
+        let tstmt = c.stmt()?;
+        // Cheap structural pre-screen before the binding unifier runs.
+        if instr.body().len() != 1 || !skeleton_matches(&instr.body()[0], tstmt) {
+            return Err(SchedError::scheduling(format!(
+                "statement does not unify with instruction `{}`",
+                instr.name()
+            )));
+        }
+        let mut u = Unifier::default();
+        if !u.unify_stmts(instr, instr.body().stmts(), std::slice::from_ref(tstmt)) {
+            return Err(SchedError::scheduling(format!(
+                "statement does not unify with instruction `{}`",
+                instr.name()
+            )));
+        }
+        u.call_args(instr).ok_or_else(|| {
+            SchedError::scheduling(format!(
+                "could not derive all arguments for instruction `{}`",
+                instr.name()
+            ))
+        })?
+    };
     let path = c.path().stmt_path().unwrap().to_vec();
     let mut rw = Rewrite::new(p);
     rw.replace(
@@ -645,19 +686,57 @@ pub fn replace(p: &ProcHandle, target: impl IntoCursor, instr: &Proc) -> Result<
 /// list, until no more matches are found (the paper's `replace_all_stmts`).
 pub fn replace_all(p: &ProcHandle, instrs: &[Proc]) -> Result<ProcHandle> {
     let mut current = p.clone();
+    // One scan suffices: `replace` substitutes exactly one statement for
+    // one call, so every other candidate's path — and the pre-order
+    // attempt order — is unchanged by a successful replacement. Candidates
+    // are forwarded to the current version on each attempt (cursors into a
+    // replaced subtree forward to invalid and fail cleanly); successfully
+    // replaced candidates are retired, and pre-existing calls never unify.
+    let candidates: Vec<exo_cursors::Cursor> = current
+        .find_all("_")
+        .unwrap_or_default()
+        .into_iter()
+        .filter(|c| c.kind() != Some("call"))
+        .collect();
+    let mut alive = vec![true; candidates.len()];
+    // Candidate skeletons never change while alive, so the unifier's
+    // structural pre-screen is decided once per (candidate, instruction)
+    // pair; later passes only attempt pairs that could possibly unify.
+    let compat: Vec<Vec<bool>> = candidates
+        .iter()
+        .map(|cand| {
+            let stmt = cand.stmt().ok();
+            instrs
+                .iter()
+                .map(|instr| match stmt {
+                    Some(s) => instr.body().len() == 1 && skeleton_matches(&instr.body()[0], s),
+                    None => false,
+                })
+                .collect()
+        })
+        .collect();
     loop {
         let mut changed = false;
-        'outer: for instr in instrs {
-            // Scan loops and simple statements for a unification match.
-            let candidates = current.find_all("_").unwrap_or_default();
-            for cand in candidates {
-                if cand.kind() == Some("call") {
+        for (j, instr) in instrs.iter().enumerate() {
+            for (i, cand) in candidates.iter().enumerate() {
+                if !alive[i] || !compat[i][j] {
                     continue;
                 }
-                if let Ok(next) = replace(&current, &cand, instr) {
+                // A candidate inside an already-replaced subtree forwards
+                // to invalid forever (invalidity is sticky) — retire it
+                // instead of re-forwarding it on every later pass.
+                let fwd = match current.forward(cand) {
+                    Ok(c) if !c.is_invalid() => c,
+                    _ => {
+                        alive[i] = false;
+                        continue;
+                    }
+                };
+                if let Ok(next) = replace(&current, &fwd, instr) {
                     current = next;
+                    alive[i] = false;
                     changed = true;
-                    continue 'outer;
+                    break;
                 }
             }
         }

@@ -51,8 +51,8 @@ pub fn specialize(p: &ProcHandle, target: impl IntoCursor, conds: &[Expr]) -> Re
     for cond in conds.iter().rev() {
         chain = vec![Stmt::If {
             cond: cond.clone(),
-            then_body: Block(stmts.clone()),
-            else_body: Block(chain),
+            then_body: Block::from_stmts(stmts.clone()),
+            else_body: Block::from_stmts(chain),
         }];
     }
     let mut rw = Rewrite::new(p);
@@ -115,16 +115,20 @@ pub fn fuse(p: &ProcHandle, first: impl IntoCursor, second: impl IntoCursor) -> 
                     "fuse requires equal loop bounds ([{lo1}, {hi1}) vs [{lo2}, {hi2}))"
                 )));
             }
-            let b2_renamed: Vec<Stmt> = b2.0.into_iter().map(|s| rename_sym(s, &i2, &i1)).collect();
+            let b2_renamed: Vec<Stmt> = b2
+                .into_stmts()
+                .into_iter()
+                .map(|s| rename_sym(s, &i2, &i1))
+                .collect();
             let base_ctx = Context::at(p.proc(), &p1);
-            check_fusion_safety(&base_ctx, &i1, &lo1, &hi1, &b1.0, &b2_renamed)?;
-            let mut body = b1.0;
+            check_fusion_safety(&base_ctx, &i1, &lo1, &hi1, b1.stmts(), &b2_renamed)?;
+            let mut body = b1.into_stmts();
             body.extend(b2_renamed);
             Stmt::For {
                 iter: i1,
                 lo: lo1,
                 hi: hi1,
-                body: Block(body),
+                body: Block::from_stmts(body),
                 parallel,
             }
         }
@@ -155,14 +159,14 @@ pub fn fuse(p: &ProcHandle, first: impl IntoCursor, second: impl IntoCursor) -> 
                     "the first branch writes a buffer read by the shared condition",
                 ));
             }
-            let mut then_body = t1.0;
-            then_body.extend(t2.0);
-            let mut else_body = el1.0;
-            else_body.extend(el2.0);
+            let mut then_body = t1.into_stmts();
+            then_body.extend(t2.into_stmts());
+            let mut else_body = el1.into_stmts();
+            else_body.extend(el2.into_stmts());
             Stmt::If {
                 cond: e1,
-                then_body: Block(then_body),
-                else_body: Block(else_body),
+                then_body: Block::from_stmts(then_body),
+                else_body: Block::from_stmts(else_body),
             }
         }
         _ => {
@@ -210,12 +214,12 @@ fn check_fusion_safety(
         // that same iteration.
         let wrapped1 = Stmt::If {
             cond: Expr::Bool(true),
-            then_body: Block(body1.to_vec()),
+            then_body: Block::from_stmts(body1.to_vec()),
             else_body: Block::new(),
         };
         let wrapped2 = Stmt::If {
             cond: Expr::Bool(true),
-            then_body: Block(body2.to_vec()),
+            then_body: Block::from_stmts(body2.to_vec()),
             else_body: Block::new(),
         };
         let w = infer_bounds(&wrapped1, &buf, &ctx);
@@ -299,7 +303,7 @@ pub fn lift_scope(p: &ProcHandle, scope: impl IntoCursor) -> Result<ProcHandle> 
                     "inner loop bounds depend on the outer iterator `{oi}`"
                 )));
             }
-            if !interchange_safe(&oi, &ii, &ibody.0) {
+            if !interchange_safe(&oi, &ii, ibody.stmts()) {
                 return Err(SchedError::scheduling(
                     "cannot prove the loop body commutes across iteration pairs",
                 ));
@@ -315,7 +319,7 @@ pub fn lift_scope(p: &ProcHandle, scope: impl IntoCursor) -> Result<ProcHandle> 
                 iter: ii,
                 lo: ilo,
                 hi: ihi,
-                body: Block(vec![inner]),
+                body: Block::from_stmts(vec![inner]),
                 parallel: ipar,
             }
         }
@@ -350,7 +354,7 @@ pub fn lift_scope(p: &ProcHandle, scope: impl IntoCursor) -> Result<ProcHandle> 
             let else_block = if else_body.is_empty() {
                 Block::new()
             } else {
-                Block(vec![Stmt::For {
+                Block::from_stmts(vec![Stmt::For {
                     iter,
                     lo,
                     hi,
@@ -360,7 +364,7 @@ pub fn lift_scope(p: &ProcHandle, scope: impl IntoCursor) -> Result<ProcHandle> 
             };
             Stmt::If {
                 cond,
-                then_body: Block(vec![then_loop]),
+                then_body: Block::from_stmts(vec![then_loop]),
                 else_body: else_block,
             }
         }
@@ -385,7 +389,7 @@ pub fn lift_scope(p: &ProcHandle, scope: impl IntoCursor) -> Result<ProcHandle> 
                 iter,
                 lo,
                 hi,
-                body: Block(vec![guarded]),
+                body: Block::from_stmts(vec![guarded]),
                 parallel,
             }
         }
@@ -417,11 +421,11 @@ pub fn lift_scope(p: &ProcHandle, scope: impl IntoCursor) -> Result<ProcHandle> 
             {
                 Block::new()
             } else {
-                Block(vec![else_if])
+                Block::from_stmts(vec![else_if])
             };
             Stmt::If {
                 cond: e2,
-                then_body: Block(vec![then_if]),
+                then_body: Block::from_stmts(vec![then_if]),
                 else_body: else_block,
             }
         }

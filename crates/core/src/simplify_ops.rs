@@ -28,7 +28,7 @@ fn simplify_stmt_exprs(stmt: &mut Stmt, ctx: &Context) {
             simp(hi, ctx);
             let mut inner = ctx.clone();
             inner.push_iter(iter.clone(), lo.clone(), hi.clone());
-            for s in body.0.iter_mut() {
+            for s in body.stmts_mut().iter_mut() {
                 simplify_stmt_exprs(s, &inner);
             }
         }
@@ -38,7 +38,11 @@ fn simplify_stmt_exprs(stmt: &mut Stmt, ctx: &Context) {
             else_body,
         } => {
             simp(cond, ctx);
-            for s in then_body.0.iter_mut().chain(else_body.0.iter_mut()) {
+            for s in then_body
+                .stmts_mut()
+                .iter_mut()
+                .chain(else_body.stmts_mut().iter_mut())
+            {
                 simplify_stmt_exprs(s, ctx);
             }
         }
@@ -83,6 +87,27 @@ pub fn simplify(p: &ProcHandle) -> Result<ProcHandle> {
     Ok(rw.commit())
 }
 
+/// [`simplify`] restricted to the sub-AST rooted at `scope`. The same
+/// expression-level rewrite is applied to that statement's subtree — under
+/// the context a whole-procedure [`simplify`] would have accumulated on
+/// arrival there (procedure assertions *plus* enclosing-loop iterator
+/// ranges, via [`Context::at`]) — while the rest of the procedure is
+/// untouched. Scheduling libraries use this to clean up the region they
+/// transformed without rewriting — or paying for — unrelated code.
+pub fn simplify_at(p: &ProcHandle, scope: impl IntoCursor) -> Result<ProcHandle> {
+    let c = scope.into_cursor(p)?;
+    let path = c
+        .path()
+        .stmt_path()
+        .ok_or_else(|| SchedError::scheduling("invalid cursor"))?
+        .to_vec();
+    let ctx = Context::at(p.proc(), &path);
+    let mut rw = Rewrite::new(p);
+    rw.modify_stmt(&path, |s| simplify_stmt_exprs(s, &ctx))?;
+    stats::record("simplify");
+    Ok(rw.commit())
+}
+
 /// Removes provably dead code at the cursor (paper: `eliminate_dead_code`):
 /// a loop whose range is provably empty becomes `pass`; an `if` whose
 /// condition is decidable is replaced by the taken branch.
@@ -115,14 +140,14 @@ pub fn eliminate_dead_code(p: &ProcHandle, scope: impl IntoCursor) -> Result<Pro
                 if then_body.is_empty() {
                     vec![Stmt::Pass]
                 } else {
-                    then_body.0.clone()
+                    then_body.stmts().to_vec()
                 }
             }
             Some(false) => {
                 if else_body.is_empty() {
                     vec![Stmt::Pass]
                 } else {
-                    else_body.0.clone()
+                    else_body.stmts().to_vec()
                 }
             }
             None => {
@@ -369,7 +394,7 @@ fn substitute_window_alias(stmt: &mut Stmt, alias: &Sym, buf: &Sym, spec: &[WAcc
                 }
             }
             Stmt::For { body, .. } => {
-                for s in body.0.iter_mut() {
+                for s in body.stmts_mut().iter_mut() {
                     walk(s, alias, buf, translate);
                 }
             }
@@ -378,7 +403,11 @@ fn substitute_window_alias(stmt: &mut Stmt, alias: &Sym, buf: &Sym, spec: &[WAcc
                 else_body,
                 ..
             } => {
-                for s in then_body.0.iter_mut().chain(else_body.0.iter_mut()) {
+                for s in then_body
+                    .stmts_mut()
+                    .iter_mut()
+                    .chain(else_body.stmts_mut().iter_mut())
+                {
                     walk(s, alias, buf, translate);
                 }
             }
@@ -480,8 +509,9 @@ fn replace_scalar_reads(stmt: Stmt, buf: &Sym, value: &Expr) -> Stmt {
             iter,
             lo: fix(lo, buf, value),
             hi: fix(hi, buf, value),
-            body: exo_ir::Block(
-                body.0
+            body: exo_ir::Block::from_stmts(
+                body.clone()
+                    .into_stmts()
                     .into_iter()
                     .map(|s| replace_scalar_reads(s, buf, value))
                     .collect(),
@@ -494,16 +524,16 @@ fn replace_scalar_reads(stmt: Stmt, buf: &Sym, value: &Expr) -> Stmt {
             else_body,
         } => Stmt::If {
             cond: fix(cond, buf, value),
-            then_body: exo_ir::Block(
+            then_body: exo_ir::Block::from_stmts(
                 then_body
-                    .0
+                    .into_stmts()
                     .into_iter()
                     .map(|s| replace_scalar_reads(s, buf, value))
                     .collect(),
             ),
-            else_body: exo_ir::Block(
+            else_body: exo_ir::Block::from_stmts(
                 else_body
-                    .0
+                    .into_stmts()
                     .into_iter()
                     .map(|s| replace_scalar_reads(s, buf, value))
                     .collect(),

@@ -313,13 +313,14 @@ impl Cursor {
     }
 
     /// Restricts a `find` to the sub-AST rooted at this cursor
-    /// (`cursor.find(...)` in the paper). See [`ProcHandle::find`].
+    /// (`cursor.find(...)` in the paper), stopping the traversal at the
+    /// match. See [`ProcHandle::find`].
     pub fn find(&self, pattern: &str) -> Result<Cursor> {
-        let matches = self.find_all(pattern)?;
-        matches
-            .into_iter()
-            .next()
-            .ok_or_else(|| CursorError::NotFound(pattern.to_string()))
+        let root = self
+            .path
+            .stmt_path()
+            .ok_or_else(|| CursorError::Invalid("cursor was invalidated".into()))?;
+        crate::find::find_first_in(&self.home, Some(root), pattern)
     }
 
     /// All matches of `pattern` within the sub-AST rooted at this cursor.

@@ -22,7 +22,7 @@ use crate::cursor::Cursor;
 use crate::error::CursorError;
 use crate::version::{CursorPath, ProcHandle};
 use crate::Result;
-use exo_ir::{for_each_stmt_paths, Step, Stmt};
+use exo_ir::{Step, Stmt};
 
 /// A parsed find pattern.
 #[derive(Clone, PartialEq, Eq, Debug)]
@@ -46,18 +46,29 @@ pub enum Pattern {
 impl Pattern {
     /// Parses a pattern string, returning the pattern and an optional
     /// match index (`#k` suffix).
+    ///
+    /// Parsing borrows from the input — no intermediate `String`s are
+    /// built; only the matched name (if any) is copied into the pattern.
+    ///
+    /// # Errors
+    /// [`CursorError::BadPattern`] if the body cannot be parsed, or if a
+    /// `#` suffix is present but not a valid match index (a malformed
+    /// selector like `"for i in _: _ #oops"` is an error, not a silently
+    /// dropped suffix).
     pub fn parse(input: &str) -> Result<(Pattern, Option<usize>)> {
-        let mut text = input.trim().to_string();
-        let mut index = None;
-        if let Some(pos) = text.rfind('#') {
-            let (head, tail) = text.split_at(pos);
-            if let Ok(k) = tail[1..].trim().parse::<usize>() {
-                index = Some(k);
-                text = head.trim().to_string();
+        let trimmed = input.trim();
+        let (body, index) = match trimmed.rfind('#') {
+            Some(pos) => {
+                let k = trimmed[pos + 1..]
+                    .trim()
+                    .parse::<usize>()
+                    .map_err(|_| CursorError::BadPattern(input.to_string()))?;
+                (trimmed[..pos].trim_end(), Some(k))
             }
-        }
+            None => (trimmed, None),
+        };
         let pat =
-            Self::parse_body(&text).ok_or_else(|| CursorError::BadPattern(input.to_string()))?;
+            Self::parse_body(body).ok_or_else(|| CursorError::BadPattern(input.to_string()))?;
         Ok((pat, index))
     }
 
@@ -140,45 +151,128 @@ fn name_or_wild(raw: &str) -> Option<String> {
     }
 }
 
-/// Finds all matches of `pattern` in `handle`, optionally restricted to the
-/// sub-AST rooted at `root`.
+/// Which matches a traversal should produce.
+#[derive(Clone, Copy, Debug)]
+pub(crate) enum Select {
+    /// Every match, in pre-order.
+    All,
+    /// Only the `k`-th match (0-based); the walk stops there.
+    Nth(usize),
+}
+
+/// The one traversal shared by `find`, `find_all`, `find_loop`, and
+/// `find_loop_many`: walks `handle`'s procedure (optionally restricted to
+/// the sub-AST rooted at `root`) and collects cursors to statements
+/// matching `pat`.
+///
+/// With [`Select::Nth`] the walk stops at the selected match instead of
+/// scanning the rest of the procedure. The deep-clone reference mode
+/// restores the historical collect-everything-then-index behaviour.
+pub(crate) fn find_matches(
+    handle: &ProcHandle,
+    root: Option<&[Step]>,
+    pat: &Pattern,
+    select: Select,
+) -> Vec<Cursor> {
+    let mut matches = Vec::new();
+    let reference = crate::reference::active();
+    let want = match select {
+        Select::All => None,
+        // Reference semantics: no early exit, filter afterwards.
+        Select::Nth(_) if reference => None,
+        Select::Nth(k) => Some(k),
+    };
+    let mut visit = |path: &[Step], stmt: &Stmt| {
+        if pat.matches(stmt) {
+            matches.push(handle.cursor_at(CursorPath::stmt(path.to_vec())));
+            if let Some(k) = want {
+                return matches.len() > k;
+            }
+        }
+        false
+    };
+    match root {
+        // Restricted finds walk only the subtree; the reference mode
+        // reproduces the historical whole-procedure scan with a prefix
+        // filter.
+        Some(prefix) if !reference => {
+            exo_ir::for_each_stmt_paths_under(handle.proc(), prefix, &mut visit);
+        }
+        Some(prefix) => {
+            exo_ir::for_each_stmt_paths_until(handle.proc(), &mut |path, stmt| {
+                if path.len() < prefix.len() || &path[..prefix.len()] != prefix {
+                    return false;
+                }
+                visit(path, stmt)
+            });
+        }
+        None => {
+            exo_ir::for_each_stmt_paths_until(handle.proc(), &mut visit);
+        }
+    }
+    match select {
+        Select::All => matches,
+        // In both Nth flavours the selected match is the k-th collected
+        // one — with early exit it is also the last one collected.
+        Select::Nth(k) => match matches.into_iter().nth(k) {
+            Some(c) => vec![c],
+            None => vec![],
+        },
+    }
+}
+
+/// Finds matches of a textual `pattern`, optionally restricted to the
+/// sub-AST rooted at `root`. A `#k` selector narrows to the `k`-th match.
 pub(crate) fn find_in(
     handle: &ProcHandle,
     root: Option<Vec<Step>>,
     pattern: &str,
 ) -> Result<Vec<Cursor>> {
     let (pat, index) = Pattern::parse(pattern)?;
-    let mut matches = Vec::new();
-    for_each_stmt_paths(handle.proc(), &mut |path, stmt| {
-        if let Some(prefix) = &root {
-            if path.len() < prefix.len() || &path[..prefix.len()] != prefix.as_slice() {
-                return;
-            }
-        }
-        if pat.matches(stmt) {
-            matches.push(handle.cursor_at(CursorPath::stmt(path.to_vec())));
-        }
-    });
-    if let Some(k) = index {
-        return match matches.into_iter().nth(k) {
-            Some(c) => Ok(vec![c]),
-            None => Ok(vec![]),
-        };
+    let select = match index {
+        Some(k) => Select::Nth(k),
+        None => Select::All,
+    };
+    Ok(find_matches(handle, root.as_deref(), &pat, select))
+}
+
+/// First match of a textual `pattern` under `root`, stopping the walk at
+/// the match (or at the `#k`-th match when a selector is present).
+pub(crate) fn find_first_in(
+    handle: &ProcHandle,
+    root: Option<&[Step]>,
+    pattern: &str,
+) -> Result<Cursor> {
+    let (pat, index) = Pattern::parse(pattern)?;
+    let select = Select::Nth(index.unwrap_or(0));
+    find_matches(handle, root, &pat, select)
+        .into_iter()
+        .next()
+        .ok_or_else(|| CursorError::NotFound(pattern.to_string()))
+}
+
+/// The loop pattern `find_loop`/`find_loop_many` use: the first
+/// whitespace-separated token of `name` is the iterator (`"_"` matches any
+/// loop), built directly instead of formatting and re-parsing a pattern
+/// string.
+fn loop_pattern(name: &str) -> Pattern {
+    match name.split_whitespace().next() {
+        Some("_") => Pattern::Loop(None),
+        Some(tok) => Pattern::Loop(Some(tok.to_string())),
+        // An empty name matches nothing; NotFound is reported downstream.
+        None => Pattern::Loop(Some(String::new())),
     }
-    Ok(matches)
 }
 
 impl ProcHandle {
-    /// Finds the first statement matching `pattern` (paper: `p.find(...)`).
+    /// Finds the first statement matching `pattern` (paper: `p.find(...)`),
+    /// stopping the traversal at the match.
     ///
     /// # Errors
     /// [`CursorError::NotFound`] if nothing matches,
     /// [`CursorError::BadPattern`] if the pattern cannot be parsed.
     pub fn find(&self, pattern: &str) -> Result<Cursor> {
-        let all = find_in(self, None, pattern)?;
-        all.into_iter()
-            .next()
-            .ok_or_else(|| CursorError::NotFound(pattern.to_string()))
+        find_first_in(self, None, pattern)
     }
 
     /// Finds every statement matching `pattern`.
@@ -191,7 +285,8 @@ impl ProcHandle {
     }
 
     /// Finds the loop whose iterator is `name` (paper: `p.find_loop('i')`).
-    /// The name may carry a `#k` suffix to select the `k`-th such loop.
+    /// The name may carry a `#k` suffix to select the `k`-th such loop;
+    /// the traversal stops at the selected loop.
     ///
     /// # Errors
     /// [`CursorError::BadPattern`] when a `#` suffix is present but not a
@@ -199,25 +294,35 @@ impl ProcHandle {
     pub fn find_loop(&self, name: &str) -> Result<Cursor> {
         let (base, index) = match name.rfind('#') {
             Some(pos) => match name[pos + 1..].trim().parse::<usize>() {
-                Ok(k) => (name[..pos].trim().to_string(), Some(k)),
+                Ok(k) => (name[..pos].trim_end(), Some(k)),
                 Err(_) => return Err(CursorError::BadPattern(name.to_string())),
             },
-            None => (name.trim().to_string(), None),
+            None => (name, None),
         };
-        let pattern = format!("for {base} in _: _");
-        let all = find_in(self, None, &pattern)?;
-        let picked = match index {
-            Some(k) => all.into_iter().nth(k),
-            None => all.into_iter().next(),
-        };
-        picked.ok_or_else(|| CursorError::NotFound(format!("loop `{name}`")))
+        find_matches(
+            self,
+            None,
+            &loop_pattern(base),
+            Select::Nth(index.unwrap_or(0)),
+        )
+        .into_iter()
+        .next()
+        .ok_or_else(|| CursorError::NotFound(format!("loop `{name}`")))
     }
 
     /// Finds every loop whose iterator is `name`
     /// (paper: `p.find_loop(name, many=True)`).
+    ///
+    /// # Errors
+    /// [`CursorError::BadPattern`] when the name carries a `#k` selector —
+    /// "all matches" and "the `k`-th match" contradict each other (and the
+    /// suffix used to be dropped silently); [`CursorError::NotFound`] when
+    /// no such loop exists.
     pub fn find_loop_many(&self, name: &str) -> Result<Vec<Cursor>> {
-        let pattern = format!("for {name} in _: _");
-        let all = find_in(self, None, &pattern)?;
+        if name.contains('#') {
+            return Err(CursorError::BadPattern(name.to_string()));
+        }
+        let all = find_matches(self, None, &loop_pattern(name), Select::All);
         if all.is_empty() {
             return Err(CursorError::NotFound(format!("loop `{name}`")));
         }
@@ -287,6 +392,49 @@ mod tests {
     }
 
     #[test]
+    fn malformed_index_suffix_is_rejected_not_dropped() {
+        // Regression: `"for i in _: _ #oops"` used to parse as a plain
+        // loop pattern, silently discarding the selector; it must be a
+        // `BadPattern` error instead.
+        for bad in ["for i in _: _ #oops", "for i in _: _ #", "acc = _ #1x"] {
+            match Pattern::parse(bad) {
+                Err(CursorError::BadPattern(p)) => assert_eq!(p, bad),
+                other => panic!("`{bad}` should be BadPattern, got {other:?}"),
+            }
+        }
+        // ... and a well-formed selector still parses.
+        assert_eq!(
+            Pattern::parse("for i in _: _ #0").unwrap(),
+            (Pattern::Loop(Some("i".into())), Some(0))
+        );
+        // `find` surfaces the error end-to-end.
+        let h = handle();
+        assert!(matches!(
+            h.find("for i in _: _ #oops"),
+            Err(CursorError::BadPattern(_))
+        ));
+        assert!(matches!(
+            h.find_all("acc = _ #?"),
+            Err(CursorError::BadPattern(_))
+        ));
+    }
+
+    #[test]
+    fn selector_agrees_between_early_exit_and_reference_walk() {
+        let h = handle();
+        for pattern in ["for _ in _: _ #0", "for _ in _: _ #2", "for i in _: _ #1"] {
+            let fast = h.find(pattern).unwrap();
+            let slow = crate::with_reference_semantics(|| h.find(pattern).unwrap());
+            assert_eq!(fast.path(), slow.path(), "{pattern}");
+        }
+        // Out-of-range selectors fail identically.
+        assert!(h.find("for _ in _: _ #9").is_err());
+        assert!(crate::with_reference_semantics(|| h
+            .find("for _ in _: _ #9")
+            .is_err()));
+    }
+
+    #[test]
     fn find_by_loop_name_and_pattern_agree() {
         let h = handle();
         let a = h.find_loop("i").unwrap();
@@ -325,6 +473,16 @@ mod tests {
         assert_eq!(h.find_all("for _ in _: _").unwrap().len(), 3);
         assert_eq!(h.find_loop_many("i").unwrap().len(), 2);
         assert!(h.find_all("for z in _: _").is_err());
+        // A selector contradicts "all matches" and used to be silently
+        // dropped; it is now rejected like every other malformed suffix.
+        assert!(matches!(
+            h.find_loop_many("i #1"),
+            Err(CursorError::BadPattern(_))
+        ));
+        assert!(matches!(
+            h.find_loop_many("i #oops"),
+            Err(CursorError::BadPattern(_))
+        ));
     }
 
     #[test]

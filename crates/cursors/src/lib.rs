@@ -58,12 +58,14 @@
 mod cursor;
 mod error;
 mod find;
+mod reference;
 mod rewrite;
 mod version;
 
 pub use cursor::Cursor;
 pub use error::CursorError;
 pub use find::Pattern;
+pub use reference::with_reference_semantics;
 pub use rewrite::{EditRecord, Rewrite};
 pub use version::{CursorPath, ProcHandle};
 

@@ -96,30 +96,36 @@ fn block_position(path: &[Step], anchor: &[Step]) -> Option<(usize, usize)> {
     Some((level, path[level].index()))
 }
 
-fn with_index_at(path: &[Step], level: usize, idx: usize) -> Vec<Step> {
-    let mut p = path.to_vec();
-    p[level] = p[level].with_index(idx);
-    p
-}
-
-/// Forwards a statement path through one atomic edit. Returns `None` when
-/// the path is invalidated by the edit.
-fn forward_stmt_path(path: &[Step], edit: &EditRecord) -> Option<Vec<Step>> {
+/// Forwards a statement path through one atomic edit, mutating the path in
+/// place. Returns `false` when the path is invalidated by the edit.
+///
+/// The hot cases — the path is unaffected, or only one index shifts — do
+/// not allocate at all; only `Move` and `Wrap` of statements *inside* the
+/// affected range rebuild the path. This is what makes forwarding a cursor
+/// across a long provenance chain cheap.
+fn forward_stmt_path_in_place(path: &mut Vec<Step>, edit: &EditRecord) -> bool {
     match edit {
-        EditRecord::Local { .. } => Some(path.to_vec()),
+        EditRecord::Local { .. } => true,
         EditRecord::Insert { at, count } => {
-            let i = at.last()?.index();
-            match block_position(path, at) {
-                Some((level, j)) if j >= i => Some(with_index_at(path, level, j + count)),
-                _ => Some(path.to_vec()),
+            let Some(last) = at.last() else { return false };
+            let i = last.index();
+            if let Some((level, j)) = block_position(path, at) {
+                if j >= i {
+                    path[level] = path[level].with_index(j + count);
+                }
             }
+            true
         }
         EditRecord::Delete { at, count } => {
-            let i = at.last()?.index();
+            let Some(last) = at.last() else { return false };
+            let i = last.index();
             match block_position(path, at) {
-                Some((_, j)) if j >= i && j < i + count => None,
-                Some((level, j)) if j >= i + count => Some(with_index_at(path, level, j - count)),
-                _ => Some(path.to_vec()),
+                Some((_, j)) if j >= i && j < i + count => false,
+                Some((level, j)) if j >= i + count => {
+                    path[level] = path[level].with_index(j - count);
+                    true
+                }
+                _ => true,
             }
         }
         EditRecord::Replace {
@@ -127,22 +133,25 @@ fn forward_stmt_path(path: &[Step], edit: &EditRecord) -> Option<Vec<Step>> {
             old_count,
             new_count,
         } => {
-            let i = at.last()?.index();
+            let Some(last) = at.last() else { return false };
+            let i = last.index();
             match block_position(path, at) {
                 Some((level, j)) if j >= i && j < i + old_count => {
                     // The unique path to the replaced statement itself stays
                     // valid (forwarded to the first replacement statement);
                     // paths *into* the replaced subtree are invalidated.
                     if path.len() == level + 1 && *new_count > 0 {
-                        Some(with_index_at(path, level, i))
+                        path[level] = path[level].with_index(i);
+                        true
                     } else {
-                        None
+                        false
                     }
                 }
                 Some((level, j)) if j >= i + old_count => {
-                    Some(with_index_at(path, level, j + new_count - old_count))
+                    path[level] = path[level].with_index(j + new_count - old_count);
+                    true
                 }
-                _ => Some(path.to_vec()),
+                _ => true,
             }
         }
         EditRecord::Move {
@@ -150,16 +159,23 @@ fn forward_stmt_path(path: &[Step], edit: &EditRecord) -> Option<Vec<Step>> {
             count,
             to_post,
         } => {
-            let i = from.last()?.index();
+            let Some(last) = from.last() else {
+                return false;
+            };
+            let i = last.index();
             match block_position(path, from) {
                 Some((level, j)) if j >= i && j < i + count => {
                     // Inside the moved range: remap onto the destination.
-                    let dest_idx = to_post.last()?.index() + (j - i);
+                    let Some(dest) = to_post.last() else {
+                        return false;
+                    };
+                    let dest_idx = dest.index() + (j - i);
                     let mut new_path = to_post.clone();
                     let dlev = new_path.len() - 1;
                     new_path[dlev] = new_path[dlev].with_index(dest_idx);
                     new_path.extend_from_slice(&path[level + 1..]);
-                    Some(new_path)
+                    *path = new_path;
+                    true
                 }
                 Some((level, j)) if j >= i + count => {
                     // After the moved range in the source block: shift left,
@@ -173,66 +189,70 @@ fn forward_stmt_path(path: &[Step], edit: &EditRecord) -> Option<Vec<Step>> {
                             adjusted += count;
                         }
                     }
-                    Some(with_index_at(path, level, adjusted))
+                    path[level] = path[level].with_index(adjusted);
+                    true
                 }
                 _ => {
                     // Not in the source block: apply the insertion shift if
                     // the path passes through the destination block at or
                     // after the insertion point.
-                    match (block_position(path, to_post), to_post.last()) {
-                        (Some((dlev, j)), Some(dest)) if j >= dest.index() => {
-                            Some(with_index_at(path, dlev, j + count))
+                    if let (Some((dlev, j)), Some(dest)) =
+                        (block_position(path, to_post), to_post.last())
+                    {
+                        if j >= dest.index() {
+                            path[dlev] = path[dlev].with_index(j + count);
                         }
-                        _ => Some(path.to_vec()),
                     }
+                    true
                 }
             }
         }
         EditRecord::Wrap { at, count, child } => {
-            let i = at.last()?.index();
+            let Some(last) = at.last() else { return false };
+            let i = last.index();
             match block_position(path, at) {
                 Some((level, j)) if j >= i && j < i + count => {
                     // Push the path one level down into the wrapper.
-                    let mut new_path = path[..level].to_vec();
+                    let mut new_path = Vec::with_capacity(path.len() + 1);
+                    new_path.extend_from_slice(&path[..level]);
                     new_path.push(at[level].with_index(i));
                     new_path.push(child.with_index(j - i));
                     new_path.extend_from_slice(&path[level + 1..]);
-                    Some(new_path)
+                    *path = new_path;
+                    true
                 }
                 Some((level, j)) if j >= i + count => {
-                    Some(with_index_at(path, level, j - (count - 1)))
+                    path[level] = path[level].with_index(j - (count - 1));
+                    true
                 }
-                _ => Some(path.to_vec()),
+                _ => true,
             }
         }
     }
 }
 
-/// Forwards a full cursor path through one atomic edit. Invalidity is
-/// sticky; gap and block cursors are forwarded through their anchor
-/// statement path (paper §5.2).
-pub(crate) fn forward_path(path: &CursorPath, edit: &EditRecord) -> CursorPath {
-    match path {
-        CursorPath::Invalid => CursorPath::Invalid,
-        CursorPath::Node { stmt, expr } => match forward_stmt_path(stmt, edit) {
-            Some(new_stmt) => CursorPath::Node {
-                stmt: new_stmt,
-                expr: expr.clone(),
-            },
-            None => CursorPath::Invalid,
-        },
-        CursorPath::Gap { stmt } => match forward_stmt_path(stmt, edit) {
-            Some(new_stmt) => CursorPath::Gap { stmt: new_stmt },
-            None => CursorPath::Invalid,
-        },
-        CursorPath::Block { stmt, len } => match forward_stmt_path(stmt, edit) {
-            Some(new_stmt) => CursorPath::Block {
-                stmt: new_stmt,
-                len: *len,
-            },
-            None => CursorPath::Invalid,
-        },
+/// Forwards a full cursor path through one atomic edit, in place.
+/// Invalidity is sticky; gap and block cursors are forwarded through their
+/// anchor statement path (paper §5.2).
+pub(crate) fn forward_path_in_place(path: &mut CursorPath, edit: &EditRecord) {
+    let stmt = match path {
+        CursorPath::Invalid => return,
+        CursorPath::Node { stmt, .. }
+        | CursorPath::Gap { stmt }
+        | CursorPath::Block { stmt, .. } => stmt,
+    };
+    if !forward_stmt_path_in_place(stmt, edit) {
+        *path = CursorPath::Invalid;
     }
+}
+
+/// Allocating variant of [`forward_path_in_place`], used by the deep-clone
+/// reference implementation to reproduce the historical one-fresh-path-per-
+/// edit forwarding cost.
+pub(crate) fn forward_path(path: &CursorPath, edit: &EditRecord) -> CursorPath {
+    let mut p = path.clone();
+    forward_path_in_place(&mut p, edit);
+    p
 }
 
 /// An editing session: a mutable working copy of a procedure plus the
@@ -248,10 +268,20 @@ pub struct Rewrite {
 
 impl Rewrite {
     /// Starts an editing session on the given procedure version.
+    ///
+    /// The working copy is a structurally-shared snapshot (an `Arc` bump
+    /// per block); edits un-share only the blocks they touch. Under
+    /// [`crate::with_reference_semantics`] the snapshot is instead a full
+    /// deep copy, reproducing the historical O(|proc|)-per-edit cost.
     pub fn new(base: &ProcHandle) -> Self {
+        let proc = if crate::reference::active() {
+            exo_ir::deep_unshare(base.proc())
+        } else {
+            base.proc().clone()
+        };
         Rewrite {
             base: base.clone(),
-            proc: base.proc().clone(),
+            proc,
             edits: Vec::new(),
         }
     }
@@ -275,10 +305,10 @@ impl Rewrite {
     pub fn insert(&mut self, at: &[Step], stmts: Vec<Stmt>) -> Result<()> {
         let count = stmts.len();
         let (block, idx) = self.container_mut(at)?;
-        if idx > block.0.len() {
+        if idx > block.len() {
             return Err(CursorError::Invalid("insertion index out of bounds".into()));
         }
-        block.0.splice(idx..idx, stmts);
+        block.stmts_mut().splice(idx..idx, stmts);
         self.edits.push(EditRecord::Insert {
             at: at.to_vec(),
             count,
@@ -289,10 +319,10 @@ impl Rewrite {
     /// Deletes `count` statements starting at `at` (paper: *Deletion*).
     pub fn delete(&mut self, at: &[Step], count: usize) -> Result<()> {
         let (block, idx) = self.container_mut(at)?;
-        if idx + count > block.0.len() {
+        if idx + count > block.len() {
             return Err(CursorError::Invalid("deletion range out of bounds".into()));
         }
-        block.0.drain(idx..idx + count);
+        block.stmts_mut().drain(idx..idx + count);
         self.edits.push(EditRecord::Delete {
             at: at.to_vec(),
             count,
@@ -305,12 +335,12 @@ impl Rewrite {
     pub fn replace(&mut self, at: &[Step], old_count: usize, stmts: Vec<Stmt>) -> Result<()> {
         let new_count = stmts.len();
         let (block, idx) = self.container_mut(at)?;
-        if idx + old_count > block.0.len() {
+        if idx + old_count > block.len() {
             return Err(CursorError::Invalid(
                 "replacement range out of bounds".into(),
             ));
         }
-        block.0.splice(idx..idx + old_count, stmts);
+        block.stmts_mut().splice(idx..idx + old_count, stmts);
         self.edits.push(EditRecord::Replace {
             at: at.to_vec(),
             old_count,
@@ -325,12 +355,15 @@ impl Rewrite {
     pub fn move_block(&mut self, from: &[Step], count: usize, to_gap: &[Step]) -> Result<()> {
         // Extract the statements.
         let (src_block, src_idx) = self.container_mut(from)?;
-        if src_idx + count > src_block.0.len() {
+        if src_idx + count > src_block.len() {
             return Err(CursorError::Invalid(
                 "move source range out of bounds".into(),
             ));
         }
-        let moved: Vec<Stmt> = src_block.0.drain(src_idx..src_idx + count).collect();
+        let moved: Vec<Stmt> = src_block
+            .stmts_mut()
+            .drain(src_idx..src_idx + count)
+            .collect();
 
         // Compute the destination gap in post-removal coordinates.
         let mut dest = to_gap.to_vec();
@@ -339,7 +372,7 @@ impl Rewrite {
             if j > i && j < i + count {
                 // Destination inside the moved range: put things back and bail.
                 let (src_block, src_idx) = self.container_mut(from)?;
-                src_block.0.splice(src_idx..src_idx, moved);
+                src_block.stmts_mut().splice(src_idx..src_idx, moved);
                 return Err(CursorError::Invalid(
                     "move destination lies inside the moved range".into(),
                 ));
@@ -354,16 +387,16 @@ impl Rewrite {
                 Some(x) => x,
                 None => {
                     let (src_block, src_idx) = self.container_mut(from)?;
-                    src_block.0.splice(src_idx..src_idx, moved);
+                    src_block.stmts_mut().splice(src_idx..src_idx, moved);
                     return Err(CursorError::Invalid(
                         "move destination does not resolve".into(),
                     ));
                 }
             };
-            if dst_idx > dst_block.0.len() {
+            if dst_idx > dst_block.len() {
                 Err(moved)
             } else {
-                dst_block.0.splice(dst_idx..dst_idx, moved);
+                dst_block.stmts_mut().splice(dst_idx..dst_idx, moved);
                 Ok(())
             }
         };
@@ -378,7 +411,7 @@ impl Rewrite {
             }
             Err(moved) => {
                 let (src_block, src_idx) = self.container_mut(from)?;
-                src_block.0.splice(src_idx..src_idx, moved);
+                src_block.stmts_mut().splice(src_idx..src_idx, moved);
                 Err(CursorError::Invalid(
                     "move destination index out of bounds".into(),
                 ))
@@ -404,10 +437,10 @@ impl Rewrite {
             }
         };
         let (block, idx) = self.container_mut(at)?;
-        if idx + count > block.0.len() || count == 0 {
+        if idx + count > block.len() || count == 0 {
             return Err(CursorError::Invalid("wrap range out of bounds".into()));
         }
-        let inner: Vec<Stmt> = block.0.drain(idx..idx + count).collect();
+        let inner: Vec<Stmt> = block.stmts_mut().drain(idx..idx + count).collect();
         // Rebuild the wrapper with the drained statements as its child
         // block. The validation above restricted it to for/if; on any
         // other shape restore the block and report instead of panicking.
@@ -422,25 +455,25 @@ impl Rewrite {
                 iter,
                 lo,
                 hi,
-                body: Block(inner),
+                body: Block::from_stmts(inner),
                 parallel,
             },
             Stmt::If {
                 cond, else_body, ..
             } => Stmt::If {
                 cond,
-                then_body: Block(inner),
+                then_body: Block::from_stmts(inner),
                 else_body,
             },
             other => {
                 let kind = other.kind();
-                block.0.splice(idx..idx, inner);
+                block.stmts_mut().splice(idx..idx, inner);
                 return Err(CursorError::Invalid(format!(
                     "wrapper must be a for/if statement, found `{kind}`"
                 )));
             }
         };
-        block.0.insert(idx, wrapper);
+        block.stmts_mut().insert(idx, wrapper);
         self.edits.push(EditRecord::Wrap {
             at: at.to_vec(),
             count,
@@ -469,6 +502,14 @@ impl Rewrite {
 
     /// Finalizes the session, producing a new procedure version whose
     /// provenance records the applied edits for cursor forwarding.
+    ///
+    /// No extra copy happens here in either mode: the historical engine
+    /// also moved its working copy into the new version. (In reference
+    /// mode the working copy started as a deep clone at [`Rewrite::new`];
+    /// statements constructed *during* the session may still share
+    /// storage internally where the historical engine would have deep-
+    /// copied, so the reference engine's measured cost is a lower bound
+    /// on the historical cost — old-vs-new comparisons are conservative.)
     pub fn commit(self) -> ProcHandle {
         ProcHandle::from_edit(&self.base, self.proc, self.edits)
     }

@@ -9,11 +9,11 @@
 
 use crate::cursor::Cursor;
 use crate::error::CursorError;
-use crate::rewrite::{forward_path, EditRecord};
+use crate::rewrite::{forward_path, forward_path_in_place, EditRecord};
 use crate::Result;
 use exo_ir::{ExprStep, Proc, Step};
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::Arc;
+use std::sync::{Arc, OnceLock};
 
 static VERSION_COUNTER: AtomicU64 = AtomicU64::new(1);
 
@@ -77,12 +77,70 @@ impl CursorPath {
     }
 }
 
+/// One version's edit list, precomposed for forwarding.
+///
+/// `Local` edits forward as the identity, so they are stripped once here
+/// instead of being re-interpreted on every forward; a version whose edits
+/// were all local collapses to `Identity`, and the overwhelmingly common
+/// one-structural-edit version to `One`. The cache is computed lazily on
+/// first forward through the version and shared by all later forwards.
+#[derive(Debug)]
+pub(crate) enum ComposedStep {
+    /// Forwarding through this version is the identity.
+    Identity,
+    /// Exactly one structural edit.
+    One(EditRecord),
+    /// Several structural edits, applied in order.
+    Many(Vec<EditRecord>),
+}
+
+impl ComposedStep {
+    fn compose(edits: &[EditRecord]) -> ComposedStep {
+        let mut structural = edits
+            .iter()
+            .filter(|e| !matches!(e, EditRecord::Local { .. }))
+            .cloned()
+            .collect::<Vec<_>>();
+        if structural.len() > 1 {
+            return ComposedStep::Many(structural);
+        }
+        match structural.pop() {
+            Some(edit) => ComposedStep::One(edit),
+            None => ComposedStep::Identity,
+        }
+    }
+
+    /// Applies the composed step to a cursor path, in place.
+    fn apply(&self, path: &mut CursorPath) {
+        match self {
+            ComposedStep::Identity => {}
+            ComposedStep::One(edit) => forward_path_in_place(path, edit),
+            ComposedStep::Many(edits) => {
+                for edit in edits {
+                    forward_path_in_place(path, edit);
+                    if path.is_invalid() {
+                        break;
+                    }
+                }
+            }
+        }
+    }
+}
+
 #[derive(Debug)]
 pub(crate) struct Version {
     pub(crate) id: u64,
     pub(crate) proc: Proc,
     pub(crate) prev: Option<Arc<Version>>,
     pub(crate) edits: Vec<EditRecord>,
+    composed: OnceLock<ComposedStep>,
+}
+
+impl Version {
+    fn composed(&self) -> &ComposedStep {
+        self.composed
+            .get_or_init(|| ComposedStep::compose(&self.edits))
+    }
 }
 
 /// An immutable, versioned handle to a procedure.
@@ -104,6 +162,7 @@ impl ProcHandle {
                 proc,
                 prev: None,
                 edits: Vec::new(),
+                composed: OnceLock::new(),
             }),
         }
     }
@@ -116,6 +175,7 @@ impl ProcHandle {
                 proc,
                 prev: Some(prev.inner.clone()),
                 edits,
+                composed: OnceLock::new(),
             }),
         }
     }
@@ -191,17 +251,54 @@ impl ProcHandle {
                 }
             }
         }
-        // Apply edits oldest-version-first.
+        // Apply edits oldest-version-first. The production path uses each
+        // version's precomposed step (Local edits stripped, paths mutated
+        // in place); the reference mode re-interprets every record with a
+        // fresh allocation per edit, reproducing the historical cost.
         let mut path = cursor.path().clone();
-        for version in chain.iter().rev() {
-            for edit in &version.edits {
-                path = forward_path(&path, edit);
+        if crate::reference::active() {
+            for version in chain.iter().rev() {
+                for edit in &version.edits {
+                    path = forward_path(&path, edit);
+                    if path.is_invalid() {
+                        break;
+                    }
+                }
+            }
+        } else {
+            for version in chain.iter().rev() {
+                version.composed().apply(&mut path);
                 if path.is_invalid() {
                     break;
                 }
             }
         }
         Ok(Cursor::new(self.clone(), path))
+    }
+
+    /// Estimated heap bytes retained by this version's whole provenance
+    /// chain, counting storage shared between versions once.
+    pub fn chain_retained_bytes(&self) -> usize {
+        let mut seen = std::collections::HashSet::new();
+        let mut total = 0usize;
+        let mut v = Some(&self.inner);
+        while let Some(version) = v {
+            total += exo_ir::proc_retained_bytes(&version.proc, &mut seen);
+            v = version.prev.as_ref();
+        }
+        total
+    }
+
+    /// Number of versions in this handle's provenance chain (this version
+    /// included).
+    pub fn chain_len(&self) -> usize {
+        let mut n = 0usize;
+        let mut v = Some(&self.inner);
+        while let Some(version) = v {
+            n += 1;
+            v = version.prev.as_ref();
+        }
+        n
     }
 }
 

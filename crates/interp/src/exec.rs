@@ -834,7 +834,7 @@ impl<'a> Interpreter<'a> {
                 return Err(InterpError::AssertFailed(pred.to_string()));
             }
         }
-        self.exec_block(&proc.body().0, &mut env, monitor)
+        self.exec_block(proc.body().stmts(), &mut env, monitor)
     }
 
     fn exec_block(
@@ -906,7 +906,7 @@ impl<'a> Interpreter<'a> {
                     }
                     env.push();
                     env.bind(iter.clone(), Binding::Scalar(Value::Int(i)));
-                    let r = self.exec_block(&body.0, env, monitor);
+                    let r = self.exec_block(body.stmts(), env, monitor);
                     env.pop();
                     r?;
                 }
@@ -922,9 +922,9 @@ impl<'a> Interpreter<'a> {
                 }
                 let c = self.eval(cond, env, monitor)?.as_bool()?;
                 if c {
-                    self.exec_block(&then_body.0, env, monitor)
+                    self.exec_block(then_body.stmts(), env, monitor)
                 } else {
-                    self.exec_block(&else_body.0, env, monitor)
+                    self.exec_block(else_body.stmts(), env, monitor)
                 }
             }
             Stmt::Call { proc, args } => self.exec_call(proc, args, env, monitor),
@@ -1006,7 +1006,7 @@ impl<'a> Interpreter<'a> {
                     )));
                 }
             }
-            self.exec_block(&callee.body().0, &mut callee_env, monitor)
+            self.exec_block(callee.body().stmts(), &mut callee_env, monitor)
         })();
         if suppress_inner {
             self.suppress -= 1;

@@ -246,7 +246,7 @@ pub fn lower(proc: &Proc) -> LoweredProc {
         .iter()
         .map(|p| (lw.lower_expr(p), p.to_string()))
         .collect();
-    lw.lower_block(&proc.body().0);
+    lw.lower_block(proc.body().stmts());
     debug_assert_eq!(
         lw.slot_names.len(),
         proc.binding_site_count(),
@@ -422,7 +422,7 @@ impl Lowerer {
                 });
                 self.depth += 1;
                 self.max_depth = self.max_depth.max(self.depth);
-                self.lower_block(&body.0);
+                self.lower_block(body.stmts());
                 self.depth -= 1;
                 let end_pc = self.code.len();
                 self.code.push(LInst::EndLoop {
@@ -444,14 +444,14 @@ impl Lowerer {
                     cond,
                     else_start: 0, // patched below
                 });
-                self.lower_block(&then_body.0);
+                self.lower_block(then_body.stmts());
                 let jump_pc = self.code.len();
                 self.code.push(LInst::Jump { to: 0 }); // patched below
                 let else_start = self.code.len() as u32;
                 if let LInst::Branch { else_start: e, .. } = &mut self.code[branch_pc] {
                     *e = else_start;
                 }
-                self.lower_block(&else_body.0);
+                self.lower_block(else_body.stmts());
                 let end = self.code.len() as u32;
                 if let LInst::Jump { to } = &mut self.code[jump_pc] {
                     *to = end;
@@ -589,7 +589,7 @@ mod tests {
             .build();
         let p = {
             let mut p2 = p.clone();
-            p2.body_mut().0.extend(p.body().0.iter().cloned());
+            p2.body_mut().stmts_mut().extend(p.body().iter().cloned());
             p2
         };
         let lp = lower(&p);

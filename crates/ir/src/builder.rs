@@ -145,7 +145,7 @@ impl BlockBuilder {
 
     /// Finalizes the block.
     pub fn build(self) -> Block {
-        Block(self.stmts)
+        Block::from_stmts(self.stmts)
     }
 }
 

@@ -62,6 +62,7 @@ mod expr;
 mod path;
 mod print;
 mod proc;
+mod size;
 mod stmt;
 mod sym;
 mod types;
@@ -70,11 +71,12 @@ mod visit;
 pub use builder::{BlockBuilder, ProcBuilder};
 pub use expr::{fb, ib, read, var, BinOp, Expr, UnOp, WAccess};
 pub use path::{
-    for_each_stmt_paths, resolve_block, resolve_block_mut, resolve_container,
-    resolve_container_mut, resolve_expr, resolve_stmt, resolve_stmt_mut, splice_at, ExprStep,
-    NodeRef, Step,
+    for_each_stmt_paths, for_each_stmt_paths_under, for_each_stmt_paths_until, resolve_block,
+    resolve_block_mut, resolve_container, resolve_container_mut, resolve_expr, resolve_stmt,
+    resolve_stmt_mut, splice_at, ExprStep, NodeRef, Step,
 };
 pub use proc::{ArgKind, InstrInfo, Proc, ProcArg};
+pub use size::{block_bytes, deep_unshare, proc_retained_bytes};
 pub use stmt::{Block, Stmt};
 pub use sym::Sym;
 pub use types::{DataType, Mem};

@@ -86,7 +86,7 @@ pub enum NodeRef<'a> {
 pub fn resolve_stmt<'a>(proc: &'a Proc, path: &[Step]) -> Option<&'a Stmt> {
     let (first, rest) = path.split_first()?;
     let mut stmt = match first {
-        Step::Body(i) => proc.body().0.get(*i)?,
+        Step::Body(i) => proc.body().get(*i)?,
         Step::Else(_) => return None,
     };
     for step in rest {
@@ -96,10 +96,15 @@ pub fn resolve_stmt<'a>(proc: &'a Proc, path: &[Step]) -> Option<&'a Stmt> {
 }
 
 /// Resolves a statement path against a procedure, mutably.
+///
+/// Blocks are structurally shared ([`Block`] is copy-on-write), so walking
+/// down mutably un-shares exactly the blocks on the path from the root to
+/// the target — the O(depth) "spine" — while every sibling subtree keeps
+/// its storage shared with other procedure versions.
 pub fn resolve_stmt_mut<'a>(proc: &'a mut Proc, path: &[Step]) -> Option<&'a mut Stmt> {
     let (first, rest) = path.split_first()?;
     let mut stmt = match first {
-        Step::Body(i) => proc.body_mut().0.get_mut(*i)?,
+        Step::Body(i) => proc.body_mut().stmts_mut().get_mut(*i)?,
         Step::Else(_) => return None,
     };
     for step in rest {
@@ -110,18 +115,18 @@ pub fn resolve_stmt_mut<'a>(proc: &'a mut Proc, path: &[Step]) -> Option<&'a mut
 
 fn child_stmt(stmt: &Stmt, step: Step) -> Option<&Stmt> {
     match (stmt, step) {
-        (Stmt::For { body, .. }, Step::Body(i)) => body.0.get(i),
-        (Stmt::If { then_body, .. }, Step::Body(i)) => then_body.0.get(i),
-        (Stmt::If { else_body, .. }, Step::Else(i)) => else_body.0.get(i),
+        (Stmt::For { body, .. }, Step::Body(i)) => body.get(i),
+        (Stmt::If { then_body, .. }, Step::Body(i)) => then_body.get(i),
+        (Stmt::If { else_body, .. }, Step::Else(i)) => else_body.get(i),
         _ => None,
     }
 }
 
 fn child_stmt_mut(stmt: &mut Stmt, step: Step) -> Option<&mut Stmt> {
     match (stmt, step) {
-        (Stmt::For { body, .. }, Step::Body(i)) => body.0.get_mut(i),
-        (Stmt::If { then_body, .. }, Step::Body(i)) => then_body.0.get_mut(i),
-        (Stmt::If { else_body, .. }, Step::Else(i)) => else_body.0.get_mut(i),
+        (Stmt::For { body, .. }, Step::Body(i)) => body.stmts_mut().get_mut(i),
+        (Stmt::If { then_body, .. }, Step::Body(i)) => then_body.stmts_mut().get_mut(i),
+        (Stmt::If { else_body, .. }, Step::Else(i)) => else_body.stmts_mut().get_mut(i),
         _ => None,
     }
 }
@@ -241,32 +246,77 @@ fn child_expr(expr: &Expr, step: ExprStep) -> Option<&Expr> {
 /// Walks every statement of the procedure in pre-order, calling `f` with
 /// the statement's path and the statement itself.
 pub fn for_each_stmt_paths(proc: &Proc, f: &mut impl FnMut(&[Step], &Stmt)) {
-    fn walk_block(
-        block: &Block,
-        prefix: &mut Vec<Step>,
-        make: fn(usize) -> Step,
-        f: &mut impl FnMut(&[Step], &Stmt),
-    ) {
-        for (i, stmt) in block.iter().enumerate() {
-            prefix.push(make(i));
-            f(prefix, stmt);
-            match stmt {
-                Stmt::For { body, .. } => walk_block(body, prefix, Step::Body, f),
-                Stmt::If {
-                    then_body,
-                    else_body,
-                    ..
-                } => {
-                    walk_block(then_body, prefix, Step::Body, f);
-                    walk_block(else_body, prefix, Step::Else, f);
-                }
-                _ => {}
+    for_each_stmt_paths_until(proc, &mut |path, stmt| {
+        f(path, stmt);
+        false
+    });
+}
+
+/// Pre-order walk that stops as soon as `f` returns `true`. Returns
+/// whether the walk was stopped early.
+///
+/// This is the engine behind early-exit `find`: locating the first (or
+/// `#k`-th) match visits only the statements up to the match instead of
+/// the whole procedure.
+pub fn for_each_stmt_paths_until(proc: &Proc, f: &mut impl FnMut(&[Step], &Stmt) -> bool) -> bool {
+    let mut prefix = Vec::new();
+    walk_block_until(proc.body(), &mut prefix, Step::Body, f)
+}
+
+/// Pre-order walk of the sub-AST rooted at `root` (the root statement
+/// included), with full paths from the procedure root and the same
+/// early-exit contract as [`for_each_stmt_paths_until`]. Visits nothing if
+/// `root` does not resolve.
+///
+/// A subtree-restricted find visits only the subtree this way, instead of
+/// scanning the whole procedure and filtering by path prefix.
+pub fn for_each_stmt_paths_under(
+    proc: &Proc,
+    root: &[Step],
+    f: &mut impl FnMut(&[Step], &Stmt) -> bool,
+) -> bool {
+    let Some(stmt) = resolve_stmt(proc, root) else {
+        return false;
+    };
+    let mut prefix = root.to_vec();
+    walk_stmt_until(stmt, &mut prefix, f)
+}
+
+fn walk_stmt_until(
+    stmt: &Stmt,
+    prefix: &mut Vec<Step>,
+    f: &mut impl FnMut(&[Step], &Stmt) -> bool,
+) -> bool {
+    f(prefix, stmt)
+        || match stmt {
+            Stmt::For { body, .. } => walk_block_until(body, prefix, Step::Body, f),
+            Stmt::If {
+                then_body,
+                else_body,
+                ..
+            } => {
+                walk_block_until(then_body, prefix, Step::Body, f)
+                    || walk_block_until(else_body, prefix, Step::Else, f)
             }
-            prefix.pop();
+            _ => false,
+        }
+}
+
+fn walk_block_until(
+    block: &Block,
+    prefix: &mut Vec<Step>,
+    make: fn(usize) -> Step,
+    f: &mut impl FnMut(&[Step], &Stmt) -> bool,
+) -> bool {
+    for (i, stmt) in block.iter().enumerate() {
+        prefix.push(make(i));
+        let stop = walk_stmt_until(stmt, prefix, f);
+        prefix.pop();
+        if stop {
+            return true;
         }
     }
-    let mut prefix = Vec::new();
-    walk_block(proc.body(), &mut prefix, Step::Body, f);
+    false
 }
 
 /// Replaces the statements `[at, at + removed)` of the block addressed by
@@ -277,10 +327,10 @@ pub fn splice_at(proc: &mut Proc, path: &[Step], removed: usize, new_stmts: Vec<
     let Some((block, idx)) = resolve_container_mut(proc, path) else {
         return false;
     };
-    if idx + removed > block.0.len() {
+    if idx + removed > block.len() {
         return false;
     }
-    block.0.splice(idx..idx + removed, new_stmts);
+    block.stmts_mut().splice(idx..idx + removed, new_stmts);
     true
 }
 

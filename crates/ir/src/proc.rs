@@ -235,8 +235,9 @@ impl Proc {
             for pred in &mut p.preds {
                 *pred = substitute_expr_helper(pred, &sym, &val);
             }
-            let body = std::mem::take(&mut p.body.0);
-            p.body.0 = body
+            let body = std::mem::take(&mut p.body);
+            p.body = body
+                .into_stmts()
                 .into_iter()
                 .map(|s| substitute_var(s, &sym, &val))
                 .collect();

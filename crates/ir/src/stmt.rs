@@ -3,20 +3,51 @@
 use crate::expr::Expr;
 use crate::sym::Sym;
 use crate::types::{DataType, Mem};
+use std::sync::Arc;
 
 /// A sequence of statements (the body of a procedure, loop or branch).
-#[derive(Clone, PartialEq, Debug, Default)]
-pub struct Block(pub Vec<Stmt>);
+///
+/// Blocks are *structurally shared*: cloning a block is an `Arc` bump, and
+/// two clones share one statement vector until one of them is mutated
+/// through [`Block::stmts_mut`], which copies the vector only if it is
+/// shared (path copying). This is what makes procedure snapshots in the
+/// scheduling layer near-free — committing an edit copies only the spine
+/// of blocks from the root to the edit site, while every unchanged sibling
+/// subtree stays shared across versions.
+#[derive(Clone, Debug)]
+pub struct Block(Arc<Vec<Stmt>>);
 
 impl Block {
     /// Creates an empty block.
     pub fn new() -> Self {
-        Block(Vec::new())
+        Block(Arc::new(Vec::new()))
     }
 
     /// Creates a block from statements.
     pub fn from_stmts(stmts: Vec<Stmt>) -> Self {
-        Block(stmts)
+        Block(Arc::new(stmts))
+    }
+
+    /// The statements of this block.
+    pub fn stmts(&self) -> &[Stmt] {
+        &self.0
+    }
+
+    /// Mutable access to the statement vector. If the block is shared with
+    /// other clones, the vector is copied first (copy-on-write); the other
+    /// clones keep observing the old contents.
+    pub fn stmts_mut(&mut self) -> &mut Vec<Stmt> {
+        Arc::make_mut(&mut self.0)
+    }
+
+    /// Extracts the statement vector, cloning only if the block is shared.
+    pub fn into_stmts(self) -> Vec<Stmt> {
+        Arc::try_unwrap(self.0).unwrap_or_else(|shared| (*shared).clone())
+    }
+
+    /// The statement at `i`, if in bounds.
+    pub fn get(&self, i: usize) -> Option<&Stmt> {
+        self.0.get(i)
     }
 
     /// Number of statements directly in this block.
@@ -38,6 +69,35 @@ impl Block {
     pub fn count_recursive(&self) -> usize {
         self.0.iter().map(|s| s.count_recursive()).sum()
     }
+
+    /// Whether two blocks share the same underlying statement storage
+    /// (used by sharing/aliasing tests and the retained-size estimator).
+    pub fn shares_storage_with(&self, other: &Block) -> bool {
+        Arc::ptr_eq(&self.0, &other.0)
+    }
+
+    /// A stable address for the underlying storage, used to deduplicate
+    /// shared blocks when estimating retained memory.
+    pub fn storage_id(&self) -> usize {
+        Arc::as_ptr(&self.0) as usize
+    }
+}
+
+impl Default for Block {
+    fn default() -> Self {
+        Block::new()
+    }
+}
+
+impl PartialEq for Block {
+    fn eq(&self, other: &Self) -> bool {
+        // Shared storage is equal by construction; fall back to a deep
+        // comparison otherwise. Caveat: for blocks containing a float NaN
+        // literal the deep comparison is non-reflexive (NaN != NaN) while
+        // the pointer fast path reports shared clones equal — the object
+        // language never produces NaN literals, so this stays theoretical.
+        Arc::ptr_eq(&self.0, &other.0) || *self.0 == *other.0
+    }
 }
 
 impl std::ops::Index<usize> for Block {
@@ -49,7 +109,21 @@ impl std::ops::Index<usize> for Block {
 
 impl FromIterator<Stmt> for Block {
     fn from_iter<T: IntoIterator<Item = Stmt>>(iter: T) -> Self {
-        Block(iter.into_iter().collect())
+        Block::from_stmts(iter.into_iter().collect())
+    }
+}
+
+impl From<Vec<Stmt>> for Block {
+    fn from(stmts: Vec<Stmt>) -> Self {
+        Block::from_stmts(stmts)
+    }
+}
+
+impl<'a> IntoIterator for &'a Block {
+    type Item = &'a Stmt;
+    type IntoIter = std::slice::Iter<'a, Stmt>;
+    fn into_iter(self) -> Self::IntoIter {
+        self.iter()
     }
 }
 
@@ -220,7 +294,7 @@ mod tests {
             iter: Sym::new("i"),
             lo: ib(0),
             hi: var("n"),
-            body: Block(vec![Stmt::Reduce {
+            body: Block::from_stmts(vec![Stmt::Reduce {
                 buf: Sym::new("y"),
                 idx: vec![var("i")],
                 rhs: read("x", vec![var("i")]),
@@ -247,7 +321,7 @@ mod tests {
             iter: Sym::new("j"),
             lo: ib(0),
             hi: ib(4),
-            body: Block(vec![s]),
+            body: Block::from_stmts(vec![s]),
             parallel: false,
         };
         assert_eq!(nested.count_recursive(), 3);
@@ -257,7 +331,7 @@ mod tests {
     fn child_blocks_of_if() {
         let s = Stmt::If {
             cond: Expr::Bool(true),
-            then_body: Block(vec![Stmt::Pass]),
+            then_body: Block::from_stmts(vec![Stmt::Pass]),
             else_body: Block::new(),
         };
         let blocks = s.child_blocks();

@@ -37,6 +37,18 @@ impl Sym {
         Sym(format!("{base}_{n}"))
     }
 
+    /// Resets the global fresh-name counter to zero so a schedule
+    /// constructed next produces deterministic generated names.
+    ///
+    /// This exists for single-threaded benchmark harnesses and golden
+    /// tests (`sched_bench` resets before every schedule construction so
+    /// repeated runs pretty-print identically). Never call it from code
+    /// that may run concurrently with other symbol-generating work —
+    /// reused suffixes could collide with live fresh names.
+    pub fn reset_fresh_counter() {
+        FRESH_COUNTER.store(0, Ordering::Relaxed);
+    }
+
     /// Returns the symbol's textual name.
     pub fn name(&self) -> &str {
         &self.0

@@ -135,13 +135,11 @@ pub fn substitute_var(stmt: Stmt, sym: &Sym, val: &Expr) -> Stmt {
 
 /// Substitutes within every statement of a block.
 pub fn substitute_block(block: Block, sym: &Sym, val: &Expr) -> Block {
-    Block(
-        block
-            .0
-            .into_iter()
-            .map(|s| substitute_var(s, sym, val))
-            .collect(),
-    )
+    block
+        .into_stmts()
+        .into_iter()
+        .map(|s| substitute_var(s, sym, val))
+        .collect()
 }
 
 /// Renames a symbol everywhere it appears — as a variable, buffer name,
@@ -181,12 +179,11 @@ pub fn rename_sym(stmt: Stmt, old: &Sym, new: &Sym) -> Stmt {
             iter: rn(iter),
             lo: rename_expr(lo, old, new),
             hi: rename_expr(hi, old, new),
-            body: Block(
-                body.0
-                    .into_iter()
-                    .map(|s| rename_sym(s, old, new))
-                    .collect(),
-            ),
+            body: body
+                .into_stmts()
+                .into_iter()
+                .map(|s| rename_sym(s, old, new))
+                .collect(),
             parallel,
         },
         Stmt::If {
@@ -195,20 +192,16 @@ pub fn rename_sym(stmt: Stmt, old: &Sym, new: &Sym) -> Stmt {
             else_body,
         } => Stmt::If {
             cond: rename_expr(cond, old, new),
-            then_body: Block(
-                then_body
-                    .0
-                    .into_iter()
-                    .map(|s| rename_sym(s, old, new))
-                    .collect(),
-            ),
-            else_body: Block(
-                else_body
-                    .0
-                    .into_iter()
-                    .map(|s| rename_sym(s, old, new))
-                    .collect(),
-            ),
+            then_body: then_body
+                .into_stmts()
+                .into_iter()
+                .map(|s| rename_sym(s, old, new))
+                .collect(),
+            else_body: else_body
+                .into_stmts()
+                .into_iter()
+                .map(|s| rename_sym(s, old, new))
+                .collect(),
         },
         Stmt::Call { proc, args } => Stmt::Call {
             proc,
@@ -392,7 +385,7 @@ mod tests {
             iter: Sym::new("i"),
             lo: ib(0),
             hi: var("n"),
-            body: Block(vec![Stmt::Reduce {
+            body: Block::from_stmts(vec![Stmt::Reduce {
                 buf: Sym::new("y"),
                 idx: vec![var("i")],
                 rhs: read("A", vec![var("i"), var("j")]) * read("x", vec![var("j")]),

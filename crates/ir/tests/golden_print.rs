@@ -74,7 +74,7 @@ fn golden_parallel_loop_and_scalar_dest() {
             iter: Sym::new("i"),
             lo: ib(0),
             hi: var("n"),
-            body: exo_ir::Block(vec![Stmt::Reduce {
+            body: exo_ir::Block::from_stmts(vec![Stmt::Reduce {
                 buf: Sym::new("out"),
                 idx: vec![],
                 rhs: read("x", vec![var("i")]),

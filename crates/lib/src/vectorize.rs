@@ -15,8 +15,8 @@
 //!    the `replace_all` unifier.
 
 use exo_core::{
-    divide_loop, expand_dim, fission, lift_alloc, replace_all, set_memory, simplify, Result,
-    SchedError, TailStrategy,
+    divide_loop, expand_dim, fission, lift_alloc, replace_all, set_memory, simplify, simplify_at,
+    Result, SchedError, TailStrategy,
 };
 use exo_cursors::{Cursor, CursorPath, ProcHandle};
 use exo_ir::{var, DataType, Expr, ExprStep, Stmt, Sym};
@@ -185,18 +185,34 @@ pub fn vectorize(
         p = lift_alloc(&p, format!("{}: _", s.name).as_str(), 1)?;
         p = set_memory(&p, format!("{}: _", s.name).as_str(), machine.mem_type())?;
     }
-    // (4) Fission the lane loop between every statement.
+    // (4) Fission the lane loop between every statement. All lane loops
+    // created by divide_loop live in the block that holds the divided
+    // outer loop (Cut tails are *siblings* of it), so the find is
+    // restricted to the subtree of the outer loop's parent statement
+    // instead of scanning the whole procedure; a top-level outer loop
+    // falls back to the whole-procedure scan.
+    let lane_pattern = format!("for {lane} in _: _");
     loop {
-        let lane_loops = p.find_loop_many(&lane).unwrap_or_default();
+        let outer_now = p.forward(&loop_).map_err(SchedError::from)?;
+        let lane_loops = match outer_now.parent() {
+            Ok(parent) => parent.find_all(&lane_pattern).unwrap_or_default(),
+            Err(_) => p.find_loop_many(&lane).unwrap_or_default(),
+        };
         let Some(multi) = lane_loops.into_iter().find(|l| l.body().len() > 1) else {
             break;
         };
         let gap = multi.body()[0].after().map_err(SchedError::from)?;
         p = fission(&p, &gap, 1)?;
     }
-    // (5) Replace lane loops with target instructions and clean up.
+    // (5) Replace lane loops with target instructions and clean up. The
+    // cleanup simplifies only the region this call transformed (the
+    // subtree holding the divided loop, its tail, and the lifted allocs);
+    // a top-level target loop falls back to whole-procedure cleanup.
     let p = replace_all(&p, &machine.instructions(precision))?;
-    simplify(&p)
+    match p.forward(&loop_).ok().and_then(|c| c.parent().ok()) {
+        Some(parent) => simplify_at(&p, &parent),
+        None => simplify(&p),
+    }
 }
 
 #[cfg(test)]

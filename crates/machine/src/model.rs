@@ -91,13 +91,28 @@ impl MachineModel {
     }
 
     /// The instruction procedures available for the given precision.
+    ///
+    /// Instruction sets are immutable, so they are built once per
+    /// `(machine, precision)` pair and then served from a process-wide
+    /// cache — cloning a `Proc` is cheap (procedure bodies are
+    /// structurally shared), while rebuilding the whole set through
+    /// `ProcBuilder` on every scheduling call is not.
     pub fn instructions(&self, ty: DataType) -> Vec<Proc> {
-        match self.kind {
-            MachineKind::Avx2 => avx2_instructions(ty),
-            MachineKind::Avx512 => avx512_instructions(ty),
-            MachineKind::Gemmini => gemmini_instructions(),
-            MachineKind::Scalar => Vec::new(),
-        }
+        use std::collections::HashMap;
+        use std::sync::Mutex;
+        type InstrCache = Mutex<Option<HashMap<(MachineKind, DataType), Vec<Proc>>>>;
+        static CACHE: InstrCache = Mutex::new(None);
+        let mut guard = CACHE.lock().unwrap_or_else(|e| e.into_inner());
+        guard
+            .get_or_insert_with(HashMap::new)
+            .entry((self.kind, ty))
+            .or_insert_with(|| match self.kind {
+                MachineKind::Avx2 => avx2_instructions(ty),
+                MachineKind::Avx512 => avx512_instructions(ty),
+                MachineKind::Gemmini => gemmini_instructions(),
+                MachineKind::Scalar => Vec::new(),
+            })
+            .clone()
     }
 
     /// The instruction-name prefix for this machine (`mm256` / `mm512`),
