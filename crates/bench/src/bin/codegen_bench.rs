@@ -1,0 +1,135 @@
+//! Codegen smoke / regeneration harness.
+//!
+//! For every C-generation workload (see `exo_bench::paper`):
+//!
+//! 1. **Golden check** — workloads with a checked-in golden are emitted
+//!    in machine-intrinsic mode and must match
+//!    `crates/codegen/goldens/*.c` byte-for-byte; the golden is also
+//!    compiled with `cc -O2 -Wall -Werror` plus its required `-m` flags.
+//! 2. **Portable compile + differential** — every workload is emitted in
+//!    portable scalar mode, compiled, run on randomized integer-valued
+//!    inputs, and compared element-for-element with the slot-indexed
+//!    interpreter.
+//!
+//! Modes:
+//!
+//! * (default) — everything, three differential seeds per workload.
+//! * `--smoke` — one seed, heavyweight workloads compile-only (CI).
+//! * `--write-goldens` — regenerate the golden `.c` files instead of
+//!   comparing (for onboarding new workloads, not for papering over
+//!   regressions).
+//!
+//! When `cc` is not on `PATH`, compile and differential steps are
+//! skipped with a notice; golden byte comparisons still run.
+
+use exo_bench::paper::{c_workloads, golden_c_path, CWorkload};
+use exo_codegen::difftest::{cc_available, compile_check, run_differential, DiffOutcome};
+use exo_codegen::{emit_c, CodegenOptions};
+
+fn fail(msg: &str) -> ! {
+    eprintln!("FATAL: {msg}");
+    std::process::exit(1);
+}
+
+fn golden_step(w: &CWorkload, write: bool) {
+    let Some(file) = w.golden else { return };
+    let unit = emit_c(&w.proc, &w.registry, &CodegenOptions::native())
+        .unwrap_or_else(|e| fail(&format!("emitting `{}` (native): {e}", w.name)));
+    let path = golden_c_path(file);
+    if write {
+        std::fs::write(&path, &unit.code)
+            .unwrap_or_else(|e| fail(&format!("cannot write {}: {e}", path.display())));
+        println!("  golden {:<14} written to {}", w.name, path.display());
+    } else {
+        match std::fs::read_to_string(&path) {
+            Ok(golden) if golden == unit.code => {}
+            Ok(_) => fail(&format!(
+                "`{}` emitted C no longer matches golden {} \
+                 (regenerate with --write-goldens only if intentional)",
+                w.name,
+                path.display()
+            )),
+            Err(e) => fail(&format!("cannot read golden {}: {e}", path.display())),
+        }
+    }
+    if unit.stock_toolchain && cc_available() {
+        compile_check(&unit, w.name)
+            .unwrap_or_else(|e| fail(&format!("golden `{}` does not compile: {e}", w.name)));
+        println!(
+            "  golden {:<14} ok (byte-identical, cc -O2 -Wall -Werror clean{})",
+            w.name,
+            if unit.cflags.is_empty() {
+                String::new()
+            } else {
+                format!(", {}", unit.cflags.join(" "))
+            }
+        );
+    } else {
+        println!(
+            "  golden {:<14} ok (byte-identical; compile skipped)",
+            w.name
+        );
+    }
+}
+
+fn differential_step(w: &CWorkload, seeds: &[u64]) {
+    if !cc_available() {
+        println!("  diff   {:<14} SKIPPED (no `cc` on PATH)", w.name);
+        return;
+    }
+    for seed in seeds {
+        match run_differential(&w.proc, &w.registry, *seed) {
+            Ok(DiffOutcome::Agreed { buffers, elems }) => {
+                println!(
+                    "  diff   {:<14} ok (seed {seed}: {buffers} buffers, {elems} elements agree)",
+                    w.name
+                );
+            }
+            Ok(DiffOutcome::Skipped(why)) => {
+                println!("  diff   {:<14} SKIPPED ({why})", w.name);
+                return;
+            }
+            Err(e) => fail(&e),
+        }
+    }
+}
+
+fn main() {
+    let smoke = std::env::args().any(|a| a == "--smoke");
+    let write_goldens = std::env::args().any(|a| a == "--write-goldens");
+    println!(
+        "codegen_bench: emitted-C golden + compile + differential checks{}",
+        if smoke { " [smoke mode]" } else { "" }
+    );
+    if !cc_available() {
+        println!("notice: no `cc` on PATH — compile/differential steps will be skipped");
+    }
+    let seeds: &[u64] = if smoke { &[1] } else { &[1, 2, 3] };
+    for w in c_workloads() {
+        golden_step(&w, write_goldens);
+        if write_goldens {
+            continue;
+        }
+        // Portable emission must always compile, even for workloads too
+        // heavy to differential-run in smoke mode.
+        if cc_available() {
+            let unit = emit_c(&w.proc, &w.registry, &CodegenOptions::portable())
+                .unwrap_or_else(|e| fail(&format!("emitting `{}` (portable): {e}", w.name)));
+            compile_check(&unit, w.name)
+                .unwrap_or_else(|e| fail(&format!("portable `{}` does not compile: {e}", w.name)));
+        }
+        if smoke && w.heavy {
+            println!("  diff   {:<14} skipped in smoke mode (heavy)", w.name);
+            continue;
+        }
+        differential_step(&w, seeds);
+    }
+    println!(
+        "codegen_bench: all checks {}",
+        if write_goldens {
+            "regenerated"
+        } else {
+            "passed"
+        }
+    );
+}

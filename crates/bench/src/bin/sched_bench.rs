@@ -26,8 +26,9 @@
 //! cargo run --release -p exo-bench --bin sched_bench
 //! ```
 
+use exo_bench::paper::sgemm_wide;
 use exo_cursors::{with_reference_semantics, ProcHandle};
-use exo_ir::{Block, DataType, Proc, Stmt, Sym};
+use exo_ir::{DataType, Proc};
 use exo_kernels::Precision;
 use exo_lib::{
     halide_blur_schedule, level1::optimize_level_1, level2::optimize_level_2_general,
@@ -45,20 +46,6 @@ struct Workload {
     base: Proc,
     #[allow(clippy::type_complexity)]
     schedule: Box<dyn Fn(&ProcHandle) -> ProcHandle>,
-}
-
-/// `copies` side-by-side copies of the sgemm loop nest in one procedure.
-/// The schedule only rewrites the first nest — which is exactly the point:
-/// the deep-clone engine still pays O(|proc|) per primitive for the
-/// untouched copies, the shared engine does not.
-fn sgemm_wide(copies: usize) -> Proc {
-    let base = exo_kernels::sgemm();
-    let stmts: Vec<Stmt> = (0..copies)
-        .flat_map(|_| base.body().iter().cloned())
-        .collect();
-    base.clone()
-        .with_name("sgemm_wide")
-        .with_body(Block::from_stmts(stmts))
 }
 
 fn workloads() -> Vec<Workload> {
@@ -137,12 +124,10 @@ fn golden_path(file: &str) -> std::path::PathBuf {
 /// for onboarding new pipelines, not for papering over regressions.
 fn verify(w: &Workload, write_goldens: bool) -> (ProcHandle, ProcHandle) {
     let base = ProcHandle::new(w.base.clone());
-    // Reset the fresh-name counter before each construction so generated
-    // temporaries (`vtmp_2`, ...) are deterministic: both engines and the
-    // checked-in goldens must agree byte-for-byte.
-    Sym::reset_fresh_counter();
+    // Generated temporaries (`vtmp_0`, ...) come from the deterministic
+    // per-proc fresh-name mechanism, so both engines and the checked-in
+    // goldens agree byte-for-byte without any global-counter reset.
     let new = (w.schedule)(&base);
-    Sym::reset_fresh_counter();
     let old = with_reference_semantics(|| (w.schedule)(&base));
     let new_text = new.to_string();
     if new_text != old.to_string() {
@@ -194,7 +179,6 @@ fn time_runs(w: &Workload, reference: bool, iters: u32) -> f64 {
     let base = ProcHandle::new(w.base.clone());
     let start = Instant::now();
     for _ in 0..iters {
-        Sym::reset_fresh_counter();
         let scheduled = if reference {
             with_reference_semantics(|| (w.schedule)(&base))
         } else {

@@ -7,6 +7,8 @@
 
 #![forbid(unsafe_code)]
 
+pub mod paper;
+
 use exo_baselines::VendorBaseline;
 use exo_cursors::ProcHandle;
 use exo_interp::{ArgValue, ProcRegistry};

@@ -1,0 +1,50 @@
+//! Regression tests for deterministic per-proc fresh names.
+//!
+//! Generated temporaries (`vtmp_0`, `vo_0`, ...) must be a pure function
+//! of the procedure being scheduled: independent of global counter state,
+//! of how many schedules ran earlier in the process, and of test thread
+//! interleaving. This is what makes the golden pretty-print files in
+//! `crates/bench/goldens` and the golden `.c` files in
+//! `crates/codegen/goldens` order-independent.
+
+use exo_cursors::ProcHandle;
+use exo_ir::Sym;
+use exo_lib::optimize_sgemm;
+use exo_machine::MachineModel;
+
+fn schedule_sgemm() -> String {
+    let p = ProcHandle::new(exo_kernels::sgemm());
+    optimize_sgemm(&p, &MachineModel::avx512())
+        .expect("sgemm schedule")
+        .to_string()
+}
+
+#[test]
+fn schedules_ignore_global_fresh_counter_state() {
+    let first = schedule_sgemm();
+    // Pollute the legacy process-global counter heavily; a schedule built
+    // afterwards must still produce byte-identical object code.
+    for _ in 0..1000 {
+        Sym::fresh("pollution");
+    }
+    let second = schedule_sgemm();
+    assert_eq!(first, second);
+    // Re-scheduling the *same* kernel twice in a row is also stable (the
+    // old global counter would have kept incrementing across runs).
+    assert_eq!(schedule_sgemm(), schedule_sgemm());
+}
+
+#[test]
+fn scheduled_sgemm_matches_the_checked_in_golden() {
+    let golden = std::path::Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("goldens")
+        .join("sgemm.txt");
+    let want = std::fs::read_to_string(&golden).expect("golden sgemm.txt exists");
+    assert_eq!(
+        schedule_sgemm(),
+        want,
+        "scheduled sgemm no longer matches goldens/sgemm.txt \
+         (regenerate with `cargo run -p exo-bench --bin sched_bench -- --write-goldens` \
+         only if the change is intentional)"
+    );
+}

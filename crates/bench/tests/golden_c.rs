@@ -1,0 +1,59 @@
+//! Golden `.c` regression tests: the six paper kernels (plus plain
+//! sgemm) must emit byte-identical machine-intrinsic C to the files
+//! checked in under `crates/codegen/goldens/`. This is the same contract
+//! the pretty-printer goldens in `crates/bench/goldens` enforce for the
+//! scheduling layer — any emitter change shows up as a reviewable diff.
+//!
+//! Regenerate with
+//! `cargo run --release -p exo-bench --bin codegen_bench -- --write-goldens`.
+
+use exo_bench::paper::{c_workloads, golden_c_path};
+use exo_codegen::{emit_c, CodegenOptions};
+
+#[test]
+fn paper_kernels_match_their_golden_c() {
+    let mut checked = 0;
+    for w in c_workloads() {
+        let Some(file) = w.golden else { continue };
+        let unit = emit_c(&w.proc, &w.registry, &CodegenOptions::native())
+            .unwrap_or_else(|e| panic!("emitting `{}`: {e}", w.name));
+        let path = golden_c_path(file);
+        let golden = std::fs::read_to_string(&path)
+            .unwrap_or_else(|e| panic!("cannot read golden {}: {e}", path.display()));
+        assert_eq!(
+            unit.code,
+            golden,
+            "`{}` emitted C diverged from {} — regenerate with \
+             `cargo run -p exo-bench --bin codegen_bench -- --write-goldens` \
+             only if the change is intentional",
+            w.name,
+            path.display()
+        );
+        assert!(
+            unit.stock_toolchain,
+            "golden `{}` must be stock-compilable",
+            w.name
+        );
+        checked += 1;
+    }
+    assert!(
+        checked >= 6,
+        "expected at least six golden workloads, found {checked}"
+    );
+}
+
+#[test]
+fn every_scheduled_workload_emits_portable_c() {
+    // Emission (not compilation — that needs `cc` and runs in
+    // `codegen_bench`) must succeed for every scheduled output.
+    for w in c_workloads() {
+        let unit = emit_c(&w.proc, &w.registry, &CodegenOptions::portable())
+            .unwrap_or_else(|e| panic!("emitting `{}` (portable): {e}", w.name));
+        assert!(
+            unit.cflags.is_empty(),
+            "portable `{}` needs no cflags",
+            w.name
+        );
+        assert!(unit.stock_toolchain);
+    }
+}

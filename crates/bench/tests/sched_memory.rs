@@ -6,34 +6,20 @@
 //! deliberately tight so reintroducing per-version deep clones (or
 //! breaking copy-on-write) fails immediately. Retained bytes are computed
 //! by `exo_ir::proc_retained_bytes`, which charges each shared block
-//! storage once across the chain, and are fully deterministic.
-//!
-//! Everything runs inside ONE `#[test]` because the scenarios call the
-//! process-global `Sym::reset_fresh_counter`, which must not race with
-//! other symbol-generating work (the test harness runs separate `#[test]`
-//! functions on parallel threads).
+//! storage once across the chain, and are fully deterministic: generated
+//! temporaries come from the per-proc `ProcHandle::fresh_name`, so no
+//! global counter state leaks in from tests running on other threads.
 
+use exo_bench::paper::sgemm_wide;
 use exo_cursors::{with_reference_semantics, ProcHandle};
-use exo_ir::{Block, Proc, Stmt, Sym};
+use exo_ir::Proc;
 use exo_lib::optimize_sgemm;
 use exo_machine::MachineModel;
-
-fn sgemm_wide(copies: usize) -> Proc {
-    let base = exo_kernels::sgemm();
-    let stmts: Vec<Stmt> = (0..copies)
-        .flat_map(|_| base.body().iter().cloned())
-        .collect();
-    base.clone()
-        .with_name("sgemm_wide")
-        .with_body(Block::from_stmts(stmts))
-}
 
 /// Schedules `mk()` under both engines and returns
 /// `(shared_bytes, deep_bytes, shared_chain_len, deep_chain_len)`.
 fn measure(mk: impl Fn() -> Proc) -> (usize, usize, usize, usize) {
-    Sym::reset_fresh_counter();
     let shared = optimize_sgemm(&ProcHandle::new(mk()), &MachineModel::avx512()).unwrap();
-    Sym::reset_fresh_counter();
     let deep = with_reference_semantics(|| {
         optimize_sgemm(&ProcHandle::new(mk()), &MachineModel::avx512()).unwrap()
     });

@@ -195,6 +195,18 @@ impl ProcHandle {
         self.inner.proc.name()
     }
 
+    /// A fresh `{base}_{n}` name not occurring anywhere in the procedure
+    /// at this version (see [`exo_ir::Proc::fresh_sym`]).
+    ///
+    /// Deterministic: the same procedure always yields the same name, so
+    /// schedules built through this method pretty-print identically no
+    /// matter what else the process has scheduled — the property the
+    /// golden files in `crates/bench/goldens` and the golden `.c` files
+    /// in `crates/codegen/goldens` rely on.
+    pub fn fresh_name(&self, base: &str) -> String {
+        self.inner.proc.fresh_sym(base).name().to_string()
+    }
+
     /// Creates a cursor at the given path, bound to this version.
     pub fn cursor_at(&self, path: CursorPath) -> Cursor {
         Cursor::new(self.clone(), path)

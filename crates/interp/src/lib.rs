@@ -33,7 +33,9 @@ mod registry;
 pub use buffer::{ArgValue, BufRef, BufferData, View};
 pub use error::InterpError;
 pub use exec::Interpreter;
-pub use lower::{lower, LoweredProc};
+pub use lower::{
+    lower, LArg, LBufRef, LCallArg, LExpr, LInst, LParamKind, LWSpec, LWindow, LoweredProc,
+};
 pub use monitor::{CountingMonitor, Monitor, NullMonitor};
 pub use registry::ProcRegistry;
 

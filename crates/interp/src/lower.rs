@@ -28,8 +28,12 @@ use exo_ir::{ArgKind, BinOp, DataType, Expr, Mem, Proc, Stmt, Sym, UnOp, WAccess
 /// A reference to a buffer-like operand: either a resolved frame slot or a
 /// symbol that was not in scope at the point of use (which errors only
 /// when evaluated, like the scoped-map interpreter did).
+///
+/// Public because the C backend in `exo-codegen` consumes the lowered
+/// form: slot resolution done once here serves both the executor and the
+/// emitter (slots are the emitter's unique, shadow-free identifiers).
 #[derive(Clone, Debug)]
-pub(crate) enum LBufRef {
+pub enum LBufRef {
     /// Resolved to a frame slot.
     Slot(u32),
     /// Out of scope at the point of use; the name is kept for the error.
@@ -39,40 +43,61 @@ pub(crate) enum LBufRef {
 /// A lowered scalar expression. Mirrors [`Expr`] with symbols resolved to
 /// slots and window expressions replaced by an explicit error marker.
 #[derive(Clone, Debug)]
-pub(crate) enum LExpr {
+pub enum LExpr {
+    /// Integer literal.
     Int(i64),
+    /// Floating-point literal.
     Float(f64),
+    /// Boolean literal.
     Bool(bool),
+    /// A scalar variable occurrence.
     Var(LBufRef),
+    /// A buffer element read.
     Read {
+        /// Buffer being read.
         buf: LBufRef,
+        /// One lowered index expression per dimension.
         idx: Box<[LExpr]>,
     },
     /// A window expression evaluated in a scalar context (always an error,
     /// raised lazily to preserve the original error timing).
     WindowInScalar,
+    /// Binary operation.
     Bin {
+        /// Operator.
         op: BinOp,
+        /// Left operand.
         lhs: Box<LExpr>,
+        /// Right operand.
         rhs: Box<LExpr>,
     },
+    /// Unary operation.
     Un {
+        /// Operator.
         op: UnOp,
+        /// Operand.
         arg: Box<LExpr>,
     },
+    /// `stride(buf, dim)`.
     Stride {
+        /// Buffer whose stride is queried.
         buf: LBufRef,
+        /// Dimension index.
         dim: usize,
     },
+    /// A configuration-register field read.
     ReadConfig {
+        /// Configuration struct name.
         config: Box<str>,
+        /// Field name.
         field: Box<str>,
     },
 }
 
 /// One narrowing dimension of a lowered window form.
 #[derive(Clone, Debug)]
-pub(crate) enum LWSpec {
+pub enum LWSpec {
+    /// A point access: the dimension is dropped from the window's shape.
     Point(LExpr),
     /// Only the interval start participates in view narrowing (the extent
     /// is a scheduling-time property), matching the tree interpreter.
@@ -83,20 +108,29 @@ pub(crate) enum LWSpec {
 /// access, a window — or anything else, which fails with the original
 /// expression's rendering when (and only when) it is evaluated.
 #[derive(Clone, Debug)]
-pub(crate) enum LWindow {
+pub enum LWindow {
+    /// A whole tensor passed by name.
     Var {
+        /// The tensor.
         buf: LBufRef,
     },
     /// `buf[i, j]` used as a 0-dim window argument.
     PointRead {
+        /// The tensor.
         buf: LBufRef,
+        /// Point index per dimension.
         idx: Box<[LExpr]>,
     },
+    /// A window expression `buf[lo:hi, p, ...]`.
     Window {
+        /// The tensor.
         buf: LBufRef,
+        /// Per-dimension narrowing.
         spec: Box<[LWSpec]>,
     },
+    /// Any other expression shape; fails when evaluated.
     NotATensor {
+        /// Source rendering for the error message.
         display: Box<str>,
     },
 }
@@ -105,81 +139,125 @@ pub(crate) enum LWindow {
 /// the callee's parameter kind, so both the scalar and the window form are
 /// pre-lowered.
 #[derive(Clone, Debug)]
-pub(crate) struct LCallArg {
-    pub(crate) scalar: LExpr,
-    pub(crate) window: LWindow,
+pub struct LCallArg {
+    /// The argument lowered as a scalar expression.
+    pub scalar: LExpr,
+    /// The argument lowered as a tensor/window expression.
+    pub window: LWindow,
 }
 
 /// Parameter kinds, reduced to what argument binding needs.
 #[derive(Clone, Copy, PartialEq, Eq, Debug)]
-pub(crate) enum LParamKind {
+pub enum LParamKind {
+    /// A `size` parameter.
     Size,
+    /// A scalar value parameter.
     Scalar,
+    /// A tensor (buffer or window) parameter.
     Tensor,
 }
 
 /// A lowered procedure parameter.
 #[derive(Clone, Debug)]
-pub(crate) struct LArg {
-    pub(crate) slot: u32,
-    pub(crate) kind: LParamKind,
+pub struct LArg {
+    /// Frame slot the parameter binds.
+    pub slot: u32,
+    /// Parameter kind.
+    pub kind: LParamKind,
 }
 
 /// One flat instruction. `Loop`/`EndLoop` and `Branch`/`Jump` encode the
-/// structured control flow with absolute instruction indices.
+/// structured control flow with absolute instruction indices. The
+/// encoding is block-structured by construction — every `Loop`'s body is
+/// the contiguous range `(loop_pc, end)` — which is what lets the C
+/// backend re-emit structured source from the flat vector.
 #[derive(Clone, Debug)]
-pub(crate) enum LInst {
+pub enum LInst {
+    /// `buf[idx...] = rhs`.
     Assign {
+        /// Destination buffer.
         buf: LBufRef,
+        /// Destination index per dimension.
         idx: Box<[LExpr]>,
+        /// Value written.
         rhs: LExpr,
     },
+    /// `buf[idx...] += rhs`.
     Reduce {
+        /// Destination buffer.
         buf: LBufRef,
+        /// Destination index per dimension.
         idx: Box<[LExpr]>,
+        /// Value accumulated.
         rhs: LExpr,
     },
+    /// Buffer allocation bound to a frame slot.
     Alloc {
+        /// Slot the buffer binds.
         slot: u32,
+        /// Element type.
         ty: DataType,
+        /// Dimension sizes.
         dims: Box<[LExpr]>,
+        /// Memory space.
         mem: Mem,
     },
     /// Evaluates the bounds and either enters the body (next instruction)
     /// or jumps past the matching `EndLoop` at index `end`.
     Loop {
+        /// Slot of the iterator.
         iter: u32,
+        /// Inclusive lower bound.
         lo: LExpr,
+        /// Exclusive upper bound.
         hi: LExpr,
+        /// Index of the matching [`LInst::EndLoop`].
         end: u32,
+        /// Whether iterations may execute in parallel.
         parallel: bool,
     },
     /// Advances the innermost loop; jumps back to `start + 1` while
     /// iterations remain.
     EndLoop {
+        /// Index of the matching [`LInst::Loop`].
         start: u32,
     },
     /// Falls through into the then-branch on true, jumps to `else_start`
     /// on false.
     Branch {
+        /// Branch condition.
         cond: LExpr,
+        /// First instruction of the else-branch.
         else_start: u32,
     },
+    /// Unconditional jump (closes a then-branch).
     Jump {
+        /// Jump target.
         to: u32,
     },
+    /// A call to another procedure.
     Call {
+        /// Callee name.
         callee: Box<str>,
+        /// Pre-lowered arguments.
         args: Box<[LCallArg]>,
     },
+    /// The empty statement.
     Pass,
+    /// A configuration-register write.
     WriteConfig {
+        /// Configuration struct name.
         config: Box<str>,
+        /// Field name.
         field: Box<str>,
+        /// Value written.
         value: LExpr,
     },
+    /// Binds a window alias to a frame slot.
     WindowBind {
+        /// Slot the alias binds.
         slot: u32,
+        /// The window it aliases.
         rhs: LWindow,
     },
 }
@@ -216,6 +294,34 @@ impl LoweredProc {
     /// Number of flat instructions (including loop/branch bookkeeping).
     pub fn code_len(&self) -> usize {
         self.code.len()
+    }
+
+    /// The flat instruction vector.
+    pub fn code(&self) -> &[LInst] {
+        &self.code
+    }
+
+    /// The lowered parameters, in declaration order.
+    pub fn args(&self) -> &[LArg] {
+        &self.args
+    }
+
+    /// The lowered assertion preconditions, each paired with its source
+    /// rendering.
+    pub fn preds(&self) -> &[(LExpr, String)] {
+        &self.preds
+    }
+
+    /// Source name of every frame slot, in slot order (binding-site
+    /// pre-order). Shadowed names appear more than once; the slot index
+    /// is the unique identity.
+    pub fn slot_names(&self) -> &[String] {
+        &self.slot_names
+    }
+
+    /// Maximum loop nesting depth of the body.
+    pub fn max_loop_depth(&self) -> usize {
+        self.max_loop_depth
     }
 }
 

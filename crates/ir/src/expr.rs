@@ -353,13 +353,7 @@ impl fmt::Display for Expr {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             Expr::Int(v) => write!(f, "{v}"),
-            Expr::Float(v) => {
-                if v.fract() == 0.0 {
-                    write!(f, "{v:.1}")
-                } else {
-                    write!(f, "{v}")
-                }
-            }
+            Expr::Float(v) => f.write_str(&format_float(*v)),
             Expr::Bool(v) => write!(f, "{}", if *v { "True" } else { "False" }),
             Expr::Var(s) => write!(f, "{s}"),
             Expr::Read { buf, idx } => {
@@ -404,6 +398,34 @@ impl fmt::Display for Expr {
             Expr::Stride { buf, dim } => write!(f, "stride({buf}, {dim})"),
             Expr::ReadConfig { config, field } => write!(f, "{config}.{field}"),
         }
+    }
+}
+
+/// Renders a float literal so it round-trips and stays recognizable as a
+/// float: Rust's shortest round-trip representation, with `.0` appended
+/// when it would otherwise read as an integer (`1` → `1.0`), and the
+/// non-finite values spelled `inf` / `-inf` / `nan` (never Rust's `NaN`),
+/// which backends translate to their own non-finite spellings (the C
+/// emitter uses `INFINITY` / `NAN` from `<math.h>`).
+pub fn format_float(v: f64) -> String {
+    if v.is_nan() {
+        return "nan".to_string();
+    }
+    if v.is_infinite() {
+        return if v > 0.0 { "inf" } else { "-inf" }.to_string();
+    }
+    // Rust's plain `{}` never uses scientific notation, so extreme
+    // magnitudes would print as hundreds of digits; switch to `{:e}`
+    // (also shortest-round-trip) outside a sane fixed-notation range.
+    let s = if v != 0.0 && !(1e-4..1e16).contains(&v.abs()) {
+        format!("{v:e}")
+    } else {
+        format!("{v}")
+    };
+    if s.bytes().all(|b| b.is_ascii_digit() || b == b'-') {
+        format!("{s}.0")
+    } else {
+        s
     }
 }
 
@@ -541,5 +563,36 @@ mod tests {
     fn neg_display() {
         let e = -var("x");
         assert_eq!(e.to_string(), "-x");
+    }
+
+    #[test]
+    fn float_literals_round_trip_and_stay_floats() {
+        // Whole values must keep a decimal point so they cannot be
+        // re-read (by a human or a C compiler) as integer literals.
+        assert_eq!(fb(1.0).to_string(), "1.0");
+        assert_eq!(fb(-2.0).to_string(), "-2.0");
+        assert_eq!(fb(0.0).to_string(), "0.0");
+        // Shortest representation round-trips exactly.
+        for v in [
+            0.1,
+            1.0 / 3.0,
+            -123456.75,
+            1e300,
+            5e-324,
+            f64::MAX,
+            f64::MIN_POSITIVE,
+        ] {
+            let s = format_float(v);
+            assert_eq!(s.parse::<f64>().unwrap(), v, "no round-trip for {s}");
+        }
+        // Scientific notation is already unambiguous; no `.0` appended.
+        assert_eq!(format_float(1e300), "1e300");
+    }
+
+    #[test]
+    fn non_finite_floats_have_stable_lowercase_spellings() {
+        assert_eq!(fb(f64::INFINITY).to_string(), "inf");
+        assert_eq!(fb(f64::NEG_INFINITY).to_string(), "-inf");
+        assert_eq!(fb(f64::NAN).to_string(), "nan");
     }
 }

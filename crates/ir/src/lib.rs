@@ -69,7 +69,7 @@ mod types;
 mod visit;
 
 pub use builder::{BlockBuilder, ProcBuilder};
-pub use expr::{fb, ib, read, var, BinOp, Expr, UnOp, WAccess};
+pub use expr::{fb, format_float, ib, read, var, BinOp, Expr, UnOp, WAccess};
 pub use path::{
     for_each_stmt_paths, for_each_stmt_paths_under, for_each_stmt_paths_until, resolve_block,
     resolve_block_mut, resolve_container, resolve_container_mut, resolve_expr, resolve_stmt,
@@ -81,6 +81,6 @@ pub use stmt::{Block, Stmt};
 pub use sym::Sym;
 pub use types::{DataType, Mem};
 pub use visit::{
-    collect_reads, collect_writes, for_each_expr, for_each_stmt, rename_expr, rename_sym,
-    substitute_block, substitute_expr, substitute_var,
+    collect_reads, collect_sym_names, collect_writes, for_each_expr, for_each_stmt, rename_expr,
+    rename_sym, substitute_block, substitute_expr, substitute_var,
 };

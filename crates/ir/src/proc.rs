@@ -210,6 +210,32 @@ impl Proc {
         n
     }
 
+    /// Returns a symbol `{base}_{n}` that does not occur anywhere in this
+    /// procedure, choosing the smallest such `n ≥ 0`.
+    ///
+    /// Unlike [`Sym::fresh`], which draws suffixes from a process-global
+    /// counter (so generated names depend on everything else the process
+    /// has scheduled), this is a pure function of the procedure: the same
+    /// procedure always yields the same fresh name. Scheduling libraries
+    /// use it (via `ProcHandle::fresh_name` in `exo-cursors`) so golden
+    /// pretty-print and golden `.c` files are independent of test order
+    /// and of how many schedules ran earlier in the process.
+    ///
+    /// Callers that mint several names before inserting any of them must
+    /// use distinct `base`s (the scheduling libraries do), since the
+    /// procedure cannot know about names not yet spliced into it.
+    pub fn fresh_sym(&self, base: &str) -> Sym {
+        let used = crate::visit::collect_sym_names(self);
+        let mut n: u64 = 0;
+        loop {
+            let candidate = format!("{base}_{n}");
+            if !used.contains(&candidate) {
+                return Sym::new(candidate);
+            }
+            n += 1;
+        }
+    }
+
     /// Partially evaluates size arguments to constants, returning a new
     /// procedure with those arguments removed and every use replaced by the
     /// constant (the paper's `p.partial_eval(M, N)`).
@@ -320,6 +346,26 @@ mod tests {
         let s = format!("{p}");
         assert!(s.contains("seq(0, 64)"), "{s}");
         assert!(s.contains("seq(0, 32)"), "{s}");
+    }
+
+    #[test]
+    fn fresh_sym_is_deterministic_and_collision_free() {
+        let p = gemv();
+        // Same proc, same answer — independent of any global counter state.
+        Sym::fresh("noise");
+        Sym::fresh("noise");
+        assert_eq!(p.fresh_sym("tmp"), Sym::new("tmp_0"));
+        assert_eq!(p.fresh_sym("tmp"), Sym::new("tmp_0"));
+        // Occupied suffixes are skipped.
+        let p2 = ProcBuilder::new("p")
+            .tensor_arg("tmp_0", DataType::F32, vec![ib(4)], Mem::Dram)
+            .for_("tmp_1", ib(0), ib(4), |b| {
+                b.assign("tmp_0", vec![var("tmp_1")], crate::expr::fb(0.0));
+            })
+            .build();
+        assert_eq!(p2.fresh_sym("tmp"), Sym::new("tmp_2"));
+        // Existing loop iterators and buffer mentions all count as used.
+        assert_eq!(p.fresh_sym("i"), Sym::new("i_0"));
     }
 
     #[test]

@@ -6,9 +6,16 @@ use std::sync::atomic::{AtomicU64, Ordering};
 /// A symbol in the object language: an iterator, buffer, scalar or
 /// configuration-register name.
 ///
-/// Symbols compare by their textual name. Scheduling operations that
-/// introduce fresh temporaries use [`Sym::fresh`] which appends a globally
-/// unique numeric suffix, so generated names never collide with user names.
+/// Symbols compare by their textual name. Two mechanisms mint fresh
+/// temporaries:
+///
+/// * [`crate::Proc::fresh_sym`] — deterministic per procedure (the
+///   smallest unused `base_n` suffix). This is what the scheduling
+///   libraries use, so generated names depend only on the procedure being
+///   scheduled, never on global state or test order.
+/// * [`Sym::fresh`] — a process-global counter, kept for contexts with no
+///   procedure at hand. Names are unique but *not* reproducible across
+///   runs or orderings; avoid it anywhere output is golden-tested.
 ///
 /// ```
 /// use exo_ir::Sym;

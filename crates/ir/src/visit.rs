@@ -353,6 +353,55 @@ pub fn collect_writes(stmt: &Stmt) -> Vec<(Sym, Vec<Expr>)> {
     out
 }
 
+/// Collects the textual name of every symbol occurring anywhere in the
+/// procedure: arguments, assertion mentions, allocation / iterator /
+/// window-alias binding sites, and every buffer, variable, stride or
+/// config occurrence in statements and expressions.
+///
+/// This is the "used names" set that [`crate::Proc::fresh_sym`] keeps
+/// fresh names disjoint from.
+pub fn collect_sym_names(proc: &crate::proc::Proc) -> std::collections::BTreeSet<String> {
+    fn note_expr(e: &Expr, out: &mut std::collections::BTreeSet<String>) {
+        match e {
+            Expr::Var(s) | Expr::Stride { buf: s, .. } | Expr::ReadConfig { config: s, .. } => {
+                out.insert(s.name().to_string());
+            }
+            Expr::Read { buf, .. } | Expr::Window { buf, .. } => {
+                out.insert(buf.name().to_string());
+            }
+            _ => {}
+        }
+    }
+    let mut out = std::collections::BTreeSet::new();
+    for arg in proc.args() {
+        out.insert(arg.name.name().to_string());
+    }
+    for pred in proc.preds() {
+        visit_expr(pred, &mut |e| note_expr(e, &mut out));
+    }
+    for stmt in proc.body().iter() {
+        for_each_stmt(stmt, &mut |s| {
+            match s {
+                Stmt::Assign { buf, .. } | Stmt::Reduce { buf, .. } => {
+                    out.insert(buf.name().to_string());
+                }
+                Stmt::Alloc { name, .. } | Stmt::WindowStmt { name, .. } => {
+                    out.insert(name.name().to_string());
+                }
+                Stmt::For { iter, .. } => {
+                    out.insert(iter.name().to_string());
+                }
+                Stmt::WriteConfig { config, .. } => {
+                    out.insert(config.name().to_string());
+                }
+                Stmt::If { .. } | Stmt::Call { .. } | Stmt::Pass => {}
+            }
+            for_each_expr_local(s, &mut |e| note_expr(e, &mut out));
+        });
+    }
+    out
+}
+
 /// Like [`for_each_expr`] but does not recurse into nested statements
 /// (used when the caller already walks statements separately).
 fn for_each_expr_local(stmt: &Stmt, f: &mut impl FnMut(&Expr)) {

@@ -71,7 +71,7 @@ fn bind_leaf(
     created: &mut Vec<Staged>,
     ty: DataType,
 ) -> Result<ProcHandle> {
-    let name = Sym::fresh("vtmp").name().to_string();
+    let name = p.fresh_name("vtmp");
     let stmt_path = p
         .forward(stmt)?
         .path()
@@ -162,8 +162,10 @@ pub fn vectorize(
     tail: TailStrategy,
 ) -> Result<ProcHandle> {
     let loop_ = p.forward(loop_)?;
-    let lane = Sym::fresh("vl").name().to_string();
-    let outer = Sym::fresh("vo").name().to_string();
+    // Deterministic per-proc freshness: distinct bases, so the two names
+    // cannot collide even though neither is inserted yet.
+    let lane = p.fresh_name("vl");
+    let outer = p.fresh_name("vo");
     // (1) Expose lane parallelism.
     let p = divide_loop(p, &loop_, vw, [outer.as_str(), lane.as_str()], tail)?;
     // (2) Cursor to the lane loop and stage the computation.

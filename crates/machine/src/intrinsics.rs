@@ -1,0 +1,302 @@
+//! The machine-intrinsic table: real C bodies for instruction procedures.
+//!
+//! Every instruction procedure in this crate carries its *semantics* as
+//! ordinary object code (a short lane loop), which the C backend in
+//! `exo-codegen` can always emit as a portable scalar fallback. This
+//! module additionally maps instruction procedures to the **real**
+//! hardware intrinsic sequence a shipping library would contain —
+//! `_mm512_fmadd_ps` instead of a 16-iteration loop, `gemmini_*` ROCC
+//! macros instead of a tile loop — so the emitted C matches what the
+//! paper's Exo 2 backend generates for AVX2/AVX512/Gemmini targets.
+//!
+//! # ABI contract with `exo-codegen`
+//!
+//! A body is a sequence of C statements spliced verbatim into the emitted
+//! function for the instruction procedure, so it references the
+//! procedure's parameters by their declared names under the emitter's
+//! calling convention:
+//!
+//! * `size` parameters are `int64_t` values,
+//! * scalar parameters are passed by value (`float`, `double`, ...),
+//! * rank-0 tensor parameters are plain pointers (`float *out`),
+//! * rank-`n` window parameters are `struct exo_win_{n}{ty}` values with
+//!   a `.data` pointer and `.strides[n]` (`int64_t`) array.
+//!
+//! Vector bodies additionally assume the windows they touch are
+//! **unit-stride in their last dimension** — the shape every schedule in
+//! `exo-lib` produces (vector registers and contiguous row segments). The
+//! scalar fallback carries no such assumption, which is why it remains
+//! the default for differential testing.
+
+use exo_ir::DataType;
+
+/// A C lowering for one instruction procedure.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct CIntrinsic {
+    /// Headers the body needs (emitted as `#include <...>` / `"..."`).
+    pub includes: Vec<String>,
+    /// Extra compiler flags the translation unit needs (`-mavx512f`, ...).
+    pub cflags: Vec<String>,
+    /// C statements forming the function body (see the ABI contract).
+    pub body: String,
+    /// Whether a stock C toolchain can compile the body: true for the x86
+    /// vector intrinsics (`<immintrin.h>` ships with gcc/clang), false
+    /// for Gemmini's `gemmini.h`, which only exists in the Chipyard SDK.
+    pub stock_toolchain: bool,
+}
+
+/// Vector geometry shared by the AVX2/AVX512 table entries.
+struct VecIsa {
+    /// `mm256` / `mm512` — both the proc-name prefix and the C intrinsic
+    /// family (`_mm256_...`).
+    prefix: &'static str,
+    /// `ps` / `pd`.
+    suffix: &'static str,
+    /// `__m256` / `__m256d` / `__m512` / `__m512d`.
+    reg: &'static str,
+    /// `float` / `double`.
+    elem: &'static str,
+    lanes: usize,
+    cflags: &'static [&'static str],
+}
+
+fn vec_isa(prefix: &str, suffix: &str) -> Option<VecIsa> {
+    let isa = match (prefix, suffix) {
+        ("mm256", "ps") => VecIsa {
+            prefix: "mm256",
+            suffix: "ps",
+            reg: "__m256",
+            elem: "float",
+            lanes: 8,
+            cflags: &["-mavx2", "-mfma"],
+        },
+        ("mm256", "pd") => VecIsa {
+            prefix: "mm256",
+            suffix: "pd",
+            reg: "__m256d",
+            elem: "double",
+            lanes: 4,
+            cflags: &["-mavx2", "-mfma"],
+        },
+        ("mm512", "ps") => VecIsa {
+            prefix: "mm512",
+            suffix: "ps",
+            reg: "__m512",
+            elem: "float",
+            lanes: 16,
+            cflags: &["-mavx512f"],
+        },
+        ("mm512", "pd") => VecIsa {
+            prefix: "mm512",
+            suffix: "pd",
+            reg: "__m512d",
+            elem: "double",
+            lanes: 8,
+            cflags: &["-mavx512f"],
+        },
+        _ => return None,
+    };
+    Some(isa)
+}
+
+fn vec_intrinsic(op: &str, isa: &VecIsa) -> Option<String> {
+    let p = isa.prefix;
+    let s = isa.suffix;
+    let r = isa.reg;
+    let body = match op {
+        // dst[l] = src[l]: the schedules use loadu/storeu/mov
+        // interchangeably as typed copies between memory and registers,
+        // so all three lower to an unaligned load + unaligned store.
+        "loadu" | "storeu" | "mov" => {
+            format!("_{p}_storeu_{s}(dst.data, _{p}_loadu_{s}(src.data));")
+        }
+        "set1" => format!("_{p}_storeu_{s}(dst.data, _{p}_set1_{s}(val));"),
+        "add" | "sub" | "mul" | "div" => format!(
+            "_{p}_storeu_{s}(dst.data, _{p}_{op}_{s}(_{p}_loadu_{s}(a.data), _{p}_loadu_{s}(b.data)));"
+        ),
+        "addacc" => format!(
+            "_{p}_storeu_{s}(acc.data, _{p}_add_{s}(_{p}_loadu_{s}(acc.data), _{p}_loadu_{s}(a.data)));"
+        ),
+        "fmadd" => format!(
+            "_{p}_storeu_{s}(acc.data, _{p}_fmadd_{s}(_{p}_loadu_{s}(a.data), _{p}_loadu_{s}(b.data), _{p}_loadu_{s}(acc.data)));"
+        ),
+        "reduce_add_scalar" => {
+            if p == "mm512" {
+                // AVX512 has a horizontal-reduce intrinsic.
+                format!("*out += _{p}_reduce_add_{s}(_{p}_loadu_{s}(a.data));")
+            } else {
+                // AVX2 does not: spill the register and sum the lanes.
+                let elem = isa.elem;
+                let lanes = isa.lanes;
+                let mut b = format!(
+                    "{r} v = _{p}_loadu_{s}(a.data);\n{elem} lane[{lanes}];\n_{p}_storeu_{s}(lane, v);\n*out += "
+                );
+                for l in 0..lanes {
+                    if l > 0 {
+                        b.push_str(" + ");
+                    }
+                    b.push_str(&format!("lane[{l}]"));
+                }
+                b.push(';');
+                b
+            }
+        }
+        _ => return None,
+    };
+    Some(body)
+}
+
+/// Gemmini ROCC-macro lowerings (Chipyard's `gemmini.h`). These document
+/// the real instruction stream; they are not compilable with a stock
+/// toolchain, so `stock_toolchain` is false and the differential harness
+/// always uses the scalar fallback for them.
+fn gemmini_intrinsic(name: &str) -> Option<String> {
+    let body = match name {
+        "config_ld_i8_id1" => "gemmini_extended3_config_ld((size_t)value, 1.0f, 0, 1);",
+        "config_ld_i8_id2" => "gemmini_extended3_config_ld((size_t)value, 1.0f, 0, 2);",
+        "config_st_acc_i8" => "gemmini_extended_config_st((size_t)value, 0, 1.0f);",
+        "config_matmul" => "gemmini_extended_config_ex(WS, 0, 0, 1, 0, 0);",
+        "config_zero" => "gemmini_extended3_config_ld(0, 1.0f, 0, 0);",
+        "do_zero_acc_i32" => {
+            "gemmini_extended_mvin3(NULL, (uint32_t)(uintptr_t)acc.data, (size_t)cols, (size_t)rows);"
+        }
+        "do_ld_i8_block_id1" => {
+            "gemmini_extended_mvin(src.data, (uint32_t)(uintptr_t)dst.data, (size_t)(16 * blocks), (size_t)rows);"
+        }
+        "do_ld_i8_block_id2" => {
+            "gemmini_extended_mvin2(src.data, (uint32_t)(uintptr_t)dst.data, (size_t)(16 * blocks), (size_t)rows);"
+        }
+        "do_matmul_acc_i8" => {
+            "gemmini_extended_preload((uint32_t)(uintptr_t)b.data, (uint32_t)(uintptr_t)c.data | 0x40000000u, (size_t)n, (size_t)k, (size_t)n, (size_t)m);\ngemmini_extended_compute_preloaded((uint32_t)(uintptr_t)a.data, ~0u, (size_t)k, (size_t)m, 16, 16);"
+        }
+        "do_st_acc_i8" => {
+            "gemmini_extended_mvout(dst.data, (uint32_t)(uintptr_t)acc.data, (size_t)cols, (size_t)rows);"
+        }
+        _ => return None,
+    };
+    Some(body.to_string())
+}
+
+/// Looks up the C intrinsic lowering for an instruction procedure by
+/// name. Returns `None` for procedures without a mapping — the C backend
+/// then falls back to the portable scalar body generated from the
+/// procedure's own object code, so *every* instruction procedure can be
+/// emitted, mapped or not.
+pub fn c_intrinsic(proc_name: &str) -> Option<CIntrinsic> {
+    // x86 vector names have the shape `{mm256|mm512}_{op}_{ps|pd}`.
+    if let Some(rest) = proc_name
+        .strip_prefix("mm256_")
+        .map(|r| ("mm256", r))
+        .or_else(|| proc_name.strip_prefix("mm512_").map(|r| ("mm512", r)))
+    {
+        let (prefix, rest) = rest;
+        if let Some(op) = rest
+            .strip_suffix("_ps")
+            .or_else(|| rest.strip_suffix("_pd"))
+        {
+            let suffix = &rest[rest.len() - 2..];
+            if let Some(isa) = vec_isa(prefix, suffix) {
+                if let Some(body) = vec_intrinsic(op, &isa) {
+                    return Some(CIntrinsic {
+                        includes: vec!["<immintrin.h>".to_string()],
+                        cflags: isa.cflags.iter().map(|s| s.to_string()).collect(),
+                        body,
+                        stock_toolchain: true,
+                    });
+                }
+            }
+        }
+        return None;
+    }
+    gemmini_intrinsic(proc_name).map(|body| CIntrinsic {
+        includes: vec!["\"gemmini.h\"".to_string()],
+        cflags: Vec::new(),
+        body,
+        stock_toolchain: false,
+    })
+}
+
+/// Convenience: the short type tag `exo-codegen` uses in window struct
+/// names (`exo_win_1f32`, ...), provided here so the intrinsic bodies and
+/// the emitter agree on one spelling.
+pub fn c_type_tag(ty: DataType) -> &'static str {
+    match ty {
+        DataType::F32 => "f32",
+        DataType::F64 => "f64",
+        DataType::I8 => "i8",
+        DataType::I32 => "i32",
+        DataType::Bool => "bool",
+        DataType::Index => "i64",
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::isa::{avx2_instructions, avx512_instructions};
+
+    #[test]
+    fn every_vector_instruction_has_a_mapping() {
+        for instrs in [
+            avx2_instructions(DataType::F32),
+            avx2_instructions(DataType::F64),
+            avx512_instructions(DataType::F32),
+            avx512_instructions(DataType::F64),
+        ] {
+            for p in instrs {
+                let intr = c_intrinsic(p.name());
+                assert!(intr.is_some(), "no C intrinsic mapping for {}", p.name());
+                let intr = intr.unwrap();
+                assert!(intr.stock_toolchain);
+                assert!(intr.includes.contains(&"<immintrin.h>".to_string()));
+                assert!(!intr.body.is_empty());
+            }
+        }
+    }
+
+    #[test]
+    fn avx512_fmadd_uses_the_real_intrinsic() {
+        let intr = c_intrinsic("mm512_fmadd_ps").unwrap();
+        assert!(intr.body.contains("_mm512_fmadd_ps"), "{}", intr.body);
+        assert_eq!(intr.cflags, vec!["-mavx512f"]);
+        let intr2 = c_intrinsic("mm256_fmadd_pd").unwrap();
+        assert!(intr2.body.contains("_mm256_fmadd_pd"), "{}", intr2.body);
+        assert!(intr2.cflags.contains(&"-mfma".to_string()));
+    }
+
+    #[test]
+    fn avx2_horizontal_reduce_spills_lanes() {
+        let intr = c_intrinsic("mm256_reduce_add_scalar_ps").unwrap();
+        assert!(intr.body.contains("+ lane[7];"), "{}", intr.body);
+        assert!(!intr.body.contains("+ lane[8]"), "{}", intr.body);
+        let intr = c_intrinsic("mm512_reduce_add_scalar_pd").unwrap();
+        assert!(intr.body.contains("_mm512_reduce_add_pd"), "{}", intr.body);
+    }
+
+    #[test]
+    fn gemmini_instructions_map_but_are_not_stock_compilable() {
+        for proc in crate::gemmini::gemmini_instructions() {
+            // The scalar helpers (acc_scale, clamp, relu) intentionally
+            // have no mapping: their scalar bodies *are* the real code.
+            let intr = c_intrinsic(proc.name());
+            if matches!(proc.name(), "acc_scale" | "clamp" | "relu") {
+                assert!(intr.is_none(), "{} should use its scalar body", proc.name());
+                continue;
+            }
+            let intr = intr.unwrap_or_else(|| panic!("no mapping for {}", proc.name()));
+            assert!(!intr.stock_toolchain);
+            assert!(intr.includes.contains(&"\"gemmini.h\"".to_string()));
+        }
+        assert!(c_intrinsic("do_matmul_acc_i8")
+            .unwrap()
+            .body
+            .contains("gemmini_extended_compute_preloaded"));
+    }
+
+    #[test]
+    fn unknown_names_have_no_mapping() {
+        assert!(c_intrinsic("sgemm").is_none());
+        assert!(c_intrinsic("mm256_warp_ps").is_none());
+        assert!(c_intrinsic("mm128_add_ps").is_none());
+    }
+}

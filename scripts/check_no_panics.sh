@@ -1,9 +1,10 @@
 #!/usr/bin/env bash
 # Guards the bugfix contract of the cursors / ir::expr / machine::isa
-# library code: no panic!/unreachable!/todo!/unwrap()/expect() on any
-# reachable library path. Only the library portion of each file is
-# scanned (everything before its `#[cfg(test)]` module); doc-comment and
-# comment lines are ignored.
+# library code — and the whole exo-codegen crate — no
+# panic!/unreachable!/todo!/unwrap()/expect() on any reachable library
+# path. Only the library portion of each file is scanned (everything
+# before its `#[cfg(test)]` module); doc-comment and comment lines are
+# ignored.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -16,6 +17,10 @@ FILES=(
   crates/cursors/src/lib.rs
   crates/ir/src/expr.rs
   crates/machine/src/isa.rs
+  crates/codegen/src/lib.rs
+  crates/codegen/src/emit.rs
+  crates/codegen/src/mangle.rs
+  crates/codegen/src/difftest.rs
 )
 
 status=0
@@ -58,4 +63,4 @@ if [ "$status" -ne 0 ]; then
   echo "error: panicking constructs found on library paths (see above)" >&2
   exit 1
 fi
-echo "ok: no panic!/unwrap/expect on library paths in cursors, ir::expr, machine::isa"
+echo "ok: no panic!/unwrap/expect on library paths in cursors, ir::expr, machine::isa, codegen"
