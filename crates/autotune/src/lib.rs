@@ -1,0 +1,349 @@
+//! # exo-autotune — schedule search over the `ScheduleScript` genome
+//!
+//! The scheduling language makes schedules cheap to *try*: primitives are
+//! safety-checked, the persistent IR makes each candidate an O(depth)
+//! edit, and the cost simulator prices any legal program. This crate
+//! turns that into an autotuner:
+//!
+//! 1. **Generate** — enumerate the single-step and interchange-led
+//!    two-step core of the space, then sample longer seeded-random
+//!    scripts ([`space::generate_candidates`]).
+//! 2. **Prune** — replay every script through the primitives
+//!    ([`exo_lib::apply_script`]); illegal candidates are rejected by the
+//!    primitives' own errors, never by ad-hoc search-side checks.
+//! 3. **Rank** — price survivors with the cycle-cost simulator
+//!    ([`exo_machine::try_simulate`]) on inputs synthesized by the
+//!    differential harness.
+//! 4. **Measure** — compile the top-K with the C backend and time them in
+//!    parallel worker threads ([`measure::measure_batch`]); without a C
+//!    compiler the tuner degrades to cost-model-only ranking.
+//! 5. **Report** — winner script, pruning statistics, search throughput,
+//!    and a cost-model-fidelity score (Spearman rank correlation between
+//!    simulated cycles and measured nanoseconds over the measured set).
+//!
+//! `tune_bench` (in `exo-bench`) drives this over the library kernels and
+//! records the results in `BENCH_autotune.json`; its `--smoke` mode is
+//! the CI gate asserting the search rediscovers the hand-written SGEMM
+//! schedule.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod measure;
+pub mod space;
+
+use exo_cursors::ProcHandle;
+use exo_interp::{ArgValue, ProcRegistry};
+use exo_ir::{DataType, Proc};
+use exo_lib::{apply_script, schedule_of_record, ScheduleScript};
+use exo_machine::{try_simulate, MachineModel};
+use std::time::Instant;
+
+/// A kernel to tune.
+pub struct TuneTask {
+    /// Display name (the procedure name of `proc`).
+    pub name: String,
+    /// The unscheduled kernel.
+    pub proc: Proc,
+    /// Target machine: supplies the instruction set, vector width and the
+    /// cost model's instruction classes.
+    pub machine: MachineModel,
+    /// Useful floating-point operations per kernel invocation at the
+    /// synthesized input sizes — the numerator of the GFLOP-proxy.
+    pub flops: f64,
+}
+
+impl TuneTask {
+    /// A task for `proc` on `machine` with the given flop count.
+    pub fn new(proc: Proc, machine: MachineModel, flops: f64) -> Self {
+        TuneTask {
+            name: proc.name().to_string(),
+            proc,
+            machine,
+            flops,
+        }
+    }
+}
+
+/// Search configuration.
+#[derive(Clone, Debug)]
+pub struct TuneConfig {
+    /// Seed for the candidate sampler.
+    pub seed: u64,
+    /// Maximum number of unique candidate scripts.
+    pub budget: usize,
+    /// How many of the best-ranked candidates to compile and time.
+    pub top_k: usize,
+    /// Whether to attempt wall-clock measurement at all (`false` forces
+    /// cost-model-only ranking even when `cc` is available).
+    pub measure: bool,
+    /// Worker threads for compile-and-time.
+    pub threads: usize,
+    /// Seed for input synthesis (shared by simulation and measurement).
+    pub input_seed: u64,
+}
+
+impl Default for TuneConfig {
+    fn default() -> Self {
+        TuneConfig {
+            seed: 0xE202,
+            budget: 200,
+            top_k: 8,
+            measure: true,
+            threads: 4,
+            input_seed: 1,
+        }
+    }
+}
+
+/// One evaluated candidate schedule.
+#[derive(Clone, Debug)]
+pub struct Candidate {
+    /// The replayable script.
+    pub script: ScheduleScript,
+    /// Simulated cycles on the synthesized inputs.
+    pub cycles: u64,
+    /// Measured mean nanoseconds per call, when the candidate was in the
+    /// top-K and the toolchain was available.
+    pub measured_ns: Option<f64>,
+}
+
+/// The result of tuning one kernel.
+#[derive(Clone, Debug)]
+pub struct TuneReport {
+    /// Kernel name.
+    pub kernel: String,
+    /// Unique candidate scripts generated.
+    pub sampled: usize,
+    /// Candidates rejected by the scheduling primitives.
+    pub illegal: usize,
+    /// Candidates rejected by the simulator (interpreter trap).
+    pub trapped: usize,
+    /// Survivors, ranked by simulated cycles (ascending). The identity
+    /// script is always candidate zero of the input set, so this is
+    /// non-empty whenever the kernel itself simulates.
+    pub candidates: Vec<Candidate>,
+    /// Simulated cycles of the unscheduled kernel.
+    pub baseline_cycles: u64,
+    /// Simulated cycles of the pinned schedule of record, if one exists.
+    pub record_cycles: Option<u64>,
+    /// How many candidates were wall-clock measured.
+    pub measured: usize,
+    /// Spearman rank correlation between simulated cycles and measured
+    /// nanoseconds over the measured set (≥ 3 samples), else `None`.
+    pub fidelity: Option<f64>,
+    /// Useful flops per invocation (from the task).
+    pub flops: f64,
+    /// Candidates evaluated per second (legal + pruned, over wall time).
+    pub throughput: f64,
+    /// Total search wall time in seconds.
+    pub elapsed_secs: f64,
+}
+
+impl TuneReport {
+    /// The best-ranked candidate (by measured time when available for
+    /// the leaders, else simulated cycles).
+    pub fn best(&self) -> Option<&Candidate> {
+        self.candidates.first()
+    }
+
+    /// The candidate the cost model ranks best, ignoring any wall-clock
+    /// re-ordering of the measured leaders. This is what the rediscovery
+    /// gate compares against the schedule of record: the claim under test
+    /// is about the model's ranking, and portable-scalar wall clock (the
+    /// only portable thing to time) systematically penalizes vectorized
+    /// schedules — a divergence the fidelity score reports rather than
+    /// hides.
+    pub fn best_by_cycles(&self) -> Option<&Candidate> {
+        self.candidates.iter().min_by_key(|c| c.cycles)
+    }
+
+    /// Flops per simulated cycle of the model-best candidate — the
+    /// GFLOP-proxy tracked by `BENCH_autotune.json`.
+    pub fn best_flops_per_cycle(&self) -> Option<f64> {
+        self.best_by_cycles()
+            .map(|c| self.flops / c.cycles.max(1) as f64)
+    }
+}
+
+/// Synthesizes interpreter argument values with the differential
+/// harness's generator (shared sizes satisfying the kernel's assertions,
+/// integer-valued data).
+fn synth_argvalues(proc: &Proc, seed: u64) -> Result<Vec<ArgValue>, String> {
+    use exo_codegen::difftest::{synth_inputs, SynthArg};
+    let inputs = synth_inputs(proc, seed)?;
+    let mut args = Vec::with_capacity(inputs.len());
+    for input in inputs {
+        match input {
+            SynthArg::Size(v) | SynthArg::Int(v) => args.push(ArgValue::Int(v)),
+            SynthArg::Float(v) => args.push(ArgValue::Float(v)),
+            SynthArg::Bool(b) => args.push(ArgValue::Bool(b)),
+            SynthArg::Tensor {
+                dims, data, elem, ..
+            } => {
+                let (_, arg) = ArgValue::from_vec(data, dims, elem);
+                args.push(arg);
+            }
+        }
+    }
+    Ok(args)
+}
+
+/// The concrete size values the harness synthesized for `proc` (one per
+/// `size` argument, in signature order) — callers use this to compute
+/// the task's flop count on the same shapes the tuner times.
+pub fn synth_sizes(proc: &Proc, seed: u64) -> Result<Vec<i64>, String> {
+    use exo_codegen::difftest::{synth_inputs, SynthArg};
+    Ok(synth_inputs(proc, seed)?
+        .iter()
+        .filter_map(|a| match a {
+            SynthArg::Size(v) => Some(*v),
+            _ => None,
+        })
+        .collect())
+}
+
+/// Simulated cycles of one scheduled proc, or the reason it cannot run.
+fn cost_of(proc: &Proc, registry: &ProcRegistry, input_seed: u64) -> Result<u64, String> {
+    let args = synth_argvalues(proc, input_seed)?;
+    try_simulate(proc, registry, args)
+        .map(|r| r.cycles)
+        .map_err(|e| e.to_string())
+}
+
+/// Spearman rank correlation between two equal-length samples (no tie
+/// correction; ties get first-come ranks, which is adequate for the
+/// strictly-varying quantities compared here).
+pub fn spearman(xs: &[f64], ys: &[f64]) -> Option<f64> {
+    let n = xs.len();
+    if n < 3 || n != ys.len() {
+        return None;
+    }
+    let rank = |vals: &[f64]| -> Vec<f64> {
+        let mut idx: Vec<usize> = (0..vals.len()).collect();
+        idx.sort_by(|&a, &b| {
+            vals[a]
+                .partial_cmp(&vals[b])
+                .unwrap_or(std::cmp::Ordering::Equal)
+        });
+        let mut ranks = vec![0.0; vals.len()];
+        for (r, &i) in idx.iter().enumerate() {
+            ranks[i] = r as f64;
+        }
+        ranks
+    };
+    let rx = rank(xs);
+    let ry = rank(ys);
+    let mean = (n as f64 - 1.0) / 2.0;
+    let mut num = 0.0;
+    let mut dx = 0.0;
+    let mut dy = 0.0;
+    for i in 0..n {
+        let a = rx[i] - mean;
+        let b = ry[i] - mean;
+        num += a * b;
+        dx += a * a;
+        dy += b * b;
+    }
+    if dx == 0.0 || dy == 0.0 {
+        return None;
+    }
+    Some(num / (dx * dy).sqrt())
+}
+
+/// Runs the full search for one kernel. See the crate docs for the
+/// pipeline; the returned report always ranks by simulated cycles, with
+/// measured leaders re-ordered by wall time when measurement ran.
+///
+/// # Errors
+/// When even the unscheduled kernel cannot be simulated (bad task), or
+/// input synthesis fails.
+pub fn tune(task: &TuneTask, cfg: &TuneConfig) -> Result<TuneReport, String> {
+    let t0 = Instant::now();
+    let registry: ProcRegistry = task
+        .machine
+        .instructions(DataType::F32)
+        .into_iter()
+        .collect();
+    let base = ProcHandle::new(task.proc.clone());
+    let baseline_cycles = cost_of(base.proc(), &registry, cfg.input_seed)
+        .map_err(|e| format!("`{}` baseline does not simulate: {e}", task.name))?;
+
+    let scripts = space::generate_candidates(&base, &task.machine, cfg.seed, cfg.budget);
+    let sampled = scripts.len();
+    let mut illegal = 0usize;
+    let mut trapped = 0usize;
+    let mut survivors: Vec<(ScheduleScript, ProcHandle, u64)> = Vec::new();
+    for script in scripts {
+        let scheduled = match apply_script(&base, &script, &task.machine) {
+            Ok(p) => p,
+            Err(_) => {
+                illegal += 1;
+                continue;
+            }
+        };
+        match cost_of(scheduled.proc(), &registry, cfg.input_seed) {
+            Ok(cycles) => survivors.push((script, scheduled, cycles)),
+            Err(_) => trapped += 1,
+        }
+    }
+    // Deterministic ranking: cycles ascending, script key as tiebreak.
+    survivors.sort_by(|a, b| a.2.cmp(&b.2).then_with(|| a.0.key().cmp(&b.0.key())));
+
+    let record_cycles = schedule_of_record(task.proc.name(), &task.machine)
+        .and_then(|script| apply_script(&base, &script, &task.machine).ok())
+        .and_then(|p| cost_of(p.proc(), &registry, cfg.input_seed).ok());
+
+    let mut candidates: Vec<Candidate> = survivors
+        .iter()
+        .map(|(script, _, cycles)| Candidate {
+            script: script.clone(),
+            cycles: *cycles,
+            measured_ns: None,
+        })
+        .collect();
+
+    let mut measured = 0usize;
+    let mut fidelity = None;
+    if cfg.measure {
+        let k = cfg.top_k.min(survivors.len());
+        let batch: Vec<(Proc, u64)> = survivors[..k]
+            .iter()
+            .map(|(_, p, cycles)| (p.proc().clone(), *cycles))
+            .collect();
+        let times = measure::measure_batch(&batch, &task.machine, cfg.input_seed, cfg.threads);
+        for (cand, ns) in candidates.iter_mut().zip(&times) {
+            cand.measured_ns = *ns;
+        }
+        let pairs: Vec<(f64, f64)> = candidates
+            .iter()
+            .filter_map(|c| c.measured_ns.map(|ns| (c.cycles as f64, ns)))
+            .collect();
+        measured = pairs.len();
+        let (xs, ys): (Vec<f64>, Vec<f64>) = pairs.into_iter().unzip();
+        fidelity = spearman(&xs, &ys);
+        // Within the measured leaders, wall time outranks the model.
+        candidates[..k].sort_by(|a, b| match (a.measured_ns, b.measured_ns) {
+            (Some(x), Some(y)) => x.partial_cmp(&y).unwrap_or(std::cmp::Ordering::Equal),
+            (Some(_), None) => std::cmp::Ordering::Less,
+            (None, Some(_)) => std::cmp::Ordering::Greater,
+            (None, None) => a.cycles.cmp(&b.cycles),
+        });
+    }
+
+    let elapsed_secs = t0.elapsed().as_secs_f64();
+    Ok(TuneReport {
+        kernel: task.name.clone(),
+        sampled,
+        illegal,
+        trapped,
+        candidates,
+        baseline_cycles,
+        record_cycles,
+        measured,
+        fidelity,
+        flops: task.flops,
+        throughput: sampled as f64 / elapsed_secs.max(1e-9),
+        elapsed_secs,
+    })
+}

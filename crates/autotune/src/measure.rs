@@ -1,0 +1,185 @@
+//! Wall-clock measurement of candidate schedules: emit portable C,
+//! compile with the system toolchain, and time a repetition loop.
+//!
+//! Reuses the differential harness's input synthesis and compiler driver
+//! (`exo_codegen::difftest`), so measured kernels run on exactly the
+//! input shapes the cost model was evaluated on. Portable scalar mode is
+//! used deliberately: it runs on any build host, and the quantity the
+//! fidelity report needs is the *ranking* agreement between simulated
+//! cycles and measured time, which portable C already exercises.
+
+use exo_codegen::difftest::{cc_available, compile, synth_inputs, SynthArg};
+use exo_codegen::{emit_c, CodegenOptions};
+use exo_interp::ProcRegistry;
+use exo_ir::{DataType, Proc};
+use exo_machine::MachineModel;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+/// Emits a `main` that initializes the synthesized inputs, warms the
+/// kernel once, then times `reps` back-to-back calls with
+/// `CLOCK_MONOTONIC` and prints the mean nanoseconds per call.
+fn emit_timing_driver(unit_code: &str, proc: &Proc, inputs: &[SynthArg], reps: u64) -> String {
+    let mut s = String::with_capacity(unit_code.len() + 4096);
+    // clock_gettime is POSIX, hidden by -std=c99 unless requested before
+    // the first include.
+    s.push_str("#define _POSIX_C_SOURCE 199309L\n");
+    s.push_str(unit_code);
+    s.push_str("\n#include <stdio.h>\n#include <time.h>\n\nint main(void) {\n");
+    let mut call_args = Vec::with_capacity(inputs.len());
+    for (k, input) in inputs.iter().enumerate() {
+        let var = format!("exo_arg_{k}");
+        match input {
+            SynthArg::Size(v) | SynthArg::Int(v) => call_args.push(format!("{v}")),
+            SynthArg::Float(v) => call_args.push(exo_ir::format_float(*v)),
+            SynthArg::Bool(b) => call_args.push(if *b { "1" } else { "0" }.to_string()),
+            SynthArg::Tensor {
+                dims,
+                data,
+                elem,
+                window,
+            } => {
+                let celem = match elem {
+                    DataType::F32 => "float",
+                    DataType::F64 => "double",
+                    DataType::I8 => "int8_t",
+                    DataType::I32 => "int32_t",
+                    DataType::Bool => "bool",
+                    DataType::Index => "int64_t",
+                };
+                let init: Vec<String> = data
+                    .iter()
+                    .map(|v| {
+                        if elem.is_float() {
+                            exo_ir::format_float(*v)
+                        } else {
+                            format!("{}", *v as i64)
+                        }
+                    })
+                    .collect();
+                s.push_str(&format!(
+                    "    static {celem} {var}[{}] = {{ {} }};\n",
+                    data.len(),
+                    init.join(", ")
+                ));
+                if dims.is_empty() || !*window {
+                    call_args.push(var.clone());
+                } else {
+                    let mut strides = vec![1i64; dims.len()];
+                    for d in (0..dims.len().saturating_sub(1)).rev() {
+                        strides[d] = strides[d + 1] * dims[d + 1] as i64;
+                    }
+                    let tag = exo_machine::c_type_tag(*elem);
+                    let ss: Vec<String> = strides.iter().map(|v| v.to_string()).collect();
+                    call_args.push(format!(
+                        "(struct exo_win_{}{tag}){{ {var}, {{ {} }} }}",
+                        dims.len(),
+                        ss.join(", ")
+                    ));
+                }
+            }
+        }
+    }
+    let call = format!("{}({})", proc.name(), call_args.join(", "));
+    s.push_str(&format!("    {call};\n"));
+    s.push_str("    struct timespec exo_t0, exo_t1;\n");
+    s.push_str("    clock_gettime(CLOCK_MONOTONIC, &exo_t0);\n");
+    s.push_str(&format!(
+        "    for (long exo_r = 0; exo_r < {reps}; exo_r++) {{\n        {call};\n    }}\n"
+    ));
+    s.push_str("    clock_gettime(CLOCK_MONOTONIC, &exo_t1);\n");
+    s.push_str(&format!(
+        "    double exo_ns = (double)(exo_t1.tv_sec - exo_t0.tv_sec) * 1e9 + \
+         (double)(exo_t1.tv_nsec - exo_t0.tv_nsec);\n    \
+         printf(\"%.17g\\n\", exo_ns / {reps});\n    return 0;\n}}\n"
+    ));
+    s
+}
+
+/// Repetition count matched to the candidate's simulated cost so every
+/// measurement spans a comparable wall-clock window.
+fn reps_for(cycles: u64) -> u64 {
+    (20_000_000 / cycles.max(1)).clamp(3, 5_000)
+}
+
+/// Measures one already-scheduled procedure: emit, compile, run, parse.
+fn measure_one(
+    proc: &Proc,
+    registry: &ProcRegistry,
+    input_seed: u64,
+    cycles: u64,
+) -> Result<f64, String> {
+    let unit = emit_c(proc, registry, &CodegenOptions::portable())
+        .map_err(|e| format!("emitting `{}`: {e}", proc.name()))?;
+    let inputs = synth_inputs(proc, input_seed)?;
+    let driver = emit_timing_driver(&unit.code, proc, &inputs, reps_for(cycles));
+    let bin = compile(&driver, &unit.cflags, proc.name())?;
+    let output = std::process::Command::new(&bin)
+        .output()
+        .map_err(|e| format!("cannot run {}: {e}", bin.display()))?;
+    if let Some(dir) = bin.parent() {
+        let _ = std::fs::remove_dir_all(dir);
+    }
+    if !output.status.success() {
+        return Err(format!(
+            "timing binary for `{}` exited with {}",
+            proc.name(),
+            output.status
+        ));
+    }
+    String::from_utf8_lossy(&output.stdout)
+        .trim()
+        .parse::<f64>()
+        .map_err(|e| format!("bad timing output for `{}`: {e}", proc.name()))
+}
+
+/// Measures a batch of scheduled procedures in parallel worker threads
+/// (each worker compiles and times its own candidates; `cc` processes
+/// dominate, so the workers overlap well). Returns per-candidate mean
+/// nanoseconds, `None` where measurement failed; all-`None` when no C
+/// compiler is available.
+///
+/// Workers build their own [`ProcRegistry`] from `machine` — the
+/// registry's lowering cache is single-threaded by design (`Rc`).
+pub fn measure_batch(
+    procs: &[(Proc, u64)],
+    machine: &MachineModel,
+    input_seed: u64,
+    threads: usize,
+) -> Vec<Option<f64>> {
+    if !cc_available() || procs.is_empty() {
+        return vec![None; procs.len()];
+    }
+    let next = AtomicUsize::new(0);
+    let results: Vec<Mutex<Option<f64>>> = procs.iter().map(|_| Mutex::new(None)).collect();
+    let workers = threads.clamp(1, procs.len());
+    std::thread::scope(|scope| {
+        for _ in 0..workers {
+            scope.spawn(|| {
+                let registry: ProcRegistry =
+                    machine.instructions(DataType::F32).into_iter().collect();
+                loop {
+                    let i = next.fetch_add(1, Ordering::Relaxed);
+                    if i >= procs.len() {
+                        break;
+                    }
+                    let (proc, cycles) = &procs[i];
+                    let measured = match measure_one(proc, &registry, input_seed, *cycles) {
+                        Ok(ns) => Some(ns),
+                        Err(e) => {
+                            eprintln!("autotune: measurement of candidate {i} failed: {e}");
+                            None
+                        }
+                    };
+                    if let Ok(mut slot) = results[i].lock() {
+                        *slot = measured;
+                    }
+                }
+            });
+        }
+    });
+    results
+        .into_iter()
+        .map(|m| m.into_inner().unwrap_or(None))
+        .collect()
+}

@@ -1,0 +1,211 @@
+//! Candidate generation: the enumerated core and the sampled tail of the
+//! search space.
+//!
+//! Generation is *syntactic* — scripts are built from the loop structure
+//! of the unscheduled kernel (plus the derived `{name}o`/`{name}i` names
+//! a split would introduce) without checking legality. Legality is the
+//! driver's job: it replays every script through the safety-checked
+//! primitives and prunes on their errors, which is exactly the
+//! "primitives as search filter" design the scheduling language enables.
+//! Pre-filtering here would hide the pruning statistics the fidelity
+//! report tracks.
+
+use exo_cursors::ProcHandle;
+use exo_ir::Stmt;
+use exo_lib::{LoopSel, SchedStep, ScheduleScript};
+use exo_machine::MachineModel;
+use std::collections::BTreeSet;
+
+/// Deterministic xorshift64* stream (same generator as the differential
+/// harness, so seeds are comparable across tools).
+pub struct Rng(u64);
+
+impl Rng {
+    /// A stream seeded with `seed` (zero is mapped to an odd constant).
+    pub fn new(seed: u64) -> Self {
+        Rng(seed | 1)
+    }
+
+    fn next(&mut self) -> u64 {
+        let mut x = self.0;
+        x ^= x >> 12;
+        x ^= x << 25;
+        x ^= x >> 27;
+        self.0 = x;
+        x.wrapping_mul(0x2545F4914F6CDD1D)
+    }
+
+    /// Uniform value below `n` (`n > 0`).
+    pub fn below(&mut self, n: usize) -> usize {
+        (self.next() % n.max(1) as u64) as usize
+    }
+}
+
+fn collect_loops(block: &exo_ir::Block, out: &mut Vec<String>) {
+    for stmt in block {
+        match stmt {
+            Stmt::For { iter, body, .. } => {
+                out.push(iter.name().to_string());
+                collect_loops(body, out);
+            }
+            Stmt::If {
+                then_body,
+                else_body,
+                ..
+            } => {
+                collect_loops(then_body, out);
+                collect_loops(else_body, out);
+            }
+            _ => {}
+        }
+    }
+}
+
+/// All loop selectors of a procedure, in textual order, with occurrence
+/// indices per iterator name.
+pub fn loop_selectors(p: &ProcHandle) -> Vec<LoopSel> {
+    let mut names = Vec::new();
+    collect_loops(p.proc().body(), &mut names);
+    let mut seen: Vec<(String, usize)> = Vec::new();
+    let mut out = Vec::with_capacity(names.len());
+    for name in names {
+        let nth = match seen.iter_mut().find(|(n, _)| *n == name) {
+            Some((_, count)) => {
+                *count += 1;
+                *count
+            }
+            None => {
+                seen.push((name.clone(), 0));
+                0
+            }
+        };
+        out.push(LoopSel::new(name, nth));
+    }
+    out
+}
+
+/// The single-step menu over a set of loop selectors: every decision
+/// dimension of the genome (interchange, blocking factor, lane count,
+/// accumulator placement, unrolling) instantiated for each loop.
+fn step_menu(loops: &[LoopSel], machine: &MachineModel) -> Vec<SchedStep> {
+    let vw = machine.vec_width(exo_ir::DataType::F32);
+    let mut menu = Vec::new();
+    for l in loops {
+        menu.push(SchedStep::Reorder { loop_: l.clone() });
+        for width in [vw, vw / 2] {
+            if width >= 2 {
+                menu.push(SchedStep::Vectorize {
+                    loop_: l.clone(),
+                    width,
+                });
+            }
+        }
+        for factor in [4, vw, 2 * vw] {
+            menu.push(SchedStep::Split {
+                loop_: l.clone(),
+                factor,
+                cut_tail: false,
+            });
+        }
+        menu.push(SchedStep::StageAccum { loop_: l.clone() });
+        menu.push(SchedStep::Unroll { loop_: l.clone() });
+    }
+    menu
+}
+
+/// A random step: drawn from the base menu, or (one time in four)
+/// retargeted at a split-child loop (`{name}o`/`{name}i`) that only
+/// exists if an earlier step created it — scripts that guess wrong are
+/// pruned by selector resolution, not by the generator.
+fn random_step(rng: &mut Rng, menu: &[SchedStep], loops: &[LoopSel]) -> SchedStep {
+    let step = menu[rng.below(menu.len())].clone();
+    if rng.below(4) != 0 || loops.is_empty() {
+        return step;
+    }
+    let parent = &loops[rng.below(loops.len())];
+    let child = LoopSel::new(
+        format!(
+            "{}{}",
+            parent.name,
+            if rng.below(2) == 0 { "i" } else { "o" }
+        ),
+        0,
+    );
+    match step {
+        SchedStep::Reorder { .. } => SchedStep::Reorder { loop_: child },
+        SchedStep::Vectorize { width, .. } => SchedStep::Vectorize {
+            loop_: child,
+            width,
+        },
+        SchedStep::Split {
+            factor, cut_tail, ..
+        } => SchedStep::Split {
+            loop_: child,
+            factor,
+            cut_tail,
+        },
+        SchedStep::StageAccum { .. } => SchedStep::StageAccum { loop_: child },
+        SchedStep::Unroll { .. } => SchedStep::Unroll { loop_: child },
+        other => other,
+    }
+}
+
+/// Generates up to `budget` unique candidate scripts for `base`:
+///
+/// 1. the identity script (the unscheduled kernel is always a candidate),
+/// 2. every single step of the menu,
+/// 3. every interchange-led pair `reorder(L); <single>` — the
+///    coordinate-exploration core that guarantees classic interchange +
+///    vectorize schedules are always visited,
+/// 4. every step repeated twice (`<single>; <single>`) — multi-stage
+///    kernels like the two-pass blur need the same rewrite applied once
+///    per stage, and selectors re-resolve against the rewritten proc so
+///    the repeat lands on the next matching loop,
+/// 5. seeded random scripts of up to three steps until the budget is
+///    full.
+pub fn generate_candidates(
+    base: &ProcHandle,
+    machine: &MachineModel,
+    seed: u64,
+    budget: usize,
+) -> Vec<ScheduleScript> {
+    let loops = loop_selectors(base);
+    let menu = step_menu(&loops, machine);
+    let mut seen = BTreeSet::new();
+    let mut out = Vec::new();
+    let mut push = |script: ScheduleScript, out: &mut Vec<ScheduleScript>| {
+        if out.len() < budget && seen.insert(script.key()) {
+            out.push(script);
+        }
+    };
+    push(ScheduleScript::default(), &mut out);
+    for step in &menu {
+        push(ScheduleScript::new(vec![step.clone()]), &mut out);
+    }
+    for l in &loops {
+        let lead = SchedStep::Reorder { loop_: l.clone() };
+        for step in &menu {
+            push(
+                ScheduleScript::new(vec![lead.clone(), step.clone()]),
+                &mut out,
+            );
+        }
+    }
+    for step in &menu {
+        push(
+            ScheduleScript::new(vec![step.clone(), step.clone()]),
+            &mut out,
+        );
+    }
+    let mut rng = Rng::new(seed);
+    let mut attempts = 0usize;
+    while out.len() < budget && attempts < budget * 16 {
+        attempts += 1;
+        let len = 1 + rng.below(3);
+        let steps = (0..len)
+            .map(|_| random_step(&mut rng, &menu, &loops))
+            .collect();
+        push(ScheduleScript::new(steps), &mut out);
+    }
+    out
+}

@@ -1,0 +1,139 @@
+//! Property: searchable implies compilable. Any genome script the
+//! candidate generator proposes that (a) replays cleanly through the
+//! safety-checked primitives and (b) still runs under the interpreter
+//! must also emit C — in both portable and native mode. The autotuner's
+//! pruning must never be the thing hiding a codegen `Unsupported` hole;
+//! that was exactly the failure mode this PR's bugfixes close.
+
+use exo_autotune::space::generate_candidates;
+use exo_codegen::difftest::{interp_outputs, synth_inputs};
+use exo_codegen::{emit_c, CodegenOptions};
+use exo_cursors::ProcHandle;
+use exo_interp::ProcRegistry;
+use exo_ir::{fb, ib, read, var, DataType, Expr, Mem, Proc, ProcBuilder};
+use exo_lib::apply_script;
+use exo_machine::MachineModel;
+use proptest::prelude::*;
+
+/// Deterministic xorshift64* stream.
+struct Rng(u64);
+
+impl Rng {
+    fn new(seed: u64) -> Self {
+        Rng(seed | 1)
+    }
+    fn next(&mut self) -> u64 {
+        let mut x = self.0;
+        x ^= x >> 12;
+        x ^= x << 25;
+        x ^= x >> 27;
+        self.0 = x;
+        x.wrapping_mul(0x2545F4914F6CDD1D)
+    }
+    fn below(&mut self, n: u64) -> u64 {
+        self.next() % n
+    }
+}
+
+/// A random affine value over the 2-D inputs: `a[i+r, j+c]`, `b[j+c]`,
+/// small integer-valued float constants, and sums/differences/products,
+/// with bounded depth so every intermediate is exact in f32.
+fn random_value_expr(rng: &mut Rng, depth: usize) -> Expr {
+    if depth == 0 || rng.below(3) == 0 {
+        return match rng.below(3) {
+            0 => read(
+                "a",
+                vec![
+                    var("i") + ib(rng.below(2) as i64),
+                    var("j") + ib(rng.below(2) as i64),
+                ],
+            ),
+            1 => read("b", vec![var("j") + ib(rng.below(2) as i64)]),
+            _ => fb(rng.below(7) as f64 - 3.0),
+        };
+    }
+    let lhs = random_value_expr(rng, depth - 1);
+    let rhs = random_value_expr(rng, depth - 1);
+    match rng.below(3) {
+        0 => lhs + rhs,
+        1 => lhs - rhs,
+        _ => lhs * rhs,
+    }
+}
+
+/// A random doubly-nested affine kernel over padded inputs — enough loop
+/// structure for the genome's interchange/split/vectorize/stage menu to
+/// produce non-trivial scripts.
+fn random_kernel(rng: &mut Rng) -> Proc {
+    let rhs = random_value_expr(rng, 2);
+    let reduce = rng.below(2) == 0;
+    ProcBuilder::new("prop_search_kernel")
+        .size_arg("n")
+        .assert_(Expr::eq_(Expr::modulo(var("n"), ib(8)), ib(0)))
+        .assert_(Expr::bin(exo_ir::BinOp::Ge, var("n"), ib(8)))
+        .tensor_arg(
+            "a",
+            DataType::F32,
+            vec![var("n") + ib(1), var("n") + ib(1)],
+            Mem::Dram,
+        )
+        .tensor_arg("b", DataType::F32, vec![var("n") + ib(1)], Mem::Dram)
+        .tensor_arg("out", DataType::F32, vec![var("n"), var("n")], Mem::Dram)
+        .for_("i", ib(0), var("n"), move |b| {
+            let rhs = rhs.clone();
+            b.for_("j", ib(0), var("n"), move |b| {
+                if reduce {
+                    b.reduce("out", vec![var("i"), var("j")], rhs.clone());
+                } else {
+                    b.assign("out", vec![var("i"), var("j")], rhs.clone());
+                }
+            });
+        })
+        .build()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    #[test]
+    fn legal_candidates_that_interpret_also_emit_c(seed in any::<u64>()) {
+        let mut rng = Rng::new(seed);
+        let machine = MachineModel::avx2();
+        let registry: ProcRegistry =
+            machine.instructions(DataType::F32).into_iter().collect();
+        let base = ProcHandle::new(random_kernel(&mut rng));
+        let candidates = generate_candidates(&base, &machine, seed ^ 0x5EAC, 40);
+        prop_assert!(!candidates.is_empty());
+        let mut survived = 0usize;
+        for script in &candidates {
+            // Illegal scripts are the generator's business-as-usual; the
+            // property only constrains the survivors.
+            let Ok(scheduled) = apply_script(&base, script, &machine) else {
+                continue;
+            };
+            let inputs = match synth_inputs(scheduled.proc(), seed ^ 0x1267) {
+                Ok(inputs) => inputs,
+                Err(why) => {
+                    eprintln!("SKIPPED input synthesis for `{script}`: {why}");
+                    continue;
+                }
+            };
+            if interp_outputs(scheduled.proc(), &registry, &inputs).is_err() {
+                continue;
+            }
+            survived += 1;
+            for opts in [CodegenOptions::portable(), CodegenOptions::native()] {
+                if let Err(e) = emit_c(scheduled.proc(), &registry, &opts) {
+                    prop_assert!(
+                        false,
+                        "searchable but not compilable: `{script}` fails emit_c: {e}\n{}",
+                        scheduled.proc()
+                    );
+                }
+            }
+        }
+        // The identity script always survives, so the property is never
+        // vacuous.
+        prop_assert!(survived > 0);
+    }
+}

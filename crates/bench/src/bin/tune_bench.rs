@@ -1,0 +1,213 @@
+//! Autotuner harness: search throughput, best-found schedules, and
+//! cost-model fidelity over the library kernels.
+//!
+//! For each kernel (`sgemm`, `sgemv_n`, `blur2d`) the tuner generates up
+//! to 200 candidate schedule scripts from a fixed seed, prunes them
+//! through the scheduling primitives, ranks survivors with the cycle-cost
+//! simulator, and — in full mode, when `cc` is on `PATH` — compiles and
+//! times the top-ranked candidates to score how well simulated cycles
+//! predict wall-clock rank (Spearman correlation).
+//!
+//! Modes:
+//!
+//! * (default) — all kernels, measurement enabled, writes
+//!   `BENCH_autotune.json` at the repo root.
+//! * `--smoke` — SGEMM only, cost-model ranking only, writes nothing.
+//!
+//! Both modes enforce the rediscovery gate: with the fixed seed and a
+//! 200-candidate budget, the search must find an SGEMM schedule the cost
+//! model ranks at least as good as the hand-written `optimize_sgemm`
+//! (pinned as the schedule of record). Regenerate the checked-in JSON
+//! with:
+//!
+//! ```text
+//! cargo run --release -p exo-bench --bin tune_bench
+//! ```
+
+use exo_autotune::{synth_sizes, tune, TuneConfig, TuneReport, TuneTask};
+use exo_codegen::difftest::cc_available;
+use exo_kernels::{blur2d, gemv, sgemm, Precision};
+use exo_lib::schedule_of_record;
+use exo_machine::MachineModel;
+
+fn fail(msg: &str) -> ! {
+    eprintln!("FATAL: {msg}");
+    std::process::exit(1);
+}
+
+/// The tuned kernel set. Flop counts are computed on the same synthesized
+/// sizes the tuner simulates and measures (the blur count is the
+/// 8-ops-per-pixel proxy for the two three-tap passes).
+fn tasks(machine: &MachineModel, input_seed: u64, smoke: bool) -> Vec<TuneTask> {
+    let flops = |proc: &exo_ir::Proc, f: &dyn Fn(&[i64]) -> f64| -> f64 {
+        match synth_sizes(proc, input_seed) {
+            Ok(sizes) => f(&sizes),
+            Err(e) => fail(&format!("cannot size `{}`: {e}", proc.name())),
+        }
+    };
+    let mut v = Vec::new();
+    let p = sgemm();
+    let fl = flops(&p, &|s| 2.0 * (s[0] * s[1] * s[2]) as f64);
+    v.push(TuneTask::new(p, machine.clone(), fl));
+    if smoke {
+        return v;
+    }
+    let p = gemv(Precision::Single, false);
+    let fl = flops(&p, &|s| 2.0 * (s[0] * s[1]) as f64);
+    v.push(TuneTask::new(p, machine.clone(), fl));
+    let p = blur2d();
+    let fl = flops(&p, &|s| 8.0 * (s[0] * s[1]) as f64);
+    v.push(TuneTask::new(p, machine.clone(), fl));
+    v
+}
+
+/// The CI gate: the search must rediscover a schedule the cost model
+/// ranks at least as good as the pinned schedule of record.
+fn check_rediscovery(report: &TuneReport) {
+    let Some(record) = report.record_cycles else {
+        // Kernels without a pinned record only gate on beating baseline.
+        return;
+    };
+    let Some(best) = report.best_by_cycles() else {
+        fail(&format!("`{}`: no candidate survived", report.kernel));
+    };
+    if best.cycles > record {
+        fail(&format!(
+            "`{}`: best found ({}, {} cycles) is worse than the schedule of record ({} cycles)",
+            report.kernel, best.script, best.cycles, record
+        ));
+    }
+    if best.cycles >= report.baseline_cycles {
+        fail(&format!(
+            "`{}`: search failed to improve on the unscheduled kernel",
+            report.kernel
+        ));
+    }
+}
+
+fn print_report(r: &TuneReport) {
+    let best = r.best_by_cycles();
+    println!(
+        "  tune   {:<10} sampled {:>4}  illegal {:>4}  trapped {:>3}  survivors {:>4}  \
+         {:>6.1} cand/s",
+        r.kernel,
+        r.sampled,
+        r.illegal,
+        r.trapped,
+        r.candidates.len(),
+        r.throughput
+    );
+    println!(
+        "         {:<10} baseline {:>9} cy  record {}  best {} cy  ({})",
+        "",
+        r.baseline_cycles,
+        r.record_cycles
+            .map_or("   (none)".to_string(), |c| format!("{c:>9} cy")),
+        best.map_or("?".to_string(), |b| b.cycles.to_string()),
+        best.map_or("<none>".to_string(), |b| b.script.to_string()),
+    );
+    if r.measured > 0 {
+        let timed = r.best();
+        println!(
+            "         {:<10} measured {:>2} candidates  fastest {:>9.0} ns/call ({})  fidelity {}",
+            "",
+            r.measured,
+            timed.and_then(|b| b.measured_ns).unwrap_or(f64::NAN),
+            timed.map_or("<none>".to_string(), |b| b.script.to_string()),
+            r.fidelity
+                .map_or("n/a (<3 samples)".to_string(), |f| format!("{f:.2}")),
+        );
+    }
+}
+
+fn json_escape(s: &str) -> String {
+    s.replace('\\', "\\\\").replace('"', "\\\"")
+}
+
+fn json(reports: &[TuneReport], machine_name: &str, cfg: &TuneConfig) -> String {
+    let mut out = String::from("{\n");
+    out.push_str("  \"generated_by\": \"cargo run --release -p exo-bench --bin tune_bench\",\n");
+    out.push_str(&format!(
+        "  \"machine\": \"{machine_name}\", \"seed\": {}, \"budget\": {}, \"top_k\": {},\n",
+        cfg.seed, cfg.budget, cfg.top_k
+    ));
+    out.push_str(
+        "  \"unit\": \"cycles = simulated cost-model cycles on the synthesized input sizes; \
+         measured_ns = mean wall-clock ns/call of compiled portable C; fidelity = Spearman \
+         rank correlation (simulated vs measured) over the measured top-K; \
+         flops_per_cycle = task flops / best simulated cycles (GFLOP-proxy)\",\n",
+    );
+    out.push_str("  \"kernels\": [\n");
+    for (i, r) in reports.iter().enumerate() {
+        let best = r.best_by_cycles();
+        let timed = r.best();
+        out.push_str(&format!(
+            "    {{\"name\": \"{}\", \"sampled\": {}, \"illegal\": {}, \"trapped\": {}, \
+             \"survivors\": {}, \"baseline_cycles\": {}, \"record_cycles\": {}, \
+             \"best_script\": \"{}\", \"best_cycles\": {}, \
+             \"fastest_script\": \"{}\", \"fastest_measured_ns\": {}, \
+             \"measured\": {}, \"fidelity\": {}, \"flops\": {:.0}, \
+             \"best_flops_per_cycle\": {:.4}, \"candidates_per_sec\": {:.1}}}{}\n",
+            r.kernel,
+            r.sampled,
+            r.illegal,
+            r.trapped,
+            r.candidates.len(),
+            r.baseline_cycles,
+            r.record_cycles
+                .map_or("null".to_string(), |c| c.to_string()),
+            best.map_or(String::new(), |b| json_escape(&b.script.to_string())),
+            best.map_or(0, |b| b.cycles),
+            timed.map_or(String::new(), |b| json_escape(&b.script.to_string())),
+            timed
+                .and_then(|b| b.measured_ns)
+                .map_or("null".to_string(), |ns| format!("{ns:.1}")),
+            r.measured,
+            r.fidelity.map_or("null".to_string(), |f| format!("{f:.3}")),
+            r.flops,
+            r.best_flops_per_cycle().unwrap_or(0.0),
+            r.throughput,
+            if i + 1 < reports.len() { "," } else { "" }
+        ));
+    }
+    out.push_str("  ]\n}\n");
+    out
+}
+
+fn main() {
+    let smoke = std::env::args().any(|a| a == "--smoke");
+    println!(
+        "tune_bench: schedule search over the genome space{}",
+        if smoke { " [smoke mode]" } else { "" }
+    );
+    let machine = MachineModel::avx2();
+    let cfg = TuneConfig {
+        measure: !smoke,
+        ..TuneConfig::default()
+    };
+    if cfg.measure && !cc_available() {
+        println!("notice: no `cc` on PATH — falling back to cost-model-only ranking");
+    }
+    let mut reports = Vec::new();
+    for task in tasks(&machine, cfg.input_seed, smoke) {
+        // All benchmarked kernels pin a schedule of record; one that
+        // silently vanished would weaken the gate.
+        if schedule_of_record(&task.name, &machine).is_none() {
+            fail(&format!("`{}` lost its schedule of record", task.name));
+        }
+        let report =
+            tune(&task, &cfg).unwrap_or_else(|e| fail(&format!("tuning `{}`: {e}", task.name)));
+        print_report(&report);
+        check_rediscovery(&report);
+        reports.push(report);
+    }
+    if smoke {
+        println!("smoke mode: SGEMM rediscovery gate passed, no JSON written");
+        return;
+    }
+    let path = "BENCH_autotune.json";
+    std::fs::write(path, json(&reports, "avx2", &cfg)).unwrap_or_else(|e| {
+        fail(&format!("cannot write {path}: {e}"));
+    });
+    println!("wrote {path}");
+}

@@ -410,6 +410,21 @@ pub fn run_differential(
     registry: &ProcRegistry,
     seed: u64,
 ) -> Result<DiffOutcome, String> {
+    run_differential_with(proc, registry, seed, &CodegenOptions::portable())
+}
+
+/// [`run_differential`] with explicit [`CodegenOptions`] — used to check
+/// the debug-bounds variant (and any other portable-toolchain mode)
+/// against the interpreter.
+///
+/// # Errors
+/// Same contract as [`run_differential`].
+pub fn run_differential_with(
+    proc: &Proc,
+    registry: &ProcRegistry,
+    seed: u64,
+    opts: &CodegenOptions,
+) -> Result<DiffOutcome, String> {
     if !cc_available() {
         return Ok(DiffOutcome::Skipped(
             "no `cc` on PATH — differential codegen check skipped".to_string(),
@@ -417,8 +432,8 @@ pub fn run_differential(
     }
     let inputs = synth_inputs(proc, seed)?;
     let expected = interp_outputs(proc, registry, &inputs)?;
-    let unit = emit_c(proc, registry, &CodegenOptions::portable())
-        .map_err(|e| format!("emitting `{}`: {e}", proc.name()))?;
+    let unit =
+        emit_c(proc, registry, opts).map_err(|e| format!("emitting `{}`: {e}", proc.name()))?;
     let driver = emit_driver(&unit, proc, &inputs);
     let bin = compile(&driver, &unit.cflags, proc.name())?;
     let stdout = run_binary(&bin)?;

@@ -105,6 +105,11 @@ enum SlotRepr {
     Size,
     /// A by-value scalar parameter.
     ScalarParam(DataType),
+    /// A scalar parameter the procedure (transitively) writes: lowered to
+    /// a pointer so the interpreter's by-reference rank-0 write-back
+    /// idiom (a 0-dim tensor passed to a scalar parameter) keeps its
+    /// effect in C. Reads are `*name`, writes `*name = ...`.
+    ScalarRef(DataType),
     /// A loop iterator (`int64_t` local).
     Iter,
     /// A rank-0 tensor parameter: a plain pointer.
@@ -123,13 +128,21 @@ enum SlotRepr {
     /// A rank-`n` local allocation: a (possibly variable-length) array.
     AllocN { elem: DataType, dims: Vec<String> },
     /// A window alias bound by a `WindowStmt`: a local window struct.
-    Alias { elem: DataType, rank: usize },
+    Alias {
+        elem: DataType,
+        rank: usize,
+        /// Per-kept-dimension extents as C expressions, populated only
+        /// under [`CodegenOptions::debug_bounds`]; `None` for dimensions
+        /// whose extent is not statically renderable (e.g. inherited
+        /// from a window parameter, whose ABI carries strides only).
+        extents: Vec<Option<String>>,
+    },
 }
 
 impl SlotRepr {
     fn elem(&self) -> Option<DataType> {
         match self {
-            SlotRepr::Ptr0(t) | SlotRepr::Alloc0(t) => Some(*t),
+            SlotRepr::Ptr0(t) | SlotRepr::Alloc0(t) | SlotRepr::ScalarRef(t) => Some(*t),
             SlotRepr::DenseArg { elem, .. }
             | SlotRepr::WinParam { elem, .. }
             | SlotRepr::AllocN { elem, .. }
@@ -140,7 +153,7 @@ impl SlotRepr {
 
     fn rank(&self) -> Option<usize> {
         match self {
-            SlotRepr::Ptr0(_) | SlotRepr::Alloc0(_) => Some(0),
+            SlotRepr::Ptr0(_) | SlotRepr::Alloc0(_) | SlotRepr::ScalarRef(_) => Some(0),
             SlotRepr::DenseArg { dims, .. } | SlotRepr::AllocN { dims, .. } => Some(dims.len()),
             SlotRepr::WinParam { rank, .. } | SlotRepr::Alias { rank, .. } => Some(*rank),
             _ => None,
@@ -164,6 +177,14 @@ pub(crate) struct UnitEmitter<'a> {
     win_structs: BTreeMap<(usize, &'static str), &'static str>,
     /// (config, field) pairs backed by `static double` globals.
     configs: BTreeSet<(String, String)>,
+    /// Per-procedure cache of the written-scalar-parameter analysis.
+    written_cache: BTreeMap<String, BTreeSet<Sym>>,
+    /// Instruction procedures with at least one callsite in this unit
+    /// passing a window that is not provably unit-stride in its last
+    /// dimension. Their intrinsic bodies (which index `.data` assuming
+    /// unit stride) would be silently wrong, so they are demoted to their
+    /// portable scalar bodies even in intrinsic mode.
+    scalar_fallback_instrs: BTreeSet<String>,
     includes: BTreeSet<String>,
     cflags: BTreeSet<String>,
     need_div: bool,
@@ -172,6 +193,7 @@ pub(crate) struct UnitEmitter<'a> {
     need_math: bool,
     need_string: bool,
     need_bool: bool,
+    need_bound: bool,
     stock_toolchain: bool,
 }
 
@@ -185,6 +207,8 @@ impl<'a> UnitEmitter<'a> {
             emitting: Vec::new(),
             win_structs: BTreeMap::new(),
             configs: BTreeSet::new(),
+            written_cache: BTreeMap::new(),
+            scalar_fallback_instrs: BTreeSet::new(),
             includes: BTreeSet::new(),
             cflags: BTreeSet::new(),
             need_div: false,
@@ -193,8 +217,68 @@ impl<'a> UnitEmitter<'a> {
             need_math: false,
             need_string: false,
             need_bool: false,
+            need_bound: false,
             stock_toolchain: true,
         }
+    }
+
+    /// The set of **scalar** parameters of `proc` that its body writes —
+    /// directly (an assign/reduce targeting the parameter) or
+    /// transitively (forwarding the parameter to a nested call whose
+    /// matching scalar parameter is itself written). A written scalar
+    /// parameter lowers to a pointer ([`SlotRepr::ScalarRef`]), which is
+    /// what makes the interpreter's by-reference rank-0 write-back idiom
+    /// emit valid C. Cached per procedure name.
+    fn written_scalar_params(&mut self, proc: &Proc) -> BTreeSet<Sym> {
+        if let Some(hit) = self.written_cache.get(proc.name()) {
+            return hit.clone();
+        }
+        // Seed with the empty set so recursive call cycles terminate
+        // (cycles are rejected with `Unsupported` during emission).
+        self.written_cache
+            .insert(proc.name().to_string(), BTreeSet::new());
+        let scalar_params: BTreeSet<Sym> = proc
+            .args()
+            .iter()
+            .filter(|a| matches!(a.kind, ArgKind::Scalar { .. }))
+            .map(|a| a.name.clone())
+            .collect();
+        let mut written = BTreeSet::new();
+        let mut calls: Vec<(String, Vec<Expr>)> = Vec::new();
+        for stmt in proc.body().iter() {
+            exo_ir::for_each_stmt(stmt, &mut |s| match s {
+                exo_ir::Stmt::Assign { buf, .. } | exo_ir::Stmt::Reduce { buf, .. }
+                    if scalar_params.contains(buf) =>
+                {
+                    written.insert(buf.clone());
+                }
+                exo_ir::Stmt::Call { proc, args } => {
+                    calls.push((proc.clone(), args.clone()));
+                }
+                _ => {}
+            });
+        }
+        for (callee, args) in calls {
+            // An unknown callee errors out of emission before the
+            // analysis result matters; skip it here.
+            let Some(callee_proc) = self.registry.get(&callee).cloned() else {
+                continue;
+            };
+            let callee_written = self.written_scalar_params(&callee_proc);
+            for (p, a) in callee_proc.args().iter().zip(args.iter()) {
+                if !callee_written.contains(&p.name) {
+                    continue;
+                }
+                if let Expr::Var(v) = a {
+                    if scalar_params.contains(v) {
+                        written.insert(v.clone());
+                    }
+                }
+            }
+        }
+        self.written_cache
+            .insert(proc.name().to_string(), written.clone());
+        written
     }
 
     fn win_struct(&mut self, rank: usize, elem: DataType) -> String {
@@ -203,9 +287,68 @@ impl<'a> UnitEmitter<'a> {
         format!("exo_win_{rank}{tag}")
     }
 
+    /// Walks the call graph reachable from `proc`, recording every
+    /// instruction procedure with a callsite whose window arguments are
+    /// not provably unit-stride in their last kept dimension (the ABI
+    /// contract of the machine-intrinsic bodies). Such instructions fall
+    /// back to their portable scalar bodies in intrinsic mode instead of
+    /// emitting silently wrong vector code.
+    fn scalar_fallback_scan(&mut self, proc: &Proc, seen: &mut BTreeSet<String>) {
+        if !seen.insert(proc.name().to_string()) {
+            return;
+        }
+        let lowered = lower(proc);
+        let mut facts: Vec<Option<StrideFact>> = vec![None; lowered.slot_names().len()];
+        for (arg, larg) in proc.args().iter().zip(lowered.args()) {
+            if let ArgKind::Tensor { dims, window, .. } = &arg.kind {
+                facts[larg.slot as usize] = Some(StrideFact {
+                    rank: dims.len(),
+                    // Dense tensors are row-major (last dim contiguous);
+                    // a window parameter's strides are a runtime value.
+                    last_unit: dims.is_empty() || !*window,
+                });
+            }
+        }
+        let mut callees: Vec<String> = Vec::new();
+        for inst in lowered.code() {
+            match inst {
+                LInst::Alloc { slot, dims, .. } => {
+                    facts[*slot as usize] = Some(StrideFact {
+                        rank: dims.len(),
+                        last_unit: true,
+                    });
+                }
+                LInst::WindowBind { slot, rhs } => {
+                    facts[*slot as usize] = window_fact(&facts, rhs);
+                }
+                LInst::Call { callee, args } => {
+                    // Unknown callees error out of emission before any
+                    // verdict matters.
+                    let Some(callee_proc) = self.registry.get(callee).cloned() else {
+                        continue;
+                    };
+                    if callee_proc.is_instr() && !args_unit_stride(&facts, &callee_proc, args) {
+                        self.scalar_fallback_instrs.insert(callee.to_string());
+                    }
+                    callees.push(callee.to_string());
+                }
+                _ => {}
+            }
+        }
+        for c in callees {
+            if let Some(p) = self.registry.get(&c).cloned() {
+                self.scalar_fallback_scan(&p, seen);
+            }
+        }
+    }
+
     /// Emits `proc` (callees first) and returns nothing; definitions
     /// accumulate in the unit.
     pub(crate) fn add_proc(&mut self, proc: &Proc, is_root: bool) -> Result<()> {
+        if is_root && self.opts.intrinsics {
+            let mut seen = BTreeSet::new();
+            self.scalar_fallback_scan(proc, &mut seen);
+        }
         let name = proc.name().to_string();
         if self.emitted.contains(&name) {
             return Ok(());
@@ -245,8 +388,11 @@ impl<'a> UnitEmitter<'a> {
         }
         // Instruction procedures may lower to a real machine intrinsic
         // when requested; everything else gets the portable scalar body
-        // generated from its own object code.
-        let intrinsic = if proc.is_instr() && self.opts.intrinsics {
+        // generated from its own object code. An instruction with a
+        // non-unit-stride callsite is demoted to its scalar body — the
+        // intrinsic would read/write the wrong elements.
+        let demoted = self.scalar_fallback_instrs.contains(proc.name());
+        let intrinsic = if proc.is_instr() && self.opts.intrinsics && !demoted {
             match exo_machine::c_intrinsic(proc.name()) {
                 Some(i) if i.stock_toolchain || self.opts.allow_non_stock => Some(i),
                 _ => None,
@@ -254,7 +400,18 @@ impl<'a> UnitEmitter<'a> {
         } else {
             None
         };
-        let def = FnEmitter::new(self, proc, &lowered)?.emit(is_root, intrinsic)?;
+        let annotate = proc.is_instr()
+            && self.opts.intrinsics
+            && demoted
+            && exo_machine::c_intrinsic(proc.name()).is_some();
+        let mut def = FnEmitter::new(self, proc, &lowered)?.emit(is_root, intrinsic)?;
+        if annotate {
+            def = format!(
+                "/* `{}`: portable scalar body — a callsite passes a window that is \
+                 not unit-stride in its last dimension */\n{def}",
+                proc.name()
+            );
+        }
         self.funcs.push(def);
         self.emitting.pop();
         self.emitted.insert(name.clone());
@@ -272,6 +429,9 @@ impl<'a> UnitEmitter<'a> {
         }
         if self.need_math {
             out.push_str("#include <math.h>\n");
+        }
+        if self.need_bound {
+            out.push_str("#include <assert.h>\n");
         }
         if self.need_string {
             out.push_str("#include <string.h>\n");
@@ -293,6 +453,13 @@ impl<'a> UnitEmitter<'a> {
         }
         if !self.win_structs.is_empty() {
             out.push('\n');
+        }
+        if self.need_bound {
+            out.push_str(
+                "static inline int64_t exo_bnd(int64_t i, int64_t n) {\n    \
+                 assert(0 <= i && i < n);\n    \
+                 return i;\n}\n\n",
+            );
         }
         if self.need_div {
             out.push_str(
@@ -407,11 +574,17 @@ impl<'u, 'a, 'p> FnEmitter<'u, 'a, 'p> {
             names.push(name);
         }
         // Parameter representations; locals are filled in by the prepass.
+        // A scalar parameter the body (transitively) writes becomes a
+        // pointer — the C shape of the by-reference write-back idiom.
+        let own_written = unit.written_scalar_params(proc);
         let mut repr = vec![SlotRepr::Iter; lp.slot_names().len()];
         for (arg, larg) in proc.args().iter().zip(lp.args()) {
             let slot = larg.slot as usize;
             repr[slot] = match &arg.kind {
                 ArgKind::Size => SlotRepr::Size,
+                ArgKind::Scalar { ty } if own_written.contains(&arg.name) => {
+                    SlotRepr::ScalarRef(*ty)
+                }
                 ArgKind::Scalar { ty } => SlotRepr::ScalarParam(*ty),
                 ArgKind::Tensor {
                     ty, dims, window, ..
@@ -534,7 +707,16 @@ impl<'u, 'a, 'p> FnEmitter<'u, 'a, 'p> {
                 LInst::Loop { iter, .. } => self.repr[*iter as usize] = SlotRepr::Iter,
                 LInst::WindowBind { slot, rhs } => {
                     let (elem, rank) = self.window_shape(rhs)?;
-                    self.repr[*slot as usize] = SlotRepr::Alias { elem, rank };
+                    let extents = if self.unit.opts.debug_bounds {
+                        self.window_extents(rhs)?
+                    } else {
+                        vec![None; rank]
+                    };
+                    self.repr[*slot as usize] = SlotRepr::Alias {
+                        elem,
+                        rank,
+                        extents,
+                    };
                 }
                 _ => {}
             }
@@ -587,7 +769,7 @@ impl<'u, 'a, 'p> FnEmitter<'u, 'a, 'p> {
                         if let LWindow::Window { spec, .. } = &a.window {
                             for s in spec.iter() {
                                 match s {
-                                    LWSpec::Point(e) | LWSpec::Interval(e) => {
+                                    LWSpec::Point(e) | LWSpec::Interval { lo: e, .. } => {
                                         mark_expr_strides(e, &mut mark)
                                     }
                                 }
@@ -654,7 +836,7 @@ impl<'u, 'a, 'p> FnEmitter<'u, 'a, 'p> {
                 let (elem, rank) = self.elem_rank(s)?;
                 let kept_in_spec = spec
                     .iter()
-                    .filter(|w| matches!(w, LWSpec::Interval(_)))
+                    .filter(|w| matches!(w, LWSpec::Interval { .. }))
                     .count();
                 let beyond = rank.saturating_sub(spec.len());
                 Ok((elem, kept_in_spec + beyond))
@@ -693,6 +875,8 @@ impl<'u, 'a, 'p> FnEmitter<'u, 'a, 'p> {
                 Ok(format!("{}.data", self.names[slot]))
             }
             SlotRepr::Alloc0(_) => Ok(format!("&{}", self.names[slot])),
+            // Already a pointer.
+            SlotRepr::ScalarRef(_) => Ok(self.names[slot].clone()),
             _ => Err(CodegenError::Unsupported(format!(
                 "`{}` used as a tensor",
                 self.names[slot]
@@ -715,8 +899,53 @@ impl<'u, 'a, 'p> FnEmitter<'u, 'a, 'p> {
         }
     }
 
+    /// Statically renderable per-dimension extents of a tensor slot: the
+    /// declared dimensions for dense arguments and allocations, recorded
+    /// extents for window aliases, unknown for window parameters (whose
+    /// ABI carries strides only).
+    fn slot_extents(&self, slot: usize) -> Vec<Option<String>> {
+        match &self.repr[slot] {
+            SlotRepr::DenseArg { dims, .. } | SlotRepr::AllocN { dims, .. } => {
+                dims.iter().map(|d| Some(d.clone())).collect()
+            }
+            SlotRepr::Alias { extents, .. } => extents.clone(),
+            SlotRepr::WinParam { rank, .. } => vec![None; *rank],
+            _ => Vec::new(),
+        }
+    }
+
+    /// Post-narrowing extents of a lowered window form (debug-bounds mode
+    /// only): interval extents that are pure index arithmetic render to
+    /// C; dimensions kept beyond the spec inherit the underlying tensor's
+    /// extents.
+    fn window_extents(&mut self, w: &LWindow) -> Result<Vec<Option<String>>> {
+        Ok(match w {
+            LWindow::Var { buf } => {
+                let slot = self.tensor_slot(buf)?;
+                self.slot_extents(slot)
+            }
+            LWindow::Window { buf, spec } => {
+                let slot = self.tensor_slot(buf)?;
+                let under = self.slot_extents(slot);
+                let mut out = Vec::new();
+                for wd in spec.iter() {
+                    if let LWSpec::Interval { extent, .. } = wd {
+                        out.push(if self.lexpr_pure(extent) {
+                            Some(self.expr(extent)?.s)
+                        } else {
+                            None
+                        });
+                    }
+                }
+                out.extend(under.into_iter().skip(spec.len()));
+                out
+            }
+            LWindow::PointRead { .. } | LWindow::NotATensor { .. } => Vec::new(),
+        })
+    }
+
     /// `buf[i0, i1, ...]` as a C lvalue/rvalue.
-    fn element(&self, slot: usize, idx: &[CExpr]) -> Result<String> {
+    fn element(&mut self, slot: usize, idx: &[CExpr]) -> Result<String> {
         let (_, rank) = self.elem_rank(slot)?;
         if idx.is_empty() {
             if rank != 0 {
@@ -738,8 +967,20 @@ impl<'u, 'a, 'p> FnEmitter<'u, 'a, 'p> {
             )));
         }
         let strides = self.strides(slot);
+        let extents = if self.unit.opts.debug_bounds {
+            self.slot_extents(slot)
+        } else {
+            Vec::new()
+        };
         let mut terms = Vec::with_capacity(idx.len());
-        for (i, stride) in idx.iter().zip(&strides) {
+        for (d, (i, stride)) in idx.iter().zip(&strides).enumerate() {
+            // Debug-bounds mode routes each index with a known extent
+            // through the assert-backed `exo_bnd` helper.
+            let checked = extents.get(d).and_then(|e| e.as_ref()).map(|ext| {
+                self.unit.need_bound = true;
+                CExpr::atom(format!("exo_bnd({}, {ext})", i.s), CClass::Int)
+            });
+            let i = checked.as_ref().unwrap_or(i);
             if stride == "1" {
                 terms.push(i.at(70));
             } else {
@@ -874,6 +1115,25 @@ impl<'u, 'a, 'p> FnEmitter<'u, 'a, 'p> {
                 prec: 90,
                 class: CClass::Float,
             }),
+            // A written scalar parameter reads through its pointer. The
+            // class follows the declared type, like `ScalarParam` (an
+            // integer-typed by-reference write-back would diverge from
+            // the interpreter's all-f64 element model on `/` — floats,
+            // the only type the idiom is used with, agree either way).
+            SlotRepr::ScalarRef(ty) => {
+                let class = if ty.is_float() {
+                    CClass::Float
+                } else if *ty == DataType::Bool {
+                    CClass::Bool
+                } else {
+                    CClass::Int
+                };
+                Ok(CExpr {
+                    s: format!("*{}", self.names[slot]),
+                    prec: 90,
+                    class,
+                })
+            }
             SlotRepr::Alloc0(_) => Ok(CExpr::atom(self.names[slot].clone(), CClass::Float)),
             SlotRepr::WinParam { rank: 0, .. } | SlotRepr::Alias { rank: 0, .. } => Ok(CExpr {
                 s: format!("*{}.data", self.names[slot]),
@@ -1189,7 +1449,7 @@ impl<'u, 'a, 'p> FnEmitter<'u, 'a, 'p> {
                 let mut kept = Vec::new();
                 for (d, wd) in spec.iter().enumerate() {
                     let e = match wd {
-                        LWSpec::Point(e) | LWSpec::Interval(e) => self.expr(e)?,
+                        LWSpec::Point(e) | LWSpec::Interval { lo: e, .. } => self.expr(e)?,
                     };
                     // A literal-zero offset contributes nothing.
                     let is_zero = e.s == "0";
@@ -1200,7 +1460,7 @@ impl<'u, 'a, 'p> FnEmitter<'u, 'a, 'p> {
                             offset_terms.push(format!("{} * {}", e.at(80), strides[d]));
                         }
                     }
-                    if matches!(wd, LWSpec::Interval(_)) {
+                    if matches!(wd, LWSpec::Interval { .. }) {
                         kept.push(strides[d].clone());
                     }
                 }
@@ -1268,17 +1528,36 @@ impl<'u, 'a, 'p> FnEmitter<'u, 'a, 'p> {
     ) -> Result<String> {
         match &param.kind {
             ArgKind::Size => Ok(self.expr(&arg.scalar)?.s),
-            ArgKind::Scalar { .. } => {
+            ArgKind::Scalar { ty } => {
                 // The interpreter's by-reference idiom: a rank-0 tensor
-                // passed to a scalar parameter. By-value is equivalent as
-                // long as the callee never writes the parameter.
+                // passed to a scalar parameter. A written parameter is a
+                // pointer in C (`ScalarRef`), so the callsite passes the
+                // element's address; an unwritten one stays by-value.
+                let written = self
+                    .unit
+                    .written_scalar_params(callee_proc)
+                    .contains(&param.name);
                 if let LWindow::Var {
                     buf: LBufRef::Slot(s),
                 } = &arg.window
                 {
                     let s = *s as usize;
                     if self.repr[s].is_tensor() {
-                        if callee_writes_arg(callee_proc, &param.name) {
+                        if self.repr[s].rank() == Some(0) {
+                            return Ok(if written {
+                                self.data_ptr(s)?
+                            } else {
+                                match &self.repr[s] {
+                                    SlotRepr::Alloc0(_) => self.names[s].clone(),
+                                    _ => format!("*{}", self.data_ptr(s)?),
+                                }
+                            });
+                        }
+                        if written {
+                            // A rank-≥1 tensor bound by reference to a
+                            // written scalar parameter traps in the
+                            // interpreter on the write (rank mismatch);
+                            // there is no C shape for it.
                             return Err(CodegenError::Unsupported(format!(
                                 "`{}` passes tensor `{}` by reference to scalar \
                                  parameter `{}` of `{callee}`, which writes it",
@@ -1287,15 +1566,20 @@ impl<'u, 'a, 'p> FnEmitter<'u, 'a, 'p> {
                                 param.name
                             )));
                         }
-                        if self.repr[s].rank() == Some(0) {
-                            return Ok(match &self.repr[s] {
-                                SlotRepr::Alloc0(_) => self.names[s].clone(),
-                                _ => format!("*{}", self.data_ptr(s)?),
-                            });
-                        }
                     }
                 }
-                Ok(self.expr(&arg.scalar)?.s)
+                let v = self.expr(&arg.scalar)?;
+                if written {
+                    // The callee expects a pointer but the argument is a
+                    // plain scalar expression: materialize an addressable
+                    // C99 compound-literal temporary. The interpreter
+                    // traps if such a write actually executes (scalar
+                    // bindings are not writable), so agreement on
+                    // interpreter-successful runs is preserved.
+                    Ok(format!("&({}){{ {} }}", c_type(*ty), v.s))
+                } else {
+                    Ok(v.s)
+                }
             }
             ArgKind::Tensor {
                 ty, dims, window, ..
@@ -1373,6 +1657,12 @@ impl<'u, 'a, 'p> FnEmitter<'u, 'a, 'p> {
                     format!("{} {name}", c_type(*ty))
                 }
                 SlotRepr::Ptr0(ty) => format!("{} *{name}", c_type(*ty)),
+                SlotRepr::ScalarRef(ty) => {
+                    if *ty == DataType::Bool {
+                        self.unit.need_bool = true;
+                    }
+                    format!("{} *{name}", c_type(*ty))
+                }
                 SlotRepr::DenseArg { elem, .. } => format!("{} *{name}", c_type(*elem)),
                 SlotRepr::WinParam { elem, rank } => {
                     let sname = self.unit.win_struct(*rank, *elem);
@@ -1423,8 +1713,12 @@ impl<'u, 'a, 'p> FnEmitter<'u, 'a, 'p> {
             }
             b
         } else {
-            // Hoist the stride constants of indexed dense arguments —
-            // the emitted mirror of the executor's `AccessPlan`.
+            self.emit_range(0, self.lp.code().len())?;
+            // Hoist the stride constants of indexed dense arguments — the
+            // emitted mirror of the executor's `AccessPlan`. Only the
+            // constants the body actually references are declared: a
+            // window can mark a tensor and then collapse to offset 0 with
+            // unit stride, and an unused `const` trips `-Werror`.
             for slot in self.needs_strides.clone() {
                 let SlotRepr::DenseArg { dims, .. } = &self.repr[slot as usize] else {
                     continue;
@@ -1432,11 +1726,14 @@ impl<'u, 'a, 'p> FnEmitter<'u, 'a, 'p> {
                 let dims = dims.clone();
                 let name = self.names[slot as usize].clone();
                 for d in 0..dims.len().saturating_sub(1) {
+                    let cname = format!("{name}_s{d}");
+                    if !ident_used(&self.body, &cname) {
+                        continue;
+                    }
                     let stride = raw_dense_stride(&dims, d);
-                    header.push_str(&format!("    const int64_t {name}_s{d} = {stride};\n"));
+                    header.push_str(&format!("    const int64_t {cname} = {stride};\n"));
                 }
             }
-            self.emit_range(0, self.lp.code().len())?;
             if self.body.is_empty() {
                 self.body.push_str("    ;\n");
             }
@@ -1445,6 +1742,95 @@ impl<'u, 'a, 'p> FnEmitter<'u, 'a, 'p> {
         let sig = self.signature(is_root)?;
         Ok(format!("{sig} {{\n{header}{body}}}\n"))
     }
+}
+
+/// Static stride knowledge about a tensor-like frame slot, for the
+/// unit-stride verdict on machine-intrinsic callsites.
+#[derive(Clone, Copy, Debug)]
+struct StrideFact {
+    /// Post-narrowing rank.
+    rank: usize,
+    /// Whether the last dimension's stride is provably 1.
+    last_unit: bool,
+}
+
+/// Stride fact of a lowered window form, derived from the facts of the
+/// underlying slots.
+fn window_fact(facts: &[Option<StrideFact>], w: &LWindow) -> Option<StrideFact> {
+    match w {
+        LWindow::Var {
+            buf: LBufRef::Slot(s),
+        } => facts[*s as usize],
+        LWindow::PointRead { .. } => Some(StrideFact {
+            rank: 0,
+            last_unit: true,
+        }),
+        LWindow::Window {
+            buf: LBufRef::Slot(s),
+            spec,
+        } => {
+            let under = facts[*s as usize]?;
+            let kept: Vec<usize> = spec
+                .iter()
+                .enumerate()
+                .filter(|(_, wd)| matches!(wd, LWSpec::Interval { .. }))
+                .map(|(d, _)| d)
+                .collect();
+            let beyond = under.rank.saturating_sub(spec.len());
+            let rank = kept.len() + beyond;
+            let last_unit = if rank == 0 {
+                true
+            } else if beyond > 0 {
+                // The window's last dimension is the buffer's own.
+                under.last_unit
+            } else {
+                // The spec covers every dimension: the window's last
+                // dimension is unit-stride only if it is the buffer's
+                // last (row-major contiguous) dimension.
+                kept.last() == Some(&(under.rank - 1)) && under.last_unit
+            };
+            Some(StrideFact { rank, last_unit })
+        }
+        _ => None,
+    }
+}
+
+/// Whether every rank-≥1 window argument of a call to an instruction
+/// procedure is provably unit-stride in its last dimension. Unknown
+/// facts count as non-unit: the scalar body is always safe.
+fn args_unit_stride(facts: &[Option<StrideFact>], callee: &Proc, args: &[LCallArg]) -> bool {
+    for (param, arg) in callee.args().iter().zip(args) {
+        let ArgKind::Tensor { dims, .. } = &param.kind else {
+            continue;
+        };
+        if dims.is_empty() {
+            continue;
+        }
+        match window_fact(facts, &arg.window) {
+            Some(f) if f.rank == 0 || f.last_unit => {}
+            _ => return false,
+        }
+    }
+    true
+}
+
+/// Whether `name` occurs in `text` as a whole C identifier (not as a
+/// substring of a longer identifier).
+fn ident_used(text: &str, name: &str) -> bool {
+    let bytes = text.as_bytes();
+    let is_ident = |b: u8| b.is_ascii_alphanumeric() || b == b'_';
+    let mut start = 0;
+    while let Some(pos) = text[start..].find(name) {
+        let p = start + pos;
+        let after = p + name.len();
+        let before_ok = p == 0 || !is_ident(bytes[p - 1]);
+        let after_ok = after >= bytes.len() || !is_ident(bytes[after]);
+        if before_ok && after_ok {
+            return true;
+        }
+        start = p + 1;
+    }
+    false
 }
 
 /// Suffix-product stride of dimension `d` as a raw expression over the
@@ -1480,28 +1866,6 @@ fn dense_strides(name: &str, dims: &[String], hoisted: bool) -> Vec<String> {
             }
         })
         .collect()
-}
-
-/// Does the callee (possibly) write the named argument: a direct assign
-/// or reduce into it, or — conservatively — forwarding it to a further
-/// call, whose effects this shallow check does not trace.
-fn callee_writes_arg(callee: &Proc, arg: &Sym) -> bool {
-    for stmt in callee.body().iter() {
-        let mut written = false;
-        exo_ir::for_each_stmt(stmt, &mut |s| match s {
-            exo_ir::Stmt::Assign { buf, .. } | exo_ir::Stmt::Reduce { buf, .. } if buf == arg => {
-                written = true;
-            }
-            exo_ir::Stmt::Call { args, .. } if args.iter().any(|e| e.mentions(arg)) => {
-                written = true;
-            }
-            _ => {}
-        });
-        if written {
-            return true;
-        }
-    }
-    false
 }
 
 fn mark_expr_strides(e: &LExpr, mark: &mut Vec<u32>) {

@@ -69,6 +69,13 @@ pub struct CodegenOptions {
     /// The unit is then marked [`CUnit::stock_toolchain`]` = false` and
     /// skipped by compile checks.
     pub allow_non_stock: bool,
+    /// Emit debug-mode bounds checks: every buffer access whose extent is
+    /// statically renderable goes through an `assert`-backed `exo_bnd`
+    /// helper, catching the out-of-window access class the interpreter's
+    /// views do not trap (a window read past its extent but inside the
+    /// underlying buffer). Asserts compile away under `-DNDEBUG`, so a
+    /// release build of the same unit is unchanged.
+    pub debug_bounds: bool,
 }
 
 impl CodegenOptions {
@@ -84,7 +91,18 @@ impl CodegenOptions {
     pub fn native() -> Self {
         CodegenOptions {
             intrinsics: true,
-            allow_non_stock: false,
+            ..CodegenOptions::default()
+        }
+    }
+
+    /// Portable emission with debug-mode bounds checks
+    /// ([`CodegenOptions::debug_bounds`]): the variant the differential
+    /// harness uses to catch out-of-window accesses that silently read
+    /// in-bounds memory otherwise.
+    pub fn debug() -> Self {
+        CodegenOptions {
+            debug_bounds: true,
+            ..CodegenOptions::default()
         }
     }
 }

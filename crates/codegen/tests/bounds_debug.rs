@@ -1,0 +1,106 @@
+//! Debug-mode bounds checks (`CodegenOptions::debug_bounds`): legal
+//! kernels still agree with the interpreter, and the out-of-window access
+//! class the interpreter's views do **not** trap (reads past a window's
+//! extent but inside the underlying buffer) aborts the compiled binary.
+
+use exo_codegen::difftest::{
+    cc_available, compile, emit_driver, run_differential_with, synth_inputs, DiffOutcome,
+};
+use exo_codegen::{emit_c, CodegenOptions};
+use exo_core::{reorder_loops, TailStrategy};
+use exo_cursors::ProcHandle;
+use exo_interp::{ArgValue, Interpreter, NullMonitor, ProcRegistry};
+use exo_ir::{ib, read, DataType, Expr, Mem, Proc, ProcBuilder, Stmt, WAccess};
+use exo_lib::vectorize;
+use exo_machine::MachineModel;
+
+/// A procedure that reads `w[3]` where `w = x[0, 0:2]`: past the window's
+/// extent 2 but inside row 0 of `x`, so neither the interpreter nor plain
+/// emitted C notices.
+fn out_of_window_proc() -> Proc {
+    ProcBuilder::new("oow")
+        .tensor_arg("x", DataType::F32, vec![ib(4), ib(4)], Mem::Dram)
+        .tensor_arg("y", DataType::F32, vec![ib(4)], Mem::Dram)
+        .with_body(|b| {
+            b.push(Stmt::WindowStmt {
+                name: "w".into(),
+                rhs: Expr::Window {
+                    buf: "x".into(),
+                    idx: vec![WAccess::Point(ib(0)), WAccess::Interval(ib(0), ib(2))],
+                },
+            });
+            b.assign("y", vec![ib(0)], read("w", vec![ib(3)]));
+        })
+        .build()
+}
+
+#[test]
+fn debug_bounds_instruments_window_and_buffer_accesses() {
+    let proc = out_of_window_proc();
+    let registry = ProcRegistry::new();
+    // The interpreter does not trap this access (window extents are a
+    // scheduling-time property of views) — that is exactly the hole the
+    // debug-bounds mode covers.
+    let (_, x) = ArgValue::from_vec(vec![7.0; 16], vec![4, 4], DataType::F32);
+    let (_, y) = ArgValue::zeros(vec![4], DataType::F32);
+    Interpreter::new(&registry)
+        .run(&proc, vec![x, y], &mut NullMonitor)
+        .expect("in-buffer out-of-window read runs in the interpreter");
+    // Plain portable emission carries no check.
+    let plain = emit_c(&proc, &registry, &CodegenOptions::portable()).unwrap();
+    assert!(!plain.code.contains("exo_bnd"), "{}", plain.code);
+    // Debug emission routes the window read through the assert helper
+    // with the window's extent (2), not the underlying row length (4).
+    let dbg = emit_c(&proc, &registry, &CodegenOptions::debug()).unwrap();
+    assert!(dbg.code.contains("#include <assert.h>"), "{}", dbg.code);
+    assert!(dbg.code.contains("exo_bnd(3, 2)"), "{}", dbg.code);
+}
+
+#[test]
+fn debug_bounds_aborts_on_out_of_window_read() {
+    if !cc_available() {
+        eprintln!("skipping: no `cc` on PATH");
+        return;
+    }
+    let proc = out_of_window_proc();
+    let registry = ProcRegistry::new();
+    let unit = emit_c(&proc, &registry, &CodegenOptions::debug()).unwrap();
+    let inputs = synth_inputs(&proc, 11).unwrap();
+    let driver = emit_driver(&unit, &proc, &inputs);
+    let bin = compile(&driver, &unit.cflags, proc.name()).unwrap();
+    let output = std::process::Command::new(&bin)
+        .output()
+        .expect("driver binary runs");
+    if let Some(dir) = bin.parent() {
+        let _ = std::fs::remove_dir_all(dir);
+    }
+    assert!(
+        !output.status.success(),
+        "debug-bounds binary should abort on the out-of-window read; stdout: {}",
+        String::from_utf8_lossy(&output.stdout)
+    );
+    let stderr = String::from_utf8_lossy(&output.stderr);
+    assert!(
+        stderr.contains("exo_bnd") || stderr.to_lowercase().contains("assert"),
+        "abort should come from the bounds assert, stderr: {stderr}"
+    );
+}
+
+#[test]
+fn debug_bounds_agrees_with_interpreter_on_legal_schedules() {
+    // A legal windowed schedule — the vectorized sgemm the scheduling
+    // library produces — must be unaffected by the checks: every access
+    // is in bounds, so the instrumented C still matches the interpreter.
+    let machine = MachineModel::avx2();
+    let p = ProcHandle::new(exo_kernels::sgemm());
+    let p = reorder_loops(&p, "k").expect("reorder");
+    let j = p.find_loop("j").expect("j loop");
+    let v = vectorize(&p, &j, 8, DataType::F32, &machine, TailStrategy::Perfect)
+        .expect("vectorize sgemm");
+    let registry: ProcRegistry = machine.instructions(DataType::F32).into_iter().collect();
+    match run_differential_with(v.proc(), &registry, 5, &CodegenOptions::debug()) {
+        Ok(DiffOutcome::Agreed { elems, .. }) => assert!(elems > 0),
+        Ok(DiffOutcome::Skipped(why)) => eprintln!("skipping: {why}"),
+        Err(e) => panic!("debug-bounds differential failed: {e}"),
+    }
+}

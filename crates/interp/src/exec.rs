@@ -577,7 +577,7 @@ impl<'a> Interpreter<'a> {
                         LWSpec::Point(e) => {
                             out.push(WindowDim::Point(self.eval_l(lp, e, frame, mon)?.as_int()?))
                         }
-                        LWSpec::Interval(lo) => out.push(WindowDim::Interval(
+                        LWSpec::Interval { lo, .. } => out.push(WindowDim::Interval(
                             self.eval_l(lp, lo, frame, mon)?.as_int()?,
                         )),
                     }

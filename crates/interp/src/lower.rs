@@ -99,9 +99,18 @@ pub enum LExpr {
 pub enum LWSpec {
     /// A point access: the dimension is dropped from the window's shape.
     Point(LExpr),
-    /// Only the interval start participates in view narrowing (the extent
-    /// is a scheduling-time property), matching the tree interpreter.
-    Interval(LExpr),
+    /// An interval access: only `lo` participates in view narrowing
+    /// (matching the tree interpreter, which treats the extent as a
+    /// scheduling-time property). The pre-computed `extent` (`hi - lo`)
+    /// rides along for consumers that instrument accesses — the C
+    /// backend's debug-mode bounds checks — without changing execution.
+    Interval {
+        /// Interval start, the narrowing offset.
+        lo: LExpr,
+        /// Interval length `hi - lo`, constant-folded when both ends are
+        /// literals.
+        extent: LExpr,
+    },
 }
 
 /// An expression used where a tensor is expected: a bare name, a point
@@ -453,7 +462,20 @@ impl Lowerer {
                     .iter()
                     .map(|w| match w {
                         WAccess::Point(p) => LWSpec::Point(self.lower_expr(p)),
-                        WAccess::Interval(lo, _hi) => LWSpec::Interval(self.lower_expr(lo)),
+                        WAccess::Interval(lo, hi) => {
+                            let lo_l = self.lower_expr(lo);
+                            let hi_l = self.lower_expr(hi);
+                            let extent = match (&lo_l, &hi_l) {
+                                (LExpr::Int(a), LExpr::Int(b)) => LExpr::Int(b - a),
+                                (LExpr::Int(0), _) => hi_l.clone(),
+                                _ => LExpr::Bin {
+                                    op: BinOp::Sub,
+                                    lhs: Box::new(hi_l),
+                                    rhs: Box::new(lo_l.clone()),
+                                },
+                            };
+                            LWSpec::Interval { lo: lo_l, extent }
+                        }
                     })
                     .collect(),
             },

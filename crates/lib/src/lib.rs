@@ -18,6 +18,9 @@
 //!   hoisting built from the §3.4 combinators).
 //! * [`halide`] — the Halide reproduction of §6.3.2 (`H_tile`,
 //!   `H_compute_at`, bounds-inference-driven producer/consumer fusion).
+//! * [`record`] — schedules as data: the replayable [`ScheduleScript`]
+//!   genome that `exo-autotune` searches over, plus the pinned
+//!   schedule-of-record per kernel.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -28,6 +31,7 @@ pub mod halide;
 pub mod inspect;
 pub mod level1;
 pub mod level2;
+pub mod record;
 pub mod vectorize;
 
 pub use gemm::optimize_sgemm;
@@ -35,4 +39,7 @@ pub use gemmini::gemmini_schedule;
 pub use halide::{halide_blur_schedule, halide_unsharp_schedule};
 pub use level1::optimize_level_1;
 pub use level2::optimize_level_2_general;
+pub use record::{
+    apply_script, apply_step, schedule_of_record, LoopSel, SchedStep, ScheduleScript,
+};
 pub use vectorize::vectorize;

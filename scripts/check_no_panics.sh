@@ -21,6 +21,10 @@ FILES=(
   crates/codegen/src/emit.rs
   crates/codegen/src/mangle.rs
   crates/codegen/src/difftest.rs
+  crates/autotune/src/lib.rs
+  crates/autotune/src/space.rs
+  crates/autotune/src/measure.rs
+  crates/lib/src/record.rs
 )
 
 status=0
@@ -63,4 +67,4 @@ if [ "$status" -ne 0 ]; then
   echo "error: panicking constructs found on library paths (see above)" >&2
   exit 1
 fi
-echo "ok: no panic!/unwrap/expect on library paths in cursors, ir::expr, machine::isa, codegen"
+echo "ok: no panic!/unwrap/expect on library paths in cursors, ir::expr, machine::isa, codegen, autotune, lib::record"
