@@ -134,17 +134,41 @@ fn extremize(idx: &Expr, iters: &[(Sym, Expr, Expr)], minimize: bool, ctx: &Cont
     simplify_expr(&out, ctx)
 }
 
+/// Why [`infer_bounds`] could not produce an access window, so scheduling
+/// errors can say *what* defeated the inference rather than a bare "cannot
+/// infer bounds".
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum BoundsFailure {
+    /// The buffer is never accessed inside the scope.
+    NotAccessed,
+    /// The buffer is accessed with inconsistent ranks and some access
+    /// supplies no index expression for this dimension.
+    MissingDimension(usize),
+}
+
+impl std::fmt::Display for BoundsFailure {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            BoundsFailure::NotAccessed => write!(f, "the buffer is not accessed in the scope"),
+            BoundsFailure::MissingDimension(d) => write!(
+                f,
+                "accesses have inconsistent ranks: no access supplies an index for dimension {d}"
+            ),
+        }
+    }
+}
+
 /// Infers the access bounds of `buf` within the statement `scope`.
 ///
-/// Returns `None` when the buffer is not accessed in the scope at all.
-/// The analysis is exact for affine indices; non-affine indices fall back
-/// to using the raw expression for both bounds (conservatively tight to
-/// that single access).
-pub fn infer_bounds(scope: &Stmt, buf: &Sym, ctx: &Context) -> Option<BufferBounds> {
+/// Returns a [`BoundsFailure`] describing why inference gave up when it
+/// does (never silently). The analysis is exact for affine indices;
+/// non-affine indices fall back to using the raw expression for both
+/// bounds (conservatively tight to that single access).
+pub fn infer_bounds(scope: &Stmt, buf: &Sym, ctx: &Context) -> Result<BufferBounds, BoundsFailure> {
     let mut sites = Vec::new();
     gather(scope, buf, &mut Vec::new(), &mut sites);
     if sites.is_empty() {
-        return None;
+        return Err(BoundsFailure::NotAccessed);
     }
     let ndims = sites.iter().map(|s| s.idx.len()).max().unwrap_or(0);
     let mut dims = Vec::with_capacity(ndims);
@@ -164,9 +188,12 @@ pub fn infer_bounds(scope: &Stmt, buf: &Sym, ctx: &Context) -> Option<BufferBoun
                 Some(prev) => symbolic_max(prev, site_hi, ctx),
             });
         }
-        dims.push((lo?, hi?));
+        match (lo, hi) {
+            (Some(lo), Some(hi)) => dims.push((lo, hi)),
+            _ => return Err(BoundsFailure::MissingDimension(d)),
+        }
     }
-    Some(BufferBounds {
+    Ok(BufferBounds {
         buf: buf.clone(),
         dims,
     })
@@ -265,9 +292,12 @@ mod tests {
     }
 
     #[test]
-    fn missing_buffer_returns_none() {
+    fn missing_buffer_reports_not_accessed() {
         let ctx = Context::new();
-        assert!(infer_bounds(&paper_example(), &Sym::new("zzz"), &ctx).is_none());
+        assert_eq!(
+            infer_bounds(&paper_example(), &Sym::new("zzz"), &ctx),
+            Err(BoundsFailure::NotAccessed)
+        );
     }
 
     #[test]

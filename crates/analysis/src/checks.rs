@@ -11,11 +11,53 @@ use crate::linear::LinExpr;
 use exo_ir::{for_each_expr, Expr, Stmt, Sym};
 use std::collections::BTreeSet;
 
+/// Whether a per-dimension index difference is provably nonzero under
+/// `ctx`: a nonzero constant, a residue class that excludes zero (all
+/// coefficients share a divisor `g` the constant is not a multiple of), or
+/// a value range that excludes zero.
+fn diff_provably_nonzero(diff: &LinExpr, ctx: &Context) -> bool {
+    if let Some(c) = diff.as_constant() {
+        return c != 0;
+    }
+    // Residue class: diff = g·(...) + c with c % g != 0 is never zero.
+    // This proves `a[2*i]` and `a[2*i + 1]` disjoint for *all* i, i'.
+    let g = diff.terms.values().fold(0i64, |acc, c| gcd(acc, c.abs()));
+    if g > 1 && diff.constant % g != 0 {
+        return true;
+    }
+    // Interval: every atom has known constant bounds and 0 is outside.
+    let bound = |lower: bool| -> Option<i64> {
+        let mut acc = diff.constant;
+        for (atom, coeff) in &diff.terms {
+            let crate::linear::Atom::Var(s) = atom else {
+                return None;
+            };
+            let b = if (*coeff > 0) == lower {
+                ctx.lower_bound(s)?
+            } else {
+                ctx.upper_bound(s)?
+            };
+            acc += coeff * b;
+        }
+        Some(acc)
+    };
+    matches!(bound(true), Some(lo) if lo > 0) || matches!(bound(false), Some(hi) if hi < 0)
+}
+
+fn gcd(a: i64, b: i64) -> i64 {
+    if b == 0 {
+        a
+    } else {
+        gcd(b, a % b)
+    }
+}
+
 /// Whether two accesses may refer to the same buffer element.
 ///
 /// Returns `false` (provably disjoint) only when some dimension's index
-/// expressions differ by a nonzero constant.
-fn may_overlap(a: &Access, b: &Access) -> bool {
+/// expressions provably differ: by a nonzero constant, by a nonzero
+/// residue class, or by a `ctx`-derived value range excluding zero.
+fn may_overlap(a: &Access, b: &Access, ctx: &Context) -> bool {
     if a.buf != b.buf {
         return false;
     }
@@ -27,10 +69,8 @@ fn may_overlap(a: &Access, b: &Access) -> bool {
     }
     for (ia, ib) in a.idx.iter().zip(b.idx.iter()) {
         let diff = LinExpr::from_expr(ia).sub(&LinExpr::from_expr(ib));
-        if let Some(c) = diff.as_constant() {
-            if c != 0 {
-                return false;
-            }
+        if diff_provably_nonzero(&diff, ctx) {
+            return false;
         }
     }
     true
@@ -38,7 +78,7 @@ fn may_overlap(a: &Access, b: &Access) -> bool {
 
 /// Whether two statements (or statement blocks, via their combined
 /// effects) commute: executing them in either order yields the same state.
-pub fn stmts_commute(a: &Effects, b: &Effects, _ctx: &Context) -> bool {
+pub fn stmts_commute(a: &Effects, b: &Effects, ctx: &Context) -> bool {
     // Config state: any write/read or write/write collision on the same
     // field forbids reordering.
     for (c, f) in &a.config_writes {
@@ -57,14 +97,14 @@ pub fn stmts_commute(a: &Effects, b: &Effects, _ctx: &Context) -> bool {
     // writes; reductions commute with each other (addition commutes).
     for wa in &a.writes {
         for wb in b.writes.iter().chain(b.reduces.iter()) {
-            if may_overlap(wa, wb) {
+            if may_overlap(wa, wb, ctx) {
                 return false;
             }
         }
     }
     for wa in &a.reduces {
         for wb in &b.writes {
-            if may_overlap(wa, wb) {
+            if may_overlap(wa, wb, ctx) {
                 return false;
             }
         }
@@ -74,14 +114,14 @@ pub fn stmts_commute(a: &Effects, b: &Effects, _ctx: &Context) -> bool {
     // fine).
     for ra in &a.reads {
         for wb in b.writes.iter().chain(b.reduces.iter()) {
-            if may_overlap(ra, wb) {
+            if may_overlap(ra, wb, ctx) {
                 return false;
             }
         }
     }
     for rb in &b.reads {
         for wa in a.writes.iter().chain(a.reduces.iter()) {
-            if may_overlap(rb, wa) {
+            if may_overlap(rb, wa, ctx) {
                 return false;
             }
         }
@@ -89,10 +129,68 @@ pub fn stmts_commute(a: &Effects, b: &Effects, _ctx: &Context) -> bool {
     true
 }
 
+/// Whether two accesses are provably disjoint across *distinct* iterations
+/// of `iter`: some dimension's indices decompose as `s·iter + r` with the
+/// same stride `s != 0` on both sides and a loop-invariant residual
+/// difference `δ` that is either zero or not a multiple of `s` — then
+/// `s·(i - i') = δ` has no solution with `i != i'`.
+fn iteration_disjoint(iter: &Sym, a: &Access, b: &Access, ctx: &Context) -> bool {
+    if a.whole_buffer || b.whole_buffer || a.idx.len() != b.idx.len() {
+        return false;
+    }
+    let _ = ctx;
+    for (ia, ib) in a.idx.iter().zip(b.idx.iter()) {
+        let la = LinExpr::from_expr(ia);
+        let lb = LinExpr::from_expr(ib);
+        let s = la.coeff_of(iter);
+        if s == 0 || lb.coeff_of(iter) != s {
+            continue;
+        }
+        // Neither side may vary with an iterator bound *inside* the loop
+        // body: those take arbitrary values on each side of the comparison,
+        // so they must be checked before subtraction (same-named body
+        // iterators would cancel, e.g. `y[i + j]` vs itself over `i`).
+        let body_invariant = |l: &LinExpr| {
+            a.iters
+                .iter()
+                .chain(b.iters.iter())
+                .filter(|s2| *s2 != iter)
+                .all(|s2| !l.mentions(s2))
+        };
+        if !body_invariant(&la) || !body_invariant(&lb) {
+            continue;
+        }
+        let mut delta = la.sub(&lb);
+        delta.terms.remove(&crate::linear::Atom::Var(iter.clone()));
+        // `iter` must not survive inside an opaque term of the residual.
+        if delta.mentions(iter) {
+            continue;
+        }
+        if delta.is_zero() {
+            return true;
+        }
+        if let Some(c) = delta.as_constant() {
+            if c % s != 0 {
+                return true;
+            }
+        }
+    }
+    false
+}
+
 /// Whether the iterations of `for iter in ...: body` may execute in any
 /// order (no loop-carried read-after-write or write-after-write
-/// dependencies). Used by `parallelize_loop`, `reorder_loops` and `fuse`.
-pub fn loop_is_parallelizable(iter: &Sym, body_effects: &Effects, _ctx: &Context) -> bool {
+/// dependencies). Used by `parallelize_loop` and the verifier's
+/// parallel-loop race check.
+///
+/// The test is index-level: two accesses to the same buffer are fine when
+/// [`iteration_disjoint`] proves distinct iterations touch distinct
+/// elements (e.g. `C[i, j]` over `i`, or the strided pair `a[2*i]` /
+/// `a[2*i + 1]`). Buffers whose every access in the body is a *reduce* are
+/// always fine: reductions commute, so the loop is parallelizable as a
+/// reduction even when the destination index is loop-invariant (the gemv
+/// accumulator shape `y[i] += A[i, j] * x[j]` over `j`).
+pub fn loop_is_parallelizable(iter: &Sym, body_effects: &Effects, ctx: &Context) -> bool {
     if body_effects.has_calls {
         return false;
     }
@@ -105,28 +203,36 @@ pub fn loop_is_parallelizable(iter: &Sym, body_effects: &Effects, _ctx: &Context
         if body_effects.allocs.contains(&buf) {
             continue;
         }
-        let writes = body_effects.writes_to(&buf);
-        let all = body_effects.accesses_to(&buf);
-        // Every write must be "indexed by" the iterator: some dimension has
-        // a nonzero coefficient on `iter`, and every access to the buffer
-        // uses the *same* expression in that dimension, so distinct
-        // iterations touch distinct elements.
-        for w in &writes {
-            if w.whole_buffer {
-                return false;
-            }
-            let dep_dim = w
-                .idx
-                .iter()
-                .position(|e| LinExpr::from_expr(e).coeff_of(iter) != 0);
-            let Some(d) = dep_dim else { return false };
-            let w_lin = LinExpr::from_expr(&w.idx[d]);
-            for other in &all {
-                if other.whole_buffer || other.idx.len() != w.idx.len() {
-                    return false;
+        let is = |list: &[Access]| -> Vec<Access> {
+            list.iter().filter(|a| a.buf == buf).cloned().collect()
+        };
+        let reads = is(&body_effects.reads);
+        let writes = is(&body_effects.writes);
+        let reduces = is(&body_effects.reduces);
+        // Reduce-only buffers: all iterations commute (accumulation order
+        // is irrelevant), regardless of indexing.
+        if writes.is_empty() && reads.is_empty() {
+            continue;
+        }
+        // Every (write, access) pair must be provably disjoint across
+        // distinct iterations; reduce-vs-reduce pairs commute and are
+        // exempt.
+        let writers: Vec<(&Access, bool)> = writes
+            .iter()
+            .map(|a| (a, false))
+            .chain(reduces.iter().map(|a| (a, true)))
+            .collect();
+        let others: Vec<(&Access, bool)> = reads
+            .iter()
+            .map(|a| (a, false))
+            .chain(writers.iter().copied())
+            .collect();
+        for (w, w_red) in &writers {
+            for (o, o_red) in &others {
+                if *w_red && *o_red {
+                    continue;
                 }
-                let o_lin = LinExpr::from_expr(&other.idx[d]);
-                if !o_lin.sub(&w_lin).is_zero() {
+                if !iteration_disjoint(iter, w, o, ctx) {
                     return false;
                 }
             }
@@ -281,8 +387,13 @@ mod tests {
         // y[i] = x[i] : parallelizable
         let body = Effects::of_stmts(&[assign("y", vec![var("i")], read("x", vec![var("i")]))]);
         assert!(loop_is_parallelizable(&Sym::new("i"), &body, &ctx));
-        // acc += x[i] : not parallelizable (loop-carried reduce)
+        // acc += x[i] : parallelizable *as a reduction* — every access to
+        // `acc` is a reduce, and reductions commute.
         let body = Effects::of_stmts(&[reduce("acc", vec![], read("x", vec![var("i")]))]);
+        assert!(loop_is_parallelizable(&Sym::new("i"), &body, &ctx));
+        // acc = x[i] : NOT parallelizable (last-writer-wins assignment to a
+        // loop-invariant location).
+        let body = Effects::of_stmts(&[assign("acc", vec![], read("x", vec![var("i")]))]);
         assert!(!loop_is_parallelizable(&Sym::new("i"), &body, &ctx));
         // y[i] = y[i+1] : not parallelizable (offset read of written buffer)
         let body = Effects::of_stmts(&[assign(
@@ -291,14 +402,85 @@ mod tests {
             read("y", vec![var("i") + ib(1)]),
         )]);
         assert!(!loop_is_parallelizable(&Sym::new("i"), &body, &ctx));
-        // y[i] += A[i, j] * x[j], parallel over i: ok (reduce indexed by i)
+        // y[i] += A[i, j] * x[j]: over i the reduce is indexed by i; over j
+        // it is the gemv accumulator shape — reduce-only, so both are fine.
         let body = Effects::of_stmts(&[reduce(
             "y",
             vec![var("i")],
             read("A", vec![var("i"), var("j")]) * read("x", vec![var("j")]),
         )]);
         assert!(loop_is_parallelizable(&Sym::new("i"), &body, &ctx));
-        assert!(!loop_is_parallelizable(&Sym::new("j"), &body, &ctx));
+        assert!(loop_is_parallelizable(&Sym::new("j"), &body, &ctx));
+    }
+
+    #[test]
+    fn gemv_accumulator_reduction_is_parallelizable() {
+        // Regression (satellite: reduce into a loop-invariant scalar): the
+        // gemv inner loop `y[i] += A[i, j] * x[j]` over `j`, plus a read of
+        // the accumulator *after* the loop must still be rejected when it
+        // appears inside the body.
+        let ctx = Context::new();
+        let accum = Effects::of_stmts(&[reduce(
+            "y",
+            vec![var("i")],
+            read("A", vec![var("i"), var("j")]) * read("x", vec![var("j")]),
+        )]);
+        assert!(loop_is_parallelizable(&Sym::new("j"), &accum, &ctx));
+        // But mixing the reduce with a same-buffer read breaks the
+        // exemption: partial sums become observable.
+        let mixed = Effects::of_stmts(&[
+            reduce("y", vec![var("i")], read("x", vec![var("j")])),
+            assign("z", vec![var("j")], read("y", vec![var("i")])),
+        ]);
+        assert!(!loop_is_parallelizable(&Sym::new("j"), &mixed, &ctx));
+    }
+
+    #[test]
+    fn disjoint_strided_writes_are_parallelizable() {
+        // a[2*i] = ..; a[2*i+1] = ..  : distinct iterations write distinct
+        // residue classes — the index-level test proves the loop parallel
+        // where the old name-level test rejected it.
+        let ctx = Context::new();
+        let body = Effects::of_stmts(&[
+            assign("a", vec![ib(2) * var("i")], fb(0.0)),
+            assign("a", vec![ib(2) * var("i") + ib(1)], fb(1.0)),
+        ]);
+        assert!(loop_is_parallelizable(&Sym::new("i"), &body, &ctx));
+        // a[2*i] and a[2*i + 2] collide across iterations (i' = i + 1).
+        let body = Effects::of_stmts(&[
+            assign("a", vec![ib(2) * var("i")], fb(0.0)),
+            assign("a", vec![ib(2) * var("i") + ib(2)], fb(1.0)),
+        ]);
+        assert!(!loop_is_parallelizable(&Sym::new("i"), &body, &ctx));
+        // Residuals varying with an inner iterator are not invariant:
+        // y[i + j] over i may collide.
+        let body = Effects::of_stmts(&[Stmt::For {
+            iter: Sym::new("j"),
+            lo: ib(0),
+            hi: ib(4),
+            body: exo_ir::Block::from_stmts(vec![assign("y", vec![var("i") + var("j")], fb(0.0))]),
+            parallel: false,
+        }]);
+        assert!(!loop_is_parallelizable(&Sym::new("i"), &body, &ctx));
+    }
+
+    #[test]
+    fn strided_offsets_commute_via_residue_classes() {
+        // x[2*i] vs x[2*i + 1]: disjoint for all i, i' by residue class.
+        let ctx = Context::new();
+        let a = Effects::of_stmt(&assign("x", vec![ib(2) * var("i")], fb(1.0)));
+        let b = Effects::of_stmt(&assign("x", vec![ib(2) * var("i") + ib(1)], fb(2.0)));
+        assert!(stmts_commute(&a, &b, &ctx));
+        // x[i] vs x[i + 8] with i < 8 on both: ranges [0,7] and [8,15].
+        let mut rctx = Context::new();
+        rctx.push_iter(Sym::new("i"), ib(0), ib(8));
+        let a = Effects::of_stmt(&assign("x", vec![var("i")], fb(1.0)));
+        let b = Effects::of_stmt(&assign("x", vec![var("i") + ib(8)], fb(2.0)));
+        assert!(stmts_commute(&a, &b, &rctx));
+        // x[i] vs x[j]: nothing relates the symbols — stay conservative.
+        let a = Effects::of_stmt(&assign("x", vec![var("i")], fb(1.0)));
+        let b = Effects::of_stmt(&assign("x", vec![var("j")], fb(2.0)));
+        assert!(!stmts_commute(&a, &b, &ctx));
     }
 
     #[test]

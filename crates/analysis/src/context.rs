@@ -241,12 +241,8 @@ impl Context {
         }
         // `hi - lo` reduces to a single positive-lower-bounded symbol.
         if diff.constant >= 0 && diff.terms.len() == 1 {
-            if let (crate::linear::Atom::Var(s), coeff) = diff
-                .terms
-                .iter()
-                .next()
-                .map(|(a, c)| (a.clone(), *c))
-                .unwrap()
+            if let Some((crate::linear::Atom::Var(s), coeff)) =
+                diff.terms.iter().next().map(|(a, c)| (a.clone(), *c))
             {
                 if coeff > 0 {
                     if let Some(lb) = self.lower_bound(&s) {
@@ -266,12 +262,9 @@ impl Context {
         }
         // Single symbol with a known bound.
         if diff.terms.len() == 1 {
-            let (atom, coeff) = diff
-                .terms
-                .iter()
-                .next()
-                .map(|(a, c)| (a.clone(), *c))
-                .unwrap();
+            let Some((atom, coeff)) = diff.terms.iter().next().map(|(a, c)| (a.clone(), *c)) else {
+                return false;
+            };
             if let crate::linear::Atom::Var(s) = atom {
                 if coeff > 0 {
                     if let Some(lb) = self.lower_bound(&s) {

@@ -32,8 +32,9 @@ mod context;
 mod effects;
 mod linear;
 mod simplify;
+mod verify;
 
-pub use bounds::{infer_bounds, BufferBounds};
+pub use bounds::{infer_bounds, BoundsFailure, BufferBounds};
 pub use checks::{
     alloc_names, body_depends_on, buffers_written, is_idempotent, loop_is_parallelizable,
     stmts_commute, writes_depend_on_iter,
@@ -42,3 +43,4 @@ pub use context::Context;
 pub use effects::{Access, Effects};
 pub use linear::{provably_equal, LinExpr};
 pub use simplify::{simplify_expr, simplify_predicate, simplify_with_binding};
+pub use verify::{check_proc, prove_le, unproven_buffers, Diagnostic, Severity};

@@ -24,10 +24,9 @@ fn const_range(e: &Expr, ctx: &Context) -> Option<(i64, i64)> {
                 BinOp::Sub => Some((llo - rhi, lhi - rlo)),
                 BinOp::Mul => {
                     let candidates = [llo * rlo, llo * rhi, lhi * rlo, lhi * rhi];
-                    Some((
-                        *candidates.iter().min().unwrap(),
-                        *candidates.iter().max().unwrap(),
-                    ))
+                    let lo = candidates.iter().copied().fold(i64::MAX, i64::min);
+                    let hi = candidates.iter().copied().fold(i64::MIN, i64::max);
+                    Some((lo, hi))
                 }
                 BinOp::Mod => {
                     if rlo == rhi && rlo > 0 {

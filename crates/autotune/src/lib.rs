@@ -8,16 +8,25 @@
 //! 1. **Generate** — enumerate the single-step and interchange-led
 //!    two-step core of the space, then sample longer seeded-random
 //!    scripts ([`space::generate_candidates`]).
-//! 2. **Prune** — replay every script through the primitives
-//!    ([`exo_lib::apply_script`]); illegal candidates are rejected by the
-//!    primitives' own errors, never by ad-hoc search-side checks.
-//! 3. **Rank** — price survivors with the cycle-cost simulator
+//! 2. **Statically prune** — reject candidates whose first step provably
+//!    fails against the base proc ([`prune::statically_illegal`]) without
+//!    replaying them: unresolvable selectors and perfect splits whose
+//!    divisibility the analysis context refutes. The checks replicate the
+//!    primitives' own preconditions exactly, so this tier only saves
+//!    replay work — it cannot change what the search finds.
+//! 3. **Prune by replay** — replay every remaining script through the
+//!    primitives ([`exo_lib::apply_script`]); illegal candidates are
+//!    rejected by the primitives' own errors, never by ad-hoc search-side
+//!    checks. Survivors then pass through the whole-proc verifier, which
+//!    rejects any candidate it *proves* wrong (out-of-bounds access)
+//!    before a simulation is paid for ([`prune::proven_violation`]).
+//! 4. **Rank** — price survivors with the cycle-cost simulator
 //!    ([`exo_machine::try_simulate`]) on inputs synthesized by the
 //!    differential harness.
-//! 4. **Measure** — compile the top-K with the C backend and time them in
+//! 5. **Measure** — compile the top-K with the C backend and time them in
 //!    parallel worker threads ([`measure::measure_batch`]); without a C
 //!    compiler the tuner degrades to cost-model-only ranking.
-//! 5. **Report** — winner script, pruning statistics, search throughput,
+//! 6. **Report** — winner script, pruning statistics, search throughput,
 //!    and a cost-model-fidelity score (Spearman rank correlation between
 //!    simulated cycles and measured nanoseconds over the measured set).
 //!
@@ -30,6 +39,7 @@
 #![warn(missing_docs)]
 
 pub mod measure;
+pub mod prune;
 pub mod space;
 
 use exo_cursors::ProcHandle;
@@ -115,8 +125,17 @@ pub struct TuneReport {
     pub kernel: String,
     /// Unique candidate scripts generated.
     pub sampled: usize,
-    /// Candidates rejected by the scheduling primitives.
+    /// Candidates rejected before replay by the static tier-0 checks
+    /// (first-step selector resolution, perfect-split divisibility).
+    pub static_rejected: usize,
+    /// Candidates actually replayed through `apply_script`
+    /// (`sampled - static_rejected`).
+    pub replayed: usize,
+    /// Candidates rejected by the scheduling primitives during replay.
     pub illegal: usize,
+    /// Replay survivors the whole-proc verifier proved wrong (rejected
+    /// before simulation).
+    pub verify_rejected: usize,
     /// Candidates rejected by the simulator (interpreter trap).
     pub trapped: usize,
     /// Survivors, ranked by simulated cycles (ascending). The identity
@@ -271,10 +290,16 @@ pub fn tune(task: &TuneTask, cfg: &TuneConfig) -> Result<TuneReport, String> {
 
     let scripts = space::generate_candidates(&base, &task.machine, cfg.seed, cfg.budget);
     let sampled = scripts.len();
+    let mut static_rejected = 0usize;
     let mut illegal = 0usize;
+    let mut verify_rejected = 0usize;
     let mut trapped = 0usize;
     let mut survivors: Vec<(ScheduleScript, ProcHandle, u64)> = Vec::new();
     for script in scripts {
+        if prune::statically_illegal(&base, &script) {
+            static_rejected += 1;
+            continue;
+        }
         let scheduled = match apply_script(&base, &script, &task.machine) {
             Ok(p) => p,
             Err(_) => {
@@ -282,11 +307,16 @@ pub fn tune(task: &TuneTask, cfg: &TuneConfig) -> Result<TuneReport, String> {
                 continue;
             }
         };
+        if prune::proven_violation(scheduled.proc()).is_some() {
+            verify_rejected += 1;
+            continue;
+        }
         match cost_of(scheduled.proc(), &registry, cfg.input_seed) {
             Ok(cycles) => survivors.push((script, scheduled, cycles)),
             Err(_) => trapped += 1,
         }
     }
+    let replayed = sampled - static_rejected;
     // Deterministic ranking: cycles ascending, script key as tiebreak.
     survivors.sort_by(|a, b| a.2.cmp(&b.2).then_with(|| a.0.key().cmp(&b.0.key())));
 
@@ -335,7 +365,10 @@ pub fn tune(task: &TuneTask, cfg: &TuneConfig) -> Result<TuneReport, String> {
     Ok(TuneReport {
         kernel: task.name.clone(),
         sampled,
+        static_rejected,
+        replayed,
         illegal,
+        verify_rejected,
         trapped,
         candidates,
         baseline_cycles,

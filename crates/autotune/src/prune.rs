@@ -1,0 +1,224 @@
+//! Static pruning tiers: reject candidates before paying for replay or
+//! simulation.
+//!
+//! The search loop's cost per candidate is one `apply_script` replay plus
+//! one cost-model simulation. Two static tiers cut that bill without
+//! changing what the search finds:
+//!
+//! **Tier 0 — before replay** ([`statically_illegal`]). The first step of
+//! a script runs against the *unscheduled* kernel, so its preconditions
+//! can be checked on the base proc without replaying anything:
+//!
+//! 1. the step's loop selector must resolve (the sampler deliberately
+//!    also emits the `{name}o`/`{name}i` selectors a split *would*
+//!    introduce, so many sampled scripts open by addressing a loop that
+//!    does not exist yet);
+//! 2. a first-step perfect split — `Split` without a cut tail, or
+//!    `Vectorize`, whose first rewrite is a perfect `divide_loop` — needs
+//!    a zero lower bound and a trip count provably divisible by the
+//!    factor, the same `Context::divides` fact `divide_loop` demands.
+//!
+//! Each check replicates the corresponding primitive's own precondition
+//! exactly, so tier 0 can never change the search result: every pruned
+//! script would have been rejected by its first `apply_step`. Later steps
+//! see transformed procs and are left to the replay.
+//!
+//! **Tier 1 — after replay, before simulation** ([`proven_violation`]).
+//! Survivors go through the whole-proc verifier; candidates with a
+//! *proven* violation (out-of-bounds access `V101`, rank mismatch `V103`,
+//! unknown buffer `V104`) are rejected without simulating. Failed proofs
+//! (`V102`/`V201` on programs the step-by-step primitive checks already
+//! certified) do not reject: the verifier must prove the candidate
+//! *wrong*, not merely fail to prove it right. The simulator would trap
+//! on these candidates for any input that reaches the bad access; the
+//! verifier rejects them for *all* inputs, including the ones a concrete
+//! trap would miss.
+
+use exo_analysis::Context;
+use exo_cursors::ProcHandle;
+use exo_ir::{Proc, Stmt};
+use exo_lib::{SchedStep, ScheduleScript};
+
+/// Whether the script's first step provably fails against the base proc
+/// (tier 0). `true` is a sound rejection: `apply_script` would return an
+/// error on the first step. `false` means "replay to find out".
+pub fn statically_illegal(base: &ProcHandle, script: &ScheduleScript) -> bool {
+    let Some(step) = script.steps.first() else {
+        return false;
+    };
+    let (sel, perfect_factor) = match step {
+        SchedStep::Reorder { loop_ }
+        | SchedStep::Unroll { loop_ }
+        | SchedStep::Parallelize { loop_ }
+        | SchedStep::StageAccum { loop_ } => (loop_, None),
+        SchedStep::Split {
+            loop_,
+            factor,
+            cut_tail,
+        } => {
+            if *factor < 2 {
+                return true; // apply_step rejects small factors outright
+            }
+            (loop_, (!*cut_tail).then_some(*factor))
+        }
+        SchedStep::Vectorize { loop_, width } => {
+            if *width < 1 {
+                return true; // divide_loop's positivity check rejects
+            }
+            (loop_, Some(*width))
+        }
+        SchedStep::Simplify => return false,
+    };
+    let Ok(cursor) = sel.resolve(base) else {
+        return true;
+    };
+    let Some(factor) = perfect_factor else {
+        return false;
+    };
+    // Replicate divide_loop's TailStrategy::Perfect preconditions on the
+    // resolved loop: zero lower bound, provably divisible trip count.
+    let stmt = match cursor.stmt() {
+        Ok(s) => s,
+        Err(_) => return false,
+    };
+    let Stmt::For { lo, hi, .. } = stmt else {
+        return false;
+    };
+    if lo.as_int() != Some(0) {
+        return true;
+    }
+    let Some(path) = cursor.path().stmt_path() else {
+        return false;
+    };
+    let ctx = Context::at(base.proc(), path);
+    !ctx.divides(hi, factor)
+}
+
+/// The first *proven* violation the whole-proc verifier finds in a
+/// scheduled candidate (tier 1), or `None` when the proc may be legal.
+/// Only proof-of-wrongness codes reject; failed proofs are ignored (see
+/// the module docs).
+pub fn proven_violation(scheduled: &Proc) -> Option<String> {
+    exo_analysis::check_proc(scheduled)
+        .into_iter()
+        .find(|d| matches!(d.code, "V101" | "V103" | "V104"))
+        .map(|d| d.message)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use exo_ir::{ib, read, var, DataType, Expr, Mem, ProcBuilder};
+    use exo_lib::LoopSel;
+
+    /// `for i in 0..n: y[i] = x[i]` with `assert n % 8 == 0`.
+    fn vec_copy() -> ProcHandle {
+        let p = ProcBuilder::new("copy")
+            .size_arg("n")
+            .tensor_arg("x", DataType::F32, vec![var("n")], Mem::Dram)
+            .tensor_arg("y", DataType::F32, vec![var("n")], Mem::Dram)
+            .assert_(Expr::eq_(Expr::modulo(var("n"), ib(8)), ib(0)))
+            .for_("i", ib(0), var("n"), |b| {
+                b.assign("y", vec![var("i")], read("x", vec![var("i")]));
+            })
+            .build();
+        ProcHandle::new(p)
+    }
+
+    fn script(step: SchedStep) -> ScheduleScript {
+        ScheduleScript::new(vec![step])
+    }
+
+    #[test]
+    fn unresolvable_first_selector_is_pruned() {
+        let p = vec_copy();
+        // `io` only exists after a split — as a *first* step it cannot
+        // resolve, which is exactly what apply_step would report.
+        let s = script(SchedStep::Reorder {
+            loop_: LoopSel::new("io", 0),
+        });
+        assert!(statically_illegal(&p, &s));
+        let ok = script(SchedStep::Reorder {
+            loop_: LoopSel::new("i", 0),
+        });
+        assert!(!statically_illegal(&p, &ok));
+    }
+
+    #[test]
+    fn perfect_split_divisibility_is_checked_statically() {
+        let p = vec_copy();
+        let split = |factor, cut_tail| {
+            script(SchedStep::Split {
+                loop_: LoopSel::new("i", 0),
+                factor,
+                cut_tail,
+            })
+        };
+        // n % 8 == 0 proves factors 2, 4, 8; 7 is not provable.
+        assert!(!statically_illegal(&p, &split(4, false)));
+        assert!(!statically_illegal(&p, &split(8, false)));
+        assert!(statically_illegal(&p, &split(7, false)));
+        // A cut tail needs no divisibility.
+        assert!(!statically_illegal(&p, &split(7, true)));
+        // Degenerate factors are rejected the way apply_step rejects them.
+        assert!(statically_illegal(&p, &split(1, false)));
+    }
+
+    #[test]
+    fn vectorize_width_is_checked_like_a_perfect_split() {
+        let p = vec_copy();
+        let vec_ = |width| {
+            script(SchedStep::Vectorize {
+                loop_: LoopSel::new("i", 0),
+                width,
+            })
+        };
+        assert!(!statically_illegal(&p, &vec_(8)));
+        assert!(statically_illegal(&p, &vec_(3)));
+    }
+
+    #[test]
+    fn tier0_agrees_with_apply_script_on_every_pruned_candidate() {
+        // Soundness contract: statically_illegal == true must imply
+        // apply_script fails. Sweep a grid of first steps and check.
+        let p = vec_copy();
+        let machine = exo_machine::MachineModel::avx2();
+        let mut pruned = 0;
+        for name in ["i", "io", "ii", "j"] {
+            for factor in [1, 2, 3, 4, 7, 8, 16] {
+                for cut_tail in [false, true] {
+                    let s = script(SchedStep::Split {
+                        loop_: LoopSel::new(name, 0),
+                        factor,
+                        cut_tail,
+                    });
+                    if statically_illegal(&p, &s) {
+                        pruned += 1;
+                        assert!(
+                            exo_lib::apply_script(&p, &s, &machine).is_err(),
+                            "tier 0 pruned a replayable script: {s}"
+                        );
+                    }
+                }
+            }
+        }
+        assert!(pruned > 0, "the sweep never exercised the pruner");
+    }
+
+    #[test]
+    fn proven_violations_reject_but_failed_proofs_do_not() {
+        // In-bounds copy: no proven violation.
+        let p = vec_copy();
+        assert_eq!(proven_violation(p.proc()), None);
+        // Provably out-of-bounds: y[i + n] overshoots y[n] for every i.
+        let oob = ProcBuilder::new("oob")
+            .size_arg("n")
+            .tensor_arg("y", DataType::F32, vec![var("n")], Mem::Dram)
+            .for_("i", ib(0), var("n"), |b| {
+                b.assign("y", vec![var("i") + var("n")], exo_ir::fb(0.0));
+            })
+            .build();
+        let msg = proven_violation(&oob).expect("V101 is a proven violation");
+        assert!(msg.contains("y"), "{msg}");
+    }
+}

@@ -31,6 +31,15 @@ fn autotuner_rediscovers_the_sgemm_schedule() {
     assert_eq!(report.sampled, 200);
     assert!(report.illegal > 0, "no candidate was pruned");
     assert!(report.throughput > 0.0);
+    // The static tier fired and strictly reduced replay invocations, and
+    // every sampled candidate is accounted for by exactly one outcome.
+    assert!(report.static_rejected > 0, "tier 0 never fired");
+    assert_eq!(report.replayed, report.sampled - report.static_rejected);
+    assert!(report.replayed < report.sampled);
+    assert_eq!(
+        report.replayed,
+        report.illegal + report.verify_rejected + report.trapped + report.candidates.len()
+    );
     // The cost model must rank the discovered winner at least as good as
     // the hand-written `optimize_sgemm` (`reorder(k); vectorize(j)`).
     let record = report

@@ -88,11 +88,14 @@ fn check_rediscovery(report: &TuneReport) {
 fn print_report(r: &TuneReport) {
     let best = r.best_by_cycles();
     println!(
-        "  tune   {:<10} sampled {:>4}  illegal {:>4}  trapped {:>3}  survivors {:>4}  \
-         {:>6.1} cand/s",
+        "  tune   {:<10} sampled {:>4}  static {:>4}  replayed {:>4}  illegal {:>4}  \
+         verify {:>2}  trapped {:>3}  survivors {:>4}  {:>6.1} cand/s",
         r.kernel,
         r.sampled,
+        r.static_rejected,
+        r.replayed,
         r.illegal,
+        r.verify_rejected,
         r.trapped,
         r.candidates.len(),
         r.throughput
@@ -142,7 +145,8 @@ fn json(reports: &[TuneReport], machine_name: &str, cfg: &TuneConfig) -> String 
         let best = r.best_by_cycles();
         let timed = r.best();
         out.push_str(&format!(
-            "    {{\"name\": \"{}\", \"sampled\": {}, \"illegal\": {}, \"trapped\": {}, \
+            "    {{\"name\": \"{}\", \"sampled\": {}, \"static_rejected\": {}, \
+             \"replayed\": {}, \"illegal\": {}, \"verify_rejected\": {}, \"trapped\": {}, \
              \"survivors\": {}, \"baseline_cycles\": {}, \"record_cycles\": {}, \
              \"best_script\": \"{}\", \"best_cycles\": {}, \
              \"fastest_script\": \"{}\", \"fastest_measured_ns\": {}, \
@@ -150,7 +154,10 @@ fn json(reports: &[TuneReport], machine_name: &str, cfg: &TuneConfig) -> String 
              \"best_flops_per_cycle\": {:.4}, \"candidates_per_sec\": {:.1}}}{}\n",
             r.kernel,
             r.sampled,
+            r.static_rejected,
+            r.replayed,
             r.illegal,
+            r.verify_rejected,
             r.trapped,
             r.candidates.len(),
             r.baseline_cycles,

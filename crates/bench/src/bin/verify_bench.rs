@@ -1,0 +1,153 @@
+//! Static-verification harness: runs `exo_analysis::verify::check_proc`
+//! over every library kernel and every scheduled output of record.
+//!
+//! Modes:
+//!
+//! * (default) — verifies everything, prints per-proc diagnostic counts
+//!   and timing, writes `BENCH_verify.json` at the repo root.
+//! * `--smoke` — same proc set, no JSON; exits nonzero if any shipped
+//!   kernel or schedule of record produces a diagnostic (the CI gate:
+//!   the verifier must certify the whole shipped surface with zero
+//!   false positives).
+//! * `--dump` — prints each proc before verifying (debugging aid).
+
+use exo_cursors::ProcHandle;
+use exo_ir::Proc;
+use exo_kernels::{
+    blur2d, gemmini_matmul, sgemm, unsharp, Precision, LEVEL1_KERNELS, LEVEL2_KERNELS,
+};
+use exo_lib::{
+    apply_script, gemmini_schedule, halide_blur_schedule, halide_unsharp_schedule,
+    optimize_all_level_1, optimize_all_level_2, optimize_sgemm, schedule_of_record,
+};
+use exo_machine::MachineModel;
+use std::time::Instant;
+
+fn fail(msg: &str) -> ! {
+    eprintln!("FATAL: {msg}");
+    std::process::exit(1);
+}
+
+/// Every proc the verifier must certify: `(label, proc)` pairs covering
+/// the unscheduled kernel set and every scheduled output of record.
+fn proc_set(machine: &MachineModel) -> Vec<(String, Proc)> {
+    let mut out: Vec<(String, Proc)> = Vec::new();
+    // Unscheduled kernels, both precisions where parameterized.
+    for prec in [Precision::Single, Precision::Double] {
+        for k in LEVEL1_KERNELS {
+            let p = (k.build)(prec);
+            out.push((p.name().to_string(), p));
+        }
+        for k in LEVEL2_KERNELS {
+            let p = (k.build)(prec);
+            out.push((p.name().to_string(), p));
+        }
+    }
+    for p in [sgemm(), gemmini_matmul(), blur2d(), unsharp()] {
+        out.push((p.name().to_string(), p));
+    }
+    // Library-scheduled outputs.
+    for prec in [Precision::Single, Precision::Double] {
+        for (name, h) in optimize_all_level_1(machine, prec) {
+            out.push((format!("{name}+l1"), h.proc().clone()));
+        }
+        for (name, h) in optimize_all_level_2(machine, prec) {
+            out.push((format!("{name}+l2"), h.proc().clone()));
+        }
+    }
+    let sg = ProcHandle::new(sgemm());
+    match optimize_sgemm(&sg, machine) {
+        Ok(h) => out.push(("sgemm+hand".into(), h.proc().clone())),
+        Err(e) => fail(&format!("optimize_sgemm failed: {e}")),
+    }
+    match halide_blur_schedule(&ProcHandle::new(blur2d()), machine) {
+        Ok(h) => out.push(("blur2d+halide".into(), h.proc().clone())),
+        Err(e) => fail(&format!("halide_blur_schedule failed: {e}")),
+    }
+    match halide_unsharp_schedule(&ProcHandle::new(unsharp()), machine) {
+        Ok(h) => out.push(("unsharp+halide".into(), h.proc().clone())),
+        Err(e) => fail(&format!("halide_unsharp_schedule failed: {e}")),
+    }
+    match gemmini_schedule(&ProcHandle::new(gemmini_matmul())) {
+        Ok(h) => out.push(("gemmini+sched".into(), h.proc().clone())),
+        Err(e) => fail(&format!("gemmini_schedule failed: {e}")),
+    }
+    // Replayed schedules of record.
+    for kernel in [
+        sgemm(),
+        exo_kernels::gemv(Precision::Single, false),
+        blur2d(),
+    ] {
+        if let Some(script) = schedule_of_record(kernel.name(), machine) {
+            let name = format!("{}+record", kernel.name());
+            match apply_script(&ProcHandle::new(kernel), &script, machine) {
+                Ok(h) => out.push((name, h.proc().clone())),
+                Err(e) => fail(&format!("record for {name} fails to replay: {e}")),
+            }
+        }
+    }
+    out
+}
+
+fn main() {
+    let smoke = std::env::args().any(|a| a == "--smoke");
+    let dump = std::env::args().any(|a| a == "--dump");
+    println!(
+        "verify_bench: whole-proc static verification{}",
+        if smoke { " [smoke mode]" } else { "" }
+    );
+    let machine = MachineModel::avx2();
+    let procs = proc_set(&machine);
+    let mut total_diags = 0usize;
+    let mut rows: Vec<(String, usize, usize, f64)> = Vec::new();
+    let t0 = Instant::now();
+    for (label, proc) in &procs {
+        if dump {
+            println!("==== {label} ====\n{proc}");
+        }
+        let p0 = Instant::now();
+        let diags = exo_analysis::check_proc(proc);
+        let us = p0.elapsed().as_secs_f64() * 1e6;
+        let errors = diags
+            .iter()
+            .filter(|d| d.severity == exo_analysis::Severity::Error)
+            .count();
+        let warnings = diags.len() - errors;
+        if diags.is_empty() {
+            println!("  ok      {label} ({us:.0}us)");
+        } else {
+            println!("  DIAG    {label}: {errors} errors, {warnings} warnings ({us:.0}us)");
+            for d in &diags {
+                println!("          {d}");
+            }
+        }
+        total_diags += diags.len();
+        rows.push((label.clone(), errors, warnings, us));
+    }
+    let elapsed = t0.elapsed().as_secs_f64();
+    println!(
+        "  {} procs verified in {elapsed:.3}s, {total_diags} diagnostics",
+        procs.len()
+    );
+    if smoke {
+        if total_diags > 0 {
+            fail("smoke: shipped kernels/schedules must verify with zero diagnostics");
+        }
+        return;
+    }
+    let mut json = String::from("{\n  \"bench\": \"verify\",\n  \"procs\": [\n");
+    for (i, (label, errors, warnings, us)) in rows.iter().enumerate() {
+        json.push_str(&format!(
+            "    {{\"name\": \"{label}\", \"errors\": {errors}, \"warnings\": {warnings}, \"micros\": {us:.1}}}{}\n",
+            if i + 1 == rows.len() { "" } else { "," }
+        ));
+    }
+    json.push_str(&format!(
+        "  ],\n  \"total_procs\": {},\n  \"total_diagnostics\": {total_diags},\n  \"elapsed_secs\": {elapsed:.3}\n}}\n",
+        rows.len()
+    ));
+    if let Err(e) = std::fs::write("BENCH_verify.json", &json) {
+        fail(&format!("cannot write BENCH_verify.json: {e}"));
+    }
+    println!("  wrote BENCH_verify.json");
+}

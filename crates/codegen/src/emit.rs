@@ -521,6 +521,12 @@ struct FnEmitter<'u, 'a, 'p> {
     repr: Vec<SlotRepr>,
     /// Dense args of rank ≥ 2 that need their stride constants hoisted.
     needs_strides: BTreeSet<u32>,
+    /// Source names of buffers with at least one access the static
+    /// verifier could not certify in-bounds (populated only under
+    /// `debug_bounds`). Fully-proven buffers skip the `exo_bnd`
+    /// instrumentation: the proof is relative to the procedure's
+    /// asserted preconditions, the same contract the checks enforce.
+    unproven: BTreeSet<String>,
     body: String,
     indent: usize,
 }
@@ -605,6 +611,11 @@ impl<'u, 'a, 'p> FnEmitter<'u, 'a, 'p> {
                 }
             };
         }
+        let unproven = if unit.opts.debug_bounds {
+            exo_analysis::unproven_buffers(proc)
+        } else {
+            BTreeSet::new()
+        };
         let mut this = FnEmitter {
             unit,
             proc,
@@ -612,6 +623,7 @@ impl<'u, 'a, 'p> FnEmitter<'u, 'a, 'p> {
             names,
             repr,
             needs_strides: BTreeSet::new(),
+            unproven,
             body: String::new(),
             indent: 1,
         };
@@ -707,7 +719,11 @@ impl<'u, 'a, 'p> FnEmitter<'u, 'a, 'p> {
                 LInst::Loop { iter, .. } => self.repr[*iter as usize] = SlotRepr::Iter,
                 LInst::WindowBind { slot, rhs } => {
                     let (elem, rank) = self.window_shape(rhs)?;
-                    let extents = if self.unit.opts.debug_bounds {
+                    let checked = self.unit.opts.debug_bounds
+                        && self
+                            .unproven
+                            .contains(&self.lp.slot_names()[*slot as usize]);
+                    let extents = if checked {
                         self.window_extents(rhs)?
                     } else {
                         vec![None; rank]
@@ -967,7 +983,9 @@ impl<'u, 'a, 'p> FnEmitter<'u, 'a, 'p> {
             )));
         }
         let strides = self.strides(slot);
-        let extents = if self.unit.opts.debug_bounds {
+        let checked =
+            self.unit.opts.debug_bounds && self.unproven.contains(&self.lp.slot_names()[slot]);
+        let extents = if checked {
             self.slot_extents(slot)
         } else {
             Vec::new()

@@ -73,8 +73,11 @@ pub struct CodegenOptions {
     /// statically renderable goes through an `assert`-backed `exo_bnd`
     /// helper, catching the out-of-window access class the interpreter's
     /// views do not trap (a window read past its extent but inside the
-    /// underlying buffer). Asserts compile away under `-DNDEBUG`, so a
-    /// release build of the same unit is unchanged.
+    /// underlying buffer). Buffers whose every access the static verifier
+    /// proves in-bounds (`exo_analysis::unproven_buffers`) skip the
+    /// instrumentation — fully-certified procedures emit no checks at
+    /// all. Asserts compile away under `-DNDEBUG`, so a release build of
+    /// the same unit is unchanged.
     pub debug_bounds: bool,
 }
 

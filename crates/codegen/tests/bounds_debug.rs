@@ -54,6 +54,32 @@ fn debug_bounds_instruments_window_and_buffer_accesses() {
     let dbg = emit_c(&proc, &registry, &CodegenOptions::debug()).unwrap();
     assert!(dbg.code.contains("#include <assert.h>"), "{}", dbg.code);
     assert!(dbg.code.contains("exo_bnd(3, 2)"), "{}", dbg.code);
+    // The destination `y[0]` is proven in-bounds by the verifier, so its
+    // access skips the instrumentation even in debug mode.
+    assert!(!dbg.code.contains("exo_bnd(0, 4)"), "{}", dbg.code);
+}
+
+#[test]
+fn debug_bounds_elides_checks_for_fully_proven_procs() {
+    // Every access of the unscheduled copy is proven in-bounds from the
+    // loop ranges alone, so the debug build is check-free — identical
+    // instrumentation surface to the plain build.
+    let proc = ProcBuilder::new("copy")
+        .size_arg("n")
+        .tensor_arg("x", DataType::F32, vec![exo_ir::var("n")], Mem::Dram)
+        .tensor_arg("y", DataType::F32, vec![exo_ir::var("n")], Mem::Dram)
+        .for_("i", ib(0), exo_ir::var("n"), |b| {
+            b.assign(
+                "y",
+                vec![exo_ir::var("i")],
+                read("x", vec![exo_ir::var("i")]),
+            );
+        })
+        .build();
+    assert!(exo_analysis::check_proc(&proc).is_empty());
+    let registry = ProcRegistry::new();
+    let dbg = emit_c(&proc, &registry, &CodegenOptions::debug()).unwrap();
+    assert!(!dbg.code.contains("exo_bnd"), "{}", dbg.code);
 }
 
 #[test]

@@ -268,8 +268,24 @@ mod tests {
         // The i loop writes y[i]: parallelizable.
         let p2 = parallelize_loop(&p, "i").unwrap();
         assert!(p2.to_string().contains("for i in par(0, n):"));
-        // The j loop reduces into y[0]: rejected.
-        assert!(parallelize_loop(&p2, "j").is_err());
+        // The j loop reduces into y[0]: legal as a parallel reduction (every
+        // access to y in the body is a reduce, and reductions commute).
+        let p3 = parallelize_loop(&p2, "j").unwrap();
+        assert!(p3.to_string().contains("for j in par(0, n):"));
+        // But an *assignment* into a loop-invariant location is rejected.
+        let q = ProcHandle::new(
+            ProcBuilder::new("q")
+                .size_arg("n")
+                .tensor_arg("x", DataType::F32, vec![var("n")], Mem::Dram)
+                .tensor_arg("y", DataType::F32, vec![var("n")], Mem::Dram)
+                .with_body(|b| {
+                    b.for_("j", ib(0), var("n"), |b| {
+                        b.assign("y", vec![ib(0)], read("x", vec![var("j")]));
+                    });
+                })
+                .build(),
+        );
+        assert!(parallelize_loop(&q, "j").is_err());
     }
 
     #[test]

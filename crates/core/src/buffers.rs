@@ -703,8 +703,10 @@ pub fn stage_mem(
         then_body: Block::from_stmts(stmts.clone()),
         else_body: Block::new(),
     };
-    let bounds = infer_bounds(&wrapper, &buf_sym, &ctx).ok_or_else(|| {
-        SchedError::scheduling(format!("`{buf}` is not accessed in the staged region"))
+    let bounds = infer_bounds(&wrapper, &buf_sym, &ctx).map_err(|why| {
+        SchedError::scheduling(format!(
+            "cannot infer the accessed window of `{buf}` in the staged region: {why}"
+        ))
     })?;
     if bounds.dims.len() != window.len() {
         return Err(SchedError::scheduling(format!(

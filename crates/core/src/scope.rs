@@ -222,13 +222,16 @@ fn check_fusion_safety(
             then_body: Block::from_stmts(body2.to_vec()),
             else_body: Block::new(),
         };
-        let w = infer_bounds(&wrapped1, &buf, &ctx);
-        let r = infer_bounds(&wrapped2, &buf, &ctx);
-        let (Some(w), Some(r)) = (w, r) else {
-            return Err(SchedError::scheduling(format!(
-                "cannot infer the access windows of `{buf}` for fusion"
-            )));
-        };
+        let w = infer_bounds(&wrapped1, &buf, &ctx).map_err(|why| {
+            SchedError::scheduling(format!(
+                "cannot infer the producer window of `{buf}` for fusion: {why}"
+            ))
+        })?;
+        let r = infer_bounds(&wrapped2, &buf, &ctx).map_err(|why| {
+            SchedError::scheduling(format!(
+                "cannot infer the consumer window of `{buf}` for fusion: {why}"
+            ))
+        })?;
         if w.dims.len() != r.dims.len() {
             return Err(SchedError::scheduling(format!(
                 "`{buf}` is accessed with different ranks in the two loops"

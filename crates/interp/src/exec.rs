@@ -156,6 +156,9 @@ pub struct Interpreter<'a> {
     configs: HashMap<(String, String), f64>,
     next_addr: u64,
     suppress: usize,
+    /// Monotone counter issuing a unique token per loop-statement
+    /// execution, reported via `Monitor::on_loop_enter`.
+    loop_seq: u64,
     frame_pool: Vec<Frame>,
 }
 
@@ -167,6 +170,7 @@ impl<'a> Interpreter<'a> {
             configs: HashMap::new(),
             next_addr: 0x1000,
             suppress: 0,
+            loop_seq: 0,
             frame_pool: Vec::new(),
         }
     }
@@ -865,11 +869,18 @@ impl<'a> Interpreter<'a> {
             }
             Stmt::Reduce { buf, idx, rhs } => {
                 let add = self.eval(rhs, env, monitor)?.as_float();
+                if self.suppress == 0 {
+                    monitor.on_reduce_begin();
+                }
                 let old = self.load(buf, idx, env, monitor)?;
                 if self.suppress == 0 {
                     monitor.on_scalar_op(BinOp::Add, DataType::F64);
                 }
-                self.store(buf, idx, old + add, env, monitor)
+                let r = self.store(buf, idx, old + add, env, monitor);
+                if self.suppress == 0 {
+                    monitor.on_reduce_end();
+                }
+                r
             }
             Stmt::Alloc {
                 name,
@@ -900,14 +911,20 @@ impl<'a> Interpreter<'a> {
             } => {
                 let lo = self.eval(lo, env, monitor)?.as_int()?;
                 let hi = self.eval(hi, env, monitor)?.as_int()?;
+                self.loop_seq += 1;
+                let instance = self.loop_seq;
                 for i in lo..hi {
                     if self.suppress == 0 {
                         monitor.on_loop_iter(*parallel);
+                        monitor.on_loop_enter(iter.name(), instance, i, *parallel);
                     }
                     env.push();
                     env.bind(iter.clone(), Binding::Scalar(Value::Int(i)));
                     let r = self.exec_block(body.stmts(), env, monitor);
                     env.pop();
+                    if self.suppress == 0 {
+                        monitor.on_loop_exit();
+                    }
                     r?;
                 }
                 Ok(())

@@ -29,6 +29,7 @@ mod exec;
 mod lower;
 mod monitor;
 mod registry;
+mod shadow;
 
 pub use buffer::{ArgValue, BufRef, BufferData, View};
 pub use error::InterpError;
@@ -38,6 +39,7 @@ pub use lower::{
 };
 pub use monitor::{CountingMonitor, Monitor, NullMonitor};
 pub use registry::ProcRegistry;
+pub use shadow::{Race, ShadowMonitor};
 
 /// Result alias for interpreter operations.
 pub type Result<T> = std::result::Result<T, InterpError>;

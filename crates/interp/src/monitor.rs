@@ -31,6 +31,29 @@ pub trait Monitor {
     /// A loop began one iteration.
     fn on_loop_iter(&mut self, _parallel: bool) {}
 
+    /// A loop iteration was entered, with the loop's iterator name, a
+    /// token unique to this *execution* of the loop statement (sibling
+    /// loops may share an iterator name; iterations of one execution share
+    /// the token), and the iteration's value. Emitted by the reference
+    /// walker only (the lowered path erases loop identity); pairs with
+    /// [`Monitor::on_loop_exit`]. Race detectors use the enclosing
+    /// (instance, value) stack to attribute a conflicting access pair to
+    /// the loop whose iterations conflict.
+    fn on_loop_enter(&mut self, _iter: &str, _instance: u64, _value: i64, _parallel: bool) {}
+
+    /// The loop iteration most recently opened by
+    /// [`Monitor::on_loop_enter`] finished. Reference walker only.
+    fn on_loop_exit(&mut self) {}
+
+    /// The destination read-modify-write of a `Reduce` statement is about
+    /// to execute: the read and write reported until
+    /// [`Monitor::on_reduce_end`] target the reduction destination (the
+    /// right-hand side has already been evaluated). Reference walker only.
+    fn on_reduce_begin(&mut self) {}
+
+    /// The `Reduce` destination read-modify-write finished.
+    fn on_reduce_end(&mut self) {}
+
     /// An `if` condition was evaluated.
     fn on_branch(&mut self) {}
 

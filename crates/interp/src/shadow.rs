@@ -1,0 +1,300 @@
+//! Shadow access logging: a [`Monitor`] that records every element access
+//! together with the stack of enclosing loop iterations, then searches the
+//! log for data races on parallel loops.
+//!
+//! This is the *dynamic* side of the static verifier in `exo-analysis`:
+//! `verify::check_proc` claims a parallel loop is race-free when distinct
+//! iterations provably touch distinct elements (or only commute through
+//! reductions). The shadow monitor checks the same property on a concrete
+//! execution: two accesses to the same address conflict when at least one
+//! is a write and they are not both reduction read-modify-writes; the
+//! conflict is a *race* when the innermost loop separating the two
+//! accesses (the first enclosing loop at which their iteration values
+//! differ) is parallel. The differential property test asserts that no
+//! statically-certified proc ever produces such a race.
+
+use crate::monitor::Monitor;
+use exo_ir::{BinOp, DataType, Mem, Proc};
+
+/// How an access touched memory.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+enum Kind {
+    Read,
+    Write,
+    /// Either half of a `Reduce` destination read-modify-write. Reductions
+    /// commute, so two `Reduce` accesses to the same address never race.
+    Reduce,
+}
+
+#[derive(Clone, Debug)]
+struct Event {
+    addr: u64,
+    kind: Kind,
+    /// Enclosing loop iterations, outermost first.
+    stack: Vec<Frame>,
+}
+
+#[derive(Clone, Debug, PartialEq, Eq)]
+struct Frame {
+    iter: String,
+    /// Unique token per loop-statement execution: sibling loops sharing an
+    /// iterator name get different tokens, iterations of one execution
+    /// share one.
+    instance: u64,
+    value: i64,
+    parallel: bool,
+}
+
+/// A data race found in the shadow log.
+#[derive(Clone, Debug)]
+pub struct Race {
+    /// The conflicting address.
+    pub addr: u64,
+    /// The parallel loop whose iterations conflict.
+    pub loop_iter: String,
+    /// The two iteration values that touched the address.
+    pub iterations: (i64, i64),
+}
+
+impl std::fmt::Display for Race {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "race on address {}: parallel loop `{}` iterations {} and {} conflict",
+            self.addr, self.loop_iter, self.iterations.0, self.iterations.1
+        )
+    }
+}
+
+/// A [`Monitor`] that logs every element access with its enclosing loop
+/// iteration stack (reference walker only) and reports data races on
+/// parallel loops after the run.
+#[derive(Debug, Default)]
+pub struct ShadowMonitor {
+    stack: Vec<Frame>,
+    reduce_depth: usize,
+    events: Vec<Event>,
+}
+
+impl ShadowMonitor {
+    /// A fresh monitor with an empty log.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Number of logged accesses.
+    pub fn len(&self) -> usize {
+        self.events.len()
+    }
+
+    /// Whether anything was logged.
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty()
+    }
+
+    fn record(&mut self, addr: u64, kind: Kind) {
+        let kind = if self.reduce_depth > 0 {
+            Kind::Reduce
+        } else {
+            kind
+        };
+        self.events.push(Event {
+            addr,
+            kind,
+            stack: self.stack.clone(),
+        });
+    }
+
+    /// Searches the log for parallel-loop data races.
+    ///
+    /// Two events conflict when they hit the same address, at least one is
+    /// a write, and they are not both reductions. A conflicting pair is a
+    /// race when the first enclosing loop (outermost-in) at which the two
+    /// stacks share the loop but differ in iteration value is parallel: a
+    /// parallel schedule may then execute the two accesses in either
+    /// order. Pairs separated first by a *sequential* loop are ordered by
+    /// that loop and cannot race.
+    pub fn races(&self) -> Vec<Race> {
+        let mut by_addr: std::collections::BTreeMap<u64, Vec<&Event>> =
+            std::collections::BTreeMap::new();
+        for e in &self.events {
+            by_addr.entry(e.addr).or_default().push(e);
+        }
+        let mut races = Vec::new();
+        for events in by_addr.values() {
+            for (i, a) in events.iter().enumerate() {
+                for b in events.iter().skip(i + 1) {
+                    if a.kind == Kind::Read && b.kind == Kind::Read {
+                        continue;
+                    }
+                    if a.kind == Kind::Reduce && b.kind == Kind::Reduce {
+                        continue;
+                    }
+                    if let Some(race) = race_between(a, b) {
+                        races.push(race);
+                    }
+                }
+            }
+        }
+        races
+    }
+}
+
+/// The loop that separates two events: walk the common prefix of the two
+/// iteration stacks; the first frame with the same loop but different
+/// values decides (parallel → race, sequential → ordered). Stacks that
+/// diverge structurally (different loops) are ordered by the program.
+fn race_between(a: &Event, b: &Event) -> Option<Race> {
+    for (fa, fb) in a.stack.iter().zip(b.stack.iter()) {
+        if fa.instance != fb.instance {
+            // Different loop executions (sibling loops, or inner loops
+            // re-entered from diverged outer iterations): ordered by the
+            // program, never the racing frame.
+            return None;
+        }
+        if fa.value != fb.value {
+            if fa.parallel {
+                return Some(Race {
+                    addr: a.addr,
+                    loop_iter: fa.iter.clone(),
+                    iterations: (fa.value, fb.value),
+                });
+            }
+            return None;
+        }
+    }
+    None
+}
+
+impl Monitor for ShadowMonitor {
+    fn on_read(&mut self, _mem: &Mem, addr: u64, _bytes: u64) {
+        self.record(addr, Kind::Read);
+    }
+
+    fn on_write(&mut self, _mem: &Mem, addr: u64, _bytes: u64) {
+        self.record(addr, Kind::Write);
+    }
+
+    fn on_loop_enter(&mut self, iter: &str, instance: u64, value: i64, parallel: bool) {
+        self.stack.push(Frame {
+            iter: iter.to_string(),
+            instance,
+            value,
+            parallel,
+        });
+    }
+
+    fn on_loop_exit(&mut self) {
+        self.stack.pop();
+    }
+
+    fn on_reduce_begin(&mut self) {
+        self.reduce_depth += 1;
+    }
+
+    fn on_reduce_end(&mut self) {
+        self.reduce_depth -= 1;
+    }
+
+    fn on_scalar_op(&mut self, _op: BinOp, _dt: DataType) {}
+
+    fn enter_call(&mut self, _proc: &Proc) -> bool {
+        false
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn frame(iter: &str, instance: u64, value: i64, parallel: bool) -> Frame {
+        Frame {
+            iter: iter.to_string(),
+            instance,
+            value,
+            parallel,
+        }
+    }
+
+    #[test]
+    fn write_write_on_parallel_loop_races() {
+        let mut m = ShadowMonitor::new();
+        m.on_loop_enter("i", 1, 0, true);
+        m.on_write(&Mem::Dram, 100, 4);
+        m.on_loop_exit();
+        m.on_loop_enter("i", 1, 1, true);
+        m.on_write(&Mem::Dram, 100, 4);
+        m.on_loop_exit();
+        let races = m.races();
+        assert_eq!(races.len(), 1);
+        assert_eq!(races[0].loop_iter, "i");
+    }
+
+    #[test]
+    fn sequential_loop_orders_conflicts() {
+        let mut m = ShadowMonitor::new();
+        m.on_loop_enter("i", 1, 0, false);
+        m.on_write(&Mem::Dram, 100, 4);
+        m.on_loop_exit();
+        m.on_loop_enter("i", 1, 1, false);
+        m.on_write(&Mem::Dram, 100, 4);
+        m.on_loop_exit();
+        assert!(m.races().is_empty());
+    }
+
+    #[test]
+    fn reductions_commute() {
+        let mut m = ShadowMonitor::new();
+        for i in 0..2 {
+            m.on_loop_enter("i", 1, i, true);
+            m.on_reduce_begin();
+            m.on_read(&Mem::Dram, 100, 4);
+            m.on_write(&Mem::Dram, 100, 4);
+            m.on_reduce_end();
+            m.on_loop_exit();
+        }
+        assert!(m.races().is_empty());
+        // But a plain read of the accumulator in another iteration races
+        // with the reduction's write.
+        m.on_loop_enter("i", 1, 2, true);
+        m.on_read(&Mem::Dram, 100, 4);
+        m.on_loop_exit();
+        assert!(!m.races().is_empty());
+    }
+
+    #[test]
+    fn disjoint_addresses_never_race() {
+        let mut m = ShadowMonitor::new();
+        m.on_loop_enter("i", 1, 0, true);
+        m.on_write(&Mem::Dram, 100, 4);
+        m.on_loop_exit();
+        m.on_loop_enter("i", 1, 1, true);
+        m.on_write(&Mem::Dram, 104, 4);
+        m.on_loop_exit();
+        assert!(m.races().is_empty());
+        assert_eq!(m.len(), 2);
+    }
+
+    #[test]
+    fn race_attribution_walks_the_common_prefix() {
+        let a = Event {
+            addr: 7,
+            kind: Kind::Write,
+            stack: vec![frame("o", 1, 3, false), frame("i", 2, 0, true)],
+        };
+        let b = Event {
+            addr: 7,
+            kind: Kind::Write,
+            stack: vec![frame("o", 1, 3, false), frame("i", 2, 2, true)],
+        };
+        let r = race_between(&a, &b).expect("differs at the parallel frame");
+        assert_eq!(r.loop_iter, "i");
+        // Same events but separated first by the sequential outer loop.
+        let c = Event {
+            addr: 7,
+            kind: Kind::Write,
+            stack: vec![frame("o", 1, 4, false), frame("i", 3, 0, true)],
+        };
+        assert!(race_between(&a, &c).is_none());
+    }
+}

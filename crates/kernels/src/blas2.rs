@@ -4,6 +4,10 @@ use crate::Precision;
 use exo_ir::{ib, read, var, Expr, Mem, Proc, ProcBuilder};
 
 fn mat_base(name: String, prec: Precision) -> ProcBuilder {
+    mat_base_y(name, prec, var("M"))
+}
+
+fn mat_base_y(name: String, prec: Precision, y_extent: Expr) -> ProcBuilder {
     ProcBuilder::new(name)
         .size_arg("M")
         .size_arg("N")
@@ -13,7 +17,7 @@ fn mat_base(name: String, prec: Precision) -> ProcBuilder {
         .assert_(Expr::bin(exo_ir::BinOp::Ge, var("N"), ib(8)))
         .tensor_arg("A", prec.dtype(), vec![var("M"), var("N")], Mem::Dram)
         .tensor_arg("x", prec.dtype(), vec![var("N")], Mem::Dram)
-        .tensor_arg("y", prec.dtype(), vec![var("M")], Mem::Dram)
+        .tensor_arg("y", prec.dtype(), vec![y_extent], Mem::Dram)
 }
 
 /// Matrix-vector multiply. `transpose = false` gives `y += A x`
@@ -21,13 +25,13 @@ fn mat_base(name: String, prec: Precision) -> ProcBuilder {
 /// roles of the vector arguments follow the paper's `gemv_t` convention.
 pub fn gemv(prec: Precision, transpose: bool) -> Proc {
     let suffix = if transpose { "t" } else { "n" };
-    let b = mat_base(format!("{}gemv_{suffix}", prec.prefix()), prec);
+    let y_extent = if transpose { var("N") } else { var("M") };
+    let b = mat_base_y(format!("{}gemv_{suffix}", prec.prefix()), prec, y_extent);
     if transpose {
         b.for_("i", ib(0), var("M"), |b| {
             b.for_("j", ib(0), var("N"), |b| {
-                // y here has length N in the transposed case; we reuse the
-                // M-length convention by requiring M == N for simplicity of
-                // the shared harness (documented in EXPERIMENTS.md).
+                // y has length N in the transposed case: `y += Aᵀ x` with
+                // A of shape [M, N] accumulates into index `j`.
                 b.reduce(
                     "y",
                     vec![var("j")],

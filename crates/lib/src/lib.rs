@@ -37,8 +37,8 @@ pub mod vectorize;
 pub use gemm::optimize_sgemm;
 pub use gemmini::gemmini_schedule;
 pub use halide::{halide_blur_schedule, halide_unsharp_schedule};
-pub use level1::optimize_level_1;
-pub use level2::optimize_level_2_general;
+pub use level1::{optimize_all_level_1, optimize_level_1};
+pub use level2::{optimize_all_level_2, optimize_level_2_general};
 pub use record::{
     apply_script, apply_step, schedule_of_record, LoopSel, SchedStep, ScheduleScript,
 };

@@ -1,8 +1,8 @@
 #!/usr/bin/env bash
 # Guards the bugfix contract of the cursors / ir::expr / machine::isa
-# library code — and the whole exo-codegen crate — no
-# panic!/unreachable!/todo!/unwrap()/expect() on any reachable library
-# path. Only the library portion of each file is scanned (everything
+# library code — and the whole exo-codegen, exo-autotune and
+# exo-analysis crates — no panic!/unreachable!/todo!/unwrap()/expect()
+# on any reachable library path. Only the library portion of each file is scanned (everything
 # before its `#[cfg(test)]` module); doc-comment and comment lines are
 # ignored.
 set -euo pipefail
@@ -24,7 +24,16 @@ FILES=(
   crates/autotune/src/lib.rs
   crates/autotune/src/space.rs
   crates/autotune/src/measure.rs
+  crates/autotune/src/prune.rs
   crates/lib/src/record.rs
+  crates/analysis/src/bounds.rs
+  crates/analysis/src/checks.rs
+  crates/analysis/src/context.rs
+  crates/analysis/src/effects.rs
+  crates/analysis/src/lib.rs
+  crates/analysis/src/linear.rs
+  crates/analysis/src/simplify.rs
+  crates/analysis/src/verify.rs
 )
 
 status=0
@@ -67,4 +76,4 @@ if [ "$status" -ne 0 ]; then
   echo "error: panicking constructs found on library paths (see above)" >&2
   exit 1
 fi
-echo "ok: no panic!/unwrap/expect on library paths in cursors, ir::expr, machine::isa, codegen, autotune, lib::record"
+echo "ok: no panic!/unwrap/expect on library paths in cursors, ir::expr, machine::isa, codegen, autotune, lib::record, analysis"
