@@ -788,14 +788,7 @@ impl Checker<'_> {
 
     /// Proves `min(e) >= 0`; on failure distinguishes provably negative
     /// from unprovable.
-    fn check_ge_zero(
-        &mut self,
-        e: &Expr,
-        path: &[Step],
-        ctx: &Context,
-        buf: &Sym,
-        what: &str,
-    ) {
+    fn check_ge_zero(&mut self, e: &Expr, path: &[Step], ctx: &Context, buf: &Sym, what: &str) {
         if let Some(mn) = extremize(e, ctx, false) {
             if prove_le(&ib(0), &mn, ctx) {
                 return;

@@ -148,6 +148,10 @@ pub struct TuneReport {
     pub record_cycles: Option<u64>,
     /// How many candidates were wall-clock measured.
     pub measured: usize,
+    /// Per-candidate measurement errors `(rank index, message)` — failed
+    /// compiles, timed-out binaries, and *caught worker panics* (a
+    /// panicking candidate must surface here, never kill the batch).
+    pub measure_errors: Vec<(usize, String)>,
     /// Spearman rank correlation between simulated cycles and measured
     /// nanoseconds over the measured set (≥ 3 samples), else `None`.
     pub fidelity: Option<f64>,
@@ -334,6 +338,7 @@ pub fn tune(task: &TuneTask, cfg: &TuneConfig) -> Result<TuneReport, String> {
         .collect();
 
     let mut measured = 0usize;
+    let mut measure_errors: Vec<(usize, String)> = Vec::new();
     let mut fidelity = None;
     if cfg.measure {
         let k = cfg.top_k.min(survivors.len());
@@ -342,8 +347,11 @@ pub fn tune(task: &TuneTask, cfg: &TuneConfig) -> Result<TuneReport, String> {
             .map(|(_, p, cycles)| (p.proc().clone(), *cycles))
             .collect();
         let times = measure::measure_batch(&batch, &task.machine, cfg.input_seed, cfg.threads);
-        for (cand, ns) in candidates.iter_mut().zip(&times) {
-            cand.measured_ns = *ns;
+        for (i, (cand, m)) in candidates.iter_mut().zip(&times).enumerate() {
+            cand.measured_ns = m.nanos();
+            if let Some(err) = m.error() {
+                measure_errors.push((i, err.to_string()));
+            }
         }
         let pairs: Vec<(f64, f64)> = candidates
             .iter()
@@ -374,6 +382,7 @@ pub fn tune(task: &TuneTask, cfg: &TuneConfig) -> Result<TuneReport, String> {
         baseline_cycles,
         record_cycles,
         measured,
+        measure_errors,
         fidelity,
         flops: task.flops,
         throughput: sampled as f64 / elapsed_secs.max(1e-9),

@@ -7,14 +7,56 @@
 //! used deliberately: it runs on any build host, and the quantity the
 //! fidelity report needs is the *ranking* agreement between simulated
 //! cycles and measured time, which portable C already exercises.
+//!
+//! Robustness: timing binaries run under [`exo_guard::run_guarded`]
+//! (hard wall-clock limit, kill-on-timeout), and each candidate is
+//! measured under `catch_unwind` so a panic in emission or measurement
+//! of one candidate surfaces as [`Measurement::Panicked`] for *that
+//! candidate* instead of unwinding the worker scope and killing the
+//! whole batch.
 
 use exo_codegen::difftest::{cc_available, compile, synth_inputs, SynthArg};
 use exo_codegen::{emit_c, CodegenOptions};
+use exo_guard::{panic_message, run_guarded, GuardConfig};
 use exo_interp::ProcRegistry;
 use exo_ir::{DataType, Proc};
 use exo_machine::MachineModel;
+use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Mutex;
+use std::time::Duration;
+
+/// The outcome of measuring one candidate.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Measurement {
+    /// Mean nanoseconds per call.
+    Nanos(f64),
+    /// Measurement failed cleanly (compile error, timeout, bad output).
+    Failed(String),
+    /// Measurement *panicked*; the payload is the panic message. The
+    /// worker survived and went on to the next candidate.
+    Panicked(String),
+    /// Measurement was not attempted (no C compiler on `PATH`).
+    Unavailable,
+}
+
+impl Measurement {
+    /// The measured nanoseconds, when measurement succeeded.
+    pub fn nanos(&self) -> Option<f64> {
+        match self {
+            Measurement::Nanos(ns) => Some(*ns),
+            _ => None,
+        }
+    }
+
+    /// The error message, when measurement failed or panicked.
+    pub fn error(&self) -> Option<&str> {
+        match self {
+            Measurement::Failed(msg) | Measurement::Panicked(msg) => Some(msg),
+            _ => None,
+        }
+    }
+}
 
 /// Emits a `main` that initializes the synthesized inputs, warms the
 /// kernel once, then times `reps` back-to-back calls with
@@ -102,6 +144,12 @@ fn reps_for(cycles: u64) -> u64 {
     (20_000_000 / cycles.max(1)).clamp(3, 5_000)
 }
 
+/// Supervision policy for timing binaries: a bounded repetition loop
+/// should finish in well under a minute; past that it is hung.
+fn run_guard() -> GuardConfig {
+    GuardConfig::with_timeout(Duration::from_secs(60))
+}
+
 /// Measures one already-scheduled procedure: emit, compile, run, parse.
 fn measure_one(
     proc: &Proc,
@@ -114,20 +162,21 @@ fn measure_one(
     let inputs = synth_inputs(proc, input_seed)?;
     let driver = emit_timing_driver(&unit.code, proc, &inputs, reps_for(cycles));
     let bin = compile(&driver, &unit.cflags, proc.name())?;
-    let output = std::process::Command::new(&bin)
-        .output()
-        .map_err(|e| format!("cannot run {}: {e}", bin.display()))?;
+    let mut cmd = std::process::Command::new(&bin);
+    let output = run_guarded(&mut cmd, &run_guard());
     if let Some(dir) = bin.parent() {
         let _ = std::fs::remove_dir_all(dir);
     }
-    if !output.status.success() {
+    let output = output.map_err(|e| format!("running {}: {e}", bin.display()))?;
+    if !output.success {
         return Err(format!(
-            "timing binary for `{}` exited with {}",
+            "timing binary for `{}` exited with {:?}",
             proc.name(),
-            output.status
+            output.code
         ));
     }
-    String::from_utf8_lossy(&output.stdout)
+    output
+        .stdout_lossy()
         .trim()
         .parse::<f64>()
         .map_err(|e| format!("bad timing output for `{}`: {e}", proc.name()))
@@ -135,40 +184,78 @@ fn measure_one(
 
 /// Measures a batch of scheduled procedures in parallel worker threads
 /// (each worker compiles and times its own candidates; `cc` processes
-/// dominate, so the workers overlap well). Returns per-candidate mean
-/// nanoseconds, `None` where measurement failed; all-`None` when no C
-/// compiler is available.
+/// dominate, so the workers overlap well). Returns one [`Measurement`]
+/// per candidate, in order; all-[`Measurement::Unavailable`] when no C
+/// compiler is on `PATH`.
 ///
 /// Workers build their own [`ProcRegistry`] from `machine` — the
-/// registry's lowering cache is single-threaded by design (`Rc`).
+/// registry's lowering cache is single-threaded by design (`Rc`). A
+/// candidate whose measurement panics is reported as
+/// [`Measurement::Panicked`] (the worker rebuilds its registry, whose
+/// internal cache the unwind may have left mid-update, and continues).
 pub fn measure_batch(
     procs: &[(Proc, u64)],
     machine: &MachineModel,
     input_seed: u64,
     threads: usize,
-) -> Vec<Option<f64>> {
+) -> Vec<Measurement> {
     if !cc_available() || procs.is_empty() {
-        return vec![None; procs.len()];
+        return vec![Measurement::Unavailable; procs.len()];
     }
+    measure_batch_impl(procs, machine, threads, &|registry, _i, proc, cycles| {
+        measure_one(proc, registry, input_seed, cycles)
+    })
+}
+
+/// Per-candidate runner injected into [`measure_batch_impl`]:
+/// `(registry, index, proc, simulated_cycles) -> ns or error`.
+pub(crate) type CandidateRunner<'a> =
+    &'a (dyn Fn(&ProcRegistry, usize, &Proc, u64) -> Result<f64, String> + Sync);
+
+/// The worker-pool core of [`measure_batch`] with an injectable
+/// per-candidate runner, so the panic-isolation contract is testable
+/// without a C toolchain.
+pub(crate) fn measure_batch_impl(
+    procs: &[(Proc, u64)],
+    machine: &MachineModel,
+    threads: usize,
+    runner: CandidateRunner<'_>,
+) -> Vec<Measurement> {
     let next = AtomicUsize::new(0);
-    let results: Vec<Mutex<Option<f64>>> = procs.iter().map(|_| Mutex::new(None)).collect();
-    let workers = threads.clamp(1, procs.len());
+    let results: Vec<Mutex<Measurement>> = procs
+        .iter()
+        .map(|_| Mutex::new(Measurement::Unavailable))
+        .collect();
+    let workers = threads.clamp(1, procs.len().max(1));
     std::thread::scope(|scope| {
         for _ in 0..workers {
             scope.spawn(|| {
-                let registry: ProcRegistry =
-                    machine.instructions(DataType::F32).into_iter().collect();
+                let build_registry = || -> ProcRegistry {
+                    machine.instructions(DataType::F32).into_iter().collect()
+                };
+                let mut registry = build_registry();
                 loop {
                     let i = next.fetch_add(1, Ordering::Relaxed);
                     if i >= procs.len() {
                         break;
                     }
                     let (proc, cycles) = &procs[i];
-                    let measured = match measure_one(proc, &registry, input_seed, *cycles) {
-                        Ok(ns) => Some(ns),
-                        Err(e) => {
+                    let outcome =
+                        catch_unwind(AssertUnwindSafe(|| runner(&registry, i, proc, *cycles)));
+                    let measured = match outcome {
+                        Ok(Ok(ns)) => Measurement::Nanos(ns),
+                        Ok(Err(e)) => {
                             eprintln!("autotune: measurement of candidate {i} failed: {e}");
-                            None
+                            Measurement::Failed(e)
+                        }
+                        Err(payload) => {
+                            // The unwind may have interrupted the
+                            // registry's lowering cache mid-update;
+                            // rebuild it before the next candidate.
+                            let msg = panic_message(payload.as_ref());
+                            eprintln!("autotune: measurement of candidate {i} panicked: {msg}");
+                            registry = build_registry();
+                            Measurement::Panicked(msg)
                         }
                     };
                     if let Ok(mut slot) = results[i].lock() {
@@ -180,6 +267,60 @@ pub fn measure_batch(
     });
     results
         .into_iter()
-        .map(|m| m.into_inner().unwrap_or(None))
+        .map(|m| match m.into_inner() {
+            Ok(measurement) => measurement,
+            // A poisoned slot means the *store* itself was interrupted;
+            // report it rather than silently dropping the candidate.
+            Err(poisoned) => poisoned.into_inner(),
+        })
         .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use exo_kernels::{scal, Precision};
+    use exo_machine::MachineModel;
+
+    fn batch_of(n: usize) -> Vec<(Proc, u64)> {
+        (0..n).map(|_| (scal(Precision::Single), 100u64)).collect()
+    }
+
+    #[test]
+    fn a_panicking_candidate_is_isolated_not_fatal() {
+        let machine = MachineModel::scalar();
+        let procs = batch_of(4);
+        // Candidate 2 panics; the batch must still yield all four
+        // results, with the panic surfaced on exactly that candidate.
+        let results = measure_batch_impl(&procs, &machine, 2, &|_reg, i, _proc, _cycles| {
+            if i == 2 {
+                std::panic::panic_any("boom in candidate 2".to_string());
+            }
+            Ok(i as f64)
+        });
+        assert_eq!(results.len(), 4);
+        assert_eq!(results[0], Measurement::Nanos(0.0));
+        assert_eq!(results[1], Measurement::Nanos(1.0));
+        assert_eq!(
+            results[2],
+            Measurement::Panicked("boom in candidate 2".to_string()),
+            "the panic must be surfaced with its payload, not swallowed"
+        );
+        assert_eq!(results[3], Measurement::Nanos(3.0));
+    }
+
+    #[test]
+    fn failures_carry_their_message() {
+        let machine = MachineModel::scalar();
+        let procs = batch_of(2);
+        let results = measure_batch_impl(&procs, &machine, 1, &|_reg, i, _proc, _cycles| {
+            if i == 0 {
+                Err("cc said no".to_string())
+            } else {
+                Ok(42.0)
+            }
+        });
+        assert_eq!(results[0], Measurement::Failed("cc said no".to_string()));
+        assert_eq!(results[1], Measurement::Nanos(42.0));
+    }
 }

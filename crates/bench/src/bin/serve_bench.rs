@@ -1,0 +1,306 @@
+//! Service harness: throughput, cache effectiveness and fault recovery
+//! of the `exo-serve` kernel-compilation service under a deterministic
+//! fault-injection soak.
+//!
+//! The workload cycles a fixed set of `(kernel, tier, seed)` request
+//! shapes (so the run exercises fresh computes, cache hits, coalescing
+//! and negative hits) while a seeded [`FaultPlan`] injects hung
+//! compilers, missing compilers, hung binaries, worker panics and cache
+//! corruption into ≥10% of the requests. The harness asserts the
+//! service's robustness invariants and records the counters.
+//!
+//! Modes:
+//!
+//! * (default) — 600-request soak, writes `BENCH_service.json` at the
+//!   repo root.
+//! * `--smoke` — 200-request soak, writes nothing (the CI gate).
+//!
+//! Both modes enforce the same gates: every request resolves (zero
+//! hangs — an outer watchdog aborts the process if the soak wedges),
+//! every response is classified, every worker survives (zero escaped
+//! panics), at least one injected hang is killed on timeout and at
+//! least one injected panic is recovered. Regenerate the checked-in
+//! JSON with:
+//!
+//! ```text
+//! cargo run --release -p exo-bench --bin serve_bench
+//! ```
+
+use exo_codegen::difftest::cc_available;
+use exo_kernels::{axpy, dot, scal, Precision};
+use exo_lib::ScheduleScript;
+use exo_machine::MachineKind;
+use exo_serve::proc_guard::GuardConfig;
+use exo_serve::{
+    Fault, FaultPlan, KernelService, ServeConfig, ServeOptions, ServeRequest, StatsSnapshot, Tier,
+};
+use std::collections::BTreeMap;
+use std::time::{Duration, Instant};
+
+fn fail(msg: &str) -> ! {
+    eprintln!("FATAL: {msg}");
+    std::process::exit(1);
+}
+
+const FAULT_SEED: u64 = 0x5E17E;
+const FAULT_PERCENT: u64 = 12;
+
+/// The soak's service configuration: guard timeouts short enough that
+/// injected hangs cost ~1.5s each, a negative TTL short enough that
+/// quarantined keys recover within the run.
+fn soak_config(requests: u64) -> ServeConfig {
+    // Hand-plant one fault of every kind on top of the seeded stream,
+    // so every injection path fires regardless of where the seed lands.
+    // The cc/binary faults sit at native-tier indices (multiples of 3
+    // below) with pairwise-distinct request keys, so each lands on a
+    // fresh compute rather than a cache hit.
+    let plan = FaultPlan::seeded(FAULT_SEED, requests, FAULT_PERCENT)
+        .with(0, Fault::CcHang)
+        .with(1, Fault::WorkerPanic)
+        .with(2, Fault::CacheCorruption)
+        .with(3, Fault::CcMissing)
+        .with(6, Fault::BinaryHang);
+    ServeConfig {
+        workers: 4,
+        queue_cap: 2048,
+        compile_guard: GuardConfig {
+            spawn_retries: 1,
+            backoff_base: Duration::from_millis(1),
+            ..GuardConfig::with_timeout(Duration::from_millis(1500))
+        },
+        run_guard: GuardConfig::with_timeout(Duration::from_millis(1500)),
+        negative_ttl: Duration::from_millis(200),
+        fault_plan: plan,
+    }
+}
+
+struct SoakOutcome {
+    requests: u64,
+    planned_faults: u64,
+    elapsed: Duration,
+    classes: BTreeMap<&'static str, u64>,
+    tiers: BTreeMap<&'static str, u64>,
+    degrade_reasons: BTreeMap<&'static str, u64>,
+    stats: StatsSnapshot,
+}
+
+fn run_soak(requests: u64) -> SoakOutcome {
+    let cfg = soak_config(requests);
+    let planned_faults = cfg.fault_plan.len() as u64;
+    if planned_faults * 10 < requests {
+        fail(&format!(
+            "fault plan covers {planned_faults}/{requests} requests, below the 10% floor"
+        ));
+    }
+    let have_cc = cc_available();
+    if !have_cc {
+        eprintln!("notice: no C compiler on PATH; native tiers degrade to interp");
+    }
+    let service = KernelService::new(cfg);
+    let kernels = [
+        scal(Precision::Single),
+        axpy(Precision::Single),
+        dot(Precision::Single),
+    ];
+    let t0 = Instant::now();
+    let tickets: Vec<_> = (0..requests)
+        .map(|i| {
+            let tier = if i % 3 == 0 {
+                Tier::NativeRun
+            } else if i % 3 == 1 {
+                Tier::Interp
+            } else {
+                Tier::VerifiedIr
+            };
+            service.submit(ServeRequest {
+                proc: kernels[(i % 3) as usize].clone(),
+                script: ScheduleScript::new(vec![]),
+                target: MachineKind::Scalar,
+                options: ServeOptions {
+                    tier,
+                    input_seed: 1 + (i % 4),
+                    ..ServeOptions::default()
+                },
+            })
+        })
+        .collect();
+
+    let mut classes: BTreeMap<&'static str, u64> = BTreeMap::new();
+    let mut tiers: BTreeMap<&'static str, u64> = BTreeMap::new();
+    let mut degrade_reasons: BTreeMap<&'static str, u64> = BTreeMap::new();
+    for (i, t) in tickets.into_iter().enumerate() {
+        let Some(d) = t.wait_timeout(Duration::from_secs(120)) else {
+            fail(&format!("request {i} hung (no response in 120s)"));
+        };
+        match &d.result {
+            Ok(ok) => {
+                *classes.entry("ok").or_insert(0) += 1;
+                *tiers.entry(ok.tier.name()).or_insert(0) += 1;
+                for deg in &ok.degraded {
+                    *degrade_reasons.entry(deg.reason.name()).or_insert(0) += 1;
+                }
+            }
+            Err(e) => *classes.entry(e.class()).or_insert(0) += 1,
+        }
+    }
+    let elapsed = t0.elapsed();
+    let stats = service.stats();
+
+    // Robustness gates. These hold with or without a C toolchain except
+    // the kill-on-timeout gate, which needs the native tier to be taken.
+    let classified: u64 = classes.values().sum();
+    if classified != requests {
+        fail(&format!("{classified}/{requests} responses classified"));
+    }
+    if service.workers_alive() != 4 {
+        fail(&format!(
+            "{} of 4 workers alive: a panic escaped isolation",
+            service.workers_alive()
+        ));
+    }
+    if stats.panics_recovered == 0 {
+        fail("no injected worker panic was recovered");
+    }
+    if have_cc && stats.guard_timeouts == 0 {
+        fail("no injected hang was killed on timeout");
+    }
+    if stats.cache_hits + stats.coalesced < requests / 2 {
+        fail(&format!(
+            "cache served only {} of {requests} repeated requests",
+            stats.cache_hits + stats.coalesced
+        ));
+    }
+    service.shutdown();
+    SoakOutcome {
+        requests,
+        planned_faults,
+        elapsed,
+        classes,
+        tiers,
+        degrade_reasons,
+        stats,
+    }
+}
+
+fn print_outcome(o: &SoakOutcome) {
+    let s = &o.stats;
+    println!(
+        "  serve  {:>4} requests in {:>6.2}s  ({:>7.1} req/s)  {} faults planned",
+        o.requests,
+        o.elapsed.as_secs_f64(),
+        o.requests as f64 / o.elapsed.as_secs_f64().max(1e-9),
+        o.planned_faults
+    );
+    println!(
+        "         computed {:>3}  hits {:>3}  coalesced {:>3}  negative {:>3}  hit-rate {:.0}%",
+        s.computed,
+        s.cache_hits,
+        s.coalesced,
+        s.negative_hits,
+        100.0 * (s.cache_hits + s.coalesced) as f64 / o.requests.max(1) as f64
+    );
+    println!(
+        "         timeouts killed {:>2}  panics recovered {:>2}  corruption injected/recovered {}/{}  degradations {:>2}",
+        s.guard_timeouts,
+        s.panics_recovered,
+        s.corruptions_injected,
+        s.corruptions_recovered,
+        s.degradations
+    );
+    let fmt_map = |m: &BTreeMap<&'static str, u64>| -> String {
+        m.iter()
+            .map(|(k, v)| format!("{k}={v}"))
+            .collect::<Vec<_>>()
+            .join(" ")
+    };
+    println!("         classes: {}", fmt_map(&o.classes));
+    println!("         tiers:   {}", fmt_map(&o.tiers));
+    if !o.degrade_reasons.is_empty() {
+        println!("         degrade: {}", fmt_map(&o.degrade_reasons));
+    }
+}
+
+fn json_map(m: &BTreeMap<&'static str, u64>) -> String {
+    let fields: Vec<String> = m.iter().map(|(k, v)| format!("\"{k}\": {v}")).collect();
+    format!("{{ {} }}", fields.join(", "))
+}
+
+fn json(o: &SoakOutcome) -> String {
+    let s = &o.stats;
+    let mut out = String::from("{\n");
+    out.push_str("  \"generated_by\": \"cargo run --release -p exo-bench --bin serve_bench\",\n");
+    out.push_str(&format!(
+        "  \"requests\": {}, \"fault_seed\": {FAULT_SEED}, \"fault_percent\": {FAULT_PERCENT}, \
+         \"planned_faults\": {},\n",
+        o.requests, o.planned_faults
+    ));
+    out.push_str(
+        "  \"unit\": \"requests_per_sec = submitted requests over soak wall time (injected \
+         hangs included); hit_rate = (cache_hits + coalesced) / requests; faults are injected \
+         deterministically from the seeded plan\",\n",
+    );
+    out.push_str(&format!(
+        "  \"elapsed_secs\": {:.3}, \"requests_per_sec\": {:.1}, \"hit_rate\": {:.3},\n",
+        o.elapsed.as_secs_f64(),
+        o.requests as f64 / o.elapsed.as_secs_f64().max(1e-9),
+        (s.cache_hits + s.coalesced) as f64 / o.requests.max(1) as f64
+    ));
+    out.push_str(&format!(
+        "  \"stats\": {{ \"computed\": {}, \"cache_hits\": {}, \"coalesced\": {}, \
+         \"negative_hits\": {}, \"overloaded\": {}, \"compiles\": {}, \"binary_runs\": {}, \
+         \"interp_runs\": {}, \"degradations\": {}, \"guard_timeouts\": {}, \
+         \"panics_recovered\": {}, \"corruptions_injected\": {}, \"corruptions_recovered\": {} }},\n",
+        s.computed,
+        s.cache_hits,
+        s.coalesced,
+        s.negative_hits,
+        s.overloaded,
+        s.compiles,
+        s.binary_runs,
+        s.interp_runs,
+        s.degradations,
+        s.guard_timeouts,
+        s.panics_recovered,
+        s.corruptions_injected,
+        s.corruptions_recovered
+    ));
+    out.push_str(&format!("  \"classes\": {},\n", json_map(&o.classes)));
+    out.push_str(&format!("  \"tiers\": {},\n", json_map(&o.tiers)));
+    out.push_str(&format!(
+        "  \"degrade_reasons\": {}\n",
+        json_map(&o.degrade_reasons)
+    ));
+    out.push_str("}\n");
+    out
+}
+
+fn main() {
+    let smoke = std::env::args().any(|a| a == "--smoke");
+
+    // Outer watchdog: the soak's own per-ticket deadlines should make a
+    // hang impossible, but the gate must hold even if the service itself
+    // wedges — after 8 minutes the whole process is aborted.
+    std::thread::spawn(|| {
+        std::thread::sleep(Duration::from_secs(480));
+        eprintln!("FATAL: watchdog: soak did not complete within 480s");
+        std::process::exit(3);
+    });
+
+    let requests = if smoke { 200 } else { 600 };
+    println!(
+        "serve_bench: {} soak, {requests} requests, ≥{FAULT_PERCENT}% injected faults",
+        if smoke { "smoke" } else { "full" }
+    );
+    let outcome = run_soak(requests);
+    print_outcome(&outcome);
+
+    if smoke {
+        println!("serve_bench --smoke: all robustness gates passed");
+        return;
+    }
+    let path = "BENCH_service.json";
+    if let Err(e) = std::fs::write(path, json(&outcome)) {
+        fail(&format!("cannot write {path}: {e}"));
+    }
+    println!("wrote {path}");
+}

@@ -121,6 +121,9 @@ fn print_report(r: &TuneReport) {
                 .map_or("n/a (<3 samples)".to_string(), |f| format!("{f:.2}")),
         );
     }
+    for (i, err) in &r.measure_errors {
+        println!("         {:<10} measure error on candidate {i}: {err}", "");
+    }
 }
 
 fn json_escape(s: &str) -> String {

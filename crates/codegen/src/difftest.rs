@@ -14,6 +14,7 @@
 //! CI always has `cc`, so the check cannot rot silently there.
 
 use crate::{emit_c, CUnit, CodegenOptions};
+use exo_guard::{run_guarded, GuardConfig};
 use exo_interp::{ArgValue, Interpreter, NullMonitor, ProcRegistry};
 use exo_ir::{ArgKind, BinOp, DataType, Expr, Proc, UnOp};
 use std::collections::BTreeMap;
@@ -21,6 +22,19 @@ use std::io::Write as _;
 use std::process::Command;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::OnceLock;
+use std::time::Duration;
+
+/// Supervision policy for `cc` invocations: generous wall-clock limit
+/// (optimizing large units is slow under load), bounded diagnostics.
+fn compile_guard() -> GuardConfig {
+    GuardConfig::with_timeout(Duration::from_secs(120))
+}
+
+/// Supervision policy for running compiled test binaries: these print a
+/// bounded tensor dump and exit, so a minute of wall clock means a hang.
+fn run_guard() -> GuardConfig {
+    GuardConfig::with_timeout(Duration::from_secs(60))
+}
 
 /// One synthesized argument, aligned with the procedure's signature.
 #[derive(Clone, Debug)]
@@ -85,11 +99,16 @@ impl Rng {
 pub fn cc_available() -> bool {
     static AVAILABLE: OnceLock<bool> = OnceLock::new();
     *AVAILABLE.get_or_init(|| {
-        Command::new("cc")
-            .arg("--version")
-            .output()
-            .map(|o| o.status.success())
-            .unwrap_or(false)
+        // Probe under supervision: a wedged compiler wrapper would
+        // otherwise hang every difftest at the very first check.
+        let mut cmd = Command::new("cc");
+        cmd.arg("--version");
+        run_guarded(
+            &mut cmd,
+            &GuardConfig::with_timeout(Duration::from_secs(15)),
+        )
+        .map(|o| o.success)
+        .unwrap_or(false)
     })
 }
 
@@ -353,13 +372,14 @@ pub fn compile(
     if link {
         cmd.arg("-lm");
     }
-    let output = cmd.output().map_err(|e| format!("cannot run cc: {e}"))?;
-    if !output.status.success() {
+    let output =
+        run_guarded(&mut cmd, &compile_guard()).map_err(|e| format!("cannot run cc: {e}"))?;
+    if !output.success {
         return Err(format!(
-            "cc -O2 -Wall -Werror failed on {} ({}):\n{}",
+            "cc -O2 -Wall -Werror failed on {} (exit {:?}):\n{}",
             src.display(),
-            output.status,
-            String::from_utf8_lossy(&output.stderr)
+            output.code,
+            output.stderr_lossy()
         ));
     }
     Ok(bin)
@@ -376,13 +396,13 @@ pub fn compile_check(unit: &CUnit, tag: &str) -> Result<(), String> {
 }
 
 fn run_binary(bin: &std::path::Path) -> Result<String, String> {
-    let output = Command::new(bin)
-        .output()
+    let mut cmd = Command::new(bin);
+    let output = run_guarded(&mut cmd, &run_guard())
         .map_err(|e| format!("cannot run {}: {e}", bin.display()))?;
-    if !output.status.success() {
-        return Err(format!("{} exited with {}", bin.display(), output.status));
+    if !output.success {
+        return Err(format!("{} exited with {:?}", bin.display(), output.code));
     }
-    Ok(String::from_utf8_lossy(&output.stdout).into_owned())
+    Ok(output.stdout_lossy())
 }
 
 /// Tolerance for comparing one element of a buffer of the given type:

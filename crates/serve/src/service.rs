@@ -1,0 +1,732 @@
+//! The kernel-compilation service: a bounded queue, a worker pool, and a
+//! per-request pipeline (replay → verify → emit → execute) in which every
+//! external effect is supervised and every failure is a classified value.
+//!
+//! Robustness is the load-bearing design, in layers:
+//!
+//! * **backpressure** — the request queue is bounded; a full queue sheds
+//!   the new request with [`ServeError::Overloaded`] instead of growing;
+//! * **fault isolation** — each request runs under `catch_unwind`; a
+//!   panicking schedule replay or lowering bug yields
+//!   [`ServeError::Internal`] (with the panic payload), the worker
+//!   survives, and the offending key is quarantined in the negative
+//!   cache so retries cannot stampede a crashing path;
+//! * **supervised subprocesses** — `cc` and generated binaries run under
+//!   [`exo_guard::run_guarded`]: hard timeouts, kill-on-timeout, bounded
+//!   capture, spawn retry with backoff;
+//! * **graceful degradation** — when a tier's prerequisites fail the
+//!   service steps down the ladder native-run → compile-only → interp →
+//!   verified-IR, recording every step and its reason in the response.
+
+use crate::cache::{payload_checksum, Admission, Fnv, ResultCache};
+use crate::fault::{Fault, FaultPlan};
+use crate::types::{
+    CacheStatus, Degradation, DegradeReason, Delivery, ExecSummary, ServeError, ServeOk,
+    ServeRequest, ServeResult, Tier,
+};
+use exo_analysis::{check_proc, Severity};
+use exo_codegen::difftest::{emit_driver, interp_outputs, synth_inputs};
+use exo_codegen::{emit_c, CUnit, CodegenOptions};
+use exo_cursors::ProcHandle;
+use exo_guard::{panic_message, run_guarded, GuardConfig};
+use exo_interp::ProcRegistry;
+use exo_lib::apply_script;
+use exo_machine::{MachineKind, MachineModel};
+use std::collections::VecDeque;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::path::PathBuf;
+use std::process::Command;
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::sync::mpsc::{channel, Receiver};
+use std::sync::{Arc, Condvar, Mutex};
+use std::time::Duration;
+
+/// Service configuration.
+#[derive(Clone, Debug)]
+pub struct ServeConfig {
+    /// Worker threads processing requests.
+    pub workers: usize,
+    /// Bounded queue capacity; submissions beyond it are shed with
+    /// [`ServeError::Overloaded`].
+    pub queue_cap: usize,
+    /// Supervision policy for C compiler invocations.
+    pub compile_guard: GuardConfig,
+    /// Supervision policy for compiled-binary invocations.
+    pub run_guard: GuardConfig,
+    /// How long cached failures stay authoritative (negative cache).
+    pub negative_ttl: Duration,
+    /// Deterministic fault injection (empty in production).
+    pub fault_plan: FaultPlan,
+}
+
+impl Default for ServeConfig {
+    fn default() -> Self {
+        ServeConfig {
+            workers: 4,
+            queue_cap: 256,
+            compile_guard: GuardConfig::with_timeout(Duration::from_secs(60)),
+            run_guard: GuardConfig::with_timeout(Duration::from_secs(30)),
+            negative_ttl: Duration::from_secs(2),
+            fault_plan: FaultPlan::none(),
+        }
+    }
+}
+
+/// Monotonic service counters. All relaxed atomics — consistency across
+/// fields is only needed at quiescence (after all tickets resolved),
+/// which is when the tests and the bench read them.
+#[derive(Default)]
+pub struct ServeStats {
+    /// Requests submitted (cache hits included).
+    pub submitted: AtomicU64,
+    /// Requests a worker finished computing (success or failure).
+    pub completed: AtomicU64,
+    /// Fresh pipeline executions started by workers.
+    pub computed: AtomicU64,
+    /// Submissions served from a cached success.
+    pub cache_hits: AtomicU64,
+    /// Submissions served from a TTL-fresh cached failure.
+    pub negative_hits: AtomicU64,
+    /// Submissions coalesced onto an identical in-flight request.
+    pub coalesced: AtomicU64,
+    /// Submissions shed because the queue was full.
+    pub overloaded: AtomicU64,
+    /// Supervised C compiler invocations (injected hangs included).
+    pub compiles: AtomicU64,
+    /// Supervised compiled-binary invocations.
+    pub binary_runs: AtomicU64,
+    /// Interpreter executions.
+    pub interp_runs: AtomicU64,
+    /// Degradation steps taken across all requests.
+    pub degradations: AtomicU64,
+    /// Subprocesses killed at their wall-clock limit.
+    pub guard_timeouts: AtomicU64,
+    /// Worker panics caught and classified (the worker survived).
+    pub panics_recovered: AtomicU64,
+    /// Cache entries corrupted by the injected fault.
+    pub corruptions_injected: AtomicU64,
+    /// Corrupt cache entries detected on hit and quarantined.
+    pub corruptions_recovered: AtomicU64,
+    /// Requests canceled by shutdown before processing.
+    pub canceled: AtomicU64,
+}
+
+/// A plain-data copy of [`ServeStats`] at one moment.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct StatsSnapshot {
+    /// See [`ServeStats::submitted`].
+    pub submitted: u64,
+    /// See [`ServeStats::completed`].
+    pub completed: u64,
+    /// See [`ServeStats::computed`].
+    pub computed: u64,
+    /// See [`ServeStats::cache_hits`].
+    pub cache_hits: u64,
+    /// See [`ServeStats::negative_hits`].
+    pub negative_hits: u64,
+    /// See [`ServeStats::coalesced`].
+    pub coalesced: u64,
+    /// See [`ServeStats::overloaded`].
+    pub overloaded: u64,
+    /// See [`ServeStats::compiles`].
+    pub compiles: u64,
+    /// See [`ServeStats::binary_runs`].
+    pub binary_runs: u64,
+    /// See [`ServeStats::interp_runs`].
+    pub interp_runs: u64,
+    /// See [`ServeStats::degradations`].
+    pub degradations: u64,
+    /// See [`ServeStats::guard_timeouts`].
+    pub guard_timeouts: u64,
+    /// See [`ServeStats::panics_recovered`].
+    pub panics_recovered: u64,
+    /// See [`ServeStats::corruptions_injected`].
+    pub corruptions_injected: u64,
+    /// See [`ServeStats::corruptions_recovered`].
+    pub corruptions_recovered: u64,
+    /// See [`ServeStats::canceled`].
+    pub canceled: u64,
+}
+
+impl ServeStats {
+    fn bump(counter: &AtomicU64) {
+        counter.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// A plain-data copy of every counter.
+    pub fn snapshot(&self) -> StatsSnapshot {
+        let get = |c: &AtomicU64| c.load(Ordering::Relaxed);
+        StatsSnapshot {
+            submitted: get(&self.submitted),
+            completed: get(&self.completed),
+            computed: get(&self.computed),
+            cache_hits: get(&self.cache_hits),
+            negative_hits: get(&self.negative_hits),
+            coalesced: get(&self.coalesced),
+            overloaded: get(&self.overloaded),
+            compiles: get(&self.compiles),
+            binary_runs: get(&self.binary_runs),
+            interp_runs: get(&self.interp_runs),
+            degradations: get(&self.degradations),
+            guard_timeouts: get(&self.guard_timeouts),
+            panics_recovered: get(&self.panics_recovered),
+            corruptions_injected: get(&self.corruptions_injected),
+            corruptions_recovered: get(&self.corruptions_recovered),
+            canceled: get(&self.canceled),
+        }
+    }
+}
+
+struct Job {
+    key: u64,
+    index: u64,
+    fault: Option<Fault>,
+    request: ServeRequest,
+}
+
+struct ServiceInner {
+    queue: Mutex<VecDeque<Job>>,
+    notify: Condvar,
+    shutdown: AtomicBool,
+    cache: ResultCache,
+    stats: ServeStats,
+    cfg: ServeConfig,
+    workers_alive: AtomicUsize,
+}
+
+/// Receives the outcome of one submitted request.
+pub struct Ticket {
+    rx: Receiver<Delivery>,
+}
+
+impl Ticket {
+    /// Blocks until the request resolves; `None` only if the service
+    /// was torn down without delivering (it delivers [`ServeError::Canceled`]
+    /// on orderly shutdown, so `None` indicates an abnormal drop).
+    pub fn wait(self) -> Option<Delivery> {
+        self.rx.recv().ok()
+    }
+
+    /// Blocks up to `timeout`; `None` on timeout (the hang detector of
+    /// the soak harness).
+    pub fn wait_timeout(self, timeout: Duration) -> Option<Delivery> {
+        self.rx.recv_timeout(timeout).ok()
+    }
+}
+
+/// The long-lived kernel-compilation service. Dropping it performs an
+/// orderly shutdown: pending requests are canceled (delivered, not
+/// leaked) and workers are joined.
+pub struct KernelService {
+    inner: Arc<ServiceInner>,
+    workers: Vec<std::thread::JoinHandle<()>>,
+}
+
+impl KernelService {
+    /// Starts the service with the given configuration.
+    pub fn new(cfg: ServeConfig) -> Self {
+        let workers = cfg.workers.max(1);
+        let inner = Arc::new(ServiceInner {
+            queue: Mutex::new(VecDeque::new()),
+            notify: Condvar::new(),
+            shutdown: AtomicBool::new(false),
+            cache: ResultCache::new(cfg.negative_ttl),
+            stats: ServeStats::default(),
+            cfg,
+            workers_alive: AtomicUsize::new(0),
+        });
+        let handles = (0..workers)
+            .map(|_| {
+                let inner = inner.clone();
+                std::thread::spawn(move || worker_loop(&inner))
+            })
+            .collect();
+        KernelService {
+            inner,
+            workers: handles,
+        }
+    }
+
+    /// Submits one request. Always returns a ticket: overload, cache
+    /// hits and structured errors are all delivered through it, so every
+    /// submission resolves to exactly one classified [`Delivery`].
+    pub fn submit(&self, request: ServeRequest) -> Ticket {
+        let inner = &self.inner;
+        let index = inner.stats.submitted.fetch_add(1, Ordering::Relaxed);
+        let fault = inner.cfg.fault_plan.fault_at(index);
+        let key = request_key(&request);
+        let (tx, rx) = channel();
+        match inner.cache.admit(key, tx.clone()) {
+            Admission::Hit(value) => {
+                ServeStats::bump(&inner.stats.cache_hits);
+                let _ = tx.send(Delivery {
+                    result: Ok(value),
+                    cache: CacheStatus::Hit,
+                });
+            }
+            Admission::NegativeHit(error) => {
+                ServeStats::bump(&inner.stats.negative_hits);
+                let _ = tx.send(Delivery {
+                    result: Err(error),
+                    cache: CacheStatus::NegativeHit,
+                });
+            }
+            Admission::Joined => {
+                ServeStats::bump(&inner.stats.coalesced);
+            }
+            Admission::Compute {
+                recovered_corruption,
+            } => {
+                if recovered_corruption {
+                    ServeStats::bump(&inner.stats.corruptions_recovered);
+                }
+                let shed_at = {
+                    let mut q = inner.queue.lock().unwrap_or_else(|e| e.into_inner());
+                    if q.len() >= inner.cfg.queue_cap {
+                        Some(q.len())
+                    } else {
+                        q.push_back(Job {
+                            key,
+                            index,
+                            fault,
+                            request,
+                        });
+                        None
+                    }
+                };
+                match shed_at {
+                    Some(queue_len) => {
+                        ServeStats::bump(&inner.stats.overloaded);
+                        // Transient: deliver to all waiters, cache nothing.
+                        inner
+                            .cache
+                            .reject(key, ServeError::Overloaded { queue_len });
+                    }
+                    None => inner.notify.notify_one(),
+                }
+            }
+        }
+        Ticket { rx }
+    }
+
+    /// A plain-data copy of the service counters.
+    pub fn stats(&self) -> StatsSnapshot {
+        self.inner.stats.snapshot()
+    }
+
+    /// Worker threads currently alive — the escaped-panic detector: a
+    /// panic that `catch_unwind` missed would kill its worker and show
+    /// up here.
+    pub fn workers_alive(&self) -> usize {
+        self.inner.workers_alive.load(Ordering::Relaxed)
+    }
+
+    /// Number of cached keys (any state).
+    pub fn cache_len(&self) -> usize {
+        self.inner.cache.len()
+    }
+
+    fn shutdown_impl(&mut self) {
+        self.inner.shutdown.store(true, Ordering::Relaxed);
+        let pending: Vec<Job> = {
+            let mut q = self.inner.queue.lock().unwrap_or_else(|e| e.into_inner());
+            q.drain(..).collect()
+        };
+        for job in pending {
+            ServeStats::bump(&self.inner.stats.canceled);
+            self.inner.cache.reject(job.key, ServeError::Canceled);
+        }
+        self.inner.notify.notify_all();
+        for handle in self.workers.drain(..) {
+            let _ = handle.join();
+        }
+    }
+
+    /// Orderly shutdown: cancels pending requests (each still receives a
+    /// classified [`ServeError::Canceled`]) and joins the workers.
+    pub fn shutdown(mut self) {
+        self.shutdown_impl();
+    }
+}
+
+impl Drop for KernelService {
+    fn drop(&mut self) {
+        self.shutdown_impl();
+    }
+}
+
+/// Stable content key of a request: FNV-1a over the pretty-printed
+/// kernel, the canonical script text, the target name, and every
+/// response-shaping option.
+pub fn request_key(request: &ServeRequest) -> u64 {
+    let mut h = Fnv::new();
+    h.write_str(&request.proc.to_string())
+        .write_str(&request.script.key())
+        .write_str(machine_for(request.target).name)
+        .write_str(request.options.tier.name())
+        .write_u64(u64::from(request.options.debug_bounds))
+        .write_u64(u64::from(request.options.want_c))
+        .write_u64(request.options.input_seed);
+    h.finish()
+}
+
+fn machine_for(kind: MachineKind) -> MachineModel {
+    match kind {
+        MachineKind::Scalar => MachineModel::scalar(),
+        MachineKind::Avx2 => MachineModel::avx2(),
+        MachineKind::Avx512 => MachineModel::avx512(),
+        MachineKind::Gemmini => MachineModel::gemmini(),
+    }
+}
+
+/// Decrements the live-worker count even if the loop unwinds.
+struct AliveGuard<'a>(&'a AtomicUsize);
+
+impl Drop for AliveGuard<'_> {
+    fn drop(&mut self) {
+        self.0.fetch_sub(1, Ordering::Relaxed);
+    }
+}
+
+fn worker_loop(inner: &ServiceInner) {
+    inner.workers_alive.fetch_add(1, Ordering::Relaxed);
+    let _alive = AliveGuard(&inner.workers_alive);
+    loop {
+        let job = {
+            let mut q = inner.queue.lock().unwrap_or_else(|e| e.into_inner());
+            loop {
+                if let Some(job) = q.pop_front() {
+                    break Some(job);
+                }
+                if inner.shutdown.load(Ordering::Relaxed) {
+                    break None;
+                }
+                q = inner.notify.wait(q).unwrap_or_else(|e| e.into_inner());
+            }
+        };
+        let Some(job) = job else { return };
+        let outcome = catch_unwind(AssertUnwindSafe(|| process(inner, &job)));
+        let result: ServeResult = match outcome {
+            Ok(Ok(ok)) => Ok(Arc::new(ok)),
+            Ok(Err(err)) => Err(err),
+            Err(payload) => {
+                // The worker survives; the failure is classified and —
+                // via `resolve` below — quarantined in the negative
+                // cache so identical retries within the TTL cannot
+                // stampede a crashing path.
+                ServeStats::bump(&inner.stats.panics_recovered);
+                Err(ServeError::Internal(panic_message(payload.as_ref())))
+            }
+        };
+        let corrupt_stored = matches!(job.fault, Some(Fault::CacheCorruption)) && result.is_ok();
+        // Counters are bumped BEFORE resolve delivers: a client that
+        // reads stats right after receiving its delivery must see this
+        // job fully accounted.
+        if corrupt_stored {
+            ServeStats::bump(&inner.stats.corruptions_injected);
+        }
+        ServeStats::bump(&inner.stats.completed);
+        inner.cache.resolve(job.key, result, corrupt_stored);
+    }
+}
+
+/// The per-request pipeline: replay the script, verify the result, emit
+/// C, then walk the tier ladder.
+fn process(inner: &ServiceInner, job: &Job) -> Result<ServeOk, ServeError> {
+    ServeStats::bump(&inner.stats.computed);
+    if matches!(job.fault, Some(Fault::WorkerPanic)) {
+        // Injected via `panic_any` (not the `panic!` macro: library
+        // paths in this crate are lint-guarded panic-free; this is the
+        // fault simulator, the one place a panic is the point).
+        std::panic::panic_any(format!(
+            "injected worker panic at request index {}",
+            job.index
+        ));
+    }
+    let request = &job.request;
+    let machine = machine_for(request.target);
+    let base = ProcHandle::new(request.proc.clone());
+    let scheduled = apply_script(&base, &request.script, &machine)
+        .map_err(|e| ServeError::BadSchedule(e.to_string()))?;
+    let proc = scheduled.proc();
+
+    let findings = check_proc(proc);
+    let diagnostics: Vec<String> = findings
+        .iter()
+        .map(|d| format!("{} [{:?}] {}", d.code, d.severity, d.message))
+        .collect();
+    if findings.iter().any(|d| d.severity == Severity::Error) {
+        return Err(ServeError::Rejected { diagnostics });
+    }
+
+    let registry: ProcRegistry = machine
+        .instructions(exo_ir::DataType::F32)
+        .into_iter()
+        .collect();
+    let opts = if request.options.debug_bounds {
+        CodegenOptions::debug()
+    } else {
+        CodegenOptions::portable()
+    };
+    let unit = emit_c(proc, &registry, &opts).map_err(|e| ServeError::Codegen(e.to_string()))?;
+
+    let mut degraded: Vec<Degradation> = Vec::new();
+    let mut tier = request.options.tier;
+    let exec = loop {
+        match tier {
+            Tier::NativeRun => {
+                let inputs = match synth_inputs(proc, request.options.input_seed) {
+                    Ok(inputs) => inputs,
+                    Err(detail) => {
+                        degraded.push(Degradation {
+                            from: Tier::NativeRun,
+                            reason: DegradeReason::InputSynthesis,
+                            detail,
+                        });
+                        tier = Tier::CompileOnly;
+                        continue;
+                    }
+                };
+                let driver = emit_driver(&unit, proc, &inputs);
+                match compile_guarded(inner, &driver, &unit, job.fault, true) {
+                    Ok(bin) => match run_binary_guarded(inner, &bin, job.fault) {
+                        Ok(summary) => break Some(summary),
+                        Err((reason, detail)) => {
+                            // The unit compiled; serve the compile-only
+                            // tier from the artifact we already have.
+                            degraded.push(Degradation {
+                                from: Tier::NativeRun,
+                                reason,
+                                detail,
+                            });
+                            tier = Tier::CompileOnly;
+                            break None;
+                        }
+                    },
+                    Err((reason, detail)) => {
+                        degraded.push(Degradation {
+                            from: Tier::NativeRun,
+                            reason,
+                            detail,
+                        });
+                        tier = Tier::Interp;
+                    }
+                }
+            }
+            Tier::CompileOnly => {
+                match compile_guarded(inner, &unit.code, &unit, job.fault, false) {
+                    Ok(_) => break None,
+                    Err((reason, detail)) => {
+                        degraded.push(Degradation {
+                            from: Tier::CompileOnly,
+                            reason,
+                            detail,
+                        });
+                        tier = Tier::Interp;
+                    }
+                }
+            }
+            Tier::Interp => {
+                let inputs = match synth_inputs(proc, request.options.input_seed) {
+                    Ok(inputs) => inputs,
+                    Err(detail) => {
+                        degraded.push(Degradation {
+                            from: Tier::Interp,
+                            reason: DegradeReason::InputSynthesis,
+                            detail,
+                        });
+                        tier = Tier::VerifiedIr;
+                        continue;
+                    }
+                };
+                ServeStats::bump(&inner.stats.interp_runs);
+                match interp_outputs(proc, &registry, &inputs) {
+                    Ok(buffers) => break Some(summarize(&buffers)),
+                    Err(detail) => {
+                        degraded.push(Degradation {
+                            from: Tier::Interp,
+                            reason: DegradeReason::InterpTrap,
+                            detail,
+                        });
+                        tier = Tier::VerifiedIr;
+                    }
+                }
+            }
+            Tier::VerifiedIr => break None,
+        }
+    };
+
+    inner
+        .stats
+        .degradations
+        .fetch_add(degraded.len() as u64, Ordering::Relaxed);
+    Ok(ServeOk {
+        kernel: request.proc.name().to_string(),
+        tier,
+        degraded,
+        diagnostics,
+        c_code: request.options.want_c.then(|| unit.code.clone()),
+        exec,
+        scheduled_ir: proc.to_string(),
+    })
+}
+
+fn summarize(buffers: &[Vec<f64>]) -> ExecSummary {
+    let mut h = Fnv::new();
+    let mut elems = 0usize;
+    for buffer in buffers {
+        for v in buffer {
+            h.write_u64(v.to_bits());
+            elems += 1;
+        }
+    }
+    ExecSummary {
+        elems,
+        checksum: h.finish(),
+    }
+}
+
+/// A process that sleeps far past any guard timeout — the injected hang.
+/// `sh -c` with a single command `exec`s it, so the timeout kill reaches
+/// the sleeper itself.
+fn hang_command() -> Command {
+    let mut cmd = Command::new("sh");
+    cmd.arg("-c").arg("sleep 600");
+    cmd
+}
+
+/// Compiles `source` under supervision into a fresh temp dir; `link`
+/// selects driver (with `main`) vs object-only compilation. Returns the
+/// produced artifact path or a (reason, detail) degradation pair.
+fn compile_guarded(
+    inner: &ServiceInner,
+    source: &str,
+    unit: &CUnit,
+    fault: Option<Fault>,
+    link: bool,
+) -> Result<PathBuf, (DegradeReason, String)> {
+    static COUNTER: AtomicU64 = AtomicU64::new(0);
+    ServeStats::bump(&inner.stats.compiles);
+    let dir = std::env::temp_dir().join(format!(
+        "exo_serve_{}_{}_{}",
+        std::process::id(),
+        COUNTER.fetch_add(1, Ordering::Relaxed),
+        unit.name
+    ));
+    std::fs::create_dir_all(&dir).map_err(|e| {
+        (
+            DegradeReason::CompilerUnavailable,
+            format!("cannot create {}: {e}", dir.display()),
+        )
+    })?;
+    let src = dir.join("kernel.c");
+    std::fs::write(&src, source).map_err(|e| {
+        (
+            DegradeReason::CompilerUnavailable,
+            format!("cannot write {}: {e}", src.display()),
+        )
+    })?;
+    let artifact = dir.join(if link { "kernel" } else { "kernel.o" });
+    let mut cmd = match fault {
+        Some(Fault::CcHang) => hang_command(),
+        Some(Fault::CcMissing) => Command::new("exo2-injected-missing-cc"),
+        _ => Command::new("cc"),
+    };
+    cmd.args(["-O2", "-Wall", "-Werror", "-std=c99"]);
+    cmd.args(&unit.cflags);
+    if !link {
+        cmd.arg("-c");
+    }
+    cmd.arg("-o").arg(&artifact).arg(&src);
+    if link {
+        cmd.arg("-lm");
+    }
+    let outcome = run_guarded(&mut cmd, &inner.cfg.compile_guard);
+    match outcome {
+        Ok(out) if out.success => Ok(artifact),
+        Ok(out) => {
+            let _ = std::fs::remove_dir_all(&dir);
+            Err((
+                DegradeReason::CompilerFailed,
+                format!("cc exited {:?}: {}", out.code, out.stderr_lossy()),
+            ))
+        }
+        Err(err) => {
+            let _ = std::fs::remove_dir_all(&dir);
+            if err.is_timeout() {
+                ServeStats::bump(&inner.stats.guard_timeouts);
+                Err((DegradeReason::CompilerTimeout, err.to_string()))
+            } else {
+                Err((DegradeReason::CompilerUnavailable, err.to_string()))
+            }
+        }
+    }
+}
+
+/// Runs a compiled driver binary under supervision and parses its
+/// `%.17g`-per-line tensor dump into an [`ExecSummary`].
+fn run_binary_guarded(
+    inner: &ServiceInner,
+    bin: &PathBuf,
+    fault: Option<Fault>,
+) -> Result<ExecSummary, (DegradeReason, String)> {
+    ServeStats::bump(&inner.stats.binary_runs);
+    let mut cmd = match fault {
+        Some(Fault::BinaryHang) => hang_command(),
+        _ => Command::new(bin),
+    };
+    let outcome = run_guarded(&mut cmd, &inner.cfg.run_guard);
+    let cleanup = || {
+        if let Some(dir) = bin.parent() {
+            let _ = std::fs::remove_dir_all(dir);
+        }
+    };
+    match outcome {
+        Ok(out) if out.success => {
+            cleanup();
+            let mut h = Fnv::new();
+            let mut elems = 0usize;
+            for token in out.stdout_lossy().split_ascii_whitespace() {
+                match token.parse::<f64>() {
+                    Ok(v) => {
+                        h.write_u64(v.to_bits());
+                        elems += 1;
+                    }
+                    Err(e) => {
+                        return Err((
+                            DegradeReason::BinaryFailed,
+                            format!("unparseable driver output `{token}`: {e}"),
+                        ))
+                    }
+                }
+            }
+            Ok(ExecSummary {
+                elems,
+                checksum: h.finish(),
+            })
+        }
+        Ok(out) => {
+            cleanup();
+            Err((
+                DegradeReason::BinaryFailed,
+                format!("binary exited {:?}: {}", out.code, out.stderr_lossy()),
+            ))
+        }
+        Err(err) => {
+            cleanup();
+            if err.is_timeout() {
+                ServeStats::bump(&inner.stats.guard_timeouts);
+                Err((DegradeReason::BinaryTimeout, err.to_string()))
+            } else {
+                Err((DegradeReason::BinaryFailed, err.to_string()))
+            }
+        }
+    }
+}
+
+// `payload_checksum` is validated on every cache hit; re-export the
+// checksum for response-integrity tests.
+#[doc(hidden)]
+pub fn response_checksum(ok: &ServeOk) -> u64 {
+    payload_checksum(ok)
+}

@@ -1,0 +1,143 @@
+//! Fault-injection soak: hundreds of mixed requests with a seeded fault
+//! plan, asserting the service's global robustness invariants — zero
+//! hangs (every ticket resolves under a deadline), zero escaped panics
+//! (all workers alive at the end), and 100% classified responses.
+
+use exo_kernels::{axpy, dot, scal, Precision};
+use exo_lib::ScheduleScript;
+use exo_machine::MachineKind;
+use exo_serve::proc_guard::GuardConfig;
+use exo_serve::{Fault, FaultPlan, KernelService, ServeConfig, ServeOptions, ServeRequest, Tier};
+use std::time::Duration;
+
+#[test]
+fn soak_with_injected_faults() {
+    const REQUESTS: u64 = 240;
+    const FAULT_PERCENT: u64 = 12;
+
+    // Seeded plan (≈12% of requests faulted), plus one hand-planted
+    // fault of every kind at early indices whose request tier actually
+    // reaches the faulted code path (indices ≡ 0 mod 3 are native-tier
+    // below, so the cc/binary faults land where compiles happen), so
+    // each injection path is exercised regardless of where the seeded
+    // stream lands.
+    let plan = FaultPlan::seeded(0x50AC, REQUESTS, FAULT_PERCENT)
+        .with(0, Fault::CcHang)
+        .with(1, Fault::WorkerPanic)
+        .with(2, Fault::CacheCorruption)
+        .with(3, Fault::CcMissing)
+        .with(6, Fault::BinaryHang);
+    let planned = plan.len() as u64;
+    assert!(
+        planned * 10 >= REQUESTS,
+        "plan must cover at least 10% of requests, got {planned}/{REQUESTS}"
+    );
+
+    let cfg = ServeConfig {
+        workers: 4,
+        queue_cap: 1024, // soak measures fault recovery, not shedding
+        compile_guard: GuardConfig {
+            spawn_retries: 1,
+            backoff_base: Duration::from_millis(1),
+            ..GuardConfig::with_timeout(Duration::from_millis(1500))
+        },
+        run_guard: GuardConfig::with_timeout(Duration::from_millis(1500)),
+        negative_ttl: Duration::from_millis(200),
+        fault_plan: plan,
+    };
+    let service = KernelService::new(cfg);
+    let workers_at_start = {
+        // Workers register themselves asynchronously after `new`.
+        let mut alive = service.workers_alive();
+        let deadline = std::time::Instant::now() + Duration::from_secs(5);
+        while alive < 4 && std::time::Instant::now() < deadline {
+            std::thread::sleep(Duration::from_millis(5));
+            alive = service.workers_alive();
+        }
+        alive
+    };
+    assert_eq!(workers_at_start, 4);
+
+    let have_cc = exo_codegen::difftest::cc_available();
+    let kernels = [
+        scal(Precision::Single),
+        axpy(Precision::Single),
+        dot(Precision::Single),
+    ];
+    let tickets: Vec<_> = (0..REQUESTS)
+        .map(|i| {
+            // A small set of distinct keys, cycled, so the soak covers
+            // cache hits, coalescing, negative hits and fresh computes.
+            // Native tiers only when a toolchain exists; the injected cc
+            // faults still fire there via command substitution.
+            let tier = if have_cc && i % 3 == 0 {
+                Tier::NativeRun
+            } else if i % 3 == 1 {
+                Tier::Interp
+            } else {
+                Tier::VerifiedIr
+            };
+            service.submit(ServeRequest {
+                proc: kernels[(i % 3) as usize].clone(),
+                script: ScheduleScript::new(vec![]),
+                target: MachineKind::Scalar,
+                options: ServeOptions {
+                    tier,
+                    input_seed: 1 + (i % 4),
+                    ..ServeOptions::default()
+                },
+            })
+        })
+        .collect();
+
+    // Zero hangs: every ticket must resolve well inside the deadline
+    // (injected hangs are killed at 1.5s; everything else is fast).
+    let mut classes: std::collections::BTreeMap<&'static str, u64> =
+        std::collections::BTreeMap::new();
+    for (i, t) in tickets.into_iter().enumerate() {
+        let d = t
+            .wait_timeout(Duration::from_secs(120))
+            .unwrap_or_else(|| panic!("request {i} hung"));
+        let class = match &d.result {
+            Ok(_) => "ok",
+            Err(e) => e.class(),
+        };
+        *classes.entry(class).or_insert(0) += 1;
+    }
+    let classified: u64 = classes.values().sum();
+    assert_eq!(classified, REQUESTS, "every response must be classified");
+
+    let stats = service.stats();
+    eprintln!("soak classes: {classes:?}");
+    eprintln!("soak stats: {stats:?}");
+
+    // Zero escaped panics: injected worker panics were caught and the
+    // pool is intact.
+    assert_eq!(service.workers_alive(), 4, "a worker died: panic escaped");
+    assert!(
+        stats.panics_recovered >= 1,
+        "the plan injects worker panics; at least one must be recovered"
+    );
+    if have_cc {
+        assert!(
+            stats.guard_timeouts >= 1,
+            "the plan injects hangs; at least one kill-on-timeout must fire"
+        );
+    }
+    assert_eq!(stats.submitted, REQUESTS);
+    assert_eq!(
+        stats.cache_hits
+            + stats.negative_hits
+            + stats.coalesced
+            + stats.overloaded
+            + stats.completed,
+        REQUESTS + stats.canceled, // canceled is 0 here; shutdown follows the drain
+        "every submission is accounted for exactly once"
+    );
+    // The whole point of the cache under a repeating workload:
+    assert!(
+        stats.cache_hits + stats.coalesced > REQUESTS / 2,
+        "repeating keys must mostly be served without recompute"
+    );
+    service.shutdown();
+}

@@ -1,7 +1,8 @@
 #!/usr/bin/env bash
 # Guards the bugfix contract of the cursors / ir::expr / machine::isa
-# library code — and the whole exo-codegen, exo-autotune and
-# exo-analysis crates — no panic!/unreachable!/todo!/unwrap()/expect()
+# library code — and the whole exo-codegen, exo-autotune, exo-analysis,
+# exo-guard and exo-serve crates — no
+# panic!/unreachable!/todo!/unwrap()/expect()
 # on any reachable library path. Only the library portion of each file is scanned (everything
 # before its `#[cfg(test)]` module); doc-comment and comment lines are
 # ignored.
@@ -34,6 +35,12 @@ FILES=(
   crates/analysis/src/linear.rs
   crates/analysis/src/simplify.rs
   crates/analysis/src/verify.rs
+  crates/guard/src/lib.rs
+  crates/serve/src/lib.rs
+  crates/serve/src/types.rs
+  crates/serve/src/cache.rs
+  crates/serve/src/fault.rs
+  crates/serve/src/service.rs
 )
 
 status=0
@@ -76,4 +83,4 @@ if [ "$status" -ne 0 ]; then
   echo "error: panicking constructs found on library paths (see above)" >&2
   exit 1
 fi
-echo "ok: no panic!/unwrap/expect on library paths in cursors, ir::expr, machine::isa, codegen, autotune, lib::record, analysis"
+echo "ok: no panic!/unwrap/expect on library paths in cursors, ir::expr, machine::isa, codegen, autotune, lib::record, analysis, guard, serve"
