@@ -282,6 +282,7 @@ pub fn spearman(xs: &[f64], ys: &[f64]) -> Option<f64> {
 /// When even the unscheduled kernel cannot be simulated (bad task), or
 /// input synthesis fails.
 pub fn tune(task: &TuneTask, cfg: &TuneConfig) -> Result<TuneReport, String> {
+    let _span = exo_obs::span!("tune:kernel", "{}", task.name);
     let t0 = Instant::now();
     let registry: ProcRegistry = task
         .machine
@@ -292,7 +293,10 @@ pub fn tune(task: &TuneTask, cfg: &TuneConfig) -> Result<TuneReport, String> {
     let baseline_cycles = cost_of(base.proc(), &registry, cfg.input_seed)
         .map_err(|e| format!("`{}` baseline does not simulate: {e}", task.name))?;
 
-    let scripts = space::generate_candidates(&base, &task.machine, cfg.seed, cfg.budget);
+    let scripts = {
+        let _gen = exo_obs::span!("tune:generate", "{}", task.name);
+        space::generate_candidates(&base, &task.machine, cfg.seed, cfg.budget)
+    };
     let sampled = scripts.len();
     let mut static_rejected = 0usize;
     let mut illegal = 0usize;
@@ -300,22 +304,38 @@ pub fn tune(task: &TuneTask, cfg: &TuneConfig) -> Result<TuneReport, String> {
     let mut trapped = 0usize;
     let mut survivors: Vec<(ScheduleScript, ProcHandle, u64)> = Vec::new();
     for script in scripts {
-        if prune::statically_illegal(&base, &script) {
+        let pruned = {
+            let _prune = exo_obs::span!("tune:prune");
+            prune::statically_illegal(&base, &script)
+        };
+        if pruned {
             static_rejected += 1;
             continue;
         }
-        let scheduled = match apply_script(&base, &script, &task.machine) {
+        let replayed = {
+            let _replay = exo_obs::span!("tune:replay");
+            apply_script(&base, &script, &task.machine)
+        };
+        let scheduled = match replayed {
             Ok(p) => p,
             Err(_) => {
                 illegal += 1;
                 continue;
             }
         };
-        if prune::proven_violation(scheduled.proc()).is_some() {
+        let violation = {
+            let _verify = exo_obs::span!("tune:verify");
+            prune::proven_violation(scheduled.proc())
+        };
+        if violation.is_some() {
             verify_rejected += 1;
             continue;
         }
-        match cost_of(scheduled.proc(), &registry, cfg.input_seed) {
+        let simulated = {
+            let _sim = exo_obs::span!("tune:simulate");
+            cost_of(scheduled.proc(), &registry, cfg.input_seed)
+        };
+        match simulated {
             Ok(cycles) => survivors.push((script, scheduled, cycles)),
             Err(_) => trapped += 1,
         }
@@ -346,7 +366,10 @@ pub fn tune(task: &TuneTask, cfg: &TuneConfig) -> Result<TuneReport, String> {
             .iter()
             .map(|(_, p, cycles)| (p.proc().clone(), *cycles))
             .collect();
-        let times = measure::measure_batch(&batch, &task.machine, cfg.input_seed, cfg.threads);
+        let times = {
+            let _measure = exo_obs::span!("tune:measure", "{} candidates", batch.len());
+            measure::measure_batch(&batch, &task.machine, cfg.input_seed, cfg.threads)
+        };
         for (i, (cand, m)) in candidates.iter_mut().zip(&times).enumerate() {
             cand.measured_ns = m.nanos();
             if let Some(err) = m.error() {

@@ -157,6 +157,7 @@ fn measure_one(
     input_seed: u64,
     cycles: u64,
 ) -> Result<f64, String> {
+    let _span = exo_obs::span!("tune:measure-candidate", "{}", proc.name());
     let unit = emit_c(proc, registry, &CodegenOptions::portable())
         .map_err(|e| format!("emitting `{}`: {e}", proc.name()))?;
     let inputs = synth_inputs(proc, input_seed)?;

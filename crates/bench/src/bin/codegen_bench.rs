@@ -72,10 +72,10 @@ fn golden_step(w: &CWorkload, write: bool) {
     }
 }
 
-fn differential_step(w: &CWorkload, seeds: &[u64]) {
+fn differential_step(w: &CWorkload, seeds: &[u64]) -> &'static str {
     if !cc_available() {
         println!("  diff   {:<14} SKIPPED (no `cc` on PATH)", w.name);
-        return;
+        return "skipped";
     }
     for seed in seeds {
         match run_differential(&w.proc, &w.registry, *seed) {
@@ -87,11 +87,12 @@ fn differential_step(w: &CWorkload, seeds: &[u64]) {
             }
             Ok(DiffOutcome::Skipped(why)) => {
                 println!("  diff   {:<14} SKIPPED ({why})", w.name);
-                return;
+                return "skipped";
             }
             Err(e) => fail(&e),
         }
     }
+    "agreed"
 }
 
 fn main() {
@@ -105,6 +106,7 @@ fn main() {
         println!("notice: no `cc` on PATH — compile/differential steps will be skipped");
     }
     let seeds: &[u64] = if smoke { &[1] } else { &[1, 2, 3] };
+    let mut rows: Vec<(String, bool, &'static str)> = Vec::new();
     for w in c_workloads() {
         golden_step(&w, write_goldens);
         if write_goldens {
@@ -118,11 +120,34 @@ fn main() {
             compile_check(&unit, w.name)
                 .unwrap_or_else(|e| fail(&format!("portable `{}` does not compile: {e}", w.name)));
         }
-        if smoke && w.heavy {
+        let diff = if smoke && w.heavy {
             println!("  diff   {:<14} skipped in smoke mode (heavy)", w.name);
-            continue;
+            "compile-only"
+        } else {
+            differential_step(&w, seeds)
+        };
+        rows.push((w.name.to_string(), w.golden.is_some(), diff));
+    }
+    if !write_goldens && !smoke {
+        let mut json = exo_bench::bench_json_header("codegen_bench");
+        json.push_str(&format!(
+            "  \"seeds\": {}, \"cc_available\": {},\n  \"workloads\": [\n",
+            seeds.len(),
+            cc_available()
+        ));
+        for (i, (name, golden, diff)) in rows.iter().enumerate() {
+            json.push_str(&format!(
+                "    {{\"name\": \"{name}\", \"golden\": {golden}, \"differential\": \"{diff}\"}}{}\n",
+                if i + 1 == rows.len() { "" } else { "," }
+            ));
         }
-        differential_step(&w, seeds);
+        json.push_str("  ]\n}\n");
+        std::fs::write("BENCH_codegen.json", &json)
+            .unwrap_or_else(|e| fail(&format!("cannot write BENCH_codegen.json: {e}")));
+        println!(
+            "codegen_bench: wrote BENCH_codegen.json ({} workloads)",
+            rows.len()
+        );
     }
     println!(
         "codegen_bench: all checks {}",

@@ -274,8 +274,7 @@ fn bench(w: &Workload, smoke: bool) -> Row {
 }
 
 fn json(rows: &[Row]) -> String {
-    let mut out = String::from("{\n");
-    out.push_str("  \"generated_by\": \"cargo run --release -p exo-bench --bin interp_bench\",\n");
+    let mut out = exo_bench::bench_json_header("interp_bench");
     out.push_str("  \"unit\": \"ops_per_sec (ops = monitored scalar flops per run)\",\n");
     out.push_str("  \"benchmarks\": [\n");
     for (i, r) in rows.iter().enumerate() {

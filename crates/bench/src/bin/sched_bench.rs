@@ -241,8 +241,7 @@ fn bench(w: &Workload, smoke: bool, write_goldens: bool) -> Option<Row> {
 }
 
 fn json(rows: &[Row]) -> String {
-    let mut out = String::from("{\n");
-    out.push_str("  \"generated_by\": \"cargo run --release -p exo-bench --bin sched_bench\",\n");
+    let mut out = exo_bench::bench_json_header("sched_bench");
     out.push_str(
         "  \"unit\": \"sched_ops_per_sec (ops = primitive rewrites per schedule construction); \
          retained_bytes = estimated heap bytes retained by the full provenance chain\",\n",

@@ -227,8 +227,7 @@ fn json_map(m: &BTreeMap<&'static str, u64>) -> String {
 
 fn json(o: &SoakOutcome) -> String {
     let s = &o.stats;
-    let mut out = String::from("{\n");
-    out.push_str("  \"generated_by\": \"cargo run --release -p exo-bench --bin serve_bench\",\n");
+    let mut out = exo_bench::bench_json_header("serve_bench");
     out.push_str(&format!(
         "  \"requests\": {}, \"fault_seed\": {FAULT_SEED}, \"fault_percent\": {FAULT_PERCENT}, \
          \"planned_faults\": {},\n",

@@ -131,8 +131,7 @@ fn json_escape(s: &str) -> String {
 }
 
 fn json(reports: &[TuneReport], machine_name: &str, cfg: &TuneConfig) -> String {
-    let mut out = String::from("{\n");
-    out.push_str("  \"generated_by\": \"cargo run --release -p exo-bench --bin tune_bench\",\n");
+    let mut out = exo_bench::bench_json_header("tune_bench");
     out.push_str(&format!(
         "  \"machine\": \"{machine_name}\", \"seed\": {}, \"budget\": {}, \"top_k\": {},\n",
         cfg.seed, cfg.budget, cfg.top_k

@@ -135,7 +135,8 @@ fn main() {
         }
         return;
     }
-    let mut json = String::from("{\n  \"bench\": \"verify\",\n  \"procs\": [\n");
+    let mut json = exo_bench::bench_json_header("verify_bench");
+    json.push_str("  \"bench\": \"verify\",\n  \"procs\": [\n");
     for (i, (label, errors, warnings, us)) in rows.iter().enumerate() {
         json.push_str(&format!(
             "    {{\"name\": \"{label}\", \"errors\": {errors}, \"warnings\": {warnings}, \"micros\": {us:.1}}}{}\n",

@@ -9,6 +9,21 @@
 
 pub mod paper;
 
+/// Schema version stamped into every `BENCH_*.json` this harness
+/// writes. Bump whenever a writer changes the shape (not just the
+/// values) of its JSON, so downstream tooling can detect format drift.
+pub const BENCH_SCHEMA_VERSION: u32 = 2;
+
+/// The shared header of every `BENCH_*.json`: the opening brace plus
+/// `schema_version` and `generated_by` fields. `bin` is the bench
+/// binary's name, e.g. `"serve_bench"`.
+pub fn bench_json_header(bin: &str) -> String {
+    format!(
+        "{{\n  \"schema_version\": {BENCH_SCHEMA_VERSION},\n  \
+         \"generated_by\": \"cargo run --release -p exo-bench --bin {bin}\",\n"
+    )
+}
+
 use exo_baselines::VendorBaseline;
 use exo_cursors::ProcHandle;
 use exo_interp::{ArgValue, ProcRegistry};

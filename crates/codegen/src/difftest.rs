@@ -345,6 +345,7 @@ pub fn compile(
     extra_cflags: &[String],
     tag: &str,
 ) -> Result<std::path::PathBuf, String> {
+    let _span = exo_obs::span!("difftest:compile", "{}", tag);
     static COUNTER: AtomicU64 = AtomicU64::new(0);
     let dir = std::env::temp_dir().join(format!(
         "exo_codegen_{}_{}_{}",
@@ -396,6 +397,7 @@ pub fn compile_check(unit: &CUnit, tag: &str) -> Result<(), String> {
 }
 
 fn run_binary(bin: &std::path::Path) -> Result<String, String> {
+    let _span = exo_obs::span!("difftest:run", "{}", bin.display());
     let mut cmd = Command::new(bin);
     let output = run_guarded(&mut cmd, &run_guard())
         .map_err(|e| format!("cannot run {}: {e}", bin.display()))?;
@@ -445,6 +447,7 @@ pub fn run_differential_with(
     seed: u64,
     opts: &CodegenOptions,
 ) -> Result<DiffOutcome, String> {
+    let _span = exo_obs::span!("difftest:differential", "{}", proc.name());
     if !cc_available() {
         return Ok(DiffOutcome::Skipped(
             "no `cc` on PATH — differential codegen check skipped".to_string(),

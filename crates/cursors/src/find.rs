@@ -272,11 +272,13 @@ impl ProcHandle {
     /// [`CursorError::NotFound`] if nothing matches,
     /// [`CursorError::BadPattern`] if the pattern cannot be parsed.
     pub fn find(&self, pattern: &str) -> Result<Cursor> {
+        let _span = exo_obs::span!("cursors:find", "{} in {}", pattern, self.proc().name());
         find_first_in(self, None, pattern)
     }
 
     /// Finds every statement matching `pattern`.
     pub fn find_all(&self, pattern: &str) -> Result<Vec<Cursor>> {
+        let _span = exo_obs::span!("cursors:find_all", "{} in {}", pattern, self.proc().name());
         let all = find_in(self, None, pattern)?;
         if all.is_empty() {
             return Err(CursorError::NotFound(pattern.to_string()));
@@ -292,6 +294,7 @@ impl ProcHandle {
     /// [`CursorError::BadPattern`] when a `#` suffix is present but not a
     /// number, [`CursorError::NotFound`] when no such loop exists.
     pub fn find_loop(&self, name: &str) -> Result<Cursor> {
+        let _span = exo_obs::span!("cursors:find_loop", "{} in {}", name, self.proc().name());
         let (base, index) = match name.rfind('#') {
             Some(pos) => match name[pos + 1..].trim().parse::<usize>() {
                 Ok(k) => (name[..pos].trim_end(), Some(k)),

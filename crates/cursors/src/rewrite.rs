@@ -511,6 +511,7 @@ impl Rewrite {
     /// copied, so the reference engine's measured cost is a lower bound
     /// on the historical cost — old-vs-new comparisons are conservative.)
     pub fn commit(self) -> ProcHandle {
+        let _span = exo_obs::span!("cursors:commit", "{}", self.proc.name());
         ProcHandle::from_edit(&self.base, self.proc, self.edits)
     }
 }

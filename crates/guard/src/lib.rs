@@ -27,11 +27,19 @@
 //!   channels with a bounded grace period, so even a grandchild that
 //!   inherits the pipe and outlives the kill cannot hang the caller.
 //!
-//! The crate is deliberately dependency-free and panic-free on all
-//! library paths (`scripts/check_no_panics.sh` enforces the latter).
+//! The crate is deliberately free of external dependencies (its only
+//! workspace dependency is the equally dependency-free `exo-obs`
+//! tracing substrate) and panic-free on all library paths
+//! (`scripts/check_no_panics.sh` enforces the latter).
 //! `exo-serve` re-exports it as `exo_serve::proc_guard`; `exo-codegen`'s
 //! differential harness and `exo-autotune`'s measurement workers consume
 //! it directly.
+//!
+//! When tracing is enabled ([`exo_obs::enable`]), every supervised run
+//! records a `guard:run` span with `guard:spawn` / `guard:wait` /
+//! `guard:kill` child phases, plus `guard:retry` and `guard:timeout`
+//! events — so a trace of a serve or difftest workload shows exactly
+//! where subprocess wall-clock went.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -227,29 +235,45 @@ fn spawn_capture(
     rx
 }
 
+/// Why a capture stopped short of the stream's true end.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+enum Truncation {
+    /// The stream ended (EOF) within the cap: the capture is complete.
+    None,
+    /// The byte cap was hit; further output was drained and dropped.
+    Cap,
+    /// The capture grace period expired with the stream still open (a
+    /// grandchild kept the pipe alive past the kill).
+    Grace,
+}
+
 /// Accumulates a capture with a bounded grace period. A capture thread
 /// still blocked mid-stream (a grandchild kept the pipe open) yields
 /// whatever arrived so far, marked truncated, instead of blocking the
 /// supervisor.
-fn recv_capture(rx: &mpsc::Receiver<(Vec<u8>, bool)>) -> (Vec<u8>, bool) {
+fn recv_capture(rx: &mpsc::Receiver<(Vec<u8>, bool)>) -> (Vec<u8>, Truncation) {
     let deadline = Instant::now() + CAPTURE_GRACE;
     let mut buf = Vec::new();
-    let mut truncated = false;
+    let mut truncation = Truncation::None;
     loop {
         let left = deadline.saturating_duration_since(Instant::now());
         match rx.recv_timeout(left) {
-            Ok((bytes, t)) => {
+            Ok((bytes, capped)) => {
                 buf.extend_from_slice(&bytes);
-                truncated |= t;
+                if capped {
+                    truncation = Truncation::Cap;
+                }
             }
             Err(mpsc::RecvTimeoutError::Disconnected) => break,
             Err(mpsc::RecvTimeoutError::Timeout) => {
-                truncated = true;
+                if truncation == Truncation::None {
+                    truncation = Truncation::Grace;
+                }
                 break;
             }
         }
     }
-    (buf, truncated)
+    (buf, truncation)
 }
 
 /// Runs `cmd` under supervision: spawn (with retry/backoff on spawn
@@ -266,13 +290,18 @@ fn recv_capture(rx: &mpsc::Receiver<(Vec<u8>, bool)>) -> (Vec<u8>, bool) {
 /// partial capture), [`GuardError::Wait`] when its status could not be
 /// observed.
 pub fn run_guarded(cmd: &mut Command, cfg: &GuardConfig) -> Result<GuardedOutput, GuardError> {
+    let _run = exo_obs::span!("guard:run", "{}", cmd.get_program().to_string_lossy());
     let mut attempt = 0u32;
     loop {
         attempt += 1;
         cmd.stdin(Stdio::null())
             .stdout(Stdio::piped())
             .stderr(Stdio::piped());
-        let mut child = match cmd.spawn() {
+        let spawned = {
+            let _spawn = exo_obs::span!("guard:spawn");
+            cmd.spawn()
+        };
+        let mut child = match spawned {
             Ok(child) => child,
             Err(e) => {
                 if attempt > cfg.spawn_retries {
@@ -281,6 +310,9 @@ pub fn run_guarded(cmd: &mut Command, cfg: &GuardConfig) -> Result<GuardedOutput
                         message: e.to_string(),
                     });
                 }
+                exo_obs::event("guard:retry", || {
+                    format!("spawn attempt {attempt} failed: {e}")
+                });
                 std::thread::sleep(cfg.backoff_for(attempt));
                 continue;
             }
@@ -289,46 +321,67 @@ pub fn run_guarded(cmd: &mut Command, cfg: &GuardConfig) -> Result<GuardedOutput
         let out_rx = spawn_capture(child.stdout.take(), cfg.max_output_bytes);
         let err_rx = spawn_capture(child.stderr.take(), cfg.max_output_bytes);
         let deadline = started + cfg.timeout;
-        let status = loop {
-            match child.try_wait() {
-                Ok(Some(status)) => break Some(status),
-                Ok(None) => {
-                    if Instant::now() >= deadline {
+        let status = {
+            let _wait = exo_obs::span!("guard:wait");
+            loop {
+                match child.try_wait() {
+                    Ok(Some(status)) => break Some(status),
+                    Ok(None) => {
+                        if Instant::now() >= deadline {
+                            exo_obs::event("guard:timeout", || {
+                                format!("killed at the {:?} wall-clock limit", cfg.timeout)
+                            });
+                            let _kill = exo_obs::span!("guard:kill");
+                            let _ = child.kill();
+                            let _ = child.wait();
+                            break None;
+                        }
+                        std::thread::sleep(POLL_INTERVAL);
+                    }
+                    Err(e) => {
                         let _ = child.kill();
                         let _ = child.wait();
-                        break None;
+                        return Err(GuardError::Wait {
+                            message: e.to_string(),
+                        });
                     }
-                    std::thread::sleep(POLL_INTERVAL);
-                }
-                Err(e) => {
-                    let _ = child.kill();
-                    let _ = child.wait();
-                    return Err(GuardError::Wait {
-                        message: e.to_string(),
-                    });
                 }
             }
         };
-        let (stdout, stdout_truncated) = recv_capture(&out_rx);
-        let (stderr, stderr_truncated) = recv_capture(&err_rx);
+        let (stdout, stdout_trunc) = recv_capture(&out_rx);
+        let (stderr, stderr_trunc) = recv_capture(&err_rx);
         return match status {
             Some(status) => Ok(GuardedOutput {
                 success: status.success(),
                 code: status.code(),
                 stdout,
                 stderr,
-                stdout_truncated,
-                stderr_truncated,
+                stdout_truncated: stdout_trunc != Truncation::None,
+                stderr_truncated: stderr_trunc != Truncation::None,
                 attempts: attempt,
                 elapsed: started.elapsed(),
             }),
             None => Err(GuardError::TimedOut {
                 timeout: cfg.timeout,
-                stdout,
-                stderr,
+                stdout: mark_truncated(stdout, stdout_trunc, cfg.max_output_bytes),
+                stderr: mark_truncated(stderr, stderr_trunc, cfg.max_output_bytes),
             }),
         };
     }
+}
+
+/// Appends an explicit marker to a byte-capped capture. The partial
+/// output embedded in [`GuardError::TimedOut`] has no `*_truncated`
+/// flags alongside it (unlike [`GuardedOutput`]), so logs and traces
+/// that quote it would otherwise be ambiguous about whether the stream
+/// really produced more than what was kept. Grace-period truncation is
+/// not marked: a timed-out capture is partial by definition, and the
+/// error variant already says so.
+fn mark_truncated(mut buf: Vec<u8>, truncation: Truncation, cap: usize) -> Vec<u8> {
+    if truncation == Truncation::Cap {
+        buf.extend_from_slice(format!("\n[truncated by exo-guard: limit {cap} bytes]").as_bytes());
+    }
+    buf
 }
 
 /// Renders a caught panic payload (from `std::panic::catch_unwind`) as a
@@ -418,6 +471,69 @@ mod tests {
         assert!(out.success);
         assert_eq!(out.stdout.len(), 1024);
         assert!(out.stdout_truncated);
+    }
+
+    #[test]
+    fn timed_out_truncated_capture_is_marked() {
+        let cfg = GuardConfig {
+            timeout: Duration::from_millis(300),
+            max_output_bytes: 64,
+            ..GuardConfig::default()
+        };
+        // Exceed the capture cap, then hang past the wall-clock limit.
+        let err = run_guarded(
+            &mut sh("i=0; while [ $i -lt 1000 ]; do echo 0123456789; i=$((i+1)); done; sleep 30"),
+            &cfg,
+        )
+        .expect_err("must time out");
+        match err {
+            GuardError::TimedOut { stdout, .. } => {
+                let text = String::from_utf8_lossy(&stdout);
+                assert!(
+                    text.ends_with("[truncated by exo-guard: limit 64 bytes]"),
+                    "truncated partial capture must carry the marker, got: {text:?}"
+                );
+                assert!(
+                    text.starts_with("0123456789"),
+                    "partial output must be preserved before the marker, got: {text:?}"
+                );
+            }
+            other => panic!("expected TimedOut, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn timed_out_untruncated_capture_is_not_marked() {
+        let cfg = GuardConfig::with_timeout(Duration::from_millis(300));
+        let err = run_guarded(&mut sh("echo early; sleep 30"), &cfg).expect_err("must time out");
+        match err {
+            GuardError::TimedOut { stdout, .. } => {
+                assert_eq!(
+                    String::from_utf8_lossy(&stdout),
+                    "early\n",
+                    "a complete (under-cap) partial capture must not be marked"
+                );
+            }
+            other => panic!("expected TimedOut, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn traced_run_records_guard_phases() {
+        let session = exo_obs::session();
+        let cfg = GuardConfig::with_timeout(Duration::from_millis(200));
+        let _ = run_guarded(&mut sh("echo ok"), &cfg);
+        let _ = run_guarded(&mut sh("sleep 30"), &cfg);
+        let trace = session.finish();
+        let names: Vec<&str> = trace.spans().map(|s| s.name).collect();
+        assert!(names.contains(&"guard:run"), "spans: {names:?}");
+        assert!(names.contains(&"guard:spawn"), "spans: {names:?}");
+        assert!(names.contains(&"guard:wait"), "spans: {names:?}");
+        assert!(names.contains(&"guard:kill"), "spans: {names:?}");
+        assert!(
+            trace.events().any(|e| e.name == "guard:timeout"),
+            "the deadline kill must emit a guard:timeout event"
+        );
     }
 
     #[test]

@@ -149,6 +149,72 @@ impl Env {
     }
 }
 
+/// Per-instruction-class execution counts from the slot executor — the
+/// profiling view the RISC-simulator-style accounting wants. Opt-in via
+/// [`Interpreter::enable_profile`]: while disabled (the default) the hot
+/// loop pays only a `None` check per instruction, no counting.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct InstProfile {
+    counts: [u64; InstProfile::CLASSES],
+}
+
+impl InstProfile {
+    const CLASSES: usize = 11;
+    const NAMES: [&'static str; InstProfile::CLASSES] = [
+        "assign",
+        "reduce",
+        "alloc",
+        "loop",
+        "end-loop",
+        "branch",
+        "jump",
+        "call",
+        "pass",
+        "write-config",
+        "window-bind",
+    ];
+
+    fn class_of(inst: &LInst) -> usize {
+        match inst {
+            LInst::Assign { .. } => 0,
+            LInst::Reduce { .. } => 1,
+            LInst::Alloc { .. } => 2,
+            LInst::Loop { .. } => 3,
+            LInst::EndLoop { .. } => 4,
+            LInst::Branch { .. } => 5,
+            LInst::Jump { .. } => 6,
+            LInst::Call { .. } => 7,
+            LInst::Pass => 8,
+            LInst::WriteConfig { .. } => 9,
+            LInst::WindowBind { .. } => 10,
+        }
+    }
+
+    #[inline]
+    fn bump(&mut self, inst: &LInst) {
+        self.counts[InstProfile::class_of(inst)] += 1;
+    }
+
+    /// The count for one instruction class (stable lower-case name,
+    /// e.g. `"assign"`, `"end-loop"`); 0 for unknown names.
+    pub fn count(&self, class: &str) -> u64 {
+        InstProfile::NAMES
+            .iter()
+            .position(|&n| n == class)
+            .map_or(0, |i| self.counts[i])
+    }
+
+    /// Total instructions executed.
+    pub fn total(&self) -> u64 {
+        self.counts.iter().sum()
+    }
+
+    /// Iterates `(class name, count)` pairs in a stable order.
+    pub fn iter(&self) -> impl Iterator<Item = (&'static str, u64)> + '_ {
+        InstProfile::NAMES.iter().copied().zip(self.counts)
+    }
+}
+
 /// Executes object-language procedures against concrete buffers, reporting
 /// events to a [`Monitor`].
 pub struct Interpreter<'a> {
@@ -160,6 +226,9 @@ pub struct Interpreter<'a> {
     /// execution, reported via `Monitor::on_loop_enter`.
     loop_seq: u64,
     frame_pool: Vec<Frame>,
+    /// Opt-in per-instruction-class counters; `None` keeps the counting
+    /// branch off the hot loop.
+    profile: Option<Box<InstProfile>>,
 }
 
 impl<'a> Interpreter<'a> {
@@ -172,7 +241,22 @@ impl<'a> Interpreter<'a> {
             suppress: 0,
             loop_seq: 0,
             frame_pool: Vec::new(),
+            profile: None,
         }
+    }
+
+    /// Turns on per-instruction-class counting (keeps any counts already
+    /// accumulated by an earlier enable).
+    pub fn enable_profile(&mut self) {
+        if self.profile.is_none() {
+            self.profile = Some(Box::default());
+        }
+    }
+
+    /// Takes the accumulated instruction profile, turning counting back
+    /// off. `None` if profiling was never enabled.
+    pub fn take_profile(&mut self) -> Option<Box<InstProfile>> {
+        self.profile.take()
     }
 
     /// Runs `proc` with the given arguments, reporting events to `monitor`.
@@ -190,6 +274,7 @@ impl<'a> Interpreter<'a> {
         args: Vec<ArgValue>,
         monitor: &mut dyn Monitor,
     ) -> Result<()> {
+        let _span = exo_obs::span!("interp:run", "{}", proc.name());
         if args.len() != proc.args().len() {
             return Err(InterpError::BadCall(format!(
                 "procedure `{}` expects {} arguments, got {}",
@@ -300,6 +385,9 @@ impl<'a> Interpreter<'a> {
         let mut loops: Vec<LoopState> = Vec::with_capacity(lp.max_loop_depth);
         let mut pc = 0usize;
         while let Some(inst) = code.get(pc) {
+            if let Some(profile) = self.profile.as_deref_mut() {
+                profile.bump(inst);
+            }
             match inst {
                 LInst::Assign { buf, idx, rhs } => {
                     if self.suppress == 0 {
@@ -1366,6 +1454,51 @@ mod tests {
         assert_eq!(mon.loop_iters, (m + m * n) as u64);
         assert_eq!(mon.writes, (m * n) as u64);
         assert!(mon.reads >= (3 * m * n) as u64);
+    }
+
+    #[test]
+    fn inst_profile_is_opt_in_and_counts_classes() {
+        let registry = ProcRegistry::new();
+        let mut interp = Interpreter::new(&registry);
+        let (m, n) = (3usize, 4usize);
+        let mk_args = || {
+            let (_, a_arg) = ArgValue::from_vec(vec![1.0; m * n], vec![m, n], DataType::F32);
+            let (_, x_arg) = ArgValue::from_vec(vec![1.0; n], vec![n], DataType::F32);
+            let (_, y_arg) = ArgValue::zeros(vec![m], DataType::F32);
+            vec![
+                ArgValue::Int(m as i64),
+                ArgValue::Int(n as i64),
+                a_arg,
+                x_arg,
+                y_arg,
+            ]
+        };
+        // Off by default: a run without enable_profile counts nothing.
+        interp
+            .run(&gemv_proc(), mk_args(), &mut NullMonitor)
+            .unwrap();
+        assert!(interp.take_profile().is_none(), "profiling must be opt-in");
+
+        interp.enable_profile();
+        interp
+            .run(&gemv_proc(), mk_args(), &mut NullMonitor)
+            .unwrap();
+        let profile = interp.take_profile().expect("profile was enabled");
+        assert_eq!(
+            profile.count("reduce"),
+            (m * n) as u64,
+            "one Reduce per inner iteration"
+        );
+        assert!(profile.count("loop") >= m as u64, "{profile:?}");
+        assert!(profile.count("end-loop") >= (m * n) as u64, "{profile:?}");
+        assert_eq!(profile.count("no-such-class"), 0);
+        assert_eq!(
+            profile.total(),
+            profile.iter().map(|(_, c)| c).sum::<u64>(),
+            "total must equal the sum over classes"
+        );
+        // take_profile turned counting back off.
+        assert!(interp.take_profile().is_none());
     }
 
     #[test]

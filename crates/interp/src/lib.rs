@@ -33,7 +33,7 @@ mod shadow;
 
 pub use buffer::{ArgValue, BufRef, BufferData, View};
 pub use error::InterpError;
-pub use exec::Interpreter;
+pub use exec::{InstProfile, Interpreter};
 pub use lower::{
     lower, LArg, LBufRef, LCallArg, LExpr, LInst, LParamKind, LWSpec, LWindow, LoweredProc,
 };

@@ -183,6 +183,7 @@ impl fmt::Display for ScheduleScript {
 /// non-perfectly-nested reorders, unprovable divisibility, vectorization
 /// of unsupported loop bodies, uncontainable accumulator windows.
 pub fn apply_step(p: &ProcHandle, step: &SchedStep, machine: &MachineModel) -> Result<ProcHandle> {
+    let _span = exo_obs::span!("sched:step", "{} on {}", step, p.proc().name());
     match step {
         SchedStep::Reorder { loop_ } => reorder_loops(p, &loop_.resolve(p)?),
         SchedStep::Split {
@@ -233,6 +234,12 @@ pub fn apply_script(
     script: &ScheduleScript,
     machine: &MachineModel,
 ) -> Result<ProcHandle> {
+    let _span = exo_obs::span!(
+        "sched:script",
+        "{} steps on {}",
+        script.steps.len(),
+        p.proc().name()
+    );
     let mut current = p.clone();
     for step in &script.steps {
         current = apply_step(&current, step, machine)?;

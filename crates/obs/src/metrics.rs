@@ -1,0 +1,289 @@
+//! Counters and fixed-bucket histograms.
+//!
+//! Both types are plain atomics: increments are wait-free, never lock,
+//! and never lose counts under concurrency (`fetch_add` on relaxed
+//! atomics — the tests hammer this from many threads). Histograms use
+//! fixed power-of-two bucket bounds so recording is a binary search +
+//! one `fetch_add`; percentile summaries are computed from one bucket
+//! snapshot, which makes `p50 <= p90 <= p99` monotone by construction.
+//!
+//! A process-wide [`Registry`] maps names to shared counters and
+//! histograms for code that wants drive-by metrics without plumbing;
+//! subsystems with a natural home for their metrics (e.g. the serve
+//! stats block) embed [`Counter`]/[`Histogram`] directly instead.
+
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, OnceLock};
+use std::time::Duration;
+
+/// A monotone counter. Increments are wait-free and never lost.
+#[derive(Debug, Default)]
+pub struct Counter(AtomicU64);
+
+impl Counter {
+    /// A zeroed counter.
+    pub const fn new() -> Self {
+        Counter(AtomicU64::new(0))
+    }
+
+    /// Adds one.
+    pub fn inc(&self) {
+        self.0.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Adds `n`.
+    pub fn add(&self, n: u64) {
+        self.0.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Current value.
+    pub fn get(&self) -> u64 {
+        self.0.load(Ordering::Relaxed)
+    }
+}
+
+/// Plain-data percentile summary of a [`Histogram`].
+///
+/// Percentiles are bucket upper bounds (clamped to the observed
+/// maximum), so they are conservative: the true quantile is ≤ the
+/// reported value.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct HistSummary {
+    /// Samples recorded.
+    pub count: u64,
+    /// Sum of all samples.
+    pub sum: u64,
+    /// Largest sample.
+    pub max: u64,
+    /// 50th percentile (bucket-resolved).
+    pub p50: u64,
+    /// 90th percentile (bucket-resolved).
+    pub p90: u64,
+    /// 99th percentile (bucket-resolved).
+    pub p99: u64,
+}
+
+impl HistSummary {
+    /// Mean sample value (0 when empty).
+    pub fn mean(&self) -> u64 {
+        self.sum.checked_div(self.count).unwrap_or(0)
+    }
+}
+
+/// A fixed-bucket histogram. `bounds` are inclusive upper bounds of the
+/// first `bounds.len()` buckets; one implicit overflow bucket catches
+/// everything larger.
+#[derive(Debug)]
+pub struct Histogram {
+    bounds: Vec<u64>,
+    buckets: Vec<AtomicU64>,
+    count: AtomicU64,
+    sum: AtomicU64,
+    max: AtomicU64,
+}
+
+impl Histogram {
+    /// A histogram over explicit bucket upper bounds (sorted and
+    /// deduplicated; an overflow bucket is added automatically).
+    pub fn with_bounds(mut bounds: Vec<u64>) -> Self {
+        bounds.sort_unstable();
+        bounds.dedup();
+        let buckets = (0..=bounds.len()).map(|_| AtomicU64::new(0)).collect();
+        Histogram {
+            bounds,
+            buckets,
+            count: AtomicU64::new(0),
+            sum: AtomicU64::new(0),
+            max: AtomicU64::new(0),
+        }
+    }
+
+    /// The standard latency histogram: power-of-two nanosecond buckets
+    /// from 256 ns to ~64 s (30 buckets), resolving sub-microsecond
+    /// primitives and multi-second guard timeouts alike.
+    pub fn latency_ns() -> Self {
+        Histogram::with_bounds((8..=36).map(|shift| 1u64 << shift).collect())
+    }
+
+    /// Records one sample.
+    pub fn record(&self, value: u64) {
+        let idx = self.bounds.partition_point(|&b| value > b);
+        if let Some(bucket) = self.buckets.get(idx) {
+            bucket.fetch_add(1, Ordering::Relaxed);
+        }
+        self.count.fetch_add(1, Ordering::Relaxed);
+        self.sum.fetch_add(value, Ordering::Relaxed);
+        self.max.fetch_max(value, Ordering::Relaxed);
+    }
+
+    /// Records a duration in nanoseconds.
+    pub fn record_duration(&self, d: Duration) {
+        self.record(d.as_nanos().min(u64::MAX as u128) as u64);
+    }
+
+    /// One-snapshot percentile summary (monotone across quantiles).
+    pub fn summary(&self) -> HistSummary {
+        let counts: Vec<u64> = self
+            .buckets
+            .iter()
+            .map(|b| b.load(Ordering::Relaxed))
+            .collect();
+        let total: u64 = counts.iter().sum();
+        let max = self.max.load(Ordering::Relaxed);
+        let quantile = |q: f64| -> u64 {
+            if total == 0 {
+                return 0;
+            }
+            let target = ((q * total as f64).ceil() as u64).clamp(1, total);
+            let mut cum = 0u64;
+            for (idx, &c) in counts.iter().enumerate() {
+                cum += c;
+                if cum >= target {
+                    return match self.bounds.get(idx) {
+                        Some(&bound) => bound.min(max),
+                        None => max, // overflow bucket
+                    };
+                }
+            }
+            max
+        };
+        HistSummary {
+            count: total,
+            sum: self.sum.load(Ordering::Relaxed),
+            max,
+            p50: quantile(0.50),
+            p90: quantile(0.90),
+            p99: quantile(0.99),
+        }
+    }
+}
+
+impl Default for Histogram {
+    /// Defaults to the standard latency bucket layout ([`Histogram::latency_ns`]).
+    fn default() -> Self {
+        Histogram::latency_ns()
+    }
+}
+
+/// A name → metric map shared across threads. Lookup takes a lock;
+/// callers hold the returned `Arc` and increment it lock-free.
+#[derive(Debug, Default)]
+pub struct Registry {
+    counters: Mutex<BTreeMap<String, Arc<Counter>>>,
+    histograms: Mutex<BTreeMap<String, Arc<Histogram>>>,
+}
+
+impl Registry {
+    /// An empty registry.
+    pub fn new() -> Self {
+        Registry::default()
+    }
+
+    /// The counter named `name`, created on first use.
+    pub fn counter(&self, name: &str) -> Arc<Counter> {
+        let mut map = self.counters.lock().unwrap_or_else(|e| e.into_inner());
+        map.entry(name.to_string())
+            .or_insert_with(|| Arc::new(Counter::new()))
+            .clone()
+    }
+
+    /// The latency histogram named `name`, created on first use.
+    pub fn histogram(&self, name: &str) -> Arc<Histogram> {
+        let mut map = self.histograms.lock().unwrap_or_else(|e| e.into_inner());
+        map.entry(name.to_string())
+            .or_insert_with(|| Arc::new(Histogram::latency_ns()))
+            .clone()
+    }
+
+    /// All counter values by name.
+    pub fn counter_values(&self) -> BTreeMap<String, u64> {
+        let map = self.counters.lock().unwrap_or_else(|e| e.into_inner());
+        map.iter().map(|(k, v)| (k.clone(), v.get())).collect()
+    }
+
+    /// All histogram summaries by name.
+    pub fn histogram_summaries(&self) -> BTreeMap<String, HistSummary> {
+        let map = self.histograms.lock().unwrap_or_else(|e| e.into_inner());
+        map.iter().map(|(k, v)| (k.clone(), v.summary())).collect()
+    }
+
+    /// Drops every registered metric (outstanding `Arc`s stay valid but
+    /// are no longer reachable by name).
+    pub fn reset(&self) {
+        self.counters
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .clear();
+        self.histograms
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .clear();
+    }
+}
+
+/// The process-wide registry.
+pub fn registry() -> &'static Registry {
+    static REGISTRY: OnceLock<Registry> = OnceLock::new();
+    REGISTRY.get_or_init(Registry::new)
+}
+
+/// The process-wide counter named `name`.
+pub fn counter(name: &str) -> Arc<Counter> {
+    registry().counter(name)
+}
+
+/// The process-wide latency histogram named `name`.
+pub fn histogram(name: &str) -> Arc<Histogram> {
+    registry().histogram(name)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counter_counts() {
+        let c = Counter::new();
+        c.inc();
+        c.add(41);
+        assert_eq!(c.get(), 42);
+    }
+
+    #[test]
+    fn histogram_percentiles_are_bucket_bounds() {
+        let h = Histogram::with_bounds(vec![10, 100, 1000]);
+        for v in [1u64, 2, 3, 4, 5, 50, 60, 70, 500, 5000] {
+            h.record(v);
+        }
+        let s = h.summary();
+        assert_eq!(s.count, 10);
+        assert_eq!(s.max, 5000);
+        assert_eq!(s.p50, 10, "5th of 10 samples lands in the <=10 bucket");
+        assert_eq!(s.p90, 1000, "9th sample lands in the <=1000 bucket");
+        assert_eq!(s.p99, 5000, "10th sample is in the overflow bucket -> max");
+        assert!(s.p50 <= s.p90 && s.p90 <= s.p99);
+        assert_eq!(
+            s.mean(),
+            (1 + 2 + 3 + 4 + 5 + 50 + 60 + 70 + 500 + 5000) / 10
+        );
+    }
+
+    #[test]
+    fn empty_histogram_summary_is_zero() {
+        let s = Histogram::latency_ns().summary();
+        assert_eq!(s, HistSummary::default());
+    }
+
+    #[test]
+    fn registry_returns_shared_instances() {
+        let r = Registry::new();
+        r.counter("x").add(3);
+        r.counter("x").add(4);
+        assert_eq!(r.counter_values().get("x"), Some(&7));
+        r.histogram("lat").record(1000);
+        assert_eq!(r.histogram_summaries().get("lat").map(|s| s.count), Some(1));
+        r.reset();
+        assert!(r.counter_values().is_empty());
+    }
+}

@@ -86,7 +86,9 @@ pub fn payload_checksum(ok: &ServeOk) -> u64 {
         h.write_str(d);
     }
     for d in &ok.degraded {
-        h.write_str(d.from.name()).write_str(d.reason.name());
+        h.write_str(d.from.name())
+            .write_str(d.to.name())
+            .write_str(d.reason.name());
     }
     if let Some(c) = &ok.c_code {
         h.write_str(c);
@@ -300,6 +302,7 @@ mod tests {
             c_code: None,
             exec: None,
             scheduled_ir: "proc k() {}".into(),
+            trace: crate::types::RequestTrace::default(),
         })
     }
 

@@ -38,6 +38,6 @@ pub use service::{
     request_key, response_checksum, KernelService, ServeConfig, ServeStats, StatsSnapshot, Ticket,
 };
 pub use types::{
-    CacheStatus, Degradation, DegradeReason, Delivery, ExecSummary, ServeError, ServeOk,
-    ServeOptions, ServeRequest, ServeResult, Tier,
+    CacheStatus, Degradation, DegradeReason, Delivery, ExecSummary, RequestTrace, ServeError,
+    ServeOk, ServeOptions, ServeRequest, ServeResult, Tier, TraceStep,
 };

@@ -21,8 +21,8 @@
 use crate::cache::{payload_checksum, Admission, Fnv, ResultCache};
 use crate::fault::{Fault, FaultPlan};
 use crate::types::{
-    CacheStatus, Degradation, DegradeReason, Delivery, ExecSummary, ServeError, ServeOk,
-    ServeRequest, ServeResult, Tier,
+    CacheStatus, Degradation, DegradeReason, Delivery, ExecSummary, RequestTrace, ServeError,
+    ServeOk, ServeRequest, ServeResult, Tier, TraceStep,
 };
 use exo_analysis::{check_proc, Severity};
 use exo_codegen::difftest::{emit_driver, interp_outputs, synth_inputs};
@@ -32,6 +32,7 @@ use exo_guard::{panic_message, run_guarded, GuardConfig};
 use exo_interp::ProcRegistry;
 use exo_lib::apply_script;
 use exo_machine::{MachineKind, MachineModel};
+use exo_obs::{HistSummary, Histogram};
 use std::collections::VecDeque;
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::path::PathBuf;
@@ -39,7 +40,7 @@ use std::process::Command;
 use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::mpsc::{channel, Receiver};
 use std::sync::{Arc, Condvar, Mutex};
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 /// Service configuration.
 #[derive(Clone, Debug)]
@@ -109,6 +110,9 @@ pub struct ServeStats {
     pub corruptions_recovered: AtomicU64,
     /// Requests canceled by shutdown before processing.
     pub canceled: AtomicU64,
+    /// End-to-end worker pipeline latency per freshly computed request
+    /// (cache hits excluded — they never reach a worker).
+    pub request_latency: Histogram,
 }
 
 /// A plain-data copy of [`ServeStats`] at one moment.
@@ -146,6 +150,8 @@ pub struct StatsSnapshot {
     pub corruptions_recovered: u64,
     /// See [`ServeStats::canceled`].
     pub canceled: u64,
+    /// Percentile summary of [`ServeStats::request_latency`] (ns).
+    pub latency: HistSummary,
 }
 
 impl ServeStats {
@@ -173,6 +179,7 @@ impl ServeStats {
             corruptions_injected: get(&self.corruptions_injected),
             corruptions_recovered: get(&self.corruptions_recovered),
             canceled: get(&self.canceled),
+            latency: self.request_latency.summary(),
         }
     }
 }
@@ -238,6 +245,10 @@ impl KernelService {
         let handles = (0..workers)
             .map(|_| {
                 let inner = inner.clone();
+                // Counted here, not in the thread: `workers_alive()`
+                // must be exact as soon as `new` returns, not once the
+                // OS gets around to scheduling the thread.
+                inner.workers_alive.fetch_add(1, Ordering::Relaxed);
                 std::thread::spawn(move || worker_loop(&inner))
             })
             .collect();
@@ -251,6 +262,7 @@ impl KernelService {
     /// hits and structured errors are all delivered through it, so every
     /// submission resolves to exactly one classified [`Delivery`].
     pub fn submit(&self, request: ServeRequest) -> Ticket {
+        let _span = exo_obs::span!("serve:submit", "{}", request.proc.name());
         let inner = &self.inner;
         let index = inner.stats.submitted.fetch_add(1, Ordering::Relaxed);
         let fault = inner.cfg.fault_plan.fault_at(index);
@@ -259,6 +271,7 @@ impl KernelService {
         match inner.cache.admit(key, tx.clone()) {
             Admission::Hit(value) => {
                 ServeStats::bump(&inner.stats.cache_hits);
+                exo_obs::event("serve:cache", || format!("hit {key:016x}"));
                 let _ = tx.send(Delivery {
                     result: Ok(value),
                     cache: CacheStatus::Hit,
@@ -266,6 +279,7 @@ impl KernelService {
             }
             Admission::NegativeHit(error) => {
                 ServeStats::bump(&inner.stats.negative_hits);
+                exo_obs::event("serve:cache", || format!("negative-hit {key:016x}"));
                 let _ = tx.send(Delivery {
                     result: Err(error),
                     cache: CacheStatus::NegativeHit,
@@ -273,6 +287,7 @@ impl KernelService {
             }
             Admission::Joined => {
                 ServeStats::bump(&inner.stats.coalesced);
+                exo_obs::event("serve:cache", || format!("coalesced {key:016x}"));
             }
             Admission::Compute {
                 recovered_corruption,
@@ -280,6 +295,7 @@ impl KernelService {
                 if recovered_corruption {
                     ServeStats::bump(&inner.stats.corruptions_recovered);
                 }
+                exo_obs::event("serve:cache", || format!("miss {key:016x}"));
                 let shed_at = {
                     let mut q = inner.queue.lock().unwrap_or_else(|e| e.into_inner());
                     if q.len() >= inner.cfg.queue_cap {
@@ -389,7 +405,7 @@ impl Drop for AliveGuard<'_> {
 }
 
 fn worker_loop(inner: &ServiceInner) {
-    inner.workers_alive.fetch_add(1, Ordering::Relaxed);
+    // Incremented by the spawner; this guard only decrements on exit.
     let _alive = AliveGuard(&inner.workers_alive);
     loop {
         let job = {
@@ -405,7 +421,12 @@ fn worker_loop(inner: &ServiceInner) {
             }
         };
         let Some(job) = job else { return };
+        let started = Instant::now();
         let outcome = catch_unwind(AssertUnwindSafe(|| process(inner, &job)));
+        inner
+            .stats
+            .request_latency
+            .record_duration(started.elapsed());
         let result: ServeResult = match outcome {
             Ok(Ok(ok)) => Ok(Arc::new(ok)),
             Ok(Err(err)) => Err(err),
@@ -430,9 +451,74 @@ fn worker_loop(inner: &ServiceInner) {
     }
 }
 
+/// Builds the always-on [`RequestTrace`]: one step per pipeline stage
+/// and tier attempt, timed with `Instant` so it works with global
+/// tracing disabled.
+struct TraceBuilder {
+    started: Instant,
+    step_started: Instant,
+    steps: Vec<TraceStep>,
+}
+
+impl TraceBuilder {
+    fn new() -> Self {
+        let now = Instant::now();
+        TraceBuilder {
+            started: now,
+            step_started: now,
+            steps: Vec::new(),
+        }
+    }
+
+    /// Closes the current step: everything since the previous step (or
+    /// the start) is attributed to `name`.
+    fn step(&mut self, name: &'static str, outcome: String) {
+        let now = Instant::now();
+        self.steps.push(TraceStep {
+            name,
+            ns: dur_ns(now.duration_since(self.step_started)),
+            outcome,
+        });
+        self.step_started = now;
+    }
+
+    fn finish(self) -> RequestTrace {
+        RequestTrace {
+            total_ns: dur_ns(self.started.elapsed()),
+            steps: self.steps,
+        }
+    }
+}
+
+fn dur_ns(d: Duration) -> u64 {
+    d.as_nanos().min(u64::MAX as u128) as u64
+}
+
+/// Records one degradation step in all three sinks: the response's
+/// `degraded` list, the request trace, and (when tracing is on) a
+/// `serve:degrade` event.
+fn degrade(
+    degraded: &mut Vec<Degradation>,
+    trace: &mut TraceBuilder,
+    from: Tier,
+    to: Tier,
+    reason: DegradeReason,
+    detail: String,
+) {
+    trace.step(from.name(), format!("degraded to {to}: {reason}"));
+    exo_obs::event("serve:degrade", || format!("{from} -> {to}: {reason}"));
+    degraded.push(Degradation {
+        from,
+        to,
+        reason,
+        detail,
+    });
+}
+
 /// The per-request pipeline: replay the script, verify the result, emit
 /// C, then walk the tier ladder.
 fn process(inner: &ServiceInner, job: &Job) -> Result<ServeOk, ServeError> {
+    let _req = exo_obs::span!("serve:request", "{}", job.request.proc.name());
     ServeStats::bump(&inner.stats.computed);
     if matches!(job.fault, Some(Fault::WorkerPanic)) {
         // Injected via `panic_any` (not the `panic!` macro: library
@@ -445,12 +531,20 @@ fn process(inner: &ServiceInner, job: &Job) -> Result<ServeOk, ServeError> {
     }
     let request = &job.request;
     let machine = machine_for(request.target);
+    let mut trace = TraceBuilder::new();
     let base = ProcHandle::new(request.proc.clone());
-    let scheduled = apply_script(&base, &request.script, &machine)
-        .map_err(|e| ServeError::BadSchedule(e.to_string()))?;
+    let scheduled = {
+        let _span = exo_obs::span!("serve:replay", "{} steps", request.script.steps.len());
+        apply_script(&base, &request.script, &machine)
+            .map_err(|e| ServeError::BadSchedule(e.to_string()))?
+    };
     let proc = scheduled.proc();
+    trace.step("replay", "ok".to_string());
 
-    let findings = check_proc(proc);
+    let findings = {
+        let _span = exo_obs::span!("serve:verify", "{}", proc.name());
+        check_proc(proc)
+    };
     let diagnostics: Vec<String> = findings
         .iter()
         .map(|d| format!("{} [{:?}] {}", d.code, d.severity, d.message))
@@ -458,6 +552,7 @@ fn process(inner: &ServiceInner, job: &Job) -> Result<ServeOk, ServeError> {
     if findings.iter().any(|d| d.severity == Severity::Error) {
         return Err(ServeError::Rejected { diagnostics });
     }
+    trace.step("verify", format!("ok ({} findings)", findings.len()));
 
     let registry: ProcRegistry = machine
         .instructions(exo_ir::DataType::F32)
@@ -468,21 +563,29 @@ fn process(inner: &ServiceInner, job: &Job) -> Result<ServeOk, ServeError> {
     } else {
         CodegenOptions::portable()
     };
-    let unit = emit_c(proc, &registry, &opts).map_err(|e| ServeError::Codegen(e.to_string()))?;
+    let unit = {
+        let _span = exo_obs::span!("serve:emit", "{}", proc.name());
+        emit_c(proc, &registry, &opts).map_err(|e| ServeError::Codegen(e.to_string()))?
+    };
+    trace.step("emit", "ok".to_string());
 
     let mut degraded: Vec<Degradation> = Vec::new();
     let mut tier = request.options.tier;
     let exec = loop {
+        let _tier_span = exo_obs::span!("serve:tier", "{}", tier.name());
         match tier {
             Tier::NativeRun => {
                 let inputs = match synth_inputs(proc, request.options.input_seed) {
                     Ok(inputs) => inputs,
                     Err(detail) => {
-                        degraded.push(Degradation {
-                            from: Tier::NativeRun,
-                            reason: DegradeReason::InputSynthesis,
+                        degrade(
+                            &mut degraded,
+                            &mut trace,
+                            Tier::NativeRun,
+                            Tier::CompileOnly,
+                            DegradeReason::InputSynthesis,
                             detail,
-                        });
+                        );
                         tier = Tier::CompileOnly;
                         continue;
                     }
@@ -494,21 +597,27 @@ fn process(inner: &ServiceInner, job: &Job) -> Result<ServeOk, ServeError> {
                         Err((reason, detail)) => {
                             // The unit compiled; serve the compile-only
                             // tier from the artifact we already have.
-                            degraded.push(Degradation {
-                                from: Tier::NativeRun,
+                            degrade(
+                                &mut degraded,
+                                &mut trace,
+                                Tier::NativeRun,
+                                Tier::CompileOnly,
                                 reason,
                                 detail,
-                            });
+                            );
                             tier = Tier::CompileOnly;
                             break None;
                         }
                     },
                     Err((reason, detail)) => {
-                        degraded.push(Degradation {
-                            from: Tier::NativeRun,
+                        degrade(
+                            &mut degraded,
+                            &mut trace,
+                            Tier::NativeRun,
+                            Tier::Interp,
                             reason,
                             detail,
-                        });
+                        );
                         tier = Tier::Interp;
                     }
                 }
@@ -517,11 +626,14 @@ fn process(inner: &ServiceInner, job: &Job) -> Result<ServeOk, ServeError> {
                 match compile_guarded(inner, &unit.code, &unit, job.fault, false) {
                     Ok(_) => break None,
                     Err((reason, detail)) => {
-                        degraded.push(Degradation {
-                            from: Tier::CompileOnly,
+                        degrade(
+                            &mut degraded,
+                            &mut trace,
+                            Tier::CompileOnly,
+                            Tier::Interp,
                             reason,
                             detail,
-                        });
+                        );
                         tier = Tier::Interp;
                     }
                 }
@@ -530,11 +642,14 @@ fn process(inner: &ServiceInner, job: &Job) -> Result<ServeOk, ServeError> {
                 let inputs = match synth_inputs(proc, request.options.input_seed) {
                     Ok(inputs) => inputs,
                     Err(detail) => {
-                        degraded.push(Degradation {
-                            from: Tier::Interp,
-                            reason: DegradeReason::InputSynthesis,
+                        degrade(
+                            &mut degraded,
+                            &mut trace,
+                            Tier::Interp,
+                            Tier::VerifiedIr,
+                            DegradeReason::InputSynthesis,
                             detail,
-                        });
+                        );
                         tier = Tier::VerifiedIr;
                         continue;
                     }
@@ -543,11 +658,14 @@ fn process(inner: &ServiceInner, job: &Job) -> Result<ServeOk, ServeError> {
                 match interp_outputs(proc, &registry, &inputs) {
                     Ok(buffers) => break Some(summarize(&buffers)),
                     Err(detail) => {
-                        degraded.push(Degradation {
-                            from: Tier::Interp,
-                            reason: DegradeReason::InterpTrap,
+                        degrade(
+                            &mut degraded,
+                            &mut trace,
+                            Tier::Interp,
+                            Tier::VerifiedIr,
+                            DegradeReason::InterpTrap,
                             detail,
-                        });
+                        );
                         tier = Tier::VerifiedIr;
                     }
                 }
@@ -555,6 +673,7 @@ fn process(inner: &ServiceInner, job: &Job) -> Result<ServeOk, ServeError> {
             Tier::VerifiedIr => break None,
         }
     };
+    trace.step(tier.name(), "served".to_string());
 
     inner
         .stats
@@ -568,6 +687,7 @@ fn process(inner: &ServiceInner, job: &Job) -> Result<ServeOk, ServeError> {
         c_code: request.options.want_c.then(|| unit.code.clone()),
         exec,
         scheduled_ir: proc.to_string(),
+        trace: trace.finish(),
     })
 }
 

@@ -91,6 +91,8 @@ impl fmt::Display for DegradeReason {
 pub struct Degradation {
     /// The tier that was abandoned.
     pub from: Tier,
+    /// The tier the service stepped down to.
+    pub to: Tier,
     /// Why it was abandoned.
     pub reason: DegradeReason,
     /// Human-readable detail (the compiler's diagnostics, the timeout,
@@ -102,9 +104,61 @@ impl fmt::Display for Degradation {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         write!(
             f,
-            "{} abandoned ({}): {}",
-            self.from, self.reason, self.detail
+            "{} abandoned for {} ({}): {}",
+            self.from, self.to, self.reason, self.detail
         )
+    }
+}
+
+/// One step of the per-request pipeline, as recorded in a
+/// [`RequestTrace`]: the stage name (`"replay"`, `"verify"`, `"emit"`,
+/// or a tier name), how long it took, and how it ended.
+#[derive(Clone, Debug)]
+pub struct TraceStep {
+    /// Stage name.
+    pub name: &'static str,
+    /// Wall-clock nanoseconds spent in the stage.
+    pub ns: u64,
+    /// How the stage ended: `"ok"`, `"served"`, or
+    /// `"degraded to <tier>: <reason>"`.
+    pub outcome: String,
+}
+
+impl fmt::Display for TraceStep {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} [{} us]: {}", self.name, self.ns / 1000, self.outcome)
+    }
+}
+
+/// The always-on per-request timing summary returned with every
+/// [`ServeOk`]: one [`TraceStep`] per pipeline stage and tier attempt,
+/// in execution order. Unlike the `exo-obs` spans (opt-in, global),
+/// this rides along with the response so a caller can see where its
+/// own request's time went and why each degradation happened.
+#[derive(Clone, Debug, Default)]
+pub struct RequestTrace {
+    /// Pipeline steps in execution order.
+    pub steps: Vec<TraceStep>,
+    /// Total wall-clock nanoseconds in the worker pipeline.
+    pub total_ns: u64,
+}
+
+impl RequestTrace {
+    /// The step named `name`, if it was reached.
+    pub fn step(&self, name: &str) -> Option<&TraceStep> {
+        self.steps.iter().find(|s| s.name == name)
+    }
+}
+
+impl fmt::Display for RequestTrace {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for (i, step) in self.steps.iter().enumerate() {
+            if i > 0 {
+                writeln!(f)?;
+            }
+            write!(f, "{step}")?;
+        }
+        Ok(())
     }
 }
 
@@ -176,6 +230,10 @@ pub struct ServeOk {
     pub exec: Option<ExecSummary>,
     /// Pretty-printed scheduled IR.
     pub scheduled_ir: String,
+    /// Per-request pipeline timing and degradation summary. Excluded
+    /// from the cache payload checksum (it is timing, not content);
+    /// cache hits replay the original computation's trace.
+    pub trace: RequestTrace,
 }
 
 /// Every way a request can fail, as a value.

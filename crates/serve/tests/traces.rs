@@ -1,0 +1,236 @@
+//! Degradation provenance contracts: every injected fault kind produces
+//! a pinned `Degradation { from, to }` sequence, and the per-request
+//! [`RequestTrace`] names every pipeline step with its outcome —
+//! including the full ladder native-run → compile-only → interp →
+//! verified-ir.
+
+use exo_ir::{ib, var, Expr};
+use exo_kernels::{scal, Precision};
+use exo_lib::ScheduleScript;
+use exo_machine::MachineKind;
+use exo_serve::proc_guard::GuardConfig;
+use exo_serve::{
+    DegradeReason, Fault, FaultPlan, KernelService, RequestTrace, ServeConfig, ServeOptions,
+    ServeRequest, Tier,
+};
+use std::sync::Arc;
+use std::time::Duration;
+
+const WAIT: Duration = Duration::from_secs(120);
+
+fn native_request() -> ServeRequest {
+    ServeRequest {
+        proc: scal(Precision::Single),
+        script: ScheduleScript::new(vec![]),
+        target: MachineKind::Scalar,
+        options: ServeOptions {
+            tier: Tier::NativeRun,
+            ..ServeOptions::default()
+        },
+    }
+}
+
+fn service_with(fault: Fault) -> KernelService {
+    let mut cfg = ServeConfig {
+        fault_plan: FaultPlan::none().with(0, fault),
+        ..ServeConfig::default()
+    };
+    cfg.compile_guard = GuardConfig {
+        spawn_retries: 1,
+        backoff_base: Duration::from_millis(1),
+        ..GuardConfig::with_timeout(Duration::from_millis(1500))
+    };
+    cfg.run_guard = GuardConfig::with_timeout(Duration::from_millis(1500));
+    KernelService::new(cfg)
+}
+
+fn serve(service: &KernelService, request: ServeRequest) -> Arc<exo_serve::ServeOk> {
+    service
+        .submit(request)
+        .wait_timeout(WAIT)
+        .expect("request hung")
+        .result
+        .expect("must degrade, not fail")
+}
+
+/// `(from, to, reason)` triples of the degradation sequence.
+fn ladder(ok: &exo_serve::ServeOk) -> Vec<(Tier, Tier, DegradeReason)> {
+    ok.degraded
+        .iter()
+        .map(|d| (d.from, d.to, d.reason))
+        .collect()
+}
+
+#[test]
+fn cc_hang_pins_native_to_interp() {
+    let ok = serve(&service_with(Fault::CcHang), native_request());
+    assert_eq!(ok.tier, Tier::Interp);
+    assert_eq!(
+        ladder(&ok),
+        vec![(
+            Tier::NativeRun,
+            Tier::Interp,
+            DegradeReason::CompilerTimeout
+        )]
+    );
+    // The trace names the failed attempt and the serving tier.
+    let native = ok.trace.step("native-run").expect("native-run step");
+    assert_eq!(native.outcome, "degraded to interp: compiler-timeout");
+    assert_eq!(
+        ok.trace.step("interp").expect("interp step").outcome,
+        "served"
+    );
+}
+
+#[test]
+fn cc_missing_pins_native_to_interp() {
+    let ok = serve(&service_with(Fault::CcMissing), native_request());
+    assert_eq!(ok.tier, Tier::Interp);
+    assert_eq!(
+        ladder(&ok),
+        vec![(
+            Tier::NativeRun,
+            Tier::Interp,
+            DegradeReason::CompilerUnavailable
+        )]
+    );
+    let native = ok.trace.step("native-run").expect("native-run step");
+    assert_eq!(native.outcome, "degraded to interp: compiler-unavailable");
+}
+
+#[test]
+fn binary_hang_pins_native_to_compile_only() {
+    if !exo_codegen::difftest::cc_available() {
+        eprintln!("skipping: no C compiler on PATH");
+        return;
+    }
+    let ok = serve(&service_with(Fault::BinaryHang), native_request());
+    assert_eq!(ok.tier, Tier::CompileOnly);
+    assert_eq!(
+        ladder(&ok),
+        vec![(
+            Tier::NativeRun,
+            Tier::CompileOnly,
+            DegradeReason::BinaryTimeout
+        )]
+    );
+    let native = ok.trace.step("native-run").expect("native-run step");
+    assert_eq!(native.outcome, "degraded to compile-only: binary-timeout");
+    assert_eq!(
+        ok.trace
+            .step("compile-only")
+            .expect("compile-only step")
+            .outcome,
+        "served"
+    );
+}
+
+#[test]
+fn worker_panic_yields_internal_not_a_degradation() {
+    let d = service_with(Fault::WorkerPanic)
+        .submit(native_request())
+        .wait_timeout(WAIT)
+        .expect("request hung");
+    assert!(
+        matches!(d.result, Err(exo_serve::ServeError::Internal(_))),
+        "a caught panic is classified, never served as a degraded success"
+    );
+}
+
+#[test]
+fn cache_corruption_never_appears_as_a_degradation() {
+    let service = service_with(Fault::CacheCorruption);
+    let mut req = native_request();
+    req.options.tier = Tier::Interp;
+    let ok = serve(&service, req.clone());
+    assert!(
+        ok.degraded.is_empty(),
+        "corruption is a cache fault, not a tier fault"
+    );
+    // The corrupt entry is quarantined on the next hit and recomputed
+    // cleanly — still zero degradations.
+    let ok2 = serve(&service, req);
+    assert!(ok2.degraded.is_empty());
+    assert_eq!(service.stats().corruptions_recovered, 1);
+}
+
+#[test]
+fn clean_request_trace_names_every_stage() {
+    let service = KernelService::new(ServeConfig::default());
+    let mut req = native_request();
+    req.options.tier = Tier::Interp;
+    let ok = serve(&service, req);
+    let names: Vec<&str> = ok.trace.steps.iter().map(|s| s.name).collect();
+    assert_eq!(names, vec!["replay", "verify", "emit", "interp"]);
+    assert_eq!(ok.trace.step("replay").expect("replay").outcome, "ok");
+    assert_eq!(ok.trace.step("interp").expect("interp").outcome, "served");
+    assert!(
+        ok.trace.total_ns >= ok.trace.steps.iter().map(|s| s.ns).sum::<u64>(),
+        "step times must not exceed the total"
+    );
+}
+
+#[test]
+fn full_ladder_trace_walks_every_tier() {
+    // A kernel whose assertions no synthesized size satisfies: input
+    // synthesis fails on every executing tier. Combined with a missing
+    // compiler, the request walks the whole ladder:
+    //   native-run   -> compile-only  (input-synthesis)
+    //   compile-only -> interp        (compiler-unavailable)
+    //   interp       -> verified-ir   (input-synthesis)
+    let service = service_with(Fault::CcMissing);
+    let mut req = native_request();
+    req.proc = req.proc.add_assertion(Expr::eq_(var("n"), ib(3)));
+    let ok = serve(&service, req);
+    assert_eq!(ok.tier, Tier::VerifiedIr);
+    assert_eq!(
+        ladder(&ok),
+        vec![
+            (
+                Tier::NativeRun,
+                Tier::CompileOnly,
+                DegradeReason::InputSynthesis
+            ),
+            (
+                Tier::CompileOnly,
+                Tier::Interp,
+                DegradeReason::CompilerUnavailable
+            ),
+            (
+                Tier::Interp,
+                Tier::VerifiedIr,
+                DegradeReason::InputSynthesis
+            ),
+        ]
+    );
+
+    // The request trace names every step with its outcome and reason.
+    let trace: &RequestTrace = &ok.trace;
+    let steps: Vec<(&str, &str)> = trace
+        .steps
+        .iter()
+        .map(|s| (s.name, s.outcome.as_str()))
+        .collect();
+    assert_eq!(
+        steps,
+        vec![
+            ("replay", "ok"),
+            ("verify", "ok (0 findings)"),
+            ("emit", "ok"),
+            ("native-run", "degraded to compile-only: input-synthesis"),
+            ("compile-only", "degraded to interp: compiler-unavailable"),
+            ("interp", "degraded to verified-ir: input-synthesis"),
+            ("verified-ir", "served"),
+        ]
+    );
+    assert!(ok.exec.is_none(), "verified-ir executes nothing");
+
+    // Displaying the trace mentions every tier by name.
+    let rendered = trace.to_string();
+    for tier in ["native-run", "compile-only", "interp", "verified-ir"] {
+        assert!(
+            rendered.contains(tier),
+            "trace display must name {tier}: {rendered}"
+        );
+    }
+}

@@ -1,7 +1,7 @@
 #!/usr/bin/env bash
 # Guards the bugfix contract of the cursors / ir::expr / machine::isa
 # library code — and the whole exo-codegen, exo-autotune, exo-analysis,
-# exo-guard and exo-serve crates — no
+# exo-guard, exo-serve and exo-obs crates — no
 # panic!/unreachable!/todo!/unwrap()/expect()
 # on any reachable library path. Only the library portion of each file is scanned (everything
 # before its `#[cfg(test)]` module); doc-comment and comment lines are
@@ -41,6 +41,10 @@ FILES=(
   crates/serve/src/cache.rs
   crates/serve/src/fault.rs
   crates/serve/src/service.rs
+  crates/obs/src/lib.rs
+  crates/obs/src/trace.rs
+  crates/obs/src/metrics.rs
+  crates/obs/src/export.rs
 )
 
 status=0
@@ -83,4 +87,4 @@ if [ "$status" -ne 0 ]; then
   echo "error: panicking constructs found on library paths (see above)" >&2
   exit 1
 fi
-echo "ok: no panic!/unwrap/expect on library paths in cursors, ir::expr, machine::isa, codegen, autotune, lib::record, analysis, guard, serve"
+echo "ok: no panic!/unwrap/expect on library paths in cursors, ir::expr, machine::isa, codegen, autotune, lib::record, analysis, guard, serve, obs"
