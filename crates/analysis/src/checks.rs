@@ -241,6 +241,368 @@ pub fn loop_is_parallelizable(iter: &Sym, body_effects: &Effects, ctx: &Context)
     true
 }
 
+/// A per-iteration rectangular footprint of one buffer access inside a
+/// candidate threaded-loop body: per dimension a half-open interval
+/// `[lo, hi)` of linearized index bounds (a point access `e` is
+/// `[e, e + 1)`).
+struct Region {
+    buf: Sym,
+    dims: Vec<(LinExpr, LinExpr)>,
+    /// Iterators bound inside the analyzed body, in scope at this access.
+    iters: Vec<Sym>,
+    written: bool,
+}
+
+fn point_dim(e: &Expr) -> (LinExpr, LinExpr) {
+    let lo = LinExpr::from_expr(e);
+    let hi = lo.add(&LinExpr::constant(1));
+    (lo, hi)
+}
+
+fn waccess_dim(w: &exo_ir::WAccess) -> (LinExpr, LinExpr) {
+    match w {
+        exo_ir::WAccess::Point(e) => point_dim(e),
+        exo_ir::WAccess::Interval(lo, hi) => (LinExpr::from_expr(lo), LinExpr::from_expr(hi)),
+    }
+}
+
+/// A per-`(callee, argument-index)` writability oracle for the region
+/// analysis: `Some(false)` means the callee provably never writes that
+/// argument, `Some(true)` that it does (or may), and `None` that the
+/// callee is unknown — treated as a write. Callers holding the callee
+/// bodies (a `ProcRegistry`, a `MachineModel`'s instruction list) build
+/// one from [`written_params`]; everyone else gets the conservative
+/// `&|_, _| None`.
+pub type CalleeWrites<'a> = &'a dyn Fn(&str, usize) -> Option<bool>;
+
+/// Which positional arguments `proc`'s body may write, derived from the
+/// body itself: an argument is written when it is the target of an
+/// assignment or reduction, aliased by a window statement, or passed on
+/// to a nested call in any buffer position (no recursion — the nested
+/// callee's body is not at hand here). Scalar and size arguments are
+/// never written (the IR has no address-of).
+pub fn written_params(proc: &exo_ir::Proc) -> Vec<bool> {
+    fn mark<'a>(stmts: impl IntoIterator<Item = &'a Stmt>, written: &mut BTreeSet<Sym>) {
+        for s in stmts {
+            match s {
+                Stmt::Assign { buf, .. } | Stmt::Reduce { buf, .. } => {
+                    written.insert(buf.clone());
+                }
+                // The alias may be written later; charge the source.
+                Stmt::WindowStmt {
+                    rhs: Expr::Window { buf, .. },
+                    ..
+                } => {
+                    written.insert(buf.clone());
+                }
+                Stmt::Call { args, .. } => {
+                    for a in args {
+                        match a {
+                            Expr::Window { buf, .. } | Expr::Read { buf, .. } => {
+                                written.insert(buf.clone());
+                            }
+                            Expr::Var(v) => {
+                                written.insert(v.clone());
+                            }
+                            _ => {}
+                        }
+                    }
+                }
+                Stmt::For { body, .. } => mark(body, written),
+                Stmt::If {
+                    then_body,
+                    else_body,
+                    ..
+                } => {
+                    mark(then_body, written);
+                    mark(else_body, written);
+                }
+                _ => {}
+            }
+        }
+    }
+    let mut written = BTreeSet::new();
+    mark(proc.body(), &mut written);
+    proc.args()
+        .iter()
+        .map(|a| written.contains(&a.name))
+        .collect()
+}
+
+/// Collects every buffer region a loop body touches. Call-argument
+/// windows are written or read per the [`CalleeWrites`] oracle (written
+/// when unknown) and reduces are plain writes — under OS threads `+=`
+/// is a read-modify-write data race even though it commutes
+/// semantically. Collection *fails* (returns `false`) on constructs the
+/// region analysis cannot bound: window aliases, config writes, bare
+/// non-private buffer arguments a callee may write.
+struct RegionCollector<'c> {
+    iters: Vec<Sym>,
+    allocs: BTreeSet<Sym>,
+    regions: Vec<Region>,
+    callee_writes: CalleeWrites<'c>,
+}
+
+impl<'c> RegionCollector<'c> {
+    fn new(callee_writes: CalleeWrites<'c>) -> Self {
+        RegionCollector {
+            iters: Vec::new(),
+            allocs: BTreeSet::new(),
+            regions: Vec::new(),
+            callee_writes,
+        }
+    }
+
+    fn push(&mut self, buf: &Sym, dims: Vec<(LinExpr, LinExpr)>, written: bool) {
+        self.regions.push(Region {
+            buf: buf.clone(),
+            dims,
+            iters: self.iters.clone(),
+            written,
+        });
+    }
+
+    fn expr(&mut self, e: &Expr) -> bool {
+        match e {
+            Expr::Read { buf, idx } => {
+                self.push(buf, idx.iter().map(point_dim).collect(), false);
+                idx.iter().all(|i| self.expr(i))
+            }
+            Expr::Window { buf, idx } => {
+                self.push(buf, idx.iter().map(waccess_dim).collect(), false);
+                idx.iter().all(|w| match w {
+                    exo_ir::WAccess::Point(e) => self.expr(e),
+                    exo_ir::WAccess::Interval(lo, hi) => self.expr(lo) && self.expr(hi),
+                })
+            }
+            Expr::Bin { lhs, rhs, .. } => self.expr(lhs) && self.expr(rhs),
+            Expr::Un { arg, .. } => self.expr(arg),
+            Expr::Int(_)
+            | Expr::Float(_)
+            | Expr::Bool(_)
+            | Expr::Var(_)
+            | Expr::Stride { .. }
+            | Expr::ReadConfig { .. } => true,
+        }
+    }
+
+    fn stmts<'a>(&mut self, stmts: impl IntoIterator<Item = &'a Stmt>) -> bool {
+        stmts.into_iter().all(|s| self.stmt(s))
+    }
+
+    fn stmt(&mut self, s: &Stmt) -> bool {
+        match s {
+            Stmt::Assign { buf, idx, rhs } | Stmt::Reduce { buf, idx, rhs } => {
+                self.push(buf, idx.iter().map(point_dim).collect(), true);
+                idx.iter().all(|i| self.expr(i)) && self.expr(rhs)
+            }
+            Stmt::Alloc { name, dims, .. } => {
+                self.allocs.insert(name.clone());
+                dims.iter().all(|d| self.expr(d))
+            }
+            Stmt::For {
+                iter, lo, hi, body, ..
+            } => {
+                if !(self.expr(lo) && self.expr(hi)) {
+                    return false;
+                }
+                self.iters.push(iter.clone());
+                let ok = self.stmts(body);
+                self.iters.pop();
+                ok
+            }
+            Stmt::If {
+                cond,
+                then_body,
+                else_body,
+            } => self.expr(cond) && self.stmts(then_body) && self.stmts(else_body),
+            Stmt::Call { proc, args } => args.iter().enumerate().all(|(n, a)| match a {
+                Expr::Window { buf, idx } => {
+                    let written = (self.callee_writes)(proc, n).unwrap_or(true);
+                    self.push(buf, idx.iter().map(waccess_dim).collect(), written);
+                    idx.iter().all(|w| match w {
+                        exo_ir::WAccess::Point(e) => self.expr(e),
+                        exo_ir::WAccess::Interval(lo, hi) => self.expr(lo) && self.expr(hi),
+                    })
+                }
+                // A bare name passed to a callee is fine when it is a
+                // body-local (hence thread-private) alloc, or when the
+                // callee provably never writes it (a read of unknown
+                // extent pairs against writers and blocks them, which is
+                // exactly right); otherwise the callee could write
+                // through it with unknown extent.
+                Expr::Var(v) => {
+                    if self.allocs.contains(v) {
+                        true
+                    } else if (self.callee_writes)(proc, n) == Some(false) {
+                        self.push(v, Vec::new(), false);
+                        true
+                    } else {
+                        false
+                    }
+                }
+                other => self.expr(other),
+            }),
+            Stmt::Pass => true,
+            // Ordered device state and aliases defeat the region analysis.
+            Stmt::WriteConfig { .. } | Stmt::WindowStmt { .. } => false,
+        }
+    }
+}
+
+/// Whether two regions are provably disjoint for *distinct* values of
+/// `iter`. Looks for one dimension whose bounds all decompose as
+/// `s·iter + r` with a shared nonzero stride `s`, body-invariant
+/// residuals, constant widths `wa`, `wb` and a constant residual offset
+/// `δ`, such that at the closest approach (`|i − i'| = 1`) the intervals
+/// still miss each other: `|s| + δ ≥ wb` and `δ + wa ≤ |s|`. Larger
+/// `|i − i'|` only moves the regions further apart, so one such
+/// dimension proves the pair disjoint.
+fn region_disjoint_across(iter: &Sym, a: &Region, b: &Region) -> bool {
+    if a.dims.len() != b.dims.len() {
+        return false;
+    }
+    for ((alo, ahi), (blo, bhi)) in a.dims.iter().zip(b.dims.iter()) {
+        let s = alo.coeff_of(iter);
+        if s == 0 || ahi.coeff_of(iter) != s || blo.coeff_of(iter) != s || bhi.coeff_of(iter) != s {
+            continue;
+        }
+        // Bounds must not vary with iterators bound inside the body on
+        // either side: those take unrelated values in the two iterations
+        // being compared (`y[x + dx]` vs itself over `x`, `dx` inner).
+        let body_invariant = |l: &LinExpr| {
+            a.iters
+                .iter()
+                .chain(b.iters.iter())
+                .filter(|s2| *s2 != iter)
+                .all(|s2| !l.mentions(s2))
+        };
+        if [alo, ahi, blo, bhi].iter().any(|l| !body_invariant(l)) {
+            continue;
+        }
+        let (Some(wa), Some(wb)) = (ahi.sub(alo).as_constant(), bhi.sub(blo).as_constant()) else {
+            continue;
+        };
+        if wa <= 0 || wb <= 0 {
+            continue;
+        }
+        let mut delta = alo.sub(blo);
+        delta.terms.remove(&crate::linear::Atom::Var(iter.clone()));
+        if delta.mentions(iter) {
+            continue;
+        }
+        let Some(d) = delta.as_constant() else {
+            continue;
+        };
+        let s_abs = s.abs();
+        if s_abs + d >= wb && d + wa <= s_abs {
+            return true;
+        }
+    }
+    false
+}
+
+/// Whether `for iter in ...: body` is safe to execute on OS threads
+/// (`#pragma omp parallel for`): every pair of same-buffer region
+/// accesses in which at least one side writes must be provably disjoint
+/// across distinct iterations. Reductions count as writes (a C-level
+/// `+=` race), call-argument windows count as callee writes, and
+/// body-local allocs are thread-private. The check is incomparable to
+/// [`loop_is_parallelizable`]: stronger on commuting reductions (which
+/// it rejects), weaker on bodies made of instruction calls with
+/// window arguments (which that check rejects outright).
+///
+/// Without callee knowledge every call-argument window counts as a
+/// write; see [`loop_is_threadable_where`] to supply a
+/// [`CalleeWrites`] oracle so read-only operands (the `B` panel of an
+/// FMA, a broadcast source) stop defeating the proof.
+pub fn loop_is_threadable<'a>(iter: &Sym, body: impl IntoIterator<Item = &'a Stmt>) -> bool {
+    loop_is_threadable_where(iter, body, &|_, _| None)
+}
+
+/// [`loop_is_threadable`] with a [`CalleeWrites`] oracle resolving
+/// which call arguments each callee actually writes.
+pub fn loop_is_threadable_where<'a, 'c>(
+    iter: &Sym,
+    body: impl IntoIterator<Item = &'a Stmt>,
+    callee_writes: CalleeWrites<'c>,
+) -> bool {
+    let mut rc = RegionCollector::new(callee_writes);
+    if !rc.stmts(body) {
+        return false;
+    }
+    for w in rc.regions.iter().filter(|r| r.written) {
+        if rc.allocs.contains(&w.buf) {
+            continue;
+        }
+        // Every same-buffer pair with this writer — including the
+        // writer against its own copy from another iteration — must be
+        // provably disjoint across iterations.
+        for o in rc.regions.iter().filter(|r| r.buf == w.buf) {
+            if !region_disjoint_across(iter, w, o) {
+                return false;
+            }
+        }
+    }
+    true
+}
+
+/// The source-level iterator names of the parallel loops in `proc` that
+/// [`loop_is_threadable`] certifies for OS-thread execution. When two
+/// parallel loops share an iterator name and disagree, the name is
+/// conservatively excluded (the C emitter keys pragma placement by
+/// source name).
+pub fn threadable_parallel_loops(proc: &exo_ir::Proc) -> BTreeSet<String> {
+    threadable_parallel_loops_where(proc, &|_, _| None)
+}
+
+/// [`threadable_parallel_loops`] with a [`CalleeWrites`] oracle.
+pub fn threadable_parallel_loops_where(
+    proc: &exo_ir::Proc,
+    callee_writes: CalleeWrites<'_>,
+) -> BTreeSet<String> {
+    fn walk<'a>(
+        stmts: impl IntoIterator<Item = &'a Stmt>,
+        ok: &mut BTreeSet<String>,
+        bad: &mut BTreeSet<String>,
+        cw: CalleeWrites<'_>,
+    ) {
+        for s in stmts {
+            match s {
+                Stmt::For {
+                    iter,
+                    body,
+                    parallel,
+                    ..
+                } => {
+                    if *parallel {
+                        if loop_is_threadable_where(iter, body, cw) {
+                            ok.insert(iter.name().to_string());
+                        } else {
+                            bad.insert(iter.name().to_string());
+                        }
+                    }
+                    walk(body, ok, bad, cw);
+                }
+                Stmt::If {
+                    then_body,
+                    else_body,
+                    ..
+                } => {
+                    walk(then_body, ok, bad, cw);
+                    walk(else_body, ok, bad, cw);
+                }
+                _ => {}
+            }
+        }
+    }
+    let mut ok = BTreeSet::new();
+    let mut bad = BTreeSet::new();
+    walk(proc.body(), &mut ok, &mut bad, callee_writes);
+    ok.retain(|name| !bad.contains(name));
+    ok
+}
+
 /// Whether executing the statements twice in a row is equivalent to
 /// executing them once. Used by `remove_loop`, `add_loop` and
 /// `divide_with_recompute`.
@@ -543,5 +905,211 @@ mod tests {
         assert!(writes_depend_on_iter(&eff, &Sym::new("i")));
         let eff = Effects::of_stmts(&[assign("y", vec![var("j")], fb(0.0))]);
         assert!(!writes_depend_on_iter(&eff, &Sym::new("i")));
+    }
+
+    fn window(buf: &str, idx: Vec<exo_ir::WAccess>) -> Expr {
+        Expr::Window {
+            buf: Sym::new(buf),
+            idx,
+        }
+    }
+
+    #[test]
+    fn threadable_elementwise_loop() {
+        // y[i] = x[i] : disjoint per iteration of i, a race over j.
+        let body = [assign("y", vec![var("i")], read("x", vec![var("i")]))];
+        assert!(loop_is_threadable(&Sym::new("i"), &body));
+        assert!(!loop_is_threadable(&Sym::new("j"), &body));
+    }
+
+    #[test]
+    fn threadable_rejects_commuting_reduction() {
+        // acc += x[i] commutes (parallelizable in the interpreter's
+        // any-order sense) but is a read-modify-write race on threads.
+        let body = [reduce("acc", vec![], read("x", vec![var("i")]))];
+        let eff = Effects::of_stmts(&body);
+        assert!(loop_is_parallelizable(
+            &Sym::new("i"),
+            &eff,
+            &Context::new()
+        ));
+        assert!(!loop_is_threadable(&Sym::new("i"), &body));
+    }
+
+    #[test]
+    fn threadable_certifies_instruction_call_windows() {
+        use exo_ir::WAccess;
+        // The vectorized-kernel shape: instruction calls on row windows
+        // C[i, 16vo : 16vo+16]. `loop_is_parallelizable` rejects any
+        // body with calls; the region analysis certifies it over `i`.
+        let body = [Stmt::For {
+            iter: Sym::new("vo"),
+            lo: ib(0),
+            hi: ib(4),
+            body: Block::from_stmts(vec![Stmt::Call {
+                proc: "mm512_loadu_ps".into(),
+                args: vec![
+                    window(
+                        "C",
+                        vec![
+                            WAccess::Point(var("i")),
+                            WAccess::Interval(ib(16) * var("vo"), ib(16) * var("vo") + ib(16)),
+                        ],
+                    ),
+                    window(
+                        "A",
+                        vec![
+                            WAccess::Point(var("i")),
+                            WAccess::Interval(ib(16) * var("vo"), ib(16) * var("vo") + ib(16)),
+                        ],
+                    ),
+                ],
+            }]),
+            parallel: false,
+        }];
+        let eff = Effects::of_stmts(&body);
+        assert!(!loop_is_parallelizable(
+            &Sym::new("i"),
+            &eff,
+            &Context::new()
+        ));
+        assert!(loop_is_threadable(&Sym::new("i"), &body));
+        // Over `vo` the windows themselves are the strided dimension:
+        // [16vo, 16vo+16) tiles are disjoint across vo.
+        let Stmt::For { body: inner, .. } = &body[0] else {
+            unreachable!()
+        };
+        assert!(loop_is_threadable(&Sym::new("vo"), inner));
+    }
+
+    #[test]
+    fn threadable_overlapping_windows_rejected() {
+        use exo_ir::WAccess;
+        // Windows [8i, 8i+16) overlap between adjacent iterations.
+        let body = [Stmt::Call {
+            proc: "instr".into(),
+            args: vec![window(
+                "y",
+                vec![WAccess::Interval(
+                    ib(8) * var("i"),
+                    ib(8) * var("i") + ib(16),
+                )],
+            )],
+        }];
+        assert!(!loop_is_threadable(&Sym::new("i"), &body));
+        // The exactly-tiling width is certified.
+        let body = [Stmt::Call {
+            proc: "instr".into(),
+            args: vec![window(
+                "y",
+                vec![WAccess::Interval(
+                    ib(8) * var("i"),
+                    ib(8) * var("i") + ib(8),
+                )],
+            )],
+        }];
+        assert!(loop_is_threadable(&Sym::new("i"), &body));
+    }
+
+    #[test]
+    fn threadable_inner_iterator_offsets_rejected() {
+        // y[x + dx] over x: adjacent iterations collide through dx.
+        let body = [Stmt::For {
+            iter: Sym::new("dx"),
+            lo: ib(0),
+            hi: ib(3),
+            body: Block::from_stmts(vec![assign("y", vec![var("x") + var("dx")], fb(0.0))]),
+            parallel: false,
+        }];
+        assert!(!loop_is_threadable(&Sym::new("x"), &body));
+    }
+
+    #[test]
+    fn threadable_private_allocs_and_bare_buffers() {
+        use exo_ir::{DataType, Mem, WAccess};
+        // A body-local staging buffer is thread-private: writes into it
+        // need no cross-iteration proof.
+        let alloc = Stmt::Alloc {
+            name: Sym::new("vtmp"),
+            ty: DataType::F32,
+            dims: vec![ib(16)],
+            mem: Mem::Dram,
+        };
+        let stage = Stmt::Call {
+            proc: "mm512_set1_ps".into(),
+            args: vec![window("vtmp", vec![WAccess::Interval(ib(0), ib(16))])],
+        };
+        assert!(loop_is_threadable(
+            &Sym::new("i"),
+            &[alloc.clone(), stage.clone()]
+        ));
+        // The same call without the local alloc writes a shared buffer
+        // with no i-strided dimension: rejected.
+        assert!(!loop_is_threadable(&Sym::new("i"), &[stage]));
+        // A bare non-private buffer argument is unanalyzable.
+        let opaque = Stmt::Call {
+            proc: "helper".into(),
+            args: vec![var("shared")],
+        };
+        assert!(!loop_is_threadable(&Sym::new("i"), &[opaque]));
+        assert!(loop_is_threadable(
+            &Sym::new("i"),
+            &[
+                alloc,
+                Stmt::Call {
+                    proc: "helper".into(),
+                    args: vec![var("vtmp")],
+                }
+            ]
+        ));
+    }
+
+    #[test]
+    fn threadable_aliases_and_config_bail() {
+        let alias = Stmt::WindowStmt {
+            name: Sym::new("w"),
+            rhs: window("x", vec![exo_ir::WAccess::Interval(ib(0), ib(8))]),
+        };
+        assert!(!loop_is_threadable(&Sym::new("i"), &[alias]));
+        let wcfg = Stmt::WriteConfig {
+            config: Sym::new("cfg"),
+            field: "stride".into(),
+            value: ib(1),
+        };
+        assert!(!loop_is_threadable(&Sym::new("i"), &[wcfg]));
+    }
+
+    #[test]
+    fn threadable_parallel_loops_collects_names() {
+        use exo_ir::{DataType, Mem, ProcBuilder};
+        // Two parallel loops: `i` (disjoint rows — certified) and `j`
+        // (shared accumulator — rejected).
+        let p = ProcBuilder::new("p")
+            .size_arg("n")
+            .tensor_arg("y", DataType::F32, vec![var("n")], Mem::Dram)
+            .tensor_arg("acc", DataType::F32, vec![], Mem::Dram)
+            .tensor_arg("x", DataType::F32, vec![var("n")], Mem::Dram)
+            .stmt(Stmt::For {
+                iter: Sym::new("i"),
+                lo: ib(0),
+                hi: var("n"),
+                body: Block::from_stmts(vec![assign(
+                    "y",
+                    vec![var("i")],
+                    read("x", vec![var("i")]),
+                )]),
+                parallel: true,
+            })
+            .stmt(Stmt::For {
+                iter: Sym::new("j"),
+                lo: ib(0),
+                hi: var("n"),
+                body: Block::from_stmts(vec![reduce("acc", vec![], read("x", vec![var("j")]))]),
+                parallel: true,
+            })
+            .build();
+        let names = threadable_parallel_loops(&p);
+        assert!(names.contains("i"), "{names:?}");
+        assert!(!names.contains("j"), "{names:?}");
     }
 }

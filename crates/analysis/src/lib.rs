@@ -37,10 +37,11 @@ mod verify;
 pub use bounds::{infer_bounds, BoundsFailure, BufferBounds};
 pub use checks::{
     alloc_names, body_depends_on, buffers_written, is_idempotent, loop_is_parallelizable,
-    stmts_commute, writes_depend_on_iter,
+    loop_is_threadable, loop_is_threadable_where, stmts_commute, threadable_parallel_loops,
+    threadable_parallel_loops_where, writes_depend_on_iter, written_params, CalleeWrites,
 };
 pub use context::Context;
 pub use effects::{Access, Effects};
 pub use linear::{provably_equal, LinExpr};
 pub use simplify::{simplify_expr, simplify_predicate, simplify_with_binding};
-pub use verify::{check_proc, prove_le, unproven_buffers, Diagnostic, Severity};
+pub use verify::{check_proc, check_proc_where, prove_le, unproven_buffers, Diagnostic, Severity};

@@ -468,12 +468,27 @@ struct Checker<'p> {
     /// Lexical scope of buffer shapes: `(name, dims)`, innermost last.
     scope: Vec<(Sym, Vec<Expr>)>,
     diags: Vec<Diagnostic>,
+    /// Callee-writability oracle for the V201 region certificate.
+    callee_writes: crate::checks::CalleeWrites<'p>,
 }
 
 /// Statically verifies a whole procedure: every access in-bounds, every
 /// `parallel` loop race-free. Returns all diagnostics found (empty means
-/// fully certified).
+/// fully certified). Calls are treated conservatively (every buffer
+/// argument may be written); see [`check_proc_where`] when the callee
+/// bodies are at hand.
 pub fn check_proc(proc: &Proc) -> Vec<Diagnostic> {
+    check_proc_where(proc, &|_, _| None)
+}
+
+/// [`check_proc`] with a [`crate::checks::CalleeWrites`] oracle, so the
+/// V201 race-freedom certificate can treat provably read-only call
+/// operands (e.g. the source panel of a vector FMA) as reads instead of
+/// conservative writes.
+pub fn check_proc_where(
+    proc: &Proc,
+    callee_writes: crate::checks::CalleeWrites<'_>,
+) -> Vec<Diagnostic> {
     let mut scope = Vec::new();
     for arg in proc.args() {
         if let ArgKind::Tensor { dims, .. } = &arg.kind {
@@ -484,6 +499,7 @@ pub fn check_proc(proc: &Proc) -> Vec<Diagnostic> {
         proc,
         scope,
         diags: Vec::new(),
+        callee_writes,
     };
     let ctx = Context::from_proc(proc);
     let mut path = Vec::new();
@@ -565,7 +581,18 @@ impl Checker<'_> {
                 inner.push_iter(iter.clone(), lo.clone(), hi.clone());
                 if *parallel {
                     let eff = Effects::of_stmts(body.iter());
-                    if !loop_is_parallelizable(iter, &eff, &inner) {
+                    // Two independent certificates: the index-level
+                    // commutativity check (rejects any body with calls)
+                    // and the region-level thread-safety check (handles
+                    // instruction calls via their window footprints).
+                    // Either one proves the iterations order-independent.
+                    if !loop_is_parallelizable(iter, &eff, &inner)
+                        && !crate::checks::loop_is_threadable_where(
+                            iter,
+                            body.iter(),
+                            self.callee_writes,
+                        )
+                    {
                         self.diags.push(Diagnostic {
                             code: "V201",
                             severity: Severity::Error,

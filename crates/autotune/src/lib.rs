@@ -91,6 +91,13 @@ pub struct TuneConfig {
     pub threads: usize,
     /// Seed for input synthesis (shared by simulation and measurement).
     pub input_seed: u64,
+    /// Time candidates as machine-intrinsic (native) units when the host
+    /// toolchain and CPU support them, falling back per candidate to
+    /// portable scalar otherwise. Native timing is what makes the
+    /// fidelity score meaningful: portable scalar wall clock
+    /// systematically penalizes vectorized schedules the cost model
+    /// (correctly) prefers.
+    pub native: bool,
 }
 
 impl Default for TuneConfig {
@@ -102,6 +109,7 @@ impl Default for TuneConfig {
             measure: true,
             threads: 4,
             input_seed: 1,
+            native: true,
         }
     }
 }
@@ -113,9 +121,12 @@ pub struct Candidate {
     pub script: ScheduleScript,
     /// Simulated cycles on the synthesized inputs.
     pub cycles: u64,
-    /// Measured mean nanoseconds per call, when the candidate was in the
-    /// top-K and the toolchain was available.
+    /// Measured median nanoseconds per call, when the candidate was in
+    /// the top-K and the toolchain was available.
     pub measured_ns: Option<f64>,
+    /// Relative run-to-run spread `(max − min) / median` of the timed
+    /// runs behind `measured_ns` — how trustworthy that number is.
+    pub measured_spread: Option<f64>,
 }
 
 /// The result of tuning one kernel.
@@ -354,6 +365,7 @@ pub fn tune(task: &TuneTask, cfg: &TuneConfig) -> Result<TuneReport, String> {
             script: script.clone(),
             cycles: *cycles,
             measured_ns: None,
+            measured_spread: None,
         })
         .collect();
 
@@ -368,10 +380,17 @@ pub fn tune(task: &TuneTask, cfg: &TuneConfig) -> Result<TuneReport, String> {
             .collect();
         let times = {
             let _measure = exo_obs::span!("tune:measure", "{} candidates", batch.len());
-            measure::measure_batch(&batch, &task.machine, cfg.input_seed, cfg.threads)
+            measure::measure_batch(
+                &batch,
+                &task.machine,
+                cfg.input_seed,
+                cfg.threads,
+                cfg.native,
+            )
         };
         for (i, (cand, m)) in candidates.iter_mut().zip(&times).enumerate() {
             cand.measured_ns = m.nanos();
+            cand.measured_spread = m.spread();
             if let Some(err) = m.error() {
                 measure_errors.push((i, err.to_string()));
             }

@@ -29,8 +29,15 @@ use std::time::Duration;
 /// The outcome of measuring one candidate.
 #[derive(Clone, Debug, PartialEq)]
 pub enum Measurement {
-    /// Mean nanoseconds per call.
-    Nanos(f64),
+    /// A successful timing: median over the repeated timed runs, plus
+    /// their relative run-to-run spread.
+    Nanos {
+        /// Median nanoseconds per call across the timed runs.
+        ns: f64,
+        /// Relative spread `(max − min) / median` of the runs — how
+        /// noisy this particular measurement was.
+        spread: f64,
+    },
     /// Measurement failed cleanly (compile error, timeout, bad output).
     Failed(String),
     /// Measurement *panicked*; the payload is the panic message. The
@@ -41,10 +48,18 @@ pub enum Measurement {
 }
 
 impl Measurement {
-    /// The measured nanoseconds, when measurement succeeded.
+    /// The measured (median) nanoseconds, when measurement succeeded.
     pub fn nanos(&self) -> Option<f64> {
         match self {
-            Measurement::Nanos(ns) => Some(*ns),
+            Measurement::Nanos { ns, .. } => Some(*ns),
+            _ => None,
+        }
+    }
+
+    /// The relative run-to-run spread, when measurement succeeded.
+    pub fn spread(&self) -> Option<f64> {
+        match self {
+            Measurement::Nanos { spread, .. } => Some(*spread),
             _ => None,
         }
     }
@@ -58,9 +73,48 @@ impl Measurement {
     }
 }
 
+/// Timed runs per measurement: each run times the whole repetition loop
+/// and reports its own ns-per-call, so the summary can take a median
+/// instead of trusting one sample of a noisy timer.
+pub const TIMED_RUNS: usize = 5;
+
+/// Minimum wall-clock span of one timed batch, in nanoseconds (20 ms).
+/// The emitted driver doubles its repetition count until a calibration
+/// batch reaches this: below it, timer granularity and scheduler noise
+/// drown out sub-microsecond kernels and the measured ranking is
+/// meaningless.
+pub const MIN_BATCH_NS: f64 = 2e7;
+
+/// Reduces the per-run ns-per-call samples of one measurement to
+/// `(median, relative spread)`. The median — not the mean — is what
+/// ranks candidates: one descheduled run inflates a mean enough to flip
+/// adjacent ranks, while the median ignores it. Returns `None` on an
+/// empty slice.
+pub fn summarize_runs(runs: &[f64]) -> Option<(f64, f64)> {
+    if runs.is_empty() {
+        return None;
+    }
+    let mut sorted = runs.to_vec();
+    sorted.sort_by(|a, b| a.partial_cmp(b).unwrap_or(std::cmp::Ordering::Equal));
+    let n = sorted.len();
+    let median = if n % 2 == 1 {
+        sorted[n / 2]
+    } else {
+        (sorted[n / 2 - 1] + sorted[n / 2]) / 2.0
+    };
+    let spread = if median > 0.0 {
+        (sorted[n - 1] - sorted[0]) / median
+    } else {
+        0.0
+    };
+    Some((median, spread))
+}
+
 /// Emits a `main` that initializes the synthesized inputs, warms the
-/// kernel once, then times `reps` back-to-back calls with
-/// `CLOCK_MONOTONIC` and prints the mean nanoseconds per call.
+/// kernel, calibrates the repetition count (starting from `reps`,
+/// doubling until one batch spans at least [`MIN_BATCH_NS`]), then
+/// times [`TIMED_RUNS`] batches with `CLOCK_MONOTONIC` and prints each
+/// batch's nanoseconds per call on its own line.
 fn emit_timing_driver(unit_code: &str, proc: &Proc, inputs: &[SynthArg], reps: u64) -> String {
     let mut s = String::with_capacity(unit_code.len() + 4096);
     // clock_gettime is POSIX, hidden by -std=c99 unless requested before
@@ -123,23 +177,48 @@ fn emit_timing_driver(unit_code: &str, proc: &Proc, inputs: &[SynthArg], reps: u
         }
     }
     let call = format!("{}({})", proc.name(), call_args.join(", "));
-    s.push_str(&format!("    {call};\n"));
+    // Warmup (page faults, frequency ramp), then calibration: the
+    // cost-model-derived starting count doubles until one batch spans
+    // MIN_BATCH_NS of wall clock — simulated cycles and real ns can be
+    // orders of magnitude apart, and a sub-millisecond batch measures
+    // the timer and the scheduler, not the kernel.
+    s.push_str(&format!("    {call};\n    {call};\n"));
     s.push_str("    struct timespec exo_t0, exo_t1;\n");
-    s.push_str("    clock_gettime(CLOCK_MONOTONIC, &exo_t0);\n");
+    s.push_str(&format!("    long exo_reps = {reps};\n"));
+    s.push_str("    for (;;) {\n");
+    s.push_str("        clock_gettime(CLOCK_MONOTONIC, &exo_t0);\n");
     s.push_str(&format!(
-        "    for (long exo_r = 0; exo_r < {reps}; exo_r++) {{\n        {call};\n    }}\n"
+        "        for (long exo_r = 0; exo_r < exo_reps; exo_r++) {{\n            {call};\n        }}\n"
     ));
-    s.push_str("    clock_gettime(CLOCK_MONOTONIC, &exo_t1);\n");
+    s.push_str("        clock_gettime(CLOCK_MONOTONIC, &exo_t1);\n");
     s.push_str(&format!(
-        "    double exo_ns = (double)(exo_t1.tv_sec - exo_t0.tv_sec) * 1e9 + \
-         (double)(exo_t1.tv_nsec - exo_t0.tv_nsec);\n    \
-         printf(\"%.17g\\n\", exo_ns / {reps});\n    return 0;\n}}\n"
+        "        double exo_ns = (double)(exo_t1.tv_sec - exo_t0.tv_sec) * 1e9 + \
+         (double)(exo_t1.tv_nsec - exo_t0.tv_nsec);\n        \
+         if (exo_ns >= {MIN_BATCH_NS:.1} || exo_reps >= (1L << 20)) break;\n        \
+         exo_reps *= 2;\n    }}\n"
     ));
+    // TIMED_RUNS independently timed batches, one ns-per-call line each
+    // — the Rust side takes the median so a single descheduled run
+    // cannot flip rankings.
+    s.push_str(&format!(
+        "    for (int exo_run = 0; exo_run < {TIMED_RUNS}; exo_run++) {{\n"
+    ));
+    s.push_str("        clock_gettime(CLOCK_MONOTONIC, &exo_t0);\n");
+    s.push_str(&format!(
+        "        for (long exo_r = 0; exo_r < exo_reps; exo_r++) {{\n            {call};\n        }}\n"
+    ));
+    s.push_str("        clock_gettime(CLOCK_MONOTONIC, &exo_t1);\n");
+    s.push_str(
+        "        double exo_ns = (double)(exo_t1.tv_sec - exo_t0.tv_sec) * 1e9 + \
+         (double)(exo_t1.tv_nsec - exo_t0.tv_nsec);\n        \
+         printf(\"%.17g\\n\", exo_ns / exo_reps);\n    }\n    return 0;\n}\n",
+    );
     s
 }
 
-/// Repetition count matched to the candidate's simulated cost so every
-/// measurement spans a comparable wall-clock window.
+/// Starting repetition count for the driver's calibration loop, matched
+/// to the candidate's simulated cost so cheap kernels skip most of the
+/// doubling and expensive ones start low.
 fn reps_for(cycles: u64) -> u64 {
     (20_000_000 / cycles.max(1)).clamp(3, 5_000)
 }
@@ -151,15 +230,35 @@ fn run_guard() -> GuardConfig {
 }
 
 /// Measures one already-scheduled procedure: emit, compile, run, parse.
+///
+/// With `native`, the unit is emitted in machine-intrinsic mode and
+/// timed as such whenever the host toolchain and CPU can build and run
+/// it ([`exo_machine::HostCaps`]); otherwise — non-stock intrinsics, a
+/// CPU without the `-m` features — it falls back to the portable scalar
+/// unit, so a batch never fails just because the host is modest.
 fn measure_one(
     proc: &Proc,
     registry: &ProcRegistry,
     input_seed: u64,
     cycles: u64,
-) -> Result<f64, String> {
+    native: bool,
+) -> Result<(f64, f64), String> {
     let _span = exo_obs::span!("tune:measure-candidate", "{}", proc.name());
-    let unit = emit_c(proc, registry, &CodegenOptions::portable())
-        .map_err(|e| format!("emitting `{}`: {e}", proc.name()))?;
+    let mut unit = None;
+    if native {
+        let n = emit_c(proc, registry, &CodegenOptions::native())
+            .map_err(|e| format!("emitting `{}` (native): {e}", proc.name()))?;
+        if n.stock_toolchain
+            && (n.cflags.is_empty() || exo_machine::HostCaps::detect().supports_cflags(&n.cflags))
+        {
+            unit = Some(n);
+        }
+    }
+    let unit = match unit {
+        Some(u) => u,
+        None => emit_c(proc, registry, &CodegenOptions::portable())
+            .map_err(|e| format!("emitting `{}`: {e}", proc.name()))?,
+    };
     let inputs = synth_inputs(proc, input_seed)?;
     let driver = emit_timing_driver(&unit.code, proc, &inputs, reps_for(cycles));
     let bin = compile(&driver, &unit.cflags, proc.name())?;
@@ -176,11 +275,16 @@ fn measure_one(
             output.code
         ));
     }
-    output
+    let runs: Vec<f64> = output
         .stdout_lossy()
-        .trim()
-        .parse::<f64>()
-        .map_err(|e| format!("bad timing output for `{}`: {e}", proc.name()))
+        .split_ascii_whitespace()
+        .map(|t| {
+            t.parse::<f64>()
+                .map_err(|e| format!("bad timing output for `{}`: {e}", proc.name()))
+        })
+        .collect::<Result<_, _>>()?;
+    summarize_runs(&runs)
+        .ok_or_else(|| format!("timing binary for `{}` printed no runs", proc.name()))
 }
 
 /// Measures a batch of scheduled procedures in parallel worker threads
@@ -199,19 +303,21 @@ pub fn measure_batch(
     machine: &MachineModel,
     input_seed: u64,
     threads: usize,
+    native: bool,
 ) -> Vec<Measurement> {
     if !cc_available() || procs.is_empty() {
         return vec![Measurement::Unavailable; procs.len()];
     }
     measure_batch_impl(procs, machine, threads, &|registry, _i, proc, cycles| {
-        measure_one(proc, registry, input_seed, cycles)
+        measure_one(proc, registry, input_seed, cycles, native)
     })
 }
 
 /// Per-candidate runner injected into [`measure_batch_impl`]:
-/// `(registry, index, proc, simulated_cycles) -> ns or error`.
+/// `(registry, index, proc, simulated_cycles) -> (median ns, spread)
+/// or error`.
 pub(crate) type CandidateRunner<'a> =
-    &'a (dyn Fn(&ProcRegistry, usize, &Proc, u64) -> Result<f64, String> + Sync);
+    &'a (dyn Fn(&ProcRegistry, usize, &Proc, u64) -> Result<(f64, f64), String> + Sync);
 
 /// The worker-pool core of [`measure_batch`] with an injectable
 /// per-candidate runner, so the panic-isolation contract is testable
@@ -244,7 +350,7 @@ pub(crate) fn measure_batch_impl(
                     let outcome =
                         catch_unwind(AssertUnwindSafe(|| runner(&registry, i, proc, *cycles)));
                     let measured = match outcome {
-                        Ok(Ok(ns)) => Measurement::Nanos(ns),
+                        Ok(Ok((ns, spread))) => Measurement::Nanos { ns, spread },
                         Ok(Err(e)) => {
                             eprintln!("autotune: measurement of candidate {i} failed: {e}");
                             Measurement::Failed(e)
@@ -297,17 +403,35 @@ mod tests {
             if i == 2 {
                 std::panic::panic_any("boom in candidate 2".to_string());
             }
-            Ok(i as f64)
+            Ok((i as f64, 0.0))
         });
         assert_eq!(results.len(), 4);
-        assert_eq!(results[0], Measurement::Nanos(0.0));
-        assert_eq!(results[1], Measurement::Nanos(1.0));
+        assert_eq!(
+            results[0],
+            Measurement::Nanos {
+                ns: 0.0,
+                spread: 0.0
+            }
+        );
+        assert_eq!(
+            results[1],
+            Measurement::Nanos {
+                ns: 1.0,
+                spread: 0.0
+            }
+        );
         assert_eq!(
             results[2],
             Measurement::Panicked("boom in candidate 2".to_string()),
             "the panic must be surfaced with its payload, not swallowed"
         );
-        assert_eq!(results[3], Measurement::Nanos(3.0));
+        assert_eq!(
+            results[3],
+            Measurement::Nanos {
+                ns: 3.0,
+                spread: 0.0
+            }
+        );
     }
 
     #[test]
@@ -318,10 +442,47 @@ mod tests {
             if i == 0 {
                 Err("cc said no".to_string())
             } else {
-                Ok(42.0)
+                Ok((42.0, 0.1))
             }
         });
         assert_eq!(results[0], Measurement::Failed("cc said no".to_string()));
-        assert_eq!(results[1], Measurement::Nanos(42.0));
+        assert_eq!(
+            results[1],
+            Measurement::Nanos {
+                ns: 42.0,
+                spread: 0.1
+            }
+        );
+    }
+
+    #[test]
+    fn median_summary_survives_single_run_jitter() {
+        // Candidate A is genuinely faster (runs ~100ns) than candidate B
+        // (~110ns), but each has one descheduled outlier. Means would
+        // flip the ranking (A: 108, B: 102); medians must not.
+        let runs_a = [100.0, 140.0, 99.0, 101.0, 100.0];
+        let runs_b = [110.0, 109.0, 111.0, 70.0, 110.0];
+        let (med_a, spread_a) = summarize_runs(&runs_a).unwrap();
+        let (med_b, spread_b) = summarize_runs(&runs_b).unwrap();
+        let mean = |r: &[f64]| r.iter().sum::<f64>() / r.len() as f64;
+        assert!(
+            mean(&runs_a) > mean(&runs_b),
+            "premise: the means rank them backwards"
+        );
+        assert!(
+            med_a < med_b,
+            "median ranking flipped by jitter: {med_a} vs {med_b}"
+        );
+        // The spread exposes exactly how noisy each measurement was.
+        assert!((spread_a - 41.0 / 100.0).abs() < 1e-12);
+        assert!((spread_b - 41.0 / 110.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn summarize_runs_handles_degenerate_input() {
+        assert_eq!(summarize_runs(&[]), None);
+        assert_eq!(summarize_runs(&[7.0]), Some((7.0, 0.0)));
+        // Even run count: median is the mean of the middle two.
+        assert_eq!(summarize_runs(&[4.0, 2.0]), Some((3.0, 2.0 / 3.0)));
     }
 }

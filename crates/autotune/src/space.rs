@@ -150,6 +150,29 @@ fn random_step(rng: &mut Rng, menu: &[SchedStep], loops: &[LoopSel]) -> SchedSte
     }
 }
 
+/// True when repeating `step` is provably redundant: both `[step]` and
+/// `[step, step]` replay cleanly on `base`, and the pair's result equals
+/// either the single step's result (the second application changed
+/// nothing) or the base itself (the pair undid itself, as a repeated
+/// interchange does). Either way the pair can only duplicate a shorter
+/// candidate that is already in the set. A pair that fails to replay is
+/// *not* treated as a no-op — the driver prunes it and its failure shows
+/// up in the pruning statistics, which generation must not hide.
+fn repeat_is_noop(base: &ProcHandle, step: &SchedStep, machine: &MachineModel) -> bool {
+    let once = ScheduleScript::new(vec![step.clone()]);
+    let twice = ScheduleScript::new(vec![step.clone(), step.clone()]);
+    match (
+        exo_lib::apply_script(base, &once, machine),
+        exo_lib::apply_script(base, &twice, machine),
+    ) {
+        (Ok(a), Ok(b)) => {
+            let twice = b.proc().to_string();
+            twice == a.proc().to_string() || twice == base.proc().to_string()
+        }
+        _ => false,
+    }
+}
+
 /// Generates up to `budget` unique candidate scripts for `base`:
 ///
 /// 1. the identity script (the unscheduled kernel is always a candidate),
@@ -160,7 +183,10 @@ fn random_step(rng: &mut Rng, menu: &[SchedStep], loops: &[LoopSel]) -> SchedSte
 /// 4. every step repeated twice (`<single>; <single>`) — multi-stage
 ///    kernels like the two-pass blur need the same rewrite applied once
 ///    per stage, and selectors re-resolve against the rewritten proc so
-///    the repeat lands on the next matching loop,
+///    the repeat lands on the next matching loop. Pairs whose repeat is
+///    provably a no-op (replaying `[s, s]` yields the same proc as `[s]`
+///    alone, or undoes itself back to the base) are skipped — they can
+///    only duplicate a shorter candidate that is already in the set,
 /// 5. seeded random scripts of up to three steps until the budget is
 ///    full.
 pub fn generate_candidates(
@@ -192,6 +218,9 @@ pub fn generate_candidates(
         }
     }
     for step in &menu {
+        if repeat_is_noop(base, step, machine) {
+            continue;
+        }
         push(
             ScheduleScript::new(vec![step.clone(), step.clone()]),
             &mut out,
@@ -208,4 +237,89 @@ pub fn generate_candidates(
         push(ScheduleScript::new(steps), &mut out);
     }
     out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use exo_kernels::{blur2d, sgemm};
+
+    fn pair(step: &SchedStep) -> ScheduleScript {
+        ScheduleScript::new(vec![step.clone(), step.clone()])
+    }
+
+    /// The two-pass blur really does need `vectorize(x, 8)` twice — the
+    /// second application re-resolves onto the second stage's `x` loop —
+    /// so the no-op dedupe must keep that pair in the candidate set.
+    #[test]
+    fn two_stage_blur_keeps_its_repeated_vectorize_pair() {
+        let base = ProcHandle::new(blur2d());
+        let machine = MachineModel::avx2();
+        let step = SchedStep::Vectorize {
+            loop_: LoopSel::new("x", 0),
+            width: 8,
+        };
+        assert!(
+            !repeat_is_noop(&base, &step, &machine),
+            "repeated vectorize(x, 8) rewrites both blur stages; it is not a no-op"
+        );
+        let keys: BTreeSet<String> = generate_candidates(&base, &machine, 7, 400)
+            .iter()
+            .map(|s| s.key())
+            .collect();
+        assert!(
+            keys.contains(&pair(&step).key()),
+            "blur2d candidates must still include the two-stage vectorize pair"
+        );
+    }
+
+    /// No generated `[step, step]` pair may duplicate a shorter script's
+    /// result: replaying the pair must differ from both the base proc and
+    /// the single-step proc whenever all replays succeed.
+    #[test]
+    fn generated_repeat_pairs_are_never_noops() {
+        for base in [ProcHandle::new(sgemm()), ProcHandle::new(blur2d())] {
+            let machine = MachineModel::avx2();
+            let base_text = base.proc().to_string();
+            let mut checked = 0usize;
+            for script in generate_candidates(&base, &machine, 7, 400) {
+                let [a, b] = script.steps.as_slice() else {
+                    continue;
+                };
+                if a.to_string() != b.to_string() {
+                    continue;
+                }
+                let once = ScheduleScript::new(vec![a.clone()]);
+                let (Ok(p1), Ok(p2)) = (
+                    exo_lib::apply_script(&base, &once, &machine),
+                    exo_lib::apply_script(&base, &script, &machine),
+                ) else {
+                    continue;
+                };
+                let twice = p2.proc().to_string();
+                assert_ne!(
+                    twice,
+                    p1.proc().to_string(),
+                    "no-op repeat survived: {script}"
+                );
+                assert_ne!(twice, base_text, "self-undoing repeat survived: {script}");
+                checked += 1;
+            }
+            assert!(checked > 0, "expected at least one legal repeated pair");
+        }
+    }
+
+    /// `simplify` is idempotent — running it twice yields the same proc
+    /// as running it once — so the no-op detector must flag its repeat.
+    /// (Keeps the detector honest for any idempotent step a future menu
+    /// adds; today's menu steps all fail or make progress on repeat.)
+    #[test]
+    fn idempotent_simplify_repeat_is_a_noop() {
+        let base = ProcHandle::new(sgemm());
+        let machine = MachineModel::avx2();
+        assert!(
+            repeat_is_noop(&base, &SchedStep::Simplify, &machine),
+            "simplify; simplify must be detected as a no-op repeat"
+        );
+    }
 }

@@ -23,7 +23,9 @@
 //! skipped with a notice; golden byte comparisons still run.
 
 use exo_bench::paper::{c_workloads, golden_c_path, CWorkload};
-use exo_codegen::difftest::{cc_available, compile_check, run_differential, DiffOutcome};
+use exo_codegen::difftest::{
+    cc_available, compile_check, run_differential, run_differential_native, DiffOutcome,
+};
 use exo_codegen::{emit_c, CodegenOptions};
 
 fn fail(msg: &str) -> ! {
@@ -64,6 +66,24 @@ fn golden_step(w: &CWorkload, write: bool) {
                 format!(", {}", unit.cflags.join(" "))
             }
         );
+        // On a host whose CPU executes the unit's ISA extensions, the
+        // native build is also *run* against the interpreter — a golden
+        // that compiles but miscomputes is still a codegen bug.
+        match run_differential_native(&w.proc, &w.registry, 1) {
+            Ok(DiffOutcome::Agreed { buffers, elems }) => println!(
+                "  native {:<14} ok (ran {}: {buffers} buffers, {elems} elements agree)",
+                w.name,
+                if unit.cflags.is_empty() {
+                    "portably".to_string()
+                } else {
+                    unit.cflags.join(" ")
+                }
+            ),
+            Ok(DiffOutcome::Skipped(why)) => {
+                println!("  native {:<14} compile-checked only ({why})", w.name)
+            }
+            Err(e) => fail(&format!("native `{}` differential run: {e}", w.name)),
+        }
     } else {
         println!(
             "  golden {:<14} ok (byte-identical; compile skipped)",

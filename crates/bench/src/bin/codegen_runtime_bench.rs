@@ -1,0 +1,537 @@
+//! Measured wall-clock performance of the emitted C, across backend
+//! modes, on the host CPU — the "closed loop" companion to
+//! `codegen_bench`'s correctness checks.
+//!
+//! For each runtime kernel (`sgemm`, `sgemv_n`, `blur2d`) three variants
+//! are benchmarked:
+//!
+//! * `scalar` — the unscheduled kernel, portable scalar emission;
+//! * `avx2` — the schedule of record, machine-intrinsic emission
+//!   (`-mavx2 -mfma`);
+//! * `avx2_omp` — the schedule of record plus `parallelize` on the
+//!   verifier-certified outer loops, machine-intrinsic emission with
+//!   OpenMP work-sharing pragmas (`-fopenmp`), timed at each thread
+//!   count in [`THREAD_COUNTS`] via `OMP_NUM_THREADS`.
+//!
+//! Every variant is first *differentially validated* against the
+//! interpreter (same harness as `codegen_bench`), then timed: buffers
+//! are heap-allocated and deterministically initialized, the kernel is
+//! warmed, the repetition count is calibrated until one batch spans at
+//! least 20 ms, and [`exo_autotune::measure::TIMED_RUNS`] independently
+//! timed batches are summarized by their median (single descheduled
+//! runs cannot flip rankings) with a max−min spread.
+//!
+//! Variants the host cannot execute (no AVX2, no `-fopenmp`) are
+//! compile-checked and reported as skipped — logged, never silent.
+//!
+//! Modes:
+//!
+//! * (default) — all kernels and variants, writes
+//!   `BENCH_codegen_runtime.json` at the repo root.
+//! * `--smoke` — SGEMM at a small size only; asserts the AVX2 build is
+//!   at least [`SMOKE_MIN_SPEEDUP`]× faster than scalar when the host
+//!   supports the flags, and skips (logged) when it does not. Writes
+//!   nothing.
+//!
+//! Regenerate the checked-in JSON with:
+//!
+//! ```text
+//! cargo run --release -p exo-bench --bin codegen_runtime_bench
+//! ```
+
+use exo_autotune::measure::{summarize_runs, TIMED_RUNS};
+use exo_codegen::difftest::{
+    arg_shapes, cc_available, choose_size, compile, compile_check, run_differential_with, ArgShape,
+    DiffOutcome,
+};
+use exo_codegen::{emit_c, CUnit, CodegenOptions};
+use exo_cursors::ProcHandle;
+use exo_guard::{run_guarded, GuardConfig};
+use exo_interp::ProcRegistry;
+use exo_ir::{DataType, Proc};
+use exo_kernels::{blur2d, gemv, sgemm, Precision};
+use exo_lib::{apply_script, schedule_of_record, LoopSel, SchedStep};
+use exo_machine::{HostCaps, MachineModel};
+use std::time::Duration;
+
+/// OpenMP thread counts the `avx2_omp` variant is timed at.
+const THREAD_COUNTS: [usize; 2] = [1, 2];
+
+/// Smoke gate: minimum speedup of the AVX2 build over portable scalar
+/// on a host that can execute it. Deliberately loose (gcc's `-O2`
+/// auto-vectorizer narrows the gap on some hosts) — the point is "the
+/// intrinsics path is measurably faster than scalar", not a roofline
+/// claim.
+const SMOKE_MIN_SPEEDUP: f64 = 1.2;
+
+fn fail(msg: &str) -> ! {
+    eprintln!("FATAL: {msg}");
+    std::process::exit(1);
+}
+
+/// One benchmarked kernel: the unscheduled base, the schedule-of-record
+/// proc, the record-plus-`parallelize` proc, candidate problem sizes
+/// (first accepted by the kernel's assertions wins), and the flop count
+/// of one call at a given size.
+struct Workload {
+    name: &'static str,
+    base: Proc,
+    tuned: Proc,
+    omp: Proc,
+    sizes: &'static [i64],
+    flops: fn(f64) -> f64,
+}
+
+/// The schedule of record plus `parallelize` on the given outer loops
+/// (the same certified-parallel loops `native_run` differential-tests).
+fn scheduled(kernel: &str, machine: &MachineModel, outer: &[(&str, usize)]) -> Proc {
+    let base = match kernel {
+        "sgemm" => sgemm(),
+        "sgemv_n" => gemv(Precision::Single, false),
+        "blur2d" => blur2d(),
+        other => fail(&format!("unknown kernel {other}")),
+    };
+    let mut script = schedule_of_record(kernel, machine)
+        .unwrap_or_else(|| fail(&format!("{kernel} lost its schedule of record")));
+    for (name, nth) in outer {
+        script.steps.push(SchedStep::Parallelize {
+            loop_: LoopSel::new(*name, *nth),
+        });
+    }
+    apply_script(&ProcHandle::new(base), &script, machine)
+        .unwrap_or_else(|e| fail(&format!("applying {kernel} schedule: {e}")))
+        .proc()
+        .clone()
+}
+
+fn workloads(machine: &MachineModel, smoke: bool) -> Vec<Workload> {
+    let mut v = Vec::new();
+    v.push(Workload {
+        name: "sgemm",
+        base: sgemm(),
+        tuned: scheduled("sgemm", machine, &[]),
+        omp: scheduled("sgemm", machine, &[("i", 0)]),
+        sizes: if smoke {
+            &[64, 32]
+        } else {
+            &[256, 128, 64, 32]
+        },
+        flops: |s| 2.0 * s * s * s,
+    });
+    if smoke {
+        return v;
+    }
+    v.push(Workload {
+        name: "sgemv_n",
+        base: gemv(Precision::Single, false),
+        tuned: scheduled("sgemv_n", machine, &[]),
+        omp: scheduled("sgemv_n", machine, &[("i", 0)]),
+        sizes: &[1024, 512, 256, 64],
+        flops: |s| 2.0 * s * s,
+    });
+    v.push(Workload {
+        name: "blur2d",
+        base: blur2d(),
+        tuned: scheduled("blur2d", machine, &[]),
+        omp: scheduled("blur2d", machine, &[("y", 0), ("y", 1)]),
+        sizes: &[512, 256, 128, 64, 32],
+        // Two three-tap passes: blur_x over (H+2)×W pixels, blur_y over
+        // H×W, at 2 adds + 1 multiply each.
+        flops: |s| 3.0 * ((s + 2.0) * s + s * s),
+    });
+    v
+}
+
+fn c_elem(ty: DataType) -> &'static str {
+    match ty {
+        DataType::F32 => "float",
+        DataType::F64 => "double",
+        DataType::I8 => "int8_t",
+        DataType::I32 => "int32_t",
+        other => fail(&format!("no timing-driver element type for {other:?}")),
+    }
+}
+
+/// A `main` that heap-allocates and deterministically initializes every
+/// tensor argument, warms the kernel, calibrates a repetition count
+/// until one batch spans ≥ 20 ms, then prints `TIMED_RUNS` ns-per-call
+/// lines (one independently timed batch each).
+fn emit_runtime_driver(unit: &CUnit, proc: &Proc, shapes: &[ArgShape]) -> String {
+    let mut s = String::with_capacity(unit.code.len() + 4096);
+    // clock_gettime is POSIX, hidden by -std=c99 unless requested before
+    // the first include.
+    s.push_str("#define _POSIX_C_SOURCE 199309L\n");
+    s.push_str(&unit.code);
+    s.push_str(
+        "\n#include <stdio.h>\n#include <stdlib.h>\n#include <time.h>\n\n\
+         static double exo_now_ns(void) {\n    \
+         struct timespec exo_t;\n    \
+         clock_gettime(CLOCK_MONOTONIC, &exo_t);\n    \
+         return (double)exo_t.tv_sec * 1e9 + (double)exo_t.tv_nsec;\n}\n\n\
+         int main(void) {\n",
+    );
+    let mut call_args = Vec::with_capacity(shapes.len());
+    for (k, shape) in shapes.iter().enumerate() {
+        let var = format!("exo_arg_{k}");
+        match shape {
+            ArgShape::Size(v) => call_args.push(format!("{v}")),
+            ArgShape::Scalar(ty) => call_args.push(match ty {
+                DataType::F32 => "0.5f".to_string(),
+                DataType::F64 => "0.5".to_string(),
+                _ => "1".to_string(),
+            }),
+            ArgShape::Tensor(ty, dims) => {
+                let elem = c_elem(*ty);
+                let len: usize = dims.iter().product();
+                // Small mixed-sign values: accumulating kernels stay far
+                // from overflow across thousands of repetitions.
+                s.push_str(&format!(
+                    "    {elem} *{var} = ({elem} *)malloc(sizeof({elem}) * {len});\n    \
+                     if (!{var}) return 2;\n    \
+                     for (long exo_i = 0; exo_i < {len}; exo_i++)\n        \
+                     {var}[exo_i] = ({elem})((exo_i * 7 + 3) % 11 - 5) / 8;\n"
+                ));
+                call_args.push(var);
+            }
+        }
+    }
+    let call = format!("{}({});", proc.name(), call_args.join(", "));
+    s.push_str(&format!(
+        "    {call}\n    {call}\n    \
+         long exo_reps = 1;\n    \
+         for (;;) {{\n        \
+         double exo_t0 = exo_now_ns();\n        \
+         for (long exo_r = 0; exo_r < exo_reps; exo_r++) {{ {call} }}\n        \
+         if (exo_now_ns() - exo_t0 >= 2e7 || exo_reps >= (1L << 20)) break;\n        \
+         exo_reps *= 2;\n    }}\n    \
+         for (int exo_run = 0; exo_run < {TIMED_RUNS}; exo_run++) {{\n        \
+         double exo_t0 = exo_now_ns();\n        \
+         for (long exo_r = 0; exo_r < exo_reps; exo_r++) {{ {call} }}\n        \
+         printf(\"%.17g\\n\", (exo_now_ns() - exo_t0) / (double)exo_reps);\n    }}\n    \
+         return 0;\n}}\n"
+    ));
+    s
+}
+
+/// Compiles and runs the timing driver at the given OpenMP thread count,
+/// returning `(median ns/call, relative spread)`.
+fn time_variant(
+    unit: &CUnit,
+    proc: &Proc,
+    shapes: &[ArgShape],
+    tag: &str,
+    threads: usize,
+) -> Result<(f64, f64), String> {
+    let driver = emit_runtime_driver(unit, proc, shapes);
+    let bin = compile(&driver, &unit.cflags, tag)?;
+    let mut cmd = std::process::Command::new(&bin);
+    cmd.env("OMP_NUM_THREADS", threads.to_string());
+    // A calibrated batch spans ~20 ms and there are TIMED_RUNS + ~2 of
+    // them; minutes means the binary is hung, not slow.
+    let output = run_guarded(
+        &mut cmd,
+        &GuardConfig::with_timeout(Duration::from_secs(120)),
+    );
+    if let Some(dir) = bin.parent() {
+        let _ = std::fs::remove_dir_all(dir);
+    }
+    let output = output.map_err(|e| format!("running {}: {e}", bin.display()))?;
+    if !output.success {
+        return Err(format!(
+            "timing binary `{tag}` exited with {:?}",
+            output.code
+        ));
+    }
+    let runs: Vec<f64> = output
+        .stdout_lossy()
+        .split_ascii_whitespace()
+        .map(|t| {
+            t.parse::<f64>()
+                .map_err(|e| format!("bad timing output for `{tag}`: {e}"))
+        })
+        .collect::<Result<_, _>>()?;
+    summarize_runs(&runs).ok_or_else(|| format!("timing binary `{tag}` printed no runs"))
+}
+
+/// One timed (or skipped) row of the report.
+struct Row {
+    variant: &'static str,
+    threads: usize,
+    differential: &'static str,
+    /// `Ok((ns, spread))` or a human-readable skip reason.
+    timing: Result<(f64, f64), String>,
+}
+
+impl Row {
+    fn ns(&self) -> Option<f64> {
+        self.timing.as_ref().ok().map(|(ns, _)| *ns)
+    }
+}
+
+/// Differentially validates one variant, then times it at each thread
+/// count. On a host that cannot execute the unit, it is compile-checked
+/// and every thread count reports the skip reason.
+fn bench_variant(
+    variant: &'static str,
+    proc: &Proc,
+    registry: &ProcRegistry,
+    opts: &CodegenOptions,
+    shapes: &[ArgShape],
+    threads: &[usize],
+) -> Vec<Row> {
+    let caps = HostCaps::detect();
+    let unit = emit_c(proc, registry, opts)
+        .unwrap_or_else(|e| fail(&format!("emitting `{}` ({variant}): {e}", proc.name())));
+    let skip = |why: String| -> Vec<Row> {
+        threads
+            .iter()
+            .map(|&t| Row {
+                variant,
+                threads: t,
+                differential: "skipped",
+                timing: Err(why.clone()),
+            })
+            .collect()
+    };
+    if !unit.stock_toolchain {
+        return skip(format!(
+            "needs a non-stock toolchain ({})",
+            unit.cflags.join(" ")
+        ));
+    }
+    if !unit.cflags.is_empty() && !caps.supports_cflags(&unit.cflags) {
+        compile_check(&unit, proc.name()).unwrap_or_else(|e| {
+            fail(&format!(
+                "`{}` ({variant}) does not compile: {e}",
+                proc.name()
+            ))
+        });
+        return skip(format!(
+            "compiled, but this host cannot execute {}",
+            unit.cflags.join(" ")
+        ));
+    }
+    // Correctness before speed: a fast wrong kernel is not a result.
+    let differential = match run_differential_with(proc, registry, 1, opts) {
+        Ok(DiffOutcome::Agreed { .. }) => "agreed",
+        Ok(DiffOutcome::Skipped(why)) => {
+            return skip(format!("differential skipped: {why}"));
+        }
+        Err(e) => fail(&format!("`{}` ({variant}) differential: {e}", proc.name())),
+    };
+    threads
+        .iter()
+        .map(|&t| Row {
+            variant,
+            threads: t,
+            differential,
+            timing: time_variant(
+                &unit,
+                proc,
+                shapes,
+                &format!("{}_{variant}_t{t}", proc.name()),
+                t,
+            ),
+        })
+        .collect()
+}
+
+struct KernelReport {
+    name: &'static str,
+    size: i64,
+    flops: f64,
+    rows: Vec<Row>,
+}
+
+fn bench_workload(w: &Workload, registry: &ProcRegistry) -> KernelReport {
+    let size = choose_size(&w.base, w.sizes)
+        .unwrap_or_else(|e| fail(&format!("sizing `{}`: {e}", w.name)));
+    let shapes =
+        arg_shapes(&w.base, size).unwrap_or_else(|e| fail(&format!("shaping `{}`: {e}", w.name)));
+    let flops = (w.flops)(size as f64);
+    let mut rows = Vec::new();
+    rows.extend(bench_variant(
+        "scalar",
+        &w.base,
+        registry,
+        &CodegenOptions::portable(),
+        &shapes,
+        &[1],
+    ));
+    rows.extend(bench_variant(
+        "avx2",
+        &w.tuned,
+        registry,
+        &CodegenOptions::native(),
+        &shapes,
+        &[1],
+    ));
+    rows.extend(bench_variant(
+        "avx2_omp",
+        &w.omp,
+        registry,
+        &CodegenOptions::native_openmp(),
+        &shapes,
+        &THREAD_COUNTS,
+    ));
+    KernelReport {
+        name: w.name,
+        size,
+        flops,
+        rows,
+    }
+}
+
+fn scalar_ns(report: &KernelReport) -> Option<f64> {
+    report
+        .rows
+        .iter()
+        .find(|r| r.variant == "scalar")
+        .and_then(Row::ns)
+}
+
+fn print_report(r: &KernelReport) {
+    println!(
+        "  bench  {:<10} size {} ({:.0} flops/call)",
+        r.name, r.size, r.flops
+    );
+    let base = scalar_ns(r);
+    for row in &r.rows {
+        match &row.timing {
+            Ok((ns, spread)) => {
+                let gflops = r.flops / ns;
+                let speedup = base.map(|b| b / ns);
+                println!(
+                    "         {:<10} {:<9} t={}  {:>12.0} ns/call  {:>7.3} GFLOP/s  {}  spread {:.0}%  diff {}",
+                    "",
+                    row.variant,
+                    row.threads,
+                    ns,
+                    gflops,
+                    speedup.map_or("speedup n/a".to_string(), |s| format!("{s:>5.2}x vs scalar")),
+                    spread * 100.0,
+                    row.differential,
+                );
+            }
+            Err(why) => println!(
+                "         {:<10} {:<9} t={}  SKIPPED ({why})",
+                "", row.variant, row.threads
+            ),
+        }
+    }
+}
+
+fn json_escape(s: &str) -> String {
+    s.replace('\\', "\\\\").replace('"', "\\\"")
+}
+
+fn json(reports: &[KernelReport]) -> String {
+    let mut out = exo_bench::bench_json_header("codegen_runtime_bench");
+    out.push_str(&format!(
+        "  \"thread_counts\": [{}],\n",
+        THREAD_COUNTS.map(|t| t.to_string()).join(", ")
+    ));
+    out.push_str(
+        "  \"unit\": \"ns_per_call = median wall-clock ns of one kernel call over independently \
+         timed calibrated batches; spread = (max - min) / median over those batches; gflops = \
+         flops / ns_per_call; speedup_vs_scalar = scalar ns_per_call / variant ns_per_call; \
+         every timed variant first passed the interpreter differential\",\n",
+    );
+    out.push_str("  \"kernels\": [\n");
+    for (i, r) in reports.iter().enumerate() {
+        out.push_str(&format!(
+            "    {{\"name\": \"{}\", \"size\": {}, \"flops\": {:.0}, \"variants\": [\n",
+            r.name, r.size, r.flops
+        ));
+        let base = scalar_ns(r);
+        for (j, row) in r.rows.iter().enumerate() {
+            let tail = if j + 1 < r.rows.len() { "," } else { "" };
+            match &row.timing {
+                Ok((ns, spread)) => out.push_str(&format!(
+                    "      {{\"variant\": \"{}\", \"threads\": {}, \"status\": \"timed\", \
+                     \"differential\": \"{}\", \"ns_per_call\": {:.1}, \"spread\": {:.4}, \
+                     \"gflops\": {:.4}, \"speedup_vs_scalar\": {}}}{tail}\n",
+                    row.variant,
+                    row.threads,
+                    row.differential,
+                    ns,
+                    spread,
+                    r.flops / ns,
+                    base.map_or("null".to_string(), |b| format!("{:.3}", b / ns)),
+                )),
+                Err(why) => out.push_str(&format!(
+                    "      {{\"variant\": \"{}\", \"threads\": {}, \"status\": \"skipped\", \
+                     \"reason\": \"{}\"}}{tail}\n",
+                    row.variant,
+                    row.threads,
+                    json_escape(why),
+                )),
+            }
+        }
+        out.push_str(&format!(
+            "    ]}}{}\n",
+            if i + 1 < reports.len() { "," } else { "" }
+        ));
+    }
+    out.push_str("  ]\n}\n");
+    out
+}
+
+/// The smoke gate: on a host that can execute the AVX2 unit, the
+/// schedule of record must actually be faster than portable scalar.
+fn smoke_gate(report: &KernelReport) {
+    let caps = HostCaps::detect();
+    if !caps.supports_cflags(&["-mavx2", "-mfma"]) {
+        println!(
+            "smoke: host cannot execute -mavx2 -mfma ({}) — speedup gate skipped",
+            caps.summary()
+        );
+        return;
+    }
+    let scalar = scalar_ns(report)
+        .unwrap_or_else(|| fail("smoke: scalar variant was not timed on a capable host"));
+    let avx2 = report
+        .rows
+        .iter()
+        .find(|r| r.variant == "avx2")
+        .and_then(Row::ns)
+        .unwrap_or_else(|| fail("smoke: avx2 variant was not timed on a capable host"));
+    let speedup = scalar / avx2;
+    if speedup < SMOKE_MIN_SPEEDUP {
+        fail(&format!(
+            "smoke: AVX2 sgemm is only {speedup:.2}x faster than scalar \
+             (gate: {SMOKE_MIN_SPEEDUP}x) — the intrinsics path regressed"
+        ));
+    }
+    println!("smoke: AVX2 sgemm speedup {speedup:.2}x >= {SMOKE_MIN_SPEEDUP}x gate");
+}
+
+fn main() {
+    let smoke = std::env::args().any(|a| a == "--smoke");
+    println!(
+        "codegen_runtime_bench: run-verified wall-clock GFLOP/s across backend modes{}",
+        if smoke { " [smoke mode]" } else { "" }
+    );
+    if !cc_available() {
+        println!("notice: no `cc` on PATH — nothing can be timed, exiting without results");
+        return;
+    }
+    println!("  host   {}", HostCaps::detect().summary());
+    let machine = MachineModel::avx2();
+    let registry: ProcRegistry = machine.instructions(DataType::F32).into_iter().collect();
+    let mut reports = Vec::new();
+    for w in workloads(&machine, smoke) {
+        let report = bench_workload(&w, &registry);
+        print_report(&report);
+        reports.push(report);
+    }
+    if smoke {
+        smoke_gate(&reports[0]);
+        println!("smoke mode: no JSON written");
+        return;
+    }
+    let path = "BENCH_codegen_runtime.json";
+    std::fs::write(path, json(&reports))
+        .unwrap_or_else(|e| fail(&format!("cannot write {path}: {e}")));
+    println!("wrote {path}");
+}

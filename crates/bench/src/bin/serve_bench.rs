@@ -71,6 +71,9 @@ fn soak_config(requests: u64) -> ServeConfig {
         run_guard: GuardConfig::with_timeout(Duration::from_millis(1500)),
         negative_ttl: Duration::from_millis(200),
         fault_plan: plan,
+        // Degraded caps pin the soak to portable units, keeping the
+        // fault-injection ladders host-independent.
+        host_caps: Some(exo_machine::HostCaps::none()),
     }
 }
 

@@ -133,12 +133,15 @@ fn json_escape(s: &str) -> String {
 fn json(reports: &[TuneReport], machine_name: &str, cfg: &TuneConfig) -> String {
     let mut out = exo_bench::bench_json_header("tune_bench");
     out.push_str(&format!(
-        "  \"machine\": \"{machine_name}\", \"seed\": {}, \"budget\": {}, \"top_k\": {},\n",
-        cfg.seed, cfg.budget, cfg.top_k
+        "  \"machine\": \"{machine_name}\", \"seed\": {}, \"budget\": {}, \"top_k\": {}, \
+         \"native_timing\": {},\n",
+        cfg.seed, cfg.budget, cfg.top_k, cfg.native
     ));
     out.push_str(
         "  \"unit\": \"cycles = simulated cost-model cycles on the synthesized input sizes; \
-         measured_ns = mean wall-clock ns/call of compiled portable C; fidelity = Spearman \
+         measured_ns = median wall-clock ns/call of compiled C (machine-intrinsic when \
+         native_timing and the host can execute the unit's flags, portable scalar otherwise); \
+         spread = (max - min) / median over the timed runs; fidelity = Spearman \
          rank correlation (simulated vs measured) over the measured top-K; \
          flops_per_cycle = task flops / best simulated cycles (GFLOP-proxy)\",\n",
     );
@@ -152,6 +155,7 @@ fn json(reports: &[TuneReport], machine_name: &str, cfg: &TuneConfig) -> String 
              \"survivors\": {}, \"baseline_cycles\": {}, \"record_cycles\": {}, \
              \"best_script\": \"{}\", \"best_cycles\": {}, \
              \"fastest_script\": \"{}\", \"fastest_measured_ns\": {}, \
+             \"fastest_spread\": {}, \
              \"measured\": {}, \"fidelity\": {}, \"flops\": {:.0}, \
              \"best_flops_per_cycle\": {:.4}, \"candidates_per_sec\": {:.1}}}{}\n",
             r.kernel,
@@ -171,6 +175,9 @@ fn json(reports: &[TuneReport], machine_name: &str, cfg: &TuneConfig) -> String 
             timed
                 .and_then(|b| b.measured_ns)
                 .map_or("null".to_string(), |ns| format!("{ns:.1}")),
+            timed
+                .and_then(|b| b.measured_spread)
+                .map_or("null".to_string(), |s| format!("{s:.4}")),
             r.measured,
             r.fidelity.map_or("null".to_string(), |f| format!("{f:.3}")),
             r.flops,

@@ -232,6 +232,98 @@ pub fn synth_inputs(proc: &Proc, seed: u64) -> Result<Vec<SynthArg>, String> {
     Ok(out)
 }
 
+/// The concrete shape of one procedure argument under a fixed size
+/// assignment — what a timing driver needs to allocate and pass
+/// (see [`arg_shapes`]).
+#[derive(Clone, Debug, PartialEq)]
+pub enum ArgShape {
+    /// A size argument and its concrete value.
+    Size(i64),
+    /// A scalar argument of the given element type.
+    Scalar(DataType),
+    /// A dense tensor argument: element type and per-dimension extents.
+    Tensor(DataType, Vec<usize>),
+}
+
+/// Picks one shared value for every size argument of `proc`: the first
+/// entry of `candidates` that satisfies all assertion preconditions.
+/// The runtime bench uses this with far larger candidates than the
+/// differential harness's defaults (whose data must fit in static C
+/// initializers).
+///
+/// # Errors
+/// When no candidate satisfies the assertions.
+pub fn choose_size(proc: &Proc, candidates: &[i64]) -> Result<i64, String> {
+    let size_names: Vec<String> = proc
+        .args()
+        .iter()
+        .filter(|a| matches!(a.kind, ArgKind::Size))
+        .map(|a| a.name.name().to_string())
+        .collect();
+    for candidate in candidates {
+        let sizes: BTreeMap<String, i64> =
+            size_names.iter().map(|n| (n.clone(), *candidate)).collect();
+        if proc.preds().is_empty()
+            || proc
+                .preds()
+                .iter()
+                .all(|p| eval_pred(p, &sizes).unwrap_or(false))
+        {
+            return Ok(*candidate);
+        }
+    }
+    Err(format!(
+        "no candidate size in {candidates:?} satisfies the assertions of `{}`",
+        proc.name()
+    ))
+}
+
+/// Evaluates every argument of `proc` to its concrete [`ArgShape`] under
+/// one shared size value (as chosen by [`choose_size`]).
+///
+/// # Errors
+/// On window arguments (a timing driver cannot synthesize the window
+/// struct ABI) and on dimension expressions that do not reduce to a
+/// constant under the size assignment.
+pub fn arg_shapes(proc: &Proc, size: i64) -> Result<Vec<ArgShape>, String> {
+    let sizes: BTreeMap<String, i64> = proc
+        .args()
+        .iter()
+        .filter(|a| matches!(a.kind, ArgKind::Size))
+        .map(|a| (a.name.name().to_string(), size))
+        .collect();
+    let mut out = Vec::with_capacity(proc.args().len());
+    for arg in proc.args() {
+        match &arg.kind {
+            ArgKind::Size => out.push(ArgShape::Size(size)),
+            ArgKind::Scalar { ty } => out.push(ArgShape::Scalar(*ty)),
+            ArgKind::Tensor {
+                ty, dims, window, ..
+            } => {
+                if *window {
+                    return Err(format!(
+                        "`{}`: window argument `{}` is not supported by the timing driver",
+                        proc.name(),
+                        arg.name
+                    ));
+                }
+                let mut extents = Vec::with_capacity(dims.len());
+                for d in dims {
+                    let v = eval_int(d, &sizes).ok_or_else(|| {
+                        format!("cannot evaluate dimension `{d}` of `{}`", arg.name)
+                    })?;
+                    if v < 0 {
+                        return Err(format!("negative dimension for `{}`", arg.name));
+                    }
+                    extents.push(v as usize);
+                }
+                out.push(ArgShape::Tensor(*ty, extents));
+            }
+        }
+    }
+    Ok(out)
+}
+
 /// Runs the interpreter on `proc` with the synthesized inputs and
 /// returns the final contents of every tensor argument, in order.
 pub fn interp_outputs(
@@ -435,6 +527,22 @@ pub fn run_differential(
     run_differential_with(proc, registry, seed, &CodegenOptions::portable())
 }
 
+/// [`run_differential`] in machine-intrinsic mode: the emitted AVX2/AVX512
+/// unit is compiled with its `-m` flags and *executed* against the
+/// interpreter when [`exo_machine::HostCaps`] reports the CPU supports
+/// them; on an unsupported host it is compile-checked and the run is
+/// skipped with a [`DiffOutcome::Skipped`] naming the missing features.
+///
+/// # Errors
+/// Same contract as [`run_differential`].
+pub fn run_differential_native(
+    proc: &Proc,
+    registry: &ProcRegistry,
+    seed: u64,
+) -> Result<DiffOutcome, String> {
+    run_differential_with(proc, registry, seed, &CodegenOptions::native())
+}
+
 /// [`run_differential`] with explicit [`CodegenOptions`] — used to check
 /// the debug-bounds variant (and any other portable-toolchain mode)
 /// against the interpreter.
@@ -457,6 +565,24 @@ pub fn run_differential_with(
     let expected = interp_outputs(proc, registry, &inputs)?;
     let unit =
         emit_c(proc, registry, opts).map_err(|e| format!("emitting `{}`: {e}", proc.name()))?;
+    if !unit.stock_toolchain {
+        return Ok(DiffOutcome::Skipped(format!(
+            "`{}` needs a non-stock toolchain ({})",
+            proc.name(),
+            unit.cflags.join(" ")
+        )));
+    }
+    // Native units compile on any x86 toolchain but *execute* only on a
+    // CPU with the matching features — on an unsupported host the unit
+    // is still compile-checked, then the run is skipped (not failed).
+    if !unit.cflags.is_empty() && !exo_machine::HostCaps::detect().supports_cflags(&unit.cflags) {
+        compile(&unit.code, &unit.cflags, proc.name())?;
+        return Ok(DiffOutcome::Skipped(format!(
+            "`{}` compiled, but this host cannot execute {}",
+            proc.name(),
+            unit.cflags.join(" ")
+        )));
+    }
     let driver = emit_driver(&unit, proc, &inputs);
     let bin = compile(&driver, &unit.cflags, proc.name())?;
     let stdout = run_binary(&bin)?;

@@ -527,6 +527,13 @@ struct FnEmitter<'u, 'a, 'p> {
     /// instrumentation: the proof is relative to the procedure's
     /// asserted preconditions, the same contract the checks enforce.
     unproven: BTreeSet<String>,
+    /// Source names of parallel loops certified thread-safe by
+    /// `exo_analysis::threadable_parallel_loops` (populated only under
+    /// `openmp`). Certified loops get `#pragma omp parallel for`;
+    /// parallel loops that only pass the weaker commutativity check
+    /// (e.g. shared reductions) keep the advisory comment — running
+    /// them on threads would race at the C level.
+    omp_loops: BTreeSet<String>,
     body: String,
     indent: usize,
 }
@@ -616,6 +623,23 @@ impl<'u, 'a, 'p> FnEmitter<'u, 'a, 'p> {
         } else {
             BTreeSet::new()
         };
+        let omp_loops = if unit.opts.openmp {
+            // The registry holds every callee's object-code body, so the
+            // race checker can tell read-only instruction operands from
+            // written ones instead of assuming every operand is written.
+            let registry: &ProcRegistry = unit.registry;
+            let callee_writes = |callee: &str, n: usize| {
+                registry.get(callee).map(|p| {
+                    exo_analysis::written_params(p)
+                        .get(n)
+                        .copied()
+                        .unwrap_or(true)
+                })
+            };
+            exo_analysis::threadable_parallel_loops_where(proc, &callee_writes)
+        } else {
+            BTreeSet::new()
+        };
         let mut this = FnEmitter {
             unit,
             proc,
@@ -624,6 +648,7 @@ impl<'u, 'a, 'p> FnEmitter<'u, 'a, 'p> {
             repr,
             needs_strides: BTreeSet::new(),
             unproven,
+            omp_loops,
             body: String::new(),
             indent: 1,
         };
@@ -1323,7 +1348,16 @@ impl<'u, 'a, 'p> FnEmitter<'u, 'a, 'p> {
                     let it = self.names[*iter as usize].clone();
                     let lo_c = self.expr(lo)?;
                     let hi_c = self.expr(hi)?;
-                    if *parallel {
+                    // Work-sharing pragma only for loops the region
+                    // analysis certified thread-safe (keyed by *source*
+                    // name — the mangled slot name may be suffixed).
+                    let omp = *parallel
+                        && self
+                            .lp
+                            .slot_names()
+                            .get(*iter as usize)
+                            .is_some_and(|src| self.omp_loops.contains(src));
+                    if *parallel && !omp {
                         self.line("/* exo: parallel loop (iterations are independent) */");
                     }
                     // The executor evaluates the upper bound once at loop
@@ -1344,6 +1378,15 @@ impl<'u, 'a, 'p> FnEmitter<'u, 'a, 'p> {
                     } else {
                         hi_c.at(61)
                     };
+                    if omp {
+                        // The pragma must immediately precede the `for`
+                        // statement (after any hoisted bound). `-fopenmp`
+                        // is mandatory from here on: under `-Wall
+                        // -Werror` an unconsumed pragma is fatal via
+                        // -Wunknown-pragmas.
+                        self.unit.cflags.insert("-fopenmp".to_string());
+                        self.line("#pragma omp parallel for");
+                    }
                     self.line(&format!(
                         "for (int64_t {it} = {}; {it} < {bound}; {it}++) {{",
                         lo_c.s

@@ -79,6 +79,15 @@ pub struct CodegenOptions {
     /// all. Asserts compile away under `-DNDEBUG`, so a release build of
     /// the same unit is unchanged.
     pub debug_bounds: bool,
+    /// Emit `#pragma omp parallel for` on parallel loops that
+    /// `exo_analysis::threadable_parallel_loops` certifies safe for OS
+    /// threads — a strictly harder bar than the verifier's V201
+    /// commutativity check (reductions into a shared cell commute but
+    /// are C-level data races, so they are *not* pragma'd). Emitting
+    /// any pragma adds `-fopenmp` to [`CUnit::cflags`]; callers should
+    /// enable this only when the toolchain supports OpenMP
+    /// (`exo_machine::HostCaps::detect().openmp`).
+    pub openmp: bool,
 }
 
 impl CodegenOptions {
@@ -94,6 +103,17 @@ impl CodegenOptions {
     pub fn native() -> Self {
         CodegenOptions {
             intrinsics: true,
+            ..CodegenOptions::default()
+        }
+    }
+
+    /// Machine-intrinsic emission plus OpenMP work-sharing pragmas on
+    /// thread-safe parallel loops — the shipping configuration on a
+    /// host whose toolchain links `-fopenmp`.
+    pub fn native_openmp() -> Self {
+        CodegenOptions {
+            intrinsics: true,
+            openmp: true,
             ..CodegenOptions::default()
         }
     }

@@ -1,0 +1,176 @@
+//! Run-verified native emission: AVX2/FMA intrinsic units are compiled
+//! with their `-m` flags and *executed* against the interpreter whenever
+//! the host CPU supports them (`HostCaps`), and OpenMP work-sharing
+//! pragmas appear exactly on the parallel loops the region analysis
+//! certifies thread-safe — with the threaded binaries passing the same
+//! differential harness.
+//!
+//! On hosts without the features (or without `cc`) every check degrades
+//! to a logged skip, never a failure.
+
+use exo_codegen::difftest::{
+    cc_available, run_differential_native, run_differential_with, DiffOutcome,
+};
+use exo_codegen::{emit_c, CodegenOptions};
+use exo_cursors::ProcHandle;
+use exo_interp::ProcRegistry;
+use exo_ir::Proc;
+use exo_kernels::{blur2d, gemv, sgemm, Precision};
+use exo_lib::{apply_script, schedule_of_record, LoopSel, SchedStep, ScheduleScript};
+use exo_machine::{HostCaps, MachineModel};
+
+/// The schedule of record plus `parallelize` on the given outer loops.
+fn parallel_schedule(kernel: &str, machine: &MachineModel, outer: &[(&str, usize)]) -> Proc {
+    let base = match kernel {
+        "sgemm" => sgemm(),
+        "sgemv_n" => gemv(Precision::Single, false),
+        "blur2d" => blur2d(),
+        other => panic!("unknown kernel {other}"),
+    };
+    let mut script = schedule_of_record(kernel, machine)
+        .unwrap_or_else(|| panic!("{kernel} lost its schedule of record"));
+    for (name, nth) in outer {
+        script.steps.push(SchedStep::Parallelize {
+            loop_: LoopSel {
+                name: (*name).to_string(),
+                nth: *nth,
+            },
+        });
+    }
+    apply_script(&ProcHandle::new(base), &script, machine)
+        .unwrap_or_else(|e| panic!("applying {kernel} schedule: {e}"))
+        .proc()
+        .clone()
+}
+
+fn expect_run_or_logged_skip(name: &str, outcome: Result<DiffOutcome, String>) {
+    match outcome {
+        Ok(DiffOutcome::Agreed { buffers, elems }) => {
+            assert!(buffers > 0 && elems > 0, "{name}: nothing compared");
+        }
+        Ok(DiffOutcome::Skipped(why)) => {
+            eprintln!("SKIPPED native differential for `{name}`: {why}");
+            // On a capable host the run must NOT have been skipped.
+            assert!(
+                !HostCaps::detect().supports_cflags(&["-mavx2", "-mfma"]),
+                "{name}: skipped on a host that supports the flags: {why}"
+            );
+        }
+        Err(e) => panic!("{name}: {e}"),
+    }
+}
+
+#[test]
+fn vectorized_kernels_differential_run_natively() {
+    let machine = MachineModel::avx2();
+    let registry: ProcRegistry = machine
+        .instructions(exo_ir::DataType::F32)
+        .into_iter()
+        .collect();
+    for kernel in ["sgemm", "sgemv_n", "blur2d"] {
+        let scheduled = parallel_schedule(kernel, &machine, &[]);
+        expect_run_or_logged_skip(kernel, run_differential_native(&scheduled, &registry, 7));
+    }
+}
+
+#[test]
+fn openmp_pragmas_only_on_certified_loops() {
+    let machine = MachineModel::avx2();
+    let registry: ProcRegistry = machine
+        .instructions(exo_ir::DataType::F32)
+        .into_iter()
+        .collect();
+    // sgemm parallelized over the outer `i` loop: rows of C are
+    // disjoint, so the region analysis certifies it and the pragma must
+    // be present (with the matching cflag).
+    let p = parallel_schedule("sgemm", &machine, &[("i", 0)]);
+    let unit = emit_c(&p, &registry, &CodegenOptions::native_openmp()).expect("emit");
+    assert!(
+        unit.code.contains("#pragma omp parallel for"),
+        "certified parallel loop lost its pragma:\n{}",
+        unit.code
+    );
+    assert!(
+        unit.cflags.iter().any(|f| f == "-fopenmp"),
+        "pragma emitted without -fopenmp: {:?}",
+        unit.cflags
+    );
+    // Without the option the same proc emits no pragma and no flag.
+    let plain = emit_c(&p, &registry, &CodegenOptions::native()).expect("emit");
+    assert!(!plain.code.contains("#pragma omp"));
+    assert!(!plain.cflags.iter().any(|f| f == "-fopenmp"));
+}
+
+#[test]
+fn openmp_pragma_withheld_from_shared_reduction() {
+    // gemv parallelized over the *reduction* loop `j` commutes (V201
+    // admits it) but races at the C level: the emitter must keep the
+    // advisory comment and emit no pragma.
+    let machine = MachineModel::avx2();
+    let registry: ProcRegistry = machine
+        .instructions(exo_ir::DataType::F32)
+        .into_iter()
+        .collect();
+    let base = ProcHandle::new(gemv(Precision::Single, false));
+    let script = ScheduleScript {
+        steps: vec![SchedStep::Parallelize {
+            loop_: LoopSel {
+                name: "j".to_string(),
+                nth: 0,
+            },
+        }],
+    };
+    let p = apply_script(&base, &script, &machine)
+        .expect("parallelize(j) is legal as a commuting reduction")
+        .proc()
+        .clone();
+    let unit = emit_c(&p, &registry, &CodegenOptions::native_openmp()).expect("emit");
+    assert!(
+        !unit.code.contains("#pragma omp"),
+        "shared-reduction loop must not be threaded:\n{}",
+        unit.code
+    );
+    assert!(unit.code.contains("/* exo: parallel loop"));
+    assert!(!unit.cflags.iter().any(|f| f == "-fopenmp"));
+}
+
+#[test]
+fn openmp_binaries_agree_with_interpreter() {
+    if !cc_available() {
+        eprintln!("SKIPPED: no cc on PATH");
+        return;
+    }
+    let caps = HostCaps::detect();
+    if !caps.openmp || !caps.avx2 || !caps.fma {
+        eprintln!("SKIPPED: host lacks OpenMP or AVX2 ({})", caps.summary());
+        return;
+    }
+    let machine = MachineModel::avx2();
+    let registry: ProcRegistry = machine
+        .instructions(exo_ir::DataType::F32)
+        .into_iter()
+        .collect();
+    let cases: [(&str, &[(&str, usize)]); 3] = [
+        ("sgemm", &[("i", 0)]),
+        ("sgemv_n", &[("i", 0)]),
+        ("blur2d", &[("y", 0), ("y", 1)]),
+    ];
+    for (kernel, outer) in cases {
+        let p = parallel_schedule(kernel, &machine, outer);
+        let unit = emit_c(&p, &registry, &CodegenOptions::native_openmp()).expect("emit");
+        assert!(
+            unit.code.contains("#pragma omp parallel for"),
+            "{kernel}: no pragma emitted:\n{}",
+            unit.code
+        );
+        match run_differential_with(&p, &registry, 11, &CodegenOptions::native_openmp()) {
+            Ok(DiffOutcome::Agreed { buffers, elems }) => {
+                assert!(buffers > 0 && elems > 0, "{kernel}: nothing compared");
+            }
+            Ok(DiffOutcome::Skipped(why)) => {
+                panic!("{kernel}: unexpected skip on a capable host: {why}")
+            }
+            Err(e) => panic!("{kernel}: {e}"),
+        }
+    }
+}

@@ -161,8 +161,22 @@ pub fn set_precision<'a>(
 
 /// Marks a loop as parallel after verifying its iterations carry no
 /// read-after-write or write-after-write dependencies (paper:
-/// `parallelize_loop`).
+/// `parallelize_loop`). Treats every call-argument buffer as potentially
+/// written; use [`parallelize_loop_where`] with a callee-writability
+/// oracle when the instruction bodies are at hand (vectorized bodies
+/// need it — their read-only source operands otherwise defeat the
+/// region certificate).
 pub fn parallelize_loop(p: &ProcHandle, loop_: impl IntoCursor) -> Result<ProcHandle> {
+    parallelize_loop_where(p, loop_, &|_, _| None)
+}
+
+/// [`parallelize_loop`] with a [`exo_analysis::CalleeWrites`] oracle
+/// resolving which arguments each callee writes.
+pub fn parallelize_loop_where(
+    p: &ProcHandle,
+    loop_: impl IntoCursor,
+    callee_writes: exo_analysis::CalleeWrites<'_>,
+) -> Result<ProcHandle> {
     let c = loop_.into_cursor(p)?;
     let Stmt::For { iter, body, .. } = c.stmt()?.clone() else {
         return Err(SchedError::scheduling(
@@ -172,7 +186,13 @@ pub fn parallelize_loop(p: &ProcHandle, loop_: impl IntoCursor) -> Result<ProcHa
     let path = c.path().stmt_path().unwrap().to_vec();
     let ctx = Context::at(p.proc(), &path);
     let eff = Effects::of_stmts(body.iter());
-    if !loop_is_parallelizable(&iter, &eff, &ctx) {
+    // Either certificate suffices: index-level commutativity (rejects
+    // bodies with calls outright) or region-level cross-iteration
+    // disjointness (certifies vectorized bodies through their
+    // instruction-call window footprints).
+    if !loop_is_parallelizable(&iter, &eff, &ctx)
+        && !exo_analysis::loop_is_threadable_where(&iter, body.iter(), callee_writes)
+    {
         return Err(SchedError::scheduling(format!(
             "loop over `{iter}` has loop-carried dependencies and cannot be parallelized"
         )));

@@ -62,7 +62,9 @@ mod scope;
 mod simplify_ops;
 pub mod stats;
 
-pub use backend::{parallelize_loop, set_memory, set_precision, set_window};
+pub use backend::{
+    parallelize_loop, parallelize_loop_where, set_memory, set_precision, set_window,
+};
 pub use buffers::{
     bind_expr, delete_buffer, divide_dim, expand_dim, lift_alloc, mult_dim, rearrange_dim,
     resize_dim, reuse_buffer, sink_alloc, stage_mem, unroll_buffer,

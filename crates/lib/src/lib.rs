@@ -40,6 +40,7 @@ pub use halide::{halide_blur_schedule, halide_unsharp_schedule};
 pub use level1::{optimize_all_level_1, optimize_level_1};
 pub use level2::{optimize_all_level_2, optimize_level_2_general};
 pub use record::{
-    apply_script, apply_step, schedule_of_record, LoopSel, SchedStep, ScheduleScript,
+    apply_script, apply_step, instruction_writes, schedule_of_record, LoopSel, SchedStep,
+    ScheduleScript,
 };
 pub use vectorize::vectorize;

@@ -19,13 +19,32 @@
 
 use crate::vectorize::vectorize;
 use exo_core::{
-    divide_loop, parallelize_loop, reorder_loops, simplify, stage_mem, unroll_loop, Result,
+    divide_loop, parallelize_loop_where, reorder_loops, simplify, stage_mem, unroll_loop, Result,
     SchedError, TailStrategy,
 };
 use exo_cursors::{Cursor, ProcHandle};
 use exo_ir::{ib, DataType, Expr, Stmt};
 use exo_machine::MachineModel;
+use std::collections::BTreeMap;
 use std::fmt;
+
+/// Per-argument writability of `machine`'s instruction procedures,
+/// derived from their object-code bodies via
+/// [`exo_analysis::written_params`]. Keyed by instruction name; the
+/// schedule replayer and the compilation service feed this to the
+/// region-based race checker so read-only instruction operands (the
+/// broadcast source of `mm256_set1_ps`, the `B` panel of an FMA) are
+/// not conservatively treated as writes.
+pub fn instruction_writes(machine: &MachineModel) -> BTreeMap<String, Vec<bool>> {
+    let mut map = BTreeMap::new();
+    for ty in [DataType::F32, DataType::F64, DataType::I8, DataType::I32] {
+        for p in machine.instructions(ty) {
+            map.entry(p.name().to_string())
+                .or_insert_with(|| exo_analysis::written_params(&p));
+        }
+    }
+    map
+}
 
 /// Addresses a loop by iterator name and occurrence index (textual
 /// order), so kernels with repeated iterator names — the two `x` loops of
@@ -218,7 +237,17 @@ pub fn apply_step(p: &ProcHandle, step: &SchedStep, machine: &MachineModel) -> R
             machine,
             TailStrategy::Perfect,
         ),
-        SchedStep::Parallelize { loop_ } => parallelize_loop(p, &loop_.resolve(p)?),
+        SchedStep::Parallelize { loop_ } => {
+            // Vectorized bodies are instruction calls; resolve per-arg
+            // writability from the machine's own instruction bodies so
+            // read-only source operands don't defeat the race check.
+            let writes = instruction_writes(machine);
+            parallelize_loop_where(p, &loop_.resolve(p)?, &|callee, n| {
+                writes
+                    .get(callee)
+                    .map(|args| args.get(n).copied().unwrap_or(true))
+            })
+        }
         SchedStep::StageAccum { loop_ } => stage_accum(p, loop_),
         SchedStep::Simplify => simplify(p),
     }

@@ -1,0 +1,233 @@
+//! Host CPU capability detection for run-time (not just compile-time)
+//! validation of native code.
+//!
+//! The machine models in this crate describe the *target* ISA; whether
+//! the *host* executing the test suite can actually run `-mavx2 -mfma`
+//! binaries is a separate question. [`HostCaps::detect`] answers it with
+//! a tiny supervised `cc` probe built around `__builtin_cpu_supports`,
+//! plus a separate `-fopenmp` link probe. Results are cached for the
+//! process lifetime; every failure mode (no `cc`, non-x86 host, probe
+//! timeout) degrades to "feature absent", never to an error.
+
+use exo_guard::{run_guarded, GuardConfig};
+use std::path::{Path, PathBuf};
+use std::process::Command;
+use std::sync::OnceLock;
+use std::time::Duration;
+
+/// What the host running this process can compile *and execute*.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct HostCaps {
+    /// A C compiler (`cc`) is on `PATH` and responds.
+    pub cc: bool,
+    /// The CPU executes AVX2 instructions.
+    pub avx2: bool,
+    /// The CPU executes FMA3 instructions.
+    pub fma: bool,
+    /// The CPU executes AVX-512F instructions.
+    pub avx512f: bool,
+    /// `cc -fopenmp` compiles and links a parallel program.
+    pub openmp: bool,
+    /// Hardware threads available to this process (≥ 1).
+    pub threads: usize,
+}
+
+impl HostCaps {
+    /// The no-capability fallback: no compiler, no SIMD, one thread.
+    /// This is what [`detect`](HostCaps::detect) degrades to when every
+    /// probe fails, and what tests inject to simulate a bare host.
+    pub fn none() -> HostCaps {
+        HostCaps {
+            cc: false,
+            avx2: false,
+            fma: false,
+            avx512f: false,
+            openmp: false,
+            threads: 1,
+        }
+    }
+
+    /// Probes the host once and caches the answer for the process
+    /// lifetime. Never fails: hosts without `cc`, non-x86 hosts, and
+    /// probe timeouts all report the affected features as absent.
+    pub fn detect() -> &'static HostCaps {
+        static CAPS: OnceLock<HostCaps> = OnceLock::new();
+        CAPS.get_or_init(probe)
+    }
+
+    /// Whether every flag in `cflags` is one this host can honor at
+    /// *run time*. Feature flags map to the probed CPU features;
+    /// `-fopenmp` maps to the toolchain probe; unrecognized flags are
+    /// conservatively unsupported (a unit asking for `-msve` should not
+    /// be executed here on the strength of our ignorance).
+    pub fn supports_cflags<S: AsRef<str>>(&self, cflags: &[S]) -> bool {
+        self.cc
+            && cflags.iter().all(|f| match f.as_ref() {
+                "-mavx2" => self.avx2,
+                "-mfma" => self.fma,
+                "-mavx512f" => self.avx512f,
+                "-fopenmp" => self.openmp,
+                other => !other.starts_with("-m") && !other.starts_with("-f"),
+            })
+    }
+
+    /// One-line human-readable summary (used by bench headers and
+    /// service traces).
+    pub fn summary(&self) -> String {
+        format!(
+            "cc={} avx2={} fma={} avx512f={} openmp={} threads={}",
+            self.cc, self.avx2, self.fma, self.avx512f, self.openmp, self.threads
+        )
+    }
+}
+
+/// C source of the CPU-feature probe. Guarded so it compiles (and
+/// reports all-absent) on any compiler/architecture.
+const CPU_PROBE_C: &str = r#"#include <stdio.h>
+int main(void) {
+#if defined(__GNUC__) && (defined(__x86_64__) || defined(__i386__))
+    __builtin_cpu_init();
+    printf("avx2=%d\nfma=%d\navx512f=%d\n",
+           __builtin_cpu_supports("avx2") != 0,
+           __builtin_cpu_supports("fma") != 0,
+           __builtin_cpu_supports("avx512f") != 0);
+#else
+    printf("avx2=0\nfma=0\navx512f=0\n");
+#endif
+    return 0;
+}
+"#;
+
+/// C source of the OpenMP toolchain probe: exercises a real
+/// `parallel for` so a compiler that accepts the flag but fails to link
+/// `libgomp` is still reported as unsupported.
+const OMP_PROBE_C: &str = r#"#include <stdio.h>
+int main(void) {
+    int sum = 0;
+    #pragma omp parallel for reduction(+ : sum)
+    for (int i = 0; i < 64; i++) { sum += i; }
+    printf("omp=%d\n", sum == 2016);
+    return 0;
+}
+"#;
+
+fn probe_dir() -> Option<PathBuf> {
+    let dir = std::env::temp_dir().join(format!("exo_hostcaps_{}", std::process::id()));
+    std::fs::create_dir_all(&dir).ok()?;
+    Some(dir)
+}
+
+/// Compiles `source` with `extra_flags`, runs the binary, and returns
+/// its stdout. Any failure (write, compile, run, timeout) yields `None`.
+fn compile_and_run(dir: &Path, tag: &str, source: &str, extra_flags: &[&str]) -> Option<String> {
+    let src = dir.join(format!("{tag}.c"));
+    let bin = dir.join(format!("{tag}.bin"));
+    std::fs::write(&src, source).ok()?;
+    let mut cc = Command::new("cc");
+    cc.arg("-O0")
+        .args(extra_flags)
+        .arg("-o")
+        .arg(&bin)
+        .arg(&src);
+    let compiled =
+        run_guarded(&mut cc, &GuardConfig::with_timeout(Duration::from_secs(60))).ok()?;
+    if !compiled.success {
+        return None;
+    }
+    let ran = run_guarded(
+        &mut Command::new(&bin),
+        &GuardConfig::with_timeout(Duration::from_secs(15)),
+    )
+    .ok()?;
+    if !ran.success {
+        return None;
+    }
+    Some(ran.stdout_lossy())
+}
+
+/// `"key=1"` present in the probe output (absent or malformed ⇒ false).
+fn flag_of(output: &str, key: &str) -> bool {
+    output.lines().any(|line| line.trim() == format!("{key}=1"))
+}
+
+fn probe() -> HostCaps {
+    let threads = std::thread::available_parallelism().map_or(1, usize::from);
+    let Some(dir) = probe_dir() else {
+        return HostCaps {
+            threads,
+            ..HostCaps::none()
+        };
+    };
+    let cpu = compile_and_run(&dir, "cpu", CPU_PROBE_C, &[]);
+    let caps = HostCaps {
+        cc: cpu.is_some(),
+        avx2: cpu.as_deref().is_some_and(|o| flag_of(o, "avx2")),
+        fma: cpu.as_deref().is_some_and(|o| flag_of(o, "fma")),
+        avx512f: cpu.as_deref().is_some_and(|o| flag_of(o, "avx512f")),
+        openmp: cpu.is_some()
+            && compile_and_run(&dir, "omp", OMP_PROBE_C, &["-fopenmp"])
+                .as_deref()
+                .is_some_and(|o| flag_of(o, "omp")),
+        threads,
+    };
+    let _ = std::fs::remove_dir_all(&dir);
+    caps
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn none_reports_nothing_supported() {
+        let none = HostCaps::none();
+        assert!(!none.cc && !none.avx2 && !none.openmp);
+        assert_eq!(none.threads, 1);
+        assert!(!none.supports_cflags(&["-mavx2"]));
+        // Even the empty flag set needs a working compiler to matter.
+        assert!(!none.supports_cflags::<&str>(&[]));
+    }
+
+    #[test]
+    fn supports_cflags_maps_flags_to_features() {
+        let caps = HostCaps {
+            cc: true,
+            avx2: true,
+            fma: true,
+            avx512f: false,
+            openmp: true,
+            threads: 8,
+        };
+        assert!(caps.supports_cflags(&["-mavx2", "-mfma"]));
+        assert!(caps.supports_cflags(&["-mavx2", "-mfma", "-fopenmp"]));
+        assert!(!caps.supports_cflags(&["-mavx512f"]));
+        // Unknown feature flags are conservatively unsupported…
+        assert!(!caps.supports_cflags(&["-msve"]));
+        // …but neutral flags pass through.
+        assert!(caps.supports_cflags(&["-O2"]));
+    }
+
+    #[test]
+    fn detect_is_cached_and_self_consistent() {
+        let a = HostCaps::detect();
+        let b = HostCaps::detect();
+        assert!(std::ptr::eq(a, b), "detect() must cache");
+        assert!(a.threads >= 1);
+        // CPU features can only be claimed when a compiler ran the probe.
+        if !a.cc {
+            assert!(!a.avx2 && !a.fma && !a.avx512f && !a.openmp);
+        }
+        // The summary names every field.
+        for key in ["cc=", "avx2=", "fma=", "avx512f=", "openmp=", "threads="] {
+            assert!(a.summary().contains(key));
+        }
+    }
+
+    #[test]
+    fn probe_parser_ignores_malformed_lines() {
+        assert!(flag_of("avx2=1\nfma=0\n", "avx2"));
+        assert!(!flag_of("avx2=1\nfma=0\n", "fma"));
+        assert!(!flag_of("garbage\navx2 = 1\n", "avx2"));
+        assert!(!flag_of("", "avx2"));
+    }
+}

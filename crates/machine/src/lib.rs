@@ -27,6 +27,7 @@
 mod cache;
 mod cost;
 mod gemmini;
+mod hostcaps;
 mod intrinsics;
 mod isa;
 mod model;
@@ -34,6 +35,7 @@ mod model;
 pub use cache::{Cache, CacheConfig, CacheStats};
 pub use cost::{simulate, try_simulate, CostModel, CostMonitor, SimReport};
 pub use gemmini::{gemmini_instructions, GEMM_ACCUM_BYTES, GEMM_SCRATCH_BYTES};
+pub use hostcaps::HostCaps;
 pub use intrinsics::{c_intrinsic, c_type_tag, CIntrinsic};
 pub use isa::{
     avx2_instructions, avx512_instructions, instruction_cost_class, try_instruction_cost_class,

@@ -58,6 +58,11 @@ pub struct ServeConfig {
     pub negative_ttl: Duration,
     /// Deterministic fault injection (empty in production).
     pub fault_plan: FaultPlan,
+    /// Host capabilities consulted when choosing codegen flags for the
+    /// native-run tier. `None` probes the real host
+    /// ([`exo_machine::HostCaps::detect`]); tests inject degraded caps
+    /// to exercise the portable fallback deterministically.
+    pub host_caps: Option<exo_machine::HostCaps>,
 }
 
 impl Default for ServeConfig {
@@ -69,6 +74,7 @@ impl Default for ServeConfig {
             run_guard: GuardConfig::with_timeout(Duration::from_secs(30)),
             negative_ttl: Duration::from_secs(2),
             fault_plan: FaultPlan::none(),
+            host_caps: None,
         }
     }
 }
@@ -558,16 +564,55 @@ fn process(inner: &ServiceInner, job: &Job) -> Result<ServeOk, ServeError> {
         .instructions(exo_ir::DataType::F32)
         .into_iter()
         .collect();
-    let opts = if request.options.debug_bounds {
-        CodegenOptions::debug()
+    // Codegen mode: the native-run tier gets machine intrinsics (and
+    // OpenMP work-sharing, which the emitter only applies to loops the
+    // verifier certifies race-free) whenever the host can execute them;
+    // every other tier — and every host that cannot — gets portable
+    // scalar C. Tests inject degraded caps to pin the fallback.
+    let caps = inner
+        .cfg
+        .host_caps
+        .clone()
+        .unwrap_or_else(|| exo_machine::HostCaps::detect().clone());
+    let (opts, mut chosen_flags) = if request.options.debug_bounds {
+        (
+            CodegenOptions::debug(),
+            "portable (debug bounds)".to_string(),
+        )
+    } else if request.options.tier != Tier::NativeRun {
+        (
+            CodegenOptions::portable(),
+            format!("portable (tier {})", request.options.tier),
+        )
+    } else if !caps.supports_cflags(&["-mavx2", "-mfma"]) {
+        (
+            CodegenOptions::portable(),
+            "portable (host cannot execute -mavx2 -mfma)".to_string(),
+        )
+    } else if caps.openmp {
+        (CodegenOptions::native_openmp(), String::new())
     } else {
-        CodegenOptions::portable()
+        (CodegenOptions::native(), String::new())
     };
-    let unit = {
+    let mut unit = {
         let _span = exo_obs::span!("serve:emit", "{}", proc.name());
         emit_c(proc, &registry, &opts).map_err(|e| ServeError::Codegen(e.to_string()))?
     };
+    if !unit.stock_toolchain {
+        // Intrinsics this toolchain cannot even compile (e.g. Gemmini):
+        // fall back to the portable unit rather than failing downstream.
+        unit = emit_c(proc, &registry, &CodegenOptions::portable())
+            .map_err(|e| ServeError::Codegen(e.to_string()))?;
+        chosen_flags = "portable (native unit needs a non-stock toolchain)".to_string();
+    } else if chosen_flags.is_empty() {
+        chosen_flags = if unit.cflags.is_empty() {
+            "native (no extra flags needed)".to_string()
+        } else {
+            format!("native ({})", unit.cflags.join(" "))
+        };
+    }
     trace.step("emit", "ok".to_string());
+    trace.step("native-flags", chosen_flags);
 
     let mut degraded: Vec<Degradation> = Vec::new();
     let mut tier = request.options.tier;

@@ -44,6 +44,7 @@ fn soak_with_injected_faults() {
         run_guard: GuardConfig::with_timeout(Duration::from_millis(1500)),
         negative_ttl: Duration::from_millis(200),
         fault_plan: plan,
+        ..ServeConfig::default()
     };
     let service = KernelService::new(cfg);
     let workers_at_start = {

@@ -33,6 +33,9 @@ fn native_request() -> ServeRequest {
 fn service_with(fault: Fault) -> KernelService {
     let mut cfg = ServeConfig {
         fault_plan: FaultPlan::none().with(0, fault),
+        // Degraded caps injected for determinism: the fault ladders are
+        // pinned against portable units on every host.
+        host_caps: Some(exo_machine::HostCaps::none()),
         ..ServeConfig::default()
     };
     cfg.compile_guard = GuardConfig {
@@ -161,13 +164,76 @@ fn clean_request_trace_names_every_stage() {
     req.options.tier = Tier::Interp;
     let ok = serve(&service, req);
     let names: Vec<&str> = ok.trace.steps.iter().map(|s| s.name).collect();
-    assert_eq!(names, vec!["replay", "verify", "emit", "interp"]);
+    assert_eq!(
+        names,
+        vec!["replay", "verify", "emit", "native-flags", "interp"]
+    );
+    assert_eq!(
+        ok.trace.step("native-flags").expect("native-flags").outcome,
+        "portable (tier interp)"
+    );
     assert_eq!(ok.trace.step("replay").expect("replay").outcome, "ok");
     assert_eq!(ok.trace.step("interp").expect("interp").outcome, "served");
     assert!(
         ok.trace.total_ns >= ok.trace.steps.iter().map(|s| s.ns).sum::<u64>(),
         "step times must not exceed the total"
     );
+}
+
+/// The native-run tier's codegen flags follow the (injectable) host
+/// capabilities: full caps pick the machine-intrinsic unit and the
+/// trace names its `-m` flags; degraded caps fall back to portable —
+/// and say so — without failing the request.
+#[test]
+fn native_flags_follow_injected_host_caps() {
+    if !exo_codegen::difftest::cc_available() {
+        eprintln!("skipping: no C compiler on PATH");
+        return;
+    }
+    let machine = exo_machine::MachineModel::avx2();
+    let request = |tier| ServeRequest {
+        proc: exo_kernels::sgemm(),
+        script: exo_lib::schedule_of_record("sgemm", &machine).expect("sgemm schedule of record"),
+        target: MachineKind::Avx2,
+        options: ServeOptions {
+            tier,
+            want_c: true,
+            ..ServeOptions::default()
+        },
+    };
+
+    // Degraded caps: the request must still be served, from a portable
+    // unit, with the fallback named in the trace.
+    let degraded = KernelService::new(ServeConfig {
+        host_caps: Some(exo_machine::HostCaps::none()),
+        ..ServeConfig::default()
+    });
+    let ok = serve(&degraded, request(Tier::NativeRun));
+    assert_eq!(
+        ok.trace.step("native-flags").expect("native-flags").outcome,
+        "portable (host cannot execute -mavx2 -mfma)"
+    );
+    let c = ok.c_code.as_deref().expect("want_c");
+    assert!(
+        !c.contains("immintrin.h"),
+        "degraded caps must emit portable C:\n{c}"
+    );
+
+    // Real caps on a capable host: the unit is machine-intrinsic and
+    // the trace names the flags it was compiled with.
+    if exo_machine::HostCaps::detect().supports_cflags(&["-mavx2", "-mfma"]) {
+        let native = KernelService::new(ServeConfig::default());
+        let ok = serve(&native, request(Tier::NativeRun));
+        let flags = &ok.trace.step("native-flags").expect("native-flags").outcome;
+        assert!(
+            flags.starts_with("native (") && flags.contains("-mavx2"),
+            "capable host must pick the intrinsic unit, got: {flags}"
+        );
+        let c = ok.c_code.as_deref().expect("want_c");
+        assert!(c.contains("immintrin.h"), "native unit expected:\n{c}");
+    } else {
+        eprintln!("skipping native half: host cannot execute -mavx2 -mfma");
+    }
 }
 
 #[test]
@@ -217,6 +283,10 @@ fn full_ladder_trace_walks_every_tier() {
             ("replay", "ok"),
             ("verify", "ok (0 findings)"),
             ("emit", "ok"),
+            (
+                "native-flags",
+                "portable (host cannot execute -mavx2 -mfma)"
+            ),
             ("native-run", "degraded to compile-only: input-synthesis"),
             ("compile-only", "degraded to interp: compiler-unavailable"),
             ("interp", "degraded to verified-ir: input-synthesis"),

@@ -18,6 +18,7 @@ FILES=(
   crates/cursors/src/lib.rs
   crates/ir/src/expr.rs
   crates/machine/src/isa.rs
+  crates/machine/src/hostcaps.rs
   crates/codegen/src/lib.rs
   crates/codegen/src/emit.rs
   crates/codegen/src/mangle.rs
